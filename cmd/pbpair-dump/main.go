@@ -1,0 +1,84 @@
+// pbpair-dump renders frames of a PBPV raw sequence as PNG images for
+// visual inspection — e.g. to look at concealment artefacts after a
+// lossy decode.
+//
+// Usage:
+//
+//	pbpair-dump -in recon.pbpv -outdir ./frames -every 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"pbpair/internal/video"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pbpair-dump:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	in := flag.String("in", "", "input PBPV raw sequence (required)")
+	outdir := flag.String("outdir", "frames", "output directory for PNGs")
+	every := flag.Int("every", 1, "dump every n-th frame")
+	limit := flag.Int("limit", 0, "stop after this many dumped frames (0 = all)")
+	flag.Parse()
+
+	if *in == "" {
+		return fmt.Errorf("-in is required")
+	}
+	if *every < 1 {
+		return fmt.Errorf("-every must be >= 1")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	sr, err := video.NewSequenceReader(f)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		return err
+	}
+
+	dumped := 0
+	for k := 0; ; k++ {
+		frame, err := sr.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("frame %d: %w", k, err)
+		}
+		if k%*every != 0 {
+			continue
+		}
+		path := filepath.Join(*outdir, fmt.Sprintf("frame%04d.png", k))
+		out, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := frame.WritePNG(out); err != nil {
+			out.Close()
+			return fmt.Errorf("frame %d: %w", k, err)
+		}
+		if err := out.Close(); err != nil {
+			return err
+		}
+		dumped++
+		if *limit > 0 && dumped >= *limit {
+			break
+		}
+	}
+	fmt.Printf("wrote %d PNG frames to %s\n", dumped, *outdir)
+	return nil
+}

@@ -1,0 +1,137 @@
+// pbpair-encode compresses a raw PBPV sequence into a PBPS encoded
+// stream under any of the error-resilience schemes.
+//
+// Usage:
+//
+//	pbpair-encode -in foreman.pbpv -out foreman.pbps -scheme PBPAIR -intra-th 0.8 -plr 0.1
+//	pbpair-encode -in foreman.pbpv -out foreman.pbps -scheme GOP-3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/energy"
+	"pbpair/internal/experiment"
+	"pbpair/internal/motion"
+	"pbpair/internal/stream"
+	"pbpair/internal/video"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pbpair-encode:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	in := flag.String("in", "", "input PBPV raw sequence (required)")
+	out := flag.String("out", "", "output PBPS encoded stream (required)")
+	scheme := flag.String("scheme", "PBPAIR", "resilience scheme: NO, GOP-n, AIR-n, PGOP-n, PBPAIR")
+	qp := flag.Int("qp", 8, "quantiser parameter (1-31)")
+	searchRange := flag.Int("search-range", 7, "motion search range in pixels")
+	tss := flag.Bool("tss", false, "use three-step search instead of full search")
+	halfPel := flag.Bool("halfpel", false, "enable half-pixel motion refinement")
+	intraTh := flag.Float64("intra-th", 0.8, "PBPAIR Intra_Th in [0,1]")
+	plr := flag.Float64("plr", 0.1, "PBPAIR assumed packet loss rate in [0,1]")
+	device := flag.String("device", "ipaq", "energy profile: ipaq or zaurus")
+	flag.Parse()
+
+	if *in == "" || *out == "" {
+		return fmt.Errorf("both -in and -out are required")
+	}
+	profile, err := profileFor(*device)
+	if err != nil {
+		return err
+	}
+
+	inFile, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer inFile.Close()
+	sr, err := video.NewSequenceReader(inFile)
+	if err != nil {
+		return err
+	}
+	w, h := sr.Dims()
+
+	planner, err := experiment.ParseScheme(*scheme, h/video.MBSize, w/video.MBSize, *intraTh, *plr)
+	if err != nil {
+		return err
+	}
+	search := motion.FullSearch
+	if *tss {
+		search = motion.ThreeStep
+	}
+	var counters energy.Counters
+	enc, err := codec.NewEncoder(codec.Config{
+		Width: w, Height: h,
+		QP:          *qp,
+		SearchRange: *searchRange,
+		Search:      search,
+		HalfPel:     *halfPel,
+		Planner:     planner,
+		Counters:    &counters,
+	})
+	if err != nil {
+		return err
+	}
+
+	outFile, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer outFile.Close()
+	sw := stream.NewWriter(outFile)
+
+	totalBytes, intraMBs, frames := 0, 0, 0
+	for {
+		frame, err := sr.ReadFrame()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return fmt.Errorf("frame %d: %w", frames, err)
+		}
+		ef, err := enc.EncodeFrame(frame)
+		if err != nil {
+			return fmt.Errorf("frame %d: %w", frames, err)
+		}
+		if err := sw.WriteFrame(ef.Data); err != nil {
+			return err
+		}
+		totalBytes += ef.Bytes()
+		intraMBs += ef.Plan.IntraCount()
+		frames++
+	}
+	if err := sw.Flush(); err != nil {
+		return err
+	}
+	if err := outFile.Close(); err != nil {
+		return err
+	}
+
+	joules := profile.Joules(counters)
+	breakdown := profile.Decompose(counters)
+	fmt.Printf("encoded %d frames with %s: %d bytes (%.1f KB), %.1f intra MBs/frame\n",
+		frames, planner.Name(), totalBytes, float64(totalBytes)/1024, float64(intraMBs)/float64(max(frames, 1)))
+	fmt.Printf("modelled encode energy on %s: %.3f J (ME %.1f%%, transform %.1f%%)\n",
+		profile.Name, joules, 100*breakdown.ME/joules, 100*breakdown.Transform/joules)
+	return nil
+}
+
+func profileFor(name string) (energy.Profile, error) {
+	switch name {
+	case "ipaq":
+		return energy.IPAQ, nil
+	case "zaurus":
+		return energy.Zaurus, nil
+	default:
+		return energy.Profile{}, fmt.Errorf("unknown device %q (want ipaq or zaurus)", name)
+	}
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPipelineEndToEnd builds the three data-path tools and drives the
+// full workflow a user would: generate a synthetic clip, encode it
+// with PBPAIR, decode it loss-free and lossy, and check the quality
+// report. This is the closest thing to the paper's Figure 1 running on
+// disk.
+func TestPipelineEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped in -short mode")
+	}
+	dir := t.TempDir()
+	bin := func(name string) string { return filepath.Join(dir, name) }
+
+	for _, tool := range []string{"pbpair-genvideo", "pbpair-encode", "pbpair-decode"} {
+		cmd := exec.Command("go", "build", "-o", bin(tool), "pbpair/cmd/"+tool)
+		cmd.Env = os.Environ()
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", tool, err, out)
+		}
+	}
+
+	raw := filepath.Join(dir, "clip.pbpv")
+	enc := filepath.Join(dir, "clip.pbps")
+	rec := filepath.Join(dir, "recon.pbpv")
+
+	run := func(name string, args ...string) string {
+		t.Helper()
+		cmd := exec.Command(bin(name), args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+		}
+		return string(out)
+	}
+
+	out := run("pbpair-genvideo", "-regime", "foreman", "-frames", "20", "-out", raw)
+	if !strings.Contains(out, "wrote 20 frames") {
+		t.Fatalf("genvideo output: %s", out)
+	}
+	fi, err := os.Stat(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(16 + 20*176*144*3/2); fi.Size() != want {
+		t.Fatalf("raw clip is %d bytes, want %d", fi.Size(), want)
+	}
+
+	out = run("pbpair-encode", "-in", raw, "-out", enc,
+		"-scheme", "PBPAIR", "-intra-th", "0.85", "-plr", "0.1")
+	if !strings.Contains(out, "encoded 20 frames with PBPAIR") {
+		t.Fatalf("encode output: %s", out)
+	}
+	if !strings.Contains(out, "modelled encode energy") {
+		t.Fatalf("encode output missing energy report: %s", out)
+	}
+
+	// Loss-free decode with quality report.
+	out = run("pbpair-decode", "-in", enc, "-out", rec, "-ref", raw)
+	if !strings.Contains(out, "decoded 20 frames (0 lost, 0 MBs concealed)") {
+		t.Fatalf("decode output: %s", out)
+	}
+	if !strings.Contains(out, "average PSNR") {
+		t.Fatalf("decode output missing PSNR: %s", out)
+	}
+
+	// Lossy decode: scripted loss of two frames must report them.
+	out = run("pbpair-decode", "-in", enc, "-out", rec, "-ref", raw, "-lose", "4,9")
+	if !strings.Contains(out, "2 lost") {
+		t.Fatalf("lossy decode output: %s", out)
+	}
+
+	// Other schemes exercise ParseScheme through the CLI.
+	for _, scheme := range []string{"NO", "GOP-3", "AIR-10", "PGOP-2"} {
+		out = run("pbpair-encode", "-in", raw, "-out", enc, "-scheme", scheme)
+		if !strings.Contains(out, "encoded 20 frames with "+scheme) {
+			t.Fatalf("scheme %s output: %s", scheme, out)
+		}
+	}
+
+	// Unknown scheme must fail cleanly.
+	cmd := exec.Command(bin("pbpair-encode"), "-in", raw, "-out", enc, "-scheme", "WAT")
+	if out, err := cmd.CombinedOutput(); err == nil {
+		t.Fatalf("unknown scheme accepted:\n%s", out)
+	}
+}

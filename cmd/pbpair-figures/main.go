@@ -1,0 +1,332 @@
+// pbpair-figures regenerates the paper's evaluation figures as text
+// tables and CSV series (DESIGN.md experiments E1–E11, plus the
+// multi-seed statistics and the E18 content-sensitivity study).
+//
+// Usage:
+//
+//	pbpair-figures -fig 5            # all four Figure 5 panels
+//	pbpair-figures -fig 6a           # per-frame PSNR traces
+//	pbpair-figures -fig headline     # §1/§5 energy-saving percentages
+//	pbpair-figures -fig devices      # iPAQ vs Zaurus (§4.1)
+//	pbpair-figures -fig recovery     # E11 recovery speed
+//	pbpair-figures -fig stats        # Figure 5 with error bars
+//	pbpair-figures -fig content      # E18 five-regime study
+//	pbpair-figures -fig 5 -frames 300   # paper-scale run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pbpair/internal/energy"
+	"pbpair/internal/experiment"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pbpair-figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fig := flag.String("fig", "5", "figure to regenerate: 5, 5a, 5b, 5c, 5d, 6, 6a, 6b, headline, devices, recovery, stats, content")
+	frames := flag.Int("frames", 120, "frames per run (paper: 300 for Fig 5, 50 for Fig 6)")
+	plr := flag.Float64("plr", 0.1, "packet loss rate for Fig 5")
+	seeds := flag.Int("seeds", 5, "independent loss seeds for -fig stats")
+	flag.Parse()
+
+	switch *fig {
+	case "stats":
+		return runStats(*frames, *plr, *seeds)
+	case "content":
+		return runContent(*frames, *plr)
+	case "all":
+		return runAll(*frames, *plr)
+	case "5", "5a", "5b", "5c", "5d":
+		return runFig5(*fig, *frames, *plr)
+	case "6", "6a", "6b":
+		return runFig6(*fig, *frames)
+	case "headline":
+		return runHeadline(*frames, *plr)
+	case "devices":
+		return runDevices(*frames, *plr)
+	case "recovery":
+		return runRecovery(*frames)
+	default:
+		return fmt.Errorf("unknown figure %q", *fig)
+	}
+}
+
+// runAll regenerates every experiment from one Fig5 run and one Fig6
+// run (the headline and device tables are derived views, not reruns).
+func runAll(frames int, plr float64) error {
+	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr})
+	if err != nil {
+		return err
+	}
+	printFig5Panels(rows, plr)
+	for _, r := range rows {
+		if r.Scheme == "PBPAIR" {
+			fmt.Printf("calibrated Intra_Th for %s: %.3f\n", r.Sequence, r.IntraTh)
+		}
+	}
+	fmt.Println()
+	printHeadline(rows)
+	fmt.Println()
+	printDevices(rows)
+	fmt.Println()
+
+	fig6Frames := frames
+	if fig6Frames > 50 {
+		fig6Frames = 50
+	}
+	cfg := experiment.Fig6Config{Frames: fig6Frames}.WithDefaults()
+	series, err := experiment.Fig6(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("loss events at frames %v\n", cfg.LossEvents)
+	fmt.Println("Figure 6(a): per-frame PSNR (dB)")
+	for _, s := range series {
+		fmt.Println(experiment.FormatSeries(s.Scheme, s.PSNR, "%.2f"))
+	}
+	fmt.Println("Figure 6(b): per-frame encoded size (bytes)")
+	for _, s := range series {
+		fmt.Println(experiment.FormatSeries(s.Scheme, s.FrameBytes, "%.0f"))
+	}
+	fmt.Println()
+	printRecovery(series, cfg)
+	return nil
+}
+
+// runContent prints the E18 cross-content study: the five schemes over
+// all five synthetic regimes.
+func runContent(frames int, plr float64) error {
+	rows, err := experiment.ContentTable(experiment.ContentConfig{Frames: frames, PLR: plr})
+	if err != nil {
+		return err
+	}
+	tb := experiment.NewTable(
+		fmt.Sprintf("E18: content sensitivity, %d frames, PLR=%.0f%%", frames, plr*100),
+		"sequence", "scheme", "PSNR(dB)", "bad px", "size(KB)", "energy(J)", "intra/frame")
+	for _, r := range rows {
+		tb.AddRow(r.Sequence, r.Scheme,
+			fmt.Sprintf("%.2f", r.AvgPSNR),
+			fmt.Sprintf("%d", r.BadPixels),
+			fmt.Sprintf("%.1f", r.FileKB),
+			fmt.Sprintf("%.3f", r.EnergyJ),
+			fmt.Sprintf("%.1f", r.IntraRate))
+	}
+	fmt.Print(tb.String())
+	return nil
+}
+
+// runStats is the multi-seed Figure 5: quality cells as mean ± stddev
+// over independent loss patterns.
+func runStats(frames int, plr float64, seeds int) error {
+	if seeds < 1 {
+		return fmt.Errorf("need at least one seed")
+	}
+	seedList := make([]uint64, seeds)
+	for i := range seedList {
+		seedList[i] = uint64(1000 + 37*i)
+	}
+	stats, err := experiment.Fig5Multi(experiment.Fig5Config{Frames: frames, PLR: plr}, seedList)
+	if err != nil {
+		return err
+	}
+	tb := experiment.NewTable(
+		fmt.Sprintf("Figure 5 across %d loss seeds (mean ± stddev), PLR=%.0f%%", seeds, plr*100),
+		"sequence", "scheme", "PSNR(dB)", "bad px", "size(KB)", "energy(J)")
+	for _, s := range stats {
+		tb.AddRow(s.Sequence, s.Scheme,
+			fmt.Sprintf("%.2f ± %.2f", s.PSNRMean, s.PSNRStd),
+			fmt.Sprintf("%.0f ± %.0f", s.BadPixMean, s.BadPixStd),
+			fmt.Sprintf("%.1f", s.FileKBMean),
+			fmt.Sprintf("%.3f", s.EnergyJMean))
+	}
+	fmt.Print(tb.String())
+	return nil
+}
+
+func runFig5(which string, frames int, plr float64) error {
+	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr})
+	if err != nil {
+		return err
+	}
+	printFig5Panel(which, rows, plr)
+	for _, r := range rows {
+		if r.Scheme == "PBPAIR" {
+			fmt.Printf("calibrated Intra_Th for %s: %.3f\n", r.Sequence, r.IntraTh)
+		}
+	}
+	return nil
+}
+
+func printFig5Panels(rows []experiment.Fig5Row, plr float64) {
+	printFig5Panel("5", rows, plr)
+}
+
+func printFig5Panel(which string, rows []experiment.Fig5Row, plr float64) {
+	panels := []struct {
+		key   string
+		title string
+		cell  func(experiment.Fig5Row) string
+	}{
+		{"5a", fmt.Sprintf("Figure 5(a): average PSNR (dB), PLR=%.0f%%", plr*100),
+			func(r experiment.Fig5Row) string { return fmt.Sprintf("%.2f", r.AvgPSNR) }},
+		{"5b", fmt.Sprintf("Figure 5(b): bad pixels (total), PLR=%.0f%%", plr*100),
+			func(r experiment.Fig5Row) string { return fmt.Sprintf("%d", r.BadPixels) }},
+		{"5c", "Figure 5(c): encoded file size (KB)",
+			func(r experiment.Fig5Row) string { return fmt.Sprintf("%.1f", r.FileKB) }},
+		{"5d", "Figure 5(d): encoding energy (J, iPAQ)",
+			func(r experiment.Fig5Row) string { return fmt.Sprintf("%.3f", r.EnergyJ) }},
+	}
+	for _, p := range panels {
+		if which != "5" && which != p.key {
+			continue
+		}
+		fmt.Print(pivotTable(p.title, rows, p.cell).String())
+		fmt.Println()
+	}
+}
+
+// pivotTable renders Fig5 rows as sequences × schemes.
+func pivotTable(title string, rows []experiment.Fig5Row, cell func(experiment.Fig5Row) string) *experiment.Table {
+	schemes := []string{}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if !seen[r.Scheme] {
+			seen[r.Scheme] = true
+			schemes = append(schemes, r.Scheme)
+		}
+	}
+	headers := append([]string{"sequence"}, schemes...)
+	tb := experiment.NewTable(title, headers...)
+	seqs := []string{}
+	seenSeq := map[string]bool{}
+	for _, r := range rows {
+		if !seenSeq[r.Sequence] {
+			seenSeq[r.Sequence] = true
+			seqs = append(seqs, r.Sequence)
+		}
+	}
+	for _, seq := range seqs {
+		cells := []string{seq}
+		for _, scheme := range schemes {
+			for _, r := range rows {
+				if r.Sequence == seq && r.Scheme == scheme {
+					cells = append(cells, cell(r))
+					break
+				}
+			}
+		}
+		tb.AddRow(cells...)
+	}
+	return tb
+}
+
+func runFig6(which string, frames int) error {
+	if frames > 50 {
+		frames = 50 // the paper's Figure 6 window
+	}
+	cfg := experiment.Fig6Config{Frames: frames}
+	series, err := experiment.Fig6(cfg)
+	if err != nil {
+		return err
+	}
+	cfg = experiment.Fig6Config{Frames: frames}.WithDefaults()
+	fmt.Printf("loss events at frames %v\n", cfg.LossEvents)
+	if which == "6" || which == "6a" {
+		fmt.Println("Figure 6(a): per-frame PSNR (dB)")
+		for _, s := range series {
+			fmt.Println(experiment.FormatSeries(s.Scheme, s.PSNR, "%.2f"))
+		}
+	}
+	if which == "6" || which == "6b" {
+		fmt.Println("Figure 6(b): per-frame encoded size (bytes)")
+		for _, s := range series {
+			fmt.Println(experiment.FormatSeries(s.Scheme, s.FrameBytes, "%.0f"))
+		}
+	}
+	return nil
+}
+
+func runHeadline(frames int, plr float64) error {
+	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr})
+	if err != nil {
+		return err
+	}
+	printHeadline(rows)
+	return nil
+}
+
+func printHeadline(rows []experiment.Fig5Row) {
+	savings := experiment.HeadlineSavings(rows)
+	tb := experiment.NewTable(
+		"Headline: PBPAIR energy saving vs. other schemes (paper: AIR 34%, GOP 24%, PGOP 17%)",
+		"scheme", "saving")
+	names := make([]string, 0, len(savings))
+	for name := range savings {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		tb.AddRow(name, fmt.Sprintf("%.1f%%", savings[name]*100))
+	}
+	fmt.Print(tb.String())
+}
+
+func runDevices(frames int, plr float64) error {
+	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr})
+	if err != nil {
+		return err
+	}
+	printDevices(rows)
+	return nil
+}
+
+func printDevices(rows []experiment.Fig5Row) {
+	tb := experiment.NewTable(
+		"Encoding energy by device (§4.1): same work tally priced per profile",
+		"sequence", "scheme", "iPAQ (J)", "Zaurus (J)")
+	for _, r := range rows {
+		tb.AddRow(r.Sequence, r.Scheme,
+			fmt.Sprintf("%.3f", energy.IPAQ.Joules(r.Counters)),
+			fmt.Sprintf("%.3f", energy.Zaurus.Joules(r.Counters)))
+	}
+	fmt.Print(tb.String())
+}
+
+func runRecovery(frames int) error {
+	if frames > 50 {
+		frames = 50
+	}
+	series, err := experiment.Fig6(experiment.Fig6Config{Frames: frames})
+	if err != nil {
+		return err
+	}
+	printRecovery(series, experiment.Fig6Config{Frames: frames}.WithDefaults())
+	return nil
+}
+
+func printRecovery(series []experiment.Fig6Series, cfg experiment.Fig6Config) {
+	headers := []string{"scheme"}
+	for _, ev := range cfg.LossEvents {
+		headers = append(headers, fmt.Sprintf("e@%d", ev))
+	}
+	tb := experiment.NewTable(
+		"E11: frames to recover within 1 dB of loss-free PSNR (-1 = not within window)",
+		headers...)
+	for _, s := range series {
+		cells := []string{s.Scheme}
+		for _, r := range s.Recovery {
+			cells = append(cells, fmt.Sprintf("%d", r))
+		}
+		tb.AddRow(cells...)
+	}
+	fmt.Print(tb.String())
+}

@@ -1,0 +1,84 @@
+// pbpair-genvideo emits a synthetic QCIF test sequence (the paper's
+// foreman / akiyo / garden stand-ins) as a PBPV raw 4:2:0 file.
+//
+// Usage:
+//
+//	pbpair-genvideo -regime foreman -frames 300 -out foreman.pbpv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pbpair/internal/synth"
+	"pbpair/internal/video"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pbpair-genvideo:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	regime := flag.String("regime", "foreman", "sequence regime: akiyo, foreman, garden, hall or mobile")
+	frames := flag.Int("frames", 300, "number of frames to generate")
+	out := flag.String("out", "", "output PBPV file (default <regime>.pbpv)")
+	flag.Parse()
+
+	src, err := sourceFor(*regime)
+	if err != nil {
+		return err
+	}
+	if *frames <= 0 {
+		return fmt.Errorf("frames must be positive, got %d", *frames)
+	}
+	path := *out
+	if path == "" {
+		path = src.Name() + ".pbpv"
+	}
+
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	w, h := src.Dims()
+	sw, err := video.NewSequenceWriter(f, w, h)
+	if err != nil {
+		return err
+	}
+	for k := 0; k < *frames; k++ {
+		if err := sw.WriteFrame(src.Frame(k)); err != nil {
+			return fmt.Errorf("frame %d: %w", k, err)
+		}
+	}
+	if err := sw.Flush(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d frames of %s (%dx%d) to %s\n", *frames, src.Name(), w, h, path)
+	return nil
+}
+
+func sourceFor(name string) (synth.Source, error) {
+	switch name {
+	case "akiyo":
+		return synth.New(synth.RegimeAkiyo), nil
+	case "foreman":
+		return synth.New(synth.RegimeForeman), nil
+	case "garden":
+		return synth.New(synth.RegimeGarden), nil
+	case "hall":
+		return synth.New(synth.RegimeHall), nil
+	case "mobile":
+		return synth.New(synth.RegimeMobile), nil
+	default:
+		return nil, fmt.Errorf("unknown regime %q (want akiyo, foreman, garden, hall or mobile)", name)
+	}
+}

@@ -1,0 +1,163 @@
+// pbpair-sim runs one end-to-end scenario — synthetic source, encoder
+// with a chosen resilience scheme, lossy channel, decoder with
+// concealment — and prints the summary metrics the paper reports.
+//
+// Usage:
+//
+//	pbpair-sim -regime foreman -frames 300 -scheme PBPAIR -intra-th 0.8 -plr 0.1
+//	pbpair-sim -regime garden -scheme PGOP-3 -plr 0.1 -burst
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/conceal"
+	"pbpair/internal/energy"
+	"pbpair/internal/experiment"
+	"pbpair/internal/network"
+	"pbpair/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pbpair-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	regime := flag.String("regime", "foreman", "sequence: akiyo, foreman, garden, hall or mobile")
+	frames := flag.Int("frames", 300, "frames to simulate")
+	scheme := flag.String("scheme", "PBPAIR", "resilience scheme: NO, GOP-n, AIR-n, PGOP-n, PBPAIR")
+	qp := flag.Int("qp", 8, "quantiser parameter")
+	intraTh := flag.Float64("intra-th", 0.8, "PBPAIR Intra_Th")
+	plr := flag.Float64("plr", 0.1, "channel packet loss rate")
+	seed := flag.Uint64("seed", 2005, "loss pattern seed")
+	burst := flag.Bool("burst", false, "use a Gilbert–Elliott burst channel with the same average loss")
+	device := flag.String("device", "ipaq", "energy profile: ipaq or zaurus")
+	concealName := flag.String("conceal", "copy", "concealment: copy, spatial, bma or grey")
+	series := flag.Bool("series", false, "also print per-frame PSNR and size series as CSV")
+	fec := flag.Int("fec", 0, "XOR-parity FEC group size in frames (0 = off)")
+	halfPel := flag.Bool("halfpel", false, "enable half-pixel motion refinement")
+	flag.Parse()
+
+	src, err := sourceFor(*regime)
+	if err != nil {
+		return err
+	}
+	w, h := src.Dims()
+	planner, err := experiment.ParseScheme(*scheme, h/16, w/16, *intraTh, *plr)
+	if err != nil {
+		return err
+	}
+	channel, err := channelFor(*plr, *seed, *burst)
+	if err != nil {
+		return err
+	}
+	concealer, err := concealerFor(*concealName)
+	if err != nil {
+		return err
+	}
+	profile := energy.IPAQ
+	if *device == "zaurus" {
+		profile = energy.Zaurus
+	} else if *device != "ipaq" {
+		return fmt.Errorf("unknown device %q", *device)
+	}
+
+	res, err := experiment.Run(experiment.Scenario{
+		Name:      fmt.Sprintf("sim/%s/%s", src.Name(), planner.Name()),
+		Source:    src,
+		Frames:    *frames,
+		QP:        *qp,
+		Planner:   planner,
+		Channel:   channel,
+		Concealer: concealer,
+		Profile:   profile,
+		FECGroup:  *fec,
+		HalfPel:   *halfPel,
+	})
+	if err != nil {
+		return err
+	}
+
+	tb := experiment.NewTable(
+		fmt.Sprintf("End-to-end: %s over %s, %d frames, PLR %.0f%%, device %s",
+			res.Scheme, src.Name(), res.Frames, *plr*100, profile.Name),
+		"metric", "value")
+	tb.AddRow("average PSNR (dB)", fmt.Sprintf("%.2f", res.PSNR.Mean()))
+	tb.AddRow("min PSNR (dB)", fmt.Sprintf("%.2f", res.PSNR.Min()))
+	tb.AddRow("bad pixels (total)", fmt.Sprintf("%d", res.TotalBadPix))
+	tb.AddRow("encoded size (KB)", fmt.Sprintf("%.1f", float64(res.TotalBytes)/1024))
+	tb.AddRow("frame size stddev (B)", fmt.Sprintf("%.0f", res.FrameBytes.StdDev()))
+	tb.AddRow("intra MBs/frame", fmt.Sprintf("%.1f", res.IntraMBs.Mean()))
+	tb.AddRow("packets sent / lost", fmt.Sprintf("%d / %d", res.PacketsSent, res.PacketsLost))
+	tb.AddRow("frames fully lost", fmt.Sprintf("%d", res.LostFrames))
+	tb.AddRow("MBs concealed", fmt.Sprintf("%d", res.ConcealedMBs))
+	tb.AddRow("encode energy (J)", fmt.Sprintf("%.3f", res.Joules))
+	tb.AddRow("  motion estimation", fmt.Sprintf("%.3f (%.0f%%)", res.Breakdown.ME, 100*res.Breakdown.ME/res.Joules))
+	tb.AddRow("  transform", fmt.Sprintf("%.3f", res.Breakdown.Transform))
+	tb.AddRow("  quantisation", fmt.Sprintf("%.3f", res.Breakdown.Quant))
+	tb.AddRow("  entropy coding", fmt.Sprintf("%.3f", res.Breakdown.VLC))
+	if *fec > 0 {
+		tb.AddRow("FEC parity (KB)", fmt.Sprintf("%.1f", float64(res.FECBytes)/1024))
+	}
+	fmt.Print(tb.String())
+
+	if *series {
+		fmt.Println(experiment.FormatSeries("psnr_db", res.PSNR.Values(), "%.2f"))
+		fmt.Println(experiment.FormatSeries("frame_bytes", res.FrameBytes.Values(), "%.0f"))
+	}
+	return nil
+}
+
+func sourceFor(name string) (synth.Source, error) {
+	switch name {
+	case "akiyo":
+		return synth.New(synth.RegimeAkiyo), nil
+	case "foreman":
+		return synth.New(synth.RegimeForeman), nil
+	case "garden":
+		return synth.New(synth.RegimeGarden), nil
+	case "hall":
+		return synth.New(synth.RegimeHall), nil
+	case "mobile":
+		return synth.New(synth.RegimeMobile), nil
+	default:
+		return nil, fmt.Errorf("unknown regime %q", name)
+	}
+}
+
+func channelFor(plr float64, seed uint64, burst bool) (network.Channel, error) {
+	if plr <= 0 {
+		return network.Perfect{}, nil
+	}
+	if burst {
+		// Bad state ~10x loss, dwell tuned so the steady state matches plr.
+		return network.NewGilbertElliott(network.GEConfig{
+			PGoodToBad: 0.05,
+			PBadToGood: 0.3,
+			LossGood:   plr / 3,
+			LossBad:    min(1, plr*5),
+		}, seed)
+	}
+	return network.NewUniformLoss(plr, seed)
+}
+
+func concealerFor(name string) (codec.Concealer, error) {
+	switch name {
+	case "copy":
+		return conceal.Copy{}, nil
+	case "spatial":
+		return conceal.Spatial{}, nil
+	case "bma":
+		return conceal.BMA{}, nil
+	case "grey":
+		return conceal.Grey{}, nil
+	default:
+		return nil, fmt.Errorf("unknown concealment %q", name)
+	}
+}

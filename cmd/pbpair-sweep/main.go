@@ -1,0 +1,167 @@
+// pbpair-sweep runs the §4.3 / §4.4 operating-point sweeps: a grid of
+// (Intra_Th, PLR) points reporting intra-MB rate, encoded size, energy
+// (the resiliency-vs-energy trade-off) and PSNR / bad pixels (the
+// resiliency-vs-quality trade-off). Output is an aligned table or CSV.
+//
+// Usage:
+//
+//	pbpair-sweep -regime foreman -frames 60
+//	pbpair-sweep -csv > sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/core"
+	"pbpair/internal/energy"
+	"pbpair/internal/experiment"
+	"pbpair/internal/resilience"
+	"pbpair/internal/synth"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pbpair-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	regime := flag.String("regime", "foreman", "sequence: akiyo, foreman, garden, hall or mobile")
+	frames := flag.Int("frames", 60, "frames per grid point")
+	qp := flag.Int("qp", 8, "quantiser parameter")
+	thList := flag.String("intra-th", "0,0.2,0.4,0.6,0.8,0.9,0.95,1", "comma-separated Intra_Th grid")
+	plrList := flag.String("plr", "0,0.05,0.1,0.2,0.3", "comma-separated PLR grid")
+	device := flag.String("device", "ipaq", "energy profile: ipaq or zaurus")
+	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
+	rd := flag.Bool("rd", false, "emit rate-distortion curves (QP sweep) instead of the Intra_Th x PLR grid")
+	flag.Parse()
+
+	r, err := regimeFor(*regime)
+	if err != nil {
+		return err
+	}
+	if *rd {
+		return runRD(r, *frames)
+	}
+	ths, err := parseFloats(*thList)
+	if err != nil {
+		return fmt.Errorf("-intra-th: %w", err)
+	}
+	plrs, err := parseFloats(*plrList)
+	if err != nil {
+		return fmt.Errorf("-plr: %w", err)
+	}
+	profile := energy.IPAQ
+	if *device == "zaurus" {
+		profile = energy.Zaurus
+	} else if *device != "ipaq" {
+		return fmt.Errorf("unknown device %q", *device)
+	}
+
+	points, err := experiment.Sweep(experiment.SweepConfig{
+		Frames:   *frames,
+		QP:       *qp,
+		IntraThs: ths,
+		PLRs:     plrs,
+		Regime:   r,
+		Profile:  profile,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *csv {
+		fmt.Println("intra_th,plr,intra_mbs_per_frame,file_kb,energy_j,avg_psnr_db,bad_pixels")
+		for _, p := range points {
+			fmt.Printf("%.3f,%.3f,%.2f,%.1f,%.4f,%.2f,%d\n",
+				p.IntraTh, p.PLR, p.IntraMBsPerFrame, p.FileKB, p.EnergyJ, p.AvgPSNR, p.BadPixels)
+		}
+		return nil
+	}
+
+	tb := experiment.NewTable(
+		fmt.Sprintf("PBPAIR operating points (§4.3/§4.4): %s, %d frames, %s", *regime, *frames, profile.Name),
+		"Intra_Th", "PLR", "intra/frame", "size(KB)", "energy(J)", "PSNR(dB)", "bad px")
+	for _, p := range points {
+		tb.AddRow(
+			fmt.Sprintf("%.2f", p.IntraTh),
+			fmt.Sprintf("%.2f", p.PLR),
+			fmt.Sprintf("%.1f", p.IntraMBsPerFrame),
+			fmt.Sprintf("%.1f", p.FileKB),
+			fmt.Sprintf("%.3f", p.EnergyJ),
+			fmt.Sprintf("%.2f", p.AvgPSNR),
+			fmt.Sprintf("%d", p.BadPixels),
+		)
+	}
+	fmt.Print(tb.String())
+	return nil
+}
+
+// runRD prints rate-distortion curves for NO and PBPAIR plus the mean
+// rate overhead at equal quality.
+func runRD(r synth.Regime, frames int) error {
+	cfg := experiment.RDConfig{Regime: r, Frames: frames}
+	cfg.MakePlanner = func() (codec.ModePlanner, error) { return resilience.NewNone(), nil }
+	noCurve, err := experiment.RDCurve(cfg)
+	if err != nil {
+		return err
+	}
+	cfg.MakePlanner = func() (codec.ModePlanner, error) {
+		return core.New(core.Config{Rows: 9, Cols: 11, IntraTh: 0.9, PLR: 0.1})
+	}
+	pbCurve, err := experiment.RDCurve(cfg)
+	if err != nil {
+		return err
+	}
+	tb := experiment.NewTable(
+		fmt.Sprintf("Rate-distortion, %s, %d frames (loss-free)", r, frames),
+		"QP", "NO KB", "NO dB", "PBPAIR KB", "PBPAIR dB")
+	for i := range noCurve {
+		tb.AddRow(
+			fmt.Sprintf("%d", noCurve[i].QP),
+			fmt.Sprintf("%.1f", noCurve[i].KBytes),
+			fmt.Sprintf("%.2f", noCurve[i].PSNR),
+			fmt.Sprintf("%.1f", pbCurve[i].KBytes),
+			fmt.Sprintf("%.2f", pbCurve[i].PSNR))
+	}
+	fmt.Print(tb.String())
+	if gap, err := experiment.BDRateGap(noCurve, pbCurve); err == nil {
+		fmt.Printf("PBPAIR rate overhead at equal quality: %.2fx\n", gap)
+	}
+	return nil
+}
+
+func regimeFor(name string) (synth.Regime, error) {
+	switch name {
+	case "akiyo":
+		return synth.RegimeAkiyo, nil
+	case "foreman":
+		return synth.RegimeForeman, nil
+	case "garden":
+		return synth.RegimeGarden, nil
+	case "hall":
+		return synth.RegimeHall, nil
+	case "mobile":
+		return synth.RegimeMobile, nil
+	default:
+		return 0, fmt.Errorf("unknown regime %q", name)
+	}
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

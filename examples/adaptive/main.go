@@ -1,0 +1,145 @@
+// Adaptive: the paper's §3.2 extension made concrete — a codec/network
+// interfacing loop where receiver feedback drives PBPAIR's parameters.
+//
+// The channel's true loss rate follows a step trace (good link → deep
+// fade → recovery). A PLR estimator smooths per-packet feedback; a
+// quality controller holds the refresh interval constant by moving
+// Intra_Th with the estimate ("adapting the Intra_Th by the amount of
+// the PLR increase", §3.2). The printout shows the controller tracking
+// the fade and the intra-refresh budget following it.
+//
+// Run:
+//
+//	go run ./examples/adaptive
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pbpair/internal/adapt"
+	"pbpair/internal/codec"
+	"pbpair/internal/core"
+	"pbpair/internal/energy"
+	"pbpair/internal/metrics"
+	"pbpair/internal/network"
+	"pbpair/internal/synth"
+)
+
+func main() {
+	const frames = 90
+	src := synth.New(synth.RegimeForeman)
+	w, h := src.Dims()
+
+	// True channel loss: 2% → 25% fade in the middle third → 5%.
+	trueLoss := func(k int) float64 {
+		switch {
+		case k < 30:
+			return 0.02
+		case k < 60:
+			return 0.25
+		default:
+			return 0.05
+		}
+	}
+
+	planner, err := core.New(core.Config{
+		Rows: h / 16, Cols: w / 16,
+		IntraTh: 0, PLR: 0.02, // the controller takes over from here
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	estimator, err := adapt.NewPLREstimator(0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	controller, err := adapt.NewQualityController(6) // ~6-frame refresh interval
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Foreman-like content conceals moderately well; telling the
+	// controller so keeps the threshold calibrated to the real σ decay.
+	controller.SetSimilarity(0.75)
+
+	var tally energy.Counters
+	enc, err := codec.NewEncoder(codec.Config{
+		Width: w, Height: h, QP: 8,
+		Planner: planner, Counters: &tally,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	dec, err := codec.NewDecoder(w, h)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pktz := network.NewPacketizer(network.DefaultMTU)
+
+	rng := newRNG(7)
+	fmt.Println("frame  true-PLR  est-PLR  Intra_Th  intra-MBs  PSNR(dB)")
+	var window metrics.Series
+	for k := 0; k < frames; k++ {
+		// Feedback loop: estimate → controller → planner, before encoding.
+		controller.Apply(planner, estimator.Rate())
+
+		original := src.Frame(k)
+		ef, err := enc.EncodeFrame(original)
+		if err != nil {
+			log.Fatal(err)
+		}
+		packets := pktz.Packetize(ef)
+
+		// Transmit with the true (hidden) loss rate; the receiver
+		// reports each packet's fate back to the estimator.
+		var kept []network.Packet
+		for _, pkt := range packets {
+			lost := rng.float64() < trueLoss(k)
+			estimator.Observe(lost)
+			if !lost {
+				kept = append(kept, pkt)
+			}
+		}
+
+		var res *codec.DecodeResult
+		if payload := network.Reassemble(kept); payload == nil {
+			res = dec.ConcealLostFrame()
+		} else {
+			if res, err = dec.DecodeFrame(payload); err != nil {
+				log.Fatal(err)
+			}
+		}
+		psnr, err := metrics.PSNR(original, res.Frame)
+		if err != nil {
+			log.Fatal(err)
+		}
+		window.Add(psnr)
+
+		if k%10 == 9 {
+			fmt.Printf("%5d  %8.2f  %7.3f  %8.3f  %9d  %8.2f\n",
+				k, trueLoss(k), estimator.Rate(), planner.IntraTh(),
+				ef.Plan.IntraCount(), window.Mean())
+			window = metrics.Series{}
+		}
+	}
+	fmt.Printf("\ntotal encode energy: %.3f J (iPAQ model)\n", energy.IPAQ.Joules(tally))
+	fmt.Println("during the fade (frames 30-59) the estimate rises and the controller")
+	fmt.Println("lowers Intra_Th — the paper's §3.2 rule — holding the intra-refresh")
+	fmt.Println("budget steady while σ decays faster; quality dips only from concealment")
+	fmt.Println("and recovers as soon as the link clears.")
+}
+
+// newRNG is a tiny deterministic generator so the example reproduces
+// exactly.
+type rng struct{ s uint64 }
+
+func newRNG(seed uint64) *rng { return &rng{s: seed} }
+
+func (r *rng) float64() float64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}

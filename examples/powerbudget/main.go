@@ -1,0 +1,138 @@
+// Powerbudget: PBPAIR as a battery governor — the other half of the
+// paper's §3.2 extension: "PBPAIR can be extended to minimize energy
+// consumption ... within a given power constraint".
+//
+// The energy controller watches the modelled per-frame encode energy
+// and raises Intra_Th (more intra macroblocks ⇒ less motion
+// estimation ⇒ less energy, at the price of more bits) until the
+// budget holds. Halfway through, the user tightens the budget — as if
+// the battery dropped below a threshold — and the controller finds the
+// new operating point.
+//
+// Run:
+//
+//	go run ./examples/powerbudget
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pbpair/internal/adapt"
+	"pbpair/internal/codec"
+	"pbpair/internal/core"
+	"pbpair/internal/energy"
+	"pbpair/internal/synth"
+)
+
+func main() {
+	const frames = 80
+	// Foreman-like content: its mix of static background and moving
+	// foreground spreads the correctness matrix out, so Intra_Th acts
+	// as a smooth dial rather than a global switch.
+	src := synth.New(synth.RegimeForeman)
+	w, h := src.Dims()
+
+	planner, err := core.New(core.Config{
+		Rows: h / 16, Cols: w / 16,
+		IntraTh: 0.3, PLR: 0.1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Budgets in modelled joules per frame (iPAQ): generous, then tight.
+	budgetFor := func(k int) float64 {
+		if k < 40 {
+			return 0.0080
+		}
+		return 0.0055
+	}
+	controller, err := adapt.NewEnergyController(budgetFor(0), planner.IntraTh(), 0.10)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var tally energy.Counters
+	enc, err := codec.NewEncoder(codec.Config{
+		Width: w, Height: h, QP: 8,
+		SearchRange: 15,
+		Planner:     planner,
+		Counters:    &tally,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("frame  budget(mJ)  spent(mJ)  Intra_Th  intra-MBs  bytes")
+	var prev energy.Counters
+	var smoothedJ float64
+	var win struct {
+		joules float64
+		intra  int
+		bytes  int
+		n      int
+	}
+	for k := 0; k < frames; k++ {
+		// Retarget on budget change.
+		if k == 40 {
+			controller, err = adapt.NewEnergyController(budgetFor(k), planner.IntraTh(), 0.10)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Println("--- battery low: budget tightened ---")
+		}
+		controller.Apply(planner)
+
+		ef, err := enc.EncodeFrame(src.Frame(k))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Per-frame energy = total tally minus last frame's tally,
+		// smoothed with an EMA so single-frame spikes (one expensive
+		// refresh frame) do not whipsaw the controller.
+		delta := tally
+		subCounters(&delta, prev)
+		prev = tally
+		frameJ := energy.IPAQ.Joules(delta)
+		if smoothedJ == 0 {
+			smoothedJ = frameJ
+		} else {
+			smoothedJ += 0.25 * (frameJ - smoothedJ)
+		}
+		controller.Observe(smoothedJ)
+
+		win.joules += frameJ
+		win.intra += ef.Plan.IntraCount()
+		win.bytes += ef.Bytes()
+		win.n++
+		if k%8 == 7 {
+			fmt.Printf("%5d  %10.2f  %9.2f  %8.3f  %9.1f  %5.0f\n",
+				k, budgetFor(k)*1000, win.joules/float64(win.n)*1000,
+				planner.IntraTh(),
+				float64(win.intra)/float64(win.n),
+				float64(win.bytes)/float64(win.n))
+			win.joules, win.intra, win.bytes, win.n = 0, 0, 0, 0
+		}
+	}
+	fmt.Printf("\ntotal: %.3f J over %d frames\n", energy.IPAQ.Joules(tally), frames)
+	fmt.Println("the controller trades bitstream size for energy: watch intra-MBs rise")
+	fmt.Println("and spent(mJ) settle onto each budget.")
+}
+
+// subCounters subtracts b from a in place.
+func subCounters(a *energy.Counters, b energy.Counters) {
+	a.SADPixelOps -= b.SADPixelOps
+	a.SADCalls -= b.SADCalls
+	a.DCTBlocks -= b.DCTBlocks
+	a.IDCTBlocks -= b.IDCTBlocks
+	a.QuantBlocks -= b.QuantBlocks
+	a.DequantBlocks -= b.DequantBlocks
+	a.MCMBs -= b.MCMBs
+	a.VLCBits -= b.VLCBits
+	a.MBs -= b.MBs
+	a.Frames -= b.Frames
+}
+
+var _ codec.ModePlanner = (*core.PBPAIR)(nil)

@@ -1,0 +1,282 @@
+// Streaming: the paper's Figure 1 as a running system — a sender and a
+// receiver connected by real UDP sockets on the loopback interface,
+// with the §3.2 codec/network interfacing loop closed end to end:
+//
+//	sender:   synth camera → PBPAIR encoder → packetiser → UDP
+//	          (a deliberate drop stage stands in for the radio)
+//	receiver: UDP → loss monitor (seq gaps) → reassembly → decoder
+//	          → PSNR meter, and an RTCP-style report back to the sender
+//	sender:   report → PLR estimate → quality controller → Intra_Th
+//
+// Midway through, the simulated radio fades (loss jumps 2% → 20%); the
+// receiver's reports make the sender retune PBPAIR within a few frames.
+//
+// Run:
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"encoding/binary"
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"pbpair/internal/adapt"
+	"pbpair/internal/codec"
+	"pbpair/internal/core"
+	"pbpair/internal/metrics"
+	"pbpair/internal/network"
+	"pbpair/internal/synth"
+	"pbpair/internal/video"
+)
+
+const (
+	totalFrames = 120
+	fadeAt      = 60 // frame where the radio fades
+	reportEvery = 10 // receiver report interval in frames
+)
+
+// wire format: 1-byte type ('M' media / 'R' report), then for media
+// seq u32 | frame u32 | flags u8 (bit0 = marker) | payload; for
+// reports loss rate in per-mille u16.
+func encodeMedia(pkt network.Packet) []byte {
+	buf := make([]byte, 10+len(pkt.Payload))
+	buf[0] = 'M'
+	binary.BigEndian.PutUint32(buf[1:5], uint32(pkt.Seq))
+	binary.BigEndian.PutUint32(buf[5:9], uint32(pkt.FrameNum))
+	if pkt.Marker {
+		buf[9] = 1
+	}
+	copy(buf[10:], pkt.Payload)
+	return buf
+}
+
+func decodeMedia(buf []byte) (network.Packet, bool) {
+	if len(buf) < 10 || buf[0] != 'M' {
+		return network.Packet{}, false
+	}
+	return network.Packet{
+		Seq:      int(binary.BigEndian.Uint32(buf[1:5])),
+		FrameNum: int(binary.BigEndian.Uint32(buf[5:9])),
+		Marker:   buf[9]&1 == 1,
+		Payload:  append([]byte(nil), buf[10:]...),
+	}, true
+}
+
+func main() {
+	// Receiver socket (media in) and sender socket (reports in).
+	mediaConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reportConn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer mediaConn.Close()
+	defer reportConn.Close()
+
+	done := make(chan summary, 1)
+	go receiver(mediaConn, reportConn.LocalAddr().(*net.UDPAddr), done)
+	sender(mediaConn.LocalAddr().(*net.UDPAddr), reportConn)
+
+	s := <-done
+	fmt.Printf("\nreceiver: %d frames decoded, %d packets lost on the wire, mean PSNR %.2f dB\n",
+		s.frames, s.lost, s.psnr)
+	fmt.Println("the Intra_Th column shows the sender retuning a few report cycles after the fade.")
+}
+
+type summary struct {
+	frames int
+	lost   int64
+	psnr   float64
+}
+
+// sender encodes and transmits, adapting Intra_Th from receiver reports.
+func sender(mediaAddr *net.UDPAddr, reportConn *net.UDPConn) {
+	src := synth.New(synth.RegimeForeman)
+	w, h := src.Dims()
+	planner, err := core.New(core.Config{Rows: h / 16, Cols: w / 16, IntraTh: 0, PLR: 0.02})
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc, err := codec.NewEncoder(codec.Config{
+		Width: w, Height: h, QP: 8, SearchRange: 7, Planner: planner,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	controller, err := adapt.NewQualityController(6)
+	if err != nil {
+		log.Fatal(err)
+	}
+	controller.SetSimilarity(0.75)
+	// Sender-side belief about the loss rate: an EMA over the
+	// receiver's interval reports, so one loss-free report window at a
+	// genuinely lossy moment cannot zero the refresh out.
+	plrBelief := 0.02
+
+	out, err := net.DialUDP("udp", nil, mediaAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer out.Close()
+
+	pktz := network.NewPacketizer(1400)
+	drop := newRadio(7) // the lossy "radio" between socket and air
+
+	// Reports arrive asynchronously.
+	reports := make(chan float64, 16)
+	go func() {
+		buf := make([]byte, 64)
+		for {
+			n, _, err := reportConn.ReadFromUDP(buf)
+			if err != nil {
+				return
+			}
+			if n >= 3 && buf[0] == 'R' {
+				perMille := binary.BigEndian.Uint16(buf[1:3])
+				reports <- float64(perMille) / 1000
+			}
+		}
+	}()
+
+	fmt.Println("frame  radio-loss  reported  Intra_Th  intra-MBs")
+	for k := 0; k < totalFrames; k++ {
+		// Drain any pending receiver reports and retune.
+		for {
+			select {
+			case r := <-reports:
+				plrBelief += 0.35 * (r - plrBelief)
+				controller.Apply(planner, plrBelief)
+			default:
+				goto drained
+			}
+		}
+	drained:
+
+		ef, err := enc.EncodeFrame(src.Frame(k))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, pkt := range pktz.Packetize(ef) {
+			if drop.lost(k) {
+				continue // eaten by the radio
+			}
+			if _, err := out.Write(encodeMedia(pkt)); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if k%reportEvery == reportEvery-1 {
+			fmt.Printf("%5d  %10.2f  %8.3f  %8.3f  %9d\n",
+				k, trueLoss(k), planner.PLR(), planner.IntraTh(), ef.Plan.IntraCount())
+		}
+		time.Sleep(2 * time.Millisecond) // pace the stream
+	}
+	// End-of-stream marker: an empty datagram.
+	_, _ = out.Write([]byte{'E'})
+}
+
+// receiver decodes, measures and reports.
+func receiver(conn *net.UDPConn, reportAddr *net.UDPAddr, done chan<- summary) {
+	dec, err := codec.NewDecoder(video.QCIFWidth, video.QCIFHeight)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reportOut, err := net.DialUDP("udp", nil, reportAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer reportOut.Close()
+
+	src := synth.New(synth.RegimeForeman) // deterministic: regenerate originals
+	var monitor network.LossMonitor
+	var psnrSum float64
+	var totalLost int64
+	decoded := 0
+
+	cur := -1
+	var pending []network.Packet
+	flush := func(next int) {
+		if cur < 0 {
+			cur = next
+			return
+		}
+		for cur < next {
+			var res *codec.DecodeResult
+			if payload := network.Reassemble(pending); payload == nil {
+				res = dec.ConcealLostFrame()
+			} else {
+				if res, err = dec.DecodeFrame(payload); err != nil {
+					log.Fatal(err)
+				}
+			}
+			pending = pending[:0]
+			if p, err := metrics.PSNR(src.Frame(cur), res.Frame); err == nil {
+				psnrSum += p
+			}
+			decoded++
+			cur++
+			if decoded%reportEvery == 0 {
+				var buf [3]byte
+				buf[0] = 'R'
+				binary.BigEndian.PutUint16(buf[1:3], uint16(monitor.Rate()*1000))
+				_, _ = reportOut.Write(buf[:])
+				totalLost += monitor.Lost()
+				monitor.Reset()
+			}
+		}
+	}
+
+	buf := make([]byte, 65536)
+	_ = conn.SetReadDeadline(time.Now().Add(20 * time.Second))
+	for {
+		n, _, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			break
+		}
+		if n >= 1 && buf[0] == 'E' {
+			flush(cur + 1) // drain the final frame
+			break
+		}
+		pkt, ok := decodeMedia(buf[:n])
+		if !ok {
+			continue
+		}
+		monitor.Observe(pkt.Seq)
+		if pkt.FrameNum != cur {
+			flush(pkt.FrameNum)
+		}
+		pending = append(pending, pkt)
+	}
+	totalLost += monitor.Lost()
+	mean := 0.0
+	if decoded > 0 {
+		mean = psnrSum / float64(decoded)
+	}
+	done <- summary{frames: decoded, lost: totalLost, psnr: mean}
+}
+
+// trueLoss is the hidden radio condition.
+func trueLoss(k int) float64 {
+	if k >= fadeAt {
+		return 0.20
+	}
+	return 0.02
+}
+
+// radio drops packets deterministically at the frame's loss rate.
+type radio struct{ s uint64 }
+
+func newRadio(seed uint64) *radio { return &radio{s: seed} }
+
+func (r *radio) lost(frame int) bool {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11)/(1<<53) < trueLoss(frame)
+}

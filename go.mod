@@ -1,0 +1,3 @@
+module pbpair
+
+go 1.24

@@ -1,0 +1,168 @@
+// Package adapt implements the paper's §3.2 power-awareness extension:
+// "with proper interfacing mechanisms between the codec and the
+// network, PBPAIR can be easily modified to adjust its operations
+// based on the network conditions and user expectation."
+//
+// Three pieces:
+//
+//   - PLREstimator turns per-packet delivery feedback into a smoothed
+//     packet-loss-rate estimate α̂.
+//   - QualityController holds the error-resilience level constant as α
+//     moves, using the Formula 3 closed form: a macroblock refreshes
+//     after n ≈ ln(Th)/ln(1−α) inter frames, so keeping the refresh
+//     interval at n* requires Th(α) = (1−α)^{n*} — "adapting the
+//     Intra_Th by the amount of the PLR increase can generate [a]
+//     similar number of intra macro blocks".
+//   - EnergyController trades resilience for power: an integral
+//     controller that raises Intra_Th (more intra, less motion
+//     estimation) while the measured per-frame energy exceeds the
+//     budget, and lowers it when there is headroom.
+package adapt
+
+import (
+	"fmt"
+	"math"
+
+	"pbpair/internal/core"
+)
+
+// PLREstimator is an exponentially weighted moving average over
+// per-packet delivery outcomes. The zero value is not useful; use
+// NewPLREstimator.
+type PLREstimator struct {
+	weight float64
+	rate   float64
+	seeded bool
+}
+
+// NewPLREstimator returns an estimator with the given smoothing weight
+// in (0, 1]: the weight given to each new observation. RTP receiver
+// reports arrive in batches; weights near 0.05 smooth over ~20
+// packets.
+func NewPLREstimator(weight float64) (*PLREstimator, error) {
+	if weight <= 0 || weight > 1 {
+		return nil, fmt.Errorf("adapt: smoothing weight %v outside (0, 1]", weight)
+	}
+	return &PLREstimator{weight: weight}, nil
+}
+
+// Observe records one packet outcome.
+func (e *PLREstimator) Observe(lost bool) {
+	v := 0.0
+	if lost {
+		v = 1
+	}
+	if !e.seeded {
+		e.rate = v
+		e.seeded = true
+		return
+	}
+	e.rate += e.weight * (v - e.rate)
+}
+
+// Rate returns the current loss-rate estimate α̂ in [0, 1].
+func (e *PLREstimator) Rate() float64 { return e.rate }
+
+// QualityController keeps PBPAIR's refresh interval constant across
+// PLR changes.
+type QualityController struct {
+	interval   float64 // target refresh interval n* in frames
+	similarity float64 // assumed mean similarity factor (0 = Formula 3)
+}
+
+// NewQualityController returns a controller targeting a refresh
+// interval of n* frames (each macroblock intra-refreshed about once
+// every n* frames). interval must be >= 1.
+func NewQualityController(interval float64) (*QualityController, error) {
+	if interval < 1 {
+		return nil, fmt.Errorf("adapt: refresh interval %v must be >= 1 frame", interval)
+	}
+	return &QualityController{interval: interval}, nil
+}
+
+// SetSimilarity tells the controller the content's expected mean
+// similarity factor s ∈ [0, 1). The pure Formula 3 model (s = 0)
+// assumes σ decays by (1−α) per frame, but with the similarity term
+// active the per-frame decay is d = (1−α)·σmin/σ + α·s ≈ (1−α) + α·s
+// for chained prediction, so holding the interval requires
+// Th = d^{n*}. Without this correction the controller under-refreshes
+// on high-similarity content. Values outside [0, 1) are clamped.
+func (c *QualityController) SetSimilarity(s float64) {
+	if s < 0 {
+		s = 0
+	}
+	if s > 0.99 {
+		s = 0.99
+	}
+	c.similarity = s
+}
+
+// IntraTh returns the threshold holding the target interval at loss
+// rate plr: Th = d^{n*} with d = (1−α) + α·s. At α = 0 no refresh is
+// needed (Th = 0 — the paper: "PLR equals to zero means we can encode
+// whole frames as P-frames"); as α → 1 the threshold approaches 1
+// (all intra) for s = 0.
+func (c *QualityController) IntraTh(plr float64) float64 {
+	if plr <= 0 {
+		return 0
+	}
+	if plr >= 1 {
+		return 1
+	}
+	d := (1 - plr) + plr*c.similarity
+	return math.Pow(d, c.interval)
+}
+
+// Apply pushes a new loss estimate into a PBPAIR planner: both the α
+// used by its update formulas and the threshold holding the target
+// resilience level.
+func (c *QualityController) Apply(p *core.PBPAIR, plr float64) {
+	p.SetPLR(plr)
+	p.SetIntraTh(c.IntraTh(plr))
+}
+
+// EnergyController adapts Intra_Th to a per-frame energy budget: more
+// intra macroblocks mean less motion estimation and therefore less
+// energy (at the cost of a larger bitstream). It is a clamped integral
+// controller.
+type EnergyController struct {
+	budget float64 // joules per frame
+	gain   float64 // threshold step per unit of relative energy error
+	th     float64
+}
+
+// NewEnergyController returns a controller targeting budget joules per
+// frame, starting from threshold start. gain <= 0 selects the default
+// of 0.5.
+func NewEnergyController(budget, start, gain float64) (*EnergyController, error) {
+	if budget <= 0 {
+		return nil, fmt.Errorf("adapt: energy budget %v must be positive", budget)
+	}
+	if start < 0 || start > 1 {
+		return nil, fmt.Errorf("adapt: starting threshold %v outside [0, 1]", start)
+	}
+	if gain <= 0 {
+		gain = 0.5
+	}
+	return &EnergyController{budget: budget, gain: gain, th: start}, nil
+}
+
+// Observe feeds the measured energy of the last frame and returns the
+// updated threshold.
+func (c *EnergyController) Observe(joules float64) float64 {
+	relErr := (joules - c.budget) / c.budget
+	c.th += c.gain * relErr
+	if c.th < 0 {
+		c.th = 0
+	}
+	if c.th > 1 {
+		c.th = 1
+	}
+	return c.th
+}
+
+// IntraTh returns the controller's current threshold.
+func (c *EnergyController) IntraTh() float64 { return c.th }
+
+// Apply pushes the current threshold into a PBPAIR planner.
+func (c *EnergyController) Apply(p *core.PBPAIR) { p.SetIntraTh(c.th) }

@@ -1,0 +1,196 @@
+package adapt
+
+import (
+	"math"
+	"testing"
+
+	"pbpair/internal/core"
+)
+
+func TestPLREstimatorValidation(t *testing.T) {
+	if _, err := NewPLREstimator(0); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, err := NewPLREstimator(1.5); err == nil {
+		t.Fatal("weight above one accepted")
+	}
+}
+
+func TestPLREstimatorConverges(t *testing.T) {
+	e, err := NewPLREstimator(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10% loss pattern: every 10th packet lost.
+	for i := 0; i < 2000; i++ {
+		e.Observe(i%10 == 0)
+	}
+	if got := e.Rate(); math.Abs(got-0.1) > 0.05 {
+		t.Fatalf("estimate %.3f, want ~0.10", got)
+	}
+}
+
+func TestPLREstimatorSeedsFromFirstObservation(t *testing.T) {
+	e, err := NewPLREstimator(0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Observe(true)
+	if e.Rate() != 1 {
+		t.Fatalf("first observation should seed: %v", e.Rate())
+	}
+}
+
+func TestPLREstimatorTracksChange(t *testing.T) {
+	e, _ := NewPLREstimator(0.1)
+	for i := 0; i < 300; i++ {
+		e.Observe(false)
+	}
+	low := e.Rate()
+	for i := 0; i < 300; i++ {
+		e.Observe(i%3 == 0)
+	}
+	if e.Rate() <= low+0.1 {
+		t.Fatalf("estimator failed to track loss increase: %.3f -> %.3f", low, e.Rate())
+	}
+}
+
+func TestQualityControllerValidation(t *testing.T) {
+	if _, err := NewQualityController(0.5); err == nil {
+		t.Fatal("sub-frame interval accepted")
+	}
+}
+
+func TestQualityControllerClosedForm(t *testing.T) {
+	c, err := NewQualityController(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		plr  float64
+		want float64
+	}{
+		{0, 0},
+		{1, 1},
+		{0.1, math.Pow(0.9, 6)},
+		{0.3, math.Pow(0.7, 6)},
+	}
+	for _, tt := range tests {
+		if got := c.IntraTh(tt.plr); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("IntraTh(%v) = %v, want %v", tt.plr, got, tt.want)
+		}
+	}
+}
+
+// TestQualityControllerHoldsInterval: the point of the closed form —
+// under the Formula 3 model, the number of frames until σ crosses the
+// threshold is the target interval, independent of α.
+func TestQualityControllerHoldsInterval(t *testing.T) {
+	const interval = 6
+	c, err := NewQualityController(interval)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alpha := range []float64{0.05, 0.1, 0.2, 0.4} {
+		th := c.IntraTh(alpha)
+		sigma := 1.0
+		frames := 0
+		for sigma >= th && frames < 1000 {
+			sigma *= 1 - alpha // Formula 3 decay
+			frames++
+		}
+		// σ = (1-α)^n crosses (1-α)^interval at n = interval (+1 for the
+		// strict inequality edge).
+		if frames < interval || frames > interval+1 {
+			t.Errorf("α=%v: refresh after %d frames, want %d", alpha, frames, interval)
+		}
+	}
+}
+
+func TestQualityControllerIntraThDecreasesWithPLR(t *testing.T) {
+	// The paper's §3.2 rule: "if PLR decreases, we can increase the
+	// Intra_Th to encode with similar number of intra macro blocks" —
+	// so for a constant refresh budget, Th is non-increasing in α over
+	// (0, 1). The endpoints are modal: α=0 disables refresh entirely
+	// (Th=0) and α=1 forces all-intra (Th=1).
+	c, _ := NewQualityController(8)
+	prev := 2.0
+	for _, plr := range []float64{0.01, 0.05, 0.1, 0.2, 0.5, 0.9, 0.99} {
+		th := c.IntraTh(plr)
+		if th > prev {
+			t.Fatalf("IntraTh increased at plr=%v", plr)
+		}
+		prev = th
+	}
+	if c.IntraTh(0) != 0 || c.IntraTh(1) != 1 {
+		t.Fatal("endpoint thresholds wrong")
+	}
+}
+
+func TestQualityControllerApply(t *testing.T) {
+	p, err := core.New(core.Config{Rows: 9, Cols: 11, IntraTh: 0.5, PLR: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := NewQualityController(6)
+	c.Apply(p, 0.25)
+	if p.PLR() != 0.25 {
+		t.Fatalf("PLR not applied: %v", p.PLR())
+	}
+	if want := c.IntraTh(0.25); p.IntraTh() != want {
+		t.Fatalf("IntraTh = %v, want %v", p.IntraTh(), want)
+	}
+}
+
+func TestEnergyControllerValidation(t *testing.T) {
+	if _, err := NewEnergyController(0, 0.5, 0.5); err == nil {
+		t.Fatal("zero budget accepted")
+	}
+	if _, err := NewEnergyController(1, 1.5, 0.5); err == nil {
+		t.Fatal("out-of-range start accepted")
+	}
+}
+
+func TestEnergyControllerRaisesThresholdOverBudget(t *testing.T) {
+	c, err := NewEnergyController(1.0, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th := c.Observe(2.0) // 100% over budget
+	if th <= 0.5 {
+		t.Fatalf("threshold %v did not rise when over budget", th)
+	}
+	c2, _ := NewEnergyController(1.0, 0.5, 0.5)
+	th2 := c2.Observe(0.5) // under budget
+	if th2 >= 0.5 {
+		t.Fatalf("threshold %v did not fall when under budget", th2)
+	}
+}
+
+func TestEnergyControllerClamps(t *testing.T) {
+	c, _ := NewEnergyController(1.0, 0.9, 1.0)
+	for i := 0; i < 10; i++ {
+		c.Observe(100)
+	}
+	if c.IntraTh() != 1 {
+		t.Fatalf("threshold %v escaped [0,1]", c.IntraTh())
+	}
+	for i := 0; i < 10; i++ {
+		c.Observe(0.0001)
+	}
+	if c.IntraTh() != 0 {
+		t.Fatalf("threshold %v escaped [0,1]", c.IntraTh())
+	}
+}
+
+func TestEnergyControllerApply(t *testing.T) {
+	p, err := core.New(core.Config{Rows: 9, Cols: 11, IntraTh: 0.2, PLR: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := NewEnergyController(1.0, 0.7, 0.5)
+	c.Apply(p)
+	if p.IntraTh() != 0.7 {
+		t.Fatalf("Apply did not set threshold: %v", p.IntraTh())
+	}
+}

@@ -1,0 +1,241 @@
+// Package bitstream provides MSB-first bit-level writers and readers
+// plus the byte-aligned start codes the codec uses for picture and GOB
+// (group-of-blocks) resynchronisation — the substrate beneath the
+// entropy-coding layer, mirroring the role of H.263's bitstream syntax.
+//
+// Start codes must be unambiguous: entropy-coded payload could
+// otherwise happen to contain the 0x000001 prefix. The writer therefore
+// applies H.264-style emulation prevention — inside payload, any byte
+// in 0x00..0x03 following two zero bytes is preceded by an inserted
+// 0x03 escape byte, which the reader removes transparently. Start codes
+// themselves are written raw.
+package bitstream
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Start codes. A start code is a byte-aligned 0x000001 prefix followed
+// by a one-byte code identifying the unit.
+const (
+	startCodePrefixLen = 3 // bytes: 0x00 0x00 0x01
+
+	// CodePicture introduces a picture header.
+	CodePicture byte = 0xB0
+	// CodeGOB introduces a group-of-blocks (one macroblock row) header.
+	CodeGOB byte = 0xB1
+	// CodeSequence introduces a sequence header (dimensions etc.).
+	CodeSequence byte = 0xB2
+	// CodeEnd terminates a stream.
+	CodeEnd byte = 0xB7
+)
+
+// ErrUnexpectedEOF reports a read past the end of the stream.
+var ErrUnexpectedEOF = errors.New("bitstream: unexpected end of stream")
+
+// ErrNoStartCode reports that no start code was found while scanning.
+var ErrNoStartCode = errors.New("bitstream: no start code found")
+
+// Writer assembles a bitstream MSB-first. The zero value is ready to
+// use.
+type Writer struct {
+	buf   []byte
+	cur   uint8 // bits accumulated into the current byte
+	nCur  uint  // number of valid bits in cur (0..7)
+	zeros int   // consecutive payload zero bytes emitted (for escaping)
+}
+
+// appendPayload appends one completed payload byte, inserting an
+// emulation-prevention 0x03 where the raw payload would otherwise form
+// a start-code prefix.
+func (w *Writer) appendPayload(b byte) {
+	if w.zeros >= 2 && b <= 0x03 {
+		w.buf = append(w.buf, 0x03)
+		w.zeros = 0
+	}
+	w.buf = append(w.buf, b)
+	if b == 0x00 {
+		w.zeros++
+	} else {
+		w.zeros = 0
+	}
+}
+
+// WriteBits appends the low n bits of v, most significant first.
+// n must be in [0, 32].
+func (w *Writer) WriteBits(v uint32, n uint) {
+	if n > 32 {
+		panic(fmt.Sprintf("bitstream: WriteBits n=%d", n))
+	}
+	for i := int(n) - 1; i >= 0; i-- {
+		bit := uint8(v>>uint(i)) & 1
+		w.cur = w.cur<<1 | bit
+		w.nCur++
+		if w.nCur == 8 {
+			w.appendPayload(w.cur)
+			w.cur, w.nCur = 0, 0
+		}
+	}
+}
+
+// WriteBit appends a single bit.
+func (w *Writer) WriteBit(b uint8) { w.WriteBits(uint32(b&1), 1) }
+
+// AlignByte pads the current byte with zero bits up to the next byte
+// boundary. It is a no-op when already aligned.
+func (w *Writer) AlignByte() {
+	if w.nCur != 0 {
+		w.cur <<= 8 - w.nCur
+		w.appendPayload(w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// WriteStartCode byte-aligns the stream and appends the raw 0x000001
+// prefix followed by code. Start codes are exempt from emulation
+// prevention; the escaping state resets after one.
+func (w *Writer) WriteStartCode(code byte) {
+	w.AlignByte()
+	w.buf = append(w.buf, 0x00, 0x00, 0x01, code)
+	w.zeros = 0
+}
+
+// BitLen returns the number of bits written so far (including any
+// escape bytes already emitted).
+func (w *Writer) BitLen() int { return len(w.buf)*8 + int(w.nCur) }
+
+// Bytes byte-aligns the stream and returns the accumulated buffer. The
+// returned slice aliases the writer's internal storage; callers that
+// keep writing afterwards must copy it first.
+func (w *Writer) Bytes() []byte {
+	w.AlignByte()
+	return w.buf
+}
+
+// Reset discards all written data, retaining capacity.
+func (w *Writer) Reset() {
+	w.buf = w.buf[:0]
+	w.cur, w.nCur = 0, 0
+	w.zeros = 0
+}
+
+// Reader consumes a bitstream MSB-first, transparently removing
+// emulation-prevention bytes from payload.
+type Reader struct {
+	data  []byte
+	pos   int  // next byte index
+	bit   uint // bits already consumed from data[pos] (0..7)
+	zeros int  // consecutive zero payload bytes consumed (for unescaping)
+}
+
+// NewReader returns a reader over data. The reader does not copy data;
+// the caller must not mutate it while reading.
+func NewReader(data []byte) *Reader {
+	return &Reader{data: data}
+}
+
+// ReadBits reads n bits (n in [0, 32]) MSB-first.
+func (r *Reader) ReadBits(n uint) (uint32, error) {
+	if n > 32 {
+		panic(fmt.Sprintf("bitstream: ReadBits n=%d", n))
+	}
+	var v uint32
+	for i := uint(0); i < n; i++ {
+		if r.bit == 0 {
+			// About to start a new byte: drop an escape byte if present.
+			if r.zeros >= 2 && r.pos < len(r.data) && r.data[r.pos] == 0x03 {
+				r.pos++
+				r.zeros = 0
+			}
+			if r.pos >= len(r.data) {
+				return 0, ErrUnexpectedEOF
+			}
+			if r.data[r.pos] == 0x00 {
+				r.zeros++
+			} else {
+				r.zeros = 0
+			}
+		}
+		if r.pos >= len(r.data) {
+			return 0, ErrUnexpectedEOF
+		}
+		bit := (r.data[r.pos] >> (7 - r.bit)) & 1
+		v = v<<1 | uint32(bit)
+		r.bit++
+		if r.bit == 8 {
+			r.bit = 0
+			r.pos++
+		}
+	}
+	return v, nil
+}
+
+// ReadBit reads a single bit.
+func (r *Reader) ReadBit() (uint8, error) {
+	v, err := r.ReadBits(1)
+	return uint8(v), err
+}
+
+// AlignByte skips to the next byte boundary.
+func (r *Reader) AlignByte() {
+	if r.bit != 0 {
+		r.bit = 0
+		r.pos++
+	}
+}
+
+// BitPos returns the number of bits consumed so far, counted in the
+// escaped (on-wire) stream.
+func (r *Reader) BitPos() int { return r.pos*8 + int(r.bit) }
+
+// Remaining returns the number of unread on-wire bits.
+func (r *Reader) Remaining() int { return len(r.data)*8 - r.BitPos() }
+
+// NextStartCode byte-aligns and scans forward for the next start-code
+// prefix, returning the unit code and leaving the reader positioned
+// just after it. It returns ErrNoStartCode at end of data.
+func (r *Reader) NextStartCode() (byte, error) {
+	if err := r.SkipToStartCode(); err != nil {
+		return 0, err
+	}
+	code := r.data[r.pos+startCodePrefixLen]
+	r.pos += startCodePrefixLen + 1
+	return code, nil
+}
+
+// PeekStartCode reports whether the reader is byte-aligned at a start
+// code, and if so which one, without consuming it.
+func (r *Reader) PeekStartCode() (byte, bool) {
+	if r.bit != 0 {
+		return 0, false
+	}
+	if r.pos+startCodePrefixLen >= len(r.data) {
+		return 0, false
+	}
+	if r.data[r.pos] == 0x00 && r.data[r.pos+1] == 0x00 && r.data[r.pos+2] == 0x01 {
+		return r.data[r.pos+3], true
+	}
+	return 0, false
+}
+
+// SkipToStartCode byte-aligns and advances until positioned AT a start
+// code prefix (not past it), so PeekStartCode will see it. Returns
+// ErrNoStartCode if none remains. The unescaping state resets, since a
+// start code begins a fresh payload unit.
+func (r *Reader) SkipToStartCode() error {
+	r.AlignByte()
+	r.zeros = 0
+	for r.pos+startCodePrefixLen < len(r.data) {
+		if r.data[r.pos] == 0x00 && r.data[r.pos+1] == 0x00 && r.data[r.pos+2] == 0x01 {
+			return nil
+		}
+		r.pos++
+	}
+	r.pos = len(r.data)
+	return ErrNoStartCode
+}
+
+// BytePos returns the current byte offset (the byte containing the
+// next unread bit).
+func (r *Reader) BytePos() int { return r.pos }

@@ -1,0 +1,287 @@
+package bitstream
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteReadBitsRoundTrip(t *testing.T) {
+	tests := []struct {
+		name string
+		vals []uint32
+		bits []uint
+	}{
+		{"single bit", []uint32{1}, []uint{1}},
+		{"byte", []uint32{0xAB}, []uint{8}},
+		{"mixed widths", []uint32{1, 0, 5, 1023, 0xFFFFFFFF}, []uint{1, 3, 4, 10, 32}},
+		{"zeros", []uint32{0, 0, 0}, []uint{7, 9, 13}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var w Writer
+			for i, v := range tt.vals {
+				w.WriteBits(v, tt.bits[i])
+			}
+			r := NewReader(w.Bytes())
+			for i, want := range tt.vals {
+				got, err := r.ReadBits(tt.bits[i])
+				if err != nil {
+					t.Fatalf("ReadBits(%d): %v", tt.bits[i], err)
+				}
+				mask := uint32(0xFFFFFFFF)
+				if tt.bits[i] < 32 {
+					mask = 1<<tt.bits[i] - 1
+				}
+				if got != want&mask {
+					t.Fatalf("field %d: got %#x, want %#x", i, got, want&mask)
+				}
+			}
+		})
+	}
+}
+
+// TestRoundTripProperty: arbitrary sequences of (value, width) pairs
+// round-trip exactly, including across the emulation-prevention layer.
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(seed int64, n uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n%64) + 1
+		vals := make([]uint32, count)
+		bits := make([]uint, count)
+		var w Writer
+		for i := range vals {
+			bits[i] = uint(rng.Intn(32) + 1)
+			vals[i] = rng.Uint32() & (uint32(1)<<bits[i] - 1)
+			if bits[i] == 32 {
+				vals[i] = rng.Uint32()
+			}
+			w.WriteBits(vals[i], bits[i])
+		}
+		r := NewReader(w.Bytes())
+		for i := range vals {
+			got, err := r.ReadBits(bits[i])
+			if err != nil || got != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEmulationPrevention: payload full of zero bytes (the worst case
+// for start-code emulation) must not contain a 0x000001 sequence and
+// must round-trip.
+func TestEmulationPrevention(t *testing.T) {
+	var w Writer
+	w.WriteStartCode(CodePicture)
+	for i := 0; i < 64; i++ {
+		w.WriteBits(0, 8)
+	}
+	w.WriteBits(0x01, 8) // would complete 00 00 01 without escaping
+	data := w.Bytes()
+
+	// The only start-code prefix must be the one explicitly written.
+	count := bytes.Count(data, []byte{0x00, 0x00, 0x01})
+	if count != 1 {
+		t.Fatalf("found %d start-code prefixes, want 1", count)
+	}
+
+	r := NewReader(data)
+	code, err := r.NextStartCode()
+	if err != nil || code != CodePicture {
+		t.Fatalf("NextStartCode = %#x, %v", code, err)
+	}
+	for i := 0; i < 64; i++ {
+		v, err := r.ReadBits(8)
+		if err != nil || v != 0 {
+			t.Fatalf("payload byte %d: got %#x, err %v", i, v, err)
+		}
+	}
+	v, err := r.ReadBits(8)
+	if err != nil || v != 0x01 {
+		t.Fatalf("final byte: got %#x, err %v", v, err)
+	}
+}
+
+// TestEmulationPreventionAllPatterns exercises every escaped byte value
+// after a zero run.
+func TestEmulationPreventionAllPatterns(t *testing.T) {
+	for b := 0; b <= 4; b++ {
+		var w Writer
+		w.WriteBits(0, 16) // two zero bytes
+		w.WriteBits(uint32(b), 8)
+		data := w.Bytes()
+		wantLen := 3
+		if b <= 3 {
+			wantLen = 4 // escape byte inserted
+		}
+		if len(data) != wantLen {
+			t.Fatalf("byte %#x: stream length %d, want %d", b, len(data), wantLen)
+		}
+		r := NewReader(data)
+		if v, err := r.ReadBits(16); err != nil || v != 0 {
+			t.Fatalf("byte %#x: zero prefix read %#x, %v", b, v, err)
+		}
+		if v, err := r.ReadBits(8); err != nil || v != uint32(b) {
+			t.Fatalf("byte %#x: got %#x, %v", b, v, err)
+		}
+	}
+}
+
+func TestStartCodeNavigation(t *testing.T) {
+	var w Writer
+	w.WriteStartCode(CodeSequence)
+	w.WriteBits(0xDEAD, 16)
+	w.WriteStartCode(CodePicture)
+	w.WriteBits(0x5, 3) // unaligned payload
+	w.WriteStartCode(CodeGOB)
+	w.WriteBits(0xFF, 8)
+	w.WriteStartCode(CodeEnd)
+	data := w.Bytes()
+
+	r := NewReader(data)
+	wantCodes := []byte{CodeSequence, CodePicture, CodeGOB, CodeEnd}
+	for i, want := range wantCodes {
+		code, err := r.NextStartCode()
+		if err != nil {
+			t.Fatalf("start code %d: %v", i, err)
+		}
+		if code != want {
+			t.Fatalf("start code %d = %#x, want %#x", i, code, want)
+		}
+	}
+	if _, err := r.NextStartCode(); err != ErrNoStartCode {
+		t.Fatalf("after last start code: err = %v, want ErrNoStartCode", err)
+	}
+}
+
+func TestPeekAndSkipToStartCode(t *testing.T) {
+	var w Writer
+	w.WriteBits(0xAA, 8) // leading garbage
+	w.WriteStartCode(CodeGOB)
+	w.WriteBits(0x1, 1)
+	data := w.Bytes()
+
+	r := NewReader(data)
+	if _, ok := r.PeekStartCode(); ok {
+		t.Fatal("PeekStartCode true at garbage")
+	}
+	if err := r.SkipToStartCode(); err != nil {
+		t.Fatalf("SkipToStartCode: %v", err)
+	}
+	code, ok := r.PeekStartCode()
+	if !ok || code != CodeGOB {
+		t.Fatalf("PeekStartCode = %#x, %v", code, ok)
+	}
+	// Peek must not consume.
+	code2, err := r.NextStartCode()
+	if err != nil || code2 != CodeGOB {
+		t.Fatalf("NextStartCode after peek = %#x, %v", code2, err)
+	}
+}
+
+func TestAlignByte(t *testing.T) {
+	var w Writer
+	w.WriteBits(0x3, 2)
+	w.AlignByte()
+	w.WriteBits(0xAB, 8)
+	data := w.Bytes()
+	if len(data) != 2 {
+		t.Fatalf("stream length %d, want 2", len(data))
+	}
+	if data[0] != 0xC0 {
+		t.Fatalf("first byte %#x, want 0xC0", data[0])
+	}
+
+	r := NewReader(data)
+	if v, _ := r.ReadBits(2); v != 0x3 {
+		t.Fatal("first field wrong")
+	}
+	r.AlignByte()
+	if v, _ := r.ReadBits(8); v != 0xAB {
+		t.Fatal("aligned field wrong")
+	}
+	r.AlignByte() // already aligned: no-op
+	if r.Remaining() != 0 {
+		t.Fatalf("Remaining = %d, want 0", r.Remaining())
+	}
+}
+
+func TestBitLenAndPos(t *testing.T) {
+	var w Writer
+	if w.BitLen() != 0 {
+		t.Fatal("fresh writer BitLen != 0")
+	}
+	w.WriteBits(0x7, 3)
+	if w.BitLen() != 3 {
+		t.Fatalf("BitLen = %d, want 3", w.BitLen())
+	}
+	w.WriteBits(0x1F, 5)
+	if w.BitLen() != 8 {
+		t.Fatalf("BitLen = %d, want 8", w.BitLen())
+	}
+
+	r := NewReader(w.Bytes())
+	if r.BitPos() != 0 {
+		t.Fatal("fresh reader BitPos != 0")
+	}
+	if _, err := r.ReadBits(5); err != nil {
+		t.Fatal(err)
+	}
+	if r.BitPos() != 5 {
+		t.Fatalf("BitPos = %d, want 5", r.BitPos())
+	}
+	if r.Remaining() != 3 {
+		t.Fatalf("Remaining = %d, want 3", r.Remaining())
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if _, err := r.ReadBits(9); err != ErrUnexpectedEOF {
+		t.Fatalf("err = %v, want ErrUnexpectedEOF", err)
+	}
+	if _, err := NewReader(nil).ReadBit(); err != ErrUnexpectedEOF {
+		t.Fatalf("empty reader: err = %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestWriterReset(t *testing.T) {
+	var w Writer
+	w.WriteBits(0xFFFF, 16)
+	w.Reset()
+	if w.BitLen() != 0 {
+		t.Fatal("BitLen after Reset != 0")
+	}
+	w.WriteBits(0xA, 4)
+	data := w.Bytes()
+	if len(data) != 1 || data[0] != 0xA0 {
+		t.Fatalf("after reset: % x", data)
+	}
+}
+
+func TestWriteBitsPanicsOnWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for n > 32")
+		}
+	}()
+	var w Writer
+	w.WriteBits(0, 33)
+}
+
+func TestWriteBit(t *testing.T) {
+	var w Writer
+	for _, b := range []uint8{1, 0, 1, 1, 0, 1, 0, 1} {
+		w.WriteBit(b)
+	}
+	data := w.Bytes()
+	if len(data) != 1 || data[0] != 0xB5 {
+		t.Fatalf("got % x, want b5", data)
+	}
+}

@@ -1,0 +1,399 @@
+package codec_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/energy"
+	"pbpair/internal/metrics"
+	"pbpair/internal/motion"
+	"pbpair/internal/resilience"
+	"pbpair/internal/synth"
+	"pbpair/internal/video"
+)
+
+func testConfig(planner codec.ModePlanner) codec.Config {
+	return codec.Config{
+		Width:   video.QCIFWidth,
+		Height:  video.QCIFHeight,
+		QP:      8,
+		Planner: planner,
+	}
+}
+
+func encodeClip(t *testing.T, cfg codec.Config, frames []*video.Frame) ([]*codec.EncodedFrame, *codec.Encoder) {
+	t.Helper()
+	enc, err := codec.NewEncoder(cfg)
+	if err != nil {
+		t.Fatalf("NewEncoder: %v", err)
+	}
+	out := make([]*codec.EncodedFrame, 0, len(frames))
+	for i, f := range frames {
+		ef, err := enc.EncodeFrame(f)
+		if err != nil {
+			t.Fatalf("EncodeFrame %d: %v", i, err)
+		}
+		out = append(out, ef)
+	}
+	return out, enc
+}
+
+// TestLossFreeRoundTripNoDrift is the central codec invariant: with no
+// packet loss, the decoder's output is bit-exact with the encoder's
+// reconstruction for every frame — no encoder/decoder drift, for every
+// scheme.
+func TestLossFreeRoundTripNoDrift(t *testing.T) {
+	clip := synth.Clip(synth.New(synth.RegimeForeman), 8)
+
+	gop, err := resilience.NewGOP(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	air, err := resilience.NewAIR(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pgop, err := resilience.NewPGOP(2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planners := []codec.ModePlanner{resilience.NewNone(), gop, air, pgop}
+
+	for _, planner := range planners {
+		t.Run(planner.Name(), func(t *testing.T) {
+			enc, err := codec.NewEncoder(testConfig(planner))
+			if err != nil {
+				t.Fatalf("NewEncoder: %v", err)
+			}
+			dec, err := codec.NewDecoder(video.QCIFWidth, video.QCIFHeight)
+			if err != nil {
+				t.Fatalf("NewDecoder: %v", err)
+			}
+			for i, f := range clip {
+				ef, err := enc.EncodeFrame(f)
+				if err != nil {
+					t.Fatalf("EncodeFrame %d: %v", i, err)
+				}
+				res, err := dec.DecodeFrame(ef.Data)
+				if err != nil {
+					t.Fatalf("DecodeFrame %d: %v", i, err)
+				}
+				if res.ConcealedMBs != 0 {
+					t.Fatalf("frame %d: %d concealed MBs without loss", i, res.ConcealedMBs)
+				}
+				if res.HeaderLost {
+					t.Fatalf("frame %d: header reported lost", i)
+				}
+				if !res.Frame.Equal(enc.ReconClone()) {
+					t.Fatalf("frame %d: decoder drifted from encoder reconstruction", i)
+				}
+			}
+		})
+	}
+}
+
+func TestDecodedQualityReasonable(t *testing.T) {
+	clip := synth.Clip(synth.New(synth.RegimeAkiyo), 6)
+	frames, _ := encodeClip(t, testConfig(resilience.NewNone()), clip)
+	dec, err := codec.NewDecoder(video.QCIFWidth, video.QCIFHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ef := range frames {
+		res, err := dec.DecodeFrame(ef.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		psnr, err := metrics.PSNR(clip[i], res.Frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if psnr < 28 {
+			t.Fatalf("frame %d: PSNR %.2f dB below sanity floor", i, psnr)
+		}
+	}
+}
+
+func TestFrameZeroAlwaysIntra(t *testing.T) {
+	clip := synth.Clip(synth.New(synth.RegimeAkiyo), 1)
+	frames, _ := encodeClip(t, testConfig(resilience.NewNone()), clip)
+	if frames[0].Type != codec.IFrame {
+		t.Fatalf("frame 0 type = %v, want I", frames[0].Type)
+	}
+	if got := frames[0].Plan.IntraCount(); got != 99 {
+		t.Fatalf("frame 0 intra count = %d, want 99", got)
+	}
+}
+
+func TestStaticContentSkips(t *testing.T) {
+	// Identical frames: after frame 0, almost everything should be
+	// skipped and P-frames should be tiny.
+	f := synth.New(synth.RegimeAkiyo).Frame(0)
+	clip := []*video.Frame{f, f.Clone(), f.Clone()}
+	frames, _ := encodeClip(t, testConfig(resilience.NewNone()), clip)
+
+	for _, k := range []int{1, 2} {
+		skips := 0
+		for i := range frames[k].Plan.MBs {
+			if frames[k].Plan.MBs[i].Mode == codec.ModeSkip {
+				skips++
+			}
+		}
+		if skips < 90 {
+			t.Fatalf("frame %d: only %d/99 MBs skipped on static content", k, skips)
+		}
+		if frames[k].Bytes() >= frames[0].Bytes()/10 {
+			t.Fatalf("frame %d: %d bytes not small vs I-frame %d", k, frames[k].Bytes(), frames[0].Bytes())
+		}
+	}
+}
+
+func TestIFramesLargerThanPFrames(t *testing.T) {
+	clip := synth.Clip(synth.New(synth.RegimeForeman), 8)
+	gop, err := resilience.NewGOP(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames, _ := encodeClip(t, testConfig(gop), clip)
+	var iSum, pSum, iN, pN float64
+	for _, ef := range frames {
+		if ef.Type == codec.IFrame {
+			iSum += float64(ef.Bytes())
+			iN++
+		} else {
+			pSum += float64(ef.Bytes())
+			pN++
+		}
+	}
+	if iN == 0 || pN == 0 {
+		t.Fatal("GOP-3 produced no mix of frame types")
+	}
+	if iSum/iN <= pSum/pN {
+		t.Fatalf("mean I size %.0f not larger than mean P size %.0f", iSum/iN, pSum/pN)
+	}
+}
+
+func TestGOBOffsetsPointAtStartCodes(t *testing.T) {
+	clip := synth.Clip(synth.New(synth.RegimeForeman), 2)
+	frames, _ := encodeClip(t, testConfig(resilience.NewNone()), clip)
+	for _, ef := range frames {
+		if len(ef.GOBOffsets) != 9 {
+			t.Fatalf("frame %d: %d GOB offsets, want 9", ef.FrameNum, len(ef.GOBOffsets))
+		}
+		for i, off := range ef.GOBOffsets {
+			if off+4 > len(ef.Data) {
+				t.Fatalf("frame %d: offset %d beyond data", ef.FrameNum, off)
+			}
+			if ef.Data[off] != 0 || ef.Data[off+1] != 0 || ef.Data[off+2] != 1 {
+				t.Fatalf("frame %d GOB %d: offset %d not at a start code", ef.FrameNum, i, off)
+			}
+		}
+	}
+}
+
+func TestWholeFrameLossConcealment(t *testing.T) {
+	clip := synth.Clip(synth.New(synth.RegimeForeman), 3)
+	frames, _ := encodeClip(t, testConfig(resilience.NewNone()), clip)
+	dec, err := codec.NewDecoder(video.QCIFWidth, video.QCIFHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0, err := dec.DecodeFrame(frames[0].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := r0.Frame.Clone()
+
+	// Frame 1 lost entirely: output must equal the previous frame
+	// (copy concealment) and report 99 concealed MBs.
+	r1 := dec.ConcealLostFrame()
+	if r1.ConcealedMBs != 99 {
+		t.Fatalf("concealed %d MBs, want 99", r1.ConcealedMBs)
+	}
+	if !r1.Frame.Equal(prev) {
+		t.Fatal("copy concealment did not reproduce previous frame")
+	}
+
+	// Frame 2 still decodes (against the concealed reference).
+	r2, err := dec.DecodeFrame(frames[2].Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.ConcealedMBs != 0 {
+		t.Fatalf("frame 2 concealed %d MBs", r2.ConcealedMBs)
+	}
+}
+
+func TestPartialLossConcealsMissingRows(t *testing.T) {
+	clip := synth.Clip(synth.New(synth.RegimeForeman), 2)
+	frames, _ := encodeClip(t, testConfig(resilience.NewNone()), clip)
+	dec, err := codec.NewDecoder(video.QCIFWidth, video.QCIFHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.DecodeFrame(frames[0].Data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Deliver frame 1 truncated at GOB 5: rows 5..8 missing.
+	cut := frames[1].GOBOffsets[5]
+	res, err := dec.DecodeFrame(frames[1].Data[:cut])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 4 * 11; res.ConcealedMBs != want {
+		t.Fatalf("concealed %d MBs, want %d", res.ConcealedMBs, want)
+	}
+	if res.HeaderLost {
+		t.Fatal("header present but reported lost")
+	}
+}
+
+func TestLossOfFirstPacketOnly(t *testing.T) {
+	clip := synth.Clip(synth.New(synth.RegimeForeman), 2)
+	frames, _ := encodeClip(t, testConfig(resilience.NewNone()), clip)
+	dec, err := codec.NewDecoder(video.QCIFWidth, video.QCIFHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.DecodeFrame(frames[0].Data); err != nil {
+		t.Fatal(err)
+	}
+
+	// Deliver frame 1 from GOB 3 onward: header and rows 0..2 missing.
+	res, err := dec.DecodeFrame(frames[1].Data[frames[1].GOBOffsets[3]:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HeaderLost {
+		t.Fatal("missing picture header not reported")
+	}
+	if want := 3 * 11; res.ConcealedMBs != want {
+		t.Fatalf("concealed %d MBs, want %d", res.ConcealedMBs, want)
+	}
+}
+
+func TestDecoderSurvivesGarbage(t *testing.T) {
+	dec, err := codec.NewDecoder(video.QCIFWidth, video.QCIFHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		garbage := make([]byte, rng.Intn(2000))
+		for i := range garbage {
+			garbage[i] = byte(rng.Intn(256))
+		}
+		if _, err := dec.DecodeFrame(garbage); err != nil {
+			t.Fatalf("garbage decode returned error: %v", err)
+		}
+	}
+}
+
+func TestEncoderRejectsMismatchedFrame(t *testing.T) {
+	enc, err := codec.NewEncoder(testConfig(resilience.NewNone()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := enc.EncodeFrame(video.NewFrame(video.SQCIFWidth, video.SQCIFHeight)); err == nil {
+		t.Fatal("mismatched frame accepted")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		mut  func(*codec.Config)
+	}{
+		{"nil planner", func(c *codec.Config) { c.Planner = nil }},
+		{"bad dims", func(c *codec.Config) { c.Width = 17 }},
+		{"negative range", func(c *codec.Config) { c.SearchRange = -1 }},
+		{"huge range", func(c *codec.Config) { c.SearchRange = 64 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := testConfig(resilience.NewNone())
+			tt.mut(&cfg)
+			if _, err := codec.NewEncoder(cfg); err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestDecoderRejectsBadDims(t *testing.T) {
+	if _, err := codec.NewDecoder(17, 16); err == nil {
+		t.Fatal("bad dims accepted")
+	}
+}
+
+// forceIntraPlanner forces every macroblock intra before ME — the
+// extreme PBPAIR operating point (Intra_Th = 1).
+type forceIntraPlanner struct{ *resilience.None }
+
+func (forceIntraPlanner) Name() string                { return "all-intra" }
+func (forceIntraPlanner) PreME(*codec.MBContext) bool { return true }
+
+func TestCountersReflectMESkipping(t *testing.T) {
+	clip := synth.Clip(synth.New(synth.RegimeForeman), 4)
+
+	var full, none energy.Counters
+	cfgFull := testConfig(resilience.NewNone())
+	cfgFull.Counters = &full
+	encodeClip(t, cfgFull, clip)
+
+	cfgNone := testConfig(forceIntraPlanner{})
+	cfgNone.Counters = &none
+	encodeClip(t, cfgNone, clip)
+
+	if full.SADPixelOps == 0 || full.SADCalls == 0 {
+		t.Fatal("NO scheme recorded no motion estimation work")
+	}
+	if none.SADPixelOps != 0 || none.SADCalls != 0 {
+		t.Fatalf("all-intra planner still ran ME: %+v", none)
+	}
+	if none.DCTBlocks == 0 || none.VLCBits == 0 {
+		t.Fatal("all-intra planner recorded no coding work")
+	}
+	if full.Frames != 4 || none.Frames != 4 {
+		t.Fatalf("frame counters wrong: %d / %d", full.Frames, none.Frames)
+	}
+	ipaqFull := energy.IPAQ.Joules(full)
+	ipaqIntra := energy.IPAQ.Joules(none)
+	if ipaqIntra >= ipaqFull {
+		t.Fatalf("all-intra energy %.4f J not below full-ME energy %.4f J", ipaqIntra, ipaqFull)
+	}
+}
+
+func TestFrameTypeAndModeStrings(t *testing.T) {
+	if codec.IFrame.String() != "I" || codec.PFrame.String() != "P" {
+		t.Fatal("frame type names wrong")
+	}
+	if codec.ModeIntra.String() != "intra" || codec.ModeInter.String() != "inter" || codec.ModeSkip.String() != "skip" {
+		t.Fatal("mode names wrong")
+	}
+	if codec.FrameType(0).String() == "" || codec.MBMode(0).String() == "" {
+		t.Fatal("zero values must still print")
+	}
+}
+
+func TestSearchKindConfigurable(t *testing.T) {
+	clip := synth.Clip(synth.New(synth.RegimeGarden), 3)
+	var fullC, tssC energy.Counters
+
+	cfg := testConfig(resilience.NewNone())
+	cfg.Search = motion.FullSearch
+	cfg.Counters = &fullC
+	encodeClip(t, cfg, clip)
+
+	cfg = testConfig(resilience.NewNone())
+	cfg.Search = motion.ThreeStep
+	cfg.Counters = &tssC
+	encodeClip(t, cfg, clip)
+
+	if tssC.SADCalls*3 > fullC.SADCalls {
+		t.Fatalf("TSS (%d SAD calls) not clearly cheaper than full search (%d)",
+			tssC.SADCalls, fullC.SADCalls)
+	}
+}

@@ -1,0 +1,84 @@
+package codec
+
+import "pbpair/internal/video"
+
+// In-loop deblocking filter, modelled on H.263 Annex J: a 1-D filter
+// across every 8x8 block boundary of the luma plane whose strength
+// follows the quantiser (coarser quantisation → stronger blocking →
+// stronger filter). The filter runs inside the prediction loop — the
+// encoder filters its reconstruction before using it as a reference,
+// and the decoder does the same — so both stay bit-identical.
+//
+// For the boundary pair (B | C) with outer neighbours A and D, the
+// Annex J core update is
+//
+//	d  = (A − 4B + 4C − D) / 8
+//	d1 = ramp(d, S)   (the "up–down ramp": full correction for small
+//	                   d, fading to zero once |d| exceeds 2S)
+//	B' = clip(B + d1)
+//	C' = clip(C − d1)
+//
+// with S the QP-derived strength.
+
+// deblockStrength maps QP to filter strength, a compact approximation
+// of the Annex J STRENGTH table.
+func deblockStrength(qp int) int32 {
+	s := int32(qp)/2 + 1
+	if s > 12 {
+		s = 12
+	}
+	return s
+}
+
+// ramp is the Annex J up–down ramp function.
+func ramp(d, strength int32) int32 {
+	neg := d < 0
+	if neg {
+		d = -d
+	}
+	v := d - 2*(d-strength)
+	if d <= strength {
+		v = d
+	}
+	if v < 0 {
+		v = 0
+	}
+	if neg {
+		return -v
+	}
+	return v
+}
+
+// DeblockFrame applies the in-loop filter to f's luma plane in place.
+// Horizontal filtering (across vertical block edges) runs first, then
+// vertical, matching the order both codec sides use.
+func DeblockFrame(f *video.Frame, qp int) {
+	s := deblockStrength(qp)
+	w, h := f.Width, f.Height
+
+	// Vertical edges: columns 8, 16, ... — filter horizontally.
+	for x := video.BlockSize; x < w; x += video.BlockSize {
+		for y := 0; y < h; y++ {
+			row := f.Y[y*w:]
+			a := int32(row[x-2])
+			b := int32(row[x-1])
+			c := int32(row[x])
+			d := int32(row[x+1])
+			d1 := ramp((a-4*b+4*c-d)/8, s)
+			row[x-1] = video.ClampPixel(b + d1)
+			row[x] = video.ClampPixel(c - d1)
+		}
+	}
+	// Horizontal edges: rows 8, 16, ... — filter vertically.
+	for y := video.BlockSize; y < h; y += video.BlockSize {
+		for x := 0; x < w; x++ {
+			a := int32(f.Y[(y-2)*w+x])
+			b := int32(f.Y[(y-1)*w+x])
+			c := int32(f.Y[y*w+x])
+			d := int32(f.Y[(y+1)*w+x])
+			d1 := ramp((a-4*b+4*c-d)/8, s)
+			f.Y[(y-1)*w+x] = video.ClampPixel(b + d1)
+			f.Y[y*w+x] = video.ClampPixel(c - d1)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package codec_test
+
+import (
+	"testing"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/metrics"
+	"pbpair/internal/resilience"
+	"pbpair/internal/synth"
+	"pbpair/internal/video"
+)
+
+// TestDeblockLossFreeNoDrift: with the in-loop filter on, encoder and
+// decoder must still be bit-identical (both filter inside the loop).
+func TestDeblockLossFreeNoDrift(t *testing.T) {
+	clip := synth.Clip(synth.New(synth.RegimeForeman), 6)
+	cfg := testConfig(resilience.NewNone())
+	cfg.Deblock = true
+	cfg.QP = 20 // coarse: the filter actually fires
+	enc, err := codec.NewEncoder(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := codec.NewDecoder(video.QCIFWidth, video.QCIFHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range clip {
+		ef, err := enc.EncodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dec.DecodeFrame(ef.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Frame.Equal(enc.ReconClone()) {
+			t.Fatalf("frame %d: deblock drift", i)
+		}
+	}
+}
+
+// TestDeblockImprovesCoarseQuality: at coarse quantisation the filter
+// should lift PSNR on smooth content (blocking is the dominant
+// artefact there).
+func TestDeblockImprovesCoarseQuality(t *testing.T) {
+	// Smooth content: akiyo's background is low-frequency, where
+	// blocking artefacts dominate at high QP.
+	clip := synth.Clip(synth.New(synth.RegimeAkiyo), 6)
+	run := func(deblock bool) float64 {
+		cfg := testConfig(resilience.NewNone())
+		cfg.QP = 28
+		cfg.Deblock = deblock
+		enc, err := codec.NewEncoder(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := codec.NewDecoder(video.QCIFWidth, video.QCIFHeight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for _, f := range clip {
+			ef, err := enc.EncodeFrame(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := dec.DecodeFrame(ef.Data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := metrics.PSNR(f, res.Frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += v
+		}
+		return sum / float64(len(clip))
+	}
+	plain := run(false)
+	filtered := run(true)
+	t.Logf("QP 28 akiyo: plain %.2f dB, deblocked %.2f dB", plain, filtered)
+	if filtered <= plain-0.05 {
+		t.Fatalf("deblocking hurt quality: %.2f vs %.2f", filtered, plain)
+	}
+}
+
+// TestSceneCutForcesFullRefresh: splicing two unrelated sequences must
+// trigger the detector, producing an all-intra frame at the cut.
+func TestSceneCutForcesFullRefresh(t *testing.T) {
+	a := synth.New(synth.RegimeAkiyo)
+	b := synth.New(synth.RegimeGarden)
+	frameAt := func(k int) *video.Frame {
+		if k < 3 {
+			return a.Frame(k)
+		}
+		return b.Frame(k)
+	}
+
+	sc, err := resilience.NewSceneCut(resilience.NewNone(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := codec.NewEncoder(testConfig(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var plans []*codec.FramePlan
+	for k := 0; k < 6; k++ {
+		ef, err := enc.EncodeFrame(frameAt(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		plans = append(plans, ef.Plan)
+	}
+	if sc.Cuts() != 1 {
+		t.Fatalf("detected %d cuts, want 1", sc.Cuts())
+	}
+	// Frame 3 (the splice) must be fully intra.
+	if got := plans[3].IntraCount(); got != 99 {
+		t.Fatalf("cut frame has %d intra MBs, want 99", got)
+	}
+	// Neighbouring frames must not be.
+	if plans[2].IntraCount() > 50 || plans[4].IntraCount() > 50 {
+		t.Fatalf("non-cut frames over-refreshed: %d / %d",
+			plans[2].IntraCount(), plans[4].IntraCount())
+	}
+}
+
+// TestSceneCutImprovesSpliceQuality: the all-intra frame at a splice
+// beats predicting across it.
+func TestSceneCutImprovesSpliceQuality(t *testing.T) {
+	a := synth.New(synth.RegimeAkiyo)
+	b := synth.New(synth.RegimeGarden)
+	frameAt := func(k int) *video.Frame {
+		if k < 3 {
+			return a.Frame(k)
+		}
+		return b.Frame(k)
+	}
+	run := func(withCut bool) float64 {
+		var planner codec.ModePlanner = resilience.NewNone()
+		if withCut {
+			sc, err := resilience.NewSceneCut(planner, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			planner = sc
+		}
+		enc, err := codec.NewEncoder(testConfig(planner))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := codec.NewDecoder(video.QCIFWidth, video.QCIFHeight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for k := 0; k < 6; k++ {
+			original := frameAt(k)
+			ef, err := enc.EncodeFrame(original)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := dec.DecodeFrame(ef.Data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := metrics.PSNR(original, res.Frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += v
+		}
+		return sum / 6
+	}
+	without := run(false)
+	with := run(true)
+	t.Logf("splice: without cut %.2f dB, with cut %.2f dB", without, with)
+	if with <= without {
+		t.Fatalf("scene cut did not help: %.2f vs %.2f", with, without)
+	}
+}
+
+func TestSceneCutValidation(t *testing.T) {
+	if _, err := resilience.NewSceneCut(nil, 10); err == nil {
+		t.Fatal("nil inner planner accepted")
+	}
+}
+
+func TestSceneCutName(t *testing.T) {
+	sc, err := resilience.NewSceneCut(resilience.NewNone(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name() != "NO+cut" {
+		t.Fatalf("Name = %q", sc.Name())
+	}
+}

@@ -1,0 +1,111 @@
+package codec
+
+import (
+	"testing"
+
+	"pbpair/internal/video"
+)
+
+func TestRamp(t *testing.T) {
+	const s = 4
+	tests := []struct{ d, want int32 }{
+		{0, 0},
+		{2, 2},   // below strength: full correction
+		{4, 4},   // at strength
+		{6, 2},   // fading: d - 2(d-s) = 6-4
+		{8, 0},   // at 2s: zero
+		{12, 0},  // beyond: clamped to zero, never negative
+		{-3, -3}, // odd symmetry
+		{-6, -2},
+		{-12, 0},
+	}
+	for _, tt := range tests {
+		if got := ramp(tt.d, s); got != tt.want {
+			t.Errorf("ramp(%d, %d) = %d, want %d", tt.d, s, got, tt.want)
+		}
+	}
+}
+
+func TestDeblockStrengthMonotone(t *testing.T) {
+	prev := int32(0)
+	for qp := 1; qp <= 31; qp++ {
+		s := deblockStrength(qp)
+		if s < prev {
+			t.Fatalf("strength not monotone at QP %d", qp)
+		}
+		if s < 1 || s > 12 {
+			t.Fatalf("strength %d out of range at QP %d", s, qp)
+		}
+		prev = s
+	}
+}
+
+// TestDeblockSmoothsBlockEdge: a frame made of flat 8x8 blocks with a
+// step at the boundary must come out with a smaller step.
+func TestDeblockSmoothsBlockEdge(t *testing.T) {
+	f := video.NewFrame(32, 32)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			v := uint8(100)
+			if x >= 8 {
+				v = 130
+			}
+			f.Y[y*32+x] = v
+		}
+	}
+	before := int(f.Y[7]) - int(f.Y[8]) // -30 step
+	DeblockFrame(f, 16)
+	after := int(f.Y[7]) - int(f.Y[8])
+	if abs(after) >= abs(before) {
+		t.Fatalf("edge step not reduced: before %d after %d", before, after)
+	}
+	// Pixels away from any boundary are untouched.
+	if f.Y[3] != 100 || f.Y[32*3+28] != 130 {
+		t.Fatal("interior pixels modified")
+	}
+}
+
+// TestDeblockPreservesSmoothContent: a gentle ramp (no blocking) must
+// pass through nearly unchanged — the up–down ramp kills large d only.
+func TestDeblockPreservesSmoothContent(t *testing.T) {
+	f := video.NewFrame(32, 32)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			f.Y[y*32+x] = uint8(100 + x + y)
+		}
+	}
+	g := f.Clone()
+	DeblockFrame(g, 8)
+	for i := range f.Y {
+		d := int(f.Y[i]) - int(g.Y[i])
+		if d < -1 || d > 1 {
+			t.Fatalf("smooth content changed by %d at %d", d, i)
+		}
+	}
+}
+
+// TestDeblockRealEdgeSurvives: a strong true edge (magnitude far above
+// 2·strength) must NOT be smoothed — that is the point of the ramp.
+func TestDeblockRealEdgeSurvives(t *testing.T) {
+	f := video.NewFrame(32, 32)
+	for y := 0; y < 32; y++ {
+		for x := 0; x < 32; x++ {
+			v := uint8(20)
+			if x >= 8 {
+				v = 235
+			}
+			f.Y[y*32+x] = v
+		}
+	}
+	DeblockFrame(f, 4) // strength 3: d = 215/... way beyond 2s
+	if f.Y[7] != 20 || f.Y[8] != 235 {
+		t.Fatalf("true edge smoothed: %d | %d", f.Y[7], f.Y[8])
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,410 @@
+package codec
+
+import (
+	"fmt"
+
+	"pbpair/internal/bitstream"
+	"pbpair/internal/dct"
+	"pbpair/internal/entropy"
+	"pbpair/internal/motion"
+	"pbpair/internal/quant"
+	"pbpair/internal/video"
+)
+
+// copyConcealer is the decoder's default concealment: copy the
+// co-located macroblock from the previous reconstruction (the "simple
+// copy scheme" the paper assumes at the decoding side). A lost
+// macroblock in the very first frame is painted mid-grey.
+type copyConcealer struct{}
+
+// ConcealMB implements Concealer.
+func (copyConcealer) ConcealMB(dst, ref *video.Frame, mbRow, mbCol int) {
+	if ref == nil {
+		paintGreyMB(dst, mbRow, mbCol)
+		return
+	}
+	video.CopyMB(dst, ref, mbRow, mbCol)
+}
+
+func paintGreyMB(dst *video.Frame, mbRow, mbCol int) {
+	x, y := mbCol*video.MBSize, mbRow*video.MBSize
+	for r := 0; r < video.MBSize; r++ {
+		for c := 0; c < video.MBSize; c++ {
+			dst.Y[(y+r)*dst.Width+x+c] = 128
+		}
+	}
+	cw := dst.ChromaWidth()
+	cx, cy := mbCol*(video.MBSize/2), mbRow*(video.MBSize/2)
+	for r := 0; r < video.MBSize/2; r++ {
+		for c := 0; c < video.MBSize/2; c++ {
+			dst.Cb[(cy+r)*cw+cx+c] = 128
+			dst.Cr[(cy+r)*cw+cx+c] = 128
+		}
+	}
+}
+
+// DecodeResult reports one decoded (possibly partially concealed)
+// frame.
+type DecodeResult struct {
+	FrameNum     int
+	Type         FrameType
+	Frame        *video.Frame // the reconstruction, concealment applied
+	ConcealedMBs int          // macroblocks hidden by the concealer
+	HeaderLost   bool         // picture header missing from the payload
+}
+
+// Decoder reconstructs a sequence from (possibly lossy) per-frame
+// payloads. It is resilient in the ways the bitstream allows: a lost
+// GOB conceals one macroblock row; a corrupt GOB resynchronises at the
+// next start code; a frame with no payload at all is fully concealed.
+type Decoder struct {
+	width, height int
+	ref           *video.Frame // previous reconstruction (nil before first frame)
+	rec           *video.Frame
+	concealer     Concealer
+	frameCount    int
+	lastQP        int
+	halfPel       bool // from the last picture header
+	deblock       bool // from the last picture header
+	// mvPred mirrors the encoder's in-GOB motion-vector predictor.
+	mvPred motion.HalfVector
+	// dcPred mirrors the encoder's per-plane intra-DC predictors.
+	dcPred [3]int32
+}
+
+// DecoderOption customises a Decoder.
+type DecoderOption func(*Decoder)
+
+// WithConcealer replaces the default copy concealment.
+func WithConcealer(c Concealer) DecoderOption {
+	return func(d *Decoder) { d.concealer = c }
+}
+
+// NewDecoder returns a decoder for the given frame geometry.
+func NewDecoder(width, height int, opts ...DecoderOption) (*Decoder, error) {
+	if err := video.ValidateDims(width, height); err != nil {
+		return nil, fmt.Errorf("codec: %w", err)
+	}
+	d := &Decoder{
+		width: width, height: height,
+		rec:       video.NewFrame(width, height),
+		concealer: copyConcealer{},
+		lastQP:    quant.ClampQP(0),
+	}
+	for _, opt := range opts {
+		opt(d)
+	}
+	return d, nil
+}
+
+// FramesDecoded returns how many frames (including fully concealed
+// ones) the decoder has produced.
+func (d *Decoder) FramesDecoded() int { return d.frameCount }
+
+// ConcealLostFrame produces the next output frame when the entire
+// payload was lost: every macroblock is concealed.
+func (d *Decoder) ConcealLostFrame() *DecodeResult {
+	return d.decodePayload(nil)
+}
+
+// DecodeFrame decodes one frame payload. data may be a partial frame
+// (some GOBs missing) or nil/empty (whole frame lost); concealment
+// fills the gaps. The returned Frame aliases decoder state valid until
+// the next Decode call; clone it to retain.
+func (d *Decoder) DecodeFrame(data []byte) (*DecodeResult, error) {
+	return d.decodePayload(data), nil
+}
+
+func (d *Decoder) decodePayload(data []byte) *DecodeResult {
+	rows := d.height / video.MBSize
+	cols := d.width / video.MBSize
+	res := &DecodeResult{
+		FrameNum:   d.frameCount,
+		Type:       PFrame,
+		HeaderLost: true,
+	}
+	rowDecoded := make([]bool, rows)
+
+	r := bitstream.NewReader(data)
+	qp := d.lastQP
+	for {
+		code, err := r.NextStartCode()
+		if err != nil {
+			break
+		}
+		switch code {
+		case bitstream.CodePicture:
+			num, ftype, hdrQP, halfPel, deblock, ok := parsePictureHeader(r)
+			if !ok {
+				continue
+			}
+			res.FrameNum = num
+			res.Type = ftype
+			res.HeaderLost = false
+			qp = hdrQP
+			d.lastQP = hdrQP
+			d.halfPel = halfPel
+			d.deblock = deblock
+		case bitstream.CodeGOB:
+			row, ok := d.decodeGOB(r, res.Type, qp, rows, cols)
+			if ok && row >= 0 && row < rows {
+				rowDecoded[row] = true
+			}
+		default:
+			// Unknown unit: skip to the next start code.
+		}
+	}
+
+	// Conceal whatever was not decoded.
+	for row := 0; row < rows; row++ {
+		if rowDecoded[row] {
+			continue
+		}
+		for col := 0; col < cols; col++ {
+			d.concealer.ConcealMB(d.rec, d.ref, row, col)
+			res.ConcealedMBs++
+		}
+	}
+	if d.deblock {
+		DeblockFrame(d.rec, qp)
+	}
+
+	res.Frame = d.rec
+	// Rotate reconstruction buffers.
+	if d.ref == nil {
+		d.ref = d.rec
+		d.rec = video.NewFrame(d.width, d.height)
+	} else {
+		d.ref, d.rec = d.rec, d.ref
+	}
+	// Seed the next frame's buffer with the reference so untouched
+	// regions (e.g. around a corrupt GOB) default to copy concealment
+	// geometry before the concealer runs.
+	_ = d.rec.CopyFrom(d.ref)
+	d.frameCount++
+	return res
+}
+
+// parsePictureHeader reads the fields after a picture start code.
+func parsePictureHeader(r *bitstream.Reader) (num int, ftype FrameType, qp int, halfPel, deblock, ok bool) {
+	rawNum, err := r.ReadBits(16)
+	if err != nil {
+		return 0, 0, 0, false, false, false
+	}
+	tbit, err := r.ReadBit()
+	if err != nil {
+		return 0, 0, 0, false, false, false
+	}
+	rawQP, err := r.ReadBits(5)
+	if err != nil {
+		return 0, 0, 0, false, false, false
+	}
+	hbit, err := r.ReadBit()
+	if err != nil {
+		return 0, 0, 0, false, false, false
+	}
+	dbit, err := r.ReadBit()
+	if err != nil {
+		return 0, 0, 0, false, false, false
+	}
+	// Dimensions (already known to the decoder, present for bootstrap).
+	if _, err := r.ReadBits(16); err != nil {
+		return 0, 0, 0, false, false, false
+	}
+	ftype = IFrame
+	if tbit == 1 {
+		ftype = PFrame
+	}
+	return int(rawNum), ftype, quant.ClampQP(int(rawQP)), hbit == 1, dbit == 1, true
+}
+
+// decodeGOB decodes one macroblock row. On any parse error the row is
+// left to concealment (returns ok=false) and the reader resynchronises
+// at the next start code.
+func (d *Decoder) decodeGOB(r *bitstream.Reader, ftype FrameType, qp, rows, cols int) (row int, ok bool) {
+	raw, err := r.ReadBits(6)
+	if err != nil {
+		return -1, false
+	}
+	row = int(raw)
+	if row >= rows {
+		return -1, false
+	}
+	d.mvPred = motion.HalfVector{}
+	d.dcPred = [3]int32{128, 128, 128}
+	for col := 0; col < cols; col++ {
+		if err := d.decodeMB(r, ftype, qp, row, col); err != nil {
+			// Abandon the row: the caller's concealment pass covers the
+			// whole row, and the reader resynchronises at the next
+			// start code.
+			return -1, false
+		}
+	}
+	return row, true
+}
+
+// decodeMB decodes one macroblock into d.rec.
+func (d *Decoder) decodeMB(r *bitstream.Reader, ftype FrameType, qp, row, col int) error {
+	intra := ftype == IFrame
+	mv := [2]int32{}
+	if ftype == PFrame {
+		cod, err := r.ReadBit()
+		if err != nil {
+			return err
+		}
+		if cod == 1 {
+			// Skip: co-located copy from the reference.
+			if d.ref == nil {
+				return fmt.Errorf("codec: skip macroblock with no reference")
+			}
+			video.CopyMB(d.rec, d.ref, row, col)
+			d.mvPred = motion.HalfVector{}
+			return nil
+		}
+		mode, err := r.ReadBit()
+		if err != nil {
+			return err
+		}
+		intra = mode == 1
+		if !intra {
+			if mv[0], err = entropy.ReadSE(r); err != nil {
+				return err
+			}
+			if mv[1], err = entropy.ReadSE(r); err != nil {
+				return err
+			}
+		}
+	}
+	if intra {
+		d.mvPred = motion.HalfVector{}
+		return d.decodeIntraMB(r, qp, row, col)
+	}
+	// Differential decoding against the in-GOB predictor.
+	vx := int(mv[0]) + d.mvPred.X
+	vy := int(mv[1]) + d.mvPred.Y
+	d.mvPred = motion.HalfVector{X: vx, Y: vy}
+	return d.decodeInterMB(r, qp, row, col, vx, vy)
+}
+
+func (d *Decoder) decodeIntraMB(r *bitstream.Reader, qp, row, col int) error {
+	var dcs [6]int32
+	for b := range dcs {
+		diff, err := entropy.ReadSE(r)
+		if err != nil {
+			return err
+		}
+		plane := 0
+		if b == 4 {
+			plane = 1
+		} else if b == 5 {
+			plane = 2
+		}
+		dc := d.dcPred[plane] + diff
+		if dc < 0 || dc > 255 {
+			return fmt.Errorf("codec: intra DC %d out of range", dc)
+		}
+		dcs[b] = dc
+		d.dcPred[plane] = dc
+	}
+	cbp, err := entropy.ReadUE(r)
+	if err != nil {
+		return err
+	}
+	if cbp > 63 {
+		return fmt.Errorf("codec: intra CBP %d out of range", cbp)
+	}
+	geom := blockGeometry(row, col)
+	var levels, freq, pix video.Block
+	for b, g := range geom {
+		levels = video.Block{}
+		levels[0] = dcs[b]
+		if cbp&(1<<(5-b)) != 0 {
+			if err := readBlockEvents(r, &levels, true); err != nil {
+				return err
+			}
+		}
+		quant.DequantIntra(&levels, &freq, qp)
+		dct.Inverse(&freq, &pix)
+		d.rec.StoreBlock(g.plane, g.x, g.y, &pix)
+	}
+	return nil
+}
+
+func (d *Decoder) decodeInterMB(r *bitstream.Reader, qp, row, col, mvx, mvy int) error {
+	if d.ref == nil {
+		return fmt.Errorf("codec: inter macroblock with no reference")
+	}
+	x, y := col*video.MBSize, row*video.MBSize
+	var hv motion.HalfVector
+	if d.halfPel {
+		hv = motion.HalfVector{X: mvx, Y: mvy}
+	} else {
+		hv = motion.FromInteger(motion.Vector{X: mvx, Y: mvy})
+	}
+	intPart, fx, fy := hv.Split()
+	needX, needY := video.MBSize, video.MBSize
+	if fx == 1 {
+		needX++
+	}
+	if fy == 1 {
+		needY++
+	}
+	if x+intPart.X < 0 || y+intPart.Y < 0 ||
+		x+intPart.X+needX > d.width || y+intPart.Y+needY > d.height {
+		return fmt.Errorf("codec: motion vector (%d,%d) out of bounds at (%d,%d)", mvx, mvy, row, col)
+	}
+	cbp, err := entropy.ReadUE(r)
+	if err != nil {
+		return err
+	}
+	if cbp > 63 {
+		return fmt.Errorf("codec: inter CBP %d out of range", cbp)
+	}
+
+	// Prediction straight into the reconstruction, then add residuals.
+	motion.CompensateHalf(d.rec, d.ref, row, col, hv)
+
+	geom := blockGeometry(row, col)
+	var levels, freq, pix, predBlk video.Block
+	for b, g := range geom {
+		if cbp&(1<<(5-b)) == 0 {
+			continue
+		}
+		levels = video.Block{}
+		if err := readBlockEvents(r, &levels, false); err != nil {
+			return err
+		}
+		quant.DequantInter(&levels, &freq, qp)
+		dct.Inverse(&freq, &pix)
+		d.rec.LoadBlock(g.plane, g.x, g.y, &predBlk)
+		for i := range pix {
+			pix[i] += predBlk[i]
+		}
+		d.rec.StoreBlock(g.plane, g.x, g.y, &pix)
+	}
+	return nil
+}
+
+// readBlockEvents reads TCOEF events until the LAST flag, expanding
+// them into levels.
+func readBlockEvents(r *bitstream.Reader, levels *video.Block, skipDC bool) error {
+	pos := 0
+	if skipDC {
+		pos = 1
+	}
+	for {
+		ev, err := entropy.ReadEvent(r)
+		if err != nil {
+			return err
+		}
+		pos += ev.Run
+		if pos >= len(levels) {
+			return fmt.Errorf("codec: block events overflow (pos %d)", pos)
+		}
+		levels[entropy.ZigzagIndex(pos)] = ev.Level
+		pos++
+		if ev.Last {
+			return nil
+		}
+	}
+}

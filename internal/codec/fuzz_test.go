@@ -1,0 +1,80 @@
+package codec_test
+
+import (
+	"testing"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/resilience"
+	"pbpair/internal/synth"
+	"pbpair/internal/video"
+)
+
+// FuzzDecodeFrame throws arbitrary bytes at the decoder. The decoder's
+// contract under corruption is graceful degradation: never panic,
+// never return an error (it conceals instead), and always produce a
+// full frame. Seeds include real encoded frames so mutations explore
+// the actual syntax.
+func FuzzDecodeFrame(f *testing.F) {
+	enc, err := codec.NewEncoder(codec.Config{
+		Width: video.QCIFWidth, Height: video.QCIFHeight,
+		QP: 8, SearchRange: 7, Planner: resilience.NewNone(),
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	src := synth.New(synth.RegimeForeman)
+	for k := 0; k < 3; k++ {
+		ef, err := enc.EncodeFrame(src.Frame(k))
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(ef.Data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00, 0x01, 0xB0})
+	f.Add([]byte{0x00, 0x00, 0x01, 0xB1, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dec, err := codec.NewDecoder(video.QCIFWidth, video.QCIFHeight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Prime with one good frame so inter syntax has a reference.
+		if _, err := dec.DecodeFrame(seedFrame(t)); err != nil {
+			t.Fatal(err)
+		}
+		res, err := dec.DecodeFrame(data)
+		if err != nil {
+			t.Fatalf("decoder returned error on corrupt input: %v", err)
+		}
+		if res.Frame == nil || res.Frame.Width != video.QCIFWidth {
+			t.Fatal("decoder produced no frame")
+		}
+		// And the decoder must still work afterwards.
+		if _, err := dec.DecodeFrame(seedFrame(t)); err != nil {
+			t.Fatalf("decoder broken after corrupt input: %v", err)
+		}
+	})
+}
+
+var seedData []byte
+
+func seedFrame(t *testing.T) []byte {
+	t.Helper()
+	if seedData != nil {
+		return seedData
+	}
+	enc, err := codec.NewEncoder(codec.Config{
+		Width: video.QCIFWidth, Height: video.QCIFHeight,
+		QP: 8, SearchRange: 7, Planner: resilience.NewNone(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, err := enc.EncodeFrame(synth.New(synth.RegimeAkiyo).Frame(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedData = ef.Data
+	return seedData
+}

@@ -1,0 +1,62 @@
+package codec_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/resilience"
+	"pbpair/internal/synth"
+	"pbpair/internal/video"
+)
+
+// TestGoldenBitstream pins the bitstream format: a fixed input encoded
+// with fixed settings must produce byte-identical output forever. Any
+// intentional format change (new header field, different VLC, new
+// prediction rule) must update these digests — which is the point:
+// format changes should be deliberate, reviewed events, because they
+// break decodability of previously written .pbps files.
+func TestGoldenBitstream(t *testing.T) {
+	// Deliberately diverse settings: default, half-pel, deblock.
+	cases := []struct {
+		name string
+		mut  func(*codec.Config)
+		want string
+	}{
+		{"baseline", func(*codec.Config) {},
+			"1b5d2920721cece7d42a2571cf1bc0c6540b7923dd51bb07ffb8c3af467562ba"},
+		{"halfpel", func(c *codec.Config) { c.HalfPel = true },
+			"934cd926b746e4ad75152a6b5d472873bf4dd1813e52ee8a882da95e435b14a0"},
+		{"deblock_qp20", func(c *codec.Config) { c.Deblock = true; c.QP = 20 },
+			"75710abe3783793e11f86931b177fd777673b8ea6dccfd1de114092b2b168af8"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := codec.Config{
+				Width: video.QCIFWidth, Height: video.QCIFHeight,
+				QP: 8, SearchRange: 7, Planner: resilience.NewNone(),
+			}
+			tc.mut(&cfg)
+			enc, err := codec.NewEncoder(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := sha256.New()
+			src := synth.New(synth.RegimeForeman)
+			for k := 0; k < 4; k++ {
+				ef, err := enc.EncodeFrame(src.Frame(k))
+				if err != nil {
+					t.Fatal(err)
+				}
+				h.Write(ef.Data)
+			}
+			got := hex.EncodeToString(h.Sum(nil))
+			if got != tc.want {
+				t.Errorf("bitstream digest changed:\n got %s\nwant %s\n"+
+					"If this change is intentional, update the golden value "+
+					"and note the format break in DESIGN.md.", got, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,206 @@
+package codec_test
+
+import (
+	"testing"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/metrics"
+	"pbpair/internal/resilience"
+	"pbpair/internal/synth"
+	"pbpair/internal/video"
+)
+
+func halfPelConfig() codec.Config {
+	cfg := testConfig(resilience.NewNone())
+	cfg.HalfPel = true
+	return cfg
+}
+
+// TestHalfPelLossFreeNoDrift: the no-drift invariant must hold with
+// half-pel motion on — encoder and decoder interpolate identically.
+func TestHalfPelLossFreeNoDrift(t *testing.T) {
+	clip := synth.Clip(synth.New(synth.RegimeForeman), 8)
+	enc, err := codec.NewEncoder(halfPelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := codec.NewDecoder(video.QCIFWidth, video.QCIFHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range clip {
+		ef, err := enc.EncodeFrame(f)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		res, err := dec.DecodeFrame(ef.Data)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !res.Frame.Equal(enc.ReconClone()) {
+			t.Fatalf("frame %d: half-pel drift between encoder and decoder", i)
+		}
+	}
+}
+
+// TestHalfPelUsesFractionalVectors: on content with sub-pixel motion
+// the refinement must actually pick fractional vectors.
+func TestHalfPelUsesFractionalVectors(t *testing.T) {
+	// Garden-like with 0.5 px/frame pan: pure half-pel motion.
+	p := synth.DefaultParams(synth.RegimeGarden)
+	p.PanX = 1 << 15 // 0.5 px/frame in 16.16 fixed point
+	src := synth.NewWithParams(p)
+
+	enc, err := codec.NewEncoder(halfPelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fractional := 0
+	for k := 0; k < 4; k++ {
+		ef, err := enc.EncodeFrame(src.Frame(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k == 0 {
+			continue
+		}
+		for i := range ef.Plan.MBs {
+			mb := &ef.Plan.MBs[i]
+			if mb.Mode != codec.ModeInter {
+				continue
+			}
+			if _, fx, fy := mb.Half.Split(); fx != 0 || fy != 0 {
+				fractional++
+			}
+		}
+	}
+	if fractional < 20 {
+		t.Fatalf("only %d fractional vectors on half-pel panning content", fractional)
+	}
+}
+
+// TestHalfPelImprovesSubPixelPan: the reason H.263 has half-pel — on
+// sub-pixel motion it must clearly beat integer-pel at equal QP, in
+// both quality and bits.
+func TestHalfPelImprovesSubPixelPan(t *testing.T) {
+	p := synth.DefaultParams(synth.RegimeGarden)
+	p.PanX = 1 << 15 // 0.5 px/frame
+	src := synth.NewWithParams(p)
+
+	run := func(halfPel bool) (psnr float64, bytes int) {
+		cfg := testConfig(resilience.NewNone())
+		cfg.HalfPel = halfPel
+		enc, err := codec.NewEncoder(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := codec.NewDecoder(video.QCIFWidth, video.QCIFHeight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		const n = 8
+		for k := 0; k < n; k++ {
+			original := src.Frame(k)
+			ef, err := enc.EncodeFrame(original)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bytes += ef.Bytes()
+			res, err := dec.DecodeFrame(ef.Data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v, err := metrics.PSNR(original, res.Frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += v
+		}
+		return sum / n, bytes
+	}
+
+	intPSNR, intBytes := run(false)
+	halfPSNR, halfBytes := run(true)
+	t.Logf("integer: %.2f dB, %d B; half-pel: %.2f dB, %d B", intPSNR, intBytes, halfPSNR, halfBytes)
+	if halfPSNR <= intPSNR {
+		t.Fatalf("half-pel PSNR %.2f not above integer %.2f on sub-pixel pan", halfPSNR, intPSNR)
+	}
+	if halfBytes >= intBytes {
+		t.Fatalf("half-pel bytes %d not below integer %d on sub-pixel pan", halfBytes, intBytes)
+	}
+}
+
+// TestHalfPelHeaderFlagRoundTrips: a decoder fed alternating
+// half-pel/integer streams must follow the per-picture flag.
+func TestHalfPelHeaderFlagRoundTrips(t *testing.T) {
+	clip := synth.Clip(synth.New(synth.RegimeForeman), 4)
+
+	encHalf, err := codec.NewEncoder(halfPelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	encInt, err := codec.NewEncoder(testConfig(resilience.NewNone()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decHalf, err := codec.NewDecoder(video.QCIFWidth, video.QCIFHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decInt, err := codec.NewDecoder(video.QCIFWidth, video.QCIFHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range clip {
+		efH, err := encHalf.EncodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		efI, err := encInt.EncodeFrame(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rh, err := decHalf.DecodeFrame(efH.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ri, err := decInt.DecodeFrame(efI.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rh.Frame.Equal(encHalf.ReconClone()) {
+			t.Fatalf("frame %d: half-pel stream drifted", i)
+		}
+		if !ri.Frame.Equal(encInt.ReconClone()) {
+			t.Fatalf("frame %d: integer stream drifted", i)
+		}
+	}
+}
+
+// TestHalfPelSkipStillWorks: static content must still produce skip
+// macroblocks under half-pel mode (refinement of a zero vector on
+// identical frames stays at zero).
+func TestHalfPelSkipStillWorks(t *testing.T) {
+	f := synth.New(synth.RegimeAkiyo).Frame(0)
+	clip := []*video.Frame{f, f.Clone(), f.Clone()}
+	enc, err := codec.NewEncoder(halfPelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last *codec.EncodedFrame
+	for _, fr := range clip {
+		if last, err = enc.EncodeFrame(fr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	skips := 0
+	for i := range last.Plan.MBs {
+		if last.Plan.MBs[i].Mode == codec.ModeSkip {
+			skips++
+		}
+	}
+	if skips < 90 {
+		t.Fatalf("only %d/99 skips on static content with half-pel on", skips)
+	}
+}

@@ -1,0 +1,171 @@
+package codec_test
+
+import (
+	"testing"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/resilience"
+	"pbpair/internal/synth"
+	"pbpair/internal/video"
+)
+
+// TestMVPredictionCompressesUniformMotion: on a global pan every inter
+// macroblock shares the same vector, so differential coding should
+// make P-frames substantially smaller than the same content with
+// motion suppressed to near-immobility. We approximate the comparison
+// by encoding the pan at two search ranges: at range 7 the true
+// ±3 px/frame pan is found (uniform MVDs ≈ 0); at range 1 the pan is
+// unreachable and residual coding pays instead. The range-7 stream
+// must win by a wide margin, which it only can when MV bits are
+// near-free.
+func TestMVPredictionCompressesUniformMotion(t *testing.T) {
+	src := synth.New(synth.RegimeGarden) // 3 px/frame pan
+	run := func(searchRange int) int {
+		cfg := testConfig(resilience.NewNone())
+		cfg.SearchRange = searchRange
+		enc, err := codec.NewEncoder(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for k := 0; k < 5; k++ {
+			ef, err := enc.EncodeFrame(src.Frame(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k > 0 {
+				total += ef.Bytes()
+			}
+		}
+		return total
+	}
+	withME := run(7)
+	withoutME := run(1)
+	t.Logf("pan P-frames: with ME %d B, zero-MV %d B", withME, withoutME)
+	if withME*3 > withoutME {
+		t.Fatalf("motion-compensated pan (%d B) should be far below zero-MV coding (%d B)",
+			withME, withoutME)
+	}
+}
+
+// TestMVPredictionResetsAcrossGOBs: corrupting one GOB must not skew
+// the motion vectors of following GOBs (the predictor resets at every
+// GOB header). We verify by dropping a middle GOB and checking that
+// all rows BELOW the lost one still decode bit-exactly against the
+// encoder reconstruction.
+func TestMVPredictionResetsAcrossGOBs(t *testing.T) {
+	src := synth.New(synth.RegimeGarden) // strong motion: non-zero MVs everywhere
+	enc, err := codec.NewEncoder(testConfig(resilience.NewNone()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := codec.NewDecoder(video.QCIFWidth, video.QCIFHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f0, err := enc.EncodeFrame(src.Frame(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.DecodeFrame(f0.Data); err != nil {
+		t.Fatal(err)
+	}
+	f1, err := enc.EncodeFrame(src.Frame(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := enc.ReconClone()
+
+	// Remove GOB 4's bytes entirely.
+	cut := append([]byte(nil), f1.Data[:f1.GOBOffsets[4]]...)
+	cut = append(cut, f1.Data[f1.GOBOffsets[5]:]...)
+	res, err := dec.DecodeFrame(cut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConcealedMBs != 11 {
+		t.Fatalf("concealed %d MBs, want 11 (one row)", res.ConcealedMBs)
+	}
+	// Rows 5.. must match the encoder exactly: decoding them depends
+	// only on their own GOB data, not on the lost row's vectors.
+	w := video.QCIFWidth
+	for y := 5 * 16; y < video.QCIFHeight; y++ {
+		for x := 0; x < w; x++ {
+			if res.Frame.Y[y*w+x] != want.Y[y*w+x] {
+				t.Fatalf("row below lost GOB diverged at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+// TestDCPredictionCompressesFlatIntra: a flat grey I-frame's DC levels
+// are identical, so with differential DC coding the whole frame costs
+// almost nothing.
+func TestDCPredictionCompressesFlatIntra(t *testing.T) {
+	f := video.NewFrame(video.QCIFWidth, video.QCIFHeight)
+	f.Fill(128, 128, 128)
+	enc, err := codec.NewEncoder(testConfig(resilience.NewNone()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, err := enc.EncodeFrame(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("flat grey I-frame: %d bytes", ef.Bytes())
+	if ef.Bytes() > 400 {
+		t.Fatalf("flat I-frame costs %d bytes; DC prediction broken", ef.Bytes())
+	}
+	// And it must still decode exactly.
+	dec, err := codec.NewDecoder(video.QCIFWidth, video.QCIFHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := dec.DecodeFrame(ef.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Frame.Equal(enc.ReconClone()) {
+		t.Fatal("flat I-frame drift")
+	}
+}
+
+// TestDCPredictionGradient: a horizontal gradient produces small DC
+// steps between neighbouring blocks — the case differential coding is
+// built for. The I-frame must be much smaller than one with random
+// block means.
+func TestDCPredictionGradient(t *testing.T) {
+	grad := video.NewFrame(video.QCIFWidth, video.QCIFHeight)
+	for y := 0; y < grad.Height; y++ {
+		for x := 0; x < grad.Width; x++ {
+			grad.Y[y*grad.Width+x] = uint8(40 + x)
+		}
+	}
+	for i := range grad.Cb {
+		grad.Cb[i] = 128
+		grad.Cr[i] = 128
+	}
+	encGrad, err := codec.NewEncoder(testConfig(resilience.NewNone()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	efGrad, err := encGrad.EncodeFrame(grad)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	noisy := synth.New(synth.RegimeGarden).Frame(0)
+	encNoisy, err := codec.NewEncoder(testConfig(resilience.NewNone()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	efNoisy, err := encNoisy.EncodeFrame(noisy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("gradient I-frame %d B, textured I-frame %d B", efGrad.Bytes(), efNoisy.Bytes())
+	if efGrad.Bytes()*3 > efNoisy.Bytes() {
+		t.Fatalf("gradient frame %d B not far below textured %d B", efGrad.Bytes(), efNoisy.Bytes())
+	}
+}

@@ -1,0 +1,229 @@
+package codec_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/metrics"
+	"pbpair/internal/resilience"
+	"pbpair/internal/synth"
+	"pbpair/internal/video"
+)
+
+// TestModeMap renders the decision grid.
+func TestModeMap(t *testing.T) {
+	f := synth.New(synth.RegimeAkiyo).Frame(0)
+	clip := []*video.Frame{f, f.Clone()}
+	frames, _ := encodeClip(t, testConfig(resilience.NewNone()), clip)
+
+	m0 := frames[0].Plan.ModeMap()
+	if len(m0) != (11+1)*9 {
+		t.Fatalf("mode map length %d", len(m0))
+	}
+	for _, c := range m0 {
+		if c != 'I' && c != '\n' {
+			t.Fatalf("I-frame mode map contains %q:\n%s", c, m0)
+		}
+	}
+	m1 := frames[1].Plan.ModeMap()
+	skips := 0
+	for _, c := range m1 {
+		if c == '.' {
+			skips++
+		}
+	}
+	if skips < 90 {
+		t.Fatalf("static P-frame map has only %d skips:\n%s", skips, m1)
+	}
+}
+
+// TestCIFResolution: the codec must work at CIF (22x18 macroblocks),
+// not just QCIF — drift-free round trip and sane quality.
+func TestCIFResolution(t *testing.T) {
+	p := synth.DefaultParams(synth.RegimeForeman)
+	p.Width, p.Height = video.CIFWidth, video.CIFHeight
+	src := synth.NewWithParams(p)
+
+	enc, err := codec.NewEncoder(codec.Config{
+		Width: video.CIFWidth, Height: video.CIFHeight,
+		QP: 8, SearchRange: 7, Planner: resilience.NewNone(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := codec.NewDecoder(video.CIFWidth, video.CIFHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		original := src.Frame(k)
+		ef, err := enc.EncodeFrame(original)
+		if err != nil {
+			t.Fatalf("frame %d: %v", k, err)
+		}
+		if len(ef.GOBOffsets) != 18 {
+			t.Fatalf("CIF frame has %d GOBs, want 18", len(ef.GOBOffsets))
+		}
+		res, err := dec.DecodeFrame(ef.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Frame.Equal(enc.ReconClone()) {
+			t.Fatalf("frame %d: CIF drift", k)
+		}
+		psnr, err := metrics.PSNR(original, res.Frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if psnr < 28 {
+			t.Fatalf("frame %d: CIF PSNR %.2f", k, psnr)
+		}
+	}
+}
+
+// TestBitCorruptionResyncsAtGOB: flipping bits inside one GOB's
+// payload must corrupt at most from that GOB to the next start code;
+// later GOBs still decode, and the decoder never fails.
+func TestBitCorruptionResyncsAtGOB(t *testing.T) {
+	clip := synth.Clip(synth.New(synth.RegimeForeman), 2)
+	frames, _ := encodeClip(t, testConfig(resilience.NewNone()), clip)
+	rng := rand.New(rand.NewSource(123))
+
+	for trial := 0; trial < 20; trial++ {
+		dec, err := codec.NewDecoder(video.QCIFWidth, video.QCIFHeight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dec.DecodeFrame(frames[0].Data); err != nil {
+			t.Fatal(err)
+		}
+		data := append([]byte(nil), frames[1].Data...)
+		// Corrupt a byte inside GOB 3's payload (past its header).
+		start := frames[1].GOBOffsets[3] + 5
+		end := frames[1].GOBOffsets[4]
+		if start >= end {
+			continue
+		}
+		pos := start + rng.Intn(end-start)
+		data[pos] ^= byte(1 + rng.Intn(255))
+
+		res, err := dec.DecodeFrame(data)
+		if err != nil {
+			t.Fatalf("trial %d: decode error on corrupt GOB: %v", trial, err)
+		}
+		// Concealment may kick in for the damaged row(s); rows after the
+		// next start code must survive. Row 8 (last) is far from GOB 3.
+		if res.ConcealedMBs > 0 && res.ConcealedMBs%11 != 0 {
+			t.Fatalf("trial %d: concealed %d MBs, not whole rows", trial, res.ConcealedMBs)
+		}
+		if res.ConcealedMBs > 3*11 {
+			t.Fatalf("trial %d: corruption of one GOB concealed %d MBs", trial, res.ConcealedMBs)
+		}
+	}
+}
+
+// TestQPExtremes: QP 1 (finest) and QP 31 (coarsest) must both
+// round-trip drift-free, with QP 1 much higher fidelity.
+func TestQPExtremes(t *testing.T) {
+	clip := synth.Clip(synth.New(synth.RegimeForeman), 3)
+	run := func(qp int) (psnr float64, bytes int) {
+		cfg := testConfig(resilience.NewNone())
+		cfg.QP = qp
+		enc, err := codec.NewEncoder(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := codec.NewDecoder(video.QCIFWidth, video.QCIFHeight)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sum float64
+		for k, f := range clip {
+			ef, err := enc.EncodeFrame(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bytes += ef.Bytes()
+			res, err := dec.DecodeFrame(ef.Data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Frame.Equal(enc.ReconClone()) {
+				t.Fatalf("QP %d frame %d: drift", qp, k)
+			}
+			v, err := metrics.PSNR(f, res.Frame)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum += v
+		}
+		return sum / float64(len(clip)), bytes
+	}
+	fine, fineBytes := run(1)
+	coarse, coarseBytes := run(31)
+	if fine <= coarse+6 {
+		t.Fatalf("QP1 %.2f dB not clearly above QP31 %.2f dB", fine, coarse)
+	}
+	if fineBytes <= coarseBytes {
+		t.Fatalf("QP1 %d B not above QP31 %d B", fineBytes, coarseBytes)
+	}
+	if fine < 42 {
+		t.Fatalf("QP1 PSNR %.2f dB; near-lossless expected", fine)
+	}
+}
+
+// TestSQCIF covers the third standard picture format.
+func TestSQCIF(t *testing.T) {
+	p := synth.DefaultParams(synth.RegimeAkiyo)
+	p.Width, p.Height = video.SQCIFWidth, video.SQCIFHeight
+	p.ActorRadiusX, p.ActorRadiusY = 18, 24
+	src := synth.NewWithParams(p)
+	enc, err := codec.NewEncoder(codec.Config{
+		Width: video.SQCIFWidth, Height: video.SQCIFHeight,
+		QP: 8, SearchRange: 7, Planner: resilience.NewNone(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := codec.NewDecoder(video.SQCIFWidth, video.SQCIFHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 3; k++ {
+		ef, err := enc.EncodeFrame(src.Frame(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := dec.DecodeFrame(ef.Data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Frame.Equal(enc.ReconClone()) {
+			t.Fatalf("frame %d: SQCIF drift", k)
+		}
+	}
+}
+
+// TestDecoderIgnoresDuplicatePayload: feeding the same frame payload
+// twice within one DecodeFrame call (duplicated packets) must not
+// corrupt state — the second copy just re-decodes the same rows.
+func TestDecoderIgnoresDuplicatePayload(t *testing.T) {
+	clip := synth.Clip(synth.New(synth.RegimeForeman), 2)
+	frames, _ := encodeClip(t, testConfig(resilience.NewNone()), clip)
+	dec, err := codec.NewDecoder(video.QCIFWidth, video.QCIFHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.DecodeFrame(frames[0].Data); err != nil {
+		t.Fatal(err)
+	}
+	doubled := append(append([]byte(nil), frames[1].Data...), frames[1].Data...)
+	res, err := dec.DecodeFrame(doubled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConcealedMBs != 0 {
+		t.Fatalf("duplicated payload concealed %d MBs", res.ConcealedMBs)
+	}
+}

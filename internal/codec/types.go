@@ -1,0 +1,263 @@
+// Package codec implements the H.263-style hybrid video codec the
+// paper's schemes plug into: motion-compensated prediction, 8x8 DCT,
+// scalar quantisation, TCOEF-style entropy coding and a picture/GOB/
+// macroblock bitstream with resynchronisation start codes.
+//
+// Error-resilience schemes (NO, GOP, AIR, PGOP and PBPAIR itself) are
+// not hard-wired: they implement ModePlanner, which hooks the encoder
+// at exactly the three points the paper distinguishes —
+//
+//   - frame typing (GOP inserts I-frames),
+//   - the pre-ME mode decision (PBPAIR's early intra decision, PGOP's
+//     refresh columns — these skip motion estimation and save its
+//     energy), and
+//   - the post-ME plan revision (AIR forces the N highest-SAD
+//     macroblocks to intra after ME has already been paid for).
+package codec
+
+import (
+	"fmt"
+
+	"pbpair/internal/energy"
+	"pbpair/internal/motion"
+	"pbpair/internal/quant"
+	"pbpair/internal/video"
+)
+
+// FrameType distinguishes intra from predicted pictures.
+type FrameType int
+
+// Frame types.
+const (
+	IFrame FrameType = iota + 1
+	PFrame
+)
+
+// String names the frame type.
+func (t FrameType) String() string {
+	switch t {
+	case IFrame:
+		return "I"
+	case PFrame:
+		return "P"
+	default:
+		return fmt.Sprintf("FrameType(%d)", int(t))
+	}
+}
+
+// MBMode is the coding mode finally chosen for one macroblock.
+type MBMode int
+
+// Macroblock modes. ModeSkip is an inter macroblock with zero motion
+// and no coded residual (H.263 COD=1).
+const (
+	ModeIntra MBMode = iota + 1
+	ModeInter
+	ModeSkip
+)
+
+// String names the mode.
+func (m MBMode) String() string {
+	switch m {
+	case ModeIntra:
+		return "intra"
+	case ModeInter:
+		return "inter"
+	case ModeSkip:
+		return "skip"
+	default:
+		return fmt.Sprintf("MBMode(%d)", int(m))
+	}
+}
+
+// MBContext is what a ModePlanner sees when making a per-macroblock
+// decision.
+type MBContext struct {
+	FrameNum int
+	Index    int // raster macroblock index
+	Row, Col int
+	Cur      *video.Frame // current original frame
+	Ref      *video.Frame // previous reconstruction (nil on frame 0)
+}
+
+// MBPlan records the decision pipeline's output for one macroblock.
+type MBPlan struct {
+	Mode     MBMode // ModeIntra or ModeInter after planning; ModeSkip assigned during coding
+	MV       motion.Vector
+	SAD      int32 // SAD of the chosen inter candidate (valid when Searched)
+	SADSelf  int32 // deviation of the MB from its own mean (valid when Searched)
+	Searched bool  // whether motion estimation ran for this MB
+	// Half is the refined half-pel vector actually coded (equal to
+	// FromInteger(MV) when half-pel mode is off or refinement found
+	// nothing better). Valid for inter macroblocks after coding.
+	Half motion.HalfVector
+}
+
+// FramePlan is the full per-frame mode plan. PostME hooks mutate Mode
+// entries (only Inter→Intra promotions are honoured).
+type FramePlan struct {
+	FrameNum int
+	Type     FrameType
+	Rows     int
+	Cols     int
+	MBs      []MBPlan
+}
+
+// At returns the plan entry for macroblock (row, col).
+func (p *FramePlan) At(row, col int) *MBPlan { return &p.MBs[row*p.Cols+col] }
+
+// IntraCount returns the number of macroblocks currently planned or
+// coded as intra.
+func (p *FramePlan) IntraCount() int {
+	n := 0
+	for i := range p.MBs {
+		if p.MBs[i].Mode == ModeIntra {
+			n++
+		}
+	}
+	return n
+}
+
+// ModeMap renders the plan as an ASCII grid — one character per
+// macroblock ('I' intra, 'p' inter, '.' skip) — for debugging output
+// and the examples' visualisations.
+func (p *FramePlan) ModeMap() string {
+	buf := make([]byte, 0, (p.Cols+1)*p.Rows)
+	for row := 0; row < p.Rows; row++ {
+		for col := 0; col < p.Cols; col++ {
+			switch p.At(row, col).Mode {
+			case ModeIntra:
+				buf = append(buf, 'I')
+			case ModeInter:
+				buf = append(buf, 'p')
+			case ModeSkip:
+				buf = append(buf, '.')
+			default:
+				buf = append(buf, '?')
+			}
+		}
+		buf = append(buf, '\n')
+	}
+	return string(buf)
+}
+
+// FrameResult is handed to ModePlanner.Update after a frame has been
+// fully encoded.
+type FrameResult struct {
+	FrameNum  int
+	Plan      *FramePlan
+	Cur       *video.Frame // original frame k
+	PrevRecon *video.Frame // reconstruction of frame k−1 (nil for k=0)
+	Recon     *video.Frame // reconstruction of frame k
+	Bits      int          // encoded size of this frame in bits
+}
+
+// ModePlanner is the error-resilience scheme interface. Implementations
+// must be deterministic; the encoder calls the hooks in the order
+// PlanFrame → (PreME, MEPenalty per MB) → PostME → Update, once per frame.
+type ModePlanner interface {
+	// Name identifies the scheme in reports ("PBPAIR", "GOP-3", ...).
+	Name() string
+
+	// PlanFrame returns the type of frame frameNum. Frame 0 is always
+	// encoded intra regardless of the return value (the paper's
+	// "error free image frame" start state).
+	PlanFrame(frameNum int) FrameType
+
+	// PreME reports whether the macroblock must be coded intra before
+	// motion estimation runs. Returning true skips ME entirely — the
+	// energy-saving early decision of Section 3.1.1.
+	PreME(ctx *MBContext) bool
+
+	// MEPenalty optionally biases ME candidates for this macroblock
+	// (PBPAIR's probability-aware motion-vector selection, Section
+	// 3.1.2). Return nil for plain SAD. Implementations must satisfy
+	// cost(sad, mv) >= sad.
+	MEPenalty(ctx *MBContext) motion.PenaltyFunc
+
+	// PostME may promote planned macroblocks from inter to intra after
+	// all motion estimation has run (AIR's decision point). Demotions
+	// are ignored.
+	PostME(plan *FramePlan)
+
+	// Update observes the encoded frame (PBPAIR refreshes its
+	// correctness matrix here, Section 3.1.3).
+	Update(result *FrameResult)
+}
+
+// Concealer hides a lost macroblock at the decoder, writing a
+// substitute into dst. ref is the previous reconstructed frame (nil
+// when the very first frame is lost).
+type Concealer interface {
+	ConcealMB(dst, ref *video.Frame, mbRow, mbCol int)
+}
+
+// Config parameterises an encoder.
+type Config struct {
+	Width, Height int
+	// QP is the quantiser parameter, clamped to [1, 31].
+	QP int
+	// SearchRange bounds motion vectors (default 7 when zero).
+	SearchRange int
+	// Search selects the ME strategy (default motion.FullSearch).
+	Search motion.SearchKind
+	// SADThreshold is the inter/intra fallback bias SAD_Th of the
+	// paper's Figure 4: a macroblock is coded intra when
+	// SAD_mv − SADThreshold > SAD_self. Default 500 (H.263 TMN).
+	SADThreshold int32
+	// HalfPel enables half-pixel motion refinement and compensation
+	// (H.263 §6.1.2). The integer-pel search and all planner hooks are
+	// unchanged; the winner is refined over its eight half-pel
+	// neighbours during coding, and motion vectors are transmitted in
+	// half-pel units (a picture-header flag tells the decoder).
+	HalfPel bool
+	// Deblock enables the Annex J-style in-loop deblocking filter on
+	// the luma reconstruction (signalled per picture, mirrored by the
+	// decoder).
+	Deblock bool
+	// Planner is the resilience scheme. Required.
+	Planner ModePlanner
+	// Counters optionally accumulates energy-model work units.
+	Counters *energy.Counters
+}
+
+// withDefaults validates cfg and fills defaults.
+func (cfg Config) withDefaults() (Config, error) {
+	if err := video.ValidateDims(cfg.Width, cfg.Height); err != nil {
+		return cfg, fmt.Errorf("codec: %w", err)
+	}
+	if cfg.Planner == nil {
+		return cfg, fmt.Errorf("codec: config requires a ModePlanner")
+	}
+	cfg.QP = quant.ClampQP(cfg.QP)
+	if cfg.SearchRange == 0 {
+		cfg.SearchRange = 7
+	}
+	if cfg.SearchRange < 0 || cfg.SearchRange > 31 {
+		return cfg, fmt.Errorf("codec: search range %d outside [0, 31]", cfg.SearchRange)
+	}
+	if cfg.Search == 0 {
+		cfg.Search = motion.FullSearch
+	}
+	if cfg.SADThreshold == 0 {
+		cfg.SADThreshold = 500
+	}
+	return cfg, nil
+}
+
+// EncodedFrame is one compressed picture plus the metadata the network
+// and analysis layers need.
+type EncodedFrame struct {
+	FrameNum int
+	Type     FrameType
+	Data     []byte
+	// GOBOffsets[i] is the byte offset of GOB i's start code within
+	// Data; the packetiser splits oversized frames at these points.
+	GOBOffsets []int
+	// Plan is the mode plan that produced the frame (final modes,
+	// including skip promotions).
+	Plan *FramePlan
+}
+
+// Bytes returns the encoded size in bytes.
+func (f *EncodedFrame) Bytes() int { return len(f.Data) }

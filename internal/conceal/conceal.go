@@ -1,0 +1,241 @@
+// Package conceal implements decoder-side error concealment — the
+// techniques that estimate lost macroblocks "based on the surrounding
+// received samples, by making use of inherent correlation among
+// spatially and temporally adjacent samples" (paper §3.1.3, citing
+// [2]).
+//
+// The paper's experiments assume the simple copy scheme (Copy); the
+// other strategies exist because PBPAIR's similarity factor is defined
+// per concealment scheme — swapping the concealer is the ablation knob
+// DESIGN.md calls out.
+package conceal
+
+import (
+	"math"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/video"
+)
+
+// Copy replaces a lost macroblock with the co-located macroblock of
+// the previous reconstruction — the paper's baseline. With no
+// reference (first frame), the block is painted mid-grey.
+type Copy struct{}
+
+var _ codec.Concealer = Copy{}
+
+// ConcealMB implements codec.Concealer.
+func (Copy) ConcealMB(dst, ref *video.Frame, mbRow, mbCol int) {
+	if ref == nil {
+		Grey{}.ConcealMB(dst, nil, mbRow, mbCol)
+		return
+	}
+	video.CopyMB(dst, ref, mbRow, mbCol)
+}
+
+// Grey paints the lost macroblock mid-grey: the no-information floor,
+// useful as an ablation baseline.
+type Grey struct{}
+
+var _ codec.Concealer = Grey{}
+
+// ConcealMB implements codec.Concealer.
+func (Grey) ConcealMB(dst *video.Frame, _ *video.Frame, mbRow, mbCol int) {
+	x, y := mbCol*video.MBSize, mbRow*video.MBSize
+	for r := 0; r < video.MBSize; r++ {
+		for c := 0; c < video.MBSize; c++ {
+			dst.Y[(y+r)*dst.Width+x+c] = 128
+		}
+	}
+	cw := dst.ChromaWidth()
+	cx, cy := mbCol*(video.MBSize/2), mbRow*(video.MBSize/2)
+	for r := 0; r < video.MBSize/2; r++ {
+		for c := 0; c < video.MBSize/2; c++ {
+			dst.Cb[(cy+r)*cw+cx+c] = 128
+			dst.Cr[(cy+r)*cw+cx+c] = 128
+		}
+	}
+}
+
+// Spatial interpolates the lost macroblock vertically between the
+// pixel row above and the pixel row below it in the current frame
+// (which decode in GOB order before/after the loss, or were themselves
+// concealed). Falls back to Copy at frame edges when a side is
+// missing, and to Grey with no reference.
+type Spatial struct{}
+
+var _ codec.Concealer = Spatial{}
+
+// ConcealMB implements codec.Concealer.
+func (Spatial) ConcealMB(dst, ref *video.Frame, mbRow, mbCol int) {
+	x, y := mbCol*video.MBSize, mbRow*video.MBSize
+	hasTop := y > 0
+	hasBottom := y+video.MBSize < dst.Height
+	if !hasTop && !hasBottom {
+		Copy{}.ConcealMB(dst, ref, mbRow, mbCol)
+		return
+	}
+	w := dst.Width
+	for c := 0; c < video.MBSize; c++ {
+		var top, bottom int32
+		switch {
+		case hasTop && hasBottom:
+			top = int32(dst.Y[(y-1)*w+x+c])
+			bottom = int32(dst.Y[(y+video.MBSize)*w+x+c])
+		case hasTop:
+			top = int32(dst.Y[(y-1)*w+x+c])
+			bottom = top
+		default:
+			bottom = int32(dst.Y[(y+video.MBSize)*w+x+c])
+			top = bottom
+		}
+		for r := 0; r < video.MBSize; r++ {
+			// Linear blend by distance to each known row.
+			wb := int32(r + 1)
+			wt := int32(video.MBSize - r)
+			v := (top*wt + bottom*wb) / int32(video.MBSize+1)
+			dst.Y[(y+r)*w+x+c] = video.ClampPixel(v)
+		}
+	}
+	// Chroma: flat average of the available neighbouring chroma rows.
+	cw := dst.ChromaWidth()
+	cx, cy := mbCol*(video.MBSize/2), mbRow*(video.MBSize/2)
+	for c := 0; c < video.MBSize/2; c++ {
+		var cbv, crv int32 = 128, 128
+		switch {
+		case cy > 0:
+			cbv = int32(dst.Cb[(cy-1)*cw+cx+c])
+			crv = int32(dst.Cr[(cy-1)*cw+cx+c])
+		case cy+video.MBSize/2 < dst.ChromaHeight():
+			cbv = int32(dst.Cb[(cy+video.MBSize/2)*cw+cx+c])
+			crv = int32(dst.Cr[(cy+video.MBSize/2)*cw+cx+c])
+		}
+		for r := 0; r < video.MBSize/2; r++ {
+			dst.Cb[(cy+r)*cw+cx+c] = video.ClampPixel(cbv)
+			dst.Cr[(cy+r)*cw+cx+c] = video.ClampPixel(crv)
+		}
+	}
+}
+
+// BMA is external-boundary-matching temporal concealment: it searches
+// a small window in the reference for the displacement under which the
+// pixels *surrounding* the candidate block best match the decoded
+// pixels surrounding the lost macroblock, then copies the winning
+// block — a cheap stand-in for the lost motion vector. Under a clean
+// translation this recovers the true motion exactly.
+type BMA struct {
+	// Range is the search window half-width in pixels (default 4).
+	Range int
+}
+
+var _ codec.Concealer = BMA{}
+
+// ConcealMB implements codec.Concealer.
+func (b BMA) ConcealMB(dst, ref *video.Frame, mbRow, mbCol int) {
+	if ref == nil {
+		Grey{}.ConcealMB(dst, nil, mbRow, mbCol)
+		return
+	}
+	rng := b.Range
+	if rng <= 0 {
+		rng = 4
+	}
+	x, y := mbCol*video.MBSize, mbRow*video.MBSize
+
+	bestCost := int64(math.MaxInt64)
+	bestDX, bestDY := 0, 0
+	for dy := -rng; dy <= rng; dy++ {
+		for dx := -rng; dx <= rng; dx++ {
+			rx, ry := x+dx, y+dy
+			if rx < 0 || ry < 0 || rx+video.MBSize > ref.Width || ry+video.MBSize > ref.Height {
+				continue
+			}
+			cost := boundaryCost(dst, ref, x, y, rx, ry)
+			if cost < bestCost || (cost == bestCost && dx == 0 && dy == 0) {
+				bestCost, bestDX, bestDY = cost, dx, dy
+			}
+		}
+	}
+
+	// Copy the winning block (luma + chroma at half displacement).
+	w := dst.Width
+	for r := 0; r < video.MBSize; r++ {
+		src := ref.Y[(y+bestDY+r)*w+x+bestDX:]
+		copy(dst.Y[(y+r)*w+x:(y+r)*w+x+video.MBSize], src[:video.MBSize])
+	}
+	cw := dst.ChromaWidth()
+	cx, cy := mbCol*(video.MBSize/2), mbRow*(video.MBSize/2)
+	cdx, cdy := bestDX/2, bestDY/2
+	for r := 0; r < video.MBSize/2; r++ {
+		so := (cy+cdy+r)*cw + cx + cdx
+		do := (cy+r)*cw + cx
+		copy(dst.Cb[do:do+video.MBSize/2], ref.Cb[so:so+video.MBSize/2])
+		copy(dst.Cr[do:do+video.MBSize/2], ref.Cr[so:so+video.MBSize/2])
+	}
+}
+
+// boundaryCost measures the mismatch between the decoded pixels just
+// outside the lost macroblock at (x, y) in dst and the corresponding
+// pixels just outside the candidate block at (rx, ry) in ref
+// (external boundary matching). A side contributes only when both
+// frames have pixels there; with no usable side the co-located
+// candidate wins by the tie rule above.
+func boundaryCost(dst, ref *video.Frame, x, y, rx, ry int) int64 {
+	w := dst.Width
+	var cost int64
+	if y > 0 && ry > 0 {
+		for c := 0; c < video.MBSize; c++ {
+			d := int64(dst.Y[(y-1)*w+x+c]) - int64(ref.Y[(ry-1)*w+rx+c])
+			if d < 0 {
+				d = -d
+			}
+			cost += d
+		}
+	}
+	if y+video.MBSize < dst.Height && ry+video.MBSize < ref.Height {
+		for c := 0; c < video.MBSize; c++ {
+			d := int64(dst.Y[(y+video.MBSize)*w+x+c]) - int64(ref.Y[(ry+video.MBSize)*w+rx+c])
+			if d < 0 {
+				d = -d
+			}
+			cost += d
+		}
+	}
+	if x > 0 && rx > 0 {
+		for r := 0; r < video.MBSize; r++ {
+			d := int64(dst.Y[(y+r)*w+x-1]) - int64(ref.Y[(ry+r)*w+rx-1])
+			if d < 0 {
+				d = -d
+			}
+			cost += d
+		}
+	}
+	if x+video.MBSize < dst.Width && rx+video.MBSize < ref.Width {
+		for r := 0; r < video.MBSize; r++ {
+			d := int64(dst.Y[(y+r)*w+x+video.MBSize]) - int64(ref.Y[(ry+r)*w+rx+video.MBSize])
+			if d < 0 {
+				d = -d
+			}
+			cost += d
+		}
+	}
+	return cost
+}
+
+// SimilarityScaleFor returns the PBPAIR similarity scale appropriate
+// for a concealment strategy: better concealment tolerates larger
+// co-located differences before the similarity factor reaches zero.
+// (The paper: "we can easily adopt various error concealment schemes
+// ... by modifying the similarity factor".)
+func SimilarityScaleFor(c codec.Concealer) float64 {
+	switch c.(type) {
+	case BMA:
+		return 48 // motion-tracking concealment hides more
+	case Spatial:
+		return 24 // purely spatial guesswork hides less
+	case Grey:
+		return 8 // grey patches are almost always visible
+	default:
+		return 32 // Copy and unknown: the PBPAIR default
+	}
+}

@@ -1,0 +1,167 @@
+package conceal
+
+import (
+	"math/rand"
+	"testing"
+
+	"pbpair/internal/metrics"
+	"pbpair/internal/synth"
+	"pbpair/internal/video"
+)
+
+func TestCopyReproducesReference(t *testing.T) {
+	ref := synth.New(synth.RegimeForeman).Frame(0)
+	dst := video.NewFrame(ref.Width, ref.Height)
+	Copy{}.ConcealMB(dst, ref, 3, 4)
+	want := video.NewFrame(ref.Width, ref.Height)
+	video.CopyMB(want, ref, 3, 4)
+	if !dst.Equal(want) {
+		t.Fatal("copy concealment differs from MB copy")
+	}
+}
+
+func TestCopyWithoutReferenceIsGrey(t *testing.T) {
+	dst := video.NewFrame(video.QCIFWidth, video.QCIFHeight)
+	Copy{}.ConcealMB(dst, nil, 0, 0)
+	for r := 0; r < 16; r++ {
+		for c := 0; c < 16; c++ {
+			if dst.Y[r*dst.Width+c] != 128 {
+				t.Fatal("no-reference concealment not grey")
+			}
+		}
+	}
+}
+
+func TestGreyOnlyTouchesTargetMB(t *testing.T) {
+	dst := video.NewFrame(video.QCIFWidth, video.QCIFHeight)
+	dst.Fill(7, 7, 7)
+	Grey{}.ConcealMB(dst, nil, 2, 2)
+	for y := 0; y < dst.Height; y++ {
+		for x := 0; x < dst.Width; x++ {
+			inside := y >= 32 && y < 48 && x >= 32 && x < 48
+			want := uint8(7)
+			if inside {
+				want = 128
+			}
+			if dst.Y[y*dst.Width+x] != want {
+				t.Fatalf("luma (%d,%d) = %d, want %d", x, y, dst.Y[y*dst.Width+x], want)
+			}
+		}
+	}
+}
+
+func TestSpatialInterpolatesBetweenRows(t *testing.T) {
+	dst := video.NewFrame(video.QCIFWidth, video.QCIFHeight)
+	// Rows above MB (4,5) are 100, rows below are 200.
+	for y := 0; y < dst.Height; y++ {
+		v := uint8(100)
+		if y >= 80 {
+			v = 200
+		}
+		for x := 0; x < dst.Width; x++ {
+			dst.Y[y*dst.Width+x] = v
+		}
+	}
+	Spatial{}.ConcealMB(dst, nil, 4, 5) // luma rows 64..79, cols 80..95
+	top := dst.Y[64*dst.Width+85]
+	bottom := dst.Y[79*dst.Width+85]
+	if !(top >= 100 && top < 130) {
+		t.Fatalf("top of concealed MB = %d, want near 100", top)
+	}
+	if !(bottom > 170 && bottom <= 200) {
+		t.Fatalf("bottom of concealed MB = %d, want near 200", bottom)
+	}
+	// Monotone vertically.
+	prev := int32(-1)
+	for r := 64; r < 80; r++ {
+		v := int32(dst.Y[r*dst.Width+85])
+		if v < prev {
+			t.Fatalf("interpolation not monotone at row %d", r)
+		}
+		prev = v
+	}
+}
+
+func TestSpatialFallsBackWithoutNeighbours(t *testing.T) {
+	// Single-MB frame: no top/bottom rows; falls back to Copy.
+	ref := video.NewFrame(16, 16)
+	ref.Fill(42, 99, 99)
+	dst := video.NewFrame(16, 16)
+	Spatial{}.ConcealMB(dst, ref, 0, 0)
+	if dst.Y[0] != 42 {
+		t.Fatalf("fallback copy not applied: %d", dst.Y[0])
+	}
+}
+
+func TestBMATracksMotion(t *testing.T) {
+	// Build ref and a current frame whose content is ref shifted by
+	// (3, 2). Decode everything except MB (4,5), conceal it with BMA,
+	// and expect better reconstruction than plain copy.
+	rng := rand.New(rand.NewSource(5))
+	ref := video.NewFrame(video.QCIFWidth, video.QCIFHeight)
+	for i := range ref.Y {
+		ref.Y[i] = uint8(rng.Intn(256))
+	}
+	truth := video.NewFrame(video.QCIFWidth, video.QCIFHeight)
+	for y := 0; y < truth.Height; y++ {
+		for x := 0; x < truth.Width; x++ {
+			sx, sy := x+3, y+2
+			if sx >= truth.Width {
+				sx = truth.Width - 1
+			}
+			if sy >= truth.Height {
+				sy = truth.Height - 1
+			}
+			truth.Y[y*truth.Width+x] = ref.Y[sy*ref.Width+sx]
+		}
+	}
+
+	dstBMA := truth.Clone()
+	Grey{}.ConcealMB(dstBMA, nil, 4, 5) // simulate the loss
+	BMA{}.ConcealMB(dstBMA, ref, 4, 5)
+
+	dstCopy := truth.Clone()
+	video.CopyMB(dstCopy, ref, 4, 5)
+
+	mseBMA, err := metrics.MSE(truth, dstBMA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mseCopy, err := metrics.MSE(truth, dstCopy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mseBMA >= mseCopy {
+		t.Fatalf("BMA (MSE %.2f) no better than copy (MSE %.2f) under translation", mseBMA, mseCopy)
+	}
+	if mseBMA != 0 {
+		t.Fatalf("BMA should recover the exact shift on clean translation, MSE %.2f", mseBMA)
+	}
+}
+
+func TestBMAWithoutReferenceIsGrey(t *testing.T) {
+	dst := video.NewFrame(video.QCIFWidth, video.QCIFHeight)
+	BMA{}.ConcealMB(dst, nil, 0, 0)
+	if dst.Y[0] != 128 {
+		t.Fatal("no-reference BMA not grey")
+	}
+}
+
+func TestBMAEdgeMBsDoNotPanic(t *testing.T) {
+	ref := synth.New(synth.RegimeGarden).Frame(0)
+	dst := ref.Clone()
+	for _, mb := range [][2]int{{0, 0}, {0, 10}, {8, 0}, {8, 10}} {
+		BMA{Range: 8}.ConcealMB(dst, ref, mb[0], mb[1])
+	}
+}
+
+func TestSimilarityScaleOrdering(t *testing.T) {
+	// Better concealment ⇒ larger tolerated difference.
+	bma := SimilarityScaleFor(BMA{})
+	cp := SimilarityScaleFor(Copy{})
+	sp := SimilarityScaleFor(Spatial{})
+	grey := SimilarityScaleFor(Grey{})
+	if !(bma > cp && cp > sp && sp > grey) {
+		t.Fatalf("scale ordering wrong: bma=%v copy=%v spatial=%v grey=%v", bma, cp, sp, grey)
+	}
+}

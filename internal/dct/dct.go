@@ -1,0 +1,108 @@
+// Package dct implements the 8x8 forward and inverse discrete cosine
+// transform used by the codec's transform stage.
+//
+// Per-block arithmetic is pure integer (fixed-point), matching the
+// paper's implementation note that the H.263 encoder was built with
+// fixed-point arithmetic because the target PDAs have no floating-point
+// unit. The cosine basis is tabulated once at package init as 2.14
+// fixed-point integers; each 2-D transform is two 1-D passes with a
+// single rounding step at the end, accumulated in 64-bit integers (the
+// idiomatic Go stand-in for a DSP's wide accumulator).
+package dct
+
+import (
+	"math"
+
+	"pbpair/internal/video"
+)
+
+// scaleBits is the fixed-point precision of the tabulated cosine basis.
+const scaleBits = 14
+
+// ctab[u][x] = round(2^scaleBits * c(u)/2 * cos((2x+1)uπ/16)), where
+// c(0)=1/√2 and c(u)=1 otherwise — the orthonormal DCT-II basis.
+var ctab [video.BlockSize][video.BlockSize]int32
+
+func init() {
+	n := float64(video.BlockSize)
+	for u := 0; u < video.BlockSize; u++ {
+		cu := 1.0
+		if u == 0 {
+			cu = 1 / math.Sqrt2
+		}
+		for x := 0; x < video.BlockSize; x++ {
+			v := cu / 2 * math.Cos((2*float64(x)+1)*float64(u)*math.Pi/(2*n))
+			ctab[u][x] = int32(math.Round(v * (1 << scaleBits)))
+		}
+	}
+}
+
+// Forward computes the 2-D DCT-II of src into dst. Input samples are
+// expected in the residual range [-255, 255] or the intra range
+// [0, 255]; output coefficients lie in [-2048, 2047] (the H.263
+// coefficient range).
+func Forward(src, dst *video.Block) {
+	// Row pass: tmp[x][v] = Σ_y src[x][y] * ctab[v][y], scaled 2^14.
+	var tmp [video.BlockSize * video.BlockSize]int64
+	for x := 0; x < video.BlockSize; x++ {
+		row := src[x*video.BlockSize:]
+		for v := 0; v < video.BlockSize; v++ {
+			var sum int64
+			for y := 0; y < video.BlockSize; y++ {
+				sum += int64(row[y]) * int64(ctab[v][y])
+			}
+			tmp[x*video.BlockSize+v] = sum
+		}
+	}
+	// Column pass: dst[u][v] = Σ_x tmp[x][v] * ctab[u][x], scaled 2^28,
+	// rounded back to integers.
+	const round = int64(1) << (2*scaleBits - 1)
+	for v := 0; v < video.BlockSize; v++ {
+		for u := 0; u < video.BlockSize; u++ {
+			var sum int64
+			for x := 0; x < video.BlockSize; x++ {
+				sum += tmp[x*video.BlockSize+v] * int64(ctab[u][x])
+			}
+			dst[u*video.BlockSize+v] = clampCoef(int32((sum + round) >> (2 * scaleBits)))
+		}
+	}
+}
+
+// Inverse computes the 2-D inverse DCT (DCT-III) of src into dst.
+// Coefficients in [-2048, 2047] reconstruct samples within ±1 of the
+// original for any block that came out of Forward.
+func Inverse(src, dst *video.Block) {
+	// Row pass over coefficient rows: tmp[u][y] = Σ_v src[u][v]*ctab[v][y].
+	var tmp [video.BlockSize * video.BlockSize]int64
+	for u := 0; u < video.BlockSize; u++ {
+		row := src[u*video.BlockSize:]
+		for y := 0; y < video.BlockSize; y++ {
+			var sum int64
+			for v := 0; v < video.BlockSize; v++ {
+				sum += int64(row[v]) * int64(ctab[v][y])
+			}
+			tmp[u*video.BlockSize+y] = sum
+		}
+	}
+	const round = int64(1) << (2*scaleBits - 1)
+	for y := 0; y < video.BlockSize; y++ {
+		for x := 0; x < video.BlockSize; x++ {
+			var sum int64
+			for u := 0; u < video.BlockSize; u++ {
+				sum += tmp[u*video.BlockSize+y] * int64(ctab[u][x])
+			}
+			dst[x*video.BlockSize+y] = int32((sum + round) >> (2 * scaleBits))
+		}
+	}
+}
+
+// clampCoef clamps a transform coefficient to the H.263 range.
+func clampCoef(v int32) int32 {
+	if v < -2048 {
+		return -2048
+	}
+	if v > 2047 {
+		return 2047
+	}
+	return v
+}

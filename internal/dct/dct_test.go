@@ -1,0 +1,204 @@
+package dct
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pbpair/internal/video"
+)
+
+// floatForward is an independent float64 reference DCT-II used to
+// validate the fixed-point implementation.
+func floatForward(src *video.Block) [64]float64 {
+	var out [64]float64
+	n := float64(video.BlockSize)
+	for u := 0; u < 8; u++ {
+		for v := 0; v < 8; v++ {
+			cu, cv := 1.0, 1.0
+			if u == 0 {
+				cu = 1 / math.Sqrt2
+			}
+			if v == 0 {
+				cv = 1 / math.Sqrt2
+			}
+			var sum float64
+			for x := 0; x < 8; x++ {
+				for y := 0; y < 8; y++ {
+					sum += float64(src[x*8+y]) *
+						math.Cos((2*float64(x)+1)*float64(u)*math.Pi/(2*n)) *
+						math.Cos((2*float64(y)+1)*float64(v)*math.Pi/(2*n))
+				}
+			}
+			out[u*8+v] = cu * cv / 4 * sum
+		}
+	}
+	return out
+}
+
+func randBlock(rng *rand.Rand, lo, hi int32) *video.Block {
+	var b video.Block
+	for i := range b {
+		b[i] = lo + rng.Int31n(hi-lo+1)
+	}
+	return &b
+}
+
+func TestForwardFlatBlockDCOnly(t *testing.T) {
+	var src, dst video.Block
+	for i := range src {
+		src[i] = 100
+	}
+	Forward(&src, &dst)
+	if dst[0] != 800 { // 8 * mean
+		t.Fatalf("DC = %d, want 800", dst[0])
+	}
+	for i := 1; i < 64; i++ {
+		if dst[i] != 0 {
+			t.Fatalf("AC[%d] = %d, want 0", i, dst[i])
+		}
+	}
+}
+
+func TestForwardMatchesFloatReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		src := randBlock(rng, -255, 255)
+		var got video.Block
+		Forward(src, &got)
+		want := floatForward(src)
+		for i := range got {
+			if d := math.Abs(float64(got[i]) - want[i]); d > 1.0 {
+				t.Fatalf("trial %d coef %d: fixed %d vs float %.3f (|Δ|=%.3f)",
+					trial, i, got[i], want[i], d)
+			}
+		}
+	}
+}
+
+func TestRoundTripIntraRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		src := randBlock(rng, 0, 255)
+		var freq, rec video.Block
+		Forward(src, &freq)
+		Inverse(&freq, &rec)
+		for i := range src {
+			if d := src[i] - rec[i]; d > 1 || d < -1 {
+				t.Fatalf("trial %d pixel %d: %d -> %d (|Δ|>1)", trial, i, src[i], rec[i])
+			}
+		}
+	}
+}
+
+// TestRoundTripProperty is the DESIGN.md invariant: for any in-range
+// residual block, Forward→Inverse reproduces every sample within ±1.
+func TestRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		src := randBlock(rng, -255, 255)
+		var freq, rec video.Block
+		Forward(src, &freq)
+		Inverse(&freq, &rec)
+		for i := range src {
+			if d := src[i] - rec[i]; d > 1 || d < -1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLinearity(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randBlock(rng, -100, 100)
+	b := randBlock(rng, -100, 100)
+	var sum video.Block
+	for i := range sum {
+		sum[i] = a[i] + b[i]
+	}
+	var fa, fb, fsum video.Block
+	Forward(a, &fa)
+	Forward(b, &fb)
+	Forward(&sum, &fsum)
+	for i := range fsum {
+		if d := fsum[i] - (fa[i] + fb[i]); d > 2 || d < -2 {
+			t.Fatalf("coef %d: DCT(a+b)=%d, DCT(a)+DCT(b)=%d", i, fsum[i], fa[i]+fb[i])
+		}
+	}
+}
+
+// TestParseval checks approximate energy preservation (orthonormal
+// basis): Σf² ≈ ΣF².
+func TestParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	src := randBlock(rng, -255, 255)
+	var freq video.Block
+	Forward(src, &freq)
+	var es, ef float64
+	for i := range src {
+		es += float64(src[i]) * float64(src[i])
+		ef += float64(freq[i]) * float64(freq[i])
+	}
+	if rel := math.Abs(es-ef) / es; rel > 0.01 {
+		t.Fatalf("energy mismatch: spatial %.0f vs frequency %.0f (rel %.4f)", es, ef, rel)
+	}
+}
+
+func TestCoefficientRange(t *testing.T) {
+	// Worst-case inputs must stay inside the H.263 coefficient range.
+	var src, dst video.Block
+	for i := range src {
+		src[i] = 255
+	}
+	Forward(&src, &dst)
+	for i, v := range dst {
+		if v < -2048 || v > 2047 {
+			t.Fatalf("coef %d = %d outside [-2048, 2047]", i, v)
+		}
+	}
+	if dst[0] != 2040 {
+		t.Fatalf("max DC = %d, want 2040", dst[0])
+	}
+}
+
+func TestInverseZeroBlock(t *testing.T) {
+	var freq, rec video.Block
+	Inverse(&freq, &rec)
+	for i, v := range rec {
+		if v != 0 {
+			t.Fatalf("pixel %d = %d, want 0", i, v)
+		}
+	}
+}
+
+func TestClampCoef(t *testing.T) {
+	if clampCoef(-3000) != -2048 || clampCoef(3000) != 2047 || clampCoef(5) != 5 {
+		t.Fatal("clampCoef wrong")
+	}
+}
+
+func BenchmarkForward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := randBlock(rng, -255, 255)
+	var dst video.Block
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Forward(src, &dst)
+	}
+}
+
+func BenchmarkInverse(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := randBlock(rng, -255, 255)
+	var freq, dst video.Block
+	Forward(src, &freq)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Inverse(&freq, &dst)
+	}
+}

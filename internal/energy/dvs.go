@@ -1,0 +1,137 @@
+package energy
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Dynamic voltage/frequency scaling — the paper's §5 extension
+// ("Cooperation with traditional low power techniques such as dynamic
+// voltage scaling (DVS) and dynamic frequency scaling (DFS) to explore
+// more energy gain").
+//
+// The model follows the standard CMOS relations: at frequency f and
+// supply voltage V, energy per cycle scales with V² and execution time
+// with 1/f. A real-time encoder has a per-frame deadline (the frame
+// interval); a DVS governor picks the lowest level whose speed still
+// meets the deadline for the frame's predicted workload. Because
+// PBPAIR's intra refresh removes motion-estimation cycles, it lets the
+// governor drop to lower levels — the energy saving compounds
+// quadratically, which is exactly the synergy the paper anticipates.
+
+// FreqLevel is one operating point of the processor.
+type FreqLevel struct {
+	MHz   float64
+	Volts float64
+}
+
+// XScaleLevels approximates the Intel PXA25x/PXA26x operating points
+// of the paper's PDAs (400 MHz at 1.3 V nominal).
+var XScaleLevels = []FreqLevel{
+	{MHz: 100, Volts: 0.85},
+	{MHz: 200, Volts: 1.00},
+	{MHz: 300, Volts: 1.10},
+	{MHz: 400, Volts: 1.30},
+}
+
+// nominalNJPerCycle anchors the counter model to cycles: the base
+// profiles are calibrated at the 400 MHz / 1.3 V point with roughly
+// this energy per cycle.
+const nominalNJPerCycle = 1.1
+
+// Cycles estimates the processor cycles behind a counter tally, by
+// inverting the nominal profile's nanojoule costs. It is the workload
+// input to the DVS governor.
+func (p Profile) Cycles(c Counters) float64 {
+	return p.Joules(c) * 1e9 / nominalNJPerCycle
+}
+
+// ScaleToLevel returns a copy of the profile with every per-unit cost
+// scaled by (V/Vnominal)² — the energy of running the same work at a
+// different operating point. Vnominal is taken from the highest level
+// of the given table.
+func (p Profile) ScaleToLevel(level FreqLevel, levels []FreqLevel) Profile {
+	vNom := levels[len(levels)-1].Volts
+	s := (level.Volts / vNom) * (level.Volts / vNom)
+	q := p
+	q.Name = fmt.Sprintf("%s@%.0fMHz", p.Name, level.MHz)
+	q.PerSADPixelOp *= s
+	q.PerSADCall *= s
+	q.PerDCTBlock *= s
+	q.PerIDCTBlock *= s
+	q.PerQuantBlock *= s
+	q.PerDequant *= s
+	q.PerMCMB *= s
+	q.PerVLCBit *= s
+	q.PerMB *= s
+	q.PerFrame *= s
+	return q
+}
+
+// Governor selects operating points per frame.
+type Governor struct {
+	levels        []FreqLevel
+	deadlineSec   float64
+	profile       Profile
+	predictCycles float64 // workload predictor (EMA of observed cycles)
+	seeded        bool
+}
+
+// NewGovernor returns a DVS governor for the given profile, level
+// table (ascending frequency) and frame deadline in seconds (e.g.
+// 0.1 for 10 fps). levels must be non-empty and sorted ascending.
+func NewGovernor(p Profile, levels []FreqLevel, deadlineSec float64) (*Governor, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("energy: governor needs at least one frequency level")
+	}
+	if !sort.SliceIsSorted(levels, func(i, j int) bool { return levels[i].MHz < levels[j].MHz }) {
+		return nil, fmt.Errorf("energy: frequency levels must be sorted ascending")
+	}
+	if deadlineSec <= 0 {
+		return nil, fmt.Errorf("energy: frame deadline %v must be positive", deadlineSec)
+	}
+	return &Governor{levels: levels, deadlineSec: deadlineSec, profile: p}, nil
+}
+
+// Select returns the lowest level that can execute the predicted
+// workload within the deadline, defaulting to the highest level when
+// even that cannot (deadline miss — reported by the second return).
+func (g *Governor) Select() (FreqLevel, bool) {
+	cycles := g.predictCycles
+	for _, level := range g.levels {
+		if cycles <= level.MHz*1e6*g.deadlineSec {
+			return level, true
+		}
+	}
+	top := g.levels[len(g.levels)-1]
+	return top, false
+}
+
+// Observe feeds the actual cycles of the last frame into the workload
+// predictor (EMA with 0.5 weight: video workloads are strongly
+// frame-to-frame correlated, so a fast predictor tracks scene changes
+// while smoothing noise).
+func (g *Governor) Observe(frame Counters) {
+	cycles := g.profile.Cycles(frame)
+	if !g.seeded {
+		g.predictCycles = cycles
+		g.seeded = true
+		return
+	}
+	g.predictCycles += 0.5 * (cycles - g.predictCycles)
+}
+
+// FrameEnergy prices one frame's tally at a level: V²-scaled per-cycle
+// energy.
+func (g *Governor) FrameEnergy(frame Counters, level FreqLevel) float64 {
+	return g.profile.ScaleToLevel(level, g.levels).Joules(frame)
+}
+
+// Deadline returns the governor's frame deadline in seconds.
+func (g *Governor) Deadline() float64 { return g.deadlineSec }
+
+// FrameTime returns the execution time of a frame's workload at a
+// level, in seconds.
+func (g *Governor) FrameTime(frame Counters, level FreqLevel) float64 {
+	return g.profile.Cycles(frame) / (level.MHz * 1e6)
+}

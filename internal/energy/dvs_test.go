@@ -1,0 +1,171 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+// interMB is a full-ME inter macroblock's tally (range ±15 full search).
+func interMB() Counters {
+	return Counters{
+		SADPixelOps: 961 * 256, SADCalls: 961,
+		DCTBlocks: 6, IDCTBlocks: 6, QuantBlocks: 6, DequantBlocks: 6,
+		MCMBs: 1, VLCBits: 350, MBs: 1,
+	}
+}
+
+// intraMB is an intra macroblock's tally (no ME).
+func intraMB() Counters {
+	return Counters{
+		DCTBlocks: 6, IDCTBlocks: 6, QuantBlocks: 6, DequantBlocks: 6,
+		VLCBits: 600, MBs: 1,
+	}
+}
+
+func frameOf(mb Counters, n int) Counters {
+	var c Counters
+	for i := 0; i < n; i++ {
+		c.Add(mb)
+	}
+	c.Frames = 1
+	return c
+}
+
+func TestGovernorValidation(t *testing.T) {
+	if _, err := NewGovernor(IPAQ, nil, 0.1); err == nil {
+		t.Fatal("empty levels accepted")
+	}
+	if _, err := NewGovernor(IPAQ, XScaleLevels, 0); err == nil {
+		t.Fatal("zero deadline accepted")
+	}
+	unsorted := []FreqLevel{{MHz: 400, Volts: 1.3}, {MHz: 100, Volts: 0.85}}
+	if _, err := NewGovernor(IPAQ, unsorted, 0.1); err == nil {
+		t.Fatal("unsorted levels accepted")
+	}
+}
+
+func TestCyclesPositiveAndAdditive(t *testing.T) {
+	a := frameOf(interMB(), 10)
+	b := frameOf(intraMB(), 10)
+	ca, cb := IPAQ.Cycles(a), IPAQ.Cycles(b)
+	if ca <= 0 || cb <= 0 {
+		t.Fatal("non-positive cycle estimates")
+	}
+	if ca <= cb {
+		t.Fatal("full-ME frame should cost more cycles than all-intra")
+	}
+	var sum Counters
+	sum.Add(a)
+	sum.Add(b)
+	if math.Abs(IPAQ.Cycles(sum)-(ca+cb)) > 1 {
+		t.Fatal("cycles not additive")
+	}
+}
+
+func TestScaleToLevelQuadratic(t *testing.T) {
+	c := frameOf(interMB(), 99)
+	top := XScaleLevels[len(XScaleLevels)-1]
+	low := XScaleLevels[0]
+	eTop := IPAQ.ScaleToLevel(top, XScaleLevels).Joules(c)
+	eLow := IPAQ.ScaleToLevel(low, XScaleLevels).Joules(c)
+	if math.Abs(eTop-IPAQ.Joules(c)) > 1e-12 {
+		t.Fatal("top level should match the nominal profile")
+	}
+	want := (low.Volts / top.Volts) * (low.Volts / top.Volts)
+	if got := eLow / eTop; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("voltage scaling ratio %v, want %v", got, want)
+	}
+}
+
+func TestGovernorPicksLowestFeasibleLevel(t *testing.T) {
+	g, err := NewGovernor(IPAQ, XScaleLevels, 0.1) // 10 fps
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Light workload: an all-intra QCIF frame.
+	light := frameOf(intraMB(), 99)
+	g.Observe(light)
+	level, ok := g.Select()
+	if !ok {
+		t.Fatal("light workload missed deadline")
+	}
+	if level.MHz != 100 {
+		t.Fatalf("light workload selected %v MHz, want 100", level.MHz)
+	}
+
+	// Heavy workload: full-search ME on every macroblock. Feed it
+	// until the EMA predictor converges.
+	heavy := frameOf(interMB(), 99)
+	for i := 0; i < 8; i++ {
+		g.Observe(heavy)
+	}
+	heavyLevel, ok := g.Select()
+	if heavyLevel.MHz <= level.MHz {
+		t.Fatalf("heavy workload selected %v MHz, not above %v", heavyLevel.MHz, level.MHz)
+	}
+	// When the governor claims the deadline is met, the converged
+	// prediction equals the true workload, so the real frame must fit
+	// (small tolerance for residual EMA error).
+	if ok && g.FrameTime(heavy, heavyLevel) > 0.1*1.05 {
+		t.Fatalf("selected level misses deadline: %v s at %v MHz",
+			g.FrameTime(heavy, heavyLevel), heavyLevel.MHz)
+	}
+}
+
+func TestGovernorReportsDeadlineMiss(t *testing.T) {
+	// A 100 fps deadline with a huge workload cannot be met even at
+	// 400 MHz.
+	g, err := NewGovernor(IPAQ, XScaleLevels, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := frameOf(interMB(), 99)
+	g.Observe(huge)
+	level, ok := g.Select()
+	if ok {
+		t.Fatalf("deadline reported met at %v MHz for %v cycles in 10 ms",
+			level.MHz, IPAQ.Cycles(huge))
+	}
+	if level.MHz != 400 {
+		t.Fatalf("miss should select the top level, got %v", level.MHz)
+	}
+}
+
+// TestDVSAmplifiesIntraSaving is the §5 synergy claim: the energy gap
+// between an all-intra and a full-ME frame grows once DVS can downshift
+// for the lighter workload.
+func TestDVSAmplifiesIntraSaving(t *testing.T) {
+	g, err := NewGovernor(IPAQ, XScaleLevels, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inter := frameOf(interMB(), 99)
+	intra := frameOf(intraMB(), 99)
+
+	// Without DVS (both at top level):
+	top := XScaleLevels[len(XScaleLevels)-1]
+	gapFixed := g.FrameEnergy(inter, top) / g.FrameEnergy(intra, top)
+
+	// With DVS: each frame at its own lowest feasible level.
+	levelFor := func(c Counters) FreqLevel {
+		gg, err := NewGovernor(IPAQ, XScaleLevels, 0.1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gg.Observe(c)
+		l, _ := gg.Select()
+		return l
+	}
+	gapDVS := g.FrameEnergy(inter, levelFor(inter)) / g.FrameEnergy(intra, levelFor(intra))
+	t.Logf("inter/intra energy ratio: fixed %.2f, DVS %.2f", gapFixed, gapDVS)
+	if gapDVS <= gapFixed {
+		t.Fatalf("DVS did not amplify the intra saving: %.2f <= %.2f", gapDVS, gapFixed)
+	}
+}
+
+func TestScaledProfileName(t *testing.T) {
+	q := IPAQ.ScaleToLevel(XScaleLevels[0], XScaleLevels)
+	if q.Name == IPAQ.Name || q.Name == "" {
+		t.Fatalf("scaled profile name %q should be distinct", q.Name)
+	}
+}

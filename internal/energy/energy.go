@@ -1,0 +1,125 @@
+// Package energy models encoding energy consumption, substituting for
+// the paper's hardware measurement (a DAQ board sampling the supply of
+// iPAQ H5555 and Zaurus SL-5600 PDAs; see DESIGN.md, substitution 2).
+//
+// The encoder counts architecture-independent work units; a device
+// Profile maps each unit to nanojoules. Profiles are calibrated to an
+// Intel XScale PXA-class core at 400 MHz (~1 nJ per cycle at typical
+// active power) such that full-search motion estimation dominates
+// encode energy — the premise of the paper ("motion estimation ... is
+// the most power consuming operation"). Energy *differences* between
+// schemes therefore arise from the same mechanism as on real hardware:
+// how often each scheme runs ME.
+package energy
+
+// Counters tallies the work performed while encoding. All fields are
+// exact counts, accumulated additively; the zero value is an empty
+// tally.
+type Counters struct {
+	SADPixelOps   int64 // per-pixel |a−b| operations inside ME (early exit honoured)
+	SADCalls      int64 // block-SAD evaluations started
+	DCTBlocks     int64 // forward 8x8 transforms
+	IDCTBlocks    int64 // inverse 8x8 transforms
+	QuantBlocks   int64 // quantised 8x8 blocks
+	DequantBlocks int64 // dequantised 8x8 blocks
+	MCMBs         int64 // motion-compensated macroblocks
+	VLCBits       int64 // entropy-coded output bits
+	MBs           int64 // macroblocks processed (per-MB overhead)
+	Frames        int64 // frames processed (per-frame overhead)
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.SADPixelOps += other.SADPixelOps
+	c.SADCalls += other.SADCalls
+	c.DCTBlocks += other.DCTBlocks
+	c.IDCTBlocks += other.IDCTBlocks
+	c.QuantBlocks += other.QuantBlocks
+	c.DequantBlocks += other.DequantBlocks
+	c.MCMBs += other.MCMBs
+	c.VLCBits += other.VLCBits
+	c.MBs += other.MBs
+	c.Frames += other.Frames
+}
+
+// Profile maps work units to energy. All costs are in nanojoules per
+// unit.
+type Profile struct {
+	Name string
+
+	PerSADPixelOp float64
+	PerSADCall    float64
+	PerDCTBlock   float64
+	PerIDCTBlock  float64
+	PerQuantBlock float64
+	PerDequant    float64
+	PerMCMB       float64
+	PerVLCBit     float64
+	PerMB         float64
+	PerFrame      float64
+}
+
+// IPAQ models the HP iPAQ H5555 (Intel XScale 400 MHz, 128 MB SDRAM) —
+// the device behind the paper's Figure 5(d).
+var IPAQ = Profile{
+	Name:          "iPAQ-H5555",
+	PerSADPixelOp: 1.2,
+	PerSADCall:    60,
+	PerDCTBlock:   2200,
+	PerIDCTBlock:  2200,
+	PerQuantBlock: 400,
+	PerDequant:    400,
+	PerMCMB:       800,
+	PerVLCBit:     10,
+	PerMB:         600,
+	PerFrame:      30000,
+}
+
+// Zaurus models the Sharp Zaurus SL-5600 (same 400 MHz XScale core,
+// slower 32 MB SDRAM path → memory-bound stages cost ~20% more).
+var Zaurus = Profile{
+	Name:          "Zaurus-SL5600",
+	PerSADPixelOp: 1.45,
+	PerSADCall:    70,
+	PerDCTBlock:   2350,
+	PerIDCTBlock:  2350,
+	PerQuantBlock: 420,
+	PerDequant:    420,
+	PerMCMB:       980,
+	PerVLCBit:     11,
+	PerMB:         650,
+	PerFrame:      33000,
+}
+
+// Breakdown is a per-stage energy decomposition in joules.
+type Breakdown struct {
+	ME        float64 // SAD pixel ops + call overhead
+	Transform float64 // DCT + IDCT
+	Quant     float64 // quantise + dequantise
+	MC        float64
+	VLC       float64
+	Overhead  float64 // per-MB and per-frame fixed costs
+}
+
+// Total returns the sum of all stages in joules.
+func (b Breakdown) Total() float64 {
+	return b.ME + b.Transform + b.Quant + b.MC + b.VLC + b.Overhead
+}
+
+// Decompose converts a counter tally to a per-stage energy breakdown.
+func (p Profile) Decompose(c Counters) Breakdown {
+	const nj = 1e-9
+	return Breakdown{
+		ME:        nj * (float64(c.SADPixelOps)*p.PerSADPixelOp + float64(c.SADCalls)*p.PerSADCall),
+		Transform: nj * (float64(c.DCTBlocks)*p.PerDCTBlock + float64(c.IDCTBlocks)*p.PerIDCTBlock),
+		Quant:     nj * (float64(c.QuantBlocks)*p.PerQuantBlock + float64(c.DequantBlocks)*p.PerDequant),
+		MC:        nj * float64(c.MCMBs) * p.PerMCMB,
+		VLC:       nj * float64(c.VLCBits) * p.PerVLCBit,
+		Overhead:  nj * (float64(c.MBs)*p.PerMB + float64(c.Frames)*p.PerFrame),
+	}
+}
+
+// Joules returns the total modelled energy for a tally.
+func (p Profile) Joules(c Counters) float64 {
+	return p.Decompose(c).Total()
+}

@@ -1,0 +1,126 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{SADPixelOps: 1, SADCalls: 2, DCTBlocks: 3, IDCTBlocks: 4,
+		QuantBlocks: 5, DequantBlocks: 6, MCMBs: 7, VLCBits: 8, MBs: 9, Frames: 10}
+	b := a
+	a.Add(b)
+	want := Counters{SADPixelOps: 2, SADCalls: 4, DCTBlocks: 6, IDCTBlocks: 8,
+		QuantBlocks: 10, DequantBlocks: 12, MCMBs: 14, VLCBits: 16, MBs: 18, Frames: 20}
+	if a != want {
+		t.Fatalf("Add: got %+v, want %+v", a, want)
+	}
+}
+
+func TestJoulesZeroCounters(t *testing.T) {
+	if j := IPAQ.Joules(Counters{}); j != 0 {
+		t.Fatalf("empty tally costs %v J", j)
+	}
+}
+
+func TestJoulesAdditive(t *testing.T) {
+	prop := func(a, b uint16) bool {
+		ca := Counters{SADPixelOps: int64(a), DCTBlocks: int64(b), VLCBits: int64(a) + int64(b)}
+		cb := Counters{SADPixelOps: int64(b), IDCTBlocks: int64(a), MBs: 3}
+		sum := ca
+		sum.Add(cb)
+		sep := IPAQ.Joules(ca) + IPAQ.Joules(cb)
+		tot := IPAQ.Joules(sum)
+		diff := sep - tot
+		if diff < 0 {
+			diff = -diff
+		}
+		return diff < 1e-12
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoulesMonotone(t *testing.T) {
+	small := Counters{SADPixelOps: 1000, DCTBlocks: 6}
+	large := Counters{SADPixelOps: 2000, DCTBlocks: 12}
+	if IPAQ.Joules(small) >= IPAQ.Joules(large) {
+		t.Fatal("energy not monotone in counters")
+	}
+}
+
+func TestDecomposeTotalsMatch(t *testing.T) {
+	c := Counters{
+		SADPixelOps: 57600, SADCalls: 225,
+		DCTBlocks: 6, IDCTBlocks: 6, QuantBlocks: 6, DequantBlocks: 6,
+		MCMBs: 1, VLCBits: 300, MBs: 1, Frames: 1,
+	}
+	for _, p := range []Profile{IPAQ, Zaurus} {
+		b := p.Decompose(c)
+		if got, want := b.Total(), p.Joules(c); got != want {
+			t.Fatalf("%s: Breakdown.Total %v != Joules %v", p.Name, got, want)
+		}
+		for _, stage := range []float64{b.ME, b.Transform, b.Quant, b.MC, b.VLC, b.Overhead} {
+			if stage < 0 {
+				t.Fatalf("%s: negative stage energy %+v", p.Name, b)
+			}
+		}
+	}
+}
+
+// TestMEDominatesForFullSearch encodes the calibration target: for a
+// typical inter macroblock with full-search ME (range ±7, no early
+// exit), ME must be the majority of macroblock energy on both devices —
+// the paper's premise.
+func TestMEDominatesForFullSearch(t *testing.T) {
+	mb := Counters{
+		SADPixelOps: 225 * 256, // 15x15 candidates, full 16x16 SAD each
+		SADCalls:    225,
+		DCTBlocks:   6, IDCTBlocks: 6, QuantBlocks: 6, DequantBlocks: 6,
+		MCMBs: 1, VLCBits: 350, MBs: 1,
+	}
+	for _, p := range []Profile{IPAQ, Zaurus} {
+		b := p.Decompose(mb)
+		if share := b.ME / b.Total(); share < 0.5 {
+			t.Fatalf("%s: ME share %.2f < 0.5 (breakdown %+v)", p.Name, share, b)
+		}
+	}
+}
+
+// TestIntraMBMuchCheaperThanInter: an intra macroblock (no ME, no MC)
+// must cost well under half of an inter macroblock with full-search
+// ME — PBPAIR's energy saving mechanism.
+func TestIntraMBMuchCheaperThanInter(t *testing.T) {
+	inter := Counters{
+		SADPixelOps: 225 * 256, SADCalls: 225,
+		DCTBlocks: 6, IDCTBlocks: 6, QuantBlocks: 6, DequantBlocks: 6,
+		MCMBs: 1, VLCBits: 350, MBs: 1,
+	}
+	intra := Counters{
+		DCTBlocks: 6, IDCTBlocks: 6, QuantBlocks: 6, DequantBlocks: 6,
+		VLCBits: 600, MBs: 1,
+	}
+	for _, p := range []Profile{IPAQ, Zaurus} {
+		if ratio := p.Joules(intra) / p.Joules(inter); ratio > 0.5 {
+			t.Fatalf("%s: intra/inter energy ratio %.2f > 0.5", p.Name, ratio)
+		}
+	}
+}
+
+func TestZaurusCostsMoreThanIPAQ(t *testing.T) {
+	c := Counters{
+		SADPixelOps: 1e6, SADCalls: 4000,
+		DCTBlocks: 600, IDCTBlocks: 600, QuantBlocks: 600, DequantBlocks: 600,
+		MCMBs: 99, VLCBits: 40000, MBs: 99, Frames: 1,
+	}
+	if Zaurus.Joules(c) <= IPAQ.Joules(c) {
+		t.Fatal("Zaurus (slower memory) should cost more than iPAQ for the same work")
+	}
+}
+
+func TestProfileNames(t *testing.T) {
+	if IPAQ.Name == "" || Zaurus.Name == "" || IPAQ.Name == Zaurus.Name {
+		t.Fatal("profiles must have distinct non-empty names")
+	}
+}

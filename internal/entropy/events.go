@@ -1,0 +1,82 @@
+package entropy
+
+import (
+	"fmt"
+
+	"pbpair/internal/video"
+)
+
+// Event is one (LAST, RUN, LEVEL) symbol of the TCOEF-style block
+// coding: RUN zero coefficients in zigzag order followed by a nonzero
+// coefficient of value LEVEL; LAST marks the final event of the block.
+type Event struct {
+	Last  bool
+	Run   int   // zero-run length before the coefficient, 0..63
+	Level int32 // nonzero coefficient level, ±1..±1024
+}
+
+// Valid reports whether the event is encodable.
+func (e Event) Valid() bool {
+	return e.Run >= 0 && e.Run < video.BlockSize*video.BlockSize &&
+		e.Level != 0 && e.Level >= -1024 && e.Level <= 1024
+}
+
+// BlockEvents converts a quantised block into its event sequence in
+// zigzag order, appending to dst. If skipDC is true, scan position 0
+// (the intra DC, coded separately as a fixed-length field) is excluded.
+// An all-zero (after skipping) block yields no events; callers signal
+// that through the coded-block pattern instead.
+func BlockEvents(levels *video.Block, skipDC bool, dst []Event) []Event {
+	start := 0
+	if skipDC {
+		start = 1
+	}
+	run := 0
+	first := len(dst)
+	for i := start; i < len(levels); i++ {
+		v := levels[zigzag[i]]
+		if v == 0 {
+			run++
+			continue
+		}
+		dst = append(dst, Event{Run: run, Level: v})
+		run = 0
+	}
+	if len(dst) > first {
+		dst[len(dst)-1].Last = true
+	}
+	return dst
+}
+
+// EventsToBlock expands an event sequence back into a block in zigzag
+// order. If skipDC is true, expansion starts at scan position 1 and
+// position 0 is left untouched. Positions not covered by events are
+// zeroed.
+func EventsToBlock(events []Event, skipDC bool, dst *video.Block) error {
+	start := 0
+	if skipDC {
+		start = 1
+	}
+	for i := start; i < len(dst); i++ {
+		dst[zigzag[i]] = 0
+	}
+	pos := start
+	for n, e := range events {
+		if !e.Valid() {
+			return fmt.Errorf("entropy: invalid event %+v", e)
+		}
+		pos += e.Run
+		if pos >= len(dst) {
+			return fmt.Errorf("entropy: events overflow block at event %d (pos %d)", n, pos)
+		}
+		dst[zigzag[pos]] = e.Level
+		pos++
+		if e.Last && n != len(events)-1 {
+			return fmt.Errorf("entropy: LAST set on non-final event %d", n)
+		}
+	}
+	if len(events) > 0 && !events[len(events)-1].Last {
+		return fmt.Errorf("entropy: final event missing LAST flag")
+	}
+	return nil
+}

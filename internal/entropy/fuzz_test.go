@@ -1,0 +1,60 @@
+package entropy
+
+import (
+	"testing"
+
+	"pbpair/internal/bitstream"
+)
+
+// FuzzReadEvent: arbitrary bit streams must either decode into valid
+// events or fail with an error — never panic, never emit an invalid
+// event.
+func FuzzReadEvent(f *testing.F) {
+	var w bitstream.Writer
+	for _, e := range []Event{
+		{Run: 0, Level: 1},
+		{Run: 5, Level: -3, Last: true},
+		{Run: 40, Level: 900},
+	} {
+		w.Reset()
+		if err := WriteEvent(&w, e); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(append([]byte(nil), w.Bytes()...))
+	}
+	f.Add([]byte{0x00})
+	f.Add([]byte{0xFF, 0xFF, 0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bitstream.NewReader(data)
+		for i := 0; i < 64; i++ {
+			ev, err := ReadEvent(r)
+			if err != nil {
+				return // expected for corrupt input
+			}
+			if !ev.Valid() {
+				t.Fatalf("decoded invalid event %+v", ev)
+			}
+		}
+	})
+}
+
+// FuzzReadUE: Exp-Golomb decoding over arbitrary data never panics and
+// never returns out-of-range values.
+func FuzzReadUE(f *testing.F) {
+	f.Add([]byte{0x80})
+	f.Add([]byte{0x04, 0x20})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bitstream.NewReader(data)
+		for i := 0; i < 64; i++ {
+			v, err := ReadUE(r)
+			if err != nil {
+				return
+			}
+			if v > maxUE {
+				t.Fatalf("ue decoded out-of-range %d", v)
+			}
+		}
+	})
+}

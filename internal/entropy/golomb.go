@@ -1,0 +1,86 @@
+// Package entropy implements the VLC / VLD stage of the codec: zigzag
+// scanning, (last, run, level) event coding with a static Huffman-style
+// table plus escape codes, and Exp-Golomb codes for headers and motion
+// vectors.
+//
+// The structure mirrors H.263's TCOEF coding — a static variable-length
+// table over the common (last, run, level) events with a fixed-length
+// escape for the rest — but the code table itself is derived from a
+// synthetic frequency model rather than copied from the H.263 Annex
+// (see DESIGN.md, substitution 3). Every property the paper relies on
+// is preserved: common events cost few bits, rare ones more, and the
+// stream is uniquely decodable.
+package entropy
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pbpair/internal/bitstream"
+)
+
+// maxUE is the largest value WriteUE accepts; codes stay within 61 bits
+// and comfortably inside the reader's 32-bit field unit.
+const maxUE = 1<<30 - 2
+
+// WriteUE writes v as an unsigned Exp-Golomb code: for v+1 with bit
+// length n, it emits n-1 zero bits followed by the n bits of v+1.
+func WriteUE(w *bitstream.Writer, v uint32) error {
+	if v > maxUE {
+		return fmt.Errorf("entropy: ue value %d out of range", v)
+	}
+	n := uint(bits.Len32(v + 1))
+	w.WriteBits(0, n-1)
+	w.WriteBits(v+1, n)
+	return nil
+}
+
+// ReadUE reads an unsigned Exp-Golomb code.
+func ReadUE(r *bitstream.Reader) (uint32, error) {
+	var zeros uint
+	for {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if b == 1 {
+			break
+		}
+		zeros++
+		if zeros > 31 {
+			return 0, fmt.Errorf("entropy: ue prefix too long (corrupt stream)")
+		}
+	}
+	if zeros == 0 {
+		return 0, nil
+	}
+	rest, err := r.ReadBits(zeros)
+	if err != nil {
+		return 0, err
+	}
+	return (1<<zeros | rest) - 1, nil
+}
+
+// WriteSE writes v as a signed Exp-Golomb code using the standard
+// zigzag mapping: positive v maps to 2v−1, non-positive v to −2v.
+func WriteSE(w *bitstream.Writer, v int32) error {
+	var u uint32
+	if v > 0 {
+		u = uint32(2*v - 1)
+	} else {
+		u = uint32(-2 * v)
+	}
+	return WriteUE(w, u)
+}
+
+// ReadSE reads a signed Exp-Golomb code.
+func ReadSE(r *bitstream.Reader) (int32, error) {
+	u, err := ReadUE(r)
+	if err != nil {
+		return 0, err
+	}
+	if u%2 == 1 {
+		return int32(u/2) + 1, nil
+	}
+	return -int32(u / 2), nil
+}

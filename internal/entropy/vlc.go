@@ -1,0 +1,312 @@
+package entropy
+
+import (
+	"fmt"
+	"sort"
+
+	"pbpair/internal/bitstream"
+)
+
+// TCOEF-style variable-length coding of events.
+//
+// A static Huffman code covers the common region of the event space
+// (run 0..10, |level| 1..6, both LAST values), with a fixed-length
+// escape for everything else — the same shape as H.263's TCOEF table.
+// The code is built once at init from a synthetic frequency model
+// (geometric decay in run and level, LAST events 4x rarer) and is
+// immutable afterwards.
+
+const (
+	tcoefMaxRun   = 10
+	tcoefMaxLevel = 6
+
+	// escBits is the escape payload: LAST(1) + RUN(6) + LEVEL(12,
+	// two's complement, nonzero).
+	escLastBits  = 1
+	escRunBits   = 6
+	escLevelBits = 12
+)
+
+// symbolKey packs (last, run, |level|) for table lookup. |level| == 0
+// denotes the escape symbol.
+func symbolKey(last bool, run int, absLevel int32) uint32 {
+	k := uint32(run)<<8 | uint32(absLevel)
+	if last {
+		k |= 1 << 16
+	}
+	return k
+}
+
+// vlcCode is one assigned codeword.
+type vlcCode struct {
+	bits uint32
+	n    uint
+}
+
+// treeNode is a decode-tree node; children index into the node slice,
+// -1 when absent. sym >= 0 marks a leaf (index into symbols).
+type treeNode struct {
+	child [2]int32
+	sym   int32
+}
+
+var (
+	tcoefEncode map[uint32]vlcCode
+	tcoefTree   []treeNode
+	tcoefSyms   []tcoefSymbol
+	escapeKey   = symbolKey(false, 0, 0)
+)
+
+type tcoefSymbol struct {
+	last     bool
+	run      int
+	absLevel int32 // 0 = escape
+}
+
+func init() {
+	buildTCOEFTable()
+}
+
+// buildTCOEFTable constructs the static Huffman code. Deterministic:
+// symbol order, integer frequencies and tie-breaking by first-created
+// node are all fixed.
+func buildTCOEFTable() {
+	// Enumerate symbols with synthetic integer frequencies.
+	type weighted struct {
+		sym  tcoefSymbol
+		freq int64
+	}
+	var ws []weighted
+	for _, last := range []bool{false, true} {
+		for run := 0; run <= tcoefMaxRun; run++ {
+			for lvl := int32(1); lvl <= tcoefMaxLevel; lvl++ {
+				// Geometric-ish decay: halve per 2 runs, quarter per
+				// level step; LAST events 4x rarer. Integer math keeps
+				// the table platform-independent.
+				f := int64(1) << 40
+				f >>= uint(run) // halve per run step
+				f /= int64(lvl * lvl * lvl)
+				if last {
+					f >>= 2
+				}
+				if f < 1 {
+					f = 1
+				}
+				ws = append(ws, weighted{tcoefSymbol{last, run, lvl}, f})
+			}
+		}
+	}
+	// Escape: roughly the mass of the uncovered tail.
+	ws = append(ws, weighted{tcoefSymbol{false, 0, 0}, int64(1) << 33})
+
+	tcoefSyms = make([]tcoefSymbol, len(ws))
+	for i, w := range ws {
+		tcoefSyms[i] = w.sym
+	}
+
+	// Huffman merge. Nodes are kept in a slice; each round merges the
+	// two smallest (freq, id) nodes. O(n² log n) worst case is fine for
+	// 133 symbols at init.
+	type hnode struct {
+		freq  int64
+		id    int
+		sym   int32 // leaf symbol index or -1
+		l, r  int   // children ids or -1
+		alive bool
+	}
+	nodes := make([]hnode, 0, 2*len(ws))
+	for i, w := range ws {
+		nodes = append(nodes, hnode{freq: w.freq, id: i, sym: int32(i), l: -1, r: -1, alive: true})
+	}
+	lessNode := func(i, j int) bool {
+		if nodes[i].freq != nodes[j].freq {
+			return nodes[i].freq < nodes[j].freq
+		}
+		return nodes[i].id < nodes[j].id
+	}
+	alive := len(nodes)
+	for alive > 1 {
+		// Find two smallest alive nodes (freq, then id).
+		a, b := -1, -1
+		for i := range nodes {
+			if !nodes[i].alive {
+				continue
+			}
+			if a == -1 || lessNode(i, a) {
+				b = a
+				a = i
+			} else if b == -1 || lessNode(i, b) {
+				b = i
+			}
+		}
+		nodes[a].alive = false
+		nodes[b].alive = false
+		nodes = append(nodes, hnode{
+			freq: nodes[a].freq + nodes[b].freq,
+			id:   len(nodes), sym: -1, l: a, r: b, alive: true,
+		})
+		alive--
+	}
+	root := -1
+	for i := range nodes {
+		if nodes[i].alive {
+			root = i
+			break
+		}
+	}
+
+	// Assign canonical codes by code length (shorter first, then symbol
+	// order) so the table is reproducible regardless of merge details,
+	// and build the decode tree from the canonical codes.
+	depths := make(map[int32]uint, len(ws))
+	var walk func(id int, depth uint)
+	walk = func(id int, depth uint) {
+		n := &nodes[id]
+		if n.sym >= 0 {
+			if depth == 0 {
+				depth = 1 // degenerate single-symbol tree
+			}
+			depths[n.sym] = depth
+			return
+		}
+		walk(n.l, depth+1)
+		walk(n.r, depth+1)
+	}
+	walk(root, 0)
+
+	order := make([]int32, 0, len(ws))
+	for s := range ws {
+		order = append(order, int32(s))
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := depths[order[i]], depths[order[j]]
+		if di != dj {
+			return di < dj
+		}
+		return order[i] < order[j]
+	})
+
+	tcoefEncode = make(map[uint32]vlcCode, len(ws))
+	tcoefTree = []treeNode{{child: [2]int32{-1, -1}, sym: -1}}
+	var code uint32
+	var prevLen uint
+	for _, s := range order {
+		length := depths[s]
+		code <<= length - prevLen
+		prevLen = length
+		sym := tcoefSyms[s]
+		tcoefEncode[symbolKey(sym.last, sym.run, sym.absLevel)] = vlcCode{bits: code, n: length}
+		insertCode(code, length, s)
+		code++
+	}
+}
+
+// insertCode adds a canonical codeword to the decode tree.
+func insertCode(code uint32, length uint, sym int32) {
+	cur := int32(0)
+	for i := int(length) - 1; i >= 0; i-- {
+		bit := (code >> uint(i)) & 1
+		next := tcoefTree[cur].child[bit]
+		if next == -1 {
+			tcoefTree = append(tcoefTree, treeNode{child: [2]int32{-1, -1}, sym: -1})
+			next = int32(len(tcoefTree) - 1)
+			tcoefTree[cur].child[bit] = next
+		}
+		cur = next
+	}
+	tcoefTree[cur].sym = sym
+}
+
+// WriteEvent encodes one event. In-table events cost their Huffman code
+// plus a sign bit; out-of-table events cost the escape code plus 19
+// fixed bits.
+func WriteEvent(w *bitstream.Writer, e Event) error {
+	if !e.Valid() {
+		return fmt.Errorf("entropy: cannot encode invalid event %+v", e)
+	}
+	abs := e.Level
+	sign := uint32(0)
+	if abs < 0 {
+		abs = -abs
+		sign = 1
+	}
+	if e.Run <= tcoefMaxRun && abs <= tcoefMaxLevel {
+		c := tcoefEncode[symbolKey(e.Last, e.Run, abs)]
+		w.WriteBits(c.bits, c.n)
+		w.WriteBits(sign, 1)
+		return nil
+	}
+	esc := tcoefEncode[escapeKey]
+	w.WriteBits(esc.bits, esc.n)
+	last := uint32(0)
+	if e.Last {
+		last = 1
+	}
+	w.WriteBits(last, escLastBits)
+	w.WriteBits(uint32(e.Run), escRunBits)
+	w.WriteBits(uint32(e.Level)&(1<<escLevelBits-1), escLevelBits)
+	return nil
+}
+
+// EventBits returns the exact cost in bits of encoding e, without
+// touching a writer. Used by rate-estimation paths.
+func EventBits(e Event) int {
+	abs := e.Level
+	if abs < 0 {
+		abs = -abs
+	}
+	if e.Run <= tcoefMaxRun && abs <= tcoefMaxLevel {
+		return int(tcoefEncode[symbolKey(e.Last, e.Run, abs)].n) + 1
+	}
+	return int(tcoefEncode[escapeKey].n) + escLastBits + escRunBits + escLevelBits
+}
+
+// ReadEvent decodes one event.
+func ReadEvent(r *bitstream.Reader) (Event, error) {
+	cur := int32(0)
+	for tcoefTree[cur].sym < 0 {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return Event{}, err
+		}
+		next := tcoefTree[cur].child[bit]
+		if next == -1 {
+			return Event{}, fmt.Errorf("entropy: invalid TCOEF code")
+		}
+		cur = next
+	}
+	sym := tcoefSyms[tcoefTree[cur].sym]
+	if sym.absLevel == 0 {
+		// Escape.
+		lastBit, err := r.ReadBits(escLastBits)
+		if err != nil {
+			return Event{}, err
+		}
+		run, err := r.ReadBits(escRunBits)
+		if err != nil {
+			return Event{}, err
+		}
+		raw, err := r.ReadBits(escLevelBits)
+		if err != nil {
+			return Event{}, err
+		}
+		level := int32(raw)
+		if level >= 1<<(escLevelBits-1) {
+			level -= 1 << escLevelBits
+		}
+		e := Event{Last: lastBit == 1, Run: int(run), Level: level}
+		if !e.Valid() {
+			return Event{}, fmt.Errorf("entropy: invalid escaped event %+v", e)
+		}
+		return e, nil
+	}
+	sign, err := r.ReadBits(1)
+	if err != nil {
+		return Event{}, err
+	}
+	level := sym.absLevel
+	if sign == 1 {
+		level = -level
+	}
+	return Event{Last: sym.last, Run: sym.run, Level: level}, nil
+}

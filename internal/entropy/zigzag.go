@@ -1,0 +1,55 @@
+package entropy
+
+import "pbpair/internal/video"
+
+// zigzag[i] is the raster index of the i-th coefficient in zigzag scan
+// order; inverseZigzag is its inverse permutation. Both are derived at
+// init by walking the anti-diagonals, which is equivalent to the
+// classic hard-coded 8x8 table (verified by tests).
+var (
+	zigzag        [video.BlockSize * video.BlockSize]int
+	inverseZigzag [video.BlockSize * video.BlockSize]int
+)
+
+func init() {
+	const n = video.BlockSize
+	i := 0
+	for d := 0; d < 2*n-1; d++ {
+		// Walk each anti-diagonal, alternating direction: even
+		// diagonals go up-right, odd go down-left.
+		if d%2 == 0 {
+			r := d
+			if r > n-1 {
+				r = n - 1
+			}
+			c := d - r
+			for r >= 0 && c < n {
+				zigzag[i] = r*n + c
+				i++
+				r--
+				c++
+			}
+		} else {
+			c := d
+			if c > n-1 {
+				c = n - 1
+			}
+			r := d - c
+			for c >= 0 && r < n {
+				zigzag[i] = r*n + c
+				i++
+				r++
+				c--
+			}
+		}
+	}
+	for idx, raster := range zigzag {
+		inverseZigzag[raster] = idx
+	}
+}
+
+// ZigzagIndex returns the raster index of scan position i.
+func ZigzagIndex(i int) int { return zigzag[i] }
+
+// ScanPosition returns the zigzag scan position of raster index r.
+func ScanPosition(r int) int { return inverseZigzag[r] }

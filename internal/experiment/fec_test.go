@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"testing"
+
+	"pbpair/internal/network"
+	"pbpair/internal/resilience"
+	"pbpair/internal/synth"
+)
+
+// TestFECScenarioRecoversLosses: with single-frame packets and a
+// 4-frame FEC group, a scripted single loss inside a group must decode
+// loss-free (recovered by parity), at the cost of parity overhead.
+func TestFECScenarioRecoversLosses(t *testing.T) {
+	base := Scenario{
+		Name:    "fec",
+		Source:  synth.New(synth.RegimeForeman),
+		Frames:  12,
+		Planner: resilience.NewNone(),
+		Channel: network.NewSchedule(5),
+	}
+
+	noFEC, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noFEC.LostFrames != 1 {
+		t.Fatalf("without FEC: %d lost frames, want 1", noFEC.LostFrames)
+	}
+
+	withFEC := base
+	withFEC.Planner = resilience.NewNone()
+	withFEC.FECGroup = 4
+	fec, err := Run(withFEC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fec.LostFrames != 0 || fec.ConcealedMBs != 0 {
+		t.Fatalf("with FEC: %d lost frames, %d concealed MBs, want 0/0",
+			fec.LostFrames, fec.ConcealedMBs)
+	}
+	if fec.FECBytes <= 0 {
+		t.Fatal("FEC reported no parity overhead")
+	}
+	if fec.PSNR.Mean() <= noFEC.PSNR.Mean() {
+		t.Fatalf("FEC PSNR %.2f not above unprotected %.2f",
+			fec.PSNR.Mean(), noFEC.PSNR.Mean())
+	}
+}
+
+// TestFECScenarioDoubleLossStillConceals: two losses in one group
+// exceed XOR parity's budget; the decoder's concealment must take over
+// without error.
+func TestFECScenarioDoubleLossStillConceals(t *testing.T) {
+	res, err := Run(Scenario{
+		Name:     "fec-double",
+		Source:   synth.New(synth.RegimeForeman),
+		Frames:   8,
+		Planner:  resilience.NewNone(),
+		Channel:  network.NewSchedule(4, 5), // same 4-frame group
+		FECGroup: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.LostFrames != 2 {
+		t.Fatalf("double loss: %d lost frames, want 2", res.LostFrames)
+	}
+}
+
+// TestFECOverheadProportional: parity bytes scale like 1/k of the
+// media bytes when packets are uniform.
+func TestFECOverheadProportional(t *testing.T) {
+	run := func(group int) (media, fec int) {
+		res, err := Run(Scenario{
+			Name:     "fec-overhead",
+			Source:   synth.New(synth.RegimeAkiyo),
+			Frames:   12,
+			Planner:  resilience.NewNone(),
+			FECGroup: group,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalBytes, res.FECBytes
+	}
+	media2, fec2 := run(2)
+	media4, fec4 := run(4)
+	if media2 != media4 {
+		t.Fatalf("media bytes changed with FEC group: %d vs %d", media2, media4)
+	}
+	if fec4 >= fec2 {
+		t.Fatalf("larger group should cost less parity: k=2 %d B vs k=4 %d B", fec2, fec4)
+	}
+}

@@ -1,0 +1,90 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeanStd(t *testing.T) {
+	m, s := meanStd([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if m != 5 {
+		t.Fatalf("mean %v", m)
+	}
+	// Sample std dev of that set is ~2.138.
+	if math.Abs(s-2.138) > 0.01 {
+		t.Fatalf("std %v", s)
+	}
+	if m, s := meanStd(nil); m != 0 || s != 0 {
+		t.Fatal("empty input")
+	}
+	if m, s := meanStd([]float64{3}); m != 3 || s != 0 {
+		t.Fatal("single input")
+	}
+}
+
+func TestSplitKey(t *testing.T) {
+	seq, scheme := splitKey("foreman\x00PBPAIR")
+	if seq != "foreman" || scheme != "PBPAIR" {
+		t.Fatalf("split = %q/%q", seq, scheme)
+	}
+}
+
+func TestFig5MultiValidation(t *testing.T) {
+	if _, err := Fig5Multi(Fig5Config{}, nil); err == nil {
+		t.Fatal("empty seeds accepted")
+	}
+}
+
+// TestFig5MultiSmall runs the multi-seed pipeline at tiny scale and
+// checks the aggregation invariants: loss-independent columns have no
+// spread, quality columns usually do, and PBPAIR's win over NO is
+// separated beyond noise.
+func TestFig5MultiSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-seed Fig5 is slow; skipped in -short mode")
+	}
+	cfg := Fig5Config{Frames: 16, ProbeFrames: 8, SearchRange: 7, PLR: 0.12}
+	stats, err := Fig5Multi(cfg, []uint64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 15 { // 3 sequences x 5 schemes
+		t.Fatalf("got %d cells, want 15", len(stats))
+	}
+	anyPSNRSpread := false
+	for _, s := range stats {
+		if s.Seeds != 5 {
+			t.Fatalf("%s/%s aggregated %d seeds", s.Sequence, s.Scheme, s.Seeds)
+		}
+		if s.PSNRStd > 0 {
+			anyPSNRSpread = true
+		}
+		if s.FileKBMean <= 0 || s.EnergyJMean <= 0 {
+			t.Fatalf("%s/%s: non-positive size/energy", s.Sequence, s.Scheme)
+		}
+	}
+	if !anyPSNRSpread {
+		t.Fatal("no PSNR spread across seeds; loss seeding broken")
+	}
+
+	// PBPAIR must beat NO beyond the seed noise on the active foreman
+	// content (the weakest form of the paper's Figure 5 claim).
+	ok, err := SeparationVerdict(stats, "foreman", "PBPAIR", "NO")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		for _, s := range stats {
+			if s.Sequence == "foreman" {
+				t.Logf("%s: %.2f ± %.2f dB", s.Scheme, s.PSNRMean, s.PSNRStd)
+			}
+		}
+		t.Fatal("PBPAIR vs NO not separated beyond noise")
+	}
+}
+
+func TestSeparationVerdictErrors(t *testing.T) {
+	if _, err := SeparationVerdict(nil, "foreman", "A", "B"); err == nil {
+		t.Fatal("missing schemes accepted")
+	}
+}

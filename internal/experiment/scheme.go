@@ -1,0 +1,56 @@
+package experiment
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/core"
+	"pbpair/internal/resilience"
+)
+
+// ParseScheme builds a planner from its command-line spelling:
+//
+//	NO | GOP-<n> | AIR-<n> | PGOP-<n> | PBPAIR
+//
+// rows/cols give the macroblock grid; intraTh and plr configure
+// PBPAIR (ignored by the others). Planners are stateful: call
+// ParseScheme once per encode.
+func ParseScheme(name string, rows, cols int, intraTh, plr float64) (codec.ModePlanner, error) {
+	upper := strings.ToUpper(strings.TrimSpace(name))
+	switch {
+	case upper == "NO" || upper == "NONE":
+		return resilience.NewNone(), nil
+	case upper == "PBPAIR":
+		return core.New(core.Config{Rows: rows, Cols: cols, IntraTh: intraTh, PLR: plr})
+	case strings.HasPrefix(upper, "GOP-"):
+		n, err := schemeParam(upper, "GOP-")
+		if err != nil {
+			return nil, err
+		}
+		return resilience.NewGOP(n)
+	case strings.HasPrefix(upper, "AIR-"):
+		n, err := schemeParam(upper, "AIR-")
+		if err != nil {
+			return nil, err
+		}
+		return resilience.NewAIR(n)
+	case strings.HasPrefix(upper, "PGOP-"):
+		n, err := schemeParam(upper, "PGOP-")
+		if err != nil {
+			return nil, err
+		}
+		return resilience.NewPGOP(n, cols)
+	default:
+		return nil, fmt.Errorf("experiment: unknown scheme %q (want NO, GOP-n, AIR-n, PGOP-n or PBPAIR)", name)
+	}
+}
+
+func schemeParam(s, prefix string) (int, error) {
+	n, err := strconv.Atoi(strings.TrimPrefix(s, prefix))
+	if err != nil {
+		return 0, fmt.Errorf("experiment: scheme %q: bad parameter: %w", s, err)
+	}
+	return n, nil
+}

@@ -1,0 +1,39 @@
+package experiment
+
+import "testing"
+
+func TestParseScheme(t *testing.T) {
+	tests := []struct {
+		in       string
+		wantName string
+	}{
+		{"NO", "NO"},
+		{"none", "NO"},
+		{"GOP-3", "GOP-3"},
+		{"gop-8", "GOP-8"},
+		{"AIR-24", "AIR-24"},
+		{"PGOP-3", "PGOP-3"},
+		{"PBPAIR", "PBPAIR"},
+		{"pbpair", "PBPAIR"},
+		{" GOP-3 ", "GOP-3"},
+	}
+	for _, tt := range tests {
+		p, err := ParseScheme(tt.in, 9, 11, 0.8, 0.1)
+		if err != nil {
+			t.Errorf("ParseScheme(%q): %v", tt.in, err)
+			continue
+		}
+		if p.Name() != tt.wantName {
+			t.Errorf("ParseScheme(%q).Name() = %q, want %q", tt.in, p.Name(), tt.wantName)
+		}
+	}
+}
+
+func TestParseSchemeErrors(t *testing.T) {
+	bad := []string{"", "WAT", "GOP-", "GOP-x", "AIR-0", "PGOP-99", "PBPAIR-3"}
+	for _, in := range bad {
+		if _, err := ParseScheme(in, 9, 11, 0.8, 0.1); err == nil {
+			t.Errorf("ParseScheme(%q) accepted", in)
+		}
+	}
+}

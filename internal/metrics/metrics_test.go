@@ -1,0 +1,169 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"pbpair/internal/video"
+)
+
+func flatFrame(v uint8) *video.Frame {
+	f := video.NewFrame(video.QCIFWidth, video.QCIFHeight)
+	f.Fill(v, 128, 128)
+	return f
+}
+
+func TestMSE(t *testing.T) {
+	a := flatFrame(100)
+	b := flatFrame(110)
+	mse, err := MSE(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mse != 100 {
+		t.Fatalf("MSE = %v, want 100", mse)
+	}
+	if mse, _ := MSE(a, a); mse != 0 {
+		t.Fatalf("MSE(a,a) = %v, want 0", mse)
+	}
+}
+
+func TestMSEDimensionMismatch(t *testing.T) {
+	a := video.NewFrame(video.QCIFWidth, video.QCIFHeight)
+	b := video.NewFrame(video.SQCIFWidth, video.SQCIFHeight)
+	if _, err := MSE(a, b); err == nil {
+		t.Fatal("MSE across dimensions succeeded")
+	}
+	if _, err := PSNR(a, b); err == nil {
+		t.Fatal("PSNR across dimensions succeeded")
+	}
+	if _, err := BadPixels(a, b, 10); err == nil {
+		t.Fatal("BadPixels across dimensions succeeded")
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	a := flatFrame(100)
+
+	// Identical frames: sentinel max.
+	p, err := PSNR(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != MaxPSNR {
+		t.Fatalf("PSNR(identical) = %v, want %v", p, MaxPSNR)
+	}
+
+	// Uniform +10 offset: PSNR = 10*log10(255^2/100) ≈ 28.13 dB.
+	b := flatFrame(110)
+	p, err = PSNR(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 10 * math.Log10(255*255/100.0)
+	if math.Abs(p-want) > 1e-9 {
+		t.Fatalf("PSNR = %v, want %v", p, want)
+	}
+}
+
+func TestPSNRMonotoneInError(t *testing.T) {
+	a := flatFrame(100)
+	prev := math.Inf(1)
+	for _, off := range []uint8{1, 2, 5, 10, 50} {
+		b := flatFrame(100 + off)
+		p, err := PSNR(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p >= prev {
+			t.Fatalf("PSNR not decreasing: offset %d gives %v >= %v", off, p, prev)
+		}
+		prev = p
+	}
+}
+
+func TestBadPixels(t *testing.T) {
+	a := flatFrame(100)
+	b := flatFrame(100)
+
+	// Corrupt 17 pixels beyond the threshold and 5 below it.
+	for i := 0; i < 17; i++ {
+		b.Y[i] = 160
+	}
+	for i := 17; i < 22; i++ {
+		b.Y[i] = 110
+	}
+	got, err := BadPixels(a, b, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 17 {
+		t.Fatalf("BadPixels = %d, want 17", got)
+	}
+
+	// Default threshold selection.
+	got, err = BadPixels(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 17 {
+		t.Fatalf("BadPixels(default) = %d, want 17", got)
+	}
+
+	// Exactly at threshold is not bad (strict inequality).
+	c := flatFrame(120)
+	got, err = BadPixels(a, c, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("BadPixels(at threshold) = %d, want 0", got)
+	}
+}
+
+func TestSeriesEmpty(t *testing.T) {
+	var s Series
+	if s.Len() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 || s.StdDev() != 0 {
+		t.Fatal("empty series aggregates should be zero")
+	}
+}
+
+func TestSeriesStats(t *testing.T) {
+	var s Series
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("Mean = %v, want 5", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if math.Abs(s.StdDev()-2) > 1e-12 {
+		t.Fatalf("StdDev = %v, want 2", s.StdDev())
+	}
+}
+
+func TestSeriesValuesIsCopy(t *testing.T) {
+	var s Series
+	s.Add(1)
+	vals := s.Values()
+	vals[0] = 42
+	if s.Values()[0] != 1 {
+		t.Fatal("Values exposes internal storage")
+	}
+}
+
+func TestSeriesSingleValueStdDev(t *testing.T) {
+	var s Series
+	s.Add(3)
+	if s.StdDev() != 0 {
+		t.Fatal("single-value StdDev should be 0")
+	}
+	if s.Min() != 3 || s.Max() != 3 || s.Mean() != 3 {
+		t.Fatal("single-value aggregates wrong")
+	}
+}

@@ -1,0 +1,225 @@
+package motion
+
+import "pbpair/internal/video"
+
+// Half-pixel motion — H.263's defining improvement over H.261. A
+// motion vector may point between pixels; the prediction is then the
+// bilinear interpolation of the surrounding samples (H.263 §6.1.2
+// rounding: (A+B+1)/2 for the two-point positions, (A+B+C+D+2)/4 for
+// the four-point position).
+//
+// The codec treats half-pel as a refinement stage: the integer-pel
+// search (with the scheme's probability penalty) picks a winner, then
+// RefineHalf evaluates its eight half-pel neighbours. Positions are
+// represented in half-pel units: h = 2·integer + frac.
+
+// HalfVector is a motion vector in half-pel units (so {3, -1} means
+// +1.5 px right, −0.5 px up).
+type HalfVector struct {
+	X, Y int
+}
+
+// FromInteger converts an integer-pel vector to half-pel units.
+func FromInteger(v Vector) HalfVector { return HalfVector{X: 2 * v.X, Y: 2 * v.Y} }
+
+// Split decomposes a half-pel vector into its floor integer-pel part
+// and non-negative fractional half-steps (0 or 1 per axis).
+func (h HalfVector) Split() (intPart Vector, fracX, fracY int) {
+	ix := floorDiv2(h.X)
+	iy := floorDiv2(h.Y)
+	return Vector{X: ix, Y: iy}, h.X - 2*ix, h.Y - 2*iy
+}
+
+// IsZero reports whether h is the zero displacement.
+func (h HalfVector) IsZero() bool { return h.X == 0 && h.Y == 0 }
+
+func floorDiv2(v int) int {
+	if v < 0 {
+		return (v - 1) / 2
+	}
+	return v / 2
+}
+
+// interpPixel samples the reference plane at half-pel position
+// (2·x0+fx, 2·y0+fy) with H.263 rounding. Callers guarantee x0+1/y0+1
+// stay in bounds whenever the corresponding frac is 1.
+func interpPixel(ref []uint8, stride, x0, y0, fx, fy int) int32 {
+	a := int32(ref[y0*stride+x0])
+	switch {
+	case fx == 0 && fy == 0:
+		return a
+	case fx == 1 && fy == 0:
+		b := int32(ref[y0*stride+x0+1])
+		return (a + b + 1) / 2
+	case fx == 0 && fy == 1:
+		c := int32(ref[(y0+1)*stride+x0])
+		return (a + c + 1) / 2
+	default:
+		b := int32(ref[y0*stride+x0+1])
+		c := int32(ref[(y0+1)*stride+x0])
+		d := int32(ref[(y0+1)*stride+x0+1])
+		return (a + b + c + d + 2) / 4
+	}
+}
+
+// halfPelOpsPerPixel is the energy-model weight of one interpolated
+// SAD pixel: the bilinear blend costs roughly two extra operations on
+// top of the |a−b| difference.
+const halfPelOpsPerPixel = 3
+
+// SAD16Half computes the SAD between the current macroblock at
+// (cx, cy) and the reference block at half-pel displacement hv from
+// the same position. Early-terminates beyond limit. Callers guarantee
+// the interpolation footprint stays inside the reference frame.
+func SAD16Half(cur, ref *video.Frame, cx, cy int, hv HalfVector, limit int32, stats *Stats) int32 {
+	intPart, fx, fy := hv.Split()
+	if fx == 0 && fy == 0 {
+		return SAD16(cur, ref, cx, cy, cx+intPart.X, cy+intPart.Y, limit, stats)
+	}
+	if stats != nil {
+		stats.SADCalls++
+	}
+	x0 := cx + intPart.X
+	y0 := cy + intPart.Y
+	var sum int32
+	cw, rw := cur.Width, ref.Width
+	for r := 0; r < video.MBSize; r++ {
+		c := cur.Y[(cy+r)*cw+cx:]
+		for i := 0; i < video.MBSize; i++ {
+			p := interpPixel(ref.Y, rw, x0+i, y0+r, fx, fy)
+			d := int32(c[i]) - p
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+		if stats != nil {
+			stats.PixelOps += video.MBSize * halfPelOpsPerPixel
+		}
+		if sum > limit {
+			return sum
+		}
+	}
+	return sum
+}
+
+// RefineHalf evaluates the eight half-pel neighbours of an integer-pel
+// winner and returns the best half-pel vector with its SAD. Candidates
+// whose interpolation footprint leaves the frame are skipped, so the
+// integer-pel winner (always legal) is the fallback.
+func RefineHalf(cur, ref *video.Frame, mbRow, mbCol int, mv Vector, baseSAD int32, stats *Stats) (HalfVector, int32) {
+	cx := mbCol * video.MBSize
+	cy := mbRow * video.MBSize
+	best := FromInteger(mv)
+	bestSAD := baseSAD
+
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			if dx == 0 && dy == 0 {
+				continue
+			}
+			hv := HalfVector{X: 2*mv.X + dx, Y: 2*mv.Y + dy}
+			if !halfFootprintLegal(ref, cx, cy, hv) {
+				continue
+			}
+			sad := SAD16Half(cur, ref, cx, cy, hv, bestSAD, stats)
+			if sad < bestSAD {
+				bestSAD = sad
+				best = hv
+			}
+		}
+	}
+	return best, bestSAD
+}
+
+// halfFootprintLegal reports whether the (possibly interpolated)
+// reference block fits inside the frame.
+func halfFootprintLegal(ref *video.Frame, cx, cy int, hv HalfVector) bool {
+	intPart, fx, fy := hv.Split()
+	x0 := cx + intPart.X
+	y0 := cy + intPart.Y
+	needX := video.MBSize
+	needY := video.MBSize
+	if fx == 1 {
+		needX++
+	}
+	if fy == 1 {
+		needY++
+	}
+	return x0 >= 0 && y0 >= 0 && x0+needX <= ref.Width && y0+needY <= ref.Height
+}
+
+// chromaHalfMV derives the chroma displacement (in chroma half-pel
+// units) from a luma half-pel component, per the H.263 rule that
+// quarter-pel chroma positions round to the nearest half-pel:
+// |c| = (|v|/2)|0x1 when |v| is odd.
+func chromaHalfMV(v int) int {
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	c := (v >> 1) | (v & 1)
+	if neg {
+		return -c
+	}
+	return c
+}
+
+// CompensateHalf writes the half-pel motion-compensated prediction for
+// macroblock (mbRow, mbCol) into dst. Chroma uses the derived
+// half-pel chroma vector with the same bilinear rules. Callers
+// guarantee the luma footprint is legal (halfFootprintLegal); the
+// chroma footprint then is too.
+func CompensateHalf(dst, ref *video.Frame, mbRow, mbCol int, hv HalfVector) {
+	intPart, fx, fy := hv.Split()
+	if fx == 0 && fy == 0 {
+		Compensate(dst, ref, mbRow, mbCol, intPart)
+		return
+	}
+	x := mbCol * video.MBSize
+	y := mbRow * video.MBSize
+	w := ref.Width
+	x0 := x + intPart.X
+	y0 := y + intPart.Y
+	for r := 0; r < video.MBSize; r++ {
+		for c := 0; c < video.MBSize; c++ {
+			dst.Y[(y+r)*w+x+c] = uint8(interpPixel(ref.Y, w, x0+c, y0+r, fx, fy))
+		}
+	}
+
+	chv := HalfVector{X: chromaHalfMV(hv.X), Y: chromaHalfMV(hv.Y)}
+	cInt, cfx, cfy := chv.Split()
+	cw := ref.ChromaWidth()
+	ch := ref.ChromaHeight()
+	ccx := mbCol * (video.MBSize / 2)
+	ccy := mbRow * (video.MBSize / 2)
+	cx0 := ccx + cInt.X
+	cy0 := ccy + cInt.Y
+	// Clamp the chroma fractional footprint at the frame edge (the
+	// rounding rule can ask for one sample beyond what the luma
+	// footprint guarantees).
+	if cfx == 1 && cx0+video.MBSize/2 >= cw {
+		cfx = 0
+	}
+	if cfy == 1 && cy0+video.MBSize/2 >= ch {
+		cfy = 0
+	}
+	if cx0 < 0 {
+		cx0 = 0
+	}
+	if cy0 < 0 {
+		cy0 = 0
+	}
+	if cx0+video.MBSize/2 > cw {
+		cx0 = cw - video.MBSize/2
+	}
+	if cy0+video.MBSize/2 > ch {
+		cy0 = ch - video.MBSize/2
+	}
+	for r := 0; r < video.MBSize/2; r++ {
+		for c := 0; c < video.MBSize/2; c++ {
+			dst.Cb[(ccy+r)*cw+ccx+c] = uint8(interpPixel(ref.Cb, cw, cx0+c, cy0+r, cfx, cfy))
+			dst.Cr[(ccy+r)*cw+ccx+c] = uint8(interpPixel(ref.Cr, cw, cx0+c, cy0+r, cfx, cfy))
+		}
+	}
+}

@@ -1,0 +1,204 @@
+package motion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pbpair/internal/video"
+)
+
+func TestHalfVectorSplit(t *testing.T) {
+	tests := []struct {
+		h          HalfVector
+		wantInt    Vector
+		wantFX, fy int
+	}{
+		{HalfVector{0, 0}, Vector{0, 0}, 0, 0},
+		{HalfVector{2, 4}, Vector{1, 2}, 0, 0},
+		{HalfVector{3, 5}, Vector{1, 2}, 1, 1},
+		{HalfVector{-1, -2}, Vector{-1, -1}, 1, 0},
+		{HalfVector{-3, 1}, Vector{-2, 0}, 1, 1},
+	}
+	for _, tt := range tests {
+		gotInt, fx, fy := tt.h.Split()
+		if gotInt != tt.wantInt || fx != tt.wantFX || fy != tt.fy {
+			t.Errorf("Split(%v) = %v,%d,%d want %v,%d,%d",
+				tt.h, gotInt, fx, fy, tt.wantInt, tt.wantFX, tt.fy)
+		}
+	}
+}
+
+// TestSplitReconstructs: 2·int + frac always reproduces the half-pel
+// value, with frac in {0, 1}.
+func TestSplitReconstructs(t *testing.T) {
+	prop := func(x, y int16) bool {
+		h := HalfVector{int(x), int(y)}
+		i, fx, fy := h.Split()
+		return 2*i.X+fx == h.X && 2*i.Y+fy == h.Y &&
+			fx >= 0 && fx <= 1 && fy >= 0 && fy <= 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromIntegerIsExact(t *testing.T) {
+	h := FromInteger(Vector{3, -2})
+	if h != (HalfVector{6, -4}) {
+		t.Fatalf("FromInteger = %v", h)
+	}
+	i, fx, fy := h.Split()
+	if i != (Vector{3, -2}) || fx != 0 || fy != 0 {
+		t.Fatal("integer vectors must have no fractional part")
+	}
+}
+
+func TestInterpPixelRounding(t *testing.T) {
+	// 2x2 plane: 10 20 / 30 40.
+	ref := []uint8{10, 20, 30, 40}
+	tests := []struct {
+		fx, fy int
+		want   int32
+	}{
+		{0, 0, 10},
+		{1, 0, 15}, // (10+20+1)/2
+		{0, 1, 20}, // (10+30+1)/2
+		{1, 1, 25}, // (10+20+30+40+2)/4
+	}
+	for _, tt := range tests {
+		if got := interpPixel(ref, 2, 0, 0, tt.fx, tt.fy); got != tt.want {
+			t.Errorf("interp(%d,%d) = %d, want %d", tt.fx, tt.fy, got, tt.want)
+		}
+	}
+}
+
+func TestChromaHalfMV(t *testing.T) {
+	// H.263 quarter-to-half rounding: 0→0, ±1(0.25px)→±1(0.5px chroma),
+	// ±2→±1, ±3→±1, ±4→±2, ±5→±3.
+	tests := []struct{ in, want int }{
+		{0, 0}, {1, 1}, {2, 1}, {3, 1}, {4, 2}, {5, 3}, {6, 3},
+		{-1, -1}, {-2, -1}, {-3, -1}, {-4, -2}, {-5, -3},
+	}
+	for _, tt := range tests {
+		if got := chromaHalfMV(tt.in); got != tt.want {
+			t.Errorf("chromaHalfMV(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+// halfShiftFrame builds a frame whose luma is ref shifted by exactly
+// half a pixel horizontally, using the same rounding as the codec's
+// interpolator: cur(x) = (ref(x) + ref(x+1) + 1)/2.
+func halfShiftFrame(ref *video.Frame) *video.Frame {
+	g := video.NewFrame(ref.Width, ref.Height)
+	for y := 0; y < ref.Height; y++ {
+		for x := 0; x < ref.Width; x++ {
+			x1 := x + 1
+			if x1 >= ref.Width {
+				x1 = ref.Width - 1
+			}
+			g.Y[y*ref.Width+x] = uint8((int(ref.Y[y*ref.Width+x]) + int(ref.Y[y*ref.Width+x1]) + 1) / 2)
+		}
+	}
+	for i := range g.Cb {
+		g.Cb[i] = 128
+		g.Cr[i] = 128
+	}
+	return g
+}
+
+func TestRefineHalfFindsHalfPelShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	ref := randFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	cur := halfShiftFrame(ref)
+
+	// Integer search on an interior MB: best integer candidate has a
+	// residual; the (1, 0) half-pel refinement must drive SAD to 0.
+	res := Search(cur, ref, 4, 5, Config{Range: 7}, nil)
+	if res.SAD == 0 {
+		t.Fatal("integer search should not match a half-pel shift exactly")
+	}
+	var stats Stats
+	hv, sad := RefineHalf(cur, ref, 4, 5, res.MV, res.SAD, &stats)
+	if sad != 0 {
+		t.Fatalf("refinement SAD = %d, want 0 (hv %v)", sad, hv)
+	}
+	if hv == FromInteger(res.MV) {
+		t.Fatal("refinement did not move off the integer grid")
+	}
+	if stats.SADCalls == 0 || stats.PixelOps == 0 {
+		t.Fatal("refinement did no counted work")
+	}
+}
+
+func TestRefineHalfNeverWorseThanInteger(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ref := randFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	cur := randFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	for mb := 0; mb < 10; mb++ {
+		row, col := mb/5, mb%5+3
+		res := Search(cur, ref, row+2, col, Config{Range: 7}, nil)
+		_, sad := RefineHalf(cur, ref, row+2, col, res.MV, res.SAD, nil)
+		if sad > res.SAD {
+			t.Fatalf("MB (%d,%d): refinement worsened SAD %d -> %d", row+2, col, res.SAD, sad)
+		}
+	}
+}
+
+func TestRefineHalfRespectsBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ref := randFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	cur := randFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	// Corner MBs with extreme vectors: must not panic, and the result
+	// footprint must be legal.
+	for _, mb := range [][2]int{{0, 0}, {0, 10}, {8, 0}, {8, 10}} {
+		res := Search(cur, ref, mb[0], mb[1], Config{Range: 15}, nil)
+		hv, _ := RefineHalf(cur, ref, mb[0], mb[1], res.MV, res.SAD, nil)
+		if !halfFootprintLegal(ref, mb[1]*16, mb[0]*16, hv) {
+			t.Fatalf("MB %v: refined vector %v footprint illegal", mb, hv)
+		}
+	}
+}
+
+func TestCompensateHalfIntegerFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ref := randFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	a := video.NewFrame(video.QCIFWidth, video.QCIFHeight)
+	b := video.NewFrame(video.QCIFWidth, video.QCIFHeight)
+	CompensateHalf(a, ref, 3, 4, FromInteger(Vector{2, -1}))
+	Compensate(b, ref, 3, 4, Vector{2, -1})
+	if !a.Equal(b) {
+		t.Fatal("integer half-vector compensation differs from integer compensation")
+	}
+}
+
+func TestCompensateHalfMatchesSAD(t *testing.T) {
+	// The prediction CompensateHalf writes must be exactly what
+	// SAD16Half measured: SAD(cur, prediction) == SAD16Half value.
+	rng := rand.New(rand.NewSource(10))
+	ref := randFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	cur := randFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	hv := HalfVector{5, -3} // fractional x, fractional y via split: 5=2*2+1, -3=2*(-2)+1
+	pred := video.NewFrame(video.QCIFWidth, video.QCIFHeight)
+	CompensateHalf(pred, ref, 4, 5, hv)
+	want := SAD16Half(cur, ref, 5*16, 4*16, hv, math.MaxInt32, nil)
+	got := SAD16(cur, pred, 5*16, 4*16, 5*16, 4*16, math.MaxInt32, nil)
+	if got != want {
+		t.Fatalf("prediction SAD %d != measured SAD %d", got, want)
+	}
+}
+
+func TestHalfPelCountsMoreOps(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ref := randFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	cur := randFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	var intStats, halfStats Stats
+	SAD16(cur, ref, 80, 64, 80, 64, math.MaxInt32, &intStats)
+	SAD16Half(cur, ref, 80, 64, HalfVector{1, 0}, math.MaxInt32, &halfStats)
+	if halfStats.PixelOps <= intStats.PixelOps {
+		t.Fatalf("interpolated SAD ops %d not above plain %d",
+			halfStats.PixelOps, intStats.PixelOps)
+	}
+}

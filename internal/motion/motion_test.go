@@ -1,0 +1,350 @@
+package motion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pbpair/internal/video"
+)
+
+func randFrame(rng *rand.Rand, w, h int) *video.Frame {
+	f := video.NewFrame(w, h)
+	for i := range f.Y {
+		f.Y[i] = uint8(rng.Intn(256))
+	}
+	for i := range f.Cb {
+		f.Cb[i] = uint8(rng.Intn(256))
+		f.Cr[i] = uint8(rng.Intn(256))
+	}
+	return f
+}
+
+// shiftFrame returns a copy of f whose luma content is translated by
+// (dx, dy); uncovered areas replicate the border.
+func shiftFrame(f *video.Frame, dx, dy int) *video.Frame {
+	g := video.NewFrame(f.Width, f.Height)
+	for y := 0; y < f.Height; y++ {
+		sy := clamp(y-dy, 0, f.Height-1)
+		for x := 0; x < f.Width; x++ {
+			sx := clamp(x-dx, 0, f.Width-1)
+			g.Y[y*f.Width+x] = f.Y[sy*f.Width+sx]
+		}
+	}
+	cw, ch := f.ChromaWidth(), f.ChromaHeight()
+	for y := 0; y < ch; y++ {
+		sy := clamp(y-dy/2, 0, ch-1)
+		for x := 0; x < cw; x++ {
+			sx := clamp(x-dx/2, 0, cw-1)
+			g.Cb[y*cw+x] = f.Cb[sy*cw+sx]
+			g.Cr[y*cw+x] = f.Cr[sy*cw+sx]
+		}
+	}
+	return g
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func TestSAD16IdenticalBlocksZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := randFrame(rng, 64, 64)
+	var stats Stats
+	if sad := SAD16(f, f, 16, 16, 16, 16, math.MaxInt32, &stats); sad != 0 {
+		t.Fatalf("SAD of identical blocks = %d", sad)
+	}
+	if stats.SADCalls != 1 {
+		t.Fatalf("SADCalls = %d, want 1", stats.SADCalls)
+	}
+	if stats.PixelOps != 256 {
+		t.Fatalf("PixelOps = %d, want 256", stats.PixelOps)
+	}
+}
+
+func TestSAD16KnownValue(t *testing.T) {
+	a := video.NewFrame(16, 16)
+	b := video.NewFrame(16, 16)
+	a.Fill(100, 128, 128)
+	b.Fill(97, 128, 128)
+	if sad := SAD16(a, b, 0, 0, 0, 0, math.MaxInt32, nil); sad != 3*256 {
+		t.Fatalf("SAD = %d, want %d", sad, 3*256)
+	}
+}
+
+func TestSAD16EarlyTermination(t *testing.T) {
+	a := video.NewFrame(16, 16)
+	b := video.NewFrame(16, 16)
+	a.Fill(255, 128, 128)
+	b.Fill(0, 128, 128)
+	var stats Stats
+	sad := SAD16(a, b, 0, 0, 0, 0, 100, &stats)
+	if sad <= 100 {
+		t.Fatalf("early-terminated SAD %d should exceed the limit", sad)
+	}
+	if stats.PixelOps >= 256 {
+		t.Fatalf("no early termination: %d pixel ops", stats.PixelOps)
+	}
+}
+
+func TestSADSelf(t *testing.T) {
+	f := video.NewFrame(16, 16)
+	f.Fill(100, 128, 128)
+	if dev := SADSelf(f, 0, 0, nil); dev != 0 {
+		t.Fatalf("flat block self-deviation = %d", dev)
+	}
+	// Half 0, half 200: mean 100, every pixel deviates by 100.
+	for i := range f.Y {
+		if i%2 == 0 {
+			f.Y[i] = 0
+		} else {
+			f.Y[i] = 200
+		}
+	}
+	if dev := SADSelf(f, 0, 0, nil); dev != 100*256 {
+		t.Fatalf("self-deviation = %d, want %d", dev, 100*256)
+	}
+}
+
+func TestFullSearchFindsExactShift(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ref := randFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	tests := []Vector{{3, 2}, {-4, 1}, {0, -5}, {7, 7}, {-7, -7}}
+	for _, shift := range tests {
+		cur := shiftFrame(ref, shift.X, shift.Y)
+		// Content moved by +shift, so the motion vector pointing back
+		// at the reference is −shift.
+		want := Vector{-shift.X, -shift.Y}
+		// Interior MB far from borders so the true vector is legal.
+		res := Search(cur, ref, 4, 5, Config{Range: 7, Kind: FullSearch}, nil)
+		if res.MV != want {
+			t.Errorf("shift %v: found %v, want %v (SAD %d)", shift, res.MV, want, res.SAD)
+		}
+		if res.SAD != 0 {
+			t.Errorf("shift %v: SAD = %d, want 0", shift, res.SAD)
+		}
+	}
+}
+
+// smoothFrame builds a smooth random luma field (a coarse lattice
+// bilinearly upsampled), so the SAD surface is unimodal and a
+// logarithmic search can follow its gradient.
+func smoothFrame(rng *rand.Rand, w, h int) *video.Frame {
+	const cell = 16
+	lw, lh := w/cell+2, h/cell+2
+	lattice := make([]int, lw*lh)
+	for i := range lattice {
+		lattice[i] = rng.Intn(256)
+	}
+	f := video.NewFrame(w, h)
+	for y := 0; y < h; y++ {
+		ly, fy := y/cell, y%cell
+		for x := 0; x < w; x++ {
+			lx, fx := x/cell, x%cell
+			v00 := lattice[ly*lw+lx]
+			v10 := lattice[ly*lw+lx+1]
+			v01 := lattice[(ly+1)*lw+lx]
+			v11 := lattice[(ly+1)*lw+lx+1]
+			top := v00*(cell-fx) + v10*fx
+			bot := v01*(cell-fx) + v11*fx
+			f.Y[y*w+x] = uint8((top*(cell-fy) + bot*fy) / (cell * cell))
+		}
+	}
+	for i := range f.Cb {
+		f.Cb[i] = 128
+		f.Cr[i] = 128
+	}
+	return f
+}
+
+func TestThreeStepFindsExactShiftOnSmoothContent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ref := smoothFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	for _, shift := range []Vector{{4, 0}, {-2, 3}, {1, 1}} {
+		cur := shiftFrame(ref, shift.X, shift.Y)
+		res := Search(cur, ref, 4, 5, Config{Range: 7, Kind: ThreeStep}, nil)
+		if res.SAD != 0 {
+			t.Errorf("shift %v: TSS found %v with SAD %d, want exact match", shift, res.MV, res.SAD)
+		}
+	}
+}
+
+func TestThreeStepMuchCheaperThanFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ref := randFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	cur := shiftFrame(ref, 3, -2)
+	var fullStats, tssStats Stats
+	Search(cur, ref, 4, 5, Config{Range: 15, Kind: FullSearch}, &fullStats)
+	Search(cur, ref, 4, 5, Config{Range: 15, Kind: ThreeStep}, &tssStats)
+	if tssStats.SADCalls*5 > fullStats.SADCalls {
+		t.Fatalf("TSS (%d calls) not clearly cheaper than full (%d calls)",
+			tssStats.SADCalls, fullStats.SADCalls)
+	}
+}
+
+func TestSearchRespectsFrameBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ref := randFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	cur := randFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	// Corner MBs with a big range: all candidates must stay legal (no
+	// panics) and vectors within the window.
+	for _, mb := range [][2]int{{0, 0}, {0, 10}, {8, 0}, {8, 10}} {
+		for _, kind := range []SearchKind{FullSearch, ThreeStep} {
+			res := Search(cur, ref, mb[0], mb[1], Config{Range: 15, Kind: kind}, nil)
+			if res.MV.X < -15 || res.MV.X > 15 || res.MV.Y < -15 || res.MV.Y > 15 {
+				t.Fatalf("MB %v kind %v: vector %v outside range", mb, kind, res.MV)
+			}
+			x := mb[1]*video.MBSize + res.MV.X
+			y := mb[0]*video.MBSize + res.MV.Y
+			if x < 0 || y < 0 || x+16 > cur.Width || y+16 > cur.Height {
+				t.Fatalf("MB %v kind %v: reference block out of frame (%d, %d)", mb, kind, x, y)
+			}
+		}
+	}
+}
+
+func TestSearchZeroRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	ref := randFrame(rng, 64, 64)
+	cur := randFrame(rng, 64, 64)
+	res := Search(cur, ref, 1, 1, Config{Range: 0}, nil)
+	if !res.MV.IsZero() {
+		t.Fatalf("zero-range search returned %v", res.MV)
+	}
+}
+
+func TestSearchPenaltyBiasesSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ref := randFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	cur := shiftFrame(ref, -5, 0) // content shifted −5 → true MV (5, 0)
+
+	// A penalty that heavily punishes any non-zero horizontal component
+	// forces the search away from the SAD-optimal candidate — the
+	// mechanism PBPAIR uses to avoid likely-damaged references.
+	penalise := func(mv Vector) int32 {
+		if mv.X != 0 {
+			return 1 << 20
+		}
+		return 0
+	}
+	plain := Search(cur, ref, 4, 5, Config{Range: 7}, nil)
+	biased := Search(cur, ref, 4, 5, Config{Range: 7, Penalty: penalise}, nil)
+	if plain.MV != (Vector{5, 0}) {
+		t.Fatalf("unbiased search missed true motion: %v", plain.MV)
+	}
+	if biased.MV.X != 0 {
+		t.Fatalf("biased search still picked X=%d", biased.MV.X)
+	}
+	if biased.Cost < biased.SAD {
+		t.Fatalf("cost %d < sad %d violates contract", biased.Cost, biased.SAD)
+	}
+}
+
+func TestSearchTiePrefersZeroVector(t *testing.T) {
+	// Flat frames: every candidate has SAD 0; the zero vector is
+	// seeded first and must win ties.
+	a := video.NewFrame(64, 64)
+	b := video.NewFrame(64, 64)
+	a.Fill(77, 128, 128)
+	b.Fill(77, 128, 128)
+	for _, kind := range []SearchKind{FullSearch, ThreeStep} {
+		res := Search(a, b, 1, 1, Config{Range: 7, Kind: kind}, nil)
+		if !res.MV.IsZero() {
+			t.Fatalf("kind %v: tie broke to %v, want zero vector", kind, res.MV)
+		}
+	}
+}
+
+func TestFullSearchCandidateCount(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	ref := randFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	cur := randFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	var stats Stats
+	// Interior MB with range 3: all (2*3+1)^2 = 49 candidates legal.
+	Search(cur, ref, 4, 5, Config{Range: 3}, &stats)
+	if want := int64(FullSearchCandidates(3)); stats.SADCalls != want {
+		t.Fatalf("SADCalls = %d, want %d", stats.SADCalls, want)
+	}
+}
+
+func TestCompensateZeroVectorCopies(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ref := randFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	dst := video.NewFrame(video.QCIFWidth, video.QCIFHeight)
+	Compensate(dst, ref, 2, 3, Vector{})
+	want := video.NewFrame(video.QCIFWidth, video.QCIFHeight)
+	video.CopyMB(want, ref, 2, 3)
+	if !dst.Equal(want) {
+		t.Fatal("zero-vector compensation differs from direct MB copy")
+	}
+}
+
+func TestCompensateRecoversShiftedContent(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	ref := randFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	mv := Vector{4, -6}
+	cur := shiftFrame(ref, -mv.X, -mv.Y)
+	dst := video.NewFrame(video.QCIFWidth, video.QCIFHeight)
+	Compensate(dst, ref, 4, 5, mv)
+	// Prediction luma must equal the current frame's MB exactly.
+	x, y := 5*16, 4*16
+	for r := 0; r < 16; r++ {
+		for c := 0; c < 16; c++ {
+			if dst.Y[(y+r)*dst.Width+x+c] != cur.Y[(y+r)*cur.Width+x+c] {
+				t.Fatalf("luma mismatch at (%d,%d)", c, r)
+			}
+		}
+	}
+}
+
+func TestCompensateChromaBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ref := randFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	dst := video.NewFrame(video.QCIFWidth, video.QCIFHeight)
+	// Extreme legal vectors at frame corners must not panic.
+	Compensate(dst, ref, 0, 0, Vector{15, 15})
+	Compensate(dst, ref, 8, 10, Vector{-15, -15})
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{SADCalls: 3, PixelOps: 100}
+	a.Add(Stats{SADCalls: 2, PixelOps: 50})
+	if a.SADCalls != 5 || a.PixelOps != 150 {
+		t.Fatalf("Add wrong: %+v", a)
+	}
+}
+
+func TestSearchKindString(t *testing.T) {
+	if FullSearch.String() != "full" || ThreeStep.String() != "tss" {
+		t.Fatal("kind names wrong")
+	}
+	if SearchKind(0).String() != "SearchKind(0)" {
+		t.Fatal("zero kind string wrong")
+	}
+}
+
+func BenchmarkFullSearchRange15(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ref := randFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	cur := shiftFrame(ref, 3, -2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Search(cur, ref, 4, 5, Config{Range: 15, Kind: FullSearch}, nil)
+	}
+}
+
+func BenchmarkThreeStepRange15(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	ref := randFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	cur := shiftFrame(ref, 3, -2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Search(cur, ref, 4, 5, Config{Range: 15, Kind: ThreeStep}, nil)
+	}
+}

@@ -1,0 +1,189 @@
+package network
+
+import "fmt"
+
+// Forward error correction — the paper's §5 extension ("Cooperation
+// with error control channel coding can be another interesting
+// research topic since PBPAIR is independent from any other encoder
+// and/or decoder side control mechanisms").
+//
+// The scheme is RFC 2733-style XOR parity: after every group of K
+// media packets the sender emits one parity packet whose payload is
+// the XOR of the group's payloads (padded to the longest) and whose
+// header fields carry the XOR of the group's lengths, frame numbers
+// and marker bits. A receiver missing exactly one media packet of a
+// group reconstructs it bit-exactly; two or more losses in a group are
+// unrecoverable. Overhead is 1/K additional packets.
+
+// Parity metadata carried by FEC packets. Media packets leave these
+// fields zero.
+type parityInfo struct {
+	CoverFrom, CoverTo int // inclusive seq range covered
+	LenXOR             int
+	FrameXOR           int
+	MarkerXOR          bool
+}
+
+// FECEncoder groups outgoing packets and appends parity.
+type FECEncoder struct {
+	k     int
+	group []Packet
+}
+
+// NewFECEncoder returns an encoder emitting one parity packet per k
+// media packets. k must be >= 1 (k = 1 duplicates every packet's
+// information; larger k trades protection for overhead).
+func NewFECEncoder(k int) (*FECEncoder, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("network: FEC group size %d must be >= 1", k)
+	}
+	return &FECEncoder{k: k}, nil
+}
+
+// Protect appends packets to the current group, returning the packets
+// to transmit (the inputs, plus a parity packet after each full
+// group). Callers pass every media packet through Protect in seq
+// order.
+func (e *FECEncoder) Protect(packets []Packet) []Packet {
+	out := make([]Packet, 0, len(packets)+len(packets)/e.k+1)
+	for _, pkt := range packets {
+		e.group = append(e.group, pkt)
+		out = append(out, pkt)
+		if len(e.group) == e.k {
+			out = append(out, e.parity())
+			e.group = e.group[:0]
+		}
+	}
+	return out
+}
+
+// Flush emits a parity packet for a trailing partial group, if any.
+func (e *FECEncoder) Flush() []Packet {
+	if len(e.group) == 0 {
+		return nil
+	}
+	p := e.parity()
+	e.group = e.group[:0]
+	return []Packet{p}
+}
+
+// parity builds the parity packet for the current group.
+func (e *FECEncoder) parity() Packet {
+	maxLen := 0
+	for _, pkt := range e.group {
+		if len(pkt.Payload) > maxLen {
+			maxLen = len(pkt.Payload)
+		}
+	}
+	payload := make([]byte, maxLen)
+	info := parityInfo{
+		CoverFrom: e.group[0].Seq,
+		CoverTo:   e.group[len(e.group)-1].Seq,
+	}
+	for _, pkt := range e.group {
+		for i, b := range pkt.Payload {
+			payload[i] ^= b
+		}
+		info.LenXOR ^= len(pkt.Payload)
+		info.FrameXOR ^= pkt.FrameNum
+		if pkt.Marker {
+			info.MarkerXOR = !info.MarkerXOR
+		}
+	}
+	return Packet{
+		Seq:      e.group[len(e.group)-1].Seq, // shares the last covered seq; Parity disambiguates
+		FrameNum: e.group[len(e.group)-1].FrameNum,
+		Payload:  payload,
+		Parity:   &info,
+	}
+}
+
+// RecoverFEC scans a received packet sequence (media and parity
+// interleaved, order preserved) and reconstructs any media packet that
+// is the single loss of its parity group. Parity packets are consumed;
+// the result contains only media packets in seq order.
+func RecoverFEC(received []Packet) []Packet {
+	media := make(map[int]Packet)
+	var order []int
+	var parities []Packet
+	for _, pkt := range received {
+		if pkt.Parity != nil {
+			parities = append(parities, pkt)
+			continue
+		}
+		media[pkt.Seq] = pkt
+		order = append(order, pkt.Seq)
+	}
+
+	for _, par := range parities {
+		info := par.Parity
+		missing := -1
+		count := 0
+		for seq := info.CoverFrom; seq <= info.CoverTo; seq++ {
+			if _, ok := media[seq]; ok {
+				count++
+			} else if missing == -1 {
+				missing = seq
+			} else {
+				missing = -2 // more than one loss: unrecoverable
+			}
+		}
+		if missing < 0 || count != info.CoverTo-info.CoverFrom {
+			continue // nothing missing, or too much
+		}
+		// XOR the surviving payloads into the parity to recover the
+		// missing packet.
+		payload := make([]byte, len(par.Payload))
+		copy(payload, par.Payload)
+		length := info.LenXOR
+		frame := info.FrameXOR
+		marker := info.MarkerXOR
+		for seq := info.CoverFrom; seq <= info.CoverTo; seq++ {
+			pkt, ok := media[seq]
+			if !ok {
+				continue
+			}
+			for i, b := range pkt.Payload {
+				payload[i] ^= b
+			}
+			length ^= len(pkt.Payload)
+			frame ^= pkt.FrameNum
+			if pkt.Marker {
+				marker = !marker
+			}
+		}
+		if length < 0 || length > len(payload) {
+			continue // inconsistent parity; drop rather than corrupt
+		}
+		media[missing] = Packet{
+			Seq:      missing,
+			FrameNum: frame,
+			Marker:   marker,
+			Payload:  payload[:length],
+		}
+		order = append(order, missing)
+	}
+
+	// Emit in seq order.
+	sortInts(order)
+	out := make([]Packet, 0, len(order))
+	seen := make(map[int]bool, len(order))
+	for _, seq := range order {
+		if seen[seq] {
+			continue
+		}
+		seen[seq] = true
+		out = append(out, media[seq])
+	}
+	return out
+}
+
+// sortInts is insertion sort — packet groups are tiny and this avoids
+// pulling sort into the hot path for a handful of elements.
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

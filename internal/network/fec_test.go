@@ -1,0 +1,209 @@
+package network
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mediaPackets(n int, rng *rand.Rand) []Packet {
+	pkts := make([]Packet, n)
+	for i := range pkts {
+		payload := make([]byte, rng.Intn(200)+1)
+		rng.Read(payload)
+		pkts[i] = Packet{
+			Seq:      i,
+			FrameNum: i / 2,
+			Marker:   i%2 == 1,
+			Payload:  payload,
+		}
+	}
+	return pkts
+}
+
+func TestFECEncoderValidation(t *testing.T) {
+	if _, err := NewFECEncoder(0); err == nil {
+		t.Fatal("group size 0 accepted")
+	}
+}
+
+func TestFECOverhead(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	enc, err := NewFECEncoder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := enc.Protect(mediaPackets(12, rng))
+	media, parity := 0, 0
+	for _, pkt := range out {
+		if pkt.Parity != nil {
+			parity++
+		} else {
+			media++
+		}
+	}
+	if media != 12 || parity != 3 {
+		t.Fatalf("media %d parity %d, want 12/3", media, parity)
+	}
+}
+
+func TestFECFlushPartialGroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	enc, err := NewFECEncoder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc.Protect(mediaPackets(2, rng))
+	tail := enc.Flush()
+	if len(tail) != 1 || tail[0].Parity == nil {
+		t.Fatalf("Flush returned %v", tail)
+	}
+	if again := enc.Flush(); again != nil {
+		t.Fatal("second Flush emitted another parity packet")
+	}
+}
+
+func TestFECRecoversSingleLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	orig := mediaPackets(8, rng)
+	enc, err := NewFECEncoder(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	protected := enc.Protect(orig)
+
+	// Drop one media packet per group.
+	for _, victim := range []int{1, 6} {
+		var received []Packet
+		for _, pkt := range protected {
+			if pkt.Parity == nil && pkt.Seq == victim {
+				continue
+			}
+			received = append(received, pkt)
+		}
+		recovered := RecoverFEC(received)
+		if len(recovered) != 8 {
+			t.Fatalf("victim %d: recovered %d packets, want 8", victim, len(recovered))
+		}
+		for i, pkt := range recovered {
+			want := orig[i]
+			if pkt.Seq != want.Seq || pkt.FrameNum != want.FrameNum || pkt.Marker != want.Marker {
+				t.Fatalf("victim %d: packet %d metadata %+v, want %+v", victim, i, pkt, want)
+			}
+			if !bytes.Equal(pkt.Payload, want.Payload) {
+				t.Fatalf("victim %d: packet %d payload differs", victim, i)
+			}
+		}
+	}
+}
+
+func TestFECCannotRecoverDoubleLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	orig := mediaPackets(4, rng)
+	enc, _ := NewFECEncoder(4)
+	protected := enc.Protect(orig)
+	var received []Packet
+	for _, pkt := range protected {
+		if pkt.Parity == nil && (pkt.Seq == 1 || pkt.Seq == 2) {
+			continue
+		}
+		received = append(received, pkt)
+	}
+	recovered := RecoverFEC(received)
+	if len(recovered) != 2 {
+		t.Fatalf("recovered %d packets from a double loss, want 2 survivors", len(recovered))
+	}
+}
+
+func TestFECLostParityIsHarmless(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	orig := mediaPackets(4, rng)
+	enc, _ := NewFECEncoder(4)
+	protected := enc.Protect(orig)
+	var received []Packet
+	for _, pkt := range protected {
+		if pkt.Parity != nil {
+			continue
+		}
+		received = append(received, pkt)
+	}
+	recovered := RecoverFEC(received)
+	if len(recovered) != 4 {
+		t.Fatalf("recovered %d, want 4", len(recovered))
+	}
+}
+
+// TestFECRoundTripProperty: for any payload sizes and any single
+// victim, recovery is bit exact.
+func TestFECRoundTripProperty(t *testing.T) {
+	prop := func(seed int64, kRaw, victimRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := int(kRaw%6) + 1
+		n := k * 3
+		orig := mediaPackets(n, rng)
+		enc, err := NewFECEncoder(k)
+		if err != nil {
+			return false
+		}
+		protected := enc.Protect(orig)
+		victim := int(victimRaw) % n
+		var received []Packet
+		for _, pkt := range protected {
+			if pkt.Parity == nil && pkt.Seq == victim {
+				continue
+			}
+			received = append(received, pkt)
+		}
+		recovered := RecoverFEC(received)
+		if len(recovered) != n {
+			return false
+		}
+		for i := range recovered {
+			if !bytes.Equal(recovered[i].Payload, orig[i].Payload) ||
+				recovered[i].FrameNum != orig[i].FrameNum {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFECEndToEndLoss: FEC in front of a uniform-loss channel lowers
+// the effective media loss rate roughly to the two-in-a-group regime.
+func TestFECEndToEndLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	const n = 4000
+	const k = 4
+	orig := mediaPackets(n, rng)
+	enc, _ := NewFECEncoder(k)
+	protected := enc.Protect(orig)
+
+	ch, err := NewUniformLoss(0.1, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	received := ch.Transmit(protected)
+	recovered := RecoverFEC(received)
+
+	effective := 1 - float64(len(recovered))/n
+	if effective >= 0.06 {
+		t.Fatalf("FEC effective loss %.4f, want well below the raw 0.10", effective)
+	}
+	if effective <= 0.001 {
+		t.Fatalf("FEC effective loss %.4f suspiciously low for k=4 at 10%%", effective)
+	}
+}
+
+func TestSortInts(t *testing.T) {
+	a := []int{5, 2, 9, 2, 0}
+	sortInts(a)
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			t.Fatalf("not sorted: %v", a)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package network
+
+import "pbpair/internal/codec"
+
+// Interleaved packetisation: instead of cutting a frame into
+// contiguous runs of GOBs, spread the GOBs round-robin over n packets
+// (packet 0 carries the picture header plus GOBs 0, n, 2n, …; packet 1
+// carries GOBs 1, n+1, …). Losing one packet then costs every n-th
+// macroblock row rather than a contiguous band, which is exactly the
+// damage pattern spatial concealment interpolates best — each lost row
+// has intact neighbours above and below.
+//
+// The codec's GOB start codes make the non-contiguous payloads
+// decodable as-is: the decoder locates each GOB by its header, in any
+// order, with any gaps.
+
+// PacketizeInterleaved splits one encoded frame into n interleaved
+// packets. n < 2 (or a frame with too few GOBs) falls back to the
+// plain packetiser. MTU is not enforced here: interleaving targets
+// loss dispersion, not fragmentation; callers choose n so packets fit
+// their path.
+func (p *Packetizer) PacketizeInterleaved(frame *codec.EncodedFrame, n int) []Packet {
+	if n < 2 || len(frame.GOBOffsets) < n {
+		return p.Packetize(frame)
+	}
+	data := frame.Data
+
+	// Byte range of GOB g: [offset[g], offset[g+1]) with the last GOB
+	// running to the end of the frame.
+	gobRange := func(g int) (int, int) {
+		start := frame.GOBOffsets[g]
+		end := len(data)
+		if g+1 < len(frame.GOBOffsets) {
+			end = frame.GOBOffsets[g+1]
+		}
+		return start, end
+	}
+
+	packets := make([]Packet, 0, n)
+	for i := 0; i < n; i++ {
+		var payload []byte
+		if i == 0 {
+			// Picture header precedes the first GOB.
+			payload = append(payload, data[:frame.GOBOffsets[0]]...)
+		}
+		for g := i; g < len(frame.GOBOffsets); g += n {
+			start, end := gobRange(g)
+			payload = append(payload, data[start:end]...)
+		}
+		packets = append(packets, Packet{
+			Seq:      p.seq,
+			FrameNum: frame.FrameNum,
+			Payload:  payload,
+		})
+		p.seq++
+	}
+	packets[len(packets)-1].Marker = true
+	return packets
+}

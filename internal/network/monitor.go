@@ -1,0 +1,55 @@
+package network
+
+// LossMonitor is the receiver-side half of the paper's §3.2/§5
+// "proper interfacing mechanisms between the codec and the network":
+// it infers packet loss from sequence-number gaps (the way an RTCP
+// receiver report is computed) so the sender's PLR estimate needs no
+// oracle. Feed every received packet in arrival order; read Rate()
+// whenever a report is due.
+type LossMonitor struct {
+	nextSeq  int
+	received int64
+	lost     int64
+	started  bool
+}
+
+// Observe records one received packet. Gaps between the expected and
+// actual sequence number count as losses; duplicates and reordering
+// within a gap are counted conservatively (a late packet that was
+// already declared lost is ignored rather than reclaimed — RTCP's
+// cumulative counters behave the same way over short windows).
+func (m *LossMonitor) Observe(seq int) {
+	if !m.started {
+		m.started = true
+		m.nextSeq = seq
+	}
+	if seq < m.nextSeq {
+		return // duplicate or late reordered packet
+	}
+	m.lost += int64(seq - m.nextSeq)
+	m.received++
+	m.nextSeq = seq + 1
+}
+
+// Received returns the number of packets seen.
+func (m *LossMonitor) Received() int64 { return m.received }
+
+// Lost returns the number of packets inferred lost.
+func (m *LossMonitor) Lost() int64 { return m.lost }
+
+// Rate returns the cumulative loss fraction in [0, 1].
+func (m *LossMonitor) Rate() float64 {
+	total := m.received + m.lost
+	if total == 0 {
+		return 0
+	}
+	return float64(m.lost) / float64(total)
+}
+
+// Reset starts a new measurement interval (RTCP-style per-interval
+// fraction lost).
+func (m *LossMonitor) Reset() {
+	m.received, m.lost = 0, 0
+	// nextSeq is retained: the interval boundary does not forget where
+	// the stream is.
+}

@@ -1,0 +1,93 @@
+package network
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLossMonitorNoLoss(t *testing.T) {
+	var m LossMonitor
+	for i := 0; i < 100; i++ {
+		m.Observe(i)
+	}
+	if m.Rate() != 0 || m.Lost() != 0 || m.Received() != 100 {
+		t.Fatalf("clean stream: rate %v lost %d received %d", m.Rate(), m.Lost(), m.Received())
+	}
+}
+
+func TestLossMonitorDetectsGaps(t *testing.T) {
+	var m LossMonitor
+	for _, seq := range []int{0, 1, 3, 4, 8} { // 2, 5, 6, 7 missing
+		m.Observe(seq)
+	}
+	if m.Lost() != 4 {
+		t.Fatalf("Lost = %d, want 4", m.Lost())
+	}
+	if m.Received() != 5 {
+		t.Fatalf("Received = %d, want 5", m.Received())
+	}
+	if want := 4.0 / 9.0; math.Abs(m.Rate()-want) > 1e-12 {
+		t.Fatalf("Rate = %v, want %v", m.Rate(), want)
+	}
+}
+
+func TestLossMonitorIgnoresDuplicatesAndLate(t *testing.T) {
+	var m LossMonitor
+	m.Observe(0)
+	m.Observe(2) // 1 lost
+	m.Observe(1) // late arrival: already counted lost, ignored
+	m.Observe(2) // duplicate
+	if m.Lost() != 1 || m.Received() != 2 {
+		t.Fatalf("lost %d received %d", m.Lost(), m.Received())
+	}
+}
+
+func TestLossMonitorStartsAtFirstSeq(t *testing.T) {
+	var m LossMonitor
+	m.Observe(1000) // mid-stream join: no phantom losses
+	if m.Lost() != 0 {
+		t.Fatalf("phantom losses %d at stream start", m.Lost())
+	}
+}
+
+func TestLossMonitorReset(t *testing.T) {
+	var m LossMonitor
+	m.Observe(0)
+	m.Observe(5)
+	m.Reset()
+	if m.Rate() != 0 || m.Received() != 0 || m.Lost() != 0 {
+		t.Fatal("Reset did not clear counters")
+	}
+	// Continuity across the interval boundary: seq 6 is not a gap.
+	m.Observe(6)
+	if m.Lost() != 0 {
+		t.Fatalf("interval boundary created %d phantom losses", m.Lost())
+	}
+	// But a real gap after reset still counts.
+	m.Observe(9)
+	if m.Lost() != 2 {
+		t.Fatalf("post-reset gap lost %d, want 2", m.Lost())
+	}
+}
+
+// TestLossMonitorMatchesChannel: against a seeded uniform channel the
+// inferred rate must track the true rate (losses at the tail are
+// invisible until a later packet arrives, so compare loosely).
+func TestLossMonitorMatchesChannel(t *testing.T) {
+	ch, err := NewUniformLoss(0.15, 4242)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := make([]Packet, 10000)
+	for i := range pkts {
+		pkts[i].Seq = i
+	}
+	kept := ch.Transmit(pkts)
+	var m LossMonitor
+	for _, pkt := range kept {
+		m.Observe(pkt.Seq)
+	}
+	if math.Abs(m.Rate()-0.15) > 0.02 {
+		t.Fatalf("inferred rate %.4f, true 0.15", m.Rate())
+	}
+}

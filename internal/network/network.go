@@ -1,0 +1,295 @@
+// Package network simulates the paper's transport: RTP-style
+// packetisation of encoded frames (Section 4.1 — "the variable-size
+// encoded output of each frame is contained by a single packet as long
+// as it does not exceed the maximum transfer unit") over a lossy
+// channel. Loss models cover the paper's uniform frame-discard model,
+// a Gilbert–Elliott burst model, and scripted loss schedules for the
+// Figure 6 experiments (packet-loss events e1..e7).
+package network
+
+import (
+	"fmt"
+
+	"pbpair/internal/codec"
+)
+
+// DefaultMTU is the conventional Ethernet-payload MTU the paper's RTP
+// setup implies.
+const DefaultMTU = 1500
+
+// Packet is one RTP-like transport unit.
+type Packet struct {
+	Seq      int  // transport sequence number, monotonically increasing
+	FrameNum int  // timestamp analogue: which frame this payload belongs to
+	Marker   bool // set on the last packet of a frame (RTP marker bit)
+	Payload  []byte
+	// Parity marks an FEC parity packet and carries its recovery
+	// metadata; nil for media packets. See fec.go.
+	Parity *parityInfo
+}
+
+// Packetizer turns encoded frames into packets.
+type Packetizer struct {
+	mtu int
+	seq int
+}
+
+// NewPacketizer returns a packetiser with the given MTU (DefaultMTU if
+// mtu <= 0).
+func NewPacketizer(mtu int) *Packetizer {
+	if mtu <= 0 {
+		mtu = DefaultMTU
+	}
+	return &Packetizer{mtu: mtu}
+}
+
+// Packetize splits one encoded frame into packets. The whole frame
+// rides in a single packet unless it exceeds the MTU, in which case it
+// is split at GOB boundaries (so each fragment starts at a
+// resynchronisation point and remains independently decodable).
+// A fragment may still exceed the MTU if a single GOB does; real
+// systems fragment at the IP layer in that case, and the split point
+// choice preserves decodability either way.
+func (p *Packetizer) Packetize(frame *codec.EncodedFrame) []Packet {
+	data := frame.Data
+	if len(data) <= p.mtu || len(frame.GOBOffsets) == 0 {
+		pkt := Packet{Seq: p.seq, FrameNum: frame.FrameNum, Marker: true, Payload: data}
+		p.seq++
+		return []Packet{pkt}
+	}
+
+	// Greedy split: extend each fragment GOB by GOB while it fits.
+	var packets []Packet
+	start := 0
+	for start < len(data) {
+		var end int
+		if len(data)-start <= p.mtu {
+			end = len(data) // remainder fits whole
+		} else {
+			// Last GOB boundary that keeps the fragment within the MTU.
+			end = 0
+			for _, off := range frame.GOBOffsets {
+				if off <= start {
+					continue
+				}
+				if off-start > p.mtu {
+					break
+				}
+				end = off
+			}
+			if end == 0 {
+				// A single GOB exceeds the MTU: take it anyway.
+				end = nextBoundary(frame.GOBOffsets, start, len(data))
+			}
+		}
+		packets = append(packets, Packet{
+			Seq:      p.seq,
+			FrameNum: frame.FrameNum,
+			Payload:  data[start:end],
+		})
+		p.seq++
+		start = end
+	}
+	if len(packets) > 0 {
+		packets[len(packets)-1].Marker = true
+	}
+	return packets
+}
+
+// nextBoundary returns the first GOB offset strictly after start, or
+// max if none exists.
+func nextBoundary(offsets []int, start, max int) int {
+	for _, off := range offsets {
+		if off > start {
+			return off
+		}
+	}
+	return max
+}
+
+// Reassemble concatenates the received packets of one frame (in
+// sequence order) into a decoder payload. Missing fragments simply
+// leave gaps; the decoder's start-code scan and GOB concealment handle
+// them. A nil return means the frame was lost entirely.
+func Reassemble(packets []Packet) []byte {
+	if len(packets) == 0 {
+		return nil
+	}
+	total := 0
+	for _, pkt := range packets {
+		total += len(pkt.Payload)
+	}
+	out := make([]byte, 0, total)
+	for _, pkt := range packets {
+		out = append(out, pkt.Payload...)
+	}
+	return out
+}
+
+// Channel decides the fate of each packet. Implementations must be
+// deterministic given their construction parameters (seeded).
+type Channel interface {
+	// Transmit returns the packets that survive, preserving order.
+	Transmit(packets []Packet) []Packet
+}
+
+// Perfect is a loss-free channel.
+type Perfect struct{}
+
+// Transmit implements Channel.
+func (Perfect) Transmit(packets []Packet) []Packet { return packets }
+
+// UniformLoss drops each packet independently with probability Rate —
+// the paper's "uniform distribution of frame discard" model. The
+// stream of decisions is a deterministic function of the seed.
+type UniformLoss struct {
+	rate float64
+	rng  *splitMix64
+}
+
+// NewUniformLoss returns a uniform-loss channel. rate must lie in
+// [0, 1].
+func NewUniformLoss(rate float64, seed uint64) (*UniformLoss, error) {
+	if rate < 0 || rate > 1 {
+		return nil, fmt.Errorf("network: loss rate %v outside [0, 1]", rate)
+	}
+	return &UniformLoss{rate: rate, rng: newSplitMix64(seed)}, nil
+}
+
+// Transmit implements Channel.
+func (u *UniformLoss) Transmit(packets []Packet) []Packet {
+	kept := packets[:0:0]
+	for _, pkt := range packets {
+		if u.rng.float64() < u.rate {
+			continue
+		}
+		kept = append(kept, pkt)
+	}
+	return kept
+}
+
+// GilbertElliott is a two-state burst-loss channel: a good state with
+// low loss and a bad state with high loss, with configured transition
+// probabilities. It models the bursty fading of wireless links the
+// paper targets (an extension beyond the paper's uniform model).
+type GilbertElliott struct {
+	pGoodToBad, pBadToGood float64
+	lossGood, lossBad      float64
+	bad                    bool
+	rng                    *splitMix64
+}
+
+// GEConfig configures a Gilbert–Elliott channel.
+type GEConfig struct {
+	PGoodToBad float64 // transition probability good→bad per packet
+	PBadToGood float64 // transition probability bad→good per packet
+	LossGood   float64 // loss probability in the good state
+	LossBad    float64 // loss probability in the bad state
+}
+
+// NewGilbertElliott returns a burst-loss channel.
+func NewGilbertElliott(cfg GEConfig, seed uint64) (*GilbertElliott, error) {
+	for _, v := range []float64{cfg.PGoodToBad, cfg.PBadToGood, cfg.LossGood, cfg.LossBad} {
+		if v < 0 || v > 1 {
+			return nil, fmt.Errorf("network: Gilbert–Elliott probability %v outside [0, 1]", v)
+		}
+	}
+	return &GilbertElliott{
+		pGoodToBad: cfg.PGoodToBad,
+		pBadToGood: cfg.PBadToGood,
+		lossGood:   cfg.LossGood,
+		lossBad:    cfg.LossBad,
+		rng:        newSplitMix64(seed),
+	}, nil
+}
+
+// SteadyStateLoss returns the long-run average loss rate of the
+// configured chain.
+func (g *GilbertElliott) SteadyStateLoss() float64 {
+	denom := g.pGoodToBad + g.pBadToGood
+	if denom == 0 {
+		if g.bad {
+			return g.lossBad
+		}
+		return g.lossGood
+	}
+	pBad := g.pGoodToBad / denom
+	return pBad*g.lossBad + (1-pBad)*g.lossGood
+}
+
+// Transmit implements Channel.
+func (g *GilbertElliott) Transmit(packets []Packet) []Packet {
+	kept := packets[:0:0]
+	for _, pkt := range packets {
+		// State transition per packet.
+		if g.bad {
+			if g.rng.float64() < g.pBadToGood {
+				g.bad = false
+			}
+		} else {
+			if g.rng.float64() < g.pGoodToBad {
+				g.bad = true
+			}
+		}
+		loss := g.lossGood
+		if g.bad {
+			loss = g.lossBad
+		}
+		if g.rng.float64() < loss {
+			continue
+		}
+		kept = append(kept, pkt)
+	}
+	return kept
+}
+
+// Schedule drops exactly the frames named in its loss set — the
+// scripted loss events (e1..e7) of Figure 6. Packets of a listed frame
+// are all dropped.
+type Schedule struct {
+	lostFrames map[int]bool
+}
+
+// NewSchedule returns a scripted-loss channel dropping the given frame
+// numbers.
+func NewSchedule(lostFrames ...int) *Schedule {
+	m := make(map[int]bool, len(lostFrames))
+	for _, f := range lostFrames {
+		m[f] = true
+	}
+	return &Schedule{lostFrames: m}
+}
+
+// Lost reports whether frame f is scheduled to be lost.
+func (s *Schedule) Lost(f int) bool { return s.lostFrames[f] }
+
+// Transmit implements Channel.
+func (s *Schedule) Transmit(packets []Packet) []Packet {
+	kept := packets[:0:0]
+	for _, pkt := range packets {
+		if s.lostFrames[pkt.FrameNum] {
+			continue
+		}
+		kept = append(kept, pkt)
+	}
+	return kept
+}
+
+// splitMix64 is a tiny deterministic PRNG so channels do not depend on
+// math/rand's global state and remain reproducible across runs.
+type splitMix64 struct{ state uint64 }
+
+func newSplitMix64(seed uint64) *splitMix64 { return &splitMix64{state: seed} }
+
+func (s *splitMix64) next() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform value in [0, 1).
+func (s *splitMix64) float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}

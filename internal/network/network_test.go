@@ -1,0 +1,273 @@
+package network
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"pbpair/internal/codec"
+)
+
+// fakeFrame builds an EncodedFrame with n GOBs of the given sizes and
+// a header of headerLen bytes. GOB i's payload is filled with byte i.
+func fakeFrame(num, headerLen int, gobSizes []int) *codec.EncodedFrame {
+	var data []byte
+	data = append(data, bytes.Repeat([]byte{0xAA}, headerLen)...)
+	offsets := make([]int, 0, len(gobSizes))
+	for i, size := range gobSizes {
+		offsets = append(offsets, len(data))
+		data = append(data, bytes.Repeat([]byte{byte(i)}, size)...)
+	}
+	return &codec.EncodedFrame{FrameNum: num, Data: data, GOBOffsets: offsets}
+}
+
+func TestPacketizeSmallFrameSinglePacket(t *testing.T) {
+	p := NewPacketizer(1500)
+	frame := fakeFrame(3, 10, []int{100, 100, 100})
+	pkts := p.Packetize(frame)
+	if len(pkts) != 1 {
+		t.Fatalf("got %d packets, want 1", len(pkts))
+	}
+	if !pkts[0].Marker {
+		t.Fatal("single packet must carry the marker bit")
+	}
+	if pkts[0].FrameNum != 3 {
+		t.Fatalf("FrameNum = %d", pkts[0].FrameNum)
+	}
+	if !bytes.Equal(pkts[0].Payload, frame.Data) {
+		t.Fatal("payload differs from frame data")
+	}
+}
+
+func TestPacketizeSplitsAtGOBBoundaries(t *testing.T) {
+	p := NewPacketizer(250)
+	frame := fakeFrame(0, 20, []int{100, 100, 100, 100})
+	pkts := p.Packetize(frame)
+	if len(pkts) < 2 {
+		t.Fatalf("oversized frame not split: %d packets", len(pkts))
+	}
+	// Every packet boundary after the first must coincide with a GOB
+	// offset, every packet must respect the MTU, and the marker sits on
+	// the last packet only.
+	pos := 0
+	for i, pkt := range pkts {
+		if len(pkt.Payload) > 250 {
+			t.Fatalf("packet %d is %d bytes > MTU", i, len(pkt.Payload))
+		}
+		if i > 0 {
+			found := false
+			for _, off := range frame.GOBOffsets {
+				if off == pos {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("packet %d starts at %d, not a GOB boundary", i, pos)
+			}
+		}
+		if pkt.Marker != (i == len(pkts)-1) {
+			t.Fatalf("marker on packet %d wrong", i)
+		}
+		pos += len(pkt.Payload)
+	}
+	if got := Reassemble(pkts); !bytes.Equal(got, frame.Data) {
+		t.Fatal("reassembled payload differs")
+	}
+}
+
+func TestPacketizeTailNotSplitNeedlessly(t *testing.T) {
+	p := NewPacketizer(250)
+	// 20+100+100+100+100 = 420 bytes: should be 2 packets (240 + 180),
+	// not more.
+	frame := fakeFrame(0, 20, []int{100, 100, 100, 100})
+	pkts := p.Packetize(frame)
+	if len(pkts) != 2 {
+		sizes := make([]int, len(pkts))
+		for i := range pkts {
+			sizes[i] = len(pkts[i].Payload)
+		}
+		t.Fatalf("got %d packets %v, want 2", len(pkts), sizes)
+	}
+}
+
+func TestPacketizeOversizedGOB(t *testing.T) {
+	p := NewPacketizer(100)
+	frame := fakeFrame(0, 10, []int{300, 50})
+	pkts := p.Packetize(frame)
+	if got := Reassemble(pkts); !bytes.Equal(got, frame.Data) {
+		t.Fatal("oversized-GOB frame did not reassemble")
+	}
+}
+
+func TestPacketizeSequenceNumbersMonotone(t *testing.T) {
+	p := NewPacketizer(120)
+	last := -1
+	for f := 0; f < 5; f++ {
+		for _, pkt := range p.Packetize(fakeFrame(f, 10, []int{100, 100})) {
+			if pkt.Seq != last+1 {
+				t.Fatalf("sequence jumped from %d to %d", last, pkt.Seq)
+			}
+			last = pkt.Seq
+		}
+	}
+}
+
+func TestReassembleEmpty(t *testing.T) {
+	if Reassemble(nil) != nil {
+		t.Fatal("no packets should reassemble to nil")
+	}
+}
+
+func TestPerfectChannel(t *testing.T) {
+	pkts := []Packet{{Seq: 0}, {Seq: 1}}
+	if got := (Perfect{}).Transmit(pkts); len(got) != 2 {
+		t.Fatal("perfect channel dropped packets")
+	}
+}
+
+func TestUniformLossValidation(t *testing.T) {
+	if _, err := NewUniformLoss(-0.1, 1); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := NewUniformLoss(1.1, 1); err == nil {
+		t.Fatal("rate above one accepted")
+	}
+}
+
+func TestUniformLossRate(t *testing.T) {
+	const n = 20000
+	ch, err := NewUniformLoss(0.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkts := make([]Packet, n)
+	for i := range pkts {
+		pkts[i].Seq = i
+	}
+	kept := ch.Transmit(pkts)
+	rate := 1 - float64(len(kept))/n
+	if math.Abs(rate-0.1) > 0.01 {
+		t.Fatalf("empirical loss rate %.4f, want ~0.10", rate)
+	}
+}
+
+func TestUniformLossDeterministic(t *testing.T) {
+	mk := func() []int {
+		ch, err := NewUniformLoss(0.3, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkts := make([]Packet, 100)
+		for i := range pkts {
+			pkts[i].Seq = i
+		}
+		var seqs []int
+		for _, pkt := range ch.Transmit(pkts) {
+			seqs = append(seqs, pkt.Seq)
+		}
+		return seqs
+	}
+	a, b := mk(), mk()
+	if len(a) != len(b) {
+		t.Fatal("same seed, different outcomes")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different survivors")
+		}
+	}
+}
+
+func TestUniformLossZeroAndOne(t *testing.T) {
+	pkts := make([]Packet, 50)
+	none, _ := NewUniformLoss(0, 1)
+	if got := none.Transmit(pkts); len(got) != 50 {
+		t.Fatal("rate 0 dropped packets")
+	}
+	all, _ := NewUniformLoss(1, 1)
+	if got := all.Transmit(pkts); len(got) != 0 {
+		t.Fatal("rate 1 kept packets")
+	}
+}
+
+func TestGilbertElliottValidation(t *testing.T) {
+	if _, err := NewGilbertElliott(GEConfig{PGoodToBad: -1}, 1); err == nil {
+		t.Fatal("negative probability accepted")
+	}
+}
+
+func TestGilbertElliottBurstiness(t *testing.T) {
+	// Same average loss as a uniform channel, but losses must cluster:
+	// the mean run length of consecutive losses should exceed the
+	// uniform channel's.
+	cfg := GEConfig{PGoodToBad: 0.02, PBadToGood: 0.2, LossGood: 0.001, LossBad: 0.9}
+	ge, err := NewGilbertElliott(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 50000
+	pkts := make([]Packet, n)
+	for i := range pkts {
+		pkts[i].Seq = i
+	}
+	kept := ge.Transmit(pkts)
+	surv := make([]bool, n)
+	for _, pkt := range kept {
+		surv[pkt.Seq] = true
+	}
+	var runs, lossTotal, cur int
+	for i := 0; i < n; i++ {
+		if !surv[i] {
+			cur++
+			lossTotal++
+		} else if cur > 0 {
+			runs++
+			cur = 0
+		}
+	}
+	if cur > 0 {
+		runs++
+	}
+	if lossTotal == 0 || runs == 0 {
+		t.Fatal("burst channel produced no losses")
+	}
+	meanRun := float64(lossTotal) / float64(runs)
+	if meanRun < 1.5 {
+		t.Fatalf("mean loss-run length %.2f not bursty", meanRun)
+	}
+	// Steady state sanity.
+	want := ge.SteadyStateLoss()
+	got := float64(lossTotal) / n
+	if math.Abs(got-want) > 0.03 {
+		t.Fatalf("empirical loss %.3f far from steady state %.3f", got, want)
+	}
+}
+
+func TestScheduleDropsExactFrames(t *testing.T) {
+	s := NewSchedule(2, 5)
+	if !s.Lost(2) || !s.Lost(5) || s.Lost(3) {
+		t.Fatal("Lost() wrong")
+	}
+	var pkts []Packet
+	for f := 0; f < 7; f++ {
+		pkts = append(pkts, Packet{Seq: f, FrameNum: f})
+	}
+	kept := s.Transmit(pkts)
+	for _, pkt := range kept {
+		if pkt.FrameNum == 2 || pkt.FrameNum == 5 {
+			t.Fatalf("scheduled-lost frame %d survived", pkt.FrameNum)
+		}
+	}
+	if len(kept) != 5 {
+		t.Fatalf("kept %d packets, want 5", len(kept))
+	}
+}
+
+func TestDefaultMTU(t *testing.T) {
+	p := NewPacketizer(0)
+	frame := fakeFrame(0, 10, []int{400, 400, 400})
+	if pkts := p.Packetize(frame); len(pkts) != 1 {
+		t.Fatalf("default MTU should hold a 1210-byte frame in one packet, got %d", len(pkts))
+	}
+}

@@ -1,0 +1,133 @@
+// Package quant implements H.263-style scalar quantisation of DCT
+// coefficients (the Q / DeQ stages of Figure 1 in the paper).
+//
+// The quantiser parameter QP ranges over [1, 31]. The intra DC
+// coefficient uses a fixed step of 8 (H.263 §6.2.1); all other
+// coefficients use a dead-zone quantiser with step 2·QP and the
+// standard H.263 reconstruction rule with odd/even QP adjustment.
+package quant
+
+import "pbpair/internal/video"
+
+// QP bounds from H.263.
+const (
+	MinQP = 1
+	MaxQP = 31
+)
+
+// ClampQP forces qp into the legal [MinQP, MaxQP] range.
+func ClampQP(qp int) int {
+	if qp < MinQP {
+		return MinQP
+	}
+	if qp > MaxQP {
+		return MaxQP
+	}
+	return qp
+}
+
+// maxLevel bounds quantised levels so they always fit the entropy
+// coder's level alphabet. With QP >= 1 and coefficients in ±2048 the
+// natural level range is ±1024.
+const maxLevel = 1024
+
+// Intra quantises an intra-block coefficient array in place semantics:
+// src holds DCT coefficients, dst receives levels. Index 0 is the DC
+// coefficient (step 8, always coded); the rest use step 2·QP with no
+// dead zone (H.263 intra rule level = coef / (2·QP)).
+func Intra(src, dst *video.Block, qp int) {
+	qp = ClampQP(qp)
+	dst[0] = clampDC((src[0] + 4) >> 3)
+	for i := 1; i < len(src); i++ {
+		dst[i] = clampLevel(src[i] / int32(2*qp))
+	}
+}
+
+// clampDC keeps the quantised DC inside the 8-bit fixed-length field
+// used by the bitstream (1..254 in H.263; we allow 0..255).
+func clampDC(v int32) int32 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return v
+}
+
+// Inter quantises an inter (residual) block: every coefficient,
+// including index 0, uses the dead-zone rule
+// level = sign(coef) · (|coef| − QP/2) / (2·QP).
+func Inter(src, dst *video.Block, qp int) {
+	qp = ClampQP(qp)
+	for i := range src {
+		c := src[i]
+		neg := c < 0
+		if neg {
+			c = -c
+		}
+		level := (c - int32(qp)/2) / int32(2*qp)
+		if level < 0 {
+			level = 0
+		}
+		if neg {
+			level = -level
+		}
+		dst[i] = clampLevel(level)
+	}
+}
+
+func clampLevel(v int32) int32 {
+	if v < -maxLevel {
+		return -maxLevel
+	}
+	if v > maxLevel {
+		return maxLevel
+	}
+	return v
+}
+
+// DequantIntra reconstructs coefficients from intra levels.
+func DequantIntra(src, dst *video.Block, qp int) {
+	qp = ClampQP(qp)
+	dst[0] = src[0] * 8
+	for i := 1; i < len(src); i++ {
+		dst[i] = reconstruct(src[i], qp)
+	}
+}
+
+// DequantInter reconstructs coefficients from inter levels.
+func DequantInter(src, dst *video.Block, qp int) {
+	qp = ClampQP(qp)
+	for i := range src {
+		dst[i] = reconstruct(src[i], qp)
+	}
+}
+
+// reconstruct applies the H.263 inverse quantisation rule:
+// |rec| = QP·(2·|level|+1) for odd QP, QP·(2·|level|+1)−1 for even QP;
+// zero levels reconstruct to zero. The result is clipped to the legal
+// coefficient range.
+func reconstruct(level int32, qp int) int32 {
+	if level == 0 {
+		return 0
+	}
+	neg := level < 0
+	if neg {
+		level = -level
+	}
+	rec := int32(qp) * (2*level + 1)
+	if qp%2 == 0 {
+		rec--
+	}
+	if rec > 2047 {
+		rec = 2047
+	}
+	if neg {
+		rec = -rec
+	}
+	if rec < -2048 {
+		rec = -2048
+	}
+	return rec
+}

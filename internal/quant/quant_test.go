@@ -1,0 +1,178 @@
+package quant
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pbpair/internal/video"
+)
+
+func TestClampQP(t *testing.T) {
+	tests := []struct{ in, want int }{
+		{0, 1}, {-5, 1}, {1, 1}, {16, 16}, {31, 31}, {32, 31}, {100, 31},
+	}
+	for _, tt := range tests {
+		if got := ClampQP(tt.in); got != tt.want {
+			t.Errorf("ClampQP(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestZeroBlockStaysZero(t *testing.T) {
+	var src, levels, rec video.Block
+	for _, qp := range []int{1, 8, 31} {
+		Inter(&src, &levels, qp)
+		for i, v := range levels {
+			if v != 0 {
+				t.Fatalf("QP %d: inter level[%d] = %d", qp, i, v)
+			}
+		}
+		DequantInter(&levels, &rec, qp)
+		for i, v := range rec {
+			if v != 0 {
+				t.Fatalf("QP %d: inter rec[%d] = %d", qp, i, v)
+			}
+		}
+	}
+}
+
+func TestIntraDCRoundTrip(t *testing.T) {
+	var src, levels, rec video.Block
+	for dc := int32(0); dc <= 2040; dc += 8 {
+		src[0] = dc
+		Intra(&src, &levels, 8)
+		DequantIntra(&levels, &rec, 8)
+		if d := rec[0] - dc; d > 4 || d < -4 {
+			t.Fatalf("DC %d -> %d (|Δ|>4)", dc, rec[0])
+		}
+	}
+}
+
+// TestInterRoundTripBound: the reconstruction error of the dead-zone
+// quantiser is bounded by 5·QP/2+1 for any coefficient — values inside
+// the dead zone (|c| < 2.5·QP) reconstruct to 0, everything else lands
+// within 1.5·QP of its bin's reconstruction point.
+func TestInterRoundTripBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, qp := range []int{1, 2, 5, 8, 15, 31} {
+		bound := int32(5*qp/2 + 1)
+		for trial := 0; trial < 200; trial++ {
+			c := rng.Int31n(4096) - 2048
+			var src, levels, rec video.Block
+			src[0] = c
+			Inter(&src, &levels, qp)
+			DequantInter(&levels, &rec, qp)
+			if d := rec[0] - c; d > bound || d < -bound {
+				t.Fatalf("QP %d: %d -> %d (|Δ|=%d > %d)", qp, c, rec[0], d, bound)
+			}
+		}
+	}
+}
+
+// TestIntraACRoundTripBound: intra AC uses plain truncation with step
+// 2·QP, so error is bounded by 3·QP (truncation up to 2QP−1 plus the
+// reconstruction offset).
+func TestIntraACRoundTripBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, qp := range []int{1, 4, 10, 31} {
+		bound := int32(3 * qp)
+		for trial := 0; trial < 200; trial++ {
+			c := rng.Int31n(4096) - 2048
+			var src, levels, rec video.Block
+			src[1] = c
+			Intra(&src, &levels, qp)
+			DequantIntra(&levels, &rec, qp)
+			if d := rec[1] - c; d > bound || d < -bound {
+				t.Fatalf("QP %d: %d -> %d (|Δ|=%d > %d)", qp, c, rec[1], d, bound)
+			}
+		}
+	}
+}
+
+func TestInterSignSymmetry(t *testing.T) {
+	prop := func(c int32, qpRaw uint8) bool {
+		qp := int(qpRaw%31) + 1
+		c %= 2048
+		var srcP, srcN, lvlP, lvlN video.Block
+		srcP[0] = c
+		srcN[0] = -c
+		Inter(&srcP, &lvlP, qp)
+		Inter(&srcN, &lvlN, qp)
+		return lvlP[0] == -lvlN[0]
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReconstructOddEvenQP(t *testing.T) {
+	// H.263: |rec| = QP(2|L|+1), minus 1 when QP even.
+	if got := reconstruct(3, 5); got != 5*7 {
+		t.Fatalf("odd QP: got %d, want 35", got)
+	}
+	if got := reconstruct(3, 6); got != 6*7-1 {
+		t.Fatalf("even QP: got %d, want 41", got)
+	}
+	if got := reconstruct(-3, 6); got != -(6*7 - 1) {
+		t.Fatalf("negative level: got %d, want -41", got)
+	}
+	if got := reconstruct(0, 6); got != 0 {
+		t.Fatalf("zero level: got %d, want 0", got)
+	}
+}
+
+func TestReconstructClamped(t *testing.T) {
+	if got := reconstruct(1024, 31); got != 2047 {
+		t.Fatalf("positive clamp: got %d", got)
+	}
+	if got := reconstruct(-1024, 31); got != -2047 {
+		t.Fatalf("negative clamp: got %d", got)
+	}
+}
+
+func TestLevelsClamped(t *testing.T) {
+	var src, levels video.Block
+	src[0] = 2047
+	src[1] = -2048
+	Inter(&src, &levels, 1)
+	if levels[0] > maxLevel || levels[1] < -maxLevel {
+		t.Fatalf("levels %d/%d exceed ±%d", levels[0], levels[1], maxLevel)
+	}
+}
+
+func TestIntraDCClamped(t *testing.T) {
+	var src, levels video.Block
+	src[0] = -100
+	Intra(&src, &levels, 8)
+	if levels[0] != 0 {
+		t.Fatalf("negative DC level = %d, want 0", levels[0])
+	}
+	src[0] = 2047
+	Intra(&src, &levels, 8)
+	if levels[0] > 255 {
+		t.Fatalf("DC level = %d exceeds 255", levels[0])
+	}
+}
+
+// TestQuantMonotone: larger QP never produces a larger level magnitude.
+func TestQuantMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 100; trial++ {
+		c := rng.Int31n(4096) - 2048
+		prev := int32(1 << 30)
+		for qp := 1; qp <= 31; qp++ {
+			var src, levels video.Block
+			src[0] = c
+			Inter(&src, &levels, qp)
+			mag := levels[0]
+			if mag < 0 {
+				mag = -mag
+			}
+			if mag > prev {
+				t.Fatalf("coef %d: level magnitude grew from %d to %d at QP %d", c, prev, mag, qp)
+			}
+			prev = mag
+		}
+	}
+}

@@ -1,0 +1,83 @@
+// Package rate implements a TMN-style frame-level rate controller for
+// the codec. The paper stresses that PBPAIR "is independent from any
+// other encoder and/or decoder side control mechanisms (i.e. rate
+// control, channel coding, etc.)"; this package makes that claim
+// testable by composing a rate loop with any resilience scheme.
+//
+// The control law integrates the normalised per-frame bit error into
+// the quantiser parameter: frames over budget push QP up (coarser),
+// frames under budget pull it down. The error is slew-limited so a
+// single oversized frame (an I-frame, or a refresh burst) nudges QP by
+// at most gain·2 instead of yanking it to the rail, and the integral
+// is clamped at the QP limits (anti-windup).
+package rate
+
+import (
+	"fmt"
+
+	"pbpair/internal/quant"
+)
+
+// Error slew limits, in units of the per-frame budget. Overshoot is
+// allowed a larger step than undershoot because oversized frames (I
+// frames) are transient and large, while undershoot is small and
+// persistent.
+const (
+	maxOverError  = 2.0
+	maxUnderError = -1.0
+)
+
+// Controller is the frame-level rate loop. Create with NewController;
+// call QP before each frame and Observe after it.
+type Controller struct {
+	targetBits float64 // budget per frame
+	qp         float64 // continuous QP state (clamped on output)
+	gain       float64
+}
+
+// NewController returns a controller targeting bitsPerSecond at the
+// given frame rate, starting from startQP. gain <= 0 selects the
+// default 0.6 (QP steps per budget-of-error per frame).
+func NewController(bitsPerSecond, fps float64, startQP int, gain float64) (*Controller, error) {
+	if bitsPerSecond <= 0 {
+		return nil, fmt.Errorf("rate: target %v bits/s must be positive", bitsPerSecond)
+	}
+	if fps <= 0 {
+		return nil, fmt.Errorf("rate: frame rate %v must be positive", fps)
+	}
+	if gain <= 0 {
+		gain = 0.6
+	}
+	return &Controller{
+		targetBits: bitsPerSecond / fps,
+		qp:         float64(quant.ClampQP(startQP)),
+		gain:       gain,
+	}, nil
+}
+
+// QP returns the quantiser parameter to use for the next frame.
+func (c *Controller) QP() int { return quant.ClampQP(int(c.qp + 0.5)) }
+
+// TargetBits returns the per-frame bit budget.
+func (c *Controller) TargetBits() float64 { return c.targetBits }
+
+// Observe records the actual size of the frame just encoded and
+// returns the QP for the next one.
+func (c *Controller) Observe(frameBits int) int {
+	err := (float64(frameBits) - c.targetBits) / c.targetBits
+	if err > maxOverError {
+		err = maxOverError
+	}
+	if err < maxUnderError {
+		err = maxUnderError
+	}
+	c.qp += c.gain * err
+	// Anti-windup: hold the continuous state at the rails.
+	if c.qp < quant.MinQP {
+		c.qp = quant.MinQP
+	}
+	if c.qp > quant.MaxQP {
+		c.qp = quant.MaxQP
+	}
+	return c.QP()
+}

@@ -1,0 +1,266 @@
+// Package resilience implements the error-resilient coding schemes the
+// paper compares PBPAIR against (Section 2): NO (no resilience), GOP-N
+// (periodic I-frames), AIR-N (adaptive intra refresh of the N
+// highest-SAD macroblocks, decided after motion estimation) and PGOP-N
+// (progressive column-by-column refresh with stride-back).
+//
+// Each scheme is a codec.ModePlanner; the hook it uses reflects where
+// the original algorithm makes its decision — which is exactly what
+// determines its energy behaviour in Figure 5(d).
+package resilience
+
+import (
+	"fmt"
+	"sort"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/motion"
+	"pbpair/internal/video"
+)
+
+// None is the NO scheme: plain predictive coding with no refresh
+// beyond the codec's built-in SAD fallback. The zero value is ready to
+// use.
+type None struct{}
+
+// NewNone returns the NO planner.
+func NewNone() *None { return &None{} }
+
+// Name implements codec.ModePlanner.
+func (*None) Name() string { return "NO" }
+
+// PlanFrame implements codec.ModePlanner: every frame after the first
+// is predicted.
+func (*None) PlanFrame(int) codec.FrameType { return codec.PFrame }
+
+// PreME implements codec.ModePlanner.
+func (*None) PreME(*codec.MBContext) bool { return false }
+
+// MEPenalty implements codec.ModePlanner.
+func (*None) MEPenalty(*codec.MBContext) motion.PenaltyFunc { return nil }
+
+// PostME implements codec.ModePlanner.
+func (*None) PostME(*codec.FramePlan) {}
+
+// Update implements codec.ModePlanner.
+func (*None) Update(*codec.FrameResult) {}
+
+// GOP inserts an I-frame every N+1 frames (I:P ratio 1:N), the
+// group-of-picture structure of Section 2. Its weaknesses — bursty
+// frame sizes and catastrophic I-frame loss — are what Figure 6
+// demonstrates.
+type GOP struct {
+	n int
+}
+
+// NewGOP returns the GOP-n planner (n predicted frames per I-frame).
+// n must be >= 1.
+func NewGOP(n int) (*GOP, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("resilience: GOP requires n >= 1, got %d", n)
+	}
+	return &GOP{n: n}, nil
+}
+
+// Name implements codec.ModePlanner.
+func (g *GOP) Name() string { return fmt.Sprintf("GOP-%d", g.n) }
+
+// PlanFrame implements codec.ModePlanner.
+func (g *GOP) PlanFrame(frameNum int) codec.FrameType {
+	if frameNum%(g.n+1) == 0 {
+		return codec.IFrame
+	}
+	return codec.PFrame
+}
+
+// PreME implements codec.ModePlanner.
+func (*GOP) PreME(*codec.MBContext) bool { return false }
+
+// MEPenalty implements codec.ModePlanner.
+func (*GOP) MEPenalty(*codec.MBContext) motion.PenaltyFunc { return nil }
+
+// PostME implements codec.ModePlanner.
+func (*GOP) PostME(*codec.FramePlan) {}
+
+// Update implements codec.ModePlanner.
+func (*GOP) Update(*codec.FrameResult) {}
+
+// AIR is adaptive intra refresh: after motion estimation, the N
+// macroblocks with the highest SAD (the most active content) are
+// forced to intra. Because the decision comes after ME, AIR pays full
+// ME energy for every macroblock — the paper's explanation for why
+// "AIR consumes a similar amount of the encoding energy [to] no error
+// resilient scheme" (Section 4.2).
+type AIR struct {
+	n int
+}
+
+// NewAIR returns the AIR-n planner (n refreshed macroblocks per
+// frame). n must be >= 1.
+func NewAIR(n int) (*AIR, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("resilience: AIR requires n >= 1, got %d", n)
+	}
+	return &AIR{n: n}, nil
+}
+
+// Name implements codec.ModePlanner.
+func (a *AIR) Name() string { return fmt.Sprintf("AIR-%d", a.n) }
+
+// PlanFrame implements codec.ModePlanner.
+func (*AIR) PlanFrame(int) codec.FrameType { return codec.PFrame }
+
+// PreME implements codec.ModePlanner: AIR never skips motion
+// estimation — that is its energy cost.
+func (*AIR) PreME(*codec.MBContext) bool { return false }
+
+// MEPenalty implements codec.ModePlanner.
+func (*AIR) MEPenalty(*codec.MBContext) motion.PenaltyFunc { return nil }
+
+// PostME promotes the n searched macroblocks with the highest SAD to
+// intra. Ties break on lower index for determinism.
+func (a *AIR) PostME(plan *codec.FramePlan) {
+	type cand struct {
+		idx int
+		sad int32
+	}
+	cands := make([]cand, 0, len(plan.MBs))
+	for i := range plan.MBs {
+		mb := &plan.MBs[i]
+		if mb.Searched && mb.Mode == codec.ModeInter {
+			cands = append(cands, cand{idx: i, sad: mb.SAD})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].sad != cands[j].sad {
+			return cands[i].sad > cands[j].sad
+		}
+		return cands[i].idx < cands[j].idx
+	})
+	limit := a.n
+	if limit > len(cands) {
+		limit = len(cands)
+	}
+	for _, c := range cands[:limit] {
+		plan.MBs[c.idx].Mode = codec.ModeIntra
+	}
+}
+
+// Update implements codec.ModePlanner.
+func (*AIR) Update(*codec.FrameResult) {}
+
+// PGOP is the progressive group-of-picture scheme: every predicted
+// frame refreshes the next N columns of macroblocks (intra, no ME —
+// that part is cheap), sweeping left to right; when the sweep wraps, a
+// new refresh cycle begins. To stop errors from re-entering refreshed
+// territory, any inter macroblock in the already-refreshed region
+// whose motion vector references not-yet-refreshed columns is forced
+// intra — the "stride back" macroblocks, which do pay for their motion
+// estimation (Section 3 footnote 2).
+type PGOP struct {
+	n         int
+	mbCols    int
+	refreshed []bool // columns refreshed in the current cycle
+	start     int    // first refresh column of the current frame
+	active    bool   // whether a refresh window applies to this frame
+}
+
+// NewPGOP returns the PGOP-n planner for a frame width of mbCols
+// macroblock columns. n must be in [1, mbCols].
+func NewPGOP(n, mbCols int) (*PGOP, error) {
+	if mbCols < 1 {
+		return nil, fmt.Errorf("resilience: PGOP requires mbCols >= 1, got %d", mbCols)
+	}
+	if n < 1 || n > mbCols {
+		return nil, fmt.Errorf("resilience: PGOP refresh width %d outside [1, %d]", n, mbCols)
+	}
+	return &PGOP{n: n, mbCols: mbCols, refreshed: make([]bool, mbCols)}, nil
+}
+
+// Name implements codec.ModePlanner.
+func (p *PGOP) Name() string { return fmt.Sprintf("PGOP-%d", p.n) }
+
+// PlanFrame advances the refresh window. Frame 0 is an I-frame (full
+// refresh); the sweep starts at column 0 on frame 1.
+func (p *PGOP) PlanFrame(frameNum int) codec.FrameType {
+	if frameNum == 0 {
+		p.active = false
+		for i := range p.refreshed {
+			p.refreshed[i] = false
+		}
+		p.start = 0
+		return codec.IFrame
+	}
+	if p.start >= p.mbCols {
+		// New cycle.
+		for i := range p.refreshed {
+			p.refreshed[i] = false
+		}
+		p.start = 0
+	}
+	p.active = true
+	return codec.PFrame
+}
+
+// windowEnd returns one past the last refresh column of this frame.
+func (p *PGOP) windowEnd() int {
+	end := p.start + p.n
+	if end > p.mbCols {
+		end = p.mbCols
+	}
+	return end
+}
+
+// PreME forces refresh-column macroblocks to intra before ME — the
+// refresh itself is energy-cheap.
+func (p *PGOP) PreME(ctx *codec.MBContext) bool {
+	return p.active && ctx.Col >= p.start && ctx.Col < p.windowEnd()
+}
+
+// MEPenalty implements codec.ModePlanner.
+func (*PGOP) MEPenalty(*codec.MBContext) motion.PenaltyFunc { return nil }
+
+// PostME applies stride-back: inter macroblocks in already-refreshed
+// columns whose reference block overlaps a column that has not been
+// refreshed this cycle are promoted to intra.
+func (p *PGOP) PostME(plan *codec.FramePlan) {
+	if !p.active {
+		return
+	}
+	end := p.windowEnd()
+	for i := range plan.MBs {
+		mb := &plan.MBs[i]
+		if mb.Mode != codec.ModeInter {
+			continue
+		}
+		col := i % plan.Cols
+		if !p.refreshed[col] {
+			continue // not in protected territory
+		}
+		refLeft := col*video.MBSize + mb.MV.X
+		firstCol := refLeft / video.MBSize
+		lastCol := (refLeft + video.MBSize - 1) / video.MBSize
+		for c := firstCol; c <= lastCol; c++ {
+			if c < 0 || c >= plan.Cols {
+				continue
+			}
+			inWindow := c >= p.start && c < end
+			if !p.refreshed[c] && !inWindow {
+				mb.Mode = codec.ModeIntra // stride back
+				break
+			}
+		}
+	}
+}
+
+// Update commits the refresh window after the frame is encoded.
+func (p *PGOP) Update(*codec.FrameResult) {
+	if !p.active {
+		return
+	}
+	end := p.windowEnd()
+	for c := p.start; c < end; c++ {
+		p.refreshed[c] = true
+	}
+	p.start = end
+}

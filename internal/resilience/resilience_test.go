@@ -1,0 +1,346 @@
+package resilience_test
+
+import (
+	"testing"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/core"
+	"pbpair/internal/energy"
+	"pbpair/internal/resilience"
+	"pbpair/internal/synth"
+	"pbpair/internal/video"
+)
+
+func encode(t *testing.T, planner codec.ModePlanner, n int, counters *energy.Counters) []*codec.EncodedFrame {
+	t.Helper()
+	enc, err := codec.NewEncoder(codec.Config{
+		Width:    video.QCIFWidth,
+		Height:   video.QCIFHeight,
+		QP:       8,
+		Planner:  planner,
+		Counters: counters,
+	})
+	if err != nil {
+		t.Fatalf("NewEncoder: %v", err)
+	}
+	src := synth.New(synth.RegimeForeman)
+	out := make([]*codec.EncodedFrame, 0, n)
+	for k := 0; k < n; k++ {
+		ef, err := enc.EncodeFrame(src.Frame(k))
+		if err != nil {
+			t.Fatalf("EncodeFrame %d: %v", k, err)
+		}
+		out = append(out, ef)
+	}
+	return out
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := resilience.NewGOP(0); err == nil {
+		t.Error("GOP-0 accepted")
+	}
+	if _, err := resilience.NewAIR(0); err == nil {
+		t.Error("AIR-0 accepted")
+	}
+	if _, err := resilience.NewPGOP(0, 11); err == nil {
+		t.Error("PGOP-0 accepted")
+	}
+	if _, err := resilience.NewPGOP(12, 11); err == nil {
+		t.Error("PGOP wider than frame accepted")
+	}
+	if _, err := resilience.NewPGOP(1, 0); err == nil {
+		t.Error("PGOP with zero columns accepted")
+	}
+}
+
+func TestNames(t *testing.T) {
+	gop, _ := resilience.NewGOP(8)
+	air, _ := resilience.NewAIR(24)
+	pgop, _ := resilience.NewPGOP(3, 11)
+	tests := []struct {
+		p    codec.ModePlanner
+		want string
+	}{
+		{resilience.NewNone(), "NO"},
+		{gop, "GOP-8"},
+		{air, "AIR-24"},
+		{pgop, "PGOP-3"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Name(); got != tt.want {
+			t.Errorf("Name() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestGOPCadence(t *testing.T) {
+	gop, err := resilience.NewGOP(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := encode(t, gop, 9, nil)
+	for k, ef := range frames {
+		want := codec.PFrame
+		if k%4 == 0 {
+			want = codec.IFrame
+		}
+		if ef.Type != want {
+			t.Errorf("frame %d type %v, want %v", k, ef.Type, want)
+		}
+	}
+}
+
+func TestNoneNeverInsertsIFrames(t *testing.T) {
+	frames := encode(t, resilience.NewNone(), 6, nil)
+	for k, ef := range frames[1:] {
+		if ef.Type != codec.PFrame {
+			t.Errorf("frame %d type %v, want P", k+1, ef.Type)
+		}
+	}
+}
+
+func TestAIRForcesAtLeastN(t *testing.T) {
+	air, err := resilience.NewAIR(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := encode(t, air, 5, nil)
+	for _, ef := range frames[1:] {
+		if got := ef.Plan.IntraCount(); got < 10 {
+			t.Errorf("frame %d: %d intra MBs, want >= 10", ef.FrameNum, got)
+		}
+	}
+}
+
+func TestAIRPicksHighestSAD(t *testing.T) {
+	air, err := resilience.NewAIR(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := &codec.FramePlan{Rows: 1, Cols: 6, MBs: make([]codec.MBPlan, 6)}
+	sads := []int32{100, 900, 300, 900, 50, 700}
+	for i := range plan.MBs {
+		plan.MBs[i] = codec.MBPlan{Mode: codec.ModeInter, Searched: true, SAD: sads[i]}
+	}
+	plan.MBs[4].Mode = codec.ModeIntra // already intra: not a candidate
+	air.PostME(plan)
+	wantIntra := map[int]bool{1: true, 3: true, 5: true, 4: true}
+	for i := range plan.MBs {
+		isIntra := plan.MBs[i].Mode == codec.ModeIntra
+		if isIntra != wantIntra[i] {
+			t.Errorf("MB %d: intra=%v, want %v", i, isIntra, wantIntra[i])
+		}
+	}
+}
+
+func TestAIRPaysFullMEEnergy(t *testing.T) {
+	// The paper's Section 4.2 point: AIR's ME work equals NO's, because
+	// its decision comes after motion estimation.
+	var noC, airC energy.Counters
+	encode(t, resilience.NewNone(), 5, &noC)
+	air, err := resilience.NewAIR(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encode(t, air, 5, &airC)
+	if airC.SADCalls != noC.SADCalls {
+		t.Fatalf("AIR SAD calls %d != NO %d", airC.SADCalls, noC.SADCalls)
+	}
+}
+
+func TestPGOPRefreshSweep(t *testing.T) {
+	pgop, err := resilience.NewPGOP(3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := encode(t, pgop, 9, nil)
+	// Frames 1..4 sweep columns [0,3), [3,6), [6,9), [9,11); frame 5
+	// starts a new cycle at [0,3).
+	wantWindows := map[int][2]int{1: {0, 3}, 2: {3, 6}, 3: {6, 9}, 4: {9, 11}, 5: {0, 3}}
+	for k, win := range wantWindows {
+		plan := frames[k].Plan
+		for col := win[0]; col < win[1]; col++ {
+			for row := 0; row < plan.Rows; row++ {
+				if plan.At(row, col).Mode != codec.ModeIntra {
+					t.Errorf("frame %d: MB (%d,%d) in refresh window not intra", k, row, col)
+				}
+				if plan.At(row, col).Searched {
+					t.Errorf("frame %d: refresh MB (%d,%d) ran motion estimation", k, row, col)
+				}
+			}
+		}
+	}
+}
+
+func TestPGOPRefreshSkipsME(t *testing.T) {
+	var pgopC, noC energy.Counters
+	pgop, err := resilience.NewPGOP(3, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encode(t, pgop, 6, &pgopC)
+	encode(t, resilience.NewNone(), 6, &noC)
+	if pgopC.SADCalls >= noC.SADCalls {
+		t.Fatalf("PGOP SAD calls %d not below NO %d", pgopC.SADCalls, noC.SADCalls)
+	}
+}
+
+func TestPGOPStrideBack(t *testing.T) {
+	pgop, err := resilience.NewPGOP(2, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate: frame 0 I, frame 1 refreshes cols 0-1, frame 2
+	// refreshes cols 2-3. In frame 2, an inter MB in column 1
+	// (refreshed territory) whose vector reaches column 4+
+	// (unrefreshed) must stride back to intra.
+	pgop.PlanFrame(0)
+	pgop.Update(nil)
+	pgop.PlanFrame(1)
+	plan1 := &codec.FramePlan{Rows: 1, Cols: 11, MBs: make([]codec.MBPlan, 11)}
+	for i := range plan1.MBs {
+		plan1.MBs[i].Mode = codec.ModeInter
+	}
+	pgop.PostME(plan1)
+	pgop.Update(nil)
+
+	if pgop.PlanFrame(2) != codec.PFrame {
+		t.Fatal("frame 2 should be predicted")
+	}
+	plan2 := &codec.FramePlan{Rows: 1, Cols: 11, MBs: make([]codec.MBPlan, 11)}
+	for i := range plan2.MBs {
+		plan2.MBs[i].Mode = codec.ModeInter
+	}
+	// MB col 1 references rightward into unrefreshed col 4.
+	plan2.MBs[1].MV.X = 3 * video.MBSize
+	// MB col 0 references its own refreshed column.
+	plan2.MBs[0].MV.X = 0
+	pgop.PostME(plan2)
+	if plan2.MBs[1].Mode != codec.ModeIntra {
+		t.Fatal("rightward-referencing MB in refreshed area did not stride back")
+	}
+	if plan2.MBs[0].Mode != codec.ModeInter {
+		t.Fatal("safe MB was needlessly forced intra")
+	}
+}
+
+// TestEnergyOrdering is the qualitative Figure 5(d) shape. The paper
+// compares schemes at matched robustness (Intra_Th "that gives similar
+// compression ratio with PGOP-3, GOP-3, and AIR-24"); here PBPAIR's
+// threshold is calibrated to a matched *intra-refresh budget* (~25
+// intra MBs per frame, the GOP-3 / PGOP-3 average) and must then be
+// the cheapest scheme, while AIR stays close to NO.
+func TestEnergyOrdering(t *testing.T) {
+	const frames = 10
+	run := func(p codec.ModePlanner) (float64, float64) {
+		var c energy.Counters
+		encoded := encode(t, p, frames, &c)
+		intra := 0
+		for _, ef := range encoded {
+			intra += ef.Plan.IntraCount()
+		}
+		return energy.IPAQ.Joules(c), float64(intra) / float64(len(encoded))
+	}
+
+	// Calibrate PBPAIR's threshold to the GOP-3 refresh budget.
+	const wantIntraPerFrame = 99.0 / 4
+	var ePB, pbRate float64
+	found := false
+	for _, th := range []float64{0.99, 0.97, 0.95, 0.9, 0.85, 0.8, 0.7, 0.6} {
+		pb, err := core.New(core.Config{Rows: 9, Cols: 11, IntraTh: th, PLR: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, rate := run(pb)
+		t.Logf("PBPAIR Th=%.2f: %.1f intra MBs/frame, %.3f J", th, rate, e)
+		if rate >= wantIntraPerFrame*0.8 && rate <= wantIntraPerFrame*1.6 {
+			ePB, pbRate = e, rate
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no Intra_Th matches the GOP-3 refresh budget; operating range broken")
+	}
+
+	gop, _ := resilience.NewGOP(3)
+	air, _ := resilience.NewAIR(24)
+	pgop, _ := resilience.NewPGOP(3, 11)
+
+	eNo, _ := run(resilience.NewNone())
+	eGOP, gopRate := run(gop)
+	eAIR, airRate := run(air)
+	ePGOP, pgopRate := run(pgop)
+	t.Logf("energy (J): NO=%.3f PBPAIR=%.3f PGOP=%.3f GOP=%.3f AIR=%.3f", eNo, ePB, ePGOP, eGOP, eAIR)
+	t.Logf("intra/frame: PBPAIR=%.1f PGOP=%.1f GOP=%.1f AIR=%.1f", pbRate, pgopRate, gopRate, airRate)
+
+	if !(ePB < ePGOP && ePB < eGOP && ePB < eAIR) {
+		t.Fatalf("PBPAIR not cheapest at matched refresh budget: PB=%.3f PGOP=%.3f GOP=%.3f AIR=%.3f",
+			ePB, ePGOP, eGOP, eAIR)
+	}
+	// AIR ≈ NO (within 10%): it never skips ME.
+	if diff := (eAIR - eNo) / eNo; diff < -0.05 || diff > 0.10 {
+		t.Fatalf("AIR energy %.3f not close to NO %.3f", eAIR, eNo)
+	}
+}
+
+// TestPBPAIRRefreshesUnderLoss: with PLR > 0 and a meaningful
+// threshold, PBPAIR must keep inserting intra MBs frame after frame.
+func TestPBPAIRIntraRefreshRate(t *testing.T) {
+	pb, err := core.New(core.Config{Rows: 9, Cols: 11, IntraTh: 0.85, PLR: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frames := encode(t, pb, 12, nil)
+	total := 0
+	for _, ef := range frames[2:] {
+		total += ef.Plan.IntraCount()
+	}
+	mean := float64(total) / float64(len(frames)-2)
+	t.Logf("mean intra MBs/frame: %.1f", mean)
+	if mean < 5 {
+		t.Fatalf("PBPAIR refresh too weak: %.1f intra MBs/frame", mean)
+	}
+	if mean > 95 {
+		t.Fatalf("PBPAIR degenerated to all-intra: %.1f intra MBs/frame", mean)
+	}
+}
+
+// TestPBPAIRContentAwareRefresh: with a mostly static background, the
+// refresh budget must concentrate where content actually moves — the
+// content-awareness half of PBPAIR's claim. At a mid threshold the
+// refresh rate on static content (akiyo) stays below the rate on
+// active content (garden).
+func TestPBPAIRContentAwareRefresh(t *testing.T) {
+	rate := func(regime synth.Regime) float64 {
+		pb, err := core.New(core.Config{Rows: 9, Cols: 11, IntraTh: 0.7, PLR: 0.1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc, err := codec.NewEncoder(codec.Config{
+			Width: video.QCIFWidth, Height: video.QCIFHeight, QP: 8, Planner: pb,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := synth.New(regime)
+		total := 0
+		const n = 10
+		for k := 0; k < n; k++ {
+			ef, err := enc.EncodeFrame(src.Frame(k))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k >= 2 {
+				total += ef.Plan.IntraCount()
+			}
+		}
+		return float64(total) / float64(n-2)
+	}
+	akiyo := rate(synth.RegimeAkiyo)
+	garden := rate(synth.RegimeGarden)
+	t.Logf("intra MBs/frame at Th=0.7: akiyo=%.1f garden=%.1f", akiyo, garden)
+	if akiyo >= garden {
+		t.Fatalf("refresh not content-aware: akiyo %.1f >= garden %.1f", akiyo, garden)
+	}
+}

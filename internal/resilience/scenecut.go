@@ -1,0 +1,98 @@
+package resilience
+
+import (
+	"fmt"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/motion"
+	"pbpair/internal/video"
+)
+
+// SceneCut wraps any planner with scene-change detection: when the
+// current frame's mean absolute difference from the reference exceeds
+// the threshold, every macroblock of the frame is forced intra (an
+// all-intra predicted frame — the refresh of an I-frame without
+// switching picture types, so the wrapped scheme's own frame typing is
+// undisturbed). Real encoders do this because predicting across a cut
+// wastes bits and, under loss, propagates garbage from an unrelated
+// scene.
+//
+// SceneCut composes with every scheme, including PBPAIR — whose
+// correctness matrix benefits directly: Formula 2 marks the whole
+// frame refreshed.
+type SceneCut struct {
+	inner     codec.ModePlanner
+	threshold float64
+	cutFrame  int // frame number currently being forced intra (-1 none)
+	cuts      int
+}
+
+var _ codec.ModePlanner = (*SceneCut)(nil)
+
+// DefaultSceneCutThreshold is the mean absolute luma difference per
+// pixel above which a frame counts as a scene change.
+const DefaultSceneCutThreshold = 30
+
+// NewSceneCut wraps inner. threshold <= 0 selects
+// DefaultSceneCutThreshold.
+func NewSceneCut(inner codec.ModePlanner, threshold float64) (*SceneCut, error) {
+	if inner == nil {
+		return nil, fmt.Errorf("resilience: SceneCut needs an inner planner")
+	}
+	if threshold <= 0 {
+		threshold = DefaultSceneCutThreshold
+	}
+	return &SceneCut{inner: inner, threshold: threshold, cutFrame: -1}, nil
+}
+
+// Name implements codec.ModePlanner.
+func (s *SceneCut) Name() string { return s.inner.Name() + "+cut" }
+
+// Cuts returns how many scene cuts have been detected so far.
+func (s *SceneCut) Cuts() int { return s.cuts }
+
+// PlanFrame delegates to the wrapped scheme.
+func (s *SceneCut) PlanFrame(frameNum int) codec.FrameType {
+	return s.inner.PlanFrame(frameNum)
+}
+
+// PreME detects the cut on the first macroblock of each frame (the
+// earliest hook with access to pixels) and forces intra for the whole
+// frame when it fires; otherwise it delegates.
+func (s *SceneCut) PreME(ctx *codec.MBContext) bool {
+	if ctx.Index == 0 {
+		s.cutFrame = -1
+		if ctx.Ref != nil && meanAbsDiffLuma(ctx.Cur, ctx.Ref) > s.threshold {
+			s.cutFrame = ctx.FrameNum
+			s.cuts++
+		}
+	}
+	if ctx.FrameNum == s.cutFrame {
+		return true
+	}
+	return s.inner.PreME(ctx)
+}
+
+// MEPenalty delegates to the wrapped scheme.
+func (s *SceneCut) MEPenalty(ctx *codec.MBContext) motion.PenaltyFunc {
+	return s.inner.MEPenalty(ctx)
+}
+
+// PostME delegates to the wrapped scheme.
+func (s *SceneCut) PostME(plan *codec.FramePlan) { s.inner.PostME(plan) }
+
+// Update delegates to the wrapped scheme.
+func (s *SceneCut) Update(result *codec.FrameResult) { s.inner.Update(result) }
+
+// meanAbsDiffLuma is the scene-change measure: mean |Δ| over luma.
+func meanAbsDiffLuma(a, b *video.Frame) float64 {
+	var sum int64
+	for i := range a.Y {
+		d := int64(a.Y[i]) - int64(b.Y[i])
+		if d < 0 {
+			d = -d
+		}
+		sum += d
+	}
+	return float64(sum) / float64(len(a.Y))
+}

@@ -1,0 +1,46 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzReader: arbitrary container bytes must never panic and never
+// allocate absurd frame buffers; every parse either yields frames or a
+// clean error/EOF.
+func FuzzReader(f *testing.F) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteFrame([]byte("hello")); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.WriteFrame(bytes.Repeat([]byte{7}, 300)); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("PBPS"))
+	f.Add([]byte("PBPS\xff\xff\xff\xff"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i := 0; i < 1000; i++ {
+			frame, err := r.ReadFrame()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			if len(frame) > maxFrameBytes {
+				t.Fatalf("oversized frame %d accepted", len(frame))
+			}
+		}
+	})
+}

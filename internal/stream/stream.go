@@ -1,0 +1,104 @@
+// Package stream defines the on-disk container for encoded sequences:
+// a magic header followed by length-prefixed frame payloads. The
+// length framing preserves the frame boundaries the loss simulator and
+// decoder operate on (the network layer drops whole frames/packets, so
+// files must round-trip per frame, not as one blob).
+package stream
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+var magic = [4]byte{'P', 'B', 'P', 'S'}
+
+// ErrBadMagic reports a stream that is not a PBPS container.
+var ErrBadMagic = errors.New("stream: not a PBPS container")
+
+// maxFrameBytes guards against corrupt length prefixes.
+const maxFrameBytes = 64 << 20
+
+// Writer appends encoded frames to a container.
+type Writer struct {
+	w      *bufio.Writer
+	frames int
+	header bool
+}
+
+// NewWriter returns a container writer over w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// WriteFrame appends one encoded frame payload.
+func (w *Writer) WriteFrame(data []byte) error {
+	if !w.header {
+		if _, err := w.w.Write(magic[:]); err != nil {
+			return fmt.Errorf("stream: write header: %w", err)
+		}
+		w.header = true
+	}
+	var lenBuf [4]byte
+	binary.BigEndian.PutUint32(lenBuf[:], uint32(len(data)))
+	if _, err := w.w.Write(lenBuf[:]); err != nil {
+		return fmt.Errorf("stream: write frame length: %w", err)
+	}
+	if _, err := w.w.Write(data); err != nil {
+		return fmt.Errorf("stream: write frame payload: %w", err)
+	}
+	w.frames++
+	return nil
+}
+
+// Frames returns the number of frames written.
+func (w *Writer) Frames() int { return w.frames }
+
+// Flush flushes buffered output.
+func (w *Writer) Flush() error {
+	if err := w.w.Flush(); err != nil {
+		return fmt.Errorf("stream: flush: %w", err)
+	}
+	return nil
+}
+
+// Reader iterates the frames of a container.
+type Reader struct {
+	r *bufio.Reader
+}
+
+// NewReader validates the container header and returns a frame
+// iterator.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReader(r)
+	var hdr [4]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("stream: read header: %w", err)
+	}
+	if hdr != magic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{r: br}, nil
+}
+
+// ReadFrame returns the next frame payload, or io.EOF after the last.
+func (r *Reader) ReadFrame() ([]byte, error) {
+	var lenBuf [4]byte
+	if _, err := io.ReadFull(r.r, lenBuf[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("stream: read frame length: %w", err)
+	}
+	n := binary.BigEndian.Uint32(lenBuf[:])
+	if n > maxFrameBytes {
+		return nil, fmt.Errorf("stream: frame length %d exceeds limit", n)
+	}
+	data := make([]byte, n)
+	if _, err := io.ReadFull(r.r, data); err != nil {
+		return nil, fmt.Errorf("stream: read frame payload: %w", err)
+	}
+	return data, nil
+}

@@ -1,0 +1,87 @@
+package stream
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	frames := [][]byte{
+		[]byte("frame zero"),
+		{},
+		bytes.Repeat([]byte{0xAB}, 3000),
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, f := range frames {
+		if err := w.WriteFrame(f); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	if w.Frames() != 3 {
+		t.Fatalf("Frames() = %d", w.Frames())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range frames {
+		got, err := r.ReadFrame()
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("frame %d differs", i)
+		}
+	}
+	if _, err := r.ReadFrame(); err != io.EOF {
+		t.Fatalf("past end: %v, want io.EOF", err)
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOPE1234"))); err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestShortHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("PB"))); err == nil {
+		t.Fatal("short header accepted")
+	}
+}
+
+func TestTruncatedPayload(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.WriteFrame([]byte("hello world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-3]
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadFrame(); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestCorruptLength(t *testing.T) {
+	data := append([]byte("PBPS"), 0xFF, 0xFF, 0xFF, 0xFF)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadFrame(); err == nil {
+		t.Fatal("absurd length accepted")
+	}
+}

@@ -1,0 +1,100 @@
+// Package synth generates deterministic synthetic QCIF test sequences
+// standing in for the FOREMAN, AKIYO and GARDEN clips the paper
+// evaluates on (the originals are copyrighted test material that cannot
+// be shipped). Each generator reproduces the *coding-relevant* regime
+// of its namesake:
+//
+//   - Akiyo: a static, detailed background with a small slowly moving
+//     foreground region (a news reader) — very low temporal activity,
+//     so few intra refreshes are content-driven.
+//   - Foreman: moderate local motion plus intermittent camera pan and
+//     shake — mid activity.
+//   - Garden (flower garden): a continuous global pan across
+//     high-frequency texture — high residual energy everywhere, the
+//     hardest sequence to predict temporally.
+//
+// Frames are pure functions of (sequence parameters, frame index), so
+// any frame can be regenerated independently and tests are exactly
+// reproducible.
+package synth
+
+// Value-noise texture sampling. A 2-D lattice of pseudo-random values
+// is derived from an integer hash of the lattice coordinates and a
+// seed; samples between lattice points are bilinearly interpolated and
+// several octaves are summed. This gives natural-looking band-limited
+// texture with no stored tables and no package-level state.
+
+// hash2 mixes lattice coordinates and a seed into 32 pseudo-random
+// bits. It is a xorshift-multiply finalizer (splitmix-style), chosen
+// for good avalanche behaviour with trivially verifiable determinism.
+func hash2(x, y int32, seed uint32) uint32 {
+	h := uint32(x)*0x9E3779B1 ^ uint32(y)*0x85EBCA77 ^ seed*0xC2B2AE3D
+	h ^= h >> 15
+	h *= 0x2C1B3C6D
+	h ^= h >> 12
+	h *= 0x297A2D39
+	h ^= h >> 15
+	return h
+}
+
+// latticeValue returns the lattice sample at integer coordinates,
+// scaled to [0, 65535].
+func latticeValue(x, y int32, seed uint32) int32 {
+	return int32(hash2(x, y, seed) >> 16)
+}
+
+// fixedOne is the fixed-point unit for sub-pixel sampling positions
+// (16.16 fixed point).
+const fixedOne = 1 << 16
+
+// sampleNoise evaluates one octave of value noise at fixed-point
+// position (fx, fy), returning a value in [0, 65535].
+func sampleNoise(fx, fy int64, seed uint32) int32 {
+	x0 := int32(fx >> 16)
+	y0 := int32(fy >> 16)
+	tx := int32(fx & (fixedOne - 1))
+	ty := int32(fy & (fixedOne - 1))
+
+	// Smoothstep the interpolants to avoid visible lattice creases.
+	tx = smooth(tx)
+	ty = smooth(ty)
+
+	v00 := latticeValue(x0, y0, seed)
+	v10 := latticeValue(x0+1, y0, seed)
+	v01 := latticeValue(x0, y0+1, seed)
+	v11 := latticeValue(x0+1, y0+1, seed)
+
+	top := v00 + int32((int64(v10-v00)*int64(tx))>>16)
+	bot := v01 + int32((int64(v11-v01)*int64(tx))>>16)
+	return top + int32((int64(bot-top)*int64(ty))>>16)
+}
+
+// smooth applies the cubic smoothstep 3t^2 - 2t^3 to a 0.16 fixed-point
+// interpolant.
+func smooth(t int32) int32 {
+	tt := int32((int64(t) * int64(t)) >> 16)
+	ttt := int32((int64(tt) * int64(t)) >> 16)
+	return 3*tt - 2*ttt
+}
+
+// fbm sums octaves of value noise with halving amplitude and doubling
+// frequency, returning a value in [0, 255]. octaves must be >= 1.
+func fbm(fx, fy int64, seed uint32, octaves int) uint8 {
+	var sum, norm int64
+	amp := int64(1 << 8)
+	for o := 0; o < octaves; o++ {
+		sum += amp * int64(sampleNoise(fx, fy, seed+uint32(o)*0x51ED2709))
+		norm += amp
+		amp >>= 1
+		fx *= 2
+		fy *= 2
+	}
+	v := sum / (norm * 257) // 65535/257 ≈ 255
+	if v > 255 {
+		v = 255
+	}
+	if v < 0 {
+		v = 0
+	}
+	return uint8(v)
+}

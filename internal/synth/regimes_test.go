@@ -1,0 +1,122 @@
+package synth
+
+import (
+	"testing"
+
+	"pbpair/internal/video"
+)
+
+func TestExtensionRegimeNames(t *testing.T) {
+	if RegimeHall.String() != "hall" || RegimeMobile.String() != "mobile" {
+		t.Fatal("extension regime names wrong")
+	}
+}
+
+func TestHallBackgroundStatic(t *testing.T) {
+	s := New(RegimeHall)
+	f0 := s.Frame(0)
+	f9 := s.Frame(9)
+	// Top-left corner is far from the pedestrian's path: identical.
+	for y := 0; y < 16; y++ {
+		for x := 0; x < 16; x++ {
+			if f0.Y[y*f0.Width+x] != f9.Y[y*f9.Width+x] {
+				t.Fatalf("hall corner moved at (%d,%d)", x, y)
+			}
+		}
+	}
+}
+
+// TestHallWalkerCrosses: the pedestrian must actually move — the
+// activity pocket's horizontal centre of mass advances over time.
+func TestHallWalkerCrosses(t *testing.T) {
+	s := New(RegimeHall)
+	centre := func(a, b *video.Frame) float64 {
+		var sum, weight float64
+		for y := 0; y < a.Height; y++ {
+			for x := 0; x < a.Width; x++ {
+				d := int(a.Y[y*a.Width+x]) - int(b.Y[y*b.Width+x])
+				if d < 0 {
+					d = -d
+				}
+				if d > 8 {
+					sum += float64(x) * float64(d)
+					weight += float64(d)
+				}
+			}
+		}
+		if weight == 0 {
+			return -1
+		}
+		return sum / weight
+	}
+	early := centre(s.Frame(0), s.Frame(2))
+	late := centre(s.Frame(20), s.Frame(22))
+	if early < 0 || late < 0 {
+		t.Fatal("no motion detected in hall sequence")
+	}
+	t.Logf("activity centre: frames 0-2 at x=%.0f, frames 20-22 at x=%.0f", early, late)
+	if late <= early+20 {
+		t.Fatalf("pedestrian did not advance: %.0f -> %.0f", early, late)
+	}
+}
+
+// TestMobileMultipleMotions: mobile's walkers move in different
+// directions, so activity spreads over a wide area rather than one
+// pocket.
+func TestMobileMultipleMotions(t *testing.T) {
+	s := New(RegimeMobile)
+	a, b := s.Frame(0), s.Frame(3)
+	activeMBs := 0
+	for row := 0; row < 9; row++ {
+		for col := 0; col < 11; col++ {
+			var sad int
+			for y := row * 16; y < row*16+16; y++ {
+				for x := col * 16; x < col*16+16; x++ {
+					d := int(a.Y[y*a.Width+x]) - int(b.Y[y*b.Width+x])
+					if d < 0 {
+						d = -d
+					}
+					sad += d
+				}
+			}
+			if sad > 2560 { // mean |Δ| > 10
+				activeMBs++
+			}
+		}
+	}
+	t.Logf("mobile: %d/99 active macroblocks over 3 frames", activeMBs)
+	if activeMBs < 8 {
+		t.Fatalf("mobile has only %d active MBs; want dispersed motion", activeMBs)
+	}
+}
+
+// TestActivitySpectrum: the five regimes order as hall ≈ akiyo <
+// foreman ≤ mobile < garden in temporal activity, giving experiments a
+// spread of content difficulty.
+func TestActivitySpectrum(t *testing.T) {
+	const n = 10
+	act := map[Regime]float64{}
+	for _, r := range []Regime{RegimeAkiyo, RegimeForeman, RegimeGarden, RegimeHall, RegimeMobile} {
+		act[r] = activity(New(r), n)
+	}
+	t.Logf("activity: hall=%.2f akiyo=%.2f foreman=%.2f mobile=%.2f garden=%.2f",
+		act[RegimeHall], act[RegimeAkiyo], act[RegimeForeman], act[RegimeMobile], act[RegimeGarden])
+	if act[RegimeHall] >= act[RegimeForeman] {
+		t.Fatal("hall should be calmer than foreman")
+	}
+	if act[RegimeMobile] >= act[RegimeGarden] {
+		t.Fatal("mobile should be calmer than garden (no global pan of fine texture)")
+	}
+	if act[RegimeMobile] <= act[RegimeAkiyo] {
+		t.Fatal("mobile should be busier than akiyo")
+	}
+}
+
+func TestWalkerDeterminism(t *testing.T) {
+	a, b := New(RegimeMobile), New(RegimeMobile)
+	for _, k := range []int{0, 5, 17} {
+		if !a.Frame(k).Equal(b.Frame(k)) {
+			t.Fatalf("mobile frame %d not deterministic", k)
+		}
+	}
+}

@@ -1,0 +1,370 @@
+package synth
+
+import (
+	"fmt"
+
+	"pbpair/internal/video"
+)
+
+// Source produces frames of a deterministic synthetic sequence. Frame
+// returns frame k (k >= 0); calling it twice with the same k yields
+// identical pixels.
+type Source interface {
+	// Name identifies the sequence (used in experiment reports).
+	Name() string
+	// Dims returns the luma dimensions of generated frames.
+	Dims() (width, height int)
+	// Frame generates frame k into a freshly allocated Frame.
+	Frame(k int) *video.Frame
+}
+
+// Regime selects the motion/texture profile of a generated sequence.
+type Regime int
+
+// Regimes named after the paper's three QCIF inputs.
+const (
+	RegimeAkiyo   Regime = iota + 1 // low motion: static scene, small moving head
+	RegimeForeman                   // medium motion: local motion + pan + shake
+	RegimeGarden                    // high motion: constant global pan over fine texture
+
+	// RegimeHall is surveillance-style content (like the HALL MONITOR
+	// clip): a completely static scene with a small object crossing the
+	// frame — skip-dominated coding with a travelling pocket of
+	// activity, the best case for content-aware refresh.
+	RegimeHall
+	// RegimeMobile is a calendar-and-mobile-style stress case: several
+	// objects moving independently over detailed texture, so motion is
+	// incoherent across the frame (hard for a single global vector,
+	// moderate for per-MB search).
+	RegimeMobile
+)
+
+// String returns the sequence name used by the paper (or the
+// conventional clip name for the extension regimes).
+func (r Regime) String() string {
+	switch r {
+	case RegimeAkiyo:
+		return "akiyo"
+	case RegimeForeman:
+		return "foreman"
+	case RegimeGarden:
+		return "garden"
+	case RegimeHall:
+		return "hall"
+	case RegimeMobile:
+		return "mobile"
+	default:
+		return fmt.Sprintf("Regime(%d)", int(r))
+	}
+}
+
+// Params configures a generator. The zero value is not useful; use
+// DefaultParams or New with a Regime.
+type Params struct {
+	Width, Height int    // luma dimensions, MB aligned
+	Seed          uint32 // texture seed; sequences with equal params are identical
+
+	// PanX/PanY is the per-frame global translation in 16.16
+	// fixed-point luma pixels. Garden pans hard; Akiyo not at all.
+	PanX, PanY int64
+
+	// TextureScale is the base noise frequency in 16.16 fixed point per
+	// pixel; higher means finer texture (more residual energy under
+	// motion).
+	TextureScale int64
+
+	// Octaves is the number of noise octaves (>= 1).
+	Octaves int
+
+	// Actor enables a synthetic foreground object (the "head"):
+	// an elliptical region whose centre oscillates around the frame
+	// middle and whose texture evolves over time.
+	Actor        bool
+	ActorRadiusX int // semi-axis in pixels
+	ActorRadiusY int
+	ActorAmpX    int // oscillation amplitude in pixels
+	ActorAmpY    int
+	ActorPeriod  int    // oscillation period in frames
+	ActorChurn   uint32 // how fast actor texture changes (0 = static)
+
+	// Shake adds pseudo-random camera displacement of up to ShakeAmp
+	// (16.16 fixed-point pixels) on every ShakePeriod-th frame —
+	// foreman's intermittent handheld jolts. ShakePeriod 0 with a
+	// non-zero amplitude shakes every frame.
+	ShakeAmp    int64
+	ShakePeriod int
+
+	// Walkers are additional foreground objects on straight-line paths
+	// (wrapping at the frame edges) — the hall-monitor pedestrian, the
+	// mobile's independently moving pieces.
+	Walkers []Walker
+
+	name string
+}
+
+// Walker is a foreground ellipse translating at constant velocity,
+// wrapping around the frame.
+type Walker struct {
+	RadiusX, RadiusY int
+	StartX, StartY   int   // initial centre in pixels
+	VelX, VelY       int64 // velocity in 16.16 fixed-point pixels/frame
+	Seed             uint32
+	Churn            uint32 // texture evolution speed (0 = rigid object)
+}
+
+// DefaultParams returns the canonical parameter set for a regime at
+// QCIF resolution.
+func DefaultParams(r Regime) Params {
+	p := Params{
+		Width:        video.QCIFWidth,
+		Height:       video.QCIFHeight,
+		Octaves:      3,
+		TextureScale: fixedOne / 16,
+		name:         r.String(),
+	}
+	switch r {
+	case RegimeAkiyo:
+		p.Seed = 0xA1C1_0001
+		p.Actor = true
+		p.ActorRadiusX, p.ActorRadiusY = 28, 38
+		p.ActorAmpX, p.ActorAmpY = 3, 2
+		p.ActorPeriod = 40
+		p.ActorChurn = 9
+	case RegimeForeman:
+		p.Seed = 0xF0_4E4D
+		// Mostly static background (like the clip's wall) with
+		// intermittent handheld jolts; the motion lives in the actor.
+		p.ShakeAmp = 2 * fixedOne
+		p.ShakePeriod = 6
+		p.Actor = true
+		p.ActorRadiusX, p.ActorRadiusY = 34, 44
+		p.ActorAmpX, p.ActorAmpY = 10, 6
+		p.ActorPeriod = 24
+		p.ActorChurn = 33
+	case RegimeGarden:
+		p.Seed = 0x6A2D_EA11
+		p.PanX = 3 * fixedOne // fast pan: 3 px/frame
+		p.TextureScale = fixedOne / 6
+		p.Octaves = 4
+	case RegimeHall:
+		p.Seed = 0x0411_0411
+		// Static scene; one pedestrian crossing left to right at
+		// 2 px/frame.
+		p.Walkers = []Walker{{
+			RadiusX: 10, RadiusY: 22,
+			StartX: 20, StartY: 96,
+			VelX: 2 * fixedOne,
+			Seed: 0x9ED0, Churn: 21,
+		}}
+	case RegimeMobile:
+		p.Seed = 0x3073_113A
+		p.TextureScale = fixedOne / 8
+		p.PanX = fixedOne / 4 // slow drift under the objects
+		p.Walkers = []Walker{
+			{RadiusX: 14, RadiusY: 14, StartX: 40, StartY: 40,
+				VelX: 3 * fixedOne / 2, VelY: fixedOne / 2, Seed: 0x1111, Churn: 15},
+			{RadiusX: 11, RadiusY: 18, StartX: 120, StartY: 90,
+				VelX: -fixedOne, VelY: fixedOne, Seed: 0x2222, Churn: 27},
+			{RadiusX: 8, RadiusY: 8, StartX: 88, StartY: 30,
+				VelX: fixedOne / 2, VelY: -3 * fixedOne / 2, Seed: 0x3333, Churn: 9},
+		}
+	default:
+		panic(fmt.Sprintf("synth: unknown regime %d", int(r)))
+	}
+	return p
+}
+
+// New returns the canonical generator for a regime at QCIF resolution.
+func New(r Regime) Source { return NewWithParams(DefaultParams(r)) }
+
+// NewWithParams returns a generator for an explicit parameter set. It
+// panics if the dimensions are not macroblock aligned (programming
+// error).
+func NewWithParams(p Params) Source {
+	if err := video.ValidateDims(p.Width, p.Height); err != nil {
+		panic(err)
+	}
+	if p.Octaves < 1 {
+		p.Octaves = 1
+	}
+	if p.name == "" {
+		p.name = "custom"
+	}
+	return &generator{p: p}
+}
+
+type generator struct {
+	p Params
+}
+
+// Name implements Source.
+func (g *generator) Name() string { return g.p.name }
+
+// Dims implements Source.
+func (g *generator) Dims() (int, int) { return g.p.Width, g.p.Height }
+
+// Frame renders frame k. The background is a noise texture sampled at
+// an offset that advances with the pan (and shake) so motion is true
+// sub-pixel translation — exactly the content a motion-compensated
+// coder exploits. The optional actor overwrites an elliptical region
+// with independently evolving texture.
+func (g *generator) Frame(k int) *video.Frame {
+	p := &g.p
+	f := video.NewFrame(p.Width, p.Height)
+
+	offX := p.PanX * int64(k)
+	offY := p.PanY * int64(k)
+	if p.ShakeAmp > 0 && (p.ShakePeriod <= 1 || (k > 0 && k%p.ShakePeriod == 0)) {
+		// Deterministic shake from the frame index.
+		hx := hash2(int32(k), 77, p.Seed^0xDEAD)
+		hy := hash2(int32(k), 131, p.Seed^0xBEEF)
+		offX += int64(hx%uint32(2*p.ShakeAmp+1)) - p.ShakeAmp
+		offY += int64(hy%uint32(2*p.ShakeAmp+1)) - p.ShakeAmp
+	}
+
+	// Luma background.
+	for y := 0; y < p.Height; y++ {
+		fy := (int64(y)*fixedOne + offY) * p.TextureScale / fixedOne
+		for x := 0; x < p.Width; x++ {
+			fx := (int64(x)*fixedOne + offX) * p.TextureScale / fixedOne
+			f.Y[y*p.Width+x] = fbm(fx, fy, p.Seed, p.Octaves)
+		}
+	}
+
+	// Chroma background: coarser texture with distinct seeds, sampled
+	// at half resolution (4:2:0).
+	cw, ch := f.ChromaWidth(), f.ChromaHeight()
+	cScale := p.TextureScale / 2
+	if cScale == 0 {
+		cScale = 1
+	}
+	for y := 0; y < ch; y++ {
+		fy := (int64(2*y)*fixedOne + offY) * cScale / fixedOne
+		for x := 0; x < cw; x++ {
+			fx := (int64(2*x)*fixedOne + offX) * cScale / fixedOne
+			f.Cb[y*cw+x] = scaleChroma(fbm(fx, fy, p.Seed^0x0B0B, 2))
+			f.Cr[y*cw+x] = scaleChroma(fbm(fx, fy, p.Seed^0x0C0C, 2))
+		}
+	}
+
+	if p.Actor {
+		g.renderActor(f, k)
+	}
+	for i := range p.Walkers {
+		g.renderWalker(f, &p.Walkers[i], k)
+	}
+	return f
+}
+
+// renderWalker draws one straight-line foreground ellipse at frame k.
+func (g *generator) renderWalker(f *video.Frame, wk *Walker, k int) {
+	p := &g.p
+	cx := wk.StartX + int((wk.VelX*int64(k))>>16)
+	cy := wk.StartY + int((wk.VelY*int64(k))>>16)
+	// Wrap into the frame.
+	cx = ((cx % p.Width) + p.Width) % p.Width
+	cy = ((cy % p.Height) + p.Height) % p.Height
+	churn := int64(k) * int64(wk.Churn)
+	g.paintEllipse(f, cx, cy, wk.RadiusX, wk.RadiusY, wk.Seed, churn)
+}
+
+// paintEllipse textures the ellipse at (cx, cy) — shared by the actor
+// and the walkers.
+func (g *generator) paintEllipse(f *video.Frame, cx, cy, rx, ry int, seed uint32, churn int64) {
+	p := &g.p
+	scale := p.TextureScale * 2
+	for y := cy - ry; y <= cy+ry; y++ {
+		if y < 0 || y >= p.Height {
+			continue
+		}
+		dy := y - cy
+		for x := cx - rx; x <= cx+rx; x++ {
+			if x < 0 || x >= p.Width {
+				continue
+			}
+			dx := x - cx
+			if dx*dx*ry*ry+dy*dy*rx*rx > rx*rx*ry*ry {
+				continue
+			}
+			fx := (int64(dx)*fixedOne + churn*97) * scale / fixedOne
+			fy := (int64(dy)*fixedOne + churn*61) * scale / fixedOne
+			f.Y[y*p.Width+x] = fbm(fx, fy, p.Seed^seed, p.Octaves)
+		}
+	}
+}
+
+// scaleChroma compresses chroma excursions toward 128 so synthetic
+// frames have natural-video-like chroma energy (chroma residuals are
+// much smaller than luma in real content).
+func scaleChroma(v uint8) uint8 {
+	return uint8(128 + (int(v)-128)/3)
+}
+
+// renderActor draws the moving elliptical foreground region.
+func (g *generator) renderActor(f *video.Frame, k int) {
+	p := &g.p
+	cx := p.Width / 2
+	cy := p.Height/2 + p.Height/8
+
+	// Smooth oscillation via a triangle wave of the configured period,
+	// avoiding math.Sin to keep everything integral and portable.
+	cx += triangle(k, p.ActorPeriod, p.ActorAmpX)
+	cy += triangle(k+p.ActorPeriod/4, p.ActorPeriod, p.ActorAmpY)
+
+	churn := int64(0)
+	if p.ActorChurn > 0 {
+		churn = int64(k) * int64(p.ActorChurn)
+	}
+
+	rx, ry := p.ActorRadiusX, p.ActorRadiusY
+	g.paintEllipse(f, cx, cy, rx, ry, 0xAC70, churn)
+	// Actor chroma: flat skin-like offset over the ellipse at half res.
+	cw := f.ChromaWidth()
+	for y := (cy - ry) / 2; y <= (cy+ry)/2; y++ {
+		if y < 0 || y >= f.ChromaHeight() {
+			continue
+		}
+		dy := 2*y - cy
+		for x := (cx - rx) / 2; x <= (cx+rx)/2; x++ {
+			if x < 0 || x >= cw {
+				continue
+			}
+			dx := 2*x - cx
+			if dx*dx*ry*ry+dy*dy*rx*rx > rx*rx*ry*ry {
+				continue
+			}
+			f.Cb[y*cw+x] = 118
+			f.Cr[y*cw+x] = 142
+		}
+	}
+}
+
+// triangle returns a triangle wave of the given period and amplitude
+// evaluated at k: ramps from -amp to +amp and back.
+func triangle(k, period, amp int) int {
+	if period <= 0 || amp == 0 {
+		return 0
+	}
+	phase := k % period
+	half := period / 2
+	if half == 0 {
+		return 0
+	}
+	var t int
+	if phase < half {
+		t = phase
+	} else {
+		t = period - phase
+	}
+	return -amp + (2*amp*t)/half
+}
+
+// Clip materialises n frames of a source into a slice. Frames are
+// independent copies safe to mutate.
+func Clip(s Source, n int) []*video.Frame {
+	frames := make([]*video.Frame, n)
+	for k := range frames {
+		frames[k] = s.Frame(k)
+	}
+	return frames
+}

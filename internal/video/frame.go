@@ -1,0 +1,249 @@
+// Package video provides the raw-video substrate for the PBPAIR
+// reproduction: planar YUV 4:2:0 frames, macroblock geometry, and
+// sequence containers.
+//
+// All pixel data is stored as 8-bit samples in planar order (Y, then
+// Cb, then Cr). Luma dimensions must be multiples of the macroblock
+// size (16) so every frame tiles exactly into macroblocks, matching the
+// QCIF layout the paper evaluates (176x144 luma = 11x9 macroblocks).
+package video
+
+import (
+	"fmt"
+)
+
+// MBSize is the luma macroblock edge length in pixels. H.263 (and every
+// codec in the paper) uses 16x16 luma macroblocks with two 8x8 chroma
+// blocks per macroblock in 4:2:0 sampling.
+const MBSize = 16
+
+// BlockSize is the transform block edge length. The DCT stage operates
+// on 8x8 blocks: four luma and two chroma blocks per macroblock.
+const BlockSize = 8
+
+// Standard picture formats from H.263 Table 1.
+const (
+	SQCIFWidth  = 128
+	SQCIFHeight = 96
+	QCIFWidth   = 176
+	QCIFHeight  = 144
+	CIFWidth    = 352
+	CIFHeight   = 288
+)
+
+// Frame is a planar YUV 4:2:0 picture. Y has Width x Height samples;
+// Cb and Cr each have (Width/2) x (Height/2).
+type Frame struct {
+	Width  int // luma width in pixels; multiple of MBSize
+	Height int // luma height in pixels; multiple of MBSize
+	Y      []uint8
+	Cb     []uint8
+	Cr     []uint8
+}
+
+// NewFrame allocates a zeroed frame. Width and height must be positive
+// multiples of MBSize and even (for 4:2:0 chroma); NewFrame panics
+// otherwise, since frame geometry is a programming error rather than a
+// runtime condition.
+func NewFrame(width, height int) *Frame {
+	if err := ValidateDims(width, height); err != nil {
+		panic(err)
+	}
+	return &Frame{
+		Width:  width,
+		Height: height,
+		Y:      make([]uint8, width*height),
+		Cb:     make([]uint8, (width/2)*(height/2)),
+		Cr:     make([]uint8, (width/2)*(height/2)),
+	}
+}
+
+// ValidateDims reports whether (width, height) is a legal 4:2:0
+// macroblock-aligned frame geometry.
+func ValidateDims(width, height int) error {
+	switch {
+	case width <= 0 || height <= 0:
+		return fmt.Errorf("video: non-positive dimensions %dx%d", width, height)
+	case width%MBSize != 0 || height%MBSize != 0:
+		return fmt.Errorf("video: dimensions %dx%d not multiples of macroblock size %d", width, height, MBSize)
+	default:
+		return nil
+	}
+}
+
+// MBCols returns the number of macroblock columns (11 for QCIF).
+func (f *Frame) MBCols() int { return f.Width / MBSize }
+
+// MBRows returns the number of macroblock rows (9 for QCIF).
+func (f *Frame) MBRows() int { return f.Height / MBSize }
+
+// NumMBs returns the total macroblock count (99 for QCIF).
+func (f *Frame) NumMBs() int { return f.MBCols() * f.MBRows() }
+
+// ChromaWidth returns the chroma plane width.
+func (f *Frame) ChromaWidth() int { return f.Width / 2 }
+
+// ChromaHeight returns the chroma plane height.
+func (f *Frame) ChromaHeight() int { return f.Height / 2 }
+
+// Clone returns a deep copy of f.
+func (f *Frame) Clone() *Frame {
+	g := NewFrame(f.Width, f.Height)
+	copy(g.Y, f.Y)
+	copy(g.Cb, f.Cb)
+	copy(g.Cr, f.Cr)
+	return g
+}
+
+// CopyFrom copies the pixel content of src into f. The two frames must
+// have identical dimensions.
+func (f *Frame) CopyFrom(src *Frame) error {
+	if f.Width != src.Width || f.Height != src.Height {
+		return fmt.Errorf("video: copy between mismatched frames %dx%d and %dx%d",
+			f.Width, f.Height, src.Width, src.Height)
+	}
+	copy(f.Y, src.Y)
+	copy(f.Cb, src.Cb)
+	copy(f.Cr, src.Cr)
+	return nil
+}
+
+// Fill sets every luma sample to y and every chroma sample to cb / cr.
+func (f *Frame) Fill(y, cb, cr uint8) {
+	for i := range f.Y {
+		f.Y[i] = y
+	}
+	for i := range f.Cb {
+		f.Cb[i] = cb
+		f.Cr[i] = cr
+	}
+}
+
+// Equal reports whether two frames have identical dimensions and pixel
+// content.
+func (f *Frame) Equal(g *Frame) bool {
+	if f.Width != g.Width || f.Height != g.Height {
+		return false
+	}
+	if len(f.Y) != len(g.Y) {
+		return false
+	}
+	for i := range f.Y {
+		if f.Y[i] != g.Y[i] {
+			return false
+		}
+	}
+	for i := range f.Cb {
+		if f.Cb[i] != g.Cb[i] || f.Cr[i] != g.Cr[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// MBIndex converts a macroblock (row, col) pair to a linear index in
+// raster order.
+func (f *Frame) MBIndex(row, col int) int { return row*f.MBCols() + col }
+
+// MBCoord converts a linear macroblock index back to (row, col).
+func (f *Frame) MBCoord(index int) (row, col int) {
+	return index / f.MBCols(), index % f.MBCols()
+}
+
+// Plane identifies one of the three sample planes of a frame.
+type Plane int
+
+// Plane constants, starting at one per the style guide so the zero
+// value is invalid and cannot be mistaken for luma.
+const (
+	PlaneY Plane = iota + 1
+	PlaneCb
+	PlaneCr
+)
+
+// String returns the conventional plane abbreviation.
+func (p Plane) String() string {
+	switch p {
+	case PlaneY:
+		return "Y"
+	case PlaneCb:
+		return "Cb"
+	case PlaneCr:
+		return "Cr"
+	default:
+		return fmt.Sprintf("Plane(%d)", int(p))
+	}
+}
+
+// Data returns the sample slice and stride for plane p of f.
+func (f *Frame) Data(p Plane) (samples []uint8, stride int) {
+	switch p {
+	case PlaneY:
+		return f.Y, f.Width
+	case PlaneCb:
+		return f.Cb, f.ChromaWidth()
+	case PlaneCr:
+		return f.Cr, f.ChromaWidth()
+	default:
+		panic(fmt.Sprintf("video: invalid plane %d", int(p)))
+	}
+}
+
+// Block is an 8x8 block of samples promoted to int32 for the transform
+// pipeline. Values are row-major.
+type Block [BlockSize * BlockSize]int32
+
+// LoadBlock copies the 8x8 block whose top-left corner is (x, y) in
+// plane p into dst. The block must lie fully inside the plane.
+func (f *Frame) LoadBlock(p Plane, x, y int, dst *Block) {
+	samples, stride := f.Data(p)
+	for r := 0; r < BlockSize; r++ {
+		base := (y+r)*stride + x
+		for c := 0; c < BlockSize; c++ {
+			dst[r*BlockSize+c] = int32(samples[base+c])
+		}
+	}
+}
+
+// StoreBlock writes src into the 8x8 block at (x, y) of plane p,
+// clamping each value to the 8-bit sample range.
+func (f *Frame) StoreBlock(p Plane, x, y int, src *Block) {
+	samples, stride := f.Data(p)
+	for r := 0; r < BlockSize; r++ {
+		base := (y+r)*stride + x
+		for c := 0; c < BlockSize; c++ {
+			samples[base+c] = ClampPixel(src[r*BlockSize+c])
+		}
+	}
+}
+
+// ClampPixel clamps v to the [0, 255] sample range.
+func ClampPixel(v int32) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+// CopyMB copies macroblock (mbRow, mbCol) — 16x16 luma plus the two
+// co-sited 8x8 chroma blocks — from src to dst. Frames must share
+// dimensions; callers guarantee the macroblock coordinates are valid.
+func CopyMB(dst, src *Frame, mbRow, mbCol int) {
+	x := mbCol * MBSize
+	y := mbRow * MBSize
+	for r := 0; r < MBSize; r++ {
+		d := (y+r)*dst.Width + x
+		copy(dst.Y[d:d+MBSize], src.Y[d:d+MBSize])
+	}
+	cw := dst.ChromaWidth()
+	cx := mbCol * (MBSize / 2)
+	cy := mbRow * (MBSize / 2)
+	for r := 0; r < MBSize/2; r++ {
+		d := (cy+r)*cw + cx
+		copy(dst.Cb[d:d+MBSize/2], src.Cb[d:d+MBSize/2])
+		copy(dst.Cr[d:d+MBSize/2], src.Cr[d:d+MBSize/2])
+	}
+}

@@ -1,0 +1,258 @@
+package video
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewFrameGeometry(t *testing.T) {
+	tests := []struct {
+		name                   string
+		width, height          int
+		mbCols, mbRows, numMBs int
+	}{
+		{"QCIF", QCIFWidth, QCIFHeight, 11, 9, 99},
+		{"SQCIF", SQCIFWidth, SQCIFHeight, 8, 6, 48},
+		{"CIF", CIFWidth, CIFHeight, 22, 18, 396},
+		{"single MB", 16, 16, 1, 1, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			f := NewFrame(tt.width, tt.height)
+			if got := f.MBCols(); got != tt.mbCols {
+				t.Errorf("MBCols() = %d, want %d", got, tt.mbCols)
+			}
+			if got := f.MBRows(); got != tt.mbRows {
+				t.Errorf("MBRows() = %d, want %d", got, tt.mbRows)
+			}
+			if got := f.NumMBs(); got != tt.numMBs {
+				t.Errorf("NumMBs() = %d, want %d", got, tt.numMBs)
+			}
+			if len(f.Y) != tt.width*tt.height {
+				t.Errorf("len(Y) = %d, want %d", len(f.Y), tt.width*tt.height)
+			}
+			if len(f.Cb) != tt.width*tt.height/4 || len(f.Cr) != tt.width*tt.height/4 {
+				t.Errorf("chroma plane sizes %d/%d, want %d", len(f.Cb), len(f.Cr), tt.width*tt.height/4)
+			}
+		})
+	}
+}
+
+func TestValidateDims(t *testing.T) {
+	tests := []struct {
+		name          string
+		width, height int
+		wantErr       bool
+	}{
+		{"QCIF ok", 176, 144, false},
+		{"zero width", 0, 144, true},
+		{"negative height", 176, -16, true},
+		{"not MB aligned width", 180, 144, true},
+		{"not MB aligned height", 176, 150, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			err := ValidateDims(tt.width, tt.height)
+			if (err != nil) != tt.wantErr {
+				t.Errorf("ValidateDims(%d, %d) error = %v, wantErr %v", tt.width, tt.height, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestNewFramePanicsOnBadDims(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFrame(17, 16) did not panic")
+		}
+	}()
+	NewFrame(17, 16)
+}
+
+func TestMBIndexCoordRoundTrip(t *testing.T) {
+	f := NewFrame(QCIFWidth, QCIFHeight)
+	for i := 0; i < f.NumMBs(); i++ {
+		row, col := f.MBCoord(i)
+		if got := f.MBIndex(row, col); got != i {
+			t.Fatalf("MBIndex(MBCoord(%d)) = %d", i, got)
+		}
+		if row < 0 || row >= f.MBRows() || col < 0 || col >= f.MBCols() {
+			t.Fatalf("MBCoord(%d) = (%d, %d) out of range", i, row, col)
+		}
+	}
+}
+
+func randomFrame(rng *rand.Rand, width, height int) *Frame {
+	f := NewFrame(width, height)
+	for i := range f.Y {
+		f.Y[i] = uint8(rng.Intn(256))
+	}
+	for i := range f.Cb {
+		f.Cb[i] = uint8(rng.Intn(256))
+		f.Cr[i] = uint8(rng.Intn(256))
+	}
+	return f
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := randomFrame(rng, QCIFWidth, QCIFHeight)
+	g := f.Clone()
+	if !f.Equal(g) {
+		t.Fatal("clone not equal to original")
+	}
+	g.Y[0]++
+	if f.Equal(g) {
+		t.Fatal("Equal true after luma mutation")
+	}
+	g = f.Clone()
+	g.Cr[5]++
+	if f.Equal(g) {
+		t.Fatal("Equal true after chroma mutation")
+	}
+	if f.Equal(NewFrame(SQCIFWidth, SQCIFHeight)) {
+		t.Fatal("Equal true across dimensions")
+	}
+}
+
+func TestCopyFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	src := randomFrame(rng, QCIFWidth, QCIFHeight)
+	dst := NewFrame(QCIFWidth, QCIFHeight)
+	if err := dst.CopyFrom(src); err != nil {
+		t.Fatalf("CopyFrom: %v", err)
+	}
+	if !dst.Equal(src) {
+		t.Fatal("CopyFrom result differs from source")
+	}
+	bad := NewFrame(SQCIFWidth, SQCIFHeight)
+	if err := bad.CopyFrom(src); err == nil {
+		t.Fatal("CopyFrom across dimensions succeeded")
+	}
+}
+
+func TestFill(t *testing.T) {
+	f := NewFrame(32, 32)
+	f.Fill(10, 20, 30)
+	for i := range f.Y {
+		if f.Y[i] != 10 {
+			t.Fatalf("Y[%d] = %d, want 10", i, f.Y[i])
+		}
+	}
+	for i := range f.Cb {
+		if f.Cb[i] != 20 || f.Cr[i] != 30 {
+			t.Fatalf("chroma[%d] = (%d, %d), want (20, 30)", i, f.Cb[i], f.Cr[i])
+		}
+	}
+}
+
+func TestLoadStoreBlockRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	f := randomFrame(rng, 48, 48)
+	for _, p := range []Plane{PlaneY, PlaneCb, PlaneCr} {
+		var b Block
+		f.LoadBlock(p, 8, 8, &b)
+		g := f.Clone()
+		g.StoreBlock(p, 8, 8, &b)
+		if !f.Equal(g) {
+			t.Fatalf("plane %v: store(load) changed frame", p)
+		}
+	}
+}
+
+func TestStoreBlockClamps(t *testing.T) {
+	f := NewFrame(16, 16)
+	var b Block
+	for i := range b {
+		if i%2 == 0 {
+			b[i] = -1000
+		} else {
+			b[i] = 1000
+		}
+	}
+	f.StoreBlock(PlaneY, 0, 0, &b)
+	for r := 0; r < BlockSize; r++ {
+		for c := 0; c < BlockSize; c++ {
+			got := f.Y[r*f.Width+c]
+			want := uint8(0)
+			if (r*BlockSize+c)%2 == 1 {
+				want = 255
+			}
+			if got != want {
+				t.Fatalf("Y[%d,%d] = %d, want %d", r, c, got, want)
+			}
+		}
+	}
+}
+
+func TestClampPixelProperty(t *testing.T) {
+	prop := func(v int32) bool {
+		got := ClampPixel(v)
+		switch {
+		case v < 0:
+			return got == 0
+		case v > 255:
+			return got == 255
+		default:
+			return int32(got) == v
+		}
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCopyMB(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	src := randomFrame(rng, QCIFWidth, QCIFHeight)
+	dst := NewFrame(QCIFWidth, QCIFHeight)
+	dst.Fill(99, 99, 99)
+	CopyMB(dst, src, 2, 3)
+
+	// Every pixel inside MB (2,3) matches src; everything else is untouched.
+	for yy := 0; yy < QCIFHeight; yy++ {
+		for xx := 0; xx < QCIFWidth; xx++ {
+			inside := yy >= 32 && yy < 48 && xx >= 48 && xx < 64
+			got := dst.Y[yy*QCIFWidth+xx]
+			if inside && got != src.Y[yy*QCIFWidth+xx] {
+				t.Fatalf("luma inside MB not copied at (%d,%d)", xx, yy)
+			}
+			if !inside && got != 99 {
+				t.Fatalf("luma outside MB modified at (%d,%d)", xx, yy)
+			}
+		}
+	}
+	cw := dst.ChromaWidth()
+	for yy := 0; yy < dst.ChromaHeight(); yy++ {
+		for xx := 0; xx < cw; xx++ {
+			inside := yy >= 16 && yy < 24 && xx >= 24 && xx < 32
+			if inside {
+				if dst.Cb[yy*cw+xx] != src.Cb[yy*cw+xx] || dst.Cr[yy*cw+xx] != src.Cr[yy*cw+xx] {
+					t.Fatalf("chroma inside MB not copied at (%d,%d)", xx, yy)
+				}
+			} else if dst.Cb[yy*cw+xx] != 99 || dst.Cr[yy*cw+xx] != 99 {
+				t.Fatalf("chroma outside MB modified at (%d,%d)", xx, yy)
+			}
+		}
+	}
+}
+
+func TestPlaneString(t *testing.T) {
+	if PlaneY.String() != "Y" || PlaneCb.String() != "Cb" || PlaneCr.String() != "Cr" {
+		t.Fatal("plane names wrong")
+	}
+	if Plane(0).String() != "Plane(0)" {
+		t.Fatalf("zero plane string = %q", Plane(0).String())
+	}
+}
+
+func TestDataStride(t *testing.T) {
+	f := NewFrame(QCIFWidth, QCIFHeight)
+	if _, stride := f.Data(PlaneY); stride != QCIFWidth {
+		t.Fatalf("luma stride %d", stride)
+	}
+	if _, stride := f.Data(PlaneCb); stride != QCIFWidth/2 {
+		t.Fatalf("Cb stride %d", stride)
+	}
+}

@@ -1,0 +1,121 @@
+package video
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func TestFrameBytes(t *testing.T) {
+	if got := FrameBytes(QCIFWidth, QCIFHeight); got != 176*144*3/2 {
+		t.Fatalf("FrameBytes(QCIF) = %d, want %d", got, 176*144*3/2)
+	}
+}
+
+func TestRawFrameRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	f := randomFrame(rng, QCIFWidth, QCIFHeight)
+	var buf bytes.Buffer
+	if err := WriteRawFrame(&buf, f); err != nil {
+		t.Fatalf("WriteRawFrame: %v", err)
+	}
+	if buf.Len() != FrameBytes(QCIFWidth, QCIFHeight) {
+		t.Fatalf("raw frame is %d bytes, want %d", buf.Len(), FrameBytes(QCIFWidth, QCIFHeight))
+	}
+	g, err := ReadRawFrame(&buf, QCIFWidth, QCIFHeight)
+	if err != nil {
+		t.Fatalf("ReadRawFrame: %v", err)
+	}
+	if !f.Equal(g) {
+		t.Fatal("raw round trip changed pixels")
+	}
+	if _, err := ReadRawFrame(&buf, QCIFWidth, QCIFHeight); err != io.EOF {
+		t.Fatalf("read past end: err = %v, want io.EOF", err)
+	}
+}
+
+func TestReadRawFrameTruncated(t *testing.T) {
+	data := make([]byte, FrameBytes(QCIFWidth, QCIFHeight)-1)
+	if _, err := ReadRawFrame(bytes.NewReader(data), QCIFWidth, QCIFHeight); err == nil {
+		t.Fatal("truncated frame read succeeded")
+	}
+}
+
+func TestSequenceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n = 5
+	frames := make([]*Frame, n)
+	for i := range frames {
+		frames[i] = randomFrame(rng, SQCIFWidth, SQCIFHeight)
+	}
+
+	var buf bytes.Buffer
+	sw, err := NewSequenceWriter(&buf, SQCIFWidth, SQCIFHeight)
+	if err != nil {
+		t.Fatalf("NewSequenceWriter: %v", err)
+	}
+	for _, f := range frames {
+		if err := sw.WriteFrame(f); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	if sw.Frames() != n {
+		t.Fatalf("Frames() = %d, want %d", sw.Frames(), n)
+	}
+	if err := sw.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+
+	sr, err := NewSequenceReader(&buf)
+	if err != nil {
+		t.Fatalf("NewSequenceReader: %v", err)
+	}
+	w, h := sr.Dims()
+	if w != SQCIFWidth || h != SQCIFHeight {
+		t.Fatalf("Dims() = %dx%d", w, h)
+	}
+	for i := 0; i < n; i++ {
+		g, err := sr.ReadFrame()
+		if err != nil {
+			t.Fatalf("ReadFrame %d: %v", i, err)
+		}
+		if !g.Equal(frames[i]) {
+			t.Fatalf("frame %d differs after round trip", i)
+		}
+	}
+	if _, err := sr.ReadFrame(); err != io.EOF {
+		t.Fatalf("read past end: err = %v, want io.EOF", err)
+	}
+}
+
+func TestSequenceWriterRejectsMismatchedFrame(t *testing.T) {
+	var buf bytes.Buffer
+	sw, err := NewSequenceWriter(&buf, QCIFWidth, QCIFHeight)
+	if err != nil {
+		t.Fatalf("NewSequenceWriter: %v", err)
+	}
+	if err := sw.WriteFrame(NewFrame(SQCIFWidth, SQCIFHeight)); err == nil {
+		t.Fatal("mismatched frame accepted")
+	}
+}
+
+func TestSequenceWriterRejectsBadDims(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := NewSequenceWriter(&buf, 17, 16); err == nil {
+		t.Fatal("bad dimensions accepted")
+	}
+}
+
+func TestSequenceReaderBadMagic(t *testing.T) {
+	data := append([]byte("NOPE"), make([]byte, 12)...)
+	if _, err := NewSequenceReader(bytes.NewReader(data)); err != ErrBadMagic {
+		t.Fatalf("err = %v, want ErrBadMagic", err)
+	}
+}
+
+func TestSequenceReaderShortHeader(t *testing.T) {
+	if _, err := NewSequenceReader(bytes.NewReader([]byte("PB"))); err == nil {
+		t.Fatal("short header accepted")
+	}
+}

@@ -1,0 +1,42 @@
+package video
+
+import (
+	"fmt"
+	"image"
+	"image/png"
+	"io"
+)
+
+// ToRGBA converts a frame to an RGBA image using the BT.601 full-range
+// matrix (the convention of the QCIF-era conferencing codecs). Chroma
+// is upsampled by sample replication.
+func (f *Frame) ToRGBA() *image.RGBA {
+	img := image.NewRGBA(image.Rect(0, 0, f.Width, f.Height))
+	cw := f.ChromaWidth()
+	for y := 0; y < f.Height; y++ {
+		for x := 0; x < f.Width; x++ {
+			yy := int32(f.Y[y*f.Width+x])
+			cb := int32(f.Cb[(y/2)*cw+x/2]) - 128
+			cr := int32(f.Cr[(y/2)*cw+x/2]) - 128
+			// BT.601: R = Y + 1.402 Cr, G = Y − 0.344 Cb − 0.714 Cr,
+			// B = Y + 1.772 Cb, in 16.16 fixed point.
+			r := yy + (91881*cr)>>16
+			g := yy - (22554*cb)>>16 - (46802*cr)>>16
+			b := yy + (116130*cb)>>16
+			off := img.PixOffset(x, y)
+			img.Pix[off] = ClampPixel(r)
+			img.Pix[off+1] = ClampPixel(g)
+			img.Pix[off+2] = ClampPixel(b)
+			img.Pix[off+3] = 255
+		}
+	}
+	return img
+}
+
+// WritePNG encodes the frame as a PNG image.
+func (f *Frame) WritePNG(w io.Writer) error {
+	if err := png.Encode(w, f.ToRGBA()); err != nil {
+		return fmt.Errorf("video: encode PNG: %w", err)
+	}
+	return nil
+}

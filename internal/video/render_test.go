@@ -1,0 +1,56 @@
+package video
+
+import (
+	"bytes"
+	"image/png"
+	"testing"
+)
+
+func TestToRGBAGrey(t *testing.T) {
+	f := NewFrame(32, 32)
+	f.Fill(128, 128, 128) // neutral grey
+	img := f.ToRGBA()
+	r, g, b, a := img.At(10, 10).RGBA()
+	if a != 0xFFFF {
+		t.Fatal("alpha not opaque")
+	}
+	// Neutral chroma: R≈G≈B≈Y.
+	for _, v := range []uint32{r, g, b} {
+		v8 := v >> 8
+		if v8 < 126 || v8 > 130 {
+			t.Fatalf("grey pixel channel %d, want ~128", v8)
+		}
+	}
+}
+
+func TestToRGBAColourDirections(t *testing.T) {
+	f := NewFrame(32, 32)
+	f.Fill(128, 128, 220) // strong Cr: red shift
+	img := f.ToRGBA()
+	r, g, b, _ := img.At(5, 5).RGBA()
+	if !(r > g && r > b) {
+		t.Fatalf("high Cr should be reddish: r=%d g=%d b=%d", r>>8, g>>8, b>>8)
+	}
+	f.Fill(128, 220, 128) // strong Cb: blue shift
+	img = f.ToRGBA()
+	r, g, b, _ = img.At(5, 5).RGBA()
+	if !(b > r && b > g) {
+		t.Fatalf("high Cb should be bluish: r=%d g=%d b=%d", r>>8, g>>8, b>>8)
+	}
+}
+
+func TestWritePNGRoundTrip(t *testing.T) {
+	f := NewFrame(48, 48)
+	f.Fill(90, 110, 150)
+	var buf bytes.Buffer
+	if err := f.WritePNG(&buf); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatalf("written PNG does not decode: %v", err)
+	}
+	if img.Bounds().Dx() != 48 || img.Bounds().Dy() != 48 {
+		t.Fatalf("PNG bounds %v", img.Bounds())
+	}
+}
