@@ -1,0 +1,34 @@
+# Development targets. `make check` is the gate every change must
+# pass: build, formatting, vet, the full test suite, and the same
+# suite under the race detector — the concurrency in internal/parallel
+# and the codec's sharded motion search make -race non-negotiable
+# (see ARCHITECTURE.md, determinism guarantees).
+
+GO ?= go
+
+.PHONY: all build fmt vet test race bench check
+
+all: check
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt required for:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Reduced-scale reproduction of every figure benchmark.
+bench:
+	$(GO) test -bench . -benchtime 1x
+
+check: build fmt vet test race

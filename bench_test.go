@@ -642,14 +642,7 @@ func BenchmarkExtensionDVS(b *testing.B) {
 			if _, err := enc.EncodeFrame(src.Frame(k)); err != nil {
 				b.Fatal(err)
 			}
-			delta := tally
-			negate := prev
-			negate.SADPixelOps, negate.SADCalls = -negate.SADPixelOps, -negate.SADCalls
-			negate.DCTBlocks, negate.IDCTBlocks = -negate.DCTBlocks, -negate.IDCTBlocks
-			negate.QuantBlocks, negate.DequantBlocks = -negate.QuantBlocks, -negate.DequantBlocks
-			negate.MCMBs, negate.VLCBits = -negate.MCMBs, -negate.VLCBits
-			negate.MBs, negate.Frames = -negate.MBs, -negate.Frames
-			delta.Add(negate)
+			delta := tally.Sub(prev)
 			prev = tally
 
 			level, _ := gov.Select()
@@ -747,6 +740,65 @@ func BenchmarkEncodeFrame(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := enc.EncodeFrame(clip[i%len(clip)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEncodeParallel measures the encoder's intra-frame sharding
+// (codec.Config.Workers) at several pool sizes, with half-pel
+// refinement and the PBPAIR planner enabled so both sharded phases —
+// the SAD search and the refinement pass — carry real work. The output
+// is bit-identical across sub-benchmarks (the golden and parallel
+// tests pin that); only ns/op should move, and only on multi-core
+// hosts (GOMAXPROCS caps the real concurrency).
+func BenchmarkEncodeParallel(b *testing.B) {
+	src := synth.New(synth.RegimeForeman)
+	clip := synth.Clip(src, 8)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			planner, err := core.New(core.Config{Rows: 9, Cols: 11, IntraTh: 0.85, PLR: 0.1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			enc, err := codec.NewEncoder(codec.Config{
+				Width: 176, Height: 144, QP: 8, SearchRange: 15,
+				HalfPel: true, Planner: planner, Workers: workers,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := enc.EncodeFrame(clip[i%len(clip)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSweepParallel measures the experiment fan-out: the same
+// Intra_Th × PLR grid at several pool sizes. Grid points are
+// independent pipelines, so wall-clock should scale down with workers
+// until GOMAXPROCS or the grid size saturates; the resulting points
+// (and their CSV) are byte-identical across sub-benchmarks.
+func BenchmarkSweepParallel(b *testing.B) {
+	cfg := experiment.SweepConfig{
+		Frames:      12,
+		SearchRange: 7,
+		IntraThs:    []float64{0, 0.8, 1},
+		PLRs:        []float64{0.05, 0.2},
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := cfg
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := experiment.Sweep(cfg); err != nil {
 					b.Fatal(err)
 				}
 			}

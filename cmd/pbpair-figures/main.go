@@ -36,25 +36,26 @@ func run() error {
 	frames := flag.Int("frames", 120, "frames per run (paper: 300 for Fig 5, 50 for Fig 6)")
 	plr := flag.Float64("plr", 0.1, "packet loss rate for Fig 5")
 	seeds := flag.Int("seeds", 5, "independent loss seeds for -fig stats")
+	workers := flag.Int("workers", 0, "concurrent experiment runs (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
 	flag.Parse()
 
 	switch *fig {
 	case "stats":
-		return runStats(*frames, *plr, *seeds)
+		return runStats(*frames, *plr, *seeds, *workers)
 	case "content":
-		return runContent(*frames, *plr)
+		return runContent(*frames, *plr, *workers)
 	case "all":
-		return runAll(*frames, *plr)
+		return runAll(*frames, *plr, *workers)
 	case "5", "5a", "5b", "5c", "5d":
-		return runFig5(*fig, *frames, *plr)
+		return runFig5(*fig, *frames, *plr, *workers)
 	case "6", "6a", "6b":
-		return runFig6(*fig, *frames)
+		return runFig6(*fig, *frames, *workers)
 	case "headline":
-		return runHeadline(*frames, *plr)
+		return runHeadline(*frames, *plr, *workers)
 	case "devices":
-		return runDevices(*frames, *plr)
+		return runDevices(*frames, *plr, *workers)
 	case "recovery":
-		return runRecovery(*frames)
+		return runRecovery(*frames, *workers)
 	default:
 		return fmt.Errorf("unknown figure %q", *fig)
 	}
@@ -62,8 +63,8 @@ func run() error {
 
 // runAll regenerates every experiment from one Fig5 run and one Fig6
 // run (the headline and device tables are derived views, not reruns).
-func runAll(frames int, plr float64) error {
-	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr})
+func runAll(frames int, plr float64, workers int) error {
+	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -83,7 +84,7 @@ func runAll(frames int, plr float64) error {
 	if fig6Frames > 50 {
 		fig6Frames = 50
 	}
-	cfg := experiment.Fig6Config{Frames: fig6Frames}.WithDefaults()
+	cfg := experiment.Fig6Config{Frames: fig6Frames, Workers: workers}.WithDefaults()
 	series, err := experiment.Fig6(cfg)
 	if err != nil {
 		return err
@@ -104,8 +105,8 @@ func runAll(frames int, plr float64) error {
 
 // runContent prints the E18 cross-content study: the five schemes over
 // all five synthetic regimes.
-func runContent(frames int, plr float64) error {
-	rows, err := experiment.ContentTable(experiment.ContentConfig{Frames: frames, PLR: plr})
+func runContent(frames int, plr float64, workers int) error {
+	rows, err := experiment.ContentTable(experiment.ContentConfig{Frames: frames, PLR: plr, Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -126,7 +127,7 @@ func runContent(frames int, plr float64) error {
 
 // runStats is the multi-seed Figure 5: quality cells as mean ± stddev
 // over independent loss patterns.
-func runStats(frames int, plr float64, seeds int) error {
+func runStats(frames int, plr float64, seeds, workers int) error {
 	if seeds < 1 {
 		return fmt.Errorf("need at least one seed")
 	}
@@ -134,7 +135,7 @@ func runStats(frames int, plr float64, seeds int) error {
 	for i := range seedList {
 		seedList[i] = uint64(1000 + 37*i)
 	}
-	stats, err := experiment.Fig5Multi(experiment.Fig5Config{Frames: frames, PLR: plr}, seedList)
+	stats, err := experiment.Fig5Multi(experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers}, seedList)
 	if err != nil {
 		return err
 	}
@@ -152,8 +153,8 @@ func runStats(frames int, plr float64, seeds int) error {
 	return nil
 }
 
-func runFig5(which string, frames int, plr float64) error {
-	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr})
+func runFig5(which string, frames int, plr float64, workers int) error {
+	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -229,11 +230,11 @@ func pivotTable(title string, rows []experiment.Fig5Row, cell func(experiment.Fi
 	return tb
 }
 
-func runFig6(which string, frames int) error {
+func runFig6(which string, frames, workers int) error {
 	if frames > 50 {
 		frames = 50 // the paper's Figure 6 window
 	}
-	cfg := experiment.Fig6Config{Frames: frames}
+	cfg := experiment.Fig6Config{Frames: frames, Workers: workers}
 	series, err := experiment.Fig6(cfg)
 	if err != nil {
 		return err
@@ -255,8 +256,8 @@ func runFig6(which string, frames int) error {
 	return nil
 }
 
-func runHeadline(frames int, plr float64) error {
-	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr})
+func runHeadline(frames int, plr float64, workers int) error {
+	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -280,8 +281,8 @@ func printHeadline(rows []experiment.Fig5Row) {
 	fmt.Print(tb.String())
 }
 
-func runDevices(frames int, plr float64) error {
-	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr})
+func runDevices(frames int, plr float64, workers int) error {
+	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers})
 	if err != nil {
 		return err
 	}
@@ -301,11 +302,11 @@ func printDevices(rows []experiment.Fig5Row) {
 	fmt.Print(tb.String())
 }
 
-func runRecovery(frames int) error {
+func runRecovery(frames, workers int) error {
 	if frames > 50 {
 		frames = 50
 	}
-	series, err := experiment.Fig6(experiment.Fig6Config{Frames: frames})
+	series, err := experiment.Fig6(experiment.Fig6Config{Frames: frames, Workers: workers})
 	if err != nil {
 		return err
 	}

@@ -18,6 +18,7 @@ import (
 	"pbpair/internal/energy"
 	"pbpair/internal/experiment"
 	"pbpair/internal/network"
+	"pbpair/internal/parallel"
 	"pbpair/internal/synth"
 )
 
@@ -42,6 +43,7 @@ func run() error {
 	series := flag.Bool("series", false, "also print per-frame PSNR and size series as CSV")
 	fec := flag.Int("fec", 0, "XOR-parity FEC group size in frames (0 = off)")
 	halfPel := flag.Bool("halfpel", false, "enable half-pixel motion refinement")
+	workers := flag.Int("workers", 0, "encoder macroblock-row shards (0 = GOMAXPROCS, 1 = serial); the bitstream is identical for every value")
 	flag.Parse()
 
 	src, err := sourceFor(*regime)
@@ -79,6 +81,7 @@ func run() error {
 		Profile:   profile,
 		FECGroup:  *fec,
 		HalfPel:   *halfPel,
+		Workers:   encodeWorkers(*workers),
 	})
 	if err != nil {
 		return err
@@ -112,6 +115,15 @@ func run() error {
 		fmt.Println(experiment.FormatSeries("frame_bytes", res.FrameBytes.Values(), "%.0f"))
 	}
 	return nil
+}
+
+// encodeWorkers resolves the -workers flag: 0 and below select
+// GOMAXPROCS-many encoder shards.
+func encodeWorkers(n int) int {
+	if n <= 0 {
+		return parallel.DefaultWorkers()
+	}
+	return n
 }
 
 func sourceFor(name string) (synth.Source, error) {

@@ -3,10 +3,14 @@
 // (the resiliency-vs-energy trade-off) and PSNR / bad pixels (the
 // resiliency-vs-quality trade-off). Output is an aligned table or CSV.
 //
+// Grid points are independent, so they fan out across -workers
+// goroutines (default: GOMAXPROCS); the table and CSV are byte-
+// identical for every worker count.
+//
 // Usage:
 //
 //	pbpair-sweep -regime foreman -frames 60
-//	pbpair-sweep -csv > sweep.csv
+//	pbpair-sweep -csv -workers 8 > sweep.csv
 package main
 
 import (
@@ -40,6 +44,7 @@ func run() error {
 	device := flag.String("device", "ipaq", "energy profile: ipaq or zaurus")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	rd := flag.Bool("rd", false, "emit rate-distortion curves (QP sweep) instead of the Intra_Th x PLR grid")
+	workers := flag.Int("workers", 0, "concurrent grid points (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
 	flag.Parse()
 
 	r, err := regimeFor(*regime)
@@ -47,7 +52,7 @@ func run() error {
 		return err
 	}
 	if *rd {
-		return runRD(r, *frames)
+		return runRD(r, *frames, *workers)
 	}
 	ths, err := parseFloats(*thList)
 	if err != nil {
@@ -71,17 +76,14 @@ func run() error {
 		PLRs:     plrs,
 		Regime:   r,
 		Profile:  profile,
+		Workers:  *workers,
 	})
 	if err != nil {
 		return err
 	}
 
 	if *csv {
-		fmt.Println("intra_th,plr,intra_mbs_per_frame,file_kb,energy_j,avg_psnr_db,bad_pixels")
-		for _, p := range points {
-			fmt.Printf("%.3f,%.3f,%.2f,%.1f,%.4f,%.2f,%d\n",
-				p.IntraTh, p.PLR, p.IntraMBsPerFrame, p.FileKB, p.EnergyJ, p.AvgPSNR, p.BadPixels)
-		}
+		fmt.Print(experiment.SweepCSV(points))
 		return nil
 	}
 
@@ -105,8 +107,8 @@ func run() error {
 
 // runRD prints rate-distortion curves for NO and PBPAIR plus the mean
 // rate overhead at equal quality.
-func runRD(r synth.Regime, frames int) error {
-	cfg := experiment.RDConfig{Regime: r, Frames: frames}
+func runRD(r synth.Regime, frames, workers int) error {
+	cfg := experiment.RDConfig{Regime: r, Frames: frames, Workers: workers}
 	cfg.MakePlanner = func() (codec.ModePlanner, error) { return resilience.NewNone(), nil }
 	noCurve, err := experiment.RDCurve(cfg)
 	if err != nil {

@@ -8,6 +8,7 @@ import (
 	"pbpair/internal/energy"
 	"pbpair/internal/entropy"
 	"pbpair/internal/motion"
+	"pbpair/internal/parallel"
 	"pbpair/internal/quant"
 	"pbpair/internal/video"
 )
@@ -32,6 +33,12 @@ type Encoder struct {
 	// previous intra block's DC level in this GOB; mid-grey at a GOB
 	// start). Index 0 = luma, 1 = Cb, 2 = Cr.
 	dcPred [3]int32
+	// Planning scratch, reused across frames so the sharded search
+	// adds no steady-state allocations: needSearch marks macroblocks
+	// whose planner hooks requested motion estimation, penalties holds
+	// the per-MB cost hooks captured during the serial planner phase.
+	needSearch []bool
+	penalties  []motion.PenaltyFunc
 }
 
 // NewEncoder validates cfg and returns a ready encoder.
@@ -73,6 +80,7 @@ func (e *Encoder) EncodeFrame(cur *video.Frame) (*EncodedFrame, error) {
 	}
 
 	plan := e.planFrame(cur)
+	e.refinePlan(cur, plan)
 	frame, err := e.codeFrame(cur, plan)
 	if err != nil {
 		return nil, err
@@ -104,6 +112,15 @@ func (e *Encoder) EncodeFrame(cur *video.Frame) (*EncodedFrame, error) {
 // planFrame runs the decision pipeline: frame typing, pre-ME mode
 // selection, motion estimation with the planner's cost hook, the
 // SAD-based inter/intra fallback, and the planner's post-ME revision.
+//
+// The pipeline is two-phase so motion estimation — the dominant cost,
+// and the paper's energy lever — can be sharded across macroblock
+// rows. Phase 1 walks the grid serially in raster order calling the
+// planner hooks (which may be stateful; see the ModePlanner contract).
+// Phase 2 runs the SAD searches, which depend only on the two frames
+// and the captured penalty hooks, across Config.Workers row shards;
+// per-shard motion.Stats are merged in shard order, so the plan and
+// the counter tallies are identical to a serial run.
 func (e *Encoder) planFrame(cur *video.Frame) *FramePlan {
 	rows, cols := cur.MBRows(), cur.MBCols()
 	plan := &FramePlan{
@@ -123,38 +140,68 @@ func (e *Encoder) planFrame(cur *video.Frame) *FramePlan {
 	}
 	plan.Type = PFrame
 
-	var mstats motion.Stats
+	// Phase 1 (serial): planner decisions in raster order.
+	if len(e.needSearch) != rows*cols {
+		e.needSearch = make([]bool, rows*cols)
+		e.penalties = make([]motion.PenaltyFunc, rows*cols)
+	}
 	for row := 0; row < rows; row++ {
 		for col := 0; col < cols; col++ {
-			mb := plan.At(row, col)
+			idx := row*cols + col
 			ctx := MBContext{
 				FrameNum: e.frameNum,
-				Index:    row*cols + col,
+				Index:    idx,
 				Row:      row, Col: col,
 				Cur: cur, Ref: e.ref,
 			}
 			if e.cfg.Planner.PreME(&ctx) {
 				// Early intra decision: no motion estimation at all.
-				mb.Mode = ModeIntra
+				plan.MBs[idx].Mode = ModeIntra
+				e.needSearch[idx] = false
+				e.penalties[idx] = nil
 				continue
 			}
-			res := motion.Search(cur, e.ref, row, col, motion.Config{
-				Range:   e.cfg.SearchRange,
-				Kind:    e.cfg.Search,
-				Penalty: e.cfg.Planner.MEPenalty(&ctx),
-			}, &mstats)
-			sadSelf := motion.SADSelf(cur, col*video.MBSize, row*video.MBSize, &mstats)
-			mb.Searched = true
-			mb.SAD = res.SAD
-			mb.SADSelf = sadSelf
-			// Figure 4 fallback: inter prediction not cheap enough.
-			if res.SAD-e.cfg.SADThreshold > sadSelf {
-				mb.Mode = ModeIntra
-			} else {
-				mb.Mode = ModeInter
-				mb.MV = res.MV
+			e.needSearch[idx] = true
+			e.penalties[idx] = e.cfg.Planner.MEPenalty(&ctx)
+		}
+	}
+
+	// Phase 2 (sharded): SAD search and the Figure 4 fallback. Reads
+	// cur/ref and the captured penalties; writes only this shard's
+	// rows of the plan and its own Stats accumulator.
+	spans := parallel.Split(rows, e.cfg.Workers)
+	shardStats := make([]motion.Stats, len(spans))
+	parallel.ForEach(len(spans), len(spans), func(shard int) {
+		stats := &shardStats[shard]
+		for row := spans[shard].Lo; row < spans[shard].Hi; row++ {
+			for col := 0; col < cols; col++ {
+				idx := row*cols + col
+				if !e.needSearch[idx] {
+					continue
+				}
+				mb := &plan.MBs[idx]
+				res := motion.Search(cur, e.ref, row, col, motion.Config{
+					Range:   e.cfg.SearchRange,
+					Kind:    e.cfg.Search,
+					Penalty: e.penalties[idx],
+				}, stats)
+				sadSelf := motion.SADSelf(cur, col*video.MBSize, row*video.MBSize, stats)
+				mb.Searched = true
+				mb.SAD = res.SAD
+				mb.SADSelf = sadSelf
+				// Figure 4 fallback: inter prediction not cheap enough.
+				if res.SAD-e.cfg.SADThreshold > sadSelf {
+					mb.Mode = ModeIntra
+				} else {
+					mb.Mode = ModeInter
+					mb.MV = res.MV
+				}
 			}
 		}
+	})
+	var mstats motion.Stats
+	for _, s := range shardStats {
+		mstats.Add(s)
 	}
 	if e.cfg.Counters != nil {
 		e.cfg.Counters.SADPixelOps += mstats.PixelOps
@@ -176,6 +223,48 @@ func (e *Encoder) planFrame(cur *video.Frame) *FramePlan {
 		}
 	}
 	return plan
+}
+
+// refinePlan assigns every planned inter macroblock its transmitted
+// half-pel vector: FromInteger(MV) when half-pel mode is off, or the
+// best of the eight half-pel neighbours of the integer winner when it
+// is on. Refinement is pure SAD work over the original and reference
+// frames, so under HalfPel it shards across macroblock rows exactly
+// like the integer search, with per-shard stats merged in order. The
+// pass runs between planning (after PostME, so the inter set is final)
+// and coding (which reads mb.Half but never re-searches), keeping the
+// bitstream byte-identical to the historical in-line refinement.
+func (e *Encoder) refinePlan(cur *video.Frame, plan *FramePlan) {
+	if plan.Type == IFrame {
+		return
+	}
+	shards := e.cfg.Workers
+	if !e.cfg.HalfPel {
+		shards = 1 // conversion only; not worth goroutines
+	}
+	spans := parallel.Split(plan.Rows, shards)
+	shardStats := make([]motion.Stats, len(spans))
+	parallel.ForEach(len(spans), len(spans), func(shard int) {
+		stats := &shardStats[shard]
+		for row := spans[shard].Lo; row < spans[shard].Hi; row++ {
+			for col := 0; col < plan.Cols; col++ {
+				mb := plan.At(row, col)
+				if mb.Mode != ModeInter {
+					continue
+				}
+				mb.Half = motion.FromInteger(mb.MV)
+				if e.cfg.HalfPel {
+					mb.Half, _ = motion.RefineHalf(cur, e.ref, row, col, mb.MV, mb.SAD, stats)
+				}
+			}
+		}
+	})
+	if e.cfg.Counters != nil {
+		for _, s := range shardStats {
+			e.cfg.Counters.SADPixelOps += s.PixelOps
+			e.cfg.Counters.SADCalls += s.SADCalls
+		}
+	}
 }
 
 // codeFrame serialises the planned frame and produces the encoder-side
@@ -342,19 +431,13 @@ func (e *Encoder) codeIntraMB(cur *video.Frame, row, col int) {
 	}
 }
 
-// codeInterMB motion-compensates, transforms the residual and codes
-// it; a zero-vector macroblock with an all-zero quantised residual is
-// promoted to ModeSkip (COD=1).
+// codeInterMB motion-compensates using the vector the refinement pass
+// assigned, transforms the residual and codes it; a zero-vector
+// macroblock with an all-zero quantised residual is promoted to
+// ModeSkip (COD=1).
 func (e *Encoder) codeInterMB(cur *video.Frame, plan *FramePlan, row, col int) error {
 	mb := plan.At(row, col)
-	mb.Half = motion.FromInteger(mb.MV)
 	if e.cfg.HalfPel {
-		var rstats motion.Stats
-		mb.Half, _ = motion.RefineHalf(cur, e.ref, row, col, mb.MV, mb.SAD, &rstats)
-		if e.cfg.Counters != nil {
-			e.cfg.Counters.SADPixelOps += rstats.PixelOps
-			e.cfg.Counters.SADCalls += rstats.SADCalls
-		}
 		motion.CompensateHalf(e.pred, e.ref, row, col, mb.Half)
 	} else {
 		motion.Compensate(e.pred, e.ref, row, col, mb.MV)

@@ -1,0 +1,141 @@
+package codec_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/core"
+	"pbpair/internal/energy"
+	"pbpair/internal/resilience"
+	"pbpair/internal/synth"
+	"pbpair/internal/video"
+)
+
+// encodeWithWorkers encodes clip with the given config (Workers and
+// Counters overridden) and returns the encoded frames plus the final
+// counter tally.
+func encodeWithWorkers(t *testing.T, cfg codec.Config, workers int, clip []*video.Frame) ([]*codec.EncodedFrame, energy.Counters) {
+	t.Helper()
+	var counters energy.Counters
+	cfg.Workers = workers
+	cfg.Counters = &counters
+	frames, _ := encodeClip(t, cfg, clip)
+	return frames, counters
+}
+
+// TestParallelEncodeBitExact is the tentpole determinism guarantee:
+// the sharded encoder emits a bitstream byte-identical to the serial
+// one for every worker count, along with identical GOB offsets, mode
+// plans and energy-counter tallies. It exercises every feature that
+// interacts with the sharded phases — a stateful planner (SceneCut),
+// probability-penalised motion search (PBPAIR with PLR > 0), and
+// half-pel refinement.
+func TestParallelEncodeBitExact(t *testing.T) {
+	clip := synth.Clip(synth.New(synth.RegimeForeman), 6)
+
+	newPBPAIR := func(t *testing.T) codec.ModePlanner {
+		t.Helper()
+		p, err := core.New(core.Config{
+			Rows: video.QCIFHeight / video.MBSize,
+			Cols: video.QCIFWidth / video.MBSize,
+
+			IntraTh: 0.9,
+			PLR:     0.1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	cases := []struct {
+		name    string
+		planner func(t *testing.T) codec.ModePlanner
+		halfPel bool
+		deblock bool
+	}{
+		{"pbpair", newPBPAIR, false, false},
+		{"pbpair_halfpel", newPBPAIR, true, false},
+		{"pbpair_halfpel_deblock", newPBPAIR, true, true},
+		{"air_halfpel", func(t *testing.T) codec.ModePlanner {
+			t.Helper()
+			air, err := resilience.NewAIR(10)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return air
+		}, true, false},
+		{"scenecut_pbpair", func(t *testing.T) codec.ModePlanner {
+			t.Helper()
+			sc, err := resilience.NewSceneCut(newPBPAIR(t), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return sc
+		}, false, false},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig(nil)
+			cfg.HalfPel = tc.halfPel
+			cfg.Deblock = tc.deblock
+
+			// Each encoder needs its own planner instance: planners are
+			// stateful across frames and must see the same history.
+			serialCfg := cfg
+			serialCfg.Planner = tc.planner(t)
+			serial, serialCounters := encodeWithWorkers(t, serialCfg, 1, clip)
+
+			for _, workers := range []int{2, 3, 8} {
+				t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+					parCfg := cfg
+					parCfg.Planner = tc.planner(t)
+					par, parCounters := encodeWithWorkers(t, parCfg, workers, clip)
+
+					for i := range serial {
+						if !bytes.Equal(serial[i].Data, par[i].Data) {
+							t.Fatalf("frame %d: bitstream differs from serial", i)
+						}
+						if len(serial[i].GOBOffsets) != len(par[i].GOBOffsets) {
+							t.Fatalf("frame %d: GOB offset count differs", i)
+						}
+						for g := range serial[i].GOBOffsets {
+							if serial[i].GOBOffsets[g] != par[i].GOBOffsets[g] {
+								t.Fatalf("frame %d: GOB offset %d differs", i, g)
+							}
+						}
+						if serial[i].Plan.ModeMap() != par[i].Plan.ModeMap() {
+							t.Fatalf("frame %d: mode plan differs from serial", i)
+						}
+					}
+					if serialCounters != parCounters {
+						t.Fatalf("counters differ: serial %+v, workers=%d %+v",
+							serialCounters, workers, parCounters)
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestParallelWorkersDefaulting checks the Workers knob normalisation:
+// zero and negative values select the serial encoder.
+func TestParallelWorkersDefaulting(t *testing.T) {
+	clip := synth.Clip(synth.New(synth.RegimeForeman), 3)
+	cfg := testConfig(resilience.NewNone())
+	serial, _ := encodeClip(t, cfg, clip)
+
+	for _, workers := range []int{0, -4} {
+		cfg := testConfig(resilience.NewNone())
+		cfg.Workers = workers
+		got, _ := encodeClip(t, cfg, clip)
+		for i := range serial {
+			if !bytes.Equal(serial[i].Data, got[i].Data) {
+				t.Fatalf("workers=%d: frame %d differs from serial", workers, i)
+			}
+		}
+	}
+}

@@ -89,7 +89,8 @@ type MBPlan struct {
 	Searched bool  // whether motion estimation ran for this MB
 	// Half is the refined half-pel vector actually coded (equal to
 	// FromInteger(MV) when half-pel mode is off or refinement found
-	// nothing better). Valid for inter macroblocks after coding.
+	// nothing better). Assigned by the encoder's refinement pass
+	// between planning and coding; valid for inter macroblocks.
 	Half motion.HalfVector
 }
 
@@ -154,7 +155,18 @@ type FrameResult struct {
 
 // ModePlanner is the error-resilience scheme interface. Implementations
 // must be deterministic; the encoder calls the hooks in the order
-// PlanFrame → (PreME, MEPenalty per MB) → PostME → Update, once per frame.
+// PlanFrame → (PreME, MEPenalty per MB in raster order) → PostME →
+// Update, once per frame.
+//
+// Concurrency contract: the hooks themselves are always invoked from
+// a single goroutine, in raster order, so implementations may keep
+// per-frame state (SceneCut detects its cut on macroblock 0). The
+// PenaltyFunc values returned by MEPenalty are the one exception:
+// when Config.Workers > 1 they are invoked concurrently during the
+// sharded motion search, after every MEPenalty call of the frame has
+// returned. They must therefore be read-only with respect to planner
+// state — true for every scheme in this repository, whose penalties
+// read the probability matrix that Update rewrites only after coding.
 type ModePlanner interface {
 	// Name identifies the scheme in reports ("PBPAIR", "GOP-3", ...).
 	Name() string
@@ -219,6 +231,17 @@ type Config struct {
 	Planner ModePlanner
 	// Counters optionally accumulates energy-model work units.
 	Counters *energy.Counters
+	// Workers bounds the goroutines used for intra-frame sharding:
+	// the SAD search of planFrame and the half-pel refinement pass
+	// run across contiguous macroblock-row shards, with per-shard
+	// motion statistics merged in shard order. Values <= 1 select the
+	// serial encoder. The emitted bitstream, the reconstruction and
+	// the counter tallies are bit-identical for every value — sharding
+	// changes only wall-clock time (see ARCHITECTURE.md, determinism
+	// guarantees). Planner hooks are still invoked sequentially; only
+	// the PenaltyFunc values returned by MEPenalty are called
+	// concurrently.
+	Workers int
 }
 
 // withDefaults validates cfg and fills defaults.
@@ -241,6 +264,9 @@ func (cfg Config) withDefaults() (Config, error) {
 	}
 	if cfg.SADThreshold == 0 {
 		cfg.SADThreshold = 500
+	}
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
 	}
 	return cfg, nil
 }

@@ -1,0 +1,52 @@
+package core_test
+
+import (
+	"fmt"
+	"log"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/core"
+)
+
+// ExamplePBPAIR_Update walks the §3.1.3 probability update on a tiny
+// 2×2 macroblock grid with the Formula 3 approximation (similarity
+// disabled), so every number is hand-checkable: at PLR α = 0.1 an
+// intra macroblock resets to 1−α = 0.9 while an inter macroblock decays
+// to (1−α)·σ of its reference. Once σ falls below Intra_Th the PreME
+// hook orders a refresh — intra coding before motion estimation runs,
+// which is where PBPAIR's energy saving comes from.
+func ExamplePBPAIR_Update() {
+	p, err := core.New(core.Config{
+		Rows: 2, Cols: 2,
+		IntraTh:           0.8,
+		PLR:               0.1,
+		DisableSimilarity: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The same plan every frame: macroblock 0 coded intra, the rest
+	// inter predicting from their co-located reference (zero MV).
+	plan := &codec.FramePlan{Rows: 2, Cols: 2, Type: codec.PFrame, MBs: []codec.MBPlan{
+		{Mode: codec.ModeIntra}, {Mode: codec.ModeInter},
+		{Mode: codec.ModeInter}, {Mode: codec.ModeInter},
+	}}
+	for frame := 0; frame < 3; frame++ {
+		p.Update(&codec.FrameResult{FrameNum: frame, Plan: plan})
+		fmt.Printf("after frame %d: mean sigma %.3f\n%s", frame, p.MeanSigma(), p.SigmaMap())
+	}
+	fmt.Printf("inter MB due for refresh (sigma < 0.8): %v\n",
+		p.PreME(&codec.MBContext{Index: 3}))
+	// Output:
+	// after frame 0: mean sigma 0.900
+	// 99
+	// 99
+	// after frame 1: mean sigma 0.833
+	// 98
+	// 88
+	// after frame 2: mean sigma 0.772
+	// 97
+	// 77
+	// inter MB due for refresh (sigma < 0.8): true
+}

@@ -14,7 +14,10 @@ package energy
 
 // Counters tallies the work performed while encoding. All fields are
 // exact counts, accumulated additively; the zero value is an empty
-// tally.
+// tally. Because every field is a plain sum, tallies are mergeable:
+// the encoder's sharded motion search accumulates per-shard counts and
+// Adds them in shard order, giving totals identical to a serial run,
+// and a per-frame delta is just the Sub of two snapshots.
 type Counters struct {
 	SADPixelOps   int64 // per-pixel |a−b| operations inside ME (early exit honoured)
 	SADCalls      int64 // block-SAD evaluations started
@@ -26,6 +29,23 @@ type Counters struct {
 	VLCBits       int64 // entropy-coded output bits
 	MBs           int64 // macroblocks processed (per-MB overhead)
 	Frames        int64 // frames processed (per-frame overhead)
+}
+
+// Sub returns the field-wise difference c − other: the work performed
+// between two snapshots of the same tally.
+func (c Counters) Sub(other Counters) Counters {
+	return Counters{
+		SADPixelOps:   c.SADPixelOps - other.SADPixelOps,
+		SADCalls:      c.SADCalls - other.SADCalls,
+		DCTBlocks:     c.DCTBlocks - other.DCTBlocks,
+		IDCTBlocks:    c.IDCTBlocks - other.IDCTBlocks,
+		QuantBlocks:   c.QuantBlocks - other.QuantBlocks,
+		DequantBlocks: c.DequantBlocks - other.DequantBlocks,
+		MCMBs:         c.MCMBs - other.MCMBs,
+		VLCBits:       c.VLCBits - other.VLCBits,
+		MBs:           c.MBs - other.MBs,
+		Frames:        c.Frames - other.Frames,
+	}
 }
 
 // Add accumulates other into c.

@@ -6,6 +6,7 @@ import (
 	"pbpair/internal/codec"
 	"pbpair/internal/core"
 	"pbpair/internal/network"
+	"pbpair/internal/parallel"
 	"pbpair/internal/resilience"
 	"pbpair/internal/synth"
 )
@@ -38,6 +39,9 @@ type ContentConfig struct {
 	IntraTh     float64 // PBPAIR threshold (no size calibration here)
 	Paranoia    float64 // PBPAIR staleness bound (see core.Config.Paranoia)
 	Regimes     []synth.Regime
+	// Workers bounds the experiment fan-out across (regime, scheme)
+	// cells: <= 0 selects parallel.DefaultWorkers, 1 runs serially.
+	Workers int
 }
 
 // WithDefaults fills zero fields.
@@ -79,11 +83,16 @@ func (c ContentConfig) WithDefaults() ContentConfig {
 	return c
 }
 
-// ContentTable runs the five schemes over the configured regimes.
+// ContentTable runs the five schemes over the configured regimes. The
+// (regime, scheme) cells are independent runs, flattened in the serial
+// iteration order (regime outer, scheme inner) and fanned out across
+// cfg.Workers goroutines; the row order is identical for every worker
+// count.
 func ContentTable(cfg ContentConfig) ([]ContentRow, error) {
 	cfg = cfg.WithDefaults()
-	var rows []ContentRow
-	for _, regime := range cfg.Regimes {
+	const schemes = 5
+	return parallel.Map(cfg.Workers, len(cfg.Regimes)*schemes, func(i int) (ContentRow, error) {
+		regime := cfg.Regimes[i/schemes]
 		src := synth.New(regime)
 		gridRows, gridCols := mbGrid(src)
 		cases := []func() (codec.ModePlanner, error){
@@ -99,37 +108,34 @@ func ContentTable(cfg ContentConfig) ([]ContentRow, error) {
 			func() (codec.ModePlanner, error) { return resilience.NewGOP(3) },
 			func() (codec.ModePlanner, error) { return resilience.NewAIR(24) },
 		}
-		for _, mk := range cases {
-			planner, err := mk()
-			if err != nil {
-				return nil, err
-			}
-			channel, err := network.NewUniformLoss(cfg.PLR, cfg.Seed+uint64(regime))
-			if err != nil {
-				return nil, err
-			}
-			res, err := Run(Scenario{
-				Name:        fmt.Sprintf("content/%s/%s", src.Name(), planner.Name()),
-				Source:      src,
-				Frames:      cfg.Frames,
-				QP:          cfg.QP,
-				SearchRange: cfg.SearchRange,
-				Planner:     planner,
-				Channel:     channel,
-			})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, ContentRow{
-				Sequence:  src.Name(),
-				Scheme:    res.Scheme,
-				AvgPSNR:   res.PSNR.Mean(),
-				BadPixels: res.TotalBadPix,
-				FileKB:    float64(res.TotalBytes) / 1024,
-				EnergyJ:   res.Joules,
-				IntraRate: res.IntraMBs.Mean(),
-			})
+		planner, err := cases[i%schemes]()
+		if err != nil {
+			return ContentRow{}, err
 		}
-	}
-	return rows, nil
+		channel, err := network.NewUniformLoss(cfg.PLR, cfg.Seed+uint64(regime))
+		if err != nil {
+			return ContentRow{}, err
+		}
+		res, err := Run(Scenario{
+			Name:        fmt.Sprintf("content/%s/%s", src.Name(), planner.Name()),
+			Source:      src,
+			Frames:      cfg.Frames,
+			QP:          cfg.QP,
+			SearchRange: cfg.SearchRange,
+			Planner:     planner,
+			Channel:     channel,
+		})
+		if err != nil {
+			return ContentRow{}, err
+		}
+		return ContentRow{
+			Sequence:  src.Name(),
+			Scheme:    res.Scheme,
+			AvgPSNR:   res.PSNR.Mean(),
+			BadPixels: res.TotalBadPix,
+			FileKB:    float64(res.TotalBytes) / 1024,
+			EnergyJ:   res.Joules,
+			IntraRate: res.IntraMBs.Mean(),
+		}, nil
+	})
 }

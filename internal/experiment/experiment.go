@@ -2,6 +2,15 @@
 // packetiser, lossy channel, decoder and metrics into reproducible
 // scenario runs, and provides the size-matching calibration and
 // recovery measurement the paper's Section 4 experiments need.
+//
+// The grid experiments (Sweep, Fig5, Fig6, ContentTable, RDCurve,
+// Fig5Multi) fan independent runs out across a bounded worker pool
+// (internal/parallel) controlled by each config's Workers knob;
+// results land in index-addressed slots in the serial iteration order,
+// so every table, trace and CSV is byte-identical for any worker
+// count. A Scenario additionally exposes Workers for the encoder's
+// intra-frame sharding — the second concurrency level, equally
+// deterministic (see ARCHITECTURE.md).
 package experiment
 
 import (
@@ -35,6 +44,11 @@ type Scenario struct {
 
 	// Planner is the resilience scheme under test. Required.
 	Planner codec.ModePlanner
+
+	// Workers bounds the encoder's intra-frame sharding (codec.Config
+	// Workers): <= 1 encodes serially. Results are bit-identical for
+	// every value; this knob changes only wall-clock time.
+	Workers int
 
 	// Channel models the network; nil means loss-free.
 	Channel network.Channel
@@ -130,6 +144,7 @@ func Run(s Scenario, opts ...Option) (*Result, error) {
 		HalfPel:      s.HalfPel,
 		Planner:      s.Planner,
 		Counters:     &counters,
+		Workers:      s.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiment: scenario %q: %w", s.Name, err)

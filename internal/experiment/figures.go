@@ -2,11 +2,13 @@ package experiment
 
 import (
 	"fmt"
+	"strings"
 
 	"pbpair/internal/codec"
 	"pbpair/internal/core"
 	"pbpair/internal/energy"
 	"pbpair/internal/network"
+	"pbpair/internal/parallel"
 	"pbpair/internal/resilience"
 	"pbpair/internal/synth"
 )
@@ -25,6 +27,11 @@ type Fig5Config struct {
 	SearchRange int     // motion search range (default 15; benches shrink it)
 	Seed        uint64  // loss-pattern seed
 	Profile     energy.Profile
+	// Workers bounds the experiment fan-out: the three per-sequence
+	// calibrations run concurrently, then all (sequence, scheme) cells.
+	// <= 0 selects parallel.DefaultWorkers, 1 runs serially; the result
+	// is identical for every value.
+	Workers int
 }
 
 // WithDefaults fills zero fields with their documented defaults.
@@ -120,75 +127,88 @@ func mbGrid(src synth.Source) (rows, cols int) {
 // AIR-24").
 func Fig5(cfg Fig5Config) ([]Fig5Row, error) {
 	cfg = cfg.WithDefaults()
-	var rows []Fig5Row
-	for _, regime := range []synth.Regime{synth.RegimeForeman, synth.RegimeAkiyo, synth.RegimeGarden} {
-		src := synth.New(regime)
-		gridRows, gridCols := mbGrid(src)
+	regimes := []synth.Regime{synth.RegimeForeman, synth.RegimeAkiyo, synth.RegimeGarden}
 
-		// Calibrate PBPAIR against PGOP-3's probe size.
+	// Phase 1 — calibration, one job per sequence. Each bisection is
+	// inherently sequential (every probe depends on the previous
+	// bracket), but the three sequences are independent.
+	ths, err := parallel.Map(cfg.Workers, len(regimes), func(i int) (float64, error) {
+		src := synth.New(regimes[i])
+		gridRows, gridCols := mbGrid(src)
 		pgopProbe, err := encodedBytes(src, cfg, func() (codec.ModePlanner, error) {
 			return resilience.NewPGOP(3, gridCols)
 		})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
-		th, err := CalibrateIntraTh(func(t float64) (int, error) {
+		return CalibrateIntraTh(func(t float64) (int, error) {
 			return encodedBytes(src, cfg, func() (codec.ModePlanner, error) {
 				return core.New(core.Config{Rows: gridRows, Cols: gridCols, IntraTh: t, PLR: cfg.PLR})
 			})
 		}, pgopProbe, 10)
-		if err != nil {
-			return nil, err
-		}
-
-		type schemeCase struct {
-			make    func() (codec.ModePlanner, error)
-			intraTh float64
-		}
-		cases := []schemeCase{
-			{make: func() (codec.ModePlanner, error) { return resilience.NewNone(), nil }},
-			{make: func() (codec.ModePlanner, error) {
-				return core.New(core.Config{Rows: gridRows, Cols: gridCols, IntraTh: th, PLR: cfg.PLR})
-			}, intraTh: th},
-			{make: func() (codec.ModePlanner, error) { return resilience.NewPGOP(3, gridCols) }},
-			{make: func() (codec.ModePlanner, error) { return resilience.NewGOP(3) }},
-			{make: func() (codec.ModePlanner, error) { return resilience.NewAIR(24) }},
-		}
-		for _, sc := range cases {
-			planner, err := sc.make()
-			if err != nil {
-				return nil, err
-			}
-			channel, err := network.NewUniformLoss(cfg.PLR, cfg.Seed+uint64(regime))
-			if err != nil {
-				return nil, err
-			}
-			res, err := Run(Scenario{
-				Name:        fmt.Sprintf("fig5/%s/%s", src.Name(), planner.Name()),
-				Source:      src,
-				Frames:      cfg.Frames,
-				QP:          cfg.QP,
-				SearchRange: cfg.SearchRange,
-				Planner:     planner,
-				Channel:     channel,
-				Profile:     cfg.Profile,
-			})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Fig5Row{
-				Sequence:  src.Name(),
-				Scheme:    res.Scheme,
-				AvgPSNR:   res.PSNR.Mean(),
-				BadPixels: res.TotalBadPix,
-				FileKB:    float64(res.TotalBytes) / 1024,
-				EnergyJ:   res.Joules,
-				IntraTh:   sc.intraTh,
-				Counters:  res.Counters,
-			})
-		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	return rows, nil
+
+	// Phase 2 — the full (sequence, scheme) grid, flattened in the
+	// serial iteration order (sequence outer, scheme inner) so the
+	// returned rows are identical for every worker count.
+	type schemeCase struct {
+		make    func(gridRows, gridCols int, th float64) (codec.ModePlanner, error)
+		intraTh bool // report the calibrated threshold in the row
+	}
+	cases := []schemeCase{
+		{make: func(_, _ int, _ float64) (codec.ModePlanner, error) { return resilience.NewNone(), nil }},
+		{make: func(r, c int, th float64) (codec.ModePlanner, error) {
+			return core.New(core.Config{Rows: r, Cols: c, IntraTh: th, PLR: cfg.PLR})
+		}, intraTh: true},
+		{make: func(_, c int, _ float64) (codec.ModePlanner, error) { return resilience.NewPGOP(3, c) }},
+		{make: func(_, _ int, _ float64) (codec.ModePlanner, error) { return resilience.NewGOP(3) }},
+		{make: func(_, _ int, _ float64) (codec.ModePlanner, error) { return resilience.NewAIR(24) }},
+	}
+	return parallel.Map(cfg.Workers, len(regimes)*len(cases), func(i int) (Fig5Row, error) {
+		regime := regimes[i/len(cases)]
+		sc := cases[i%len(cases)]
+		src := synth.New(regime)
+		gridRows, gridCols := mbGrid(src)
+		th := ths[i/len(cases)]
+
+		planner, err := sc.make(gridRows, gridCols, th)
+		if err != nil {
+			return Fig5Row{}, err
+		}
+		channel, err := network.NewUniformLoss(cfg.PLR, cfg.Seed+uint64(regime))
+		if err != nil {
+			return Fig5Row{}, err
+		}
+		res, err := Run(Scenario{
+			Name:        fmt.Sprintf("fig5/%s/%s", src.Name(), planner.Name()),
+			Source:      src,
+			Frames:      cfg.Frames,
+			QP:          cfg.QP,
+			SearchRange: cfg.SearchRange,
+			Planner:     planner,
+			Channel:     channel,
+			Profile:     cfg.Profile,
+		})
+		if err != nil {
+			return Fig5Row{}, err
+		}
+		row := Fig5Row{
+			Sequence:  src.Name(),
+			Scheme:    res.Scheme,
+			AvgPSNR:   res.PSNR.Mean(),
+			BadPixels: res.TotalBadPix,
+			FileKB:    float64(res.TotalBytes) / 1024,
+			EnergyJ:   res.Joules,
+			Counters:  res.Counters,
+		}
+		if sc.intraTh {
+			row.IntraTh = th
+		}
+		return row, nil
+	})
 }
 
 // encodedBytes encodes ProbeFrames frames loss-free and returns the
@@ -219,6 +239,10 @@ type Fig6Config struct {
 	SearchRange int   // motion search range (default 15)
 	LossEvents  []int // frames lost (e1..e7); defaults include a GOP-8 I-frame
 	ProbeFrames int
+	// Workers bounds the experiment fan-out across the scheme traces
+	// (each scheme's loss-free and lossy runs are independent jobs).
+	// <= 0 selects parallel.DefaultWorkers, 1 runs serially.
+	Workers int
 }
 
 // WithDefaults fills zero fields with their documented defaults.
@@ -291,35 +315,34 @@ func Fig6(cfg Fig6Config) ([]Fig6Series, error) {
 		{mk: func() (codec.ModePlanner, error) { return resilience.NewAIR(10) }},
 	}
 
-	var out []Fig6Series
-	for _, c := range cases {
-		// Loss-free baseline (fresh planner: planners are stateful).
+	// Every (scheme, clean/lossy) pair is an independent run with a
+	// fresh planner (planners are stateful), so the 2·len(cases) jobs
+	// fan out together; results land in index-addressed slots, keeping
+	// the series order identical for every worker count.
+	runs, err := parallel.Map(cfg.Workers, 2*len(cases), func(i int) (*Result, error) {
+		c := cases[i/2]
 		planner, err := c.mk()
 		if err != nil {
 			return nil, err
 		}
-		clean, err := Run(Scenario{
+		s := Scenario{
 			Name: "fig6-clean", Source: src, Frames: cfg.Frames, QP: cfg.QP,
 			SearchRange: cfg.SearchRange,
 			Planner:     planner,
-		})
-		if err != nil {
-			return nil, err
 		}
+		if i%2 == 1 {
+			s.Name = "fig6-lossy"
+			s.Channel = network.NewSchedule(cfg.LossEvents...)
+		}
+		return Run(s)
+	})
+	if err != nil {
+		return nil, err
+	}
 
-		planner, err = c.mk()
-		if err != nil {
-			return nil, err
-		}
-		lossy, err := Run(Scenario{
-			Name: "fig6-lossy", Source: src, Frames: cfg.Frames, QP: cfg.QP,
-			SearchRange: cfg.SearchRange,
-			Planner:     planner,
-			Channel:     network.NewSchedule(cfg.LossEvents...),
-		})
-		if err != nil {
-			return nil, err
-		}
+	out := make([]Fig6Series, 0, len(cases))
+	for i, c := range cases {
+		clean, lossy := runs[2*i], runs[2*i+1]
 		out = append(out, Fig6Series{
 			Scheme:     lossy.Scheme,
 			PSNR:       lossy.PSNR.Values(),
@@ -342,6 +365,13 @@ type SweepConfig struct {
 	PLRs        []float64
 	Regime      synth.Regime
 	Profile     energy.Profile
+	// Workers bounds the goroutines running grid points concurrently
+	// (the experiment fan-out level): <= 0 selects
+	// parallel.DefaultWorkers, 1 runs serially. Every grid point is an
+	// independent (planner, channel, encoder, decoder) pipeline keyed
+	// by its grid index, so the returned slice — and any CSV rendered
+	// from it — is byte-identical for every worker count.
+	Workers int
 }
 
 // WithDefaults fills zero fields with their documented defaults.
@@ -382,48 +412,64 @@ type SweepPoint struct {
 	BadPixels        int
 }
 
-// Sweep runs the full Intra_Th × PLR grid.
+// Sweep runs the full Intra_Th × PLR grid. Grid points are mutually
+// independent, so they run on cfg.Workers goroutines; the flattened job
+// order (PLR outer, Intra_Th inner) and the returned slice order match
+// the serial nested loops exactly.
 func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
 	cfg = cfg.WithDefaults()
 	src := synth.New(cfg.Regime)
 	gridRows, gridCols := mbGrid(src)
-	var points []SweepPoint
-	for _, plr := range cfg.PLRs {
-		for _, th := range cfg.IntraThs {
-			planner, err := core.New(core.Config{Rows: gridRows, Cols: gridCols, IntraTh: th, PLR: plr})
-			if err != nil {
-				return nil, err
-			}
-			var channel network.Channel
-			if plr > 0 {
-				channel, err = network.NewUniformLoss(plr, cfg.Seed)
-				if err != nil {
-					return nil, err
-				}
-			}
-			res, err := Run(Scenario{
-				Name:        fmt.Sprintf("sweep/th%.2f/plr%.2f", th, plr),
-				Source:      src,
-				Frames:      cfg.Frames,
-				QP:          cfg.QP,
-				SearchRange: cfg.SearchRange,
-				Planner:     planner,
-				Channel:     channel,
-				Profile:     cfg.Profile,
-			})
-			if err != nil {
-				return nil, err
-			}
-			points = append(points, SweepPoint{
-				IntraTh:          th,
-				PLR:              plr,
-				IntraMBsPerFrame: res.IntraMBs.Mean(),
-				FileKB:           float64(res.TotalBytes) / 1024,
-				EnergyJ:          res.Joules,
-				AvgPSNR:          res.PSNR.Mean(),
-				BadPixels:        res.TotalBadPix,
-			})
+	n := len(cfg.PLRs) * len(cfg.IntraThs)
+	return parallel.Map(cfg.Workers, n, func(i int) (SweepPoint, error) {
+		plr := cfg.PLRs[i/len(cfg.IntraThs)]
+		th := cfg.IntraThs[i%len(cfg.IntraThs)]
+		planner, err := core.New(core.Config{Rows: gridRows, Cols: gridCols, IntraTh: th, PLR: plr})
+		if err != nil {
+			return SweepPoint{}, err
 		}
+		var channel network.Channel
+		if plr > 0 {
+			channel, err = network.NewUniformLoss(plr, cfg.Seed)
+			if err != nil {
+				return SweepPoint{}, err
+			}
+		}
+		res, err := Run(Scenario{
+			Name:        fmt.Sprintf("sweep/th%.2f/plr%.2f", th, plr),
+			Source:      src,
+			Frames:      cfg.Frames,
+			QP:          cfg.QP,
+			SearchRange: cfg.SearchRange,
+			Planner:     planner,
+			Channel:     channel,
+			Profile:     cfg.Profile,
+		})
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		return SweepPoint{
+			IntraTh:          th,
+			PLR:              plr,
+			IntraMBsPerFrame: res.IntraMBs.Mean(),
+			FileKB:           float64(res.TotalBytes) / 1024,
+			EnergyJ:          res.Joules,
+			AvgPSNR:          res.PSNR.Mean(),
+			BadPixels:        res.TotalBadPix,
+		}, nil
+	})
+}
+
+// SweepCSV renders sweep points in the CSV layout of cmd/pbpair-sweep:
+// a header line plus one row per point. The CLI and the determinism
+// tests share this renderer, so "byte-identical CSV for every worker
+// count" is pinned against the exact bytes users see.
+func SweepCSV(points []SweepPoint) string {
+	var b strings.Builder
+	b.WriteString("intra_th,plr,intra_mbs_per_frame,file_kb,energy_j,avg_psnr_db,bad_pixels\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%.3f,%.3f,%.2f,%.1f,%.4f,%.2f,%d\n",
+			p.IntraTh, p.PLR, p.IntraMBsPerFrame, p.FileKB, p.EnergyJ, p.AvgPSNR, p.BadPixels)
 	}
-	return points, nil
+	return b.String()
 }

@@ -3,6 +3,8 @@ package experiment
 import (
 	"fmt"
 	"math"
+
+	"pbpair/internal/parallel"
 )
 
 // Multi-seed replication. The paper reports single runs; loss patterns
@@ -27,10 +29,27 @@ type Fig5Stats struct {
 // and encode are loss-independent (the encoder never sees the channel),
 // so size and energy come out identical across seeds; quality metrics
 // get a real distribution.
+//
+// Seeds fan out across cfg.Workers goroutines and each seed's Fig5
+// run fans out internally with the same knob; per-seed rows are merged
+// in seed order, so the aggregate is identical for every worker count.
 func Fig5Multi(cfg Fig5Config, seeds []uint64) ([]Fig5Stats, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("experiment: Fig5Multi needs at least one seed")
 	}
+	perSeed, err := parallel.Map(cfg.Workers, len(seeds), func(i int) ([]Fig5Row, error) {
+		c := cfg
+		c.Seed = seeds[i]
+		rows, err := Fig5(c)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: Fig5 seed %d: %w", seeds[i], err)
+		}
+		return rows, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	type acc struct {
 		psnr, bad       []float64
 		fileKB, energyJ float64
@@ -38,13 +57,7 @@ func Fig5Multi(cfg Fig5Config, seeds []uint64) ([]Fig5Stats, error) {
 	accs := map[string]*acc{}
 	var order []string
 
-	for _, seed := range seeds {
-		c := cfg
-		c.Seed = seed
-		rows, err := Fig5(c)
-		if err != nil {
-			return nil, fmt.Errorf("experiment: Fig5 seed %d: %w", seed, err)
-		}
+	for _, rows := range perSeed {
 		for _, r := range rows {
 			key := r.Sequence + "\x00" + r.Scheme
 			a := accs[key]

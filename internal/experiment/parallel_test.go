@@ -1,0 +1,141 @@
+package experiment
+
+import (
+	"testing"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/core"
+	"pbpair/internal/synth"
+)
+
+func mustPBPAIR(t *testing.T, th, plr float64) codec.ModePlanner {
+	t.Helper()
+	src := synth.New(synth.RegimeForeman)
+	rows, cols := mbGrid(src)
+	p, err := core.New(core.Config{Rows: rows, Cols: cols, IntraTh: th, PLR: plr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// The fan-out determinism tests pin the tentpole guarantee at the
+// experiment level: every harness entry point produces byte- (or
+// value-) identical results for any worker count.
+
+func TestSweepCSVByteIdenticalAcrossWorkers(t *testing.T) {
+	cfg := SweepConfig{
+		Frames:   6,
+		IntraThs: []float64{0.2, 0.9},
+		PLRs:     []float64{0, 0.1},
+		Regime:   synth.RegimeForeman,
+	}
+
+	cfg.Workers = 1
+	serialPoints, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := SweepCSV(serialPoints)
+
+	for _, workers := range []int{2, 8} {
+		cfg.Workers = workers
+		points, err := Sweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := SweepCSV(points); got != serial {
+			t.Errorf("workers=%d: CSV differs from serial\nserial:\n%s\nworkers=%d:\n%s",
+				workers, serial, workers, got)
+		}
+	}
+}
+
+func TestFig6IdenticalAcrossWorkers(t *testing.T) {
+	cfg := Fig6Config{Frames: 12, ProbeFrames: 10, LossEvents: []int{3, 7}}
+
+	cfg.Workers = 1
+	serial, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Workers = 8
+	par, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(serial) != len(par) {
+		t.Fatalf("series count differs: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i].Scheme != par[i].Scheme {
+			t.Fatalf("series %d: scheme %q vs %q", i, serial[i].Scheme, par[i].Scheme)
+		}
+		for k := range serial[i].PSNR {
+			if serial[i].PSNR[k] != par[i].PSNR[k] || serial[i].FrameBytes[k] != par[i].FrameBytes[k] {
+				t.Fatalf("series %d (%s): frame %d differs from serial", i, serial[i].Scheme, k)
+			}
+		}
+	}
+}
+
+func TestContentTableIdenticalAcrossWorkers(t *testing.T) {
+	cfg := ContentConfig{
+		Frames:  5,
+		Regimes: []synth.Regime{synth.RegimeAkiyo, synth.RegimeForeman},
+	}
+
+	cfg.Workers = 1
+	serial, err := ContentTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.Workers = 4
+	par, err := ContentTable(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(serial) != len(par) {
+		t.Fatalf("row count differs: %d vs %d", len(serial), len(par))
+	}
+	for i := range serial {
+		if serial[i] != par[i] {
+			t.Fatalf("row %d differs:\nserial: %+v\nworkers=4: %+v", i, serial[i], par[i])
+		}
+	}
+}
+
+// TestScenarioWorkersIdentical checks the intra-frame sharding level
+// through the harness: a Scenario run with encoder sharding reports
+// the same metrics as a serial encode.
+func TestScenarioWorkersIdentical(t *testing.T) {
+	run := func(workers int) *Result {
+		t.Helper()
+		res, err := Run(Scenario{
+			Name:    "workers",
+			Source:  synth.New(synth.RegimeForeman),
+			Frames:  5,
+			Planner: mustPBPAIR(t, 0.8, 0.1),
+			Workers: workers,
+			HalfPel: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, par := run(1), run(8)
+	if serial.TotalBytes != par.TotalBytes || serial.Counters != par.Counters {
+		t.Errorf("sharded run differs: serial %d bytes %+v, workers=8 %d bytes %+v",
+			serial.TotalBytes, serial.Counters, par.TotalBytes, par.Counters)
+	}
+	for i, v := range serial.PSNR.Values() {
+		if par.PSNR.Values()[i] != v {
+			t.Fatalf("frame %d PSNR differs", i)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"pbpair/internal/codec"
+	"pbpair/internal/parallel"
 	"pbpair/internal/synth"
 )
 
@@ -26,12 +27,19 @@ type RDConfig struct {
 	SearchRange int
 	QPs         []int
 	// MakePlanner builds a fresh planner per QP point (planners are
-	// stateful). Required.
+	// stateful). Required. When Workers > 1 it is called concurrently,
+	// so it must not share mutable state between the planners it
+	// returns.
 	MakePlanner func() (codec.ModePlanner, error)
+	// Workers bounds the experiment fan-out across QP points: <= 0
+	// selects parallel.DefaultWorkers, 1 runs serially. The curve is
+	// identical for every value.
+	Workers int
 }
 
 // RDCurve encodes the sequence at each QP (loss-free) and returns the
-// curve in QP order.
+// curve in QP order; the QP points are independent encodes and fan out
+// across cfg.Workers goroutines.
 func RDCurve(cfg RDConfig) ([]RDPoint, error) {
 	if cfg.MakePlanner == nil {
 		return nil, fmt.Errorf("experiment: RDCurve needs MakePlanner")
@@ -46,11 +54,11 @@ func RDCurve(cfg RDConfig) ([]RDPoint, error) {
 		cfg.QPs = []int{2, 4, 8, 12, 16, 24, 31}
 	}
 	src := synth.New(cfg.Regime)
-	points := make([]RDPoint, 0, len(cfg.QPs))
-	for _, qp := range cfg.QPs {
+	return parallel.Map(cfg.Workers, len(cfg.QPs), func(i int) (RDPoint, error) {
+		qp := cfg.QPs[i]
 		planner, err := cfg.MakePlanner()
 		if err != nil {
-			return nil, err
+			return RDPoint{}, err
 		}
 		res, err := Run(Scenario{
 			Name:        fmt.Sprintf("rd/qp%d", qp),
@@ -61,15 +69,14 @@ func RDCurve(cfg RDConfig) ([]RDPoint, error) {
 			Planner:     planner,
 		})
 		if err != nil {
-			return nil, err
+			return RDPoint{}, err
 		}
-		points = append(points, RDPoint{
+		return RDPoint{
 			QP:     qp,
 			KBytes: float64(res.TotalBytes) / 1024,
 			PSNR:   res.PSNR.Mean(),
-		})
-	}
-	return points, nil
+		}, nil
+	})
 }
 
 // BDRateGap is a coarse Bjøntegaard-style comparison: the mean

@@ -7,6 +7,14 @@
 // every search reports exact operation counts (Stats) that the energy
 // model converts to Joules. PBPAIR's probability-aware motion-vector
 // selection plugs in through Config.Cost.
+//
+// All search and compensation functions are pure over their frame
+// arguments and accumulate work counts only into the *Stats the caller
+// passes, so concurrent searches over disjoint macroblocks are safe as
+// long as each goroutine uses its own Stats — the contract behind the
+// encoder's macroblock-row sharding (codec.Config.Workers). Stats is an
+// additive tally; per-shard copies merged with Add in shard order equal
+// a serial run's tally exactly.
 package motion
 
 import (

@@ -1,0 +1,50 @@
+package parallel_test
+
+import (
+	"fmt"
+
+	"pbpair/internal/parallel"
+)
+
+// ExampleMap shows the fan-out pattern the experiment harness uses:
+// independent jobs run on a bounded pool while results come back in
+// job order, so tables and CSV output are identical to a serial run.
+func ExampleMap() {
+	plrs := []float64{0, 0.05, 0.1, 0.2}
+	rows, err := parallel.Map(4, len(plrs), func(i int) (string, error) {
+		// Stands in for one full encode/transmit/decode scenario.
+		return fmt.Sprintf("plr=%.2f ok", plrs[i]), nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range rows {
+		fmt.Println(r)
+	}
+	// Output:
+	// plr=0.00 ok
+	// plr=0.05 ok
+	// plr=0.10 ok
+	// plr=0.20 ok
+}
+
+// ExampleSplit shows the intra-frame sharding pattern the encoder
+// uses: contiguous row spans, one accumulator per shard, merged in
+// span order so totals match the serial run exactly.
+func ExampleSplit() {
+	const mbRows = 9 // QCIF macroblock rows
+	spans := parallel.Split(mbRows, 4)
+	work := make([]int, len(spans))
+	parallel.ForEach(len(spans), len(spans), func(shard int) {
+		for row := spans[shard].Lo; row < spans[shard].Hi; row++ {
+			work[shard] += row // stands in for per-row SAD statistics
+		}
+	})
+	total := 0
+	for _, w := range work {
+		total += w
+	}
+	fmt.Println(len(spans), "shards, total", total)
+	// Output:
+	// 4 shards, total 36
+}

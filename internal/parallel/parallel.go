@@ -1,0 +1,142 @@
+// Package parallel provides the bounded worker pool behind the
+// repository's two levels of concurrency: the experiment fan-out
+// (cmd/pbpair-sweep, -sim and -figures run independent (scheme, PLR,
+// seed, sequence) configurations concurrently) and the encoder's
+// intra-frame sharding (codec.Encoder splits motion estimation across
+// macroblock-row shards).
+//
+// Key entry points: ForEach runs an indexed function over [0, n) on a
+// bounded number of goroutines; Map does the same while collecting
+// results into an order-preserving slice; Split partitions an index
+// range into contiguous spans for shard-local accumulation.
+//
+// Invariant — determinism by construction: work distribution is the
+// ONLY nondeterministic ingredient here, and none of it can leak into
+// results. ForEach gives no ordering guarantee, so callers write
+// result i to slot i of a pre-sized slice (Map enforces exactly that),
+// and per-shard accumulators are merged in shard order after the pool
+// drains. Map's error selection is by lowest index, not by arrival
+// time. Consequently every caller in this repository produces
+// byte-identical output for any worker count — the property the codec
+// golden tests and the sweep CSV tests pin down.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the default pool size: GOMAXPROCS, the number
+// of OS threads the Go scheduler will actually run concurrently.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Workers normalises a worker-count knob against a job count: values
+// <= 0 select DefaultWorkers, and the result is clamped to [1, n] so a
+// pool never holds idle goroutines (n <= 0 yields 1).
+func Workers(workers, n int) int {
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ForEach invokes fn(i) exactly once for every i in [0, n), using at
+// most Workers(workers, n) goroutines, and returns when all calls have
+// completed. Indices are claimed dynamically, so callers must not rely
+// on any ordering between calls; determinism comes from writing
+// outputs into index-addressed slots. With one worker (or n <= 1) fn
+// runs on the calling goroutine with no synchronisation overhead.
+func ForEach(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map runs fn(i) for every i in [0, n) on the pool and returns the
+// results in index order. All n calls run to completion even when some
+// fail; if any call returned an error, Map returns nil and the error
+// of the lowest failing index — a deterministic choice, unlike
+// first-to-arrive.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	ForEach(workers, n, func(i int) {
+		out[i], errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Span is a contiguous half-open index range [Lo, Hi).
+type Span struct {
+	Lo, Hi int
+}
+
+// Len returns the number of indices in the span.
+func (s Span) Len() int { return s.Hi - s.Lo }
+
+// Split partitions [0, n) into at most shards contiguous spans of
+// near-equal size (sizes differ by at most one, larger spans first).
+// It returns nil for n <= 0 and a single span for shards <= 1. The
+// partition depends only on (n, shards), so per-shard accumulators
+// merged in span order produce identical totals for any schedule.
+func Split(n, shards int) []Span {
+	if n <= 0 {
+		return nil
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	if shards > n {
+		shards = n
+	}
+	spans := make([]Span, shards)
+	base, rem := n/shards, n%shards
+	lo := 0
+	for i := range spans {
+		size := base
+		if i < rem {
+			size++
+		}
+		spans[i] = Span{Lo: lo, Hi: lo + size}
+		lo += size
+	}
+	return spans
+}

@@ -1,0 +1,185 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersNormalisation(t *testing.T) {
+	cases := []struct {
+		workers, n int
+		want       int
+	}{
+		{0, 100, DefaultWorkers()},
+		{-3, 100, DefaultWorkers()},
+		{4, 100, 4},
+		{8, 3, 3}, // capped at job count
+		{8, 0, 1}, // degenerate job count
+		{1, 100, 1},
+	}
+	for _, tc := range cases {
+		if got := Workers(tc.workers, tc.n); got != tc.want {
+			t.Errorf("Workers(%d, %d) = %d, want %d", tc.workers, tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestForEachCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8, 100} {
+		const n = 257
+		counts := make([]int32, n)
+		ForEach(workers, n, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	const workers, n = 3, 64
+	var running, peak int32
+	var mu sync.Mutex
+	ForEach(workers, n, func(int) {
+		now := atomic.AddInt32(&running, 1)
+		mu.Lock()
+		if now > peak {
+			peak = now
+		}
+		mu.Unlock()
+		atomic.AddInt32(&running, -1)
+	})
+	if peak > workers {
+		t.Errorf("observed %d concurrent calls, pool bounded at %d", peak, workers)
+	}
+}
+
+func TestForEachZeroAndNegativeN(t *testing.T) {
+	called := false
+	ForEach(4, 0, func(int) { called = true })
+	ForEach(4, -5, func(int) { called = true })
+	if called {
+		t.Error("fn called for empty index range")
+	}
+}
+
+func TestMapPreservesOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		got, err := Map(workers, 50, func(i int) (int, error) { return i * i, nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("index 7")
+	errB := errors.New("index 31")
+	for _, workers := range []int{1, 4} {
+		_, err := Map(workers, 40, func(i int) (int, error) {
+			switch i {
+			case 7:
+				return 0, errA
+			case 31:
+				return 0, errB
+			}
+			return i, nil
+		})
+		if err != errA {
+			t.Errorf("workers=%d: got error %v, want lowest-index error %v", workers, err, errA)
+		}
+	}
+}
+
+func TestMapEmpty(t *testing.T) {
+	out, err := Map(4, 0, func(int) (string, error) { return "", fmt.Errorf("never") })
+	if err != nil || out != nil {
+		t.Errorf("Map over empty range = (%v, %v), want (nil, nil)", out, err)
+	}
+}
+
+func TestSplitPartitions(t *testing.T) {
+	cases := []struct {
+		n, shards int
+		want      []Span
+	}{
+		{0, 4, nil},
+		{-1, 4, nil},
+		{5, 1, []Span{{0, 5}}},
+		{5, 0, []Span{{0, 5}}},
+		{3, 8, []Span{{0, 1}, {1, 2}, {2, 3}}}, // shards capped at n
+		{10, 3, []Span{{0, 4}, {4, 7}, {7, 10}}},
+		{9, 3, []Span{{0, 3}, {3, 6}, {6, 9}}},
+	}
+	for _, tc := range cases {
+		got := Split(tc.n, tc.shards)
+		if len(got) != len(tc.want) {
+			t.Errorf("Split(%d, %d) = %v, want %v", tc.n, tc.shards, got, tc.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != tc.want[i] {
+				t.Errorf("Split(%d, %d)[%d] = %v, want %v", tc.n, tc.shards, i, got[i], tc.want[i])
+			}
+		}
+	}
+}
+
+// TestSplitIsExhaustiveAndContiguous checks the partition invariant
+// for a spread of sizes: spans are adjacent, ordered, non-empty and
+// cover [0, n) exactly.
+func TestSplitIsExhaustiveAndContiguous(t *testing.T) {
+	for n := 1; n <= 40; n++ {
+		for shards := 1; shards <= 10; shards++ {
+			spans := Split(n, shards)
+			lo := 0
+			for _, s := range spans {
+				if s.Lo != lo || s.Len() < 1 {
+					t.Fatalf("Split(%d, %d) = %v: bad span %v at offset %d", n, shards, spans, s, lo)
+				}
+				lo = s.Hi
+			}
+			if lo != n {
+				t.Fatalf("Split(%d, %d) covers [0, %d), want [0, %d)", n, shards, lo, n)
+			}
+		}
+	}
+}
+
+// TestShardMergeDeterminism is the usage pattern the encoder relies
+// on: per-shard accumulators merged in span order give the same total
+// as a serial run, for any worker count.
+func TestShardMergeDeterminism(t *testing.T) {
+	const n = 97
+	serial := 0
+	for i := 0; i < n; i++ {
+		serial += i * i
+	}
+	for _, workers := range []int{1, 2, 5, 16} {
+		spans := Split(n, workers)
+		sums := make([]int, len(spans))
+		ForEach(len(spans), len(spans), func(shard int) {
+			for i := spans[shard].Lo; i < spans[shard].Hi; i++ {
+				sums[shard] += i * i
+			}
+		})
+		total := 0
+		for _, s := range sums {
+			total += s
+		}
+		if total != serial {
+			t.Errorf("workers=%d: sharded total %d != serial %d", workers, total, serial)
+		}
+	}
+}

@@ -15,7 +15,9 @@
 //
 // Frames are pure functions of (sequence parameters, frame index), so
 // any frame can be regenerated independently and tests are exactly
-// reproducible.
+// reproducible. The purity also makes every Source safe for concurrent
+// use: the experiment fan-out (internal/parallel) calls Frame from many
+// goroutines without synchronisation.
 package synth
 
 // Value-noise texture sampling. A 2-D lattice of pseudo-random values
