@@ -6,7 +6,11 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race bench check
+.PHONY: all build fmt vet test race bench fuzz check
+
+# Seconds each fuzz target runs under `make fuzz` (CI uses the same
+# smoke budget; raise it locally for a real fuzzing session).
+FUZZTIME ?= 5s
 
 all: check
 
@@ -30,5 +34,13 @@ race:
 # Reduced-scale reproduction of every figure benchmark.
 bench:
 	$(GO) test -bench . -benchtime 1x
+
+# Short fuzz smoke over every fuzz target (decoder, entropy reader,
+# stream container). Each target gets FUZZTIME.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzDecodeFrame -fuzztime $(FUZZTIME) ./internal/codec/
+	$(GO) test -run xxx -fuzz FuzzReadEvent -fuzztime $(FUZZTIME) ./internal/entropy/
+	$(GO) test -run xxx -fuzz FuzzReadUE -fuzztime $(FUZZTIME) ./internal/entropy/
+	$(GO) test -run xxx -fuzz FuzzReader -fuzztime $(FUZZTIME) ./internal/stream/
 
 check: build fmt vet test race

@@ -1,0 +1,180 @@
+// Command pbpair-load drives a pbpair-serve instance: it runs N
+// concurrent receiver clients, each requesting a stream, injecting a
+// scripted receiver-side loss pattern (constant, step or ramp), and
+// sending the loss reports that close the server's adaptation loop.
+//
+//	pbpair-load -server 127.0.0.1:9800 -clients 4 -frames 300 \
+//	    -loss step:0.05,0.30,150 -decode
+//
+// Injected drops are applied before the loss monitor sees the packet,
+// so to the feedback loop they are indistinguishable from wire loss:
+// the server's α̂ tracks the schedule and Intra_Th is retuned live.
+// With -decode each client also decodes what arrives and reports mean
+// PSNR against the regenerated originals.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+
+	"pbpair/internal/parallel"
+	"pbpair/internal/serve"
+	"pbpair/internal/synth"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:9800", "pbpair-serve UDP address")
+	clients := flag.Int("clients", 1, "concurrent client sessions")
+	frames := flag.Int("frames", 300, "frames per session")
+	regime := flag.String("regime", "foreman", "content regime: akiyo, foreman, garden, hall or mobile")
+	qp := flag.Int("qp", 0, "requested quantiser (0 = server default)")
+	reportEvery := flag.Int("report-every", 8, "send a loss report every N frames (-1 = no feedback, the open-loop ablation)")
+	fecGroup := flag.Int("fec", 0, "request XOR parity every N media packets (0 = off)")
+	interleave := flag.Int("interleave", 0, "request n-way GOB interleaving (0/1 = off)")
+	loss := flag.String("loss", "0", "injected loss: RATE | step:BEFORE,AFTER,FRAME | ramp:FROM,TO,START,END")
+	seed := flag.Uint64("seed", 1, "loss pattern seed (client i uses seed+i)")
+	decode := flag.Bool("decode", false, "decode received streams and score PSNR")
+	flag.Parse()
+
+	reg, err := parseRegime(*regime)
+	if err != nil {
+		log.Fatalf("pbpair-load: %v", err)
+	}
+	sched, err := parseLoss(*loss)
+	if err != nil {
+		log.Fatalf("pbpair-load: %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		log.Printf("pbpair-load: interrupted, cancelling clients")
+		cancel()
+	}()
+
+	type outcome struct {
+		sum *serve.ClientSummary
+		err error
+	}
+	results := make([]outcome, *clients)
+	// One goroutine per client: the run is I/O-bound waiting on media,
+	// so every session streams concurrently regardless of core count.
+	parallel.ForEach(*clients, *clients, func(i int) {
+		sum, err := serve.RunClient(ctx, serve.ClientConfig{
+			Server:      *server,
+			Frames:      *frames,
+			Regime:      reg,
+			QP:          *qp,
+			ReportEvery: *reportEvery,
+			FECGroup:    *fecGroup,
+			Interleave:  *interleave,
+			Drop:        sched,
+			Seed:        *seed + uint64(i),
+			Decode:      *decode,
+		})
+		results[i] = outcome{sum, err}
+	})
+
+	failed := 0
+	var frameSum, pktSum, byteSum, dropSum, recoveredSum int64
+	var psnrSum float64
+	psnrN := 0
+	for i, r := range results {
+		if r.err != nil {
+			failed++
+			log.Printf("client %d: %v", i, r.err)
+			if r.sum == nil {
+				continue
+			}
+		}
+		s := r.sum
+		line := fmt.Sprintf("client %d: session %d, %d/%d frames in %v, %d pkts (%d recovered), %d injected drops, %d reports",
+			i, s.Session, s.FramesFlushed, s.FramesRequested, s.Elapsed.Round(1000000),
+			s.PacketsReceived, s.PacketsRecovered, s.InjectedDrops, s.Reports)
+		if s.FramesDecoded > 0 {
+			line += fmt.Sprintf(", mean PSNR %.2f dB", s.MeanPSNR())
+			psnrSum += s.MeanPSNR()
+			psnrN++
+		}
+		fmt.Println(line)
+		frameSum += int64(s.FramesFlushed)
+		pktSum += s.PacketsReceived
+		byteSum += s.Bytes
+		dropSum += s.InjectedDrops
+		recoveredSum += s.PacketsRecovered
+	}
+	fmt.Printf("total: %d clients, %d frames, %d pkts, %.2f MB, %d injected drops, %d FEC-recovered\n",
+		*clients, frameSum, pktSum, float64(byteSum)/1e6, dropSum, recoveredSum)
+	if psnrN > 0 {
+		fmt.Printf("mean PSNR across clients: %.2f dB\n", psnrSum/float64(psnrN))
+	}
+	if failed > 0 {
+		log.Fatalf("pbpair-load: %d/%d clients failed", failed, *clients)
+	}
+}
+
+func parseRegime(name string) (synth.Regime, error) {
+	for _, r := range []synth.Regime{
+		synth.RegimeAkiyo, synth.RegimeForeman, synth.RegimeGarden,
+		synth.RegimeHall, synth.RegimeMobile,
+	} {
+		if r.String() == name {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown regime %q (want akiyo, foreman, garden, hall or mobile)", name)
+}
+
+// parseLoss understands "0.1", "step:0.05,0.30,150" and
+// "ramp:0,0.4,100,200".
+func parseLoss(s string) (serve.LossSchedule, error) {
+	bad := func() error {
+		return fmt.Errorf("bad -loss %q (want RATE, step:BEFORE,AFTER,FRAME or ramp:FROM,TO,START,END)", s)
+	}
+	switch {
+	case strings.HasPrefix(s, "step:"):
+		parts := strings.Split(strings.TrimPrefix(s, "step:"), ",")
+		if len(parts) != 3 {
+			return nil, bad()
+		}
+		before, err1 := strconv.ParseFloat(parts[0], 64)
+		after, err2 := strconv.ParseFloat(parts[1], 64)
+		at, err3 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, bad()
+		}
+		return serve.StepLoss{Before: before, After: after, At: at}, nil
+	case strings.HasPrefix(s, "ramp:"):
+		parts := strings.Split(strings.TrimPrefix(s, "ramp:"), ",")
+		if len(parts) != 4 {
+			return nil, bad()
+		}
+		from, err1 := strconv.ParseFloat(parts[0], 64)
+		to, err2 := strconv.ParseFloat(parts[1], 64)
+		start, err3 := strconv.Atoi(parts[2])
+		end, err4 := strconv.Atoi(parts[3])
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
+			return nil, bad()
+		}
+		return serve.RampLoss{From: from, To: to, Start: start, End: end}, nil
+	default:
+		rate, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			return nil, bad()
+		}
+		if rate == 0 {
+			return nil, nil
+		}
+		return serve.ConstLoss(rate), nil
+	}
+}

@@ -1,0 +1,129 @@
+// Command pbpair-serve runs the closed-loop PBPAIR streaming server:
+// it listens for pbpair-load clients on UDP, encodes synthetic content
+// live per session, and retunes each session's Intra_Th from the
+// receiver's packet-loss reports (the paper's §3.2 feedback loop).
+//
+// Per-session and server-level counters are exported as JSON on the
+// observability endpoint:
+//
+//	pbpair-serve -addr 127.0.0.1:9800 -obs 127.0.0.1:9801 &
+//	curl http://127.0.0.1:9801/metrics
+//
+// The server runs until SIGINT/SIGTERM, then shuts down gracefully:
+// admission stops, live sessions drain their queues and announce the
+// end of their streams, and only then does the socket close.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pbpair/internal/motion"
+	"pbpair/internal/obs"
+	"pbpair/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:9800", "UDP address to serve media on")
+	obsAddr := flag.String("obs", "", "HTTP address for the /metrics observability endpoint (empty = off)")
+	maxSessions := flag.Int("max-sessions", 8, "admission cap: concurrent session limit")
+	queueFrames := flag.Int("queue", 32, "per-session send queue capacity in frames (drop-oldest beyond)")
+	mtu := flag.Int("mtu", 1400, "media packet payload limit in bytes")
+	interval := flag.Duration("frame-interval", 33*time.Millisecond, "encode pacing per frame (0 = unpaced)")
+	sessionTimeout := flag.Duration("session-timeout", 10*time.Minute, "hard per-session deadline")
+	reportTimeout := flag.Duration("report-timeout", 30*time.Second, "abort a session with no receiver feedback for this long (0 = off)")
+	workers := flag.Int("workers", 1, "encoder workers per session (intra-frame sharding)")
+	search := flag.String("search", "tss", "motion search: tss (three-step) or full")
+	weight := flag.Float64("estimator-weight", 0.35, "EMA weight folding receiver reports into α̂")
+	refresh := flag.Float64("refresh-interval", 6, "quality controller target refresh interval n* (frames)")
+	similarity := flag.Float64("similarity", 0.75, "quality controller content similarity factor s")
+	energyBudget := flag.Float64("energy-budget", 0, "per-frame encode energy budget in joules (0 = no energy controller)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain budget")
+	quiet := flag.Bool("quiet", false, "suppress per-session log lines")
+	flag.Parse()
+
+	var kind motion.SearchKind
+	switch *search {
+	case "tss", "threestep":
+		kind = motion.ThreeStep
+	case "full":
+		kind = motion.FullSearch
+	default:
+		log.Fatalf("pbpair-serve: unknown -search %q (want tss or full)", *search)
+	}
+
+	logf := log.Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	reg := obs.NewRegistry()
+	srv, err := serve.New(serve.Config{
+		Addr:            *addr,
+		MaxSessions:     *maxSessions,
+		QueueFrames:     *queueFrames,
+		MTU:             *mtu,
+		FrameInterval:   *interval,
+		SessionTimeout:  *sessionTimeout,
+		ReportTimeout:   *reportTimeout,
+		Workers:         *workers,
+		Search:          kind,
+		EstimatorWeight: *weight,
+		RefreshInterval: *refresh,
+		Similarity:      *similarity,
+		EnergyBudget:    *energyBudget,
+		Registry:        reg,
+		Logf:            logf,
+	})
+	if err != nil {
+		log.Fatalf("pbpair-serve: %v", err)
+	}
+	log.Printf("pbpair-serve: listening on %s (max %d sessions)", srv.Addr(), *maxSessions)
+
+	var obsSrv *http.Server
+	if *obsAddr != "" {
+		ln, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			log.Fatalf("pbpair-serve: obs listen: %v", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg)
+		obsSrv = &http.Server{Handler: mux}
+		go func() {
+			if err := obsSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				log.Printf("pbpair-serve: obs endpoint: %v", err)
+			}
+		}()
+		log.Printf("pbpair-serve: metrics on http://%s/metrics", ln.Addr())
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("pbpair-serve: shutting down (draining up to %v)...", *drainTimeout)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("pbpair-serve: %v", err)
+	}
+	if obsSrv != nil {
+		obsSrv.Shutdown(context.Background())
+	}
+	for _, sum := range srv.Summaries() {
+		outcome := "ok"
+		if sum.Err != "" {
+			outcome = sum.Err
+		}
+		fmt.Printf("session %d %s: %d/%d frames, %d pkts, %d intra MBs, %.1f J, final α̂=%.3f Th=%.3f (%s)\n",
+			sum.ID, sum.Client, sum.FramesEncoded, sum.FramesRequested, sum.PacketsSent,
+			sum.IntraMBs, sum.EnergyJoules, sum.FinalAlpha, sum.FinalIntraTh, outcome)
+	}
+}

@@ -60,6 +60,28 @@ func (e *PLREstimator) Observe(lost bool) {
 	e.rate += e.weight * (v - e.rate)
 }
 
+// ObserveReport folds one interval report — the fraction of packets
+// lost over a receiver's report window, the quantity an RTCP receiver
+// report carries — into the estimate with the same smoothing weight as
+// a single Observe. Because each report summarises many packets,
+// estimators fed by reports want a much larger weight than estimators
+// fed per-packet (0.3–0.5 versus 0.05); choose it at construction.
+// Fractions outside [0, 1] are clamped.
+func (e *PLREstimator) ObserveReport(fraction float64) {
+	if fraction < 0 {
+		fraction = 0
+	}
+	if fraction > 1 {
+		fraction = 1
+	}
+	if !e.seeded {
+		e.rate = fraction
+		e.seeded = true
+		return
+	}
+	e.rate += e.weight * (fraction - e.rate)
+}
+
 // Rate returns the current loss-rate estimate α̂ in [0, 1].
 func (e *PLREstimator) Rate() float64 { return e.rate }
 

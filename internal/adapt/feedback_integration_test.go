@@ -1,0 +1,123 @@
+package adapt_test
+
+// Integration of the two halves of the paper's §3.2 feedback loop that
+// are otherwise only tested in isolation: the receiver-side
+// network.LossMonitor (sequence-gap loss inference) feeding the
+// sender-side adapt.PLREstimator (smoothed α̂) through RTCP-style
+// interval reports — exactly the dataflow internal/serve runs over a
+// real socket.
+
+import (
+	"math"
+	"testing"
+
+	"pbpair/internal/adapt"
+	"pbpair/internal/network"
+)
+
+// lossRNG is a tiny deterministic splitmix64 so the injected loss
+// pattern is a pure function of the seed.
+type lossRNG struct{ s uint64 }
+
+func (r *lossRNG) float64() float64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}
+
+// runLoop pushes packets seq in [from, to) through a lossy wire into
+// the monitor, folding an interval report into the estimator every
+// reportEvery received-or-lost packets.
+func runLoop(t *testing.T, mon *network.LossMonitor, est *adapt.PLREstimator,
+	rng *lossRNG, alpha float64, from, to, reportEvery int) {
+	t.Helper()
+	for seq := from; seq < to; seq++ {
+		if rng.float64() < alpha {
+			continue // lost on the wire: the monitor sees only a gap
+		}
+		mon.Observe(seq)
+		if seq%reportEvery == reportEvery-1 {
+			est.ObserveReport(mon.Rate())
+			mon.Reset()
+		}
+	}
+}
+
+func TestMonitorFeedsEstimatorConverges(t *testing.T) {
+	const (
+		alpha       = 0.2
+		packets     = 5000
+		reportEvery = 50
+	)
+	est, err := adapt.NewPLREstimator(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mon network.LossMonitor
+	rng := &lossRNG{s: 42}
+
+	runLoop(t, &mon, est, rng, alpha, 0, packets, reportEvery)
+
+	if got := est.Rate(); math.Abs(got-alpha) > 0.08 {
+		t.Fatalf("α̂ = %.4f after %d packets at α = %.2f; want within 0.08", got, packets, alpha)
+	}
+}
+
+func TestMonitorFeedsEstimatorTracksStep(t *testing.T) {
+	const (
+		alphaLow    = 0.05
+		alphaHigh   = 0.30
+		half        = 3000
+		reportEvery = 50
+	)
+	est, err := adapt.NewPLREstimator(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mon network.LossMonitor
+	rng := &lossRNG{s: 7}
+
+	runLoop(t, &mon, est, rng, alphaLow, 0, half, reportEvery)
+	before := est.Rate()
+	if math.Abs(before-alphaLow) > 0.06 {
+		t.Fatalf("pre-step α̂ = %.4f, want near %.2f", before, alphaLow)
+	}
+
+	runLoop(t, &mon, est, rng, alphaHigh, half, 2*half, reportEvery)
+	after := est.Rate()
+	if after <= before {
+		t.Fatalf("α̂ did not rise across the loss step: %.4f → %.4f", before, after)
+	}
+	if math.Abs(after-alphaHigh) > 0.08 {
+		t.Fatalf("post-step α̂ = %.4f, want within 0.08 of %.2f", after, alphaHigh)
+	}
+}
+
+// TestMonitorFeedsController closes the remaining link: the converged
+// α̂ drives QualityController.IntraTh in the controller's direction —
+// higher loss means faster σ decay, so holding the refresh interval
+// requires a *lower* threshold Th = (1−α)^{n*} (the §3.2 rule the
+// adaptive example prints).
+func TestMonitorFeedsController(t *testing.T) {
+	ctl, err := adapt.NewQualityController(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ths []float64
+	for _, alpha := range []float64{0.02, 0.1, 0.3} {
+		est, err := adapt.NewPLREstimator(0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var mon network.LossMonitor
+		rng := &lossRNG{s: 99}
+		runLoop(t, &mon, est, rng, alpha, 0, 4000, 50)
+		ths = append(ths, ctl.IntraTh(est.Rate()))
+	}
+	if !(ths[0] > ths[1] && ths[1] > ths[2]) {
+		t.Fatalf("Intra_Th not monotone decreasing in measured loss: %v", ths)
+	}
+}

@@ -18,6 +18,13 @@ package energy
 // the encoder's sharded motion search accumulates per-shard counts and
 // Adds them in shard order, giving totals identical to a serial run,
 // and a per-frame delta is just the Sub of two snapshots.
+//
+// Concurrency contract: the fields are plain int64s, not atomics, so a
+// live tally has exactly one owning writer (the encoder goroutine it
+// is registered with). Goroutines that need to observe a tally someone
+// else is mutating — observability exporters in particular — must read
+// a snapshot the owner publishes through SharedCounters rather than
+// the live struct.
 type Counters struct {
 	SADPixelOps   int64 // per-pixel |a−b| operations inside ME (early exit honoured)
 	SADCalls      int64 // block-SAD evaluations started

@@ -1,0 +1,40 @@
+package energy
+
+import "sync/atomic"
+
+// SharedCounters publishes point-in-time snapshots of a Counters tally
+// across goroutines without making every hot-path increment atomic.
+//
+// Ownership contract: a Counters value has exactly one writer — the
+// encoder goroutine that registered it via codec.Config.Counters
+// mutates its plain int64 fields with no synchronisation, which is
+// only sound while nobody else reads them concurrently. Any other
+// goroutine (an observability exporter, a monitoring endpoint, a test)
+// must read through a SharedCounters the owner publishes into at frame
+// boundaries: Publish stores a copy behind an atomic pointer, Load
+// returns the copy, and the owner keeps sole access to the live tally.
+// The snapshot is internally consistent (a whole-struct copy taken
+// between frames), at most one frame stale, and race-free by
+// construction.
+//
+// The zero value is ready to use; Load before any Publish returns an
+// empty tally.
+type SharedCounters struct {
+	p atomic.Pointer[Counters]
+}
+
+// Publish makes a snapshot of c visible to Load callers. Only the
+// goroutine that owns the live tally may call Publish.
+func (s *SharedCounters) Publish(c Counters) {
+	cp := c
+	s.p.Store(&cp)
+}
+
+// Load returns the most recently published snapshot, or a zero tally
+// if nothing has been published yet. Safe to call from any goroutine.
+func (s *SharedCounters) Load() Counters {
+	if p := s.p.Load(); p != nil {
+		return *p
+	}
+	return Counters{}
+}

@@ -1,0 +1,59 @@
+package energy
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSharedCountersZeroValue(t *testing.T) {
+	var s SharedCounters
+	if got := s.Load(); got != (Counters{}) {
+		t.Fatalf("Load before Publish = %+v, want zero tally", got)
+	}
+}
+
+func TestSharedCountersSnapshotIsolation(t *testing.T) {
+	var s SharedCounters
+	live := Counters{Frames: 1, MBs: 99}
+	s.Publish(live)
+	live.Frames = 2 // owner keeps mutating the live tally
+	if got := s.Load(); got.Frames != 1 || got.MBs != 99 {
+		t.Fatalf("snapshot mutated along with live tally: %+v", got)
+	}
+}
+
+// TestSharedCountersConcurrent exercises the publish/load pattern the
+// serving layer uses — an encoder goroutine mutating its private tally
+// and publishing per frame, exporters reading concurrently. Run under
+// -race this pins the race-freedom claim in the ownership contract.
+func TestSharedCountersConcurrent(t *testing.T) {
+	var s SharedCounters
+	const frames = 200
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		var live Counters // single writer
+		for i := 0; i < frames; i++ {
+			live.Frames++
+			live.MBs += 99
+			live.SADPixelOps += 12345
+			s.Publish(live)
+		}
+	}()
+	for r := 0; r < 2; r++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < frames; i++ {
+				c := s.Load()
+				// Snapshots must be internally consistent: MBs moves in
+				// lockstep with Frames.
+				if c.MBs != c.Frames*99 {
+					t.Errorf("torn snapshot: Frames=%d MBs=%d", c.Frames, c.MBs)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -47,7 +47,10 @@ func ReadUE(r *bitstream.Reader) (uint32, error) {
 			break
 		}
 		zeros++
-		if zeros > 31 {
+		// WriteUE never emits more than 29 zeros (v+1 < 2^30), so a
+		// longer prefix is corruption; accepting it would also let the
+		// decoded value overflow maxUE.
+		if zeros > 29 {
 			return 0, fmt.Errorf("entropy: ue prefix too long (corrupt stream)")
 		}
 	}

@@ -1,0 +1,98 @@
+package network
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Wire serialisation for Packet, used by the serving layer to carry
+// packets over real UDP sockets. The layout is RTP-in-spirit and
+// self-describing enough to round-trip FEC parity packets (whose
+// recovery metadata would otherwise be lost at the socket boundary):
+//
+//	u32 seq | u32 frame | u8 flags | [parity header] | payload
+//
+// flags bit 0 is the RTP marker bit; bit 1 marks a parity packet, in
+// which case a fixed 17-byte parity header follows:
+//
+//	u32 coverFrom | u32 coverTo | u32 lenXOR | u32 frameXOR | u8 markerXOR
+//
+// All integers are big-endian (network order).
+
+const (
+	wireHeaderLen       = 9
+	wireParityHeaderLen = 17
+
+	wireFlagMarker = 1 << 0
+	wireFlagParity = 1 << 1
+)
+
+// AppendWire appends the wire encoding of p to buf and returns the
+// extended slice.
+func (p Packet) AppendWire(buf []byte) []byte {
+	var hdr [wireHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(p.Seq))
+	binary.BigEndian.PutUint32(hdr[4:8], uint32(p.FrameNum))
+	if p.Marker {
+		hdr[8] |= wireFlagMarker
+	}
+	if p.Parity != nil {
+		hdr[8] |= wireFlagParity
+	}
+	buf = append(buf, hdr[:]...)
+	if p.Parity != nil {
+		var ph [wireParityHeaderLen]byte
+		binary.BigEndian.PutUint32(ph[0:4], uint32(p.Parity.CoverFrom))
+		binary.BigEndian.PutUint32(ph[4:8], uint32(p.Parity.CoverTo))
+		binary.BigEndian.PutUint32(ph[8:12], uint32(p.Parity.LenXOR))
+		binary.BigEndian.PutUint32(ph[12:16], uint32(p.Parity.FrameXOR))
+		if p.Parity.MarkerXOR {
+			ph[16] = 1
+		}
+		buf = append(buf, ph[:]...)
+	}
+	return append(buf, p.Payload...)
+}
+
+// WireSize returns the encoded length of p in bytes.
+func (p Packet) WireSize() int {
+	n := wireHeaderLen + len(p.Payload)
+	if p.Parity != nil {
+		n += wireParityHeaderLen
+	}
+	return n
+}
+
+// ParseWire decodes one wire-encoded packet. The payload is copied, so
+// the result does not alias buf (UDP read buffers are reused).
+func ParseWire(buf []byte) (Packet, error) {
+	if len(buf) < wireHeaderLen {
+		return Packet{}, fmt.Errorf("network: wire packet truncated at %d bytes", len(buf))
+	}
+	p := Packet{
+		Seq:      int(binary.BigEndian.Uint32(buf[0:4])),
+		FrameNum: int(binary.BigEndian.Uint32(buf[4:8])),
+		Marker:   buf[8]&wireFlagMarker != 0,
+	}
+	rest := buf[wireHeaderLen:]
+	if buf[8]&wireFlagParity != 0 {
+		if len(rest) < wireParityHeaderLen {
+			return Packet{}, fmt.Errorf("network: parity header truncated at %d bytes", len(rest))
+		}
+		p.Parity = &parityInfo{
+			CoverFrom: int(binary.BigEndian.Uint32(rest[0:4])),
+			CoverTo:   int(binary.BigEndian.Uint32(rest[4:8])),
+			LenXOR:    int(binary.BigEndian.Uint32(rest[8:12])),
+			FrameXOR:  int(binary.BigEndian.Uint32(rest[12:16])),
+			MarkerXOR: rest[16] == 1,
+		}
+		rest = rest[wireParityHeaderLen:]
+	}
+	p.Payload = append([]byte(nil), rest...)
+	return p, nil
+}
+
+// IsParity reports whether p is an FEC parity packet. Receivers use it
+// to keep parity packets out of sequence-gap loss accounting (a parity
+// packet shares its last covered media packet's seq).
+func (p Packet) IsParity() bool { return p.Parity != nil }

@@ -1,0 +1,77 @@
+package network
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestWireRoundTripMedia(t *testing.T) {
+	in := Packet{Seq: 7, FrameNum: 3, Marker: true, Payload: []byte{1, 2, 3, 4}}
+	buf := in.AppendWire(nil)
+	if len(buf) != in.WireSize() {
+		t.Fatalf("encoded %d bytes, WireSize says %d", len(buf), in.WireSize())
+	}
+	out, err := ParseWire(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Seq != in.Seq || out.FrameNum != in.FrameNum || out.Marker != in.Marker ||
+		!bytes.Equal(out.Payload, in.Payload) || out.Parity != nil {
+		t.Fatalf("round trip mismatch: %+v → %+v", in, out)
+	}
+	// Parsed payload must not alias the wire buffer.
+	buf[len(buf)-1] ^= 0xFF
+	if !bytes.Equal(out.Payload, in.Payload) {
+		t.Fatal("parsed payload aliases the wire buffer")
+	}
+}
+
+func TestWireRoundTripParity(t *testing.T) {
+	enc, err := NewFECEncoder(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	media := []Packet{
+		{Seq: 10, FrameNum: 5, Payload: []byte{0xAA, 0xBB}},
+		{Seq: 11, FrameNum: 5, Marker: true, Payload: []byte{0xCC}},
+	}
+	out := enc.Protect(media)
+	if len(out) != 3 || out[2].Parity == nil {
+		t.Fatalf("expected 2 media + 1 parity, got %d packets", len(out))
+	}
+	parity := out[2]
+
+	got, err := ParseWire(parity.AppendWire(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Parity == nil {
+		t.Fatal("parity metadata lost on the wire")
+	}
+	if *got.Parity != *parity.Parity {
+		t.Fatalf("parity metadata mismatch: %+v → %+v", *parity.Parity, *got.Parity)
+	}
+	if !bytes.Equal(got.Payload, parity.Payload) {
+		t.Fatal("parity payload mismatch")
+	}
+
+	// The round-tripped parity packet must still recover a single loss.
+	recovered := RecoverFEC([]Packet{out[0], got}) // out[1] lost
+	if len(recovered) != 2 {
+		t.Fatalf("recovered %d packets, want 2", len(recovered))
+	}
+	if !bytes.Equal(recovered[1].Payload, media[1].Payload) || !recovered[1].Marker {
+		t.Fatalf("FEC recovery through the wire codec failed: %+v", recovered[1])
+	}
+}
+
+func TestParseWireTruncated(t *testing.T) {
+	if _, err := ParseWire([]byte{1, 2, 3}); err == nil {
+		t.Fatal("want error for truncated header")
+	}
+	p := Packet{Seq: 1, Parity: &parityInfo{CoverFrom: 0, CoverTo: 1}}
+	buf := p.AppendWire(nil)
+	if _, err := ParseWire(buf[:10]); err == nil {
+		t.Fatal("want error for truncated parity header")
+	}
+}

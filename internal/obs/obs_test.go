@@ -1,0 +1,118 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("packets")
+	c.Add(3)
+	r.Counter("packets").Add(2) // same instance on re-lookup
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("alpha")
+	g.Set(0.25)
+	if got := r.Gauge("alpha").Value(); got != 0.25 {
+		t.Fatalf("gauge = %v, want 0.25", got)
+	}
+}
+
+func TestKindClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge should panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 90; i++ {
+		h.Observe(100 * time.Microsecond) // bucket [64µs, 128µs)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(5 * time.Millisecond) // bucket [4096µs, 8192µs)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if p50 := h.Quantile(0.50); p50 != 128*time.Microsecond {
+		t.Fatalf("p50 = %v, want 128µs bucket edge", p50)
+	}
+	if p99 := h.Quantile(0.99); p99 != 8192*time.Microsecond {
+		t.Fatalf("p99 = %v, want 8192µs bucket edge", p99)
+	}
+	if mean := h.Mean(); mean < 400*time.Microsecond || mean > 800*time.Microsecond {
+		t.Fatalf("mean = %v, want ≈ 590µs", mean)
+	}
+}
+
+func TestRemovePrefix(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("s1.frames")
+	r.Gauge("s1.alpha")
+	r.Counter("s2.frames")
+	r.Counter("server.sessions")
+	if n := r.RemovePrefix("s1."); n != 2 {
+		t.Fatalf("removed %d metrics, want 2", n)
+	}
+	snap := r.Snapshot()
+	if _, ok := snap["s1.frames"]; ok {
+		t.Fatal("s1.frames survived RemovePrefix")
+	}
+	if _, ok := snap["s2.frames"]; !ok {
+		t.Fatal("s2.frames removed by mistake")
+	}
+}
+
+func TestServeHTTPValidSortedJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b.count").Add(7)
+	r.Gauge("a.level").Set(1.5)
+	r.Histogram("lat").Observe(time.Millisecond)
+
+	rec := httptest.NewRecorder()
+	r.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	var decoded map[string]float64
+	if err := json.Unmarshal(rec.Body.Bytes(), &decoded); err != nil {
+		t.Fatalf("endpoint emitted invalid JSON: %v\n%s", err, rec.Body.String())
+	}
+	if decoded["b.count"] != 7 || decoded["a.level"] != 1.5 {
+		t.Fatalf("unexpected values: %v", decoded)
+	}
+	if decoded["lat.count"] != 1 {
+		t.Fatalf("histogram not expanded: %v", decoded)
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("hits").Add(1)
+				r.Gauge("depth").Set(float64(i))
+				r.Histogram("lat").Observe(time.Duration(i) * time.Microsecond)
+				if i%100 == 0 {
+					r.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("hits").Value(); got != 2000 {
+		t.Fatalf("hits = %d, want 2000", got)
+	}
+}

@@ -1,0 +1,85 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is
+// cancelled no further indices are dispatched, although calls already
+// in flight run to completion (fn is never interrupted mid-call, so
+// index-addressed output slots are either fully written or untouched).
+// It returns nil when all n calls completed and ctx.Err() when
+// cancellation cut the iteration short. The serving layer's graceful
+// shutdown leans on exactly this contract: stop starting work, finish
+// what was started, then report whether the sweep was complete.
+//
+// ForEach remains the right choice for closed workloads that must
+// always run to completion (the codec's intra-frame sharding, the
+// deterministic experiment fan-out); ForEachCtx is for server-side
+// callers whose lifetime is bounded by a request or process context.
+func ForEachCtx(ctx context.Context, workers, n int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	workers = Workers(workers, n)
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if int(next.Load()) < n {
+		return ctx.Err()
+	}
+	// All indices were claimed; the final claimants may have observed
+	// cancellation only after finishing, in which case the iteration is
+	// complete regardless.
+	return nil
+}
+
+// MapCtx is Map with cooperative cancellation via ForEachCtx. On a
+// clean run it returns the n results in index order. If any completed
+// call returned an error, the error of the lowest failing index wins
+// (the same deterministic choice Map makes), taking precedence over a
+// cancellation error; otherwise a cut-short run returns (nil,
+// ctx.Err()).
+func MapCtx[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	out := make([]T, n)
+	errs := make([]error, n)
+	cancelled := ForEachCtx(ctx, workers, n, func(i int) {
+		out[i], errs[i] = fn(i)
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if cancelled != nil {
+		return nil, cancelled
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCtxCompletes(t *testing.T) {
+	for _, workers := range []int{1, 2, 7} {
+		var ran atomic.Int64
+		err := ForEachCtx(context.Background(), workers, 100, func(i int) {
+			ran.Add(1)
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: unexpected error %v", workers, err)
+		}
+		if got := ran.Load(); got != 100 {
+			t.Fatalf("workers=%d: ran %d of 100 calls", workers, got)
+		}
+	}
+}
+
+func TestForEachCtxStopsDispatching(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		const n = 10000
+		err := ForEachCtx(ctx, workers, n, func(i int) {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: want context.Canceled, got %v", workers, err)
+		}
+		// In-flight calls finish but no new indices are dispatched once
+		// every worker has seen the cancellation, so the count must stay
+		// far below n (each worker can overshoot by at most one call).
+		if got := ran.Load(); got >= n {
+			t.Fatalf("workers=%d: ran all %d calls despite cancellation", workers, got)
+		}
+		cancel()
+	}
+}
+
+func TestForEachCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	if err := ForEachCtx(ctx, 4, 10, func(i int) { ran = true }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	// A single dispatch racing the flag is permitted on the parallel
+	// path; the serial path dispatches nothing.
+	if err := ForEachCtx(ctx, 1, 10, func(i int) { t.Error("serial dispatch after cancel") }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	_ = ran
+}
+
+func TestMapCtxOrderAndErrors(t *testing.T) {
+	got, err := MapCtx(context.Background(), 3, 5, func(i int) (int, error) {
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+		}
+	}
+
+	boom := errors.New("boom")
+	if _, err := MapCtx(context.Background(), 3, 5, func(i int) (int, error) {
+		if i >= 2 {
+			return 0, boom
+		}
+		return i, nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("want fn error, got %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MapCtx(ctx, 3, 5, func(i int) (int, error) { return i, nil }); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+func TestMapCtxEmpty(t *testing.T) {
+	got, err := MapCtx(context.Background(), 3, 0, func(i int) (int, error) { return i, nil })
+	if err != nil || got != nil {
+		t.Fatalf("n=0: got (%v, %v), want (nil, nil)", got, err)
+	}
+}

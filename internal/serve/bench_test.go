@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"context"
+	"testing"
+
+	"pbpair/internal/synth"
+)
+
+// BenchmarkServeThroughput measures end-to-end served frames per second
+// through the full stack — encode, packetise, UDP loopback, receiver
+// reports, controller retune — with pacing off so the pipeline runs at
+// CPU speed. One session per iteration batch; the number is what a
+// single unpaced session can sustain, not an aggregate across sessions.
+func BenchmarkServeThroughput(b *testing.B) {
+	srv, err := New(Config{
+		Addr:          "127.0.0.1:0",
+		FrameInterval: 0, // unpaced: measure the pipeline, not the clock
+		QueueFrames:   256,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx := context.Background()
+	b.ResetTimer()
+	sum, err := RunClient(ctx, ClientConfig{
+		Server:      srv.Addr().String(),
+		Frames:      b.N,
+		Regime:      synth.RegimeForeman,
+		ReportEvery: 8,
+	})
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if sum.FramesFlushed != b.N {
+		b.Fatalf("flushed %d/%d frames", sum.FramesFlushed, b.N)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
+	b.ReportMetric(float64(sum.Bytes)/b.Elapsed().Seconds()/1e6, "MB/s")
+}

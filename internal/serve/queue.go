@@ -1,0 +1,68 @@
+package serve
+
+import (
+	"sync/atomic"
+
+	"pbpair/internal/network"
+)
+
+// queuedFrame is one encoded frame's packet burst, queued for the
+// session's sender goroutine.
+type queuedFrame struct {
+	frame int
+	pkts  []network.Packet
+}
+
+// frameQueue is the bounded per-session send queue with the serving
+// layer's explicit backpressure policy: drop-oldest. When the encoder
+// outruns the sender (slow pacing, a stalled socket), pushing a new
+// frame evicts the oldest queued frame instead of blocking the encoder
+// or growing without bound. Old video is the right thing to lose — a
+// late frame is a useless frame, and the receiver's loss monitor
+// counts the evicted packets as wire loss, which feeds back into the
+// controller exactly like congestion should.
+//
+// Concurrency contract: exactly one producer (the session's encode
+// loop, which also calls close) and one consumer (the sender
+// goroutine). Single-producer is what makes the evict-then-retry loop
+// below race-free: nobody else can fill the slot the producer just
+// freed.
+type frameQueue struct {
+	ch      chan queuedFrame
+	dropped atomic.Int64
+}
+
+func newFrameQueue(capacity int) *frameQueue {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &frameQueue{ch: make(chan queuedFrame, capacity)}
+}
+
+// push enqueues item, evicting oldest entries as needed. It never
+// blocks for longer than the eviction takes.
+func (q *frameQueue) push(item queuedFrame) {
+	for {
+		select {
+		case q.ch <- item:
+			return
+		default:
+		}
+		select {
+		case <-q.ch:
+			q.dropped.Add(1)
+		default:
+			// Consumer drained the queue between our two selects; the
+			// next push attempt will succeed.
+		}
+	}
+}
+
+// close marks the end of the stream; the consumer drains what remains.
+func (q *frameQueue) close() { close(q.ch) }
+
+// depth returns the current number of queued frames.
+func (q *frameQueue) depth() int { return len(q.ch) }
+
+// droppedFrames returns how many frames backpressure evicted.
+func (q *frameQueue) droppedFrames() int64 { return q.dropped.Load() }

@@ -1,0 +1,69 @@
+package serve
+
+// Loss schedules drive pbpair-load's receiver-side loss injection: the
+// client discards arriving datagrams with probability Rate(frame)
+// before they reach the loss monitor, so the monitor's sequence-gap
+// accounting — and therefore the reports the server adapts to — sees
+// them exactly as wire loss. Step and ramp shapes script the
+// "raise the loss, watch the controller retune" experiments.
+
+// LossSchedule maps a frame number to an injected loss probability.
+// Implementations must be pure functions of the frame number so runs
+// are reproducible given the injection seed.
+type LossSchedule interface {
+	Rate(frame int) float64
+}
+
+// ConstLoss injects a fixed loss probability.
+type ConstLoss float64
+
+// Rate implements LossSchedule.
+func (c ConstLoss) Rate(int) float64 { return float64(c) }
+
+// StepLoss injects Before until frame At, then After — the §3.2 fade
+// experiment as a schedule.
+type StepLoss struct {
+	Before, After float64
+	At            int
+}
+
+// Rate implements LossSchedule.
+func (s StepLoss) Rate(frame int) float64 {
+	if frame >= s.At {
+		return s.After
+	}
+	return s.Before
+}
+
+// RampLoss interpolates linearly from From at frame Start to To at
+// frame End (constant outside the ramp).
+type RampLoss struct {
+	From, To   float64
+	Start, End int
+}
+
+// Rate implements LossSchedule.
+func (r RampLoss) Rate(frame int) float64 {
+	if frame <= r.Start || r.End <= r.Start {
+		return r.From
+	}
+	if frame >= r.End {
+		return r.To
+	}
+	t := float64(frame-r.Start) / float64(r.End-r.Start)
+	return r.From + t*(r.To-r.From)
+}
+
+// splitmix64 is the repository's standard tiny deterministic PRNG
+// (same finaliser as internal/network's channels), so injected loss is
+// a pure function of the seed.
+type splitmix64 struct{ state uint64 }
+
+func (s *splitmix64) float64() float64 {
+	s.state += 0x9E3779B97F4A7C15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return float64(z>>11) / (1 << 53)
+}

@@ -1,0 +1,443 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"pbpair/internal/energy"
+	"pbpair/internal/motion"
+	"pbpair/internal/obs"
+	"pbpair/internal/parallel"
+	"pbpair/internal/synth"
+)
+
+// Config parameterises a Server. The zero value plus an Addr is
+// usable; withDefaults fills the rest.
+type Config struct {
+	// Addr is the UDP address to listen on ("127.0.0.1:0" for an
+	// ephemeral loopback port).
+	Addr string
+
+	// MaxSessions is the admission cap: hellos beyond it are rejected
+	// with a reason. Default 8.
+	MaxSessions int
+	// MaxFrames caps a single session's requested frame count.
+	// Default 100000.
+	MaxFrames int
+	// QueueFrames is the per-session send-queue capacity in frames;
+	// beyond it the drop-oldest backpressure policy evicts. Default 32.
+	QueueFrames int
+	// MTU bounds media packet payloads. Default 1400.
+	MTU int
+	// FrameInterval paces the sender between frames (0 = unpaced, as
+	// fast as encode allows). Default 0.
+	FrameInterval time.Duration
+	// SessionTimeout is the hard per-session deadline. Default 10m.
+	SessionTimeout time.Duration
+	// ReportTimeout aborts a session whose client promised reports
+	// (ReportEvery > 0 in its hello) but has sent none for this long.
+	// 0 disables the check.
+	ReportTimeout time.Duration
+
+	// Workers is codec.Config.Workers for each session's encoder
+	// (intra-frame sharding). Default 1: session-level concurrency
+	// already fills cores when several streams are live.
+	Workers int
+	// Search selects the motion search. Default ThreeStep — the
+	// serving layer favours latency over the exhaustive reference
+	// search the offline experiments use.
+	Search motion.SearchKind
+
+	// EstimatorWeight smooths receiver reports into α̂ (report-level
+	// EMA weight; see adapt.PLREstimator.ObserveReport). Default 0.35.
+	EstimatorWeight float64
+	// RefreshInterval is the quality controller's target refresh
+	// interval n* in frames. Default 6.
+	RefreshInterval float64
+	// Similarity is the controller's assumed content similarity factor.
+	// Default 0.75.
+	Similarity float64
+	// EnergyBudget, if positive, adds an energy controller that raises
+	// Intra_Th above the quality controller's value while the modelled
+	// per-frame encode energy exceeds the budget (joules per frame).
+	EnergyBudget float64
+	// Profile is the energy model device profile. Default energy.IPAQ.
+	Profile energy.Profile
+
+	// Registry receives the server's metrics; one is created if nil.
+	Registry *obs.Registry
+	// Logf, if set, receives one line per session lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 8
+	}
+	if c.MaxFrames <= 0 {
+		c.MaxFrames = 100000
+	}
+	if c.QueueFrames <= 0 {
+		c.QueueFrames = 32
+	}
+	if c.MTU <= 0 {
+		c.MTU = 1400
+	}
+	if c.SessionTimeout <= 0 {
+		c.SessionTimeout = 10 * time.Minute
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Search == 0 {
+		c.Search = motion.ThreeStep
+	}
+	if c.EstimatorWeight <= 0 || c.EstimatorWeight > 1 {
+		c.EstimatorWeight = 0.35
+	}
+	if c.RefreshInterval < 1 {
+		c.RefreshInterval = 6
+	}
+	if c.Similarity <= 0 {
+		c.Similarity = 0.75
+	}
+	if c.Profile.Name == "" {
+		c.Profile = energy.IPAQ
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	return c
+}
+
+// newSource builds the per-session frame source. Synthetic sources are
+// pure functions of (regime, frame), so sessions share nothing.
+func (c *Config) newSource(r synth.Regime) synth.Source { return synth.New(r) }
+
+func (c *Config) logf(format string, args ...any) {
+	if c.Logf != nil {
+		c.Logf(format, args...)
+	}
+}
+
+// maxKeptSummaries bounds the completed-session history.
+const maxKeptSummaries = 256
+
+// Server runs the serving layer: one UDP socket carrying every
+// session's media, feedback and control datagrams, N concurrent
+// session goroutine pairs behind an admission cap, and an obs.Registry
+// exporting the lot.
+type Server struct {
+	cfg  Config
+	conn *net.UDPConn
+	reg  *obs.Registry
+
+	rootCtx context.Context
+	cancel  context.CancelFunc
+	readWG  sync.WaitGroup
+	sessWG  sync.WaitGroup
+
+	mu        sync.Mutex
+	accepting bool
+	sessions  map[uint32]*session
+	byAddr    map[string]*session
+	nextID    uint32
+	summaries []SessionSummary
+
+	mActive       *obs.Gauge
+	mStarted      *obs.Counter
+	mRejected     *obs.Counter
+	mCompleted    *obs.Counter
+	mBadDatagrams *obs.Counter
+	mLostFeedback *obs.Counter
+}
+
+// New binds the socket and starts the demultiplexing read loop. The
+// caller must eventually Shutdown or Close.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	addr, err := net.ResolveUDPAddr("udp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: resolve %q: %w", cfg.Addr, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen: %w", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		conn:      conn,
+		reg:       cfg.Registry,
+		rootCtx:   ctx,
+		cancel:    cancel,
+		accepting: true,
+		sessions:  make(map[uint32]*session),
+		byAddr:    make(map[string]*session),
+
+		mActive:       cfg.Registry.Gauge("server.sessions_active"),
+		mStarted:      cfg.Registry.Counter("server.sessions_started"),
+		mRejected:     cfg.Registry.Counter("server.sessions_rejected"),
+		mCompleted:    cfg.Registry.Counter("server.sessions_completed"),
+		mBadDatagrams: cfg.Registry.Counter("server.bad_datagrams"),
+		mLostFeedback: cfg.Registry.Counter("server.feedback_dropped"),
+	}
+	s.readWG.Add(1)
+	go s.readLoop()
+	return s, nil
+}
+
+// Addr returns the bound UDP address.
+func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+// Registry returns the server's metric registry (mount it on an HTTP
+// mux for the observability endpoint — it implements http.Handler).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// ActiveSessions returns the number of live sessions.
+func (s *Server) ActiveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// Summaries returns the completed-session history, oldest first (most
+// recent maxKeptSummaries).
+func (s *Server) Summaries() []SessionSummary {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SessionSummary, len(s.summaries))
+	copy(out, s.summaries)
+	return out
+}
+
+// writeTo sends one datagram, reporting success.
+func (s *Server) writeTo(buf []byte, addr *net.UDPAddr) bool {
+	_, err := s.conn.WriteToUDP(buf, addr)
+	return err == nil
+}
+
+// readLoop demultiplexes every inbound datagram until the socket
+// closes.
+func (s *Server) readLoop() {
+	defer s.readWG.Done()
+	buf := make([]byte, 65536)
+	for {
+		n, addr, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // socket closed by Shutdown/Close
+		}
+		if n == 0 {
+			continue
+		}
+		switch buf[0] {
+		case msgHello:
+			s.handleHello(buf[:n], addr)
+		case msgReport:
+			r, err := parseReport(buf[:n])
+			if err != nil {
+				s.mBadDatagrams.Add(1)
+				continue
+			}
+			s.mu.Lock()
+			sess := s.sessions[r.Session]
+			s.mu.Unlock()
+			if sess == nil {
+				continue // stale report for a finished session
+			}
+			select {
+			case sess.feedback <- r:
+			default:
+				s.mLostFeedback.Add(1)
+			}
+		case msgBye:
+			id, ok := parseBye(buf[:n])
+			if !ok {
+				s.mBadDatagrams.Add(1)
+				continue
+			}
+			s.mu.Lock()
+			sess := s.sessions[id]
+			s.mu.Unlock()
+			if sess != nil {
+				s.cfg.logf("session %d: client bye", id)
+				sess.stop()
+			}
+		default:
+			s.mBadDatagrams.Add(1)
+		}
+	}
+}
+
+// handleHello is admission control: duplicate hellos re-accept the
+// existing session (UDP retransmits), capacity and validation failures
+// reject with a reason the client can print.
+func (s *Server) handleHello(buf []byte, addr *net.UDPAddr) {
+	h, err := parseHello(buf)
+	if err != nil {
+		s.mBadDatagrams.Add(1)
+		s.reject(addr, err.Error())
+		return
+	}
+	if h.QP == 0 {
+		h.QP = 8
+	}
+	reason := ""
+	switch {
+	case h.Frames <= 0:
+		reason = "session must request at least one frame"
+	case h.Frames > s.cfg.MaxFrames:
+		reason = fmt.Sprintf("requested %d frames exceeds limit %d", h.Frames, s.cfg.MaxFrames)
+	case !validRegime(h.Regime):
+		reason = fmt.Sprintf("unknown content regime %d", h.Regime)
+	}
+	if reason != "" {
+		s.mRejected.Add(1)
+		s.reject(addr, reason)
+		return
+	}
+
+	s.mu.Lock()
+	if existing := s.byAddr[addr.String()]; existing != nil {
+		id, frames := existing.id, existing.req.Frames
+		s.mu.Unlock()
+		s.writeTo(appendAccept(nil, id, frames), addr)
+		return
+	}
+	if !s.accepting {
+		s.mu.Unlock()
+		s.mRejected.Add(1)
+		s.reject(addr, "server is shutting down")
+		return
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		n := len(s.sessions)
+		s.mu.Unlock()
+		s.mRejected.Add(1)
+		s.reject(addr, fmt.Sprintf("server at capacity (%d/%d sessions)", n, s.cfg.MaxSessions))
+		return
+	}
+	s.nextID++
+	ctx, cancel := context.WithTimeout(s.rootCtx, s.cfg.SessionTimeout)
+	sess := &session{
+		id:       s.nextID,
+		srv:      s,
+		client:   copyAddr(addr),
+		req:      h,
+		ctx:      ctx,
+		cancel:   cancel,
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+		feedback: make(chan report, 16),
+		queue:    newFrameQueue(s.cfg.QueueFrames),
+	}
+	s.sessions[sess.id] = sess
+	s.byAddr[addr.String()] = sess
+	active := len(s.sessions)
+	s.sessWG.Add(1)
+	s.mu.Unlock()
+
+	s.mStarted.Add(1)
+	s.mActive.Set(float64(active))
+	s.cfg.logf("session %d: accepted %s (%d frames, regime %s, qp %d, fec %d, interleave %d)",
+		sess.id, sess.client, h.Frames, h.Regime, h.QP, h.FECGroup, h.Interleave)
+	s.writeTo(appendAccept(nil, sess.id, h.Frames), addr)
+	go func() {
+		defer s.sessWG.Done()
+		sess.run()
+	}()
+}
+
+func (s *Server) reject(addr *net.UDPAddr, reason string) {
+	s.cfg.logf("rejected %s: %s", addr, reason)
+	s.writeTo(appendReject(nil, reason), addr)
+}
+
+// finishSession records the summary and releases the session's
+// registry slice.
+func (s *Server) finishSession(sess *session, sum SessionSummary) {
+	s.reg.RemovePrefix(sess.metricPrefix())
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	delete(s.byAddr, sess.client.String())
+	s.summaries = append(s.summaries, sum)
+	if len(s.summaries) > maxKeptSummaries {
+		s.summaries = s.summaries[len(s.summaries)-maxKeptSummaries:]
+	}
+	active := len(s.sessions)
+	s.mu.Unlock()
+	s.mCompleted.Add(1)
+	s.mActive.Set(float64(active))
+	outcome := "ok"
+	if sum.Err != "" {
+		outcome = sum.Err
+	}
+	s.cfg.logf("session %d: finished %d/%d frames, %d pkts, %d queue-dropped, α̂=%.3f Th=%.3f (%s)",
+		sum.ID, sum.FramesEncoded, sum.FramesRequested, sum.PacketsSent,
+		sum.QueueDroppedFrames, sum.FinalAlpha, sum.FinalIntraTh, outcome)
+}
+
+// Shutdown stops admitting, asks every session to stop gracefully and
+// waits — via parallel.ForEachCtx, so the wait itself honours ctx —
+// for queued frames to drain. Sessions still alive when ctx expires
+// are hard-cancelled. The socket closes last.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.accepting = false
+	draining := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		draining = append(draining, sess)
+	}
+	s.mu.Unlock()
+
+	for _, sess := range draining {
+		sess.stop()
+	}
+	var err error
+	if len(draining) > 0 {
+		err = parallel.ForEachCtx(ctx, len(draining), len(draining), func(i int) {
+			select {
+			case <-draining[i].done:
+			case <-ctx.Done():
+			}
+		})
+	}
+	s.cancel() // hard-stop stragglers (no-op if everything drained)
+	s.conn.Close()
+	s.readWG.Wait()
+	s.sessWG.Wait()
+	if err != nil {
+		return fmt.Errorf("serve: shutdown abandoned undrained sessions: %w", err)
+	}
+	return nil
+}
+
+// Close hard-stops the server without draining.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.accepting = false
+	s.mu.Unlock()
+	s.cancel()
+	s.conn.Close()
+	s.readWG.Wait()
+	s.sessWG.Wait()
+	return nil
+}
+
+func validRegime(r synth.Regime) bool {
+	switch r {
+	case synth.RegimeAkiyo, synth.RegimeForeman, synth.RegimeGarden,
+		synth.RegimeHall, synth.RegimeMobile:
+		return true
+	}
+	return false
+}
+
+func copyAddr(a *net.UDPAddr) *net.UDPAddr {
+	cp := *a
+	cp.IP = append(net.IP(nil), a.IP...)
+	return &cp
+}

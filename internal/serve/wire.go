@@ -1,0 +1,206 @@
+// Package serve is the closed-loop streaming layer: a UDP server that
+// runs the paper's §3.2 codec/network interfacing loop live, per
+// session — encoder goroutine → packetiser (optional interleave + FEC)
+// → bounded send queue → socket, with receiver reports flowing back
+// into a PLR estimator and quality/energy controllers that retune
+// PBPAIR's Intra_Th mid-stream. See ARCHITECTURE.md, "Serving layer".
+//
+// This file defines the datagram protocol between pbpair-serve and
+// pbpair-load. Every datagram starts with a one-byte type:
+//
+//	client → server
+//	  'H' hello:  ver u8 | frames u32 | regime u8 | qp u8 |
+//	              reportEvery u8 | fecGroup u8 | interleave u8
+//	  'R' report: session u32 | fractionLost per-mille u16 |
+//	              received u32 | lost u32
+//	  'B' bye:    session u32
+//
+//	server → client
+//	  'A' accept: session u32 | frames u32
+//	  'J' reject: reasonLen u8 | reason bytes
+//	  'M' media:  session u32 | network.Packet wire encoding
+//	  'E' end:    session u32 | framesEncoded u32
+//
+// Multi-byte integers are big-endian. The media payload reuses
+// network.(Packet).AppendWire / network.ParseWire, so FEC parity
+// metadata survives the socket boundary and receivers can run
+// network.RecoverFEC on what arrives.
+package serve
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pbpair/internal/network"
+	"pbpair/internal/synth"
+)
+
+// protocolVersion gates hellos: a server rejects clients speaking a
+// different version rather than mis-parsing them.
+const protocolVersion = 1
+
+// Datagram type bytes.
+const (
+	msgHello  = 'H'
+	msgReport = 'R'
+	msgBye    = 'B'
+	msgAccept = 'A'
+	msgReject = 'J'
+	msgMedia  = 'M'
+	msgEnd    = 'E'
+)
+
+// hello is a client's session request.
+type hello struct {
+	Frames      int
+	Regime      synth.Regime
+	QP          int
+	ReportEvery int
+	FECGroup    int // 0 = no FEC, else parity every FECGroup media packets
+	Interleave  int // <= 1 = contiguous packetisation, else n-way GOB interleave
+}
+
+func appendHello(buf []byte, h hello) []byte {
+	var b [10]byte
+	b[0] = msgHello
+	b[1] = protocolVersion
+	binary.BigEndian.PutUint32(b[2:6], uint32(h.Frames))
+	b[6] = byte(h.Regime)
+	b[7] = byte(h.QP)
+	b[8] = byte(h.ReportEvery)
+	// Pack FEC and interleave into one byte each at the end.
+	buf = append(buf, b[:9]...)
+	return append(buf, byte(h.FECGroup), byte(h.Interleave))
+}
+
+func parseHello(b []byte) (hello, error) {
+	if len(b) < 11 || b[0] != msgHello {
+		return hello{}, fmt.Errorf("serve: malformed hello (%d bytes)", len(b))
+	}
+	if b[1] != protocolVersion {
+		return hello{}, fmt.Errorf("serve: protocol version %d, want %d", b[1], protocolVersion)
+	}
+	return hello{
+		Frames:      int(binary.BigEndian.Uint32(b[2:6])),
+		Regime:      synth.Regime(b[6]),
+		QP:          int(b[7]),
+		ReportEvery: int(b[8]),
+		FECGroup:    int(b[9]),
+		Interleave:  int(b[10]),
+	}, nil
+}
+
+func appendAccept(buf []byte, id uint32, frames int) []byte {
+	var b [9]byte
+	b[0] = msgAccept
+	binary.BigEndian.PutUint32(b[1:5], id)
+	binary.BigEndian.PutUint32(b[5:9], uint32(frames))
+	return append(buf, b[:]...)
+}
+
+func parseAccept(b []byte) (id uint32, frames int, err error) {
+	if len(b) < 9 || b[0] != msgAccept {
+		return 0, 0, fmt.Errorf("serve: malformed accept (%d bytes)", len(b))
+	}
+	return binary.BigEndian.Uint32(b[1:5]), int(binary.BigEndian.Uint32(b[5:9])), nil
+}
+
+func appendReject(buf []byte, reason string) []byte {
+	if len(reason) > 255 {
+		reason = reason[:255]
+	}
+	buf = append(buf, msgReject, byte(len(reason)))
+	return append(buf, reason...)
+}
+
+func parseReject(b []byte) (string, bool) {
+	if len(b) < 2 || b[0] != msgReject || len(b) < 2+int(b[1]) {
+		return "", false
+	}
+	return string(b[2 : 2+int(b[1])]), true
+}
+
+func appendMedia(buf []byte, id uint32, pkt network.Packet) []byte {
+	var b [5]byte
+	b[0] = msgMedia
+	binary.BigEndian.PutUint32(b[1:5], id)
+	buf = append(buf, b[:]...)
+	return pkt.AppendWire(buf)
+}
+
+func parseMedia(b []byte) (id uint32, pkt network.Packet, err error) {
+	if len(b) < 5 || b[0] != msgMedia {
+		return 0, network.Packet{}, fmt.Errorf("serve: malformed media (%d bytes)", len(b))
+	}
+	id = binary.BigEndian.Uint32(b[1:5])
+	pkt, err = network.ParseWire(b[5:])
+	return id, pkt, err
+}
+
+// report is one receiver feedback datagram: the interval fraction lost
+// (what adapt.PLREstimator.ObserveReport consumes) plus cumulative-
+// interval receive/loss counts for the server's books.
+type report struct {
+	Session  uint32
+	Fraction float64
+	Received int64
+	Lost     int64
+}
+
+func appendReport(buf []byte, r report) []byte {
+	var b [15]byte
+	b[0] = msgReport
+	binary.BigEndian.PutUint32(b[1:5], r.Session)
+	perMille := int(r.Fraction * 1000)
+	if perMille < 0 {
+		perMille = 0
+	}
+	if perMille > 1000 {
+		perMille = 1000
+	}
+	binary.BigEndian.PutUint16(b[5:7], uint16(perMille))
+	binary.BigEndian.PutUint32(b[7:11], uint32(r.Received))
+	binary.BigEndian.PutUint32(b[11:15], uint32(r.Lost))
+	return append(buf, b[:]...)
+}
+
+func parseReport(b []byte) (report, error) {
+	if len(b) < 15 || b[0] != msgReport {
+		return report{}, fmt.Errorf("serve: malformed report (%d bytes)", len(b))
+	}
+	return report{
+		Session:  binary.BigEndian.Uint32(b[1:5]),
+		Fraction: float64(binary.BigEndian.Uint16(b[5:7])) / 1000,
+		Received: int64(binary.BigEndian.Uint32(b[7:11])),
+		Lost:     int64(binary.BigEndian.Uint32(b[11:15])),
+	}, nil
+}
+
+func appendBye(buf []byte, id uint32) []byte {
+	var b [5]byte
+	b[0] = msgBye
+	binary.BigEndian.PutUint32(b[1:5], id)
+	return append(buf, b[:]...)
+}
+
+func parseBye(b []byte) (uint32, bool) {
+	if len(b) < 5 || b[0] != msgBye {
+		return 0, false
+	}
+	return binary.BigEndian.Uint32(b[1:5]), true
+}
+
+func appendEnd(buf []byte, id uint32, frames int) []byte {
+	var b [9]byte
+	b[0] = msgEnd
+	binary.BigEndian.PutUint32(b[1:5], id)
+	binary.BigEndian.PutUint32(b[5:9], uint32(frames))
+	return append(buf, b[:]...)
+}
+
+func parseEnd(b []byte) (id uint32, frames int, ok bool) {
+	if len(b) < 9 || b[0] != msgEnd {
+		return 0, 0, false
+	}
+	return binary.BigEndian.Uint32(b[1:5]), int(binary.BigEndian.Uint32(b[5:9])), true
+}
