@@ -20,9 +20,15 @@ import (
 	"os"
 	"sort"
 
+	"pbpair/internal/bitcache"
 	"pbpair/internal/energy"
 	"pbpair/internal/experiment"
 )
+
+// cache is the process-wide bitstream cache (nil when disabled). Every
+// experiment below shares it, so figures that reuse the same encodes
+// (e.g. -fig all, or repeated runs with -cache-dir) pay for them once.
+var cache *bitcache.Store
 
 func main() {
 	if err := run(); err != nil {
@@ -37,7 +43,18 @@ func run() error {
 	plr := flag.Float64("plr", 0.1, "packet loss rate for Fig 5")
 	seeds := flag.Int("seeds", 5, "independent loss seeds for -fig stats")
 	workers := flag.Int("workers", 0, "concurrent experiment runs (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
+	cacheDir := flag.String("cache-dir", "", "bitstream cache spill directory (cross-process encode reuse)")
+	cacheMB := flag.Int("cache-mb", 0, "in-memory bitstream cache budget in MiB; with -cache-dir unset, 0 disables the cache")
 	flag.Parse()
+
+	if *cacheMB > 0 || *cacheDir != "" {
+		var err error
+		cache, err = bitcache.New(bitcache.Config{MaxBytes: int64(*cacheMB) << 20, Dir: *cacheDir})
+		if err != nil {
+			return err
+		}
+		defer func() { fmt.Fprintln(os.Stderr, cache.Stats()) }()
+	}
 
 	switch *fig {
 	case "stats":
@@ -64,7 +81,7 @@ func run() error {
 // runAll regenerates every experiment from one Fig5 run and one Fig6
 // run (the headline and device tables are derived views, not reruns).
 func runAll(frames int, plr float64, workers int) error {
-	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers})
+	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers, Cache: cache})
 	if err != nil {
 		return err
 	}
@@ -84,7 +101,7 @@ func runAll(frames int, plr float64, workers int) error {
 	if fig6Frames > 50 {
 		fig6Frames = 50
 	}
-	cfg := experiment.Fig6Config{Frames: fig6Frames, Workers: workers}.WithDefaults()
+	cfg := experiment.Fig6Config{Frames: fig6Frames, Workers: workers, Cache: cache}.WithDefaults()
 	series, err := experiment.Fig6(cfg)
 	if err != nil {
 		return err
@@ -106,7 +123,7 @@ func runAll(frames int, plr float64, workers int) error {
 // runContent prints the E18 cross-content study: the five schemes over
 // all five synthetic regimes.
 func runContent(frames int, plr float64, workers int) error {
-	rows, err := experiment.ContentTable(experiment.ContentConfig{Frames: frames, PLR: plr, Workers: workers})
+	rows, err := experiment.ContentTable(experiment.ContentConfig{Frames: frames, PLR: plr, Workers: workers, Cache: cache})
 	if err != nil {
 		return err
 	}
@@ -135,7 +152,7 @@ func runStats(frames int, plr float64, seeds, workers int) error {
 	for i := range seedList {
 		seedList[i] = uint64(1000 + 37*i)
 	}
-	stats, err := experiment.Fig5Multi(experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers}, seedList)
+	stats, err := experiment.Fig5Multi(experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers, Cache: cache}, seedList)
 	if err != nil {
 		return err
 	}
@@ -154,7 +171,7 @@ func runStats(frames int, plr float64, seeds, workers int) error {
 }
 
 func runFig5(which string, frames int, plr float64, workers int) error {
-	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers})
+	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers, Cache: cache})
 	if err != nil {
 		return err
 	}
@@ -234,7 +251,7 @@ func runFig6(which string, frames, workers int) error {
 	if frames > 50 {
 		frames = 50 // the paper's Figure 6 window
 	}
-	cfg := experiment.Fig6Config{Frames: frames, Workers: workers}
+	cfg := experiment.Fig6Config{Frames: frames, Workers: workers, Cache: cache}
 	series, err := experiment.Fig6(cfg)
 	if err != nil {
 		return err
@@ -257,7 +274,7 @@ func runFig6(which string, frames, workers int) error {
 }
 
 func runHeadline(frames int, plr float64, workers int) error {
-	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers})
+	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers, Cache: cache})
 	if err != nil {
 		return err
 	}
@@ -282,7 +299,7 @@ func printHeadline(rows []experiment.Fig5Row) {
 }
 
 func runDevices(frames int, plr float64, workers int) error {
-	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers})
+	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers, Cache: cache})
 	if err != nil {
 		return err
 	}
@@ -306,7 +323,7 @@ func runRecovery(frames, workers int) error {
 	if frames > 50 {
 		frames = 50
 	}
-	series, err := experiment.Fig6(experiment.Fig6Config{Frames: frames, Workers: workers})
+	series, err := experiment.Fig6(experiment.Fig6Config{Frames: frames, Workers: workers, Cache: cache})
 	if err != nil {
 		return err
 	}

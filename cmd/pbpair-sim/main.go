@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 
+	"pbpair/internal/bitcache"
 	"pbpair/internal/codec"
 	"pbpair/internal/conceal"
 	"pbpair/internal/energy"
@@ -44,14 +45,17 @@ func run() error {
 	fec := flag.Int("fec", 0, "XOR-parity FEC group size in frames (0 = off)")
 	halfPel := flag.Bool("halfpel", false, "enable half-pixel motion refinement")
 	workers := flag.Int("workers", 0, "encoder macroblock-row shards (0 = GOMAXPROCS, 1 = serial); the bitstream is identical for every value")
+	cacheDir := flag.String("cache-dir", "", "bitstream cache spill directory: repeated runs that differ only in channel, seed, concealment, FEC or device reuse the encode")
+	cacheMB := flag.Int("cache-mb", 0, "in-memory bitstream cache budget in MiB; with -cache-dir unset, 0 disables the cache")
 	flag.Parse()
 
-	src, err := sourceFor(*regime)
+	r, err := regimeFor(*regime)
 	if err != nil {
 		return err
 	}
+	src := synth.New(r)
 	w, h := src.Dims()
-	planner, err := experiment.ParseScheme(*scheme, h/16, w/16, *intraTh, *plr)
+	schemeSpec, err := experiment.ParseSchemeSpec(*scheme, h/16, w/16, *intraTh, *plr)
 	if err != nil {
 		return err
 	}
@@ -69,19 +73,33 @@ func run() error {
 	} else if *device != "ipaq" {
 		return fmt.Errorf("unknown device %q", *device)
 	}
+	var cache *bitcache.Store
+	if *cacheMB > 0 || *cacheDir != "" {
+		if cache, err = bitcache.New(bitcache.Config{MaxBytes: int64(*cacheMB) << 20, Dir: *cacheDir}); err != nil {
+			return err
+		}
+		defer func() { fmt.Fprintln(os.Stderr, cache.Stats()) }()
+	}
 
-	res, err := experiment.Run(experiment.Scenario{
-		Name:      fmt.Sprintf("sim/%s/%s", src.Name(), planner.Name()),
-		Source:    src,
-		Frames:    *frames,
-		QP:        *qp,
-		Planner:   planner,
+	// Two-phase run: the encode (phase 1) is loss-independent and goes
+	// through the cache; the channel simulation (phase 2) never does.
+	seq, err := experiment.Encode(cache, experiment.EncodeSpec{
+		Regime:  r,
+		Frames:  *frames,
+		QP:      *qp,
+		Scheme:  schemeSpec,
+		HalfPel: *halfPel,
+		Workers: encodeWorkers(*workers),
+	})
+	if err != nil {
+		return err
+	}
+	res, err := experiment.Simulate(seq, src, experiment.SimSpec{
+		Name:      fmt.Sprintf("sim/%s/%s", src.Name(), seq.Scheme),
 		Channel:   channel,
 		Concealer: concealer,
 		Profile:   profile,
 		FECGroup:  *fec,
-		HalfPel:   *halfPel,
-		Workers:   encodeWorkers(*workers),
 	})
 	if err != nil {
 		return err
@@ -126,20 +144,20 @@ func encodeWorkers(n int) int {
 	return n
 }
 
-func sourceFor(name string) (synth.Source, error) {
+func regimeFor(name string) (synth.Regime, error) {
 	switch name {
 	case "akiyo":
-		return synth.New(synth.RegimeAkiyo), nil
+		return synth.RegimeAkiyo, nil
 	case "foreman":
-		return synth.New(synth.RegimeForeman), nil
+		return synth.RegimeForeman, nil
 	case "garden":
-		return synth.New(synth.RegimeGarden), nil
+		return synth.RegimeGarden, nil
 	case "hall":
-		return synth.New(synth.RegimeHall), nil
+		return synth.RegimeHall, nil
 	case "mobile":
-		return synth.New(synth.RegimeMobile), nil
+		return synth.RegimeMobile, nil
 	default:
-		return nil, fmt.Errorf("unknown regime %q", name)
+		return 0, fmt.Errorf("unknown regime %q", name)
 	}
 }
 

@@ -20,11 +20,10 @@ import (
 	"strconv"
 	"strings"
 
-	"pbpair/internal/codec"
+	"pbpair/internal/bitcache"
 	"pbpair/internal/core"
 	"pbpair/internal/energy"
 	"pbpair/internal/experiment"
-	"pbpair/internal/resilience"
 	"pbpair/internal/synth"
 )
 
@@ -45,14 +44,23 @@ func run() error {
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	rd := flag.Bool("rd", false, "emit rate-distortion curves (QP sweep) instead of the Intra_Th x PLR grid")
 	workers := flag.Int("workers", 0, "concurrent grid points (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
+	cacheDir := flag.String("cache-dir", "", "bitstream cache spill directory (cross-process encode reuse)")
+	cacheMB := flag.Int("cache-mb", 0, "in-memory bitstream cache budget in MiB; with -cache-dir unset, 0 disables the cache")
 	flag.Parse()
 
 	r, err := regimeFor(*regime)
 	if err != nil {
 		return err
 	}
+	var cache *bitcache.Store
+	if *cacheMB > 0 || *cacheDir != "" {
+		if cache, err = bitcache.New(bitcache.Config{MaxBytes: int64(*cacheMB) << 20, Dir: *cacheDir}); err != nil {
+			return err
+		}
+		defer func() { fmt.Fprintln(os.Stderr, cache.Stats()) }()
+	}
 	if *rd {
-		return runRD(r, *frames, *workers)
+		return runRD(r, *frames, *workers, cache)
 	}
 	ths, err := parseFloats(*thList)
 	if err != nil {
@@ -77,6 +85,7 @@ func run() error {
 		Regime:   r,
 		Profile:  profile,
 		Workers:  *workers,
+		Cache:    cache,
 	})
 	if err != nil {
 		return err
@@ -106,17 +115,17 @@ func run() error {
 }
 
 // runRD prints rate-distortion curves for NO and PBPAIR plus the mean
-// rate overhead at equal quality.
-func runRD(r synth.Regime, frames, workers int) error {
-	cfg := experiment.RDConfig{Regime: r, Frames: frames, Workers: workers}
-	cfg.MakePlanner = func() (codec.ModePlanner, error) { return resilience.NewNone(), nil }
+// rate overhead at equal quality. Both curves go through SchemeSpec,
+// so with a cache (especially a -cache-dir spill) repeated RD runs
+// reuse every QP point's encode.
+func runRD(r synth.Regime, frames, workers int, cache *bitcache.Store) error {
+	cfg := experiment.RDConfig{Regime: r, Frames: frames, Workers: workers, Cache: cache}
+	cfg.Scheme = experiment.SchemeNO()
 	noCurve, err := experiment.RDCurve(cfg)
 	if err != nil {
 		return err
 	}
-	cfg.MakePlanner = func() (codec.ModePlanner, error) {
-		return core.New(core.Config{Rows: 9, Cols: 11, IntraTh: 0.9, PLR: 0.1})
-	}
+	cfg.Scheme = experiment.SchemePBPAIR(core.Config{Rows: 9, Cols: 11, IntraTh: 0.9, PLR: 0.1})
 	pbCurve, err := experiment.RDCurve(cfg)
 	if err != nil {
 		return err

@@ -1,0 +1,295 @@
+package bitcache
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/obs"
+)
+
+// testSeq builds a small distinguishable sequence; payload controls
+// both identity and size.
+func testSeq(payload byte, size int) *codec.EncodedSequence {
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = payload
+	}
+	return &codec.EncodedSequence{
+		Scheme: fmt.Sprintf("seq-%d", payload),
+		Width:  16, Height: 16,
+		TotalBytes: size,
+		Frames: []codec.SeqFrame{{
+			FrameNum: 0, Type: codec.IFrame,
+			Data: data, GOBOffsets: []int{0}, IntraMBs: 1,
+		}},
+	}
+}
+
+func mustStore(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return s
+}
+
+func TestKeyOfDeterministicAndDistinct(t *testing.T) {
+	a, b := KeyOf("canonical-a"), KeyOf("canonical-a")
+	if a != b {
+		t.Fatal("equal canonicals hashed differently")
+	}
+	if KeyOf("canonical-b") == a {
+		t.Fatal("distinct canonicals collided")
+	}
+	if len(a.String()) != 64 {
+		t.Fatalf("key hex length = %d, want 64", len(a.String()))
+	}
+}
+
+func TestGetOrComputeHitMiss(t *testing.T) {
+	s := mustStore(t, Config{})
+	key := KeyOf("k")
+	var computes atomic.Int64
+	get := func() (*codec.EncodedSequence, error) {
+		return s.GetOrCompute(key, func() (*codec.EncodedSequence, error) {
+			computes.Add(1)
+			return testSeq(1, 100), nil
+		})
+	}
+	first, err := get()
+	if err != nil {
+		t.Fatalf("first get: %v", err)
+	}
+	second, err := get()
+	if err != nil {
+		t.Fatalf("second get: %v", err)
+	}
+	if first != second {
+		t.Fatal("hit returned a different pointer than the computed sequence")
+	}
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 1 hit / 1 miss / 1 entry", st)
+	}
+	if st.Bytes != first.SizeBytes() {
+		t.Fatalf("resident bytes = %d, want SizeBytes %d", st.Bytes, first.SizeBytes())
+	}
+}
+
+func TestGetOrComputeSingleFlight(t *testing.T) {
+	s := mustStore(t, Config{})
+	key := KeyOf("contended")
+	var computes atomic.Int64
+	release := make(chan struct{})
+
+	const callers = 8
+	results := make([]*codec.EncodedSequence, callers)
+	var wg sync.WaitGroup
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			seq, err := s.GetOrCompute(key, func() (*codec.EncodedSequence, error) {
+				computes.Add(1)
+				<-release // hold every concurrent caller on one compute
+				return testSeq(2, 64), nil
+			})
+			if err != nil {
+				t.Errorf("caller %d: %v", c, err)
+				return
+			}
+			results[c] = seq
+		}(c)
+	}
+	close(release)
+	wg.Wait()
+
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("compute ran %d times under contention, want 1", n)
+	}
+	for c := 1; c < callers; c++ {
+		if results[c] != results[0] {
+			t.Fatalf("caller %d got a different sequence pointer", c)
+		}
+	}
+	st := s.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1", st.Misses)
+	}
+	if st.Hits+st.Misses != callers {
+		t.Fatalf("hits+misses = %d, want %d callers accounted", st.Hits+st.Misses, callers)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	one := testSeq(1, 1000)
+	budget := 2 * one.SizeBytes() // room for two entries, not three
+	s := mustStore(t, Config{MaxBytes: budget})
+
+	put := func(p byte) {
+		t.Helper()
+		if _, err := s.GetOrCompute(KeyOf(fmt.Sprintf("k%d", p)), func() (*codec.EncodedSequence, error) {
+			return testSeq(p, 1000), nil
+		}); err != nil {
+			t.Fatalf("put %d: %v", p, err)
+		}
+	}
+	recompute := func(p byte) bool {
+		t.Helper()
+		ran := false
+		if _, err := s.GetOrCompute(KeyOf(fmt.Sprintf("k%d", p)), func() (*codec.EncodedSequence, error) {
+			ran = true
+			return testSeq(p, 1000), nil
+		}); err != nil {
+			t.Fatalf("get %d: %v", p, err)
+		}
+		return ran
+	}
+
+	put(1)
+	put(2)
+	if recompute(1) { // touch 1 so 2 becomes the LRU victim
+		t.Fatal("entry 1 evicted prematurely")
+	}
+	put(3) // exceeds the budget: 2 must go
+	st := s.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats after overflow = %+v, want 1 eviction / 2 entries", st)
+	}
+	if st.Bytes > budget {
+		t.Fatalf("resident bytes %d exceed budget %d", st.Bytes, budget)
+	}
+	if recompute(1) {
+		t.Fatal("recently-used entry 1 was evicted")
+	}
+	if !recompute(2) {
+		t.Fatal("LRU entry 2 was not evicted")
+	}
+}
+
+func TestFailedComputeNotCached(t *testing.T) {
+	s := mustStore(t, Config{})
+	key := KeyOf("flaky")
+	boom := errors.New("boom")
+	if _, err := s.GetOrCompute(key, func() (*codec.EncodedSequence, error) {
+		return nil, boom
+	}); !errors.Is(err, boom) {
+		t.Fatalf("first call error = %v, want %v", err, boom)
+	}
+	seq, err := s.GetOrCompute(key, func() (*codec.EncodedSequence, error) {
+		return testSeq(3, 10), nil
+	})
+	if err != nil || seq == nil {
+		t.Fatalf("retry after failure: seq=%v err=%v", seq, err)
+	}
+	if st := s.Stats(); st.Misses != 2 || st.Entries != 1 {
+		t.Fatalf("stats = %+v, want 2 misses / 1 entry", st)
+	}
+}
+
+func TestSpillRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	key := KeyOf("spilled")
+	want := testSeq(4, 256)
+
+	first := mustStore(t, Config{Dir: dir})
+	if _, err := first.GetOrCompute(key, func() (*codec.EncodedSequence, error) {
+		return want, nil
+	}); err != nil {
+		t.Fatalf("populate: %v", err)
+	}
+	if st := first.Stats(); st.SpillWrites != 1 {
+		t.Fatalf("spill writes = %d, want 1", st.SpillWrites)
+	}
+
+	// A second store sharing the dir must load from disk, not compute.
+	second := mustStore(t, Config{Dir: dir})
+	got, err := second.GetOrCompute(key, func() (*codec.EncodedSequence, error) {
+		t.Fatal("compute ran despite a valid spill")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatalf("spill load: %v", err)
+	}
+	if st := second.Stats(); st.SpillHits != 1 {
+		t.Fatalf("spill hits = %d, want 1", st.SpillHits)
+	}
+	if got.Scheme != want.Scheme || got.TotalBytes != want.TotalBytes ||
+		len(got.Frames) != 1 || string(got.Frames[0].Data) != string(want.Frames[0].Data) {
+		t.Fatalf("spill round-trip mismatch: got %+v", got)
+	}
+	if got.Counters != want.Counters {
+		t.Fatal("counters did not survive the spill")
+	}
+}
+
+func TestCorruptSpillRecomputes(t *testing.T) {
+	dir := t.TempDir()
+	key := KeyOf("corrupt")
+	path := filepath.Join(dir, key.String()+".pbseq")
+	if err := os.WriteFile(path, []byte("not a sequence"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := mustStore(t, Config{Dir: dir})
+	ran := false
+	seq, err := s.GetOrCompute(key, func() (*codec.EncodedSequence, error) {
+		ran = true
+		return testSeq(5, 32), nil
+	})
+	if err != nil || seq == nil {
+		t.Fatalf("GetOrCompute: seq=%v err=%v", seq, err)
+	}
+	if !ran {
+		t.Fatal("corrupt spill was served instead of recomputing")
+	}
+	if st := s.Stats(); st.SpillHits != 0 || st.SpillWrites != 1 {
+		t.Fatalf("stats = %+v, want 0 spill hits / 1 spill write (overwrite)", st)
+	}
+	// The rewritten spill must now be valid.
+	var round codec.EncodedSequence
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := round.UnmarshalBinary(data); err != nil {
+		t.Fatalf("rewritten spill is invalid: %v", err)
+	}
+}
+
+func TestObsMirrors(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := mustStore(t, Config{Metrics: reg})
+	key := KeyOf("observed")
+	for i := 0; i < 3; i++ {
+		if _, err := s.GetOrCompute(key, func() (*codec.EncodedSequence, error) {
+			return testSeq(6, 50), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap["bitcache.hits"] != 2 || snap["bitcache.misses"] != 1 {
+		t.Fatalf("snapshot = %v, want 2 hits / 1 miss", snap)
+	}
+	if snap["bitcache.entries"] != 1 || snap["bitcache.bytes"] <= 0 {
+		t.Fatalf("snapshot gauges = %v, want 1 entry and positive bytes", snap)
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	st := Stats{Hits: 3, Misses: 2, Evictions: 1, Entries: 4, Bytes: 99}
+	want := "bitcache: 3 hits, 2 misses, 1 evictions, 0 spill hits, 0 spill writes, 4 entries (99 bytes) resident"
+	if got := st.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,52 @@
+package codec_test
+
+import (
+	"testing"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/resilience"
+	"pbpair/internal/synth"
+)
+
+// TestEncodeFrameSteadyStateAllocs pins the hot path's allocation
+// budget. After warm-up an EncodeFrame needs only a handful of
+// allocations — the returned frame, its Data/GOBOffsets, and the plan
+// — because all planning and sharding scratch is reused across frames.
+// The bound has headroom over the measured steady state (9 allocs/op
+// at the time of writing) but catches any per-macroblock or per-row
+// allocation sneaking into planning, refinement or coding (one such
+// regression costs ~100 allocs/op at QCIF).
+func TestEncodeFrameSteadyStateAllocs(t *testing.T) {
+	const maxAllocs = 27
+
+	src := synth.New(synth.RegimeForeman)
+	clip := synth.Clip(src, 8)
+	enc, err := codec.NewEncoder(codec.Config{
+		Width: 176, Height: 144, QP: 8, SearchRange: 7,
+		Planner: resilience.NewNone(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up past frame 0 (the I-frame) and let every lazily-built
+	// scratch buffer settle.
+	for i := 0; i < 16; i++ {
+		if _, err := enc.EncodeFrame(clip[i%len(clip)]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	var encErr error
+	allocs := testing.AllocsPerRun(32, func() {
+		if _, err := enc.EncodeFrame(clip[i%len(clip)]); err != nil {
+			encErr = err
+		}
+		i++
+	})
+	if encErr != nil {
+		t.Fatal(encErr)
+	}
+	if allocs > maxAllocs {
+		t.Fatalf("EncodeFrame steady state = %.1f allocs/op, budget %d", allocs, maxAllocs)
+	}
+}

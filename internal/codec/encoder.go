@@ -39,6 +39,15 @@ type Encoder struct {
 	// the per-MB cost hooks captured during the serial planner phase.
 	needSearch []bool
 	penalties  []motion.PenaltyFunc
+	// Sharding scratch: the row partitions and per-shard stat
+	// accumulators for the ME and refinement passes. Both depend only
+	// on (rows, Workers, HalfPel), which are fixed per encoder, so they
+	// are computed once; the stats are zeroed before each frame. The
+	// alloc-regression test pins EncodeFrame's steady state, so new
+	// per-frame allocations here fail loudly.
+	meSpans, refineSpans []parallel.Span
+	meStats, refineStats []motion.Stats
+	modeScratch          []MBMode
 }
 
 // NewEncoder validates cfg and returns a ready encoder.
@@ -140,20 +149,20 @@ func (e *Encoder) planFrame(cur *video.Frame) *FramePlan {
 	}
 	plan.Type = PFrame
 
-	// Phase 1 (serial): planner decisions in raster order.
+	// Phase 1 (serial): planner decisions in raster order. One context
+	// struct serves the whole frame — hooks read it during the call and
+	// may not retain it (the ModePlanner contract), so reusing it keeps
+	// the per-macroblock loop allocation-free.
 	if len(e.needSearch) != rows*cols {
 		e.needSearch = make([]bool, rows*cols)
 		e.penalties = make([]motion.PenaltyFunc, rows*cols)
 	}
+	ctx := MBContext{FrameNum: e.frameNum, Cur: cur, Ref: e.ref}
 	for row := 0; row < rows; row++ {
 		for col := 0; col < cols; col++ {
 			idx := row*cols + col
-			ctx := MBContext{
-				FrameNum: e.frameNum,
-				Index:    idx,
-				Row:      row, Col: col,
-				Cur: cur, Ref: e.ref,
-			}
+			ctx.Index = idx
+			ctx.Row, ctx.Col = row, col
 			if e.cfg.Planner.PreME(&ctx) {
 				// Early intra decision: no motion estimation at all.
 				plan.MBs[idx].Mode = ModeIntra
@@ -169,8 +178,14 @@ func (e *Encoder) planFrame(cur *video.Frame) *FramePlan {
 	// Phase 2 (sharded): SAD search and the Figure 4 fallback. Reads
 	// cur/ref and the captured penalties; writes only this shard's
 	// rows of the plan and its own Stats accumulator.
-	spans := parallel.Split(rows, e.cfg.Workers)
-	shardStats := make([]motion.Stats, len(spans))
+	if e.meSpans == nil {
+		e.meSpans = parallel.Split(rows, e.cfg.Workers)
+		e.meStats = make([]motion.Stats, len(e.meSpans))
+	}
+	spans, shardStats := e.meSpans, e.meStats
+	for i := range shardStats {
+		shardStats[i] = motion.Stats{}
+	}
 	parallel.ForEach(len(spans), len(spans), func(shard int) {
 		stats := &shardStats[shard]
 		for row := spans[shard].Lo; row < spans[shard].Hi; row++ {
@@ -209,7 +224,10 @@ func (e *Encoder) planFrame(cur *video.Frame) *FramePlan {
 	}
 
 	// Post-ME revision (AIR). Only inter→intra promotions are honoured.
-	before := make([]MBMode, len(plan.MBs))
+	if len(e.modeScratch) != len(plan.MBs) {
+		e.modeScratch = make([]MBMode, len(plan.MBs))
+	}
+	before := e.modeScratch
 	for i := range plan.MBs {
 		before[i] = plan.MBs[i].Mode
 	}
@@ -238,12 +256,18 @@ func (e *Encoder) refinePlan(cur *video.Frame, plan *FramePlan) {
 	if plan.Type == IFrame {
 		return
 	}
-	shards := e.cfg.Workers
-	if !e.cfg.HalfPel {
-		shards = 1 // conversion only; not worth goroutines
+	if e.refineSpans == nil {
+		shards := e.cfg.Workers
+		if !e.cfg.HalfPel {
+			shards = 1 // conversion only; not worth goroutines
+		}
+		e.refineSpans = parallel.Split(plan.Rows, shards)
+		e.refineStats = make([]motion.Stats, len(e.refineSpans))
 	}
-	spans := parallel.Split(plan.Rows, shards)
-	shardStats := make([]motion.Stats, len(spans))
+	spans, shardStats := e.refineSpans, e.refineStats
+	for i := range shardStats {
+		shardStats[i] = motion.Stats{}
+	}
 	parallel.ForEach(len(spans), len(spans), func(shard int) {
 		stats := &shardStats[shard]
 		for row := spans[shard].Lo; row < spans[shard].Hi; row++ {

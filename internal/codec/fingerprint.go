@@ -1,0 +1,47 @@
+package codec
+
+import (
+	"fmt"
+
+	"pbpair/internal/motion"
+	"pbpair/internal/quant"
+)
+
+// normalizedBitstream returns cfg with every bitstream-affecting knob
+// in its canonical form: the QP clamped and each zero-value knob
+// replaced by its documented default. withDefaults and BitstreamKey
+// share this helper, so "the config the encoder actually runs" and
+// "the config the cache fingerprints" cannot drift apart.
+func (cfg Config) normalizedBitstream() Config {
+	cfg.QP = quant.ClampQP(cfg.QP)
+	if cfg.SearchRange == 0 {
+		cfg.SearchRange = 7
+	}
+	if cfg.Search == 0 {
+		cfg.Search = motion.FullSearch
+	}
+	if cfg.SADThreshold == 0 {
+		cfg.SADThreshold = 500
+	}
+	return cfg
+}
+
+// BitstreamKey returns a canonical serialization of the Config fields
+// that determine the emitted bitstream: dimensions, QP, the motion
+// search (range, strategy, inter/intra bias), half-pel refinement and
+// deblocking. plannerKey stands in for the Planner, which is an
+// interface and cannot be serialized here; callers must derive it from
+// the planner's complete configuration (see experiment.SchemeSpec.Key)
+// or the key loses its meaning.
+//
+// Fields that change only wall-clock behaviour (Workers) or
+// observation (Counters) are deliberately excluded: the encoder's
+// sharding is bit-exact for every worker count, so they cannot affect
+// the bitstream. Two configs that are equal after normalization
+// produce equal keys; flipping any included field changes the key —
+// the property the fingerprint fuzz test pins.
+func (cfg Config) BitstreamKey(plannerKey string) string {
+	n := cfg.normalizedBitstream()
+	return fmt.Sprintf("w=%d|h=%d|qp=%d|sr=%d|search=%d|sadth=%d|halfpel=%t|deblock=%t|planner=%s",
+		n.Width, n.Height, n.QP, n.SearchRange, int(n.Search), n.SADThreshold, n.HalfPel, n.Deblock, plannerKey)
+}

@@ -1,0 +1,212 @@
+package codec
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+
+	"pbpair/internal/energy"
+)
+
+// SeqFrame is one encoded frame of an EncodedSequence: the bitstream
+// bytes plus the metadata the transport and analysis layers need.
+// Unlike EncodedFrame it does not retain the mode plan — only the
+// intra count survives, which is what the experiment tables report.
+type SeqFrame struct {
+	FrameNum   int
+	Type       FrameType
+	Data       []byte
+	GOBOffsets []int
+	IntraMBs   int
+}
+
+// AsEncodedFrame adapts the frame for APIs built around EncodedFrame
+// (the packetiser). The mode plan is not retained, so Plan is nil.
+func (f *SeqFrame) AsEncodedFrame() *EncodedFrame {
+	return &EncodedFrame{FrameNum: f.FrameNum, Type: f.Type, Data: f.Data, GOBOffsets: f.GOBOffsets}
+}
+
+// EncodedSequence is the immutable product of the encode phase of the
+// two-phase experiment pipeline: every frame's bitstream plus the
+// energy-counter tally and size statistics of the encode that produced
+// it. Because the encoder never sees the channel, a sequence is fully
+// determined by its encode inputs — the property that makes it safe to
+// share one sequence across every (seed, PLR) simulation of the grid,
+// and to memoize it in a content-addressed cache (internal/bitcache).
+//
+// Sequences must be treated as immutable once built: they are handed
+// to concurrent simulations and cached across calls.
+type EncodedSequence struct {
+	Scheme        string // planner name ("PBPAIR", "GOP-3", ...)
+	Width, Height int
+	TotalBytes    int
+	Counters      energy.Counters
+	Frames        []SeqFrame
+}
+
+// Rough per-struct overheads used by SizeBytes (slice/string headers,
+// ints); precision does not matter, only that the cache's byte budget
+// tracks reality within a small constant factor.
+const (
+	seqFixedOverhead = 160
+	seqFrameOverhead = 96
+)
+
+// SizeBytes estimates the sequence's in-memory footprint, the unit of
+// the bitstream cache's byte budget.
+func (s *EncodedSequence) SizeBytes() int64 {
+	size := int64(seqFixedOverhead + len(s.Scheme))
+	for i := range s.Frames {
+		size += seqFrameOverhead + int64(len(s.Frames[i].Data)) + 8*int64(len(s.Frames[i].GOBOffsets))
+	}
+	return size
+}
+
+// seqMagic versions the on-disk spill format; bump it whenever the
+// serialization below changes shape.
+const seqMagic = "PBSEQv1\n"
+
+// counterValues lists the energy counter fields in their canonical
+// serialization order. The sequence round-trip test pins this list
+// against the energy.Counters definition, so adding a counter without
+// extending it fails loudly instead of silently dropping data.
+func counterValues(c *energy.Counters) []*int64 {
+	return []*int64{
+		&c.SADPixelOps, &c.SADCalls,
+		&c.DCTBlocks, &c.IDCTBlocks,
+		&c.QuantBlocks, &c.DequantBlocks,
+		&c.MCMBs, &c.VLCBits, &c.MBs, &c.Frames,
+	}
+}
+
+// MarshalBinary serializes the sequence for the cache's on-disk spill.
+// The format is a magic header followed by uvarint-coded fields; every
+// field is a non-negative count, size or offset.
+func (s *EncodedSequence) MarshalBinary() ([]byte, error) {
+	buf := make([]byte, 0, int(s.SizeBytes()))
+	buf = append(buf, seqMagic...)
+	buf = appendUvarint(buf, uint64(len(s.Scheme)))
+	buf = append(buf, s.Scheme...)
+	buf = appendUvarint(buf, uint64(s.Width))
+	buf = appendUvarint(buf, uint64(s.Height))
+	buf = appendUvarint(buf, uint64(s.TotalBytes))
+	counters := s.Counters
+	for _, v := range counterValues(&counters) {
+		if *v < 0 {
+			return nil, fmt.Errorf("codec: sequence has negative counter %d", *v)
+		}
+		buf = appendUvarint(buf, uint64(*v))
+	}
+	buf = appendUvarint(buf, uint64(len(s.Frames)))
+	for i := range s.Frames {
+		f := &s.Frames[i]
+		buf = appendUvarint(buf, uint64(f.FrameNum))
+		buf = appendUvarint(buf, uint64(f.Type))
+		buf = appendUvarint(buf, uint64(f.IntraMBs))
+		buf = appendUvarint(buf, uint64(len(f.GOBOffsets)))
+		for _, off := range f.GOBOffsets {
+			buf = appendUvarint(buf, uint64(off))
+		}
+		buf = appendUvarint(buf, uint64(len(f.Data)))
+		buf = append(buf, f.Data...)
+	}
+	return buf, nil
+}
+
+// UnmarshalBinary parses a MarshalBinary serialization. The input is
+// untrusted (a spill file may be truncated or corrupt), so every
+// length is validated against the remaining input before allocation
+// and the decoded frames own copies of their byte slices.
+func (s *EncodedSequence) UnmarshalBinary(data []byte) error {
+	if !bytes.HasPrefix(data, []byte(seqMagic)) {
+		return fmt.Errorf("codec: sequence spill lacks %q magic", seqMagic)
+	}
+	r := seqReader{data: data, off: len(seqMagic)}
+	scheme, err := r.take(r.uvarint())
+	if err != nil {
+		return err
+	}
+	var out EncodedSequence
+	out.Scheme = string(scheme)
+	out.Width = int(r.uvarint())
+	out.Height = int(r.uvarint())
+	out.TotalBytes = int(r.uvarint())
+	for _, v := range counterValues(&out.Counters) {
+		*v = int64(r.uvarint())
+	}
+	nFrames := r.uvarint()
+	if nFrames > uint64(len(data)) {
+		return fmt.Errorf("codec: sequence spill claims %d frames in %d bytes", nFrames, len(data))
+	}
+	out.Frames = make([]SeqFrame, 0, int(nFrames))
+	for i := uint64(0); i < nFrames; i++ {
+		var f SeqFrame
+		f.FrameNum = int(r.uvarint())
+		f.Type = FrameType(r.uvarint())
+		if f.Type != IFrame && f.Type != PFrame {
+			return fmt.Errorf("codec: sequence spill frame %d has type %d", i, f.Type)
+		}
+		f.IntraMBs = int(r.uvarint())
+		nOffs := r.uvarint()
+		if nOffs > uint64(len(data)) {
+			return fmt.Errorf("codec: sequence spill frame %d claims %d GOB offsets", i, nOffs)
+		}
+		f.GOBOffsets = make([]int, 0, int(nOffs))
+		for j := uint64(0); j < nOffs; j++ {
+			f.GOBOffsets = append(f.GOBOffsets, int(r.uvarint()))
+		}
+		payload, err := r.take(r.uvarint())
+		if err != nil {
+			return fmt.Errorf("codec: sequence spill frame %d: %w", i, err)
+		}
+		f.Data = append([]byte(nil), payload...)
+		out.Frames = append(out.Frames, f)
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(data) {
+		return fmt.Errorf("codec: sequence spill has %d trailing bytes", len(data)-r.off)
+	}
+	*s = out
+	return nil
+}
+
+func appendUvarint(buf []byte, v uint64) []byte {
+	return binary.AppendUvarint(buf, v)
+}
+
+// seqReader is a cursor over a serialized sequence. Errors are sticky:
+// after the first malformed field every read returns zero, and the
+// caller checks err once at a convenient boundary.
+type seqReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *seqReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.off:])
+	if n <= 0 {
+		r.err = fmt.Errorf("codec: sequence spill truncated at byte %d", r.off)
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *seqReader) take(n uint64) ([]byte, error) {
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n > uint64(len(r.data)-r.off) {
+		r.err = fmt.Errorf("codec: sequence spill field of %d bytes exceeds remaining %d", n, len(r.data)-r.off)
+		return nil, r.err
+	}
+	b := r.data[r.off : r.off+int(n)]
+	r.off += int(n)
+	return b, nil
+}

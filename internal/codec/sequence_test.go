@@ -1,0 +1,125 @@
+package codec
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"pbpair/internal/energy"
+)
+
+func sampleSequence() *EncodedSequence {
+	return &EncodedSequence{
+		Scheme: "PBPAIR",
+		Width:  176, Height: 144,
+		TotalBytes: 9,
+		Counters: energy.Counters{
+			SADPixelOps: 1, SADCalls: 2, DCTBlocks: 3, IDCTBlocks: 4,
+			QuantBlocks: 5, DequantBlocks: 6, MCMBs: 7, VLCBits: 8,
+			MBs: 9, Frames: 2,
+		},
+		Frames: []SeqFrame{
+			{FrameNum: 0, Type: IFrame, Data: []byte{1, 2, 3, 4, 5}, GOBOffsets: []int{0, 2}, IntraMBs: 99},
+			{FrameNum: 1, Type: PFrame, Data: []byte{6, 7, 8, 9}, GOBOffsets: []int{0}, IntraMBs: 3},
+		},
+	}
+}
+
+func TestSequenceMarshalRoundTrip(t *testing.T) {
+	want := sampleSequence()
+	data, err := want.MarshalBinary()
+	if err != nil {
+		t.Fatalf("MarshalBinary: %v", err)
+	}
+	var got EncodedSequence
+	if err := got.UnmarshalBinary(data); err != nil {
+		t.Fatalf("UnmarshalBinary: %v", err)
+	}
+	if !reflect.DeepEqual(&got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", &got, want)
+	}
+	// Decoded frames must own their bytes — a shared spill buffer would
+	// let one consumer corrupt another's cached sequence.
+	data[len(data)-1] ^= 0xFF
+	if got.Frames[1].Data[len(got.Frames[1].Data)-1] == data[len(data)-1] {
+		t.Fatal("decoded frame aliases the serialization buffer")
+	}
+}
+
+// TestSequenceCounterFieldsPinned fails when energy.Counters gains a
+// field that counterValues does not serialize (which would silently
+// drop tally data on the spill path).
+func TestSequenceCounterFieldsPinned(t *testing.T) {
+	n := reflect.TypeOf(energy.Counters{}).NumField()
+	var c energy.Counters
+	if got := len(counterValues(&c)); got != n {
+		t.Fatalf("counterValues serializes %d fields, energy.Counters has %d — extend counterValues (and bump seqMagic)", got, n)
+	}
+}
+
+func TestSequenceUnmarshalRejectsCorruptInput(t *testing.T) {
+	valid, err := sampleSequence().MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "magic"},
+		{"bad magic", []byte("NOTPBSEQ rest"), "magic"},
+		{"magic only", []byte(seqMagic), "truncated"},
+		{"truncated tail", valid[:len(valid)-3], ""},
+		{"trailing garbage", append(append([]byte{}, valid...), 0xAA), "trailing"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var s EncodedSequence
+			err := s.UnmarshalBinary(tc.data)
+			if err == nil {
+				t.Fatal("corrupt input accepted")
+			}
+			if tc.want != "" && !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	// Every truncation point must error, never panic or accept.
+	for cut := 0; cut < len(valid); cut++ {
+		var s EncodedSequence
+		if err := s.UnmarshalBinary(valid[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d bytes accepted", cut, len(valid))
+		}
+	}
+}
+
+func TestSequenceUnmarshalRejectsBadFrameType(t *testing.T) {
+	seq := sampleSequence()
+	seq.Frames[0].Type = FrameType(7)
+	data, err := seq.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s EncodedSequence
+	if err := s.UnmarshalBinary(data); err == nil || !strings.Contains(err.Error(), "type") {
+		t.Fatalf("bad frame type: err = %v, want type error", err)
+	}
+}
+
+func TestSequenceSizeBytesTracksPayload(t *testing.T) {
+	seq := sampleSequence()
+	small := seq.SizeBytes()
+	seq.Frames[0].Data = make([]byte, 10_000)
+	if grown := seq.SizeBytes(); grown < small+10_000-8 {
+		t.Fatalf("SizeBytes grew by %d for 10000 payload bytes", grown-small)
+	}
+}
+
+func TestAsEncodedFrame(t *testing.T) {
+	f := &SeqFrame{FrameNum: 5, Type: PFrame, Data: []byte{1}, GOBOffsets: []int{0}}
+	ef := f.AsEncodedFrame()
+	if ef.FrameNum != 5 || ef.Type != PFrame || &ef.Data[0] != &f.Data[0] || ef.Plan != nil {
+		t.Fatalf("AsEncodedFrame mismatch: %+v", ef)
+	}
+}

@@ -20,7 +20,7 @@ import (
 
 	"pbpair/internal/energy"
 	"pbpair/internal/motion"
-	"pbpair/internal/quant"
+	"pbpair/internal/parallel"
 	"pbpair/internal/video"
 )
 
@@ -71,7 +71,10 @@ func (m MBMode) String() string {
 }
 
 // MBContext is what a ModePlanner sees when making a per-macroblock
-// decision.
+// decision. The encoder reuses one context struct for every macroblock
+// of a frame, so hooks must read it during the call and never retain
+// the pointer (capture the field values instead, as MEPenalty
+// implementations do).
 type MBContext struct {
 	FrameNum int
 	Index    int // raster macroblock index
@@ -235,7 +238,9 @@ type Config struct {
 	// the SAD search of planFrame and the half-pel refinement pass
 	// run across contiguous macroblock-row shards, with per-shard
 	// motion statistics merged in shard order. Values <= 1 select the
-	// serial encoder. The emitted bitstream, the reconstruction and
+	// serial encoder; values above runtime.GOMAXPROCS(0) are capped to
+	// it, since extra shards beyond the core count only add span
+	// overhead. The emitted bitstream, the reconstruction and
 	// the counter tallies are bit-identical for every value — sharding
 	// changes only wall-clock time (see ARCHITECTURE.md, determinism
 	// guarantees). Planner hooks are still invoked sequentially; only
@@ -244,7 +249,11 @@ type Config struct {
 	Workers int
 }
 
-// withDefaults validates cfg and fills defaults.
+// withDefaults validates cfg and fills defaults. Bitstream-affecting
+// knobs are normalised by normalizedBitstream (shared with the cache
+// fingerprint in BitstreamKey); Workers is additionally capped at
+// GOMAXPROCS — beyond that, extra shards pay span overhead without any
+// parallelism to show for it, and sharding never changes the output.
 func (cfg Config) withDefaults() (Config, error) {
 	if err := video.ValidateDims(cfg.Width, cfg.Height); err != nil {
 		return cfg, fmt.Errorf("codec: %w", err)
@@ -252,21 +261,15 @@ func (cfg Config) withDefaults() (Config, error) {
 	if cfg.Planner == nil {
 		return cfg, fmt.Errorf("codec: config requires a ModePlanner")
 	}
-	cfg.QP = quant.ClampQP(cfg.QP)
-	if cfg.SearchRange == 0 {
-		cfg.SearchRange = 7
-	}
+	cfg = cfg.normalizedBitstream()
 	if cfg.SearchRange < 0 || cfg.SearchRange > 31 {
 		return cfg, fmt.Errorf("codec: search range %d outside [0, 31]", cfg.SearchRange)
 	}
-	if cfg.Search == 0 {
-		cfg.Search = motion.FullSearch
-	}
-	if cfg.SADThreshold == 0 {
-		cfg.SADThreshold = 500
-	}
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
+	}
+	if max := parallel.DefaultWorkers(); cfg.Workers > max {
+		cfg.Workers = max
 	}
 	return cfg, nil
 }

@@ -93,6 +93,24 @@ const (
 	DefaultSimilarityScale = 32
 )
 
+// Normalized returns cfg with zero-value knobs replaced by their
+// documented defaults (Lambda, PenaltyScale, SimilarityScale). New
+// applies it before validating, so two configs with equal Normalized
+// forms build planners with identical behaviour — the canonical form
+// the experiment layer fingerprints for its bitstream cache.
+func (cfg Config) Normalized() Config {
+	if cfg.Lambda == 0 {
+		cfg.Lambda = DefaultLambda
+	}
+	if cfg.PenaltyScale == 0 {
+		cfg.PenaltyScale = DefaultPenaltyScale
+	}
+	if cfg.SimilarityScale == 0 {
+		cfg.SimilarityScale = DefaultSimilarityScale
+	}
+	return cfg
+}
+
 // PBPAIR is the planner. It implements codec.ModePlanner.
 type PBPAIR struct {
 	cfg   Config
@@ -115,15 +133,7 @@ func New(cfg Config) (*PBPAIR, error) {
 	if cfg.PLR < 0 || cfg.PLR > 1 {
 		return nil, fmt.Errorf("core: PLR %v outside [0, 1]", cfg.PLR)
 	}
-	if cfg.Lambda == 0 {
-		cfg.Lambda = DefaultLambda
-	}
-	if cfg.PenaltyScale == 0 {
-		cfg.PenaltyScale = DefaultPenaltyScale
-	}
-	if cfg.SimilarityScale == 0 {
-		cfg.SimilarityScale = DefaultSimilarityScale
-	}
+	cfg = cfg.Normalized()
 	if cfg.SimilarityScale < 0 {
 		return nil, fmt.Errorf("core: similarity scale %v must be positive", cfg.SimilarityScale)
 	}

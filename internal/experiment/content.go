@@ -3,11 +3,9 @@ package experiment
 import (
 	"fmt"
 
-	"pbpair/internal/codec"
+	"pbpair/internal/bitcache"
 	"pbpair/internal/core"
 	"pbpair/internal/network"
-	"pbpair/internal/parallel"
-	"pbpair/internal/resilience"
 	"pbpair/internal/synth"
 )
 
@@ -42,6 +40,8 @@ type ContentConfig struct {
 	// Workers bounds the experiment fan-out across (regime, scheme)
 	// cells: <= 0 selects parallel.DefaultWorkers, 1 runs serially.
 	Workers int
+	// Cache, when non-nil, memoizes encodes by content fingerprint.
+	Cache *bitcache.Store
 }
 
 // WithDefaults fills zero fields.
@@ -84,58 +84,59 @@ func (c ContentConfig) WithDefaults() ContentConfig {
 }
 
 // ContentTable runs the five schemes over the configured regimes. The
-// (regime, scheme) cells are independent runs, flattened in the serial
-// iteration order (regime outer, scheme inner) and fanned out across
-// cfg.Workers goroutines; the row order is identical for every worker
-// count.
+// (regime, scheme) cells become one encode plus one simulation each,
+// flattened in the serial iteration order (regime outer, scheme inner);
+// the row order is identical for every worker count.
 func ContentTable(cfg ContentConfig) ([]ContentRow, error) {
 	cfg = cfg.WithDefaults()
-	const schemes = 5
-	return parallel.Map(cfg.Workers, len(cfg.Regimes)*schemes, func(i int) (ContentRow, error) {
-		regime := cfg.Regimes[i/schemes]
+	plan := NewPlan(cfg.Workers, cfg.Cache)
+	var names []string
+	for _, regime := range cfg.Regimes {
 		src := synth.New(regime)
 		gridRows, gridCols := mbGrid(src)
-		cases := []func() (codec.ModePlanner, error){
-			func() (codec.ModePlanner, error) { return resilience.NewNone(), nil },
-			func() (codec.ModePlanner, error) {
-				return core.New(core.Config{
-					Rows: gridRows, Cols: gridCols,
-					IntraTh: cfg.IntraTh, PLR: cfg.PLR,
-					Paranoia: cfg.Paranoia,
-				})
-			},
-			func() (codec.ModePlanner, error) { return resilience.NewPGOP(3, gridCols) },
-			func() (codec.ModePlanner, error) { return resilience.NewGOP(3) },
-			func() (codec.ModePlanner, error) { return resilience.NewAIR(24) },
+		schemes := []SchemeSpec{
+			SchemeNO(),
+			SchemePBPAIR(core.Config{
+				Rows: gridRows, Cols: gridCols,
+				IntraTh: cfg.IntraTh, PLR: cfg.PLR,
+				Paranoia: cfg.Paranoia,
+			}),
+			SchemePGOP(3, gridCols),
+			SchemeGOP(3),
+			SchemeAIR(24),
 		}
-		planner, err := cases[i%schemes]()
-		if err != nil {
-			return ContentRow{}, err
+		for _, scheme := range schemes {
+			enc := plan.Encode(EncodeSpec{
+				Regime: regime, Frames: cfg.Frames,
+				QP: cfg.QP, SearchRange: cfg.SearchRange,
+				Scheme: scheme,
+			})
+			channel, err := network.NewUniformLoss(cfg.PLR, cfg.Seed+uint64(regime))
+			if err != nil {
+				return nil, err
+			}
+			plan.Simulate(enc, SimSpec{
+				Name:    fmt.Sprintf("content/%s/%s", src.Name(), scheme.Key()),
+				Channel: channel,
+			})
+			names = append(names, src.Name())
 		}
-		channel, err := network.NewUniformLoss(cfg.PLR, cfg.Seed+uint64(regime))
-		if err != nil {
-			return ContentRow{}, err
-		}
-		res, err := Run(Scenario{
-			Name:        fmt.Sprintf("content/%s/%s", src.Name(), planner.Name()),
-			Source:      src,
-			Frames:      cfg.Frames,
-			QP:          cfg.QP,
-			SearchRange: cfg.SearchRange,
-			Planner:     planner,
-			Channel:     channel,
-		})
-		if err != nil {
-			return ContentRow{}, err
-		}
-		return ContentRow{
-			Sequence:  src.Name(),
+	}
+	results, err := plan.Run()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]ContentRow, 0, len(results))
+	for i, res := range results {
+		rows = append(rows, ContentRow{
+			Sequence:  names[i],
 			Scheme:    res.Scheme,
 			AvgPSNR:   res.PSNR.Mean(),
 			BadPixels: res.TotalBadPix,
 			FileKB:    float64(res.TotalBytes) / 1024,
 			EnergyJ:   res.Joules,
 			IntraRate: res.IntraMBs.Mean(),
-		}, nil
-	})
+		})
+	}
+	return rows, nil
 }

@@ -111,12 +111,33 @@ type runner struct {
 	keep bool
 }
 
-// Run executes a scenario.
+// Run executes a scenario: the encode phase followed by the simulate
+// phase (see pipeline.go). The split is invisible here — Run produces
+// exactly what the single-loop implementation did, because the encoder
+// never sees the channel — but it lets a Plan share the encode across
+// many simulations.
 func Run(s Scenario, opts ...Option) (*Result, error) {
-	var r runner
-	for _, opt := range opts {
-		opt(&r)
+	seq, err := encodeScenario(s)
+	if err != nil {
+		return nil, err
 	}
+	res, err := Simulate(seq, s.Source, SimSpec{
+		Name:              s.Name,
+		Channel:           s.Channel,
+		MTU:               s.MTU,
+		Concealer:         s.Concealer,
+		FECGroup:          s.FECGroup,
+		Profile:           s.Profile,
+		BadPixelThreshold: s.BadPixelThreshold,
+	}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// encodeScenario runs a scenario's encode phase.
+func encodeScenario(s Scenario) (*codec.EncodedSequence, error) {
 	if s.Source == nil {
 		return nil, fmt.Errorf("experiment: scenario %q has no source", s.Name)
 	}
@@ -133,9 +154,7 @@ func Run(s Scenario, opts ...Option) (*Result, error) {
 		s.SearchRange = 15
 	}
 	width, height := s.Source.Dims()
-
-	var counters energy.Counters
-	enc, err := codec.NewEncoder(codec.Config{
+	return encodeSequence(s.Name, s.Source, s.Frames, codec.Config{
 		Width: width, Height: height,
 		QP:           s.QP,
 		SearchRange:  s.SearchRange,
@@ -143,128 +162,8 @@ func Run(s Scenario, opts ...Option) (*Result, error) {
 		SADThreshold: s.SADThreshold,
 		HalfPel:      s.HalfPel,
 		Planner:      s.Planner,
-		Counters:     &counters,
 		Workers:      s.Workers,
 	})
-	if err != nil {
-		return nil, fmt.Errorf("experiment: scenario %q: %w", s.Name, err)
-	}
-
-	var decOpts []codec.DecoderOption
-	if s.Concealer != nil {
-		decOpts = append(decOpts, codec.WithConcealer(s.Concealer))
-	}
-	dec, err := codec.NewDecoder(width, height, decOpts...)
-	if err != nil {
-		return nil, fmt.Errorf("experiment: scenario %q: %w", s.Name, err)
-	}
-
-	pktz := network.NewPacketizer(s.MTU)
-	channel := s.Channel
-	if channel == nil {
-		channel = network.Perfect{}
-	}
-	profile := s.Profile
-	if profile.Name == "" {
-		profile = energy.IPAQ
-	}
-
-	res := &Result{Name: s.Name, Scheme: s.Planner.Name(), Frames: s.Frames, keepFrames: r.keep}
-
-	// Frames are processed in blocks: one frame at a time normally, or
-	// FECGroup frames per block when FEC is on (the receiver buffers a
-	// full parity group before decoding).
-	blockFrames := 1
-	var fecEnc *network.FECEncoder
-	if s.FECGroup > 0 {
-		blockFrames = s.FECGroup
-		var err error
-		if fecEnc, err = network.NewFECEncoder(s.FECGroup); err != nil {
-			return nil, fmt.Errorf("experiment: scenario %q: %w", s.Name, err)
-		}
-	}
-
-	for k := 0; k < s.Frames; k += blockFrames {
-		end := k + blockFrames
-		if end > s.Frames {
-			end = s.Frames
-		}
-		originals := make([]*video.Frame, 0, end-k)
-		var blockPackets []network.Packet
-		for f := k; f < end; f++ {
-			original := s.Source.Frame(f)
-			originals = append(originals, original)
-			ef, err := enc.EncodeFrame(original)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: scenario %q frame %d: %w", s.Name, f, err)
-			}
-			res.FrameBytes.Add(float64(ef.Bytes()))
-			res.IntraMBs.Add(float64(ef.Plan.IntraCount()))
-			res.TotalBytes += ef.Bytes()
-
-			packets := pktz.Packetize(ef)
-			if fecEnc != nil {
-				packets = fecEnc.Protect(packets)
-			}
-			blockPackets = append(blockPackets, packets...)
-		}
-		if fecEnc != nil {
-			blockPackets = append(blockPackets, fecEnc.Flush()...)
-		}
-
-		for _, pkt := range blockPackets {
-			if pkt.Parity != nil {
-				res.FECBytes += len(pkt.Payload)
-			}
-		}
-		res.PacketsSent += len(blockPackets)
-		kept := channel.Transmit(blockPackets)
-		res.PacketsLost += len(blockPackets) - len(kept)
-		if fecEnc != nil {
-			kept = network.RecoverFEC(kept)
-		}
-
-		// Group surviving media packets by frame and decode in order.
-		byFrame := make(map[int][]network.Packet, end-k)
-		for _, pkt := range kept {
-			byFrame[pkt.FrameNum] = append(byFrame[pkt.FrameNum], pkt)
-		}
-		for f := k; f < end; f++ {
-			original := originals[f-k]
-			var decoded *codec.DecodeResult
-			var err error
-			if payload := network.Reassemble(byFrame[f]); payload == nil {
-				decoded = dec.ConcealLostFrame()
-				res.LostFrames++
-			} else {
-				decoded, err = dec.DecodeFrame(payload)
-				if err != nil {
-					return nil, fmt.Errorf("experiment: scenario %q frame %d decode: %w", s.Name, f, err)
-				}
-			}
-			res.ConcealedMBs += decoded.ConcealedMBs
-
-			psnr, err := metrics.PSNR(original, decoded.Frame)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: scenario %q frame %d PSNR: %w", s.Name, f, err)
-			}
-			res.PSNR.Add(psnr)
-			bad, err := metrics.BadPixels(original, decoded.Frame, s.BadPixelThreshold)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: scenario %q frame %d bad pixels: %w", s.Name, f, err)
-			}
-			res.BadPixels.Add(float64(bad))
-			res.TotalBadPix += bad
-
-			if r.keep {
-				res.DecodedFrames = append(res.DecodedFrames, decoded.Frame.Clone())
-			}
-		}
-	}
-	res.Counters = counters
-	res.Breakdown = profile.Decompose(counters)
-	res.Joules = res.Breakdown.Total()
-	return res, nil
 }
 
 // CalibrateIntraTh finds the Intra_Th at which probe's encoded size

@@ -4,12 +4,11 @@ import (
 	"fmt"
 	"strings"
 
-	"pbpair/internal/codec"
+	"pbpair/internal/bitcache"
 	"pbpair/internal/core"
 	"pbpair/internal/energy"
 	"pbpair/internal/network"
 	"pbpair/internal/parallel"
-	"pbpair/internal/resilience"
 	"pbpair/internal/synth"
 )
 
@@ -17,6 +16,10 @@ import (
 // Frame counts are parameters: the paper uses 300 frames (Figure 5)
 // and 50 frames (Figure 6); benchmarks shrink them to keep runtimes
 // sane while preserving every qualitative relationship.
+//
+// Each experiment is phrased as a Plan — encode jobs deduplicated by
+// content, then the simulation grid against the shared bitstreams —
+// so loss-independent axes never re-encode (see pipeline.go).
 
 // Fig5Config parameterises the Figure 5 reproduction.
 type Fig5Config struct {
@@ -28,10 +31,15 @@ type Fig5Config struct {
 	Seed        uint64  // loss-pattern seed
 	Profile     energy.Profile
 	// Workers bounds the experiment fan-out: the three per-sequence
-	// calibrations run concurrently, then all (sequence, scheme) cells.
-	// <= 0 selects parallel.DefaultWorkers, 1 runs serially; the result
-	// is identical for every value.
+	// calibrations run concurrently, then all distinct encodes, then
+	// all (sequence, scheme) cells. <= 0 selects
+	// parallel.DefaultWorkers, 1 runs serially; the result is identical
+	// for every value.
 	Workers int
+	// Cache, when non-nil, memoizes encodes (calibration probes
+	// included) by content fingerprint, sharing them across seeds and
+	// repeated calls. Results are identical with or without it.
+	Cache *bitcache.Store
 }
 
 // WithDefaults fills zero fields with their documented defaults.
@@ -119,6 +127,18 @@ func mbGrid(src synth.Source) (rows, cols int) {
 	return h / 16, w / 16
 }
 
+// probeBytes encodes ProbeFrames frames loss-free and returns the
+// total size — the calibration probe. Probes go through the cache,
+// so a bisection repeated across seeds (Fig5Multi) or processes (the
+// cmd tools with a spill dir) encodes each probe once.
+func probeBytes(cache *bitcache.Store, spec EncodeSpec) (int, error) {
+	seq, err := Encode(cache, spec)
+	if err != nil {
+		return 0, err
+	}
+	return seq.TotalBytes, nil
+}
+
 // Fig5 reproduces Figure 5: NO, PBPAIR, PGOP-3, GOP-3 and AIR-24 on
 // the three sequences at PLR 10%, reporting average PSNR, bad pixels,
 // encoded size and encoding energy. PBPAIR's Intra_Th is calibrated to
@@ -129,107 +149,97 @@ func Fig5(cfg Fig5Config) ([]Fig5Row, error) {
 	cfg = cfg.WithDefaults()
 	regimes := []synth.Regime{synth.RegimeForeman, synth.RegimeAkiyo, synth.RegimeGarden}
 
-	// Phase 1 — calibration, one job per sequence. Each bisection is
+	// Phase 0 — calibration, one job per sequence. Each bisection is
 	// inherently sequential (every probe depends on the previous
-	// bracket), but the three sequences are independent.
+	// bracket), but the three sequences are independent, and every
+	// probe is a cacheable loss-free encode.
+	probeSpec := func(regime synth.Regime, scheme SchemeSpec) EncodeSpec {
+		return EncodeSpec{
+			Regime: regime, Frames: cfg.ProbeFrames,
+			QP: cfg.QP, SearchRange: cfg.SearchRange,
+			Scheme: scheme,
+		}
+	}
 	ths, err := parallel.Map(cfg.Workers, len(regimes), func(i int) (float64, error) {
 		src := synth.New(regimes[i])
 		gridRows, gridCols := mbGrid(src)
-		pgopProbe, err := encodedBytes(src, cfg, func() (codec.ModePlanner, error) {
-			return resilience.NewPGOP(3, gridCols)
-		})
+		pgopProbe, err := probeBytes(cfg.Cache, probeSpec(regimes[i], SchemePGOP(3, gridCols)))
 		if err != nil {
 			return 0, err
 		}
 		return CalibrateIntraTh(func(t float64) (int, error) {
-			return encodedBytes(src, cfg, func() (codec.ModePlanner, error) {
-				return core.New(core.Config{Rows: gridRows, Cols: gridCols, IntraTh: t, PLR: cfg.PLR})
-			})
+			return probeBytes(cfg.Cache, probeSpec(regimes[i],
+				SchemePBPAIR(core.Config{Rows: gridRows, Cols: gridCols, IntraTh: t, PLR: cfg.PLR})))
 		}, pgopProbe, 10)
 	})
 	if err != nil {
 		return nil, err
 	}
 
-	// Phase 2 — the full (sequence, scheme) grid, flattened in the
-	// serial iteration order (sequence outer, scheme inner) so the
-	// returned rows are identical for every worker count.
-	type schemeCase struct {
-		make    func(gridRows, gridCols int, th float64) (codec.ModePlanner, error)
-		intraTh bool // report the calibrated threshold in the row
+	// Phases 1+2 — one encode per (sequence, scheme), then the
+	// simulation grid, flattened in the serial iteration order
+	// (sequence outer, scheme inner) so the returned rows are
+	// identical for every worker count.
+	plan := NewPlan(cfg.Workers, cfg.Cache)
+	type cell struct {
+		sequence string
+		th       float64 // reported threshold (PBPAIR only)
 	}
-	cases := []schemeCase{
-		{make: func(_, _ int, _ float64) (codec.ModePlanner, error) { return resilience.NewNone(), nil }},
-		{make: func(r, c int, th float64) (codec.ModePlanner, error) {
-			return core.New(core.Config{Rows: r, Cols: c, IntraTh: th, PLR: cfg.PLR})
-		}, intraTh: true},
-		{make: func(_, c int, _ float64) (codec.ModePlanner, error) { return resilience.NewPGOP(3, c) }},
-		{make: func(_, _ int, _ float64) (codec.ModePlanner, error) { return resilience.NewGOP(3) }},
-		{make: func(_, _ int, _ float64) (codec.ModePlanner, error) { return resilience.NewAIR(24) }},
-	}
-	return parallel.Map(cfg.Workers, len(regimes)*len(cases), func(i int) (Fig5Row, error) {
-		regime := regimes[i/len(cases)]
-		sc := cases[i%len(cases)]
+	var cells []cell
+	for si, regime := range regimes {
 		src := synth.New(regime)
 		gridRows, gridCols := mbGrid(src)
-		th := ths[i/len(cases)]
-
-		planner, err := sc.make(gridRows, gridCols, th)
-		if err != nil {
-			return Fig5Row{}, err
+		th := ths[si]
+		schemes := []struct {
+			spec    SchemeSpec
+			intraTh bool
+		}{
+			{spec: SchemeNO()},
+			{spec: SchemePBPAIR(core.Config{Rows: gridRows, Cols: gridCols, IntraTh: th, PLR: cfg.PLR}), intraTh: true},
+			{spec: SchemePGOP(3, gridCols)},
+			{spec: SchemeGOP(3)},
+			{spec: SchemeAIR(24)},
 		}
-		channel, err := network.NewUniformLoss(cfg.PLR, cfg.Seed+uint64(regime))
-		if err != nil {
-			return Fig5Row{}, err
+		for _, sc := range schemes {
+			enc := plan.Encode(EncodeSpec{
+				Regime: regime, Frames: cfg.Frames,
+				QP: cfg.QP, SearchRange: cfg.SearchRange,
+				Scheme: sc.spec,
+			})
+			channel, err := network.NewUniformLoss(cfg.PLR, cfg.Seed+uint64(regime))
+			if err != nil {
+				return nil, err
+			}
+			plan.Simulate(enc, SimSpec{
+				Name:    fmt.Sprintf("fig5/%s/%s", src.Name(), sc.spec.Key()),
+				Channel: channel,
+				Profile: cfg.Profile,
+			})
+			c := cell{sequence: src.Name()}
+			if sc.intraTh {
+				c.th = th
+			}
+			cells = append(cells, c)
 		}
-		res, err := Run(Scenario{
-			Name:        fmt.Sprintf("fig5/%s/%s", src.Name(), planner.Name()),
-			Source:      src,
-			Frames:      cfg.Frames,
-			QP:          cfg.QP,
-			SearchRange: cfg.SearchRange,
-			Planner:     planner,
-			Channel:     channel,
-			Profile:     cfg.Profile,
-		})
-		if err != nil {
-			return Fig5Row{}, err
-		}
-		row := Fig5Row{
-			Sequence:  src.Name(),
+	}
+	results, err := plan.Run()
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig5Row, 0, len(results))
+	for i, res := range results {
+		rows = append(rows, Fig5Row{
+			Sequence:  cells[i].sequence,
 			Scheme:    res.Scheme,
 			AvgPSNR:   res.PSNR.Mean(),
 			BadPixels: res.TotalBadPix,
 			FileKB:    float64(res.TotalBytes) / 1024,
 			EnergyJ:   res.Joules,
+			IntraTh:   cells[i].th,
 			Counters:  res.Counters,
-		}
-		if sc.intraTh {
-			row.IntraTh = th
-		}
-		return row, nil
-	})
-}
-
-// encodedBytes encodes ProbeFrames frames loss-free and returns the
-// total size — the calibration probe.
-func encodedBytes(src synth.Source, cfg Fig5Config, mk func() (codec.ModePlanner, error)) (int, error) {
-	planner, err := mk()
-	if err != nil {
-		return 0, err
+		})
 	}
-	res, err := Run(Scenario{
-		Name:        "probe",
-		Source:      src,
-		Frames:      cfg.ProbeFrames,
-		QP:          cfg.QP,
-		SearchRange: cfg.SearchRange,
-		Planner:     planner,
-	})
-	if err != nil {
-		return 0, err
-	}
-	return res.TotalBytes, nil
+	return rows, nil
 }
 
 // Fig6Config parameterises the Figure 6 reproduction.
@@ -239,10 +249,11 @@ type Fig6Config struct {
 	SearchRange int   // motion search range (default 15)
 	LossEvents  []int // frames lost (e1..e7); defaults include a GOP-8 I-frame
 	ProbeFrames int
-	// Workers bounds the experiment fan-out across the scheme traces
-	// (each scheme's loss-free and lossy runs are independent jobs).
+	// Workers bounds the experiment fan-out across the scheme traces.
 	// <= 0 selects parallel.DefaultWorkers, 1 runs serially.
 	Workers int
+	// Cache, when non-nil, memoizes encodes by content fingerprint.
+	Cache *bitcache.Store
 }
 
 // WithDefaults fills zero fields with their documented defaults.
@@ -276,66 +287,59 @@ type Fig6Series struct {
 
 // Fig6 reproduces Figure 6: per-frame PSNR and frame-size traces for
 // PBPAIR, PGOP-1, GOP-8 and AIR-10 (size-matched per the paper) on the
-// foreman sequence under scripted loss events.
+// foreman sequence under scripted loss events. Each scheme's clean and
+// lossy traces are two simulations of one shared encode — the
+// structural form of "the encoder never sees the channel".
 func Fig6(cfg Fig6Config) ([]Fig6Series, error) {
 	cfg = cfg.WithDefaults()
 	src := synth.New(synth.RegimeForeman)
 	gridRows, gridCols := mbGrid(src)
 	const plr = 0.10 // PBPAIR's assumed network estimate
 
-	probeCfg := Fig5Config{Frames: cfg.Frames, ProbeFrames: cfg.ProbeFrames, QP: cfg.QP, SearchRange: cfg.SearchRange, PLR: plr}
+	probeSpec := func(scheme SchemeSpec) EncodeSpec {
+		return EncodeSpec{
+			Regime: synth.RegimeForeman, Frames: cfg.ProbeFrames,
+			QP: cfg.QP, SearchRange: cfg.SearchRange,
+			Scheme: scheme,
+		}
+	}
 
 	// Size-match PBPAIR to GOP-8's probe size (the paper: "we choose
 	// PGOP-1, GOP-8, and AIR-10 since those schemes generate a similar
 	// size of encoded bitstream").
-	gopProbe, err := encodedBytes(src, probeCfg, func() (codec.ModePlanner, error) {
-		return resilience.NewGOP(8)
-	})
+	gopProbe, err := probeBytes(cfg.Cache, probeSpec(SchemeGOP(8)))
 	if err != nil {
 		return nil, err
 	}
 	th, err := CalibrateIntraTh(func(t float64) (int, error) {
-		return encodedBytes(src, probeCfg, func() (codec.ModePlanner, error) {
-			return core.New(core.Config{Rows: gridRows, Cols: gridCols, IntraTh: t, PLR: plr})
-		})
+		return probeBytes(cfg.Cache, probeSpec(
+			SchemePBPAIR(core.Config{Rows: gridRows, Cols: gridCols, IntraTh: t, PLR: plr})))
 	}, gopProbe, 10)
 	if err != nil {
 		return nil, err
 	}
 
 	cases := []struct {
-		mk      func() (codec.ModePlanner, error)
+		spec    SchemeSpec
 		intraTh float64
 	}{
-		{mk: func() (codec.ModePlanner, error) {
-			return core.New(core.Config{Rows: gridRows, Cols: gridCols, IntraTh: th, PLR: plr})
-		}, intraTh: th},
-		{mk: func() (codec.ModePlanner, error) { return resilience.NewPGOP(1, gridCols) }},
-		{mk: func() (codec.ModePlanner, error) { return resilience.NewGOP(8) }},
-		{mk: func() (codec.ModePlanner, error) { return resilience.NewAIR(10) }},
+		{spec: SchemePBPAIR(core.Config{Rows: gridRows, Cols: gridCols, IntraTh: th, PLR: plr}), intraTh: th},
+		{spec: SchemePGOP(1, gridCols)},
+		{spec: SchemeGOP(8)},
+		{spec: SchemeAIR(10)},
 	}
 
-	// Every (scheme, clean/lossy) pair is an independent run with a
-	// fresh planner (planners are stateful), so the 2·len(cases) jobs
-	// fan out together; results land in index-addressed slots, keeping
-	// the series order identical for every worker count.
-	runs, err := parallel.Map(cfg.Workers, 2*len(cases), func(i int) (*Result, error) {
-		c := cases[i/2]
-		planner, err := c.mk()
-		if err != nil {
-			return nil, err
-		}
-		s := Scenario{
-			Name: "fig6-clean", Source: src, Frames: cfg.Frames, QP: cfg.QP,
-			SearchRange: cfg.SearchRange,
-			Planner:     planner,
-		}
-		if i%2 == 1 {
-			s.Name = "fig6-lossy"
-			s.Channel = network.NewSchedule(cfg.LossEvents...)
-		}
-		return Run(s)
-	})
+	plan := NewPlan(cfg.Workers, cfg.Cache)
+	for _, c := range cases {
+		enc := plan.Encode(EncodeSpec{
+			Regime: synth.RegimeForeman, Frames: cfg.Frames,
+			QP: cfg.QP, SearchRange: cfg.SearchRange,
+			Scheme: c.spec,
+		})
+		plan.Simulate(enc, SimSpec{Name: "fig6-clean"})
+		plan.Simulate(enc, SimSpec{Name: "fig6-lossy", Channel: network.NewSchedule(cfg.LossEvents...)})
+	}
+	runs, err := plan.Run()
 	if err != nil {
 		return nil, err
 	}
@@ -365,13 +369,18 @@ type SweepConfig struct {
 	PLRs        []float64
 	Regime      synth.Regime
 	Profile     energy.Profile
-	// Workers bounds the goroutines running grid points concurrently
-	// (the experiment fan-out level): <= 0 selects
+	// Workers bounds the goroutines running encodes and grid points
+	// concurrently (the experiment fan-out level): <= 0 selects
 	// parallel.DefaultWorkers, 1 runs serially. Every grid point is an
-	// independent (planner, channel, encoder, decoder) pipeline keyed
-	// by its grid index, so the returned slice — and any CSV rendered
-	// from it — is byte-identical for every worker count.
+	// independent pipeline keyed by its grid index, so the returned
+	// slice — and any CSV rendered from it — is byte-identical for
+	// every worker count.
 	Workers int
+	// Cache, when non-nil, memoizes encodes by content fingerprint.
+	// PBPAIR's planner depends on both Intra_Th and PLR, so every grid
+	// cell is a distinct encode within one sweep; the cache pays off
+	// across repeated sweeps and, with a spill dir, across processes.
+	Cache *bitcache.Store
 }
 
 // WithDefaults fills zero fields with their documented defaults.
@@ -412,52 +421,57 @@ type SweepPoint struct {
 	BadPixels        int
 }
 
-// Sweep runs the full Intra_Th × PLR grid. Grid points are mutually
-// independent, so they run on cfg.Workers goroutines; the flattened job
-// order (PLR outer, Intra_Th inner) and the returned slice order match
-// the serial nested loops exactly.
+// Sweep runs the full Intra_Th × PLR grid. The flattened job order
+// (PLR outer, Intra_Th inner) and the returned slice order match the
+// serial nested loops exactly.
 func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
 	cfg = cfg.WithDefaults()
 	src := synth.New(cfg.Regime)
 	gridRows, gridCols := mbGrid(src)
-	n := len(cfg.PLRs) * len(cfg.IntraThs)
-	return parallel.Map(cfg.Workers, n, func(i int) (SweepPoint, error) {
-		plr := cfg.PLRs[i/len(cfg.IntraThs)]
-		th := cfg.IntraThs[i%len(cfg.IntraThs)]
-		planner, err := core.New(core.Config{Rows: gridRows, Cols: gridCols, IntraTh: th, PLR: plr})
-		if err != nil {
-			return SweepPoint{}, err
-		}
-		var channel network.Channel
-		if plr > 0 {
-			channel, err = network.NewUniformLoss(plr, cfg.Seed)
-			if err != nil {
-				return SweepPoint{}, err
+
+	plan := NewPlan(cfg.Workers, cfg.Cache)
+	type point struct{ th, plr float64 }
+	var points []point
+	for _, plr := range cfg.PLRs {
+		for _, th := range cfg.IntraThs {
+			enc := plan.Encode(EncodeSpec{
+				Regime: cfg.Regime, Frames: cfg.Frames,
+				QP: cfg.QP, SearchRange: cfg.SearchRange,
+				Scheme: SchemePBPAIR(core.Config{Rows: gridRows, Cols: gridCols, IntraTh: th, PLR: plr}),
+			})
+			var channel network.Channel
+			if plr > 0 {
+				uniform, err := network.NewUniformLoss(plr, cfg.Seed)
+				if err != nil {
+					return nil, err
+				}
+				channel = uniform
 			}
+			plan.Simulate(enc, SimSpec{
+				Name:    fmt.Sprintf("sweep/th%.2f/plr%.2f", th, plr),
+				Channel: channel,
+				Profile: cfg.Profile,
+			})
+			points = append(points, point{th: th, plr: plr})
 		}
-		res, err := Run(Scenario{
-			Name:        fmt.Sprintf("sweep/th%.2f/plr%.2f", th, plr),
-			Source:      src,
-			Frames:      cfg.Frames,
-			QP:          cfg.QP,
-			SearchRange: cfg.SearchRange,
-			Planner:     planner,
-			Channel:     channel,
-			Profile:     cfg.Profile,
-		})
-		if err != nil {
-			return SweepPoint{}, err
-		}
-		return SweepPoint{
-			IntraTh:          th,
-			PLR:              plr,
+	}
+	results, err := plan.Run()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SweepPoint, 0, len(results))
+	for i, res := range results {
+		out = append(out, SweepPoint{
+			IntraTh:          points[i].th,
+			PLR:              points[i].plr,
 			IntraMBsPerFrame: res.IntraMBs.Mean(),
 			FileKB:           float64(res.TotalBytes) / 1024,
 			EnergyJ:          res.Joules,
 			AvgPSNR:          res.PSNR.Mean(),
 			BadPixels:        res.TotalBadPix,
-		}, nil
-	})
+		})
+	}
+	return out, nil
 }
 
 // SweepCSV renders sweep points in the CSV layout of cmd/pbpair-sweep:

@@ -1,0 +1,174 @@
+package experiment
+
+import (
+	"testing"
+
+	"pbpair/internal/core"
+	"pbpair/internal/motion"
+	"pbpair/internal/synth"
+)
+
+// fuzzSpec builds a valid EncodeSpec from raw fuzz bytes, clamping
+// every field into its legal range so the properties below hold for
+// the whole input space.
+func fuzzSpec(regime, frames, qp, sr, kind, n uint8, search bool, sadth int32, halfpel, deblock bool, th, plr float64) EncodeSpec {
+	spec := EncodeSpec{
+		Regime:       synth.Regime(int(regime)%5 + 1), // RegimeAkiyo..RegimeMobile
+		Frames:       int(frames)%64 + 1,
+		QP:           int(qp) % 32,  // 0 exercises the default
+		SearchRange:  int(sr) % 32,  // 0 exercises the default
+		SADThreshold: sadth % 10000, // 0 exercises the default
+		HalfPel:      halfpel,
+		Deblock:      deblock,
+	}
+	if search {
+		spec.Search = motion.ThreeStep
+	}
+	if spec.SADThreshold < 0 {
+		spec.SADThreshold = -spec.SADThreshold
+	}
+	switch int(kind) % 5 {
+	case 0:
+		spec.Scheme = SchemeNO()
+	case 1:
+		spec.Scheme = SchemeGOP(int(n)%30 + 1)
+	case 2:
+		spec.Scheme = SchemeAIR(int(n)%99 + 1)
+	case 3:
+		spec.Scheme = SchemePGOP(int(n)%11+1, 11)
+	case 4:
+		th, plr = clamp01(th), clamp01(plr)
+		spec.Scheme = SchemePBPAIR(core.Config{Rows: 9, Cols: 11, IntraTh: th, PLR: plr})
+	}
+	return spec
+}
+
+func clamp01(v float64) float64 {
+	if !(v >= 0) { // NaN and negatives
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// FuzzEncodeSpecFingerprint pins the canonicalizer's two contracts:
+// specs that encode identical bitstreams hash equal (defaults and
+// normalization are applied before hashing; Workers never
+// participates), and flipping any bitstream-affecting field changes
+// the hash.
+func FuzzEncodeSpecFingerprint(f *testing.F) {
+	f.Add(uint8(2), uint8(8), uint8(8), uint8(15), uint8(0), uint8(3), false, int32(500), false, false, 0.85, 0.1)
+	f.Add(uint8(0), uint8(0), uint8(0), uint8(0), uint8(4), uint8(0), true, int32(0), true, true, 0.0, 0.0)
+	f.Add(uint8(4), uint8(49), uint8(31), uint8(7), uint8(2), uint8(24), false, int32(-77), true, false, 1.5, -0.2)
+	f.Fuzz(func(t *testing.T, regime, frames, qp, sr, kind, n uint8, search bool, sadth int32, halfpel, deblock bool, th, plr float64) {
+		spec := fuzzSpec(regime, frames, qp, sr, kind, n, search, sadth, halfpel, deblock, th, plr)
+		fp := spec.Fingerprint()
+
+		// Equal after normalization: applying the documented defaults
+		// by hand must not change the hash.
+		norm := spec
+		if norm.QP == 0 {
+			norm.QP = 8
+		}
+		if norm.SearchRange == 0 {
+			norm.SearchRange = 15
+		}
+		if norm.SADThreshold == 0 {
+			norm.SADThreshold = 500
+		}
+		if norm.Search == 0 {
+			norm.Search = motion.FullSearch
+		}
+		if norm.Scheme.Kind == SchemeKindPBPAIR {
+			norm.Scheme.PBPAIR = norm.Scheme.PBPAIR.Normalized()
+		}
+		if norm.Fingerprint() != fp {
+			t.Fatalf("normalization changed the hash:\n  raw  %s\n  norm %s", spec.Canonical(), norm.Canonical())
+		}
+
+		// Workers is not bitstream-affecting (sharding is bit-exact).
+		w := spec
+		w.Workers = spec.Workers + 3
+		if w.Fingerprint() != fp {
+			t.Fatal("Workers changed the hash")
+		}
+
+		// Every bitstream-affecting flip must change the hash.
+		flips := map[string]EncodeSpec{}
+		flip := func(name string, mut func(*EncodeSpec)) {
+			s := spec
+			mut(&s)
+			flips[name] = s
+		}
+		flip("Regime", func(s *EncodeSpec) {
+			if s.Regime == synth.RegimeAkiyo {
+				s.Regime = synth.RegimeForeman
+			} else {
+				s.Regime = synth.RegimeAkiyo
+			}
+		})
+		flip("Frames", func(s *EncodeSpec) { s.Frames++ })
+		flip("QP", func(s *EncodeSpec) { s.QP = alt(s.QP, 8, 9, 0) })
+		flip("SearchRange", func(s *EncodeSpec) { s.SearchRange = alt(s.SearchRange, 15, 14, 0) })
+		flip("Search", func(s *EncodeSpec) {
+			if s.Search == motion.ThreeStep {
+				s.Search = motion.FullSearch
+			} else {
+				s.Search = motion.ThreeStep
+			}
+		})
+		flip("SADThreshold", func(s *EncodeSpec) { s.SADThreshold = int32(alt(int(s.SADThreshold), 500, 501, 0)) })
+		flip("HalfPel", func(s *EncodeSpec) { s.HalfPel = !s.HalfPel })
+		flip("Deblock", func(s *EncodeSpec) { s.Deblock = !s.Deblock })
+		flip("Scheme", func(s *EncodeSpec) {
+			if s.Scheme.Kind == SchemeKindGOP {
+				s.Scheme = SchemeGOP(s.Scheme.N + 1)
+			} else {
+				s.Scheme = SchemeGOP(3)
+			}
+		})
+		if spec.Scheme.Kind == SchemeKindPBPAIR {
+			flip("PBPAIR.IntraTh", func(s *EncodeSpec) {
+				s.Scheme.PBPAIR.IntraTh = alt01(s.Scheme.PBPAIR.IntraTh)
+			})
+			flip("PBPAIR.PLR", func(s *EncodeSpec) {
+				s.Scheme.PBPAIR.PLR = alt01(s.Scheme.PBPAIR.PLR)
+			})
+			flip("PBPAIR.Lambda", func(s *EncodeSpec) {
+				// 0 normalizes to DefaultLambda, so flip to a distinct
+				// non-default value.
+				s.Scheme.PBPAIR.Lambda = s.Scheme.PBPAIR.Normalized().Lambda + 1
+			})
+		}
+		for name, mutated := range flips {
+			if mutated.Fingerprint() == fp {
+				t.Fatalf("flipping %s did not change the hash: %s", name, spec.Canonical())
+			}
+		}
+
+		// And the canonical string itself must be deterministic.
+		if spec.Canonical() != spec.Canonical() {
+			t.Fatal("Canonical is nondeterministic")
+		}
+	})
+}
+
+// alt returns a value different from v after normalization: v
+// normalizing to def flips to other; anything else flips to def.
+// zero must normalize to def for the caller's field.
+func alt(v, def, other, zero int) int {
+	if v == zero || v == def {
+		return other
+	}
+	return def
+}
+
+// alt01 returns a [0,1] value distinct from v.
+func alt01(v float64) float64 {
+	if v == 0.5 {
+		return 0.25
+	}
+	return 0.5
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"pbpair/internal/energy"
 	"pbpair/internal/parallel"
 )
 
@@ -27,12 +28,17 @@ type Fig5Stats struct {
 
 // Fig5Multi runs Fig5 once per seed and aggregates. The calibration
 // and encode are loss-independent (the encoder never sees the channel),
-// so size and energy come out identical across seeds; quality metrics
-// get a real distribution.
+// so size and energy come out identical across seeds — a claim this
+// function enforces at runtime: any per-seed divergence in encoded
+// size, energy or the raw work counters is an error, not silently
+// averaged away. Quality metrics get a real distribution.
 //
 // Seeds fan out across cfg.Workers goroutines and each seed's Fig5
 // run fans out internally with the same knob; per-seed rows are merged
 // in seed order, so the aggregate is identical for every worker count.
+// With cfg.Cache set, the per-seed runs share one encode per cell
+// (concurrent seeds coalesce onto one compute) instead of re-encoding
+// the grid per seed.
 func Fig5Multi(cfg Fig5Config, seeds []uint64) ([]Fig5Stats, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("experiment: Fig5Multi needs at least one seed")
@@ -53,23 +59,26 @@ func Fig5Multi(cfg Fig5Config, seeds []uint64) ([]Fig5Stats, error) {
 	type acc struct {
 		psnr, bad       []float64
 		fileKB, energyJ float64
+		counters        energy.Counters
 	}
 	accs := map[string]*acc{}
 	var order []string
 
-	for _, rows := range perSeed {
+	for si, rows := range perSeed {
 		for _, r := range rows {
 			key := r.Sequence + "\x00" + r.Scheme
 			a := accs[key]
 			if a == nil {
-				a = &acc{}
+				a = &acc{fileKB: r.FileKB, energyJ: r.EnergyJ, counters: r.Counters}
 				accs[key] = a
 				order = append(order, key)
+			} else if r.FileKB != a.fileKB || r.EnergyJ != a.energyJ || r.Counters != a.counters {
+				return nil, fmt.Errorf(
+					"experiment: Fig5Multi: %s/%s loss-independent outputs diverged at seed %d (size %.3f KB vs %.3f KB, energy %.6f J vs %.6f J): the encoder must never see the channel",
+					r.Sequence, r.Scheme, seeds[si], r.FileKB, a.fileKB, r.EnergyJ, a.energyJ)
 			}
 			a.psnr = append(a.psnr, r.AvgPSNR)
 			a.bad = append(a.bad, float64(r.BadPixels))
-			a.fileKB = r.FileKB
-			a.energyJ = r.EnergyJ
 		}
 	}
 

@@ -1,0 +1,420 @@
+package experiment
+
+import (
+	"fmt"
+
+	"pbpair/internal/bitcache"
+	"pbpair/internal/codec"
+	"pbpair/internal/energy"
+	"pbpair/internal/metrics"
+	"pbpair/internal/motion"
+	"pbpair/internal/network"
+	"pbpair/internal/parallel"
+	"pbpair/internal/synth"
+)
+
+// Two-phase experiment pipeline. Every run in this package factors
+// into an encode phase (source → bitstream + energy tally; fully
+// deterministic, never sees the channel) and a simulate phase
+// (bitstream → packets → lossy channel → decode → metrics). EncodeSpec
+// describes the first phase canonically enough to fingerprint, SimSpec
+// the second, and Plan wires N encodes to M ≥ N simulations so that
+// loss-independent grid axes (seeds, PLR columns, clean/lossy pairs)
+// share one encode instead of re-running it. See ARCHITECTURE.md,
+// "Two-phase experiment pipeline".
+
+// EncodeSpec canonically describes one encode job: the synthetic
+// source, the frame count and every bitstream-affecting codec knob,
+// with the resilience scheme as a buildable value (SchemeSpec) rather
+// than a live planner, so equal specs can be recognised by content.
+// Workers only shards the encoder and is excluded from the
+// fingerprint (sharding is bit-exact).
+type EncodeSpec struct {
+	Regime synth.Regime
+	Frames int
+
+	// Codec parameters; zero values select QP 8 and SearchRange 15,
+	// the same defaults a Scenario applies.
+	QP           int
+	SearchRange  int
+	Search       motion.SearchKind
+	SADThreshold int32
+	HalfPel      bool
+	Deblock      bool
+
+	Scheme SchemeSpec
+
+	Workers int
+}
+
+// withDefaults mirrors Scenario's codec defaults so a spec and the
+// scenario it replaces fingerprint (and encode) identically.
+func (s EncodeSpec) withDefaults() EncodeSpec {
+	if s.QP == 0 {
+		s.QP = 8
+	}
+	if s.SearchRange == 0 {
+		s.SearchRange = 15
+	}
+	return s
+}
+
+// codecConfig builds the encoder configuration (sans planner) for the
+// spec's source dimensions.
+func (s EncodeSpec) codecConfig(width, height int) codec.Config {
+	return codec.Config{
+		Width: width, Height: height,
+		QP:           s.QP,
+		SearchRange:  s.SearchRange,
+		Search:       s.Search,
+		SADThreshold: s.SADThreshold,
+		HalfPel:      s.HalfPel,
+		Deblock:      s.Deblock,
+		Workers:      s.Workers,
+	}
+}
+
+// Canonical returns the canonical serialization of every input that
+// determines the encoded bitstream — the preimage of the cache key.
+// Two specs that encode identical sequences serialize equal (defaults
+// are applied first); flipping any bitstream-affecting field changes
+// the serialization, a property pinned by FuzzEncodeSpecFingerprint.
+func (s EncodeSpec) Canonical() string {
+	s = s.withDefaults()
+	params := synth.DefaultParams(s.Regime)
+	return fmt.Sprintf("pbpair/encode/v1|src=synth:%s|frames=%d|%s",
+		s.Regime, s.Frames, s.codecConfig(params.Width, params.Height).BitstreamKey(s.Scheme.Key()))
+}
+
+// Fingerprint returns the spec's content address in the bitstream
+// cache.
+func (s EncodeSpec) Fingerprint() bitcache.Key {
+	return bitcache.KeyOf(s.Canonical())
+}
+
+// validate rejects specs that cannot encode.
+func (s EncodeSpec) validate() error {
+	if s.Regime < synth.RegimeAkiyo || s.Regime > synth.RegimeMobile {
+		return fmt.Errorf("experiment: encode spec has unknown regime %d", s.Regime)
+	}
+	if s.Frames <= 0 {
+		return fmt.Errorf("experiment: encode spec has %d frames", s.Frames)
+	}
+	if s.Scheme.Kind == 0 {
+		return fmt.Errorf("experiment: encode spec has no scheme")
+	}
+	return nil
+}
+
+// encode runs the spec: fresh source, fresh planner, full encode.
+func (s EncodeSpec) encode() (*codec.EncodedSequence, error) {
+	s = s.withDefaults()
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	planner, err := s.Scheme.Build()
+	if err != nil {
+		return nil, err
+	}
+	src := synth.New(s.Regime)
+	width, height := src.Dims()
+	cfg := s.codecConfig(width, height)
+	cfg.Planner = planner
+	name := fmt.Sprintf("%s/%s", s.Regime, s.Scheme.Key())
+	return encodeSequence(name, src, s.Frames, cfg)
+}
+
+// Encode returns the spec's encoded sequence, through the cache when
+// one is given (nil runs the encode directly). The returned sequence
+// may be shared with other callers and must not be mutated.
+func Encode(cache *bitcache.Store, spec EncodeSpec) (*codec.EncodedSequence, error) {
+	if cache == nil {
+		return spec.encode()
+	}
+	return cache.GetOrCompute(spec.Fingerprint(), spec.encode)
+}
+
+// encodeSequence drives the encoder over frames [0, n) and collects
+// the bitstreams plus the energy tally — the encode phase shared by
+// spec-based jobs and Scenario runs.
+func encodeSequence(name string, src synth.Source, frames int, cfg codec.Config) (*codec.EncodedSequence, error) {
+	var counters energy.Counters
+	cfg.Counters = &counters
+	enc, err := codec.NewEncoder(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: encode %q: %w", name, err)
+	}
+	seq := &codec.EncodedSequence{
+		Scheme: cfg.Planner.Name(),
+		Width:  cfg.Width, Height: cfg.Height,
+		Frames: make([]codec.SeqFrame, 0, frames),
+	}
+	for f := 0; f < frames; f++ {
+		ef, err := enc.EncodeFrame(src.Frame(f))
+		if err != nil {
+			return nil, fmt.Errorf("experiment: encode %q frame %d: %w", name, f, err)
+		}
+		seq.Frames = append(seq.Frames, codec.SeqFrame{
+			FrameNum:   ef.FrameNum,
+			Type:       ef.Type,
+			Data:       ef.Data,
+			GOBOffsets: ef.GOBOffsets,
+			IntraMBs:   ef.Plan.IntraCount(),
+		})
+		seq.TotalBytes += ef.Bytes()
+	}
+	seq.Counters = counters
+	return seq, nil
+}
+
+// SimSpec describes the channel-and-decode half of a run: everything
+// a Scenario configures downstream of the encoder. The zero value
+// simulates loss-free transmission with default MTU, concealment,
+// device profile and bad-pixel threshold.
+type SimSpec struct {
+	Name string
+	// Channel models the network; nil means loss-free. Stateful
+	// channels (UniformLoss advances an RNG) must not be shared
+	// between simulations — give each SimSpec its own instance.
+	Channel network.Channel
+	// MTU for packetisation (default network.DefaultMTU).
+	MTU int
+	// Concealer overrides the decoder's copy concealment.
+	Concealer codec.Concealer
+	// FECGroup enables XOR-parity FEC spanning this many consecutive
+	// frames per group (0 = off); see Scenario.FECGroup.
+	FECGroup int
+	// Profile is the energy model device (default energy.IPAQ). It
+	// prices the sequence's counters; the tally itself comes from the
+	// encode phase.
+	Profile energy.Profile
+	// BadPixelThreshold for the bad-pixel metric (default
+	// metrics.DefaultBadPixelThreshold).
+	BadPixelThreshold int
+}
+
+// Simulate transmits an encoded sequence over the spec's channel and
+// measures the decode against src (which must be the source the
+// sequence was encoded from; frames are regenerated on the fly —
+// synthetic sources are deterministic). It is the simulate phase of
+// every run in this package: Run(scenario) is exactly one encode
+// followed by one Simulate, and a Plan fans many Simulates out
+// against shared sequences.
+func Simulate(seq *codec.EncodedSequence, src synth.Source, sim SimSpec, opts ...Option) (*Result, error) {
+	var r runner
+	for _, opt := range opts {
+		opt(&r)
+	}
+	if seq == nil || len(seq.Frames) == 0 {
+		return nil, fmt.Errorf("experiment: simulate %q: empty sequence", sim.Name)
+	}
+	if src == nil {
+		return nil, fmt.Errorf("experiment: simulate %q: no source", sim.Name)
+	}
+
+	var decOpts []codec.DecoderOption
+	if sim.Concealer != nil {
+		decOpts = append(decOpts, codec.WithConcealer(sim.Concealer))
+	}
+	dec, err := codec.NewDecoder(seq.Width, seq.Height, decOpts...)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: simulate %q: %w", sim.Name, err)
+	}
+
+	pktz := network.NewPacketizer(sim.MTU)
+	channel := sim.Channel
+	if channel == nil {
+		channel = network.Perfect{}
+	}
+	profile := sim.Profile
+	if profile.Name == "" {
+		profile = energy.IPAQ
+	}
+
+	frames := len(seq.Frames)
+	res := &Result{Name: sim.Name, Scheme: seq.Scheme, Frames: frames, keepFrames: r.keep}
+
+	// Frames are processed in blocks: one frame at a time normally, or
+	// FECGroup frames per block when FEC is on (the receiver buffers a
+	// full parity group before decoding).
+	blockFrames := 1
+	var fecEnc *network.FECEncoder
+	if sim.FECGroup > 0 {
+		blockFrames = sim.FECGroup
+		var err error
+		if fecEnc, err = network.NewFECEncoder(sim.FECGroup); err != nil {
+			return nil, fmt.Errorf("experiment: simulate %q: %w", sim.Name, err)
+		}
+	}
+
+	for k := 0; k < frames; k += blockFrames {
+		end := k + blockFrames
+		if end > frames {
+			end = frames
+		}
+		var blockPackets []network.Packet
+		for f := k; f < end; f++ {
+			ef := &seq.Frames[f]
+			res.FrameBytes.Add(float64(len(ef.Data)))
+			res.IntraMBs.Add(float64(ef.IntraMBs))
+			res.TotalBytes += len(ef.Data)
+
+			packets := pktz.Packetize(ef.AsEncodedFrame())
+			if fecEnc != nil {
+				packets = fecEnc.Protect(packets)
+			}
+			blockPackets = append(blockPackets, packets...)
+		}
+		if fecEnc != nil {
+			blockPackets = append(blockPackets, fecEnc.Flush()...)
+		}
+
+		for _, pkt := range blockPackets {
+			if pkt.Parity != nil {
+				res.FECBytes += len(pkt.Payload)
+			}
+		}
+		res.PacketsSent += len(blockPackets)
+		kept := channel.Transmit(blockPackets)
+		res.PacketsLost += len(blockPackets) - len(kept)
+		if fecEnc != nil {
+			kept = network.RecoverFEC(kept)
+		}
+
+		// Group surviving media packets by frame and decode in order.
+		byFrame := make(map[int][]network.Packet, end-k)
+		for _, pkt := range kept {
+			byFrame[pkt.FrameNum] = append(byFrame[pkt.FrameNum], pkt)
+		}
+		for f := k; f < end; f++ {
+			original := src.Frame(f)
+			var decoded *codec.DecodeResult
+			var err error
+			if payload := network.Reassemble(byFrame[f]); payload == nil {
+				decoded = dec.ConcealLostFrame()
+				res.LostFrames++
+			} else {
+				decoded, err = dec.DecodeFrame(payload)
+				if err != nil {
+					return nil, fmt.Errorf("experiment: simulate %q frame %d decode: %w", sim.Name, f, err)
+				}
+			}
+			res.ConcealedMBs += decoded.ConcealedMBs
+
+			psnr, err := metrics.PSNR(original, decoded.Frame)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: simulate %q frame %d PSNR: %w", sim.Name, f, err)
+			}
+			res.PSNR.Add(psnr)
+			bad, err := metrics.BadPixels(original, decoded.Frame, sim.BadPixelThreshold)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: simulate %q frame %d bad pixels: %w", sim.Name, f, err)
+			}
+			res.BadPixels.Add(float64(bad))
+			res.TotalBadPix += bad
+
+			if r.keep {
+				res.DecodedFrames = append(res.DecodedFrames, decoded.Frame.Clone())
+			}
+		}
+	}
+	res.Counters = seq.Counters
+	res.Breakdown = profile.Decompose(seq.Counters)
+	res.Joules = res.Breakdown.Total()
+	return res, nil
+}
+
+// Plan collects an experiment's encode jobs and the simulations that
+// consume them, then runs both phases through the worker pool. Encode
+// jobs added by spec are deduplicated by fingerprint — the second
+// Encode of an equal spec returns the first job's handle — and served
+// through the bitstream cache when one is set, so equal encodes are
+// also shared across plans (and, with a spill directory, across
+// processes).
+//
+// Determinism: distinct encodes run first (parallel.Map, one slot per
+// job), then all simulations (one slot per Simulate call, in add
+// order). Both phases inherit parallel's index-addressed slots and
+// lowest-index error selection, so Run's result slice is identical
+// for every worker count and any cache state.
+type Plan struct {
+	workers int
+	cache   *bitcache.Store
+
+	encodes []planEncode
+	byKey   map[bitcache.Key]int
+	sims    []planSim
+}
+
+type planEncode struct {
+	src synth.Source
+	run func() (*codec.EncodedSequence, error)
+}
+
+type planSim struct {
+	enc  int
+	spec SimSpec
+}
+
+// NewPlan builds an empty plan. workers bounds both phases' fan-out
+// (<= 0 selects parallel.DefaultWorkers); cache may be nil.
+func NewPlan(workers int, cache *bitcache.Store) *Plan {
+	return &Plan{workers: workers, cache: cache, byKey: make(map[bitcache.Key]int)}
+}
+
+// Encode registers a spec-based encode job and returns its handle,
+// deduplicating against previously added equal specs.
+func (p *Plan) Encode(spec EncodeSpec) int {
+	spec = spec.withDefaults()
+	key := spec.Fingerprint()
+	if i, ok := p.byKey[key]; ok {
+		return i
+	}
+	i := len(p.encodes)
+	p.byKey[key] = i
+	p.encodes = append(p.encodes, planEncode{
+		src: synth.New(spec.Regime),
+		run: func() (*codec.EncodedSequence, error) { return Encode(p.cache, spec) },
+	})
+	return i
+}
+
+// EncodeScenario registers an encode job described by a Scenario —
+// for callers holding a live planner rather than a canonical
+// SchemeSpec. Such jobs cannot be fingerprinted, so they bypass the
+// cache and are never deduplicated; the scenario's channel, FEC and
+// metric settings are ignored (those belong to SimSpec).
+func (p *Plan) EncodeScenario(s Scenario) int {
+	i := len(p.encodes)
+	p.encodes = append(p.encodes, planEncode{
+		src: s.Source,
+		run: func() (*codec.EncodedSequence, error) { return encodeScenario(s) },
+	})
+	return i
+}
+
+// Simulate registers a simulation of encode job enc (a handle from
+// Encode or EncodeScenario) and returns its result index in Run's
+// output.
+func (p *Plan) Simulate(enc int, spec SimSpec) int {
+	if enc < 0 || enc >= len(p.encodes) {
+		panic(fmt.Sprintf("experiment: plan simulate references encode %d of %d", enc, len(p.encodes)))
+	}
+	p.sims = append(p.sims, planSim{enc: enc, spec: spec})
+	return len(p.sims) - 1
+}
+
+// Run executes the encode phase, then the simulate phase, and returns
+// one Result per Simulate call in add order.
+func (p *Plan) Run() ([]*Result, error) {
+	seqs, err := parallel.Map(p.workers, len(p.encodes), func(i int) (*codec.EncodedSequence, error) {
+		return p.encodes[i].run()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return parallel.Map(p.workers, len(p.sims), func(i int) (*Result, error) {
+		job := p.sims[i]
+		return Simulate(seqs[job.enc], p.encodes[job.enc].src, job.spec)
+	})
+}

@@ -60,26 +60,31 @@ func Propagation(cfg PropagationConfig) (*PropagationResult, error) {
 	}
 	src := synth.New(cfg.Regime)
 
-	run := func(channel network.Channel) (*Result, error) {
-		planner, err := cfg.MakePlanner()
-		if err != nil {
-			return nil, err
-		}
-		return Run(Scenario{
-			Name:        "propagation",
-			Source:      src,
-			Frames:      cfg.Frames,
-			QP:          cfg.QP,
-			SearchRange: cfg.SearchRange,
-			Planner:     planner,
-			Channel:     channel,
-		})
-	}
-	clean, err := run(nil)
+	// One encode, two simulations: the clean and lossy traces come from
+	// the same bitstream, which is exactly the paper's premise (the
+	// encoder never sees the channel). The pre-pipeline implementation
+	// encoded twice with two fresh planners; planners are deterministic,
+	// so the two bitstreams were identical and so are the results.
+	planner, err := cfg.MakePlanner()
 	if err != nil {
 		return nil, err
 	}
-	lossy, err := run(network.NewSchedule(cfg.Event))
+	seq, err := encodeScenario(Scenario{
+		Name:        "propagation",
+		Source:      src,
+		Frames:      cfg.Frames,
+		QP:          cfg.QP,
+		SearchRange: cfg.SearchRange,
+		Planner:     planner,
+	})
+	if err != nil {
+		return nil, err
+	}
+	clean, err := Simulate(seq, src, SimSpec{Name: "propagation"})
+	if err != nil {
+		return nil, err
+	}
+	lossy, err := Simulate(seq, src, SimSpec{Name: "propagation", Channel: network.NewSchedule(cfg.Event)})
 	if err != nil {
 		return nil, err
 	}

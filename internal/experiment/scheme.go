@@ -10,41 +10,144 @@ import (
 	"pbpair/internal/resilience"
 )
 
-// ParseScheme builds a planner from its command-line spelling:
+// SchemeKind enumerates the resilience schemes a SchemeSpec can build.
+type SchemeKind int
+
+// Scheme kinds.
+const (
+	SchemeKindNO SchemeKind = iota + 1
+	SchemeKindGOP
+	SchemeKindAIR
+	SchemeKindPGOP
+	SchemeKindPBPAIR
+)
+
+// SchemeSpec is a resilience scheme as a value: enough configuration
+// to build a fresh planner (planners are stateful — one per encode)
+// and to serialize the scheme canonically for the bitstream cache.
+// Construct specs with the SchemeNO/SchemeGOP/SchemeAIR/SchemePGOP/
+// SchemePBPAIR helpers.
+type SchemeSpec struct {
+	Kind SchemeKind
+	// N parameterises GOP (I-frame period), AIR (intra MBs per frame)
+	// and PGOP (refresh columns per frame).
+	N int
+	// Cols is the macroblock-grid width PGOP sweeps across.
+	Cols int
+	// PBPAIR configures a SchemeKindPBPAIR planner (including its
+	// grid).
+	PBPAIR core.Config
+}
+
+// SchemeNO is the no-resilience baseline.
+func SchemeNO() SchemeSpec { return SchemeSpec{Kind: SchemeKindNO} }
+
+// SchemeGOP inserts an I-frame every n frames.
+func SchemeGOP(n int) SchemeSpec { return SchemeSpec{Kind: SchemeKindGOP, N: n} }
+
+// SchemeAIR forces the n highest-SAD macroblocks intra per frame.
+func SchemeAIR(n int) SchemeSpec { return SchemeSpec{Kind: SchemeKindAIR, N: n} }
+
+// SchemePGOP refreshes n columns per frame across a cols-wide grid.
+func SchemePGOP(n, cols int) SchemeSpec { return SchemeSpec{Kind: SchemeKindPGOP, N: n, Cols: cols} }
+
+// SchemePBPAIR is the paper's probability-based planner.
+func SchemePBPAIR(cfg core.Config) SchemeSpec {
+	return SchemeSpec{Kind: SchemeKindPBPAIR, PBPAIR: cfg}
+}
+
+// Key returns the scheme's canonical serialization, the planner part
+// of an EncodeSpec fingerprint. PBPAIR settings are normalised first
+// (core.Config.Normalized), so two configs that build behaviourally
+// identical planners — e.g. Lambda 0 and Lambda DefaultLambda — key
+// equal, while any behavioural difference keys apart.
+func (s SchemeSpec) Key() string {
+	switch s.Kind {
+	case SchemeKindNO:
+		return "NO"
+	case SchemeKindGOP:
+		return fmt.Sprintf("GOP-%d", s.N)
+	case SchemeKindAIR:
+		return fmt.Sprintf("AIR-%d", s.N)
+	case SchemeKindPGOP:
+		return fmt.Sprintf("PGOP-%d/cols=%d", s.N, s.Cols)
+	case SchemeKindPBPAIR:
+		c := s.PBPAIR.Normalized()
+		return fmt.Sprintf("PBPAIR/r=%d/c=%d/th=%s/plr=%s/lambda=%s/pscale=%s/nosim=%t/simscale=%s/paranoia=%s",
+			c.Rows, c.Cols, ffmt(c.IntraTh), ffmt(c.PLR), ffmt(c.Lambda), ffmt(c.PenaltyScale),
+			c.DisableSimilarity, ffmt(c.SimilarityScale), ffmt(c.Paranoia))
+	default:
+		return fmt.Sprintf("SchemeKind(%d)", int(s.Kind))
+	}
+}
+
+// ffmt renders a float canonically (shortest exact representation).
+func ffmt(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Build returns a fresh planner for the spec. Planners are stateful;
+// build one per encode.
+func (s SchemeSpec) Build() (codec.ModePlanner, error) {
+	switch s.Kind {
+	case SchemeKindNO:
+		return resilience.NewNone(), nil
+	case SchemeKindGOP:
+		return resilience.NewGOP(s.N)
+	case SchemeKindAIR:
+		return resilience.NewAIR(s.N)
+	case SchemeKindPGOP:
+		return resilience.NewPGOP(s.N, s.Cols)
+	case SchemeKindPBPAIR:
+		return core.New(s.PBPAIR)
+	default:
+		return nil, fmt.Errorf("experiment: unknown scheme kind %d", s.Kind)
+	}
+}
+
+// ParseSchemeSpec builds a SchemeSpec from its command-line spelling:
 //
 //	NO | GOP-<n> | AIR-<n> | PGOP-<n> | PBPAIR
 //
 // rows/cols give the macroblock grid; intraTh and plr configure
-// PBPAIR (ignored by the others). Planners are stateful: call
-// ParseScheme once per encode.
-func ParseScheme(name string, rows, cols int, intraTh, plr float64) (codec.ModePlanner, error) {
+// PBPAIR (ignored by the others).
+func ParseSchemeSpec(name string, rows, cols int, intraTh, plr float64) (SchemeSpec, error) {
 	upper := strings.ToUpper(strings.TrimSpace(name))
 	switch {
 	case upper == "NO" || upper == "NONE":
-		return resilience.NewNone(), nil
+		return SchemeNO(), nil
 	case upper == "PBPAIR":
-		return core.New(core.Config{Rows: rows, Cols: cols, IntraTh: intraTh, PLR: plr})
+		return SchemePBPAIR(core.Config{Rows: rows, Cols: cols, IntraTh: intraTh, PLR: plr}), nil
 	case strings.HasPrefix(upper, "GOP-"):
 		n, err := schemeParam(upper, "GOP-")
 		if err != nil {
-			return nil, err
+			return SchemeSpec{}, err
 		}
-		return resilience.NewGOP(n)
+		return SchemeGOP(n), nil
 	case strings.HasPrefix(upper, "AIR-"):
 		n, err := schemeParam(upper, "AIR-")
 		if err != nil {
-			return nil, err
+			return SchemeSpec{}, err
 		}
-		return resilience.NewAIR(n)
+		return SchemeAIR(n), nil
 	case strings.HasPrefix(upper, "PGOP-"):
 		n, err := schemeParam(upper, "PGOP-")
 		if err != nil {
-			return nil, err
+			return SchemeSpec{}, err
 		}
-		return resilience.NewPGOP(n, cols)
+		return SchemePGOP(n, cols), nil
 	default:
-		return nil, fmt.Errorf("experiment: unknown scheme %q (want NO, GOP-n, AIR-n, PGOP-n or PBPAIR)", name)
+		return SchemeSpec{}, fmt.Errorf("experiment: unknown scheme %q (want NO, GOP-n, AIR-n, PGOP-n or PBPAIR)", name)
 	}
+}
+
+// ParseScheme builds a planner from its command-line spelling (see
+// ParseSchemeSpec for the grammar). Planners are stateful: call
+// ParseScheme once per encode.
+func ParseScheme(name string, rows, cols int, intraTh, plr float64) (codec.ModePlanner, error) {
+	spec, err := ParseSchemeSpec(name, rows, cols, intraTh, plr)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Build()
 }
 
 func schemeParam(s, prefix string) (int, error) {

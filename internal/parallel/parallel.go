@@ -32,11 +32,14 @@ import (
 func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // Workers normalises a worker-count knob against a job count: values
-// <= 0 select DefaultWorkers, and the result is clamped to [1, n] so a
-// pool never holds idle goroutines (n <= 0 yields 1).
+// <= 0 select DefaultWorkers, values above DefaultWorkers are capped
+// to it (goroutines beyond GOMAXPROCS cannot run concurrently for this
+// CPU-bound workload — they only add scheduling churn), and the result
+// is clamped to [1, n] so a pool never holds idle goroutines (n <= 0
+// yields 1).
 func Workers(workers, n int) int {
-	if workers <= 0 {
-		workers = DefaultWorkers()
+	if max := DefaultWorkers(); workers <= 0 || workers > max {
+		workers = max
 	}
 	if workers > n {
 		workers = n

@@ -9,15 +9,22 @@ import (
 )
 
 func TestWorkersNormalisation(t *testing.T) {
+	min := func(a, b int) int {
+		if a < b {
+			return a
+		}
+		return b
+	}
 	cases := []struct {
 		workers, n int
 		want       int
 	}{
 		{0, 100, DefaultWorkers()},
 		{-3, 100, DefaultWorkers()},
-		{4, 100, 4},
-		{8, 3, 3}, // capped at job count
-		{8, 0, 1}, // degenerate job count
+		{4, 100, min(4, DefaultWorkers())}, // capped at GOMAXPROCS
+		{DefaultWorkers() + 7, 10000, DefaultWorkers()},
+		{8, 3, min(min(8, DefaultWorkers()), 3)}, // capped at job count too
+		{8, 0, 1},                                // degenerate job count
 		{1, 100, 1},
 	}
 	for _, tc := range cases {
