@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race bench fuzz check
+.PHONY: all build fmt vet test race bench bench-json fuzz check
 
 # Seconds each fuzz target runs under `make fuzz` (CI uses the same
 # smoke budget; raise it locally for a real fuzzing session).
@@ -35,13 +35,34 @@ race:
 bench:
 	$(GO) test -bench . -benchtime 1x
 
-# Short fuzz smoke over every fuzz target (decoder, entropy reader,
-# stream container). Each target gets FUZZTIME.
+# Benchtime for the kernel micro-benchmarks feeding BENCH_kernels.json.
+# 0.5s per benchmark keeps a full regeneration under two minutes while
+# giving stable ns/op on the tiny kernels.
+BENCHTIME ?= 0.5s
+
+# Regenerate BENCH_kernels.json: every fast/reference kernel pair
+# (SAD, half-pel, DCT, bitstream, VLC) plus the end-to-end encoder
+# benchmark, parsed into JSON by pbpair-benchjson so the trajectory
+# can be committed and diffed across revisions.
+bench-json:
+	$(GO) test -run xxx -bench 'BenchmarkSAD|BenchmarkCompensateHalf|BenchmarkForward|BenchmarkInverse|BenchmarkWriteBits|BenchmarkReadBits|BenchmarkWriteEvent|BenchmarkReadEvent|BenchmarkEncodeParallel' \
+		-benchmem -benchtime $(BENCHTIME) \
+		./internal/motion/ ./internal/dct/ ./internal/bitstream/ ./internal/entropy/ . \
+		| $(GO) run ./cmd/pbpair-benchjson -out BENCH_kernels.json
+	@echo wrote BENCH_kernels.json
+
+# Short fuzz smoke over every fuzz target: decoder, entropy reader,
+# stream container, and the fast-vs-reference kernel equivalence
+# harness (SAD, DCT, bitstream, VLC). Each target gets FUZZTIME.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzDecodeFrame -fuzztime $(FUZZTIME) ./internal/codec/
 	$(GO) test -run xxx -fuzz FuzzEncodeSpecFingerprint -fuzztime $(FUZZTIME) ./internal/experiment/
 	$(GO) test -run xxx -fuzz FuzzReadEvent -fuzztime $(FUZZTIME) ./internal/entropy/
 	$(GO) test -run xxx -fuzz FuzzReadUE -fuzztime $(FUZZTIME) ./internal/entropy/
 	$(GO) test -run xxx -fuzz FuzzReader -fuzztime $(FUZZTIME) ./internal/stream/
+	$(GO) test -run xxx -fuzz FuzzSADEquiv -fuzztime $(FUZZTIME) ./internal/motion/
+	$(GO) test -run xxx -fuzz FuzzDCTEquiv -fuzztime $(FUZZTIME) ./internal/dct/
+	$(GO) test -run xxx -fuzz FuzzBitstreamEquiv -fuzztime $(FUZZTIME) ./internal/bitstream/
+	$(GO) test -run xxx -fuzz FuzzVLCDecodeEquiv -fuzztime $(FUZZTIME) ./internal/entropy/
 
 check: build fmt vet test race

@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: pbpair/internal/motion
+cpu: Intel(R) Xeon(R) CPU @ 2.10GHz
+BenchmarkSAD16-4        	 3907915	       152.5 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSAD16Ref-4     	 1478163	       405.2 ns/op	       0 B/op	       0 allocs/op
+BenchmarkEncodeParallel/workers=1-4	     100	   7613479 ns/op	   29432 B/op	      27 allocs/op
+BenchmarkNoMem 	 1000	       99.5 ns/op
+--- PASS: TestSomething (0.00s)
+PASS
+ok  	pbpair/internal/motion	12.3s
+`
+
+func TestParse(t *testing.T) {
+	doc, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GOOS != "linux" || doc.GOARCH != "amd64" {
+		t.Fatalf("env = %s/%s, want linux/amd64", doc.GOOS, doc.GOARCH)
+	}
+	if doc.CPU != "Intel(R) Xeon(R) CPU @ 2.10GHz" {
+		t.Fatalf("cpu = %q", doc.CPU)
+	}
+	if len(doc.Benchmarks) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if b.Name != "BenchmarkSAD16" || b.Iters != 3907915 || b.NsPerOp != 152.5 || b.BPerOp != 0 || b.AllocsOp != 0 {
+		t.Fatalf("first benchmark = %+v", b)
+	}
+	sub := doc.Benchmarks[2]
+	if sub.Name != "BenchmarkEncodeParallel/workers=1" || sub.BPerOp != 29432 || sub.AllocsOp != 27 {
+		t.Fatalf("sub-benchmark = %+v", sub)
+	}
+	if noMem := doc.Benchmarks[3]; noMem.Name != "BenchmarkNoMem" || noMem.NsPerOp != 99.5 || noMem.BPerOp != 0 {
+		t.Fatalf("no-benchmem line = %+v", noMem)
+	}
+	if doc.Date == "" || doc.GoVersion == "" {
+		t.Fatal("missing date or go version")
+	}
+}
+
+func TestParseLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkHalf-4 123",             // too few fields
+		"BenchmarkBad-4 notanint 1 ns/op", // bad iteration count
+		"BenchmarkBad-4 100 xx ns/op",     // bad ns value
+		"BenchmarkBad-4 100 12 B/op",      // no ns/op at all
+	} {
+		if r, ok := parseLine(line); ok {
+			t.Fatalf("parseLine(%q) accepted: %+v", line, r)
+		}
+	}
+}

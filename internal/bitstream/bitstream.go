@@ -39,11 +39,18 @@ var ErrNoStartCode = errors.New("bitstream: no start code found")
 
 // Writer assembles a bitstream MSB-first. The zero value is ready to
 // use.
+//
+// Bits accumulate right-aligned in a 64-bit shift register; WriteBits
+// shifts one whole value in and drains completed bytes, instead of
+// looping per bit. With n ≤ 32 and at most 7 residual bits the
+// register never exceeds 39 live bits. Output is byte-for-byte
+// identical to the bit-at-a-time RefWriter (the emulation-prevention
+// escaping runs per completed byte in both).
 type Writer struct {
 	buf   []byte
-	cur   uint8 // bits accumulated into the current byte
-	nCur  uint  // number of valid bits in cur (0..7)
-	zeros int   // consecutive payload zero bytes emitted (for escaping)
+	acc   uint64 // bit accumulator, valid bits right-aligned
+	nAcc  uint   // number of valid bits in acc (0..7 between calls)
+	zeros int    // consecutive payload zero bytes emitted (for escaping)
 }
 
 // appendPayload appends one completed payload byte, inserting an
@@ -63,19 +70,19 @@ func (w *Writer) appendPayload(b byte) {
 }
 
 // WriteBits appends the low n bits of v, most significant first.
-// n must be in [0, 32].
+// n must be in [0, 32]; larger n panics. Bits of v above the low n are
+// ignored (masked off), so WriteBits(0xFFFFFFFF, 4) and
+// WriteBits(0xF, 4) emit the same stream — the behavior pinned by
+// TestWriteBitsMasksHighBits.
 func (w *Writer) WriteBits(v uint32, n uint) {
 	if n > 32 {
 		panic(fmt.Sprintf("bitstream: WriteBits n=%d", n))
 	}
-	for i := int(n) - 1; i >= 0; i-- {
-		bit := uint8(v>>uint(i)) & 1
-		w.cur = w.cur<<1 | bit
-		w.nCur++
-		if w.nCur == 8 {
-			w.appendPayload(w.cur)
-			w.cur, w.nCur = 0, 0
-		}
+	w.acc = w.acc<<n | uint64(v)&(1<<n-1)
+	w.nAcc += n
+	for w.nAcc >= 8 {
+		w.nAcc -= 8
+		w.appendPayload(byte(w.acc >> w.nAcc))
 	}
 }
 
@@ -85,10 +92,9 @@ func (w *Writer) WriteBit(b uint8) { w.WriteBits(uint32(b&1), 1) }
 // AlignByte pads the current byte with zero bits up to the next byte
 // boundary. It is a no-op when already aligned.
 func (w *Writer) AlignByte() {
-	if w.nCur != 0 {
-		w.cur <<= 8 - w.nCur
-		w.appendPayload(w.cur)
-		w.cur, w.nCur = 0, 0
+	if w.nAcc != 0 {
+		w.appendPayload(byte(w.acc << (8 - w.nAcc)))
+		w.acc, w.nAcc = 0, 0
 	}
 }
 
@@ -103,7 +109,7 @@ func (w *Writer) WriteStartCode(code byte) {
 
 // BitLen returns the number of bits written so far (including any
 // escape bytes already emitted).
-func (w *Writer) BitLen() int { return len(w.buf)*8 + int(w.nCur) }
+func (w *Writer) BitLen() int { return len(w.buf)*8 + int(w.nAcc) }
 
 // Bytes byte-aligns the stream and returns the accumulated buffer. The
 // returned slice aliases the writer's internal storage; callers that
@@ -116,7 +122,7 @@ func (w *Writer) Bytes() []byte {
 // Reset discards all written data, retaining capacity.
 func (w *Writer) Reset() {
 	w.buf = w.buf[:0]
-	w.cur, w.nCur = 0, 0
+	w.acc, w.nAcc = 0, 0
 	w.zeros = 0
 }
 
@@ -135,13 +141,20 @@ func NewReader(data []byte) *Reader {
 	return &Reader{data: data}
 }
 
-// ReadBits reads n bits (n in [0, 32]) MSB-first.
+// ReadBits reads n bits (n in [0, 32]) MSB-first; larger n panics.
+//
+// The loop consumes whole bytes: each iteration takes every still-
+// unread bit of the current byte (up to n), so a 32-bit read touches
+// at most 5 bytes instead of running 32 single-bit steps. Observable
+// behavior — values, errors, BitPos, escape removal, and reader state
+// after a mid-read EOF — is identical to the bit-at-a-time RefReader:
+// both only ever fail at a byte boundary, with the same bits consumed.
 func (r *Reader) ReadBits(n uint) (uint32, error) {
 	if n > 32 {
 		panic(fmt.Sprintf("bitstream: ReadBits n=%d", n))
 	}
 	var v uint32
-	for i := uint(0); i < n; i++ {
+	for n > 0 {
 		if r.bit == 0 {
 			// About to start a new byte: drop an escape byte if present.
 			if r.zeros >= 2 && r.pos < len(r.data) && r.data[r.pos] == 0x03 {
@@ -157,18 +170,78 @@ func (r *Reader) ReadBits(n uint) (uint32, error) {
 				r.zeros = 0
 			}
 		}
-		if r.pos >= len(r.data) {
-			return 0, ErrUnexpectedEOF
+		take := 8 - r.bit
+		if take > n {
+			take = n
 		}
-		bit := (r.data[r.pos] >> (7 - r.bit)) & 1
-		v = v<<1 | uint32(bit)
-		r.bit++
+		chunk := uint32(r.data[r.pos]>>(8-r.bit-take)) & (1<<take - 1)
+		v = v<<take | chunk
+		r.bit += take
 		if r.bit == 8 {
 			r.bit = 0
 			r.pos++
 		}
+		n -= take
 	}
 	return v, nil
+}
+
+// Peek8 returns the next 8 bits of lookahead without consuming them,
+// when they are cheaply available: at least one byte beyond the
+// current one remains, no emulation-prevention escape can intervene
+// (fewer than two pending zero bytes) and the current byte is nonzero,
+// so the zeros state cannot grow inside the window. Returns ok ==
+// false otherwise; callers then fall back to PeekBits, which handles
+// every case. This is the hot path of table-driven VLC decoding.
+func (r *Reader) Peek8() (uint32, bool) {
+	if r.zeros < 2 && r.pos+1 < len(r.data) {
+		b0 := r.data[r.pos]
+		if b0 != 0x00 {
+			win := uint32(b0)<<8 | uint32(r.data[r.pos+1])
+			return win >> (8 - r.bit) & 0xFF, true
+		}
+	}
+	return 0, false
+}
+
+// PeekBits returns up to max bits of lookahead (max in [0, 32])
+// without consuming anything, along with how many bits were actually
+// available before end of stream. Escape bytes are skipped exactly as
+// ReadBits would. Used by table-driven VLC decoders to index a
+// prefix-lookup table.
+func (r *Reader) PeekBits(max uint) (uint32, uint) {
+	cp := *r
+	var v uint32
+	var got uint
+	for got < max {
+		if cp.bit == 0 {
+			if cp.zeros >= 2 && cp.pos < len(cp.data) && cp.data[cp.pos] == 0x03 {
+				cp.pos++
+				cp.zeros = 0
+			}
+			if cp.pos >= len(cp.data) {
+				return v, got
+			}
+			if cp.data[cp.pos] == 0x00 {
+				cp.zeros++
+			} else {
+				cp.zeros = 0
+			}
+		}
+		take := 8 - cp.bit
+		if take > max-got {
+			take = max - got
+		}
+		chunk := uint32(cp.data[cp.pos]>>(8-cp.bit-take)) & (1<<take - 1)
+		v = v<<take | chunk
+		cp.bit += take
+		if cp.bit == 8 {
+			cp.bit = 0
+			cp.pos++
+		}
+		got += take
+	}
+	return v, got
 }
 
 // ReadBit reads a single bit.

@@ -1,0 +1,161 @@
+package bitstream
+
+import "fmt"
+
+// Reference (bit-at-a-time) writer and reader — the original
+// implementations, kept exported as ground truth for the differential
+// harness (TestBitstreamEquiv / FuzzBitstreamEquiv). They process one
+// bit per loop iteration, which makes the MSB-first contract and the
+// emulation-prevention byte boundary conditions obvious; the
+// accumulator-based Writer/Reader must match them on every observable:
+// emitted bytes, BitLen/BitPos, errors, and post-error state.
+
+// RefWriter assembles a bitstream MSB-first one bit at a time. The
+// zero value is ready to use.
+type RefWriter struct {
+	buf   []byte
+	cur   uint8 // bits accumulated into the current byte
+	nCur  uint  // number of valid bits in cur (0..7)
+	zeros int   // consecutive payload zero bytes emitted (for escaping)
+}
+
+// appendPayload appends one completed payload byte, inserting an
+// emulation-prevention 0x03 where the raw payload would otherwise form
+// a start-code prefix.
+func (w *RefWriter) appendPayload(b byte) {
+	if w.zeros >= 2 && b <= 0x03 {
+		w.buf = append(w.buf, 0x03)
+		w.zeros = 0
+	}
+	w.buf = append(w.buf, b)
+	if b == 0x00 {
+		w.zeros++
+	} else {
+		w.zeros = 0
+	}
+}
+
+// WriteBits appends the low n bits of v, most significant first.
+// n must be in [0, 32]; bits of v above n are ignored.
+func (w *RefWriter) WriteBits(v uint32, n uint) {
+	if n > 32 {
+		panic(fmt.Sprintf("bitstream: WriteBits n=%d", n))
+	}
+	for i := int(n) - 1; i >= 0; i-- {
+		bit := uint8(v>>uint(i)) & 1
+		w.cur = w.cur<<1 | bit
+		w.nCur++
+		if w.nCur == 8 {
+			w.appendPayload(w.cur)
+			w.cur, w.nCur = 0, 0
+		}
+	}
+}
+
+// WriteBit appends a single bit.
+func (w *RefWriter) WriteBit(b uint8) { w.WriteBits(uint32(b&1), 1) }
+
+// AlignByte pads the current byte with zero bits up to the next byte
+// boundary. It is a no-op when already aligned.
+func (w *RefWriter) AlignByte() {
+	if w.nCur != 0 {
+		w.cur <<= 8 - w.nCur
+		w.appendPayload(w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// WriteStartCode byte-aligns the stream and appends the raw 0x000001
+// prefix followed by code.
+func (w *RefWriter) WriteStartCode(code byte) {
+	w.AlignByte()
+	w.buf = append(w.buf, 0x00, 0x00, 0x01, code)
+	w.zeros = 0
+}
+
+// BitLen returns the number of bits written so far.
+func (w *RefWriter) BitLen() int { return len(w.buf)*8 + int(w.nCur) }
+
+// Bytes byte-aligns the stream and returns the accumulated buffer.
+func (w *RefWriter) Bytes() []byte {
+	w.AlignByte()
+	return w.buf
+}
+
+// Reset discards all written data, retaining capacity.
+func (w *RefWriter) Reset() {
+	w.buf = w.buf[:0]
+	w.cur, w.nCur = 0, 0
+	w.zeros = 0
+}
+
+// RefReader consumes a bitstream MSB-first one bit at a time,
+// transparently removing emulation-prevention bytes from payload.
+type RefReader struct {
+	data  []byte
+	pos   int  // next byte index
+	bit   uint // bits already consumed from data[pos] (0..7)
+	zeros int  // consecutive zero payload bytes consumed (for unescaping)
+}
+
+// NewRefReader returns a reference reader over data.
+func NewRefReader(data []byte) *RefReader {
+	return &RefReader{data: data}
+}
+
+// ReadBits reads n bits (n in [0, 32]) MSB-first.
+func (r *RefReader) ReadBits(n uint) (uint32, error) {
+	if n > 32 {
+		panic(fmt.Sprintf("bitstream: ReadBits n=%d", n))
+	}
+	var v uint32
+	for i := uint(0); i < n; i++ {
+		if r.bit == 0 {
+			// About to start a new byte: drop an escape byte if present.
+			if r.zeros >= 2 && r.pos < len(r.data) && r.data[r.pos] == 0x03 {
+				r.pos++
+				r.zeros = 0
+			}
+			if r.pos >= len(r.data) {
+				return 0, ErrUnexpectedEOF
+			}
+			if r.data[r.pos] == 0x00 {
+				r.zeros++
+			} else {
+				r.zeros = 0
+			}
+		}
+		if r.pos >= len(r.data) {
+			return 0, ErrUnexpectedEOF
+		}
+		bit := (r.data[r.pos] >> (7 - r.bit)) & 1
+		v = v<<1 | uint32(bit)
+		r.bit++
+		if r.bit == 8 {
+			r.bit = 0
+			r.pos++
+		}
+	}
+	return v, nil
+}
+
+// ReadBit reads a single bit.
+func (r *RefReader) ReadBit() (uint8, error) {
+	v, err := r.ReadBits(1)
+	return uint8(v), err
+}
+
+// AlignByte skips to the next byte boundary.
+func (r *RefReader) AlignByte() {
+	if r.bit != 0 {
+		r.bit = 0
+		r.pos++
+	}
+}
+
+// BitPos returns the number of bits consumed so far, counted in the
+// escaped (on-wire) stream.
+func (r *RefReader) BitPos() int { return r.pos*8 + int(r.bit) }
+
+// Remaining returns the number of unread on-wire bits.
+func (r *RefReader) Remaining() int { return len(r.data)*8 - r.BitPos() }

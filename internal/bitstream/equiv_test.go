@@ -1,0 +1,221 @@
+package bitstream
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Differential harness: the accumulator-based Writer and byte-chunk
+// Reader must match the bit-at-a-time RefWriter/RefReader on every
+// observable — emitted bytes, BitLen/BitPos, read values, errors and
+// post-error state — for arbitrary operation sequences, including ones
+// that provoke emulation-prevention escapes and mid-read EOF.
+
+func TestBitstreamWriterEquiv(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 300; trial++ {
+		var fast Writer
+		var ref RefWriter
+		ops := rng.Intn(200) + 1
+		for i := 0; i < ops; i++ {
+			switch rng.Intn(10) {
+			case 0:
+				fast.AlignByte()
+				ref.AlignByte()
+			case 1:
+				code := byte(rng.Intn(256))
+				fast.WriteStartCode(code)
+				ref.WriteStartCode(code)
+			case 2:
+				// Zero-heavy values provoke escape insertion.
+				n := uint(rng.Intn(33))
+				fast.WriteBits(0, n)
+				ref.WriteBits(0, n)
+			default:
+				n := uint(rng.Intn(33))
+				v := rng.Uint32()
+				fast.WriteBits(v, n)
+				ref.WriteBits(v, n)
+			}
+			if fast.BitLen() != ref.BitLen() {
+				t.Fatalf("trial %d op %d: BitLen fast %d ref %d", trial, i, fast.BitLen(), ref.BitLen())
+			}
+		}
+		if !bytes.Equal(fast.Bytes(), ref.Bytes()) {
+			t.Fatalf("trial %d: streams diverge\nfast %x\nref  %x", trial, fast.Bytes(), ref.Bytes())
+		}
+	}
+}
+
+func TestBitstreamReaderEquiv(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 300; trial++ {
+		data := make([]byte, rng.Intn(64))
+		for i := range data {
+			// Bias toward 0x00/0x01/0x03 so escape removal paths and
+			// start-code-like runs are common.
+			switch rng.Intn(4) {
+			case 0:
+				data[i] = byte(rng.Intn(256))
+			case 1:
+				data[i] = 0x00
+			case 2:
+				data[i] = 0x03
+			default:
+				data[i] = 0x01
+			}
+		}
+		fast := NewReader(data)
+		ref := NewRefReader(data)
+		for i := 0; i < 100; i++ {
+			if rng.Intn(8) == 0 {
+				fast.AlignByte()
+				ref.AlignByte()
+			}
+			n := uint(rng.Intn(33))
+			if pv, pn := fast.PeekBits(n); pn == n {
+				// A full peek must predict the next read exactly.
+				v, err := fast.ReadBits(n)
+				if err != nil || v != pv {
+					t.Fatalf("trial %d: PeekBits(%d)=%#x but ReadBits=%#x err=%v", trial, n, pv, v, err)
+				}
+				rv, rerr := ref.ReadBits(n)
+				if rerr != nil || rv != v {
+					t.Fatalf("trial %d: ref diverges after peek: %#x/%v vs %#x", trial, rv, rerr, v)
+				}
+			} else {
+				v, err := fast.ReadBits(n)
+				rv, rerr := ref.ReadBits(n)
+				if v != rv || (err == nil) != (rerr == nil) {
+					t.Fatalf("trial %d: ReadBits(%d) fast %#x/%v ref %#x/%v", trial, n, v, err, rv, rerr)
+				}
+			}
+			if fast.BitPos() != ref.BitPos() {
+				t.Fatalf("trial %d: BitPos fast %d ref %d", trial, fast.BitPos(), ref.BitPos())
+			}
+			if fast.Remaining() != ref.Remaining() {
+				t.Fatalf("trial %d: Remaining fast %d ref %d", trial, fast.Remaining(), ref.Remaining())
+			}
+		}
+	}
+}
+
+// TestWriteBitsMasksHighBits pins the chosen contract for value bits
+// above n: they are ignored. The reference writer has always behaved
+// this way (it only inspects bits 0..n−1); the accumulator writer
+// masks explicitly and must agree.
+func TestWriteBitsMasksHighBits(t *testing.T) {
+	var a, b Writer
+	a.WriteBits(0xFFFFFFFF, 4)
+	b.WriteBits(0xF, 4)
+	a.AlignByte()
+	b.AlignByte()
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatalf("high bits leaked: %x vs %x", a.Bytes(), b.Bytes())
+	}
+	var c RefWriter
+	c.WriteBits(0xFFFFFFFF, 4)
+	c.AlignByte()
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatalf("fast and ref disagree on masking: %x vs %x", a.Bytes(), c.Bytes())
+	}
+	// n = 0 writes nothing, whatever v holds.
+	var d Writer
+	d.WriteBits(0xFFFFFFFF, 0)
+	if d.BitLen() != 0 {
+		t.Fatalf("WriteBits(v, 0) wrote %d bits", d.BitLen())
+	}
+}
+
+// TestBitsPanicOnWideN pins the panic contract on n > 32 for both
+// writer and reader (fast and reference).
+func TestBitsPanicOnWideN(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic for n=33", name)
+			}
+		}()
+		fn()
+	}
+	var w Writer
+	expectPanic("Writer.WriteBits", func() { w.WriteBits(0, 33) })
+	var rw RefWriter
+	expectPanic("RefWriter.WriteBits", func() { rw.WriteBits(0, 33) })
+	r := NewReader([]byte{0xAA})
+	expectPanic("Reader.ReadBits", func() { r.ReadBits(33) })
+	rr := NewRefReader([]byte{0xAA})
+	expectPanic("RefReader.ReadBits", func() { rr.ReadBits(33) })
+}
+
+// FuzzBitstreamEquiv drives both writer pairs with a fuzzer-chosen op
+// script, then reads the produced stream back with both readers. Every
+// divergence — bytes, lengths, values, error presence, positions — is
+// a bug.
+func FuzzBitstreamEquiv(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00, 0x01, 0xB0, 0xFF})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 0, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, script []byte) {
+		var fast Writer
+		var ref RefWriter
+		// Writer phase: consume the script as (op, n, v...) tuples.
+		for i := 0; i+1 < len(script); {
+			op := script[i]
+			n := uint(script[i+1]) % 33
+			i += 2
+			switch op % 8 {
+			case 0:
+				fast.AlignByte()
+				ref.AlignByte()
+			case 1:
+				fast.WriteStartCode(byte(n))
+				ref.WriteStartCode(byte(n))
+			default:
+				var v uint32
+				for k := 0; k < 4 && i < len(script); k++ {
+					v = v<<8 | uint32(script[i])
+					i++
+				}
+				fast.WriteBits(v, n)
+				ref.WriteBits(v, n)
+			}
+			if fast.BitLen() != ref.BitLen() {
+				t.Fatalf("BitLen diverges: %d vs %d", fast.BitLen(), ref.BitLen())
+			}
+		}
+		out := fast.Bytes()
+		if !bytes.Equal(out, ref.Bytes()) {
+			t.Fatalf("written streams diverge:\nfast %x\nref  %x", out, ref.Bytes())
+		}
+
+		// Reader phase: replay the script as read sizes over both the
+		// written stream and the raw script bytes.
+		for _, data := range [][]byte{out, script} {
+			fr := NewReader(data)
+			rr := NewRefReader(data)
+			for i := 0; i < len(script); i++ {
+				n := uint(script[i]) % 33
+				if script[i]%7 == 0 {
+					fr.AlignByte()
+					rr.AlignByte()
+				}
+				pv, pn := fr.PeekBits(n)
+				v, err := fr.ReadBits(n)
+				rv, rerr := rr.ReadBits(n)
+				if v != rv || (err == nil) != (rerr == nil) {
+					t.Fatalf("ReadBits(%d) diverges: fast %#x/%v ref %#x/%v", n, v, err, rv, rerr)
+				}
+				if err == nil && pn == n && pv != v {
+					t.Fatalf("PeekBits(%d)=%#x but ReadBits=%#x", n, pv, v)
+				}
+				if fr.BitPos() != rr.BitPos() {
+					t.Fatalf("BitPos diverges: %d vs %d", fr.BitPos(), rr.BitPos())
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,69 @@
+package bitstream
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks pairing the accumulator writer / byte-chunk reader
+// with their bit-at-a-time references. Each op writes or reads a mixed
+// schedule of widths (1..22 bits) resembling the codec's header + VLC
+// traffic.
+
+var benchWidths = [...]uint{1, 3, 8, 5, 12, 1, 22, 6, 2, 9}
+
+func benchStream() []byte {
+	rng := rand.New(rand.NewSource(12))
+	var w Writer
+	for i := 0; i < 4096; i++ {
+		w.WriteBits(rng.Uint32(), benchWidths[i%len(benchWidths)])
+	}
+	out := w.Bytes()
+	cp := make([]byte, len(out))
+	copy(cp, out)
+	return cp
+}
+
+func BenchmarkWriteBits(b *testing.B) {
+	var w Writer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%1024 == 0 {
+			w.Reset()
+		}
+		w.WriteBits(0xAC5F17, benchWidths[i%len(benchWidths)])
+	}
+}
+
+func BenchmarkWriteBitsRef(b *testing.B) {
+	var w RefWriter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i%1024 == 0 {
+			w.Reset()
+		}
+		w.WriteBits(0xAC5F17, benchWidths[i%len(benchWidths)])
+	}
+}
+
+func BenchmarkReadBits(b *testing.B) {
+	data := benchStream()
+	r := NewReader(data)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.ReadBits(benchWidths[i%len(benchWidths)]); err != nil {
+			r = NewReader(data)
+		}
+	}
+}
+
+func BenchmarkReadBitsRef(b *testing.B) {
+	data := benchStream()
+	r := NewRefReader(data)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.ReadBits(benchWidths[i%len(benchWidths)]); err != nil {
+			r = NewRefReader(data)
+		}
+	}
+}

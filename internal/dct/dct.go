@@ -37,32 +37,59 @@ func init() {
 	}
 }
 
+// The folded kernels below exploit the exact ±symmetry of the cosine
+// basis, ctab[v][y] == ±ctab[v][7−y] (+ for even v, − for odd v; a
+// property of the table's int32 values, asserted by
+// TestCosineTableSymmetry): forming row[y]±row[7−y] first halves the
+// multiply count from 8 to 4 per output. The fold is bit-exact with
+// the naive triple loops in dct_ref.go for every int32 input — it only
+// redistributes int64 ring operations ((a+b)·c == a·c + b·c holds
+// exactly mod 2^64), so even inputs far outside the nominal sample
+// range produce identical bit patterns.
+
 // Forward computes the 2-D DCT-II of src into dst. Input samples are
 // expected in the residual range [-255, 255] or the intra range
 // [0, 255]; output coefficients lie in [-2048, 2047] (the H.263
-// coefficient range).
+// coefficient range). Bit-exact with ForwardRef.
 func Forward(src, dst *video.Block) {
-	// Row pass: tmp[x][v] = Σ_y src[x][y] * ctab[v][y], scaled 2^14.
+	// Row pass: tmp[x][v] = Σ_y src[x][y] * ctab[v][y], scaled 2^14,
+	// folded over y: even v see row[y]+row[7−y], odd v see the
+	// difference.
 	var tmp [video.BlockSize * video.BlockSize]int64
 	for x := 0; x < video.BlockSize; x++ {
 		row := src[x*video.BlockSize:]
-		for v := 0; v < video.BlockSize; v++ {
-			var sum int64
-			for y := 0; y < video.BlockSize; y++ {
-				sum += int64(row[y]) * int64(ctab[v][y])
-			}
-			tmp[x*video.BlockSize+v] = sum
+		var s, d [4]int64
+		for y := 0; y < 4; y++ {
+			a, b := int64(row[y]), int64(row[7-y])
+			s[y], d[y] = a+b, a-b
+		}
+		t := tmp[x*video.BlockSize:]
+		for v := 0; v < video.BlockSize; v += 2 {
+			c := &ctab[v]
+			t[v] = s[0]*int64(c[0]) + s[1]*int64(c[1]) + s[2]*int64(c[2]) + s[3]*int64(c[3])
+		}
+		for v := 1; v < video.BlockSize; v += 2 {
+			c := &ctab[v]
+			t[v] = d[0]*int64(c[0]) + d[1]*int64(c[1]) + d[2]*int64(c[2]) + d[3]*int64(c[3])
 		}
 	}
 	// Column pass: dst[u][v] = Σ_x tmp[x][v] * ctab[u][x], scaled 2^28,
-	// rounded back to integers.
+	// rounded back to integers; same fold over x.
 	const round = int64(1) << (2*scaleBits - 1)
 	for v := 0; v < video.BlockSize; v++ {
-		for u := 0; u < video.BlockSize; u++ {
-			var sum int64
-			for x := 0; x < video.BlockSize; x++ {
-				sum += tmp[x*video.BlockSize+v] * int64(ctab[u][x])
-			}
+		var s, d [4]int64
+		for x := 0; x < 4; x++ {
+			a, b := tmp[x*video.BlockSize+v], tmp[(7-x)*video.BlockSize+v]
+			s[x], d[x] = a+b, a-b
+		}
+		for u := 0; u < video.BlockSize; u += 2 {
+			c := &ctab[u]
+			sum := s[0]*int64(c[0]) + s[1]*int64(c[1]) + s[2]*int64(c[2]) + s[3]*int64(c[3])
+			dst[u*video.BlockSize+v] = clampCoef(int32((sum + round) >> (2 * scaleBits)))
+		}
+		for u := 1; u < video.BlockSize; u += 2 {
+			c := &ctab[u]
+			sum := d[0]*int64(c[0]) + d[1]*int64(c[1]) + d[2]*int64(c[2]) + d[3]*int64(c[3])
 			dst[u*video.BlockSize+v] = clampCoef(int32((sum + round) >> (2 * scaleBits)))
 		}
 	}
@@ -70,28 +97,43 @@ func Forward(src, dst *video.Block) {
 
 // Inverse computes the 2-D inverse DCT (DCT-III) of src into dst.
 // Coefficients in [-2048, 2047] reconstruct samples within ±1 of the
-// original for any block that came out of Forward.
+// original for any block that came out of Forward. Bit-exact with
+// InverseRef.
 func Inverse(src, dst *video.Block) {
 	// Row pass over coefficient rows: tmp[u][y] = Σ_v src[u][v]*ctab[v][y].
+	// Folded over the output index: with E[y] the even-v partial sum
+	// and O[y] the odd-v partial sum, tmp[u][y] = E+O and
+	// tmp[u][7−y] = E−O by the basis symmetry.
 	var tmp [video.BlockSize * video.BlockSize]int64
 	for u := 0; u < video.BlockSize; u++ {
 		row := src[u*video.BlockSize:]
-		for y := 0; y < video.BlockSize; y++ {
-			var sum int64
-			for v := 0; v < video.BlockSize; v++ {
-				sum += int64(row[v]) * int64(ctab[v][y])
-			}
-			tmp[u*video.BlockSize+y] = sum
+		r0, r1 := int64(row[0]), int64(row[1])
+		r2, r3 := int64(row[2]), int64(row[3])
+		r4, r5 := int64(row[4]), int64(row[5])
+		r6, r7 := int64(row[6]), int64(row[7])
+		t := tmp[u*video.BlockSize:]
+		for y := 0; y < 4; y++ {
+			e := r0*int64(ctab[0][y]) + r2*int64(ctab[2][y]) +
+				r4*int64(ctab[4][y]) + r6*int64(ctab[6][y])
+			o := r1*int64(ctab[1][y]) + r3*int64(ctab[3][y]) +
+				r5*int64(ctab[5][y]) + r7*int64(ctab[7][y])
+			t[y] = e + o
+			t[7-y] = e - o
 		}
 	}
 	const round = int64(1) << (2*scaleBits - 1)
 	for y := 0; y < video.BlockSize; y++ {
-		for x := 0; x < video.BlockSize; x++ {
-			var sum int64
-			for u := 0; u < video.BlockSize; u++ {
-				sum += tmp[u*video.BlockSize+y] * int64(ctab[u][x])
-			}
-			dst[x*video.BlockSize+y] = int32((sum + round) >> (2 * scaleBits))
+		t0, t1 := tmp[0*video.BlockSize+y], tmp[1*video.BlockSize+y]
+		t2, t3 := tmp[2*video.BlockSize+y], tmp[3*video.BlockSize+y]
+		t4, t5 := tmp[4*video.BlockSize+y], tmp[5*video.BlockSize+y]
+		t6, t7 := tmp[6*video.BlockSize+y], tmp[7*video.BlockSize+y]
+		for x := 0; x < 4; x++ {
+			e := t0*int64(ctab[0][x]) + t2*int64(ctab[2][x]) +
+				t4*int64(ctab[4][x]) + t6*int64(ctab[6][x])
+			o := t1*int64(ctab[1][x]) + t3*int64(ctab[3][x]) +
+				t5*int64(ctab[5][x]) + t7*int64(ctab[7][x])
+			dst[x*video.BlockSize+y] = int32((e + o + round) >> (2 * scaleBits))
+			dst[(7-x)*video.BlockSize+y] = int32((e - o + round) >> (2 * scaleBits))
 		}
 	}
 }

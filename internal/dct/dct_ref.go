@@ -1,0 +1,66 @@
+package dct
+
+import "pbpair/internal/video"
+
+// Reference (naive O(N³)) transforms — the original triple-loop
+// implementations of Forward and Inverse, kept exported as ground
+// truth for the differential harness (TestDCTEquiv / FuzzDCTEquiv).
+// The folded kernels in dct.go must match these exactly for every
+// int32 input block, not just the nominal sample range: the fold only
+// reorders int64 additions and relies on the exact ±symmetry of ctab
+// (asserted by TestCosineTableSymmetry), both of which are
+// value-independent.
+
+// ForwardRef is the reference implementation of Forward.
+func ForwardRef(src, dst *video.Block) {
+	// Row pass: tmp[x][v] = Σ_y src[x][y] * ctab[v][y], scaled 2^14.
+	var tmp [video.BlockSize * video.BlockSize]int64
+	for x := 0; x < video.BlockSize; x++ {
+		row := src[x*video.BlockSize:]
+		for v := 0; v < video.BlockSize; v++ {
+			var sum int64
+			for y := 0; y < video.BlockSize; y++ {
+				sum += int64(row[y]) * int64(ctab[v][y])
+			}
+			tmp[x*video.BlockSize+v] = sum
+		}
+	}
+	// Column pass: dst[u][v] = Σ_x tmp[x][v] * ctab[u][x], scaled 2^28,
+	// rounded back to integers.
+	const round = int64(1) << (2*scaleBits - 1)
+	for v := 0; v < video.BlockSize; v++ {
+		for u := 0; u < video.BlockSize; u++ {
+			var sum int64
+			for x := 0; x < video.BlockSize; x++ {
+				sum += tmp[x*video.BlockSize+v] * int64(ctab[u][x])
+			}
+			dst[u*video.BlockSize+v] = clampCoef(int32((sum + round) >> (2 * scaleBits)))
+		}
+	}
+}
+
+// InverseRef is the reference implementation of Inverse.
+func InverseRef(src, dst *video.Block) {
+	// Row pass over coefficient rows: tmp[u][y] = Σ_v src[u][v]*ctab[v][y].
+	var tmp [video.BlockSize * video.BlockSize]int64
+	for u := 0; u < video.BlockSize; u++ {
+		row := src[u*video.BlockSize:]
+		for y := 0; y < video.BlockSize; y++ {
+			var sum int64
+			for v := 0; v < video.BlockSize; v++ {
+				sum += int64(row[v]) * int64(ctab[v][y])
+			}
+			tmp[u*video.BlockSize+y] = sum
+		}
+	}
+	const round = int64(1) << (2*scaleBits - 1)
+	for y := 0; y < video.BlockSize; y++ {
+		for x := 0; x < video.BlockSize; x++ {
+			var sum int64
+			for u := 0; u < video.BlockSize; u++ {
+				sum += tmp[u*video.BlockSize+y] * int64(ctab[u][x])
+			}
+			dst[x*video.BlockSize+y] = int32((sum + round) >> (2 * scaleBits))
+		}
+	}
+}

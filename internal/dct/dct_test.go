@@ -202,3 +202,24 @@ func BenchmarkInverse(b *testing.B) {
 		Inverse(&freq, &dst)
 	}
 }
+
+func BenchmarkForwardRef(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := randBlock(rng, -255, 255)
+	var dst video.Block
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ForwardRef(src, &dst)
+	}
+}
+
+func BenchmarkInverseRef(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	src := randBlock(rng, -255, 255)
+	var freq, dst video.Block
+	Forward(src, &freq)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		InverseRef(&freq, &dst)
+	}
+}

@@ -1,0 +1,93 @@
+package dct
+
+import (
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pbpair/internal/video"
+)
+
+// Differential harness: the folded butterfly kernels must be bit-exact
+// with the naive triple loops in dct_ref.go for every int32 input
+// block — not just the nominal sample/coefficient ranges. The fold
+// only redistributes int64 ring operations, so this holds even when
+// extreme inputs make intermediate products wrap.
+
+// TestCosineTableSymmetry pins the property the fold depends on:
+// ctab[v][y] == ctab[v][7−y] for even v and == −ctab[v][7−y] for odd
+// v, exactly, as int32 values after rounding.
+func TestCosineTableSymmetry(t *testing.T) {
+	for v := 0; v < video.BlockSize; v++ {
+		for y := 0; y < video.BlockSize/2; y++ {
+			a, b := ctab[v][y], ctab[v][video.BlockSize-1-y]
+			if v%2 == 0 && a != b {
+				t.Errorf("even v=%d y=%d: ctab %d != mirrored %d", v, y, a, b)
+			}
+			if v%2 == 1 && a != -b {
+				t.Errorf("odd v=%d y=%d: ctab %d != -mirrored %d", v, y, a, -b)
+			}
+		}
+	}
+}
+
+func TestDCTEquiv(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	regimes := []func() int32{
+		func() int32 { return int32(rng.Intn(511)) - 255 },   // residual range
+		func() int32 { return int32(rng.Intn(256)) },         // intra range
+		func() int32 { return int32(rng.Intn(4096)) - 2048 }, // coefficient range
+		func() int32 { return rng.Int31() - rng.Int31() },    // full int32 domain
+		func() int32 { return []int32{0, 1, -1, math.MaxInt32, math.MinInt32, 255, -255}[rng.Intn(7)] },
+	}
+	for i := 0; i < 4000; i++ {
+		gen := regimes[i%len(regimes)]
+		var src video.Block
+		for j := range src {
+			src[j] = gen()
+		}
+		var fwdFast, fwdRef, invFast, invRef video.Block
+		Forward(&src, &fwdFast)
+		ForwardRef(&src, &fwdRef)
+		if fwdFast != fwdRef {
+			t.Fatalf("Forward diverges (regime %d):\nsrc  %v\nfast %v\nref  %v", i%len(regimes), src, fwdFast, fwdRef)
+		}
+		Inverse(&src, &invFast)
+		InverseRef(&src, &invRef)
+		if invFast != invRef {
+			t.Fatalf("Inverse diverges (regime %d):\nsrc  %v\nfast %v\nref  %v", i%len(regimes), src, invFast, invRef)
+		}
+	}
+}
+
+// FuzzDCTEquiv extends the same equivalence to fuzzer-chosen blocks:
+// 64 int32 coefficients are decoded little-endian from the input.
+func FuzzDCTEquiv(f *testing.F) {
+	f.Add(make([]byte, 256))
+	seed := make([]byte, 256)
+	for i := range seed {
+		seed[i] = byte(i * 31)
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var src video.Block
+		for j := range src {
+			if 4*j+4 <= len(data) {
+				src[j] = int32(binary.LittleEndian.Uint32(data[4*j : 4*j+4]))
+			}
+		}
+		var fwdFast, fwdRef, invFast, invRef video.Block
+		Forward(&src, &fwdFast)
+		ForwardRef(&src, &fwdRef)
+		if fwdFast != fwdRef {
+			t.Fatalf("Forward diverges:\nsrc  %v\nfast %v\nref  %v", src, fwdFast, fwdRef)
+		}
+		Inverse(&src, &invFast)
+		InverseRef(&src, &invRef)
+		if invFast != invRef {
+			t.Fatalf("Inverse diverges:\nsrc  %v\nfast %v\nref  %v", src, invFast, invRef)
+		}
+	})
+}

@@ -371,6 +371,26 @@ func BenchmarkReadEvent(b *testing.B) {
 	}
 }
 
+func BenchmarkReadEventRef(b *testing.B) {
+	var w bitstream.Writer
+	for i := 0; i < 1024; i++ {
+		if err := WriteEvent(&w, Event{Run: i % 11, Level: int32(i%6 + 1)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	data := w.Bytes()
+	b.ReportAllocs()
+	r := bitstream.NewReader(data)
+	for i := 0; i < b.N; i++ {
+		if i%1024 == 0 {
+			r = bitstream.NewReader(data)
+		}
+		if _, err := ReadEventRef(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // TestVLCTableStability pins the derived Huffman table: the bit cost
 // of a probe set of events must never change silently, because the
 // table is part of the bitstream format (see also the codec package's

@@ -1,0 +1,119 @@
+package entropy
+
+import (
+	"math/rand"
+	"testing"
+
+	"pbpair/internal/bitstream"
+)
+
+// Differential harness: the table-driven ReadEvent must match the
+// bit-by-bit tree walk ReadEventRef on every observable — decoded
+// event, error presence, and reader position — for valid streams,
+// corrupt streams, and truncations.
+
+// TestVLCTableCoversAllCodes sanity-checks the lookup build: every
+// codeword short enough for the table must resolve through it with the
+// right symbol and length.
+func TestVLCTableCoversAllCodes(t *testing.T) {
+	covered := 0
+	for s, sym := range tcoefSyms {
+		c := tcoefEncode[symbolKey(sym.last, sym.run, sym.absLevel)]
+		if c.n > vlcLookupBits {
+			continue
+		}
+		covered++
+		idx := c.bits << (vlcLookupBits - c.n)
+		e := tcoefLookup[idx]
+		if int(e.sym) != s || uint(e.n) != c.n {
+			t.Errorf("symbol %d (len %d): lookup gives sym %d len %d", s, c.n, e.sym, e.n)
+		}
+	}
+	if covered == 0 {
+		t.Fatal("no codewords covered by the lookup table; fast path dead")
+	}
+	t.Logf("lookup covers %d/%d symbols (≤ %d bits)", covered, len(tcoefSyms), vlcLookupBits)
+}
+
+func TestVLCDecodeEquiv(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+
+	// Valid streams: random event sequences round-tripped.
+	for trial := 0; trial < 200; trial++ {
+		var w bitstream.Writer
+		nEvents := rng.Intn(40) + 1
+		for i := 0; i < nEvents; i++ {
+			e := Event{
+				Run:   rng.Intn(64),
+				Level: int32(rng.Intn(2049) - 1024),
+				Last:  rng.Intn(4) == 0,
+			}
+			if e.Level == 0 {
+				e.Level = 1
+			}
+			if err := WriteEvent(&w, e); err != nil {
+				t.Fatal(err)
+			}
+		}
+		data := w.Bytes()
+		compareDecoders(t, data, 2*nEvents)
+	}
+
+	// Corrupt/truncated streams: random bytes.
+	for trial := 0; trial < 300; trial++ {
+		data := make([]byte, rng.Intn(48))
+		for i := range data {
+			data[i] = byte(rng.Intn(256))
+		}
+		compareDecoders(t, data, 64)
+	}
+}
+
+// compareDecoders runs both decoders over data until first error and
+// asserts identical events, errors and positions at every step.
+func compareDecoders(t *testing.T, data []byte, maxEvents int) {
+	t.Helper()
+	fast := bitstream.NewReader(data)
+	ref := bitstream.NewReader(data)
+	for i := 0; i < maxEvents; i++ {
+		ev, err := ReadEvent(fast)
+		rv, rerr := ReadEventRef(ref)
+		if (err == nil) != (rerr == nil) {
+			t.Fatalf("event %d: error diverges: fast %v ref %v (data %x)", i, err, rerr, data)
+		}
+		if err == nil && ev != rv {
+			t.Fatalf("event %d: fast %+v ref %+v (data %x)", i, ev, rv, data)
+		}
+		if fast.BitPos() != ref.BitPos() {
+			t.Fatalf("event %d: BitPos fast %d ref %d (data %x)", i, fast.BitPos(), ref.BitPos(), data)
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// FuzzVLCDecodeEquiv extends the same comparison to fuzzer-chosen byte
+// streams — the fuzzer is free to construct valid prefixes, escapes,
+// emulation-prevention patterns and truncations.
+func FuzzVLCDecodeEquiv(f *testing.F) {
+	var w bitstream.Writer
+	for _, e := range []Event{
+		{Run: 0, Level: 1},
+		{Run: 5, Level: -3, Last: true},
+		{Run: 40, Level: 900},
+		{Run: 63, Level: -1024, Last: true},
+	} {
+		w.Reset()
+		if err := WriteEvent(&w, e); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(append([]byte(nil), w.Bytes()...))
+	}
+	f.Add([]byte{0x00, 0x00, 0x03, 0x01})
+	f.Add([]byte{0xFF})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		compareDecoders(t, data, 64)
+	})
+}

@@ -65,6 +65,7 @@ type tcoefSymbol struct {
 
 func init() {
 	buildTCOEFTable()
+	buildTCOEFLookup()
 }
 
 // buildTCOEFTable constructs the static Huffman code. Deterministic:
@@ -261,9 +262,142 @@ func EventBits(e Event) int {
 	return int(tcoefEncode[escapeKey].n) + escLastBits + escRunBits + escLevelBits
 }
 
+// vlcLookupBits is the peek width of the table-driven decoder: one
+// lookup resolves any codeword of up to this many bits. Longer (rarer)
+// codewords and invalid prefixes fall back to the tree walk.
+const vlcLookupBits = 8
+
+// vlcEntry is one prefix-lookup slot. n > 0 means the lookahead starts
+// with a complete codeword: sym is the symbol index and n its length.
+// n == 0 with sym >= 0 means the codeword is longer than the window:
+// sym is the decode-tree node reached after consuming all
+// vlcLookupBits bits, so decoding resumes mid-tree instead of
+// restarting from the root. n == 0 with sym < 0 marks an invalid
+// prefix (corrupt stream).
+type vlcEntry struct {
+	sym int16
+	n   uint8
+}
+
+// tcoefLookup maps every possible vlcLookupBits-wide lookahead to the
+// codeword it starts with (or the tree node it descends to). Built at
+// init by walking the decode tree for each possible window.
+var tcoefLookup [1 << vlcLookupBits]vlcEntry
+
+// vlcFastEntry resolves a codeword AND its trailing sign bit in one
+// lookup: level is already signed, run carries the LAST flag in its
+// high bit, n is the total consumed width (codeword + sign). n == 0
+// marks a miss. Only non-escape codewords with n+1 ≤ vlcLookupBits
+// qualify; everything else goes through tcoefLookup or the tree walk.
+type vlcFastEntry struct {
+	level int16
+	run   uint8 // run | vlcFastLast when LAST
+	n     uint8
+}
+
+const vlcFastLast = 0x80
+
+var tcoefFast [1 << vlcLookupBits]vlcFastEntry
+
+// buildTCOEFLookup populates tcoefLookup and tcoefFast from the decode
+// tree and canonical codes. Called from init after buildTCOEFTable.
+func buildTCOEFLookup() {
+	// tcoefLookup: walk the tree once per possible window.
+	for i := range tcoefLookup {
+		cur := int32(0)
+		entry := vlcEntry{sym: -1, n: 0} // dead end unless the walk says otherwise
+		for d := 0; d < vlcLookupBits; d++ {
+			bit := i >> (vlcLookupBits - 1 - d) & 1
+			next := tcoefTree[cur].child[bit]
+			if next == -1 {
+				break
+			}
+			cur = next
+			if s := tcoefTree[cur].sym; s >= 0 {
+				entry = vlcEntry{sym: int16(s), n: uint8(d) + 1}
+				break
+			}
+			if d == vlcLookupBits-1 {
+				entry = vlcEntry{sym: int16(cur), n: 0} // still inside the tree
+			}
+		}
+		tcoefLookup[i] = entry
+	}
+
+	// tcoefFast: codeword + sign resolved together, for short
+	// non-escape codewords.
+	for _, sym := range tcoefSyms {
+		c := tcoefEncode[symbolKey(sym.last, sym.run, sym.absLevel)]
+		if sym.absLevel == 0 || c.n+1 > vlcLookupBits {
+			continue
+		}
+		run := uint8(sym.run)
+		if sym.last {
+			run |= vlcFastLast
+		}
+		for sign := uint32(0); sign < 2; sign++ {
+			lvl := int16(sym.absLevel)
+			if sign == 1 {
+				lvl = -lvl
+			}
+			sbase := (c.bits<<1 | sign) << (vlcLookupBits - c.n - 1)
+			for i := uint32(0); i < 1<<(vlcLookupBits-c.n-1); i++ {
+				tcoefFast[sbase|i] = vlcFastEntry{level: lvl, run: run, n: uint8(c.n) + 1}
+			}
+		}
+	}
+}
+
 // ReadEvent decodes one event.
+//
+// Fast path: peek vlcLookupBits of lookahead, resolve the codeword
+// with a single table access, and consume exactly its length. When the
+// lookahead is too short (near end of stream), the prefix is invalid,
+// or the codeword is longer than the table covers, it falls back to
+// the bit-by-bit tree walk, which reproduces the reference error
+// behavior exactly. Equivalence with ReadEventRef — same events, same
+// errors, same reader position — is pinned by TestVLCDecodeEquiv and
+// FuzzVLCDecodeEquiv.
 func ReadEvent(r *bitstream.Reader) (Event, error) {
-	cur := int32(0)
+	if look, ok := r.Peek8(); ok {
+		if e := tcoefFast[look]; e.n > 0 {
+			r.ReadBits(uint(e.n)) // cannot fail: the peek saw these bits
+			return Event{Last: e.run&vlcFastLast != 0, Run: int(e.run &^ vlcFastLast), Level: int32(e.level)}, nil
+		}
+		if e := tcoefLookup[look]; e.n > 0 {
+			r.ReadBits(uint(e.n))
+			return readEventTail(r, int32(e.sym))
+		} else if e.sym >= 0 {
+			// Codeword longer than the window: consume the peeked bits
+			// and resume the tree walk mid-tree.
+			r.ReadBits(vlcLookupBits)
+			return readEventWalk(r, int32(e.sym))
+		}
+		return ReadEventRef(r) // invalid prefix: reproduce the reference error path
+	}
+	look, got := r.PeekBits(vlcLookupBits)
+	if got == vlcLookupBits {
+		if e := tcoefLookup[look]; e.n > 0 {
+			r.ReadBits(uint(e.n)) // cannot fail: the peek saw these bits
+			return readEventTail(r, int32(e.sym))
+		}
+	} else if got > 0 {
+		// Short lookahead: left-align and only trust a hit whose
+		// codeword fits in the bits actually present.
+		if e := tcoefLookup[look<<(vlcLookupBits-got)]; e.n > 0 && uint(e.n) <= got {
+			r.ReadBits(uint(e.n))
+			return readEventTail(r, int32(e.sym))
+		}
+	}
+	return ReadEventRef(r)
+}
+
+// readEventWalk finishes decoding a codeword from an interior decode-
+// tree node, bit by bit — the continuation of ReadEventRef's loop for
+// codewords longer than the lookup window. Behavior past the node is
+// identical to the reference walk by construction: same bits, same
+// error, same tail.
+func readEventWalk(r *bitstream.Reader, cur int32) (Event, error) {
 	for tcoefTree[cur].sym < 0 {
 		bit, err := r.ReadBit()
 		if err != nil {
@@ -275,8 +409,17 @@ func ReadEvent(r *bitstream.Reader) (Event, error) {
 		}
 		cur = next
 	}
-	sym := tcoefSyms[tcoefTree[cur].sym]
-	if sym.absLevel == 0 {
+	return readEventTail(r, tcoefTree[cur].sym)
+}
+
+// readEventTail finishes decoding after the codeword for symbol index
+// sym has been consumed: the escape payload for the escape symbol, the
+// sign bit otherwise. Shared by the table-driven and reference
+// decoders so their post-codeword behavior is identical by
+// construction.
+func readEventTail(r *bitstream.Reader, sym int32) (Event, error) {
+	s := tcoefSyms[sym]
+	if s.absLevel == 0 {
 		// Escape.
 		lastBit, err := r.ReadBits(escLastBits)
 		if err != nil {
@@ -304,9 +447,9 @@ func ReadEvent(r *bitstream.Reader) (Event, error) {
 	if err != nil {
 		return Event{}, err
 	}
-	level := sym.absLevel
+	level := s.absLevel
 	if sign == 1 {
 		level = -level
 	}
-	return Event{Last: sym.last, Run: sym.run, Level: level}, nil
+	return Event{Last: s.last, Run: s.run, Level: level}, nil
 }

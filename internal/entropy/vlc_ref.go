@@ -1,0 +1,29 @@
+package entropy
+
+import (
+	"fmt"
+
+	"pbpair/internal/bitstream"
+)
+
+// ReadEventRef is the reference (bit-by-bit tree walk) TCOEF decoder —
+// the original implementation of ReadEvent, kept exported as ground
+// truth for the differential harness (TestVLCDecodeEquiv /
+// FuzzVLCDecodeEquiv). The table-driven ReadEvent must match it on
+// every observable: decoded event, error, and reader position, for
+// arbitrary (including corrupt and truncated) input.
+func ReadEventRef(r *bitstream.Reader) (Event, error) {
+	cur := int32(0)
+	for tcoefTree[cur].sym < 0 {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return Event{}, err
+		}
+		next := tcoefTree[cur].child[bit]
+		if next == -1 {
+			return Event{}, fmt.Errorf("entropy: invalid TCOEF code")
+		}
+		cur = next
+	}
+	return readEventTail(r, tcoefTree[cur].sym)
+}

@@ -1,0 +1,191 @@
+package motion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pbpair/internal/video"
+)
+
+// Differential harness: the SWAR kernels must be bit-exact with the
+// scalar references in sad_ref.go / halfpel_ref.go — same return
+// values (including early-exit partial sums) and same Stats deltas —
+// across the full input domain. Seeded randomized property tests run
+// on every `go test`; FuzzSADEquiv extends the same checks to
+// fuzzer-chosen inputs.
+
+// extremeFrame is randFrame (motion_test.go) plus extreme patches —
+// all-0 and all-255 16x16 corner blocks — so saturated lanes and
+// zero-difference rows get exercised.
+func extremeFrame(rng *rand.Rand, w, h int) *video.Frame {
+	f := randFrame(rng, w, h)
+	for r := 0; r < video.MBSize; r++ {
+		for c := 0; c < video.MBSize; c++ {
+			f.Y[r*w+c] = 0
+			f.Y[r*w+w-video.MBSize+c] = 255
+		}
+	}
+	return f
+}
+
+func TestSADEquiv(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	cur := extremeFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	ref := extremeFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	maxX := video.QCIFWidth - video.MBSize
+	maxY := video.QCIFHeight - video.MBSize
+	for i := 0; i < 5000; i++ {
+		cx, cy := rng.Intn(maxX+1), rng.Intn(maxY+1)
+		rx, ry := rng.Intn(maxX+1), rng.Intn(maxY+1)
+		var limit int32 = math.MaxInt32
+		if i%3 == 1 {
+			limit = int32(rng.Intn(5000)) // frequently triggers early exit
+		} else if i%3 == 2 {
+			limit = int32(rng.Intn(200))
+		}
+		var sf, sr Stats
+		got := SAD16(cur, ref, cx, cy, rx, ry, limit, &sf)
+		want := SAD16Ref(cur, ref, cx, cy, rx, ry, limit, &sr)
+		if got != want {
+			t.Fatalf("SAD16(%d,%d vs %d,%d limit=%d) = %d, ref %d", cx, cy, rx, ry, limit, got, want)
+		}
+		if sf != sr {
+			t.Fatalf("SAD16 stats diverge: fast %+v ref %+v", sf, sr)
+		}
+	}
+}
+
+func TestSADSelfEquiv(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	cur := extremeFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	for i := 0; i < 2000; i++ {
+		cx := rng.Intn(video.QCIFWidth - video.MBSize + 1)
+		cy := rng.Intn(video.QCIFHeight - video.MBSize + 1)
+		var sf, sr Stats
+		got := SADSelf(cur, cx, cy, &sf)
+		want := SADSelfRef(cur, cx, cy, &sr)
+		if got != want {
+			t.Fatalf("SADSelf(%d,%d) = %d, ref %d", cx, cy, got, want)
+		}
+		if sf != sr {
+			t.Fatalf("SADSelf stats diverge: fast %+v ref %+v", sf, sr)
+		}
+	}
+}
+
+func TestHalfPelEquiv(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cur := extremeFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	ref := extremeFrame(rng, video.QCIFWidth, video.QCIFHeight)
+	mbCols := video.QCIFWidth / video.MBSize
+	mbRows := video.QCIFHeight / video.MBSize
+	for i := 0; i < 3000; i++ {
+		mbCol, mbRow := rng.Intn(mbCols), rng.Intn(mbRows)
+		cx, cy := mbCol*video.MBSize, mbRow*video.MBSize
+		hv := HalfVector{X: rng.Intn(31) - 15, Y: rng.Intn(31) - 15}
+		if !halfFootprintLegal(ref, cx, cy, hv) {
+			continue
+		}
+		var limit int32 = math.MaxInt32
+		if i%2 == 1 {
+			limit = int32(rng.Intn(4000))
+		}
+		var sf, sr Stats
+		got := SAD16Half(cur, ref, cx, cy, hv, limit, &sf)
+		want := SAD16HalfRef(cur, ref, cx, cy, hv, limit, &sr)
+		if got != want {
+			t.Fatalf("SAD16Half(mb %d,%d hv %+v limit=%d) = %d, ref %d", mbRow, mbCol, hv, limit, got, want)
+		}
+		if sf != sr {
+			t.Fatalf("SAD16Half stats diverge: fast %+v ref %+v", sf, sr)
+		}
+
+		dstFast := video.NewFrame(video.QCIFWidth, video.QCIFHeight)
+		dstRef := video.NewFrame(video.QCIFWidth, video.QCIFHeight)
+		CompensateHalf(dstFast, ref, mbRow, mbCol, hv)
+		CompensateHalfRef(dstRef, ref, mbRow, mbCol, hv)
+		if !framesEqual(dstFast, dstRef) {
+			t.Fatalf("CompensateHalf diverges at mb %d,%d hv %+v", mbRow, mbCol, hv)
+		}
+	}
+}
+
+func framesEqual(a, b *video.Frame) bool {
+	if len(a.Y) != len(b.Y) {
+		return false
+	}
+	for i := range a.Y {
+		if a.Y[i] != b.Y[i] {
+			return false
+		}
+	}
+	for i := range a.Cb {
+		if a.Cb[i] != b.Cb[i] || a.Cr[i] != b.Cr[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// FuzzSADEquiv lets the fuzzer choose block contents, displacements
+// and limits; fast and reference kernels must agree exactly. The two
+// 16x16 blocks are carved from the fuzz data, so the full byte domain
+// is reachable.
+func FuzzSADEquiv(f *testing.F) {
+	f.Add(make([]byte, 512), uint16(0), uint16(0), int32(math.MaxInt32), false)
+	f.Add(make([]byte, 512), uint16(3), uint16(70), int32(100), true)
+	seed := make([]byte, 512)
+	for i := range seed {
+		seed[i] = byte(i * 7)
+	}
+	f.Add(seed, uint16(40), uint16(41), int32(2000), true)
+
+	f.Fuzz(func(t *testing.T, data []byte, posA, posB uint16, limit int32, half bool) {
+		const w, h = 48, 48 // 3x3 macroblocks
+		if len(data) == 0 {
+			data = []byte{0}
+		}
+		// Both frames are filled from the fuzz data, cycling, so every
+		// byte pattern the fuzzer finds lands in pixel memory.
+		cur := video.NewFrame(w, h)
+		ref := video.NewFrame(w, h)
+		for i := range cur.Y {
+			cur.Y[i] = data[i%len(data)]
+			ref.Y[i] = data[(i*13+7)%len(data)]
+		}
+		maxOff := w - video.MBSize
+		cx := int(posA) % (maxOff + 1)
+		cy := int(posA) / 251 % (maxOff + 1)
+		rx := int(posB) % (maxOff + 1)
+		ry := int(posB) / 251 % (maxOff + 1)
+		if limit < 0 {
+			limit = -limit
+		}
+
+		var sf, sr Stats
+		got := SAD16(cur, ref, cx, cy, rx, ry, limit, &sf)
+		want := SAD16Ref(cur, ref, cx, cy, rx, ry, limit, &sr)
+		if got != want || sf != sr {
+			t.Fatalf("SAD16 diverges: %d/%+v vs %d/%+v", got, sf, want, sr)
+		}
+
+		gotSelf := SADSelf(cur, cx, cy, nil)
+		wantSelf := SADSelfRef(cur, cx, cy, nil)
+		if gotSelf != wantSelf {
+			t.Fatalf("SADSelf diverges: %d vs %d", gotSelf, wantSelf)
+		}
+
+		if half {
+			hv := HalfVector{X: rx - cx + 1, Y: ry - cy + 1}
+			if halfFootprintLegal(ref, cx, cy, hv) {
+				var hf, hr Stats
+				g := SAD16Half(cur, ref, cx, cy, hv, limit, &hf)
+				wnt := SAD16HalfRef(cur, ref, cx, cy, hv, limit, &hr)
+				if g != wnt || hf != hr {
+					t.Fatalf("SAD16Half diverges: %d/%+v vs %d/%+v", g, hf, wnt, hr)
+				}
+			}
+		}
+	})
+}

@@ -1,6 +1,10 @@
 package motion
 
-import "pbpair/internal/video"
+import (
+	"encoding/binary"
+
+	"pbpair/internal/video"
+)
 
 // Half-pixel motion — H.263's defining improvement over H.261. A
 // motion vector may point between pixels; the prediction is then the
@@ -40,25 +44,40 @@ func floorDiv2(v int) int {
 	return v / 2
 }
 
-// interpPixel samples the reference plane at half-pel position
-// (2·x0+fx, 2·y0+fy) with H.263 rounding. Callers guarantee x0+1/y0+1
-// stay in bounds whenever the corresponding frac is 1.
-func interpPixel(ref []uint8, stride, x0, y0, fx, fy int) int32 {
-	a := int32(ref[y0*stride+x0])
+// interpRow writes n interpolated bytes (n a multiple of 8) into dst
+// from the reference plane at half-pel row position (2·x0+fx,
+// 2·(y0)+fy), 8 pixels per step via the SWAR averagers in swar.go.
+// Bit-exact with per-pixel interpPixel (halfpel_ref.go): avgRound8 is
+// the byte-lane identity for (a+b+1)/2 and quadAvg8 widens to 16-bit
+// lanes for (a+b+c+d+2)/4. Callers guarantee the (n+fx)×(1+fy)
+// footprint lies inside the plane.
+func interpRow(dst []byte, ref []uint8, stride, x0, y0, fx, fy, n int) {
+	row0 := ref[y0*stride+x0:]
 	switch {
 	case fx == 0 && fy == 0:
-		return a
+		copy(dst[:n], row0[:n])
 	case fx == 1 && fy == 0:
-		b := int32(ref[y0*stride+x0+1])
-		return (a + b + 1) / 2
+		for i := 0; i < n; i += 8 {
+			a := binary.LittleEndian.Uint64(row0[i : i+8])
+			b := binary.LittleEndian.Uint64(row0[i+1 : i+9])
+			binary.LittleEndian.PutUint64(dst[i:i+8], avgRound8(a, b))
+		}
 	case fx == 0 && fy == 1:
-		c := int32(ref[(y0+1)*stride+x0])
-		return (a + c + 1) / 2
+		row1 := ref[(y0+1)*stride+x0:]
+		for i := 0; i < n; i += 8 {
+			a := binary.LittleEndian.Uint64(row0[i : i+8])
+			c := binary.LittleEndian.Uint64(row1[i : i+8])
+			binary.LittleEndian.PutUint64(dst[i:i+8], avgRound8(a, c))
+		}
 	default:
-		b := int32(ref[y0*stride+x0+1])
-		c := int32(ref[(y0+1)*stride+x0])
-		d := int32(ref[(y0+1)*stride+x0+1])
-		return (a + b + c + d + 2) / 4
+		row1 := ref[(y0+1)*stride+x0:]
+		for i := 0; i < n; i += 8 {
+			a := binary.LittleEndian.Uint64(row0[i : i+8])
+			b := binary.LittleEndian.Uint64(row0[i+1 : i+9])
+			c := binary.LittleEndian.Uint64(row1[i : i+8])
+			d := binary.LittleEndian.Uint64(row1[i+1 : i+9])
+			binary.LittleEndian.PutUint64(dst[i:i+8], quadAvg8(a, b, c, d))
+		}
 	}
 }
 
@@ -71,6 +90,10 @@ const halfPelOpsPerPixel = 3
 // (cx, cy) and the reference block at half-pel displacement hv from
 // the same position. Early-terminates beyond limit. Callers guarantee
 // the interpolation footprint stays inside the reference frame.
+// The fast path interpolates a whole 16-pixel row into a stack buffer
+// with interpRow, then differences it with the SWAR SAD row kernel —
+// bit-exact with SAD16HalfRef including early-exit partial sums and
+// Stats deltas.
 func SAD16Half(cur, ref *video.Frame, cx, cy int, hv HalfVector, limit int32, stats *Stats) int32 {
 	intPart, fx, fy := hv.Split()
 	if fx == 0 && fy == 0 {
@@ -83,16 +106,12 @@ func SAD16Half(cur, ref *video.Frame, cx, cy int, hv HalfVector, limit int32, st
 	y0 := cy + intPart.Y
 	var sum int32
 	cw, rw := cur.Width, ref.Width
+	var buf [video.MBSize]byte
+	co := cy*cw + cx
 	for r := 0; r < video.MBSize; r++ {
-		c := cur.Y[(cy+r)*cw+cx:]
-		for i := 0; i < video.MBSize; i++ {
-			p := interpPixel(ref.Y, rw, x0+i, y0+r, fx, fy)
-			d := int32(c[i]) - p
-			if d < 0 {
-				d = -d
-			}
-			sum += d
-		}
+		interpRow(buf[:], ref.Y, rw, x0, y0+r, fx, fy, video.MBSize)
+		sum += sadRow16(cur.Y[co:co+video.MBSize], buf[:])
+		co += cw
 		if stats != nil {
 			stats.PixelOps += video.MBSize * halfPelOpsPerPixel
 		}
@@ -182,9 +201,8 @@ func CompensateHalf(dst, ref *video.Frame, mbRow, mbCol int, hv HalfVector) {
 	x0 := x + intPart.X
 	y0 := y + intPart.Y
 	for r := 0; r < video.MBSize; r++ {
-		for c := 0; c < video.MBSize; c++ {
-			dst.Y[(y+r)*w+x+c] = uint8(interpPixel(ref.Y, w, x0+c, y0+r, fx, fy))
-		}
+		off := (y+r)*w + x
+		interpRow(dst.Y[off:off+video.MBSize], ref.Y, w, x0, y0+r, fx, fy, video.MBSize)
 	}
 
 	chv := HalfVector{X: chromaHalfMV(hv.X), Y: chromaHalfMV(hv.Y)}
@@ -217,9 +235,8 @@ func CompensateHalf(dst, ref *video.Frame, mbRow, mbCol int, hv HalfVector) {
 		cy0 = ch - video.MBSize/2
 	}
 	for r := 0; r < video.MBSize/2; r++ {
-		for c := 0; c < video.MBSize/2; c++ {
-			dst.Cb[(ccy+r)*cw+ccx+c] = uint8(interpPixel(ref.Cb, cw, cx0+c, cy0+r, cfx, cfy))
-			dst.Cr[(ccy+r)*cw+ccx+c] = uint8(interpPixel(ref.Cr, cw, cx0+c, cy0+r, cfx, cfy))
-		}
+		off := (ccy+r)*cw + ccx
+		interpRow(dst.Cb[off:off+video.MBSize/2], ref.Cb, cw, cx0, cy0+r, cfx, cfy, video.MBSize/2)
+		interpRow(dst.Cr[off:off+video.MBSize/2], ref.Cr, cw, cx0, cy0+r, cfx, cfy, video.MBSize/2)
 	}
 }

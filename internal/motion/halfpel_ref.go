@@ -1,0 +1,122 @@
+package motion
+
+import "pbpair/internal/video"
+
+// Reference (scalar, per-pixel) half-pel kernels — the original
+// implementations of SAD16Half and CompensateHalf, kept exported as
+// ground truth for the differential harness (TestHalfPelEquiv /
+// FuzzSADEquiv). Do not optimise these; their value is that they are
+// obviously-correct transcriptions of the H.263 §6.1.2 rounding rules.
+
+// interpPixel samples the reference plane at half-pel position
+// (2·x0+fx, 2·y0+fy) with H.263 rounding. Callers guarantee x0+1/y0+1
+// stay in bounds whenever the corresponding frac is 1.
+func interpPixel(ref []uint8, stride, x0, y0, fx, fy int) int32 {
+	a := int32(ref[y0*stride+x0])
+	switch {
+	case fx == 0 && fy == 0:
+		return a
+	case fx == 1 && fy == 0:
+		b := int32(ref[y0*stride+x0+1])
+		return (a + b + 1) / 2
+	case fx == 0 && fy == 1:
+		c := int32(ref[(y0+1)*stride+x0])
+		return (a + c + 1) / 2
+	default:
+		b := int32(ref[y0*stride+x0+1])
+		c := int32(ref[(y0+1)*stride+x0])
+		d := int32(ref[(y0+1)*stride+x0+1])
+		return (a + b + c + d + 2) / 4
+	}
+}
+
+// SAD16HalfRef is the scalar reference implementation of SAD16Half:
+// one interpPixel call per pixel, per-row early exit and per-row
+// PixelOps accounting identical to the vectorized kernel.
+func SAD16HalfRef(cur, ref *video.Frame, cx, cy int, hv HalfVector, limit int32, stats *Stats) int32 {
+	intPart, fx, fy := hv.Split()
+	if fx == 0 && fy == 0 {
+		return SAD16Ref(cur, ref, cx, cy, cx+intPart.X, cy+intPart.Y, limit, stats)
+	}
+	if stats != nil {
+		stats.SADCalls++
+	}
+	x0 := cx + intPart.X
+	y0 := cy + intPart.Y
+	var sum int32
+	cw, rw := cur.Width, ref.Width
+	for r := 0; r < video.MBSize; r++ {
+		c := cur.Y[(cy+r)*cw+cx:]
+		for i := 0; i < video.MBSize; i++ {
+			p := interpPixel(ref.Y, rw, x0+i, y0+r, fx, fy)
+			d := int32(c[i]) - p
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+		if stats != nil {
+			stats.PixelOps += video.MBSize * halfPelOpsPerPixel
+		}
+		if sum > limit {
+			return sum
+		}
+	}
+	return sum
+}
+
+// CompensateHalfRef is the scalar reference implementation of
+// CompensateHalf, including the chroma edge clamping.
+func CompensateHalfRef(dst, ref *video.Frame, mbRow, mbCol int, hv HalfVector) {
+	intPart, fx, fy := hv.Split()
+	if fx == 0 && fy == 0 {
+		Compensate(dst, ref, mbRow, mbCol, intPart)
+		return
+	}
+	x := mbCol * video.MBSize
+	y := mbRow * video.MBSize
+	w := ref.Width
+	x0 := x + intPart.X
+	y0 := y + intPart.Y
+	for r := 0; r < video.MBSize; r++ {
+		for c := 0; c < video.MBSize; c++ {
+			dst.Y[(y+r)*w+x+c] = uint8(interpPixel(ref.Y, w, x0+c, y0+r, fx, fy))
+		}
+	}
+
+	chv := HalfVector{X: chromaHalfMV(hv.X), Y: chromaHalfMV(hv.Y)}
+	cInt, cfx, cfy := chv.Split()
+	cw := ref.ChromaWidth()
+	ch := ref.ChromaHeight()
+	ccx := mbCol * (video.MBSize / 2)
+	ccy := mbRow * (video.MBSize / 2)
+	cx0 := ccx + cInt.X
+	cy0 := ccy + cInt.Y
+	// Clamp the chroma fractional footprint at the frame edge (the
+	// rounding rule can ask for one sample beyond what the luma
+	// footprint guarantees).
+	if cfx == 1 && cx0+video.MBSize/2 >= cw {
+		cfx = 0
+	}
+	if cfy == 1 && cy0+video.MBSize/2 >= ch {
+		cfy = 0
+	}
+	if cx0 < 0 {
+		cx0 = 0
+	}
+	if cy0 < 0 {
+		cy0 = 0
+	}
+	if cx0+video.MBSize/2 > cw {
+		cx0 = cw - video.MBSize/2
+	}
+	if cy0+video.MBSize/2 > ch {
+		cy0 = ch - video.MBSize/2
+	}
+	for r := 0; r < video.MBSize/2; r++ {
+		for c := 0; c < video.MBSize/2; c++ {
+			dst.Cb[(ccy+r)*cw+ccx+c] = uint8(interpPixel(ref.Cb, cw, cx0+c, cy0+r, cfx, cfy))
+			dst.Cr[(ccy+r)*cw+ccx+c] = uint8(interpPixel(ref.Cr, cw, cx0+c, cy0+r, cfx, cfy))
+		}
+	}
+}

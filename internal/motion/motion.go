@@ -34,6 +34,19 @@ func (v Vector) IsZero() bool { return v.X == 0 && v.Y == 0 }
 
 // Stats counts the work a search performed. Counts are exact, not
 // estimates: PixelOps reflects early termination.
+//
+// PixelOps contract: it counts pixels actually loaded from memory, at
+// the granularity the kernel loads them — one 16-pixel row at a time.
+// SAD16 adds video.MBSize per row after that row has been fully
+// processed and before the early-exit check, so the row that trips the
+// limit is counted (its pixels were loaded) and rows after it are not.
+// A terminated scan therefore always reports a multiple of
+// video.MBSize equal to 16 × (rows scanned). SADSelf always processes
+// the whole block and counts MBSize². SAD16Half counts
+// 3 × video.MBSize per row scanned (each interpolated pixel costs the
+// bilinear blend plus the difference — see halfPelOpsPerPixel). The
+// SWAR kernels load 8 pixels per machine word but preserve exactly
+// this per-row accounting, so energy-model outputs are unchanged.
 type Stats struct {
 	SADCalls int64 // 16x16 SAD evaluations started
 	PixelOps int64 // per-pixel |a-b| operations actually executed
@@ -50,22 +63,24 @@ func (s *Stats) Add(other Stats) {
 // scan aborts once the partial sum exceeds limit (use math.MaxInt32 to
 // disable), returning a value > limit. Callers guarantee both blocks
 // lie inside their frames.
+//
+// The implementation is SWAR (see swar.go): each row is two uint64
+// loads and branch-free 8-lane arithmetic. It is bit-exact with
+// SAD16Ref — identical return values (including early-exit partial
+// sums, which are checked at the same row boundaries) and identical
+// Stats deltas.
 func SAD16(cur, ref *video.Frame, cx, cy, rx, ry int, limit int32, stats *Stats) int32 {
 	if stats != nil {
 		stats.SADCalls++
 	}
 	var sum int32
 	cw, rw := cur.Width, ref.Width
+	co := cy*cw + cx
+	po := ry*rw + rx
 	for r := 0; r < video.MBSize; r++ {
-		c := cur.Y[(cy+r)*cw+cx:]
-		p := ref.Y[(ry+r)*rw+rx:]
-		for i := 0; i < video.MBSize; i++ {
-			d := int32(c[i]) - int32(p[i])
-			if d < 0 {
-				d = -d
-			}
-			sum += d
-		}
+		sum += sadRow16(cur.Y[co:co+video.MBSize], ref.Y[po:po+video.MBSize])
+		co += cw
+		po += rw
 		if stats != nil {
 			stats.PixelOps += video.MBSize
 		}
@@ -80,6 +95,10 @@ func SAD16(cur, ref *video.Frame, cx, cy, rx, ry int, limit int32, stats *Stats)
 // own mean: Σ|p − mean|. This is the H.263 test-model "intra SAD" used
 // by the inter/intra fallback decision (SADself in the paper's Figure
 // 4 pseudo-code).
+// SADSelf is SWAR like SAD16: the mean pass sums rows 16 bytes at a
+// time, and the deviation pass reuses the |a−b| lanes against the mean
+// replicated into every lane (the rounded mean of bytes always fits in
+// a byte). Bit-exact with SADSelfRef.
 func SADSelf(cur *video.Frame, cx, cy int, stats *Stats) int32 {
 	if stats != nil {
 		stats.SADCalls++
@@ -87,23 +106,18 @@ func SADSelf(cur *video.Frame, cx, cy int, stats *Stats) int32 {
 	}
 	w := cur.Width
 	var sum int32
+	off := cy*w + cx
 	for r := 0; r < video.MBSize; r++ {
-		row := cur.Y[(cy+r)*w+cx:]
-		for i := 0; i < video.MBSize; i++ {
-			sum += int32(row[i])
-		}
+		sum += sumRow16(cur.Y[off : off+video.MBSize])
+		off += w
 	}
 	mean := (sum + video.MBSize*video.MBSize/2) / (video.MBSize * video.MBSize)
+	meanLanes := uint64(mean) * laneOnes
 	var dev int32
+	off = cy*w + cx
 	for r := 0; r < video.MBSize; r++ {
-		row := cur.Y[(cy+r)*w+cx:]
-		for i := 0; i < video.MBSize; i++ {
-			d := int32(row[i]) - mean
-			if d < 0 {
-				d = -d
-			}
-			dev += d
-		}
+		dev += sadRow16Const(cur.Y[off:off+video.MBSize], meanLanes)
+		off += w
 	}
 	return dev
 }

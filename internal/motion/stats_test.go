@@ -1,0 +1,110 @@
+package motion
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pbpair/internal/video"
+)
+
+// flatFrame returns a frame with every luma sample set to v.
+func flatFrame(w, h int, v uint8) *video.Frame {
+	f := video.NewFrame(w, h)
+	for i := range f.Y {
+		f.Y[i] = v
+	}
+	return f
+}
+
+// TestPixelOpsContract pins the Stats.PixelOps accounting documented
+// on Stats: pixels actually loaded, counted one 16-pixel row at a
+// time, with the row that trips the early-exit limit included and
+// every row after it excluded. The energy model consumes these counts
+// directly, so they are part of the kernel contract, not a debugging
+// aid.
+func TestPixelOpsContract(t *testing.T) {
+	const w, h = 48, 48
+	cur := flatFrame(w, h, 255)
+	ref := flatFrame(w, h, 0)
+	// Each fully-scanned row contributes 16 * |255-0| to the SAD.
+	const rowSAD = video.MBSize * 255
+
+	t.Run("SAD16 full scan", func(t *testing.T) {
+		var st Stats
+		SAD16(cur, ref, 16, 16, 16, 16, math.MaxInt32, &st)
+		if want := int64(video.MBSize * video.MBSize); st.PixelOps != want {
+			t.Fatalf("PixelOps = %d, want %d (all 16 rows)", st.PixelOps, want)
+		}
+		if st.SADCalls != 1 {
+			t.Fatalf("SADCalls = %d, want 1", st.SADCalls)
+		}
+	})
+
+	t.Run("SAD16 first row trips the limit", func(t *testing.T) {
+		var st Stats
+		// limit just below one row's SAD: row 0 is loaded, its pixels
+		// count, and no further row is touched.
+		SAD16(cur, ref, 16, 16, 16, 16, rowSAD-1, &st)
+		if want := int64(video.MBSize); st.PixelOps != want {
+			t.Fatalf("PixelOps = %d, want %d (exactly the tripping row)", st.PixelOps, want)
+		}
+	})
+
+	t.Run("SAD16 limit on the row boundary", func(t *testing.T) {
+		var st Stats
+		// limit equal to one row's SAD: the exit test is sum > limit,
+		// so row 0 passes and row 1 trips — two rows counted.
+		SAD16(cur, ref, 16, 16, 16, 16, rowSAD, &st)
+		if want := int64(2 * video.MBSize); st.PixelOps != want {
+			t.Fatalf("PixelOps = %d, want %d (two rows)", st.PixelOps, want)
+		}
+	})
+
+	t.Run("SAD16 row granularity on random frames", func(t *testing.T) {
+		rng := rand.New(rand.NewSource(77))
+		a := randFrame(rng, w, h)
+		b := randFrame(rng, w, h)
+		for trial := 0; trial < 200; trial++ {
+			var st Stats
+			limit := int32(rng.Intn(70000))
+			SAD16(a, b, 16, 16, rng.Intn(32), rng.Intn(32), limit, &st)
+			if st.PixelOps%video.MBSize != 0 {
+				t.Fatalf("trial %d: PixelOps = %d not a multiple of %d", trial, st.PixelOps, video.MBSize)
+			}
+			if st.PixelOps < video.MBSize || st.PixelOps > video.MBSize*video.MBSize {
+				t.Fatalf("trial %d: PixelOps = %d outside [16, 256]", trial, st.PixelOps)
+			}
+		}
+	})
+
+	t.Run("SADSelf counts the whole block", func(t *testing.T) {
+		var st Stats
+		SADSelf(cur, 16, 16, &st)
+		if want := int64(video.MBSize * video.MBSize); st.PixelOps != want {
+			t.Fatalf("PixelOps = %d, want %d", st.PixelOps, want)
+		}
+	})
+
+	t.Run("SAD16Half weights interpolated rows", func(t *testing.T) {
+		var st Stats
+		hv := HalfVector{X: 1, Y: 1} // true half-pel: every pixel interpolated
+		SAD16Half(cur, ref, 16, 16, hv, math.MaxInt32, &st)
+		if want := int64(video.MBSize * video.MBSize * halfPelOpsPerPixel); st.PixelOps != want {
+			t.Fatalf("PixelOps = %d, want %d (3 ops per interpolated pixel)", st.PixelOps, want)
+		}
+		st = Stats{}
+		SAD16Half(cur, ref, 16, 16, hv, int32(rowSAD-1), &st)
+		if want := int64(video.MBSize * halfPelOpsPerPixel); st.PixelOps != want {
+			t.Fatalf("early exit: PixelOps = %d, want %d (one interpolated row)", st.PixelOps, want)
+		}
+	})
+
+	t.Run("SAD16Half integer displacement falls back to SAD16 accounting", func(t *testing.T) {
+		var st Stats
+		SAD16Half(cur, ref, 16, 16, HalfVector{X: 2, Y: 0}, math.MaxInt32, &st)
+		if want := int64(video.MBSize * video.MBSize); st.PixelOps != want {
+			t.Fatalf("PixelOps = %d, want %d (plain SAD weight)", st.PixelOps, want)
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package motion
+
+import "encoding/binary"
+
+// SWAR (SIMD-within-a-register) pixel kernels. A 16-pixel macroblock
+// row is two uint64 loads; per-byte arithmetic then runs 8 lanes at a
+// time in ordinary integer registers — branch-free, no per-pixel loop.
+// Every kernel here is bit-exact with its scalar reference in
+// sad_ref.go / halfpel_ref.go: only non-negative integer additions are
+// reordered, which is exact, and the per-row early-exit granularity is
+// unchanged.
+//
+// The |a−b| kernel widens bytes into four 16-bit lanes per word (even
+// and odd bytes separately), biases by 0x8000 per lane so the
+// subtraction cannot borrow across lanes, and resolves the absolute
+// value with a computed per-lane sign mask. Lane sums are folded with
+// a single multiply: x * 0x0001000100010001 accumulates all four
+// 16-bit lanes into the top lane (partial sums stay < 2^16, so no
+// carries cross lanes).
+
+const (
+	laneMask   = 0x00FF00FF00FF00FF // even-byte 16-bit lanes
+	laneBias   = 0x8000800080008000 // +0x8000 per 16-bit lane
+	laneOnes   = 0x0001000100010001 // 1 per 16-bit lane
+	lane7FFF   = 0x7FFF7FFF7FFF7FFF
+	avgLowMask = 0x7F7F7F7F7F7F7F7F // clears cross-byte carry bits after >>1
+)
+
+// absDiff4 returns per-lane |a−b| for four 16-bit lanes each holding a
+// value in [0, 255]. biased = 0x8000 + (a−b) per lane never borrows;
+// bit 15 of each lane is then the "a >= b" flag, from which a full
+// 0xFFFF mask selects between biased−0x8000 and 0x8000−biased.
+func absDiff4(a, b uint64) uint64 {
+	biased := a + laneBias - b
+	pos := (biased >> 15) & laneOnes
+	neg := (pos ^ laneOnes) * 0xFFFF
+	return (biased ^ neg) - (lane7FFF + pos)
+}
+
+// sadRow16 returns Σ|c[i]−p[i]| over 16 bytes. c and p must have at
+// least 16 bytes.
+func sadRow16(c, p []byte) int32 {
+	ca := binary.LittleEndian.Uint64(c[0:8])
+	cb := binary.LittleEndian.Uint64(c[8:16])
+	pa := binary.LittleEndian.Uint64(p[0:8])
+	pb := binary.LittleEndian.Uint64(p[8:16])
+	d := absDiff4(ca&laneMask, pa&laneMask) +
+		absDiff4((ca>>8)&laneMask, (pa>>8)&laneMask) +
+		absDiff4(cb&laneMask, pb&laneMask) +
+		absDiff4((cb>>8)&laneMask, (pb>>8)&laneMask)
+	return int32((d * laneOnes) >> 48)
+}
+
+// sadRow16Const returns Σ|c[i]−m| over 16 bytes against a constant
+// byte value m already replicated into 16-bit lanes (m * laneOnes).
+func sadRow16Const(c []byte, mLanes uint64) int32 {
+	ca := binary.LittleEndian.Uint64(c[0:8])
+	cb := binary.LittleEndian.Uint64(c[8:16])
+	d := absDiff4(ca&laneMask, mLanes) +
+		absDiff4((ca>>8)&laneMask, mLanes) +
+		absDiff4(cb&laneMask, mLanes) +
+		absDiff4((cb>>8)&laneMask, mLanes)
+	return int32((d * laneOnes) >> 48)
+}
+
+// sumRow16 returns Σc[i] over 16 bytes.
+func sumRow16(c []byte) int32 {
+	ca := binary.LittleEndian.Uint64(c[0:8])
+	cb := binary.LittleEndian.Uint64(c[8:16])
+	s := ca&laneMask + (ca>>8)&laneMask + cb&laneMask + (cb>>8)&laneMask
+	return int32((s * laneOnes) >> 48)
+}
+
+// avgRound8 returns the per-byte rounded average (a+b+1)>>1 of two
+// 8-byte words — H.263 two-point half-pel interpolation, 8 pixels at
+// a time. Identity: (a+b+1)>>1 == (a|b) − ((a^b)>>1) per byte.
+func avgRound8(a, b uint64) uint64 {
+	return (a | b) - ((a^b)>>1)&avgLowMask
+}
+
+// quadAvg8 returns the per-byte (a+b+c+d+2)>>2 of four 8-byte words —
+// the H.263 four-point half-pel position. Bytes widen into 16-bit
+// lanes (max lane sum 4·255+2 = 1022 < 2^10, so lanes never carry),
+// are averaged, and repack.
+func quadAvg8(a, b, c, d uint64) uint64 {
+	even := a&laneMask + b&laneMask + c&laneMask + d&laneMask + 2*laneOnes
+	odd := (a>>8)&laneMask + (b>>8)&laneMask + (c>>8)&laneMask + (d>>8)&laneMask + 2*laneOnes
+	return (even>>2)&laneMask | ((odd>>2)&laneMask)<<8
+}
