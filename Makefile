@@ -40,20 +40,30 @@ bench:
 # giving stable ns/op on the tiny kernels.
 BENCHTIME ?= 0.5s
 
-# Regenerate BENCH_kernels.json: every fast/reference kernel pair
-# (SAD, half-pel, DCT, bitstream, VLC) plus the end-to-end encoder
-# benchmark, parsed into JSON by pbpair-benchjson so the trajectory
-# can be committed and diffed across revisions.
+# Regenerate the committed benchmark trajectories, parsed into JSON
+# by pbpair-benchjson so they can be diffed across revisions:
+#  - BENCH_kernels.json: the encode-phase fast/reference kernel pairs
+#    (SAD, half-pel, DCT, bitstream, VLC) plus the end-to-end encoder.
+#  - BENCH_sim.json: the simulate-phase pairs (fused frame metrics,
+#    concealment boundary matching) plus the decoder, gated by
+#    -check-pairs — the build fails if any fast kernel measures
+#    slower than the scalar reference it replaced.
 bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkSAD|BenchmarkCompensateHalf|BenchmarkForward|BenchmarkInverse|BenchmarkWriteBits|BenchmarkReadBits|BenchmarkWriteEvent|BenchmarkReadEvent|BenchmarkEncodeParallel' \
 		-benchmem -benchtime $(BENCHTIME) \
 		./internal/motion/ ./internal/dct/ ./internal/bitstream/ ./internal/entropy/ . \
 		| $(GO) run ./cmd/pbpair-benchjson -out BENCH_kernels.json
 	@echo wrote BENCH_kernels.json
+	$(GO) test -run xxx -bench 'BenchmarkFrameStats|BenchmarkBadPixels|BenchmarkBoundaryCost|BenchmarkConceal|BenchmarkDecodeFrame' \
+		-benchmem -benchtime $(BENCHTIME) \
+		./internal/metrics/ ./internal/conceal/ ./internal/codec/ \
+		| $(GO) run ./cmd/pbpair-benchjson -check-pairs -out BENCH_sim.json
+	@echo wrote BENCH_sim.json
 
 # Short fuzz smoke over every fuzz target: decoder, entropy reader,
 # stream container, and the fast-vs-reference kernel equivalence
-# harness (SAD, DCT, bitstream, VLC). Each target gets FUZZTIME.
+# harness (SAD, DCT, bitstream, VLC, frame metrics, concealment).
+# Each target gets FUZZTIME.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzDecodeFrame -fuzztime $(FUZZTIME) ./internal/codec/
 	$(GO) test -run xxx -fuzz FuzzEncodeSpecFingerprint -fuzztime $(FUZZTIME) ./internal/experiment/
@@ -61,6 +71,8 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzReadUE -fuzztime $(FUZZTIME) ./internal/entropy/
 	$(GO) test -run xxx -fuzz FuzzReader -fuzztime $(FUZZTIME) ./internal/stream/
 	$(GO) test -run xxx -fuzz FuzzSADEquiv -fuzztime $(FUZZTIME) ./internal/motion/
+	$(GO) test -run xxx -fuzz FuzzMetricsEquiv -fuzztime $(FUZZTIME) ./internal/metrics/
+	$(GO) test -run xxx -fuzz FuzzConcealEquiv -fuzztime $(FUZZTIME) ./internal/conceal/
 	$(GO) test -run xxx -fuzz FuzzDCTEquiv -fuzztime $(FUZZTIME) ./internal/dct/
 	$(GO) test -run xxx -fuzz FuzzBitstreamEquiv -fuzztime $(FUZZTIME) ./internal/bitstream/
 	$(GO) test -run xxx -fuzz FuzzVLCDecodeEquiv -fuzztime $(FUZZTIME) ./internal/entropy/

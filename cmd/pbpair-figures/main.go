@@ -30,6 +30,10 @@ import (
 // (e.g. -fig all, or repeated runs with -cache-dir) pay for them once.
 var cache *bitcache.Store
 
+// decWorkers is the process-wide decoder worker count from
+// -dec-workers; like cache it is shared by every experiment below.
+var decWorkers int
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "pbpair-figures:", err)
@@ -43,9 +47,11 @@ func run() error {
 	plr := flag.Float64("plr", 0.1, "packet loss rate for Fig 5")
 	seeds := flag.Int("seeds", 5, "independent loss seeds for -fig stats")
 	workers := flag.Int("workers", 0, "concurrent experiment runs (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
+	decWorkersFlag := flag.Int("dec-workers", 1, "decoder GOB-row reconstruction goroutines per simulation (1 = serial); output is identical for every value")
 	cacheDir := flag.String("cache-dir", "", "bitstream cache spill directory (cross-process encode reuse)")
 	cacheMB := flag.Int("cache-mb", 0, "in-memory bitstream cache budget in MiB; with -cache-dir unset, 0 disables the cache")
 	flag.Parse()
+	decWorkers = *decWorkersFlag
 
 	if *cacheMB > 0 || *cacheDir != "" {
 		var err error
@@ -81,7 +87,7 @@ func run() error {
 // runAll regenerates every experiment from one Fig5 run and one Fig6
 // run (the headline and device tables are derived views, not reruns).
 func runAll(frames int, plr float64, workers int) error {
-	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers, Cache: cache})
+	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers, DecoderWorkers: decWorkers, Cache: cache})
 	if err != nil {
 		return err
 	}
@@ -101,7 +107,7 @@ func runAll(frames int, plr float64, workers int) error {
 	if fig6Frames > 50 {
 		fig6Frames = 50
 	}
-	cfg := experiment.Fig6Config{Frames: fig6Frames, Workers: workers, Cache: cache}.WithDefaults()
+	cfg := experiment.Fig6Config{Frames: fig6Frames, Workers: workers, DecoderWorkers: decWorkers, Cache: cache}.WithDefaults()
 	series, err := experiment.Fig6(cfg)
 	if err != nil {
 		return err
@@ -123,7 +129,7 @@ func runAll(frames int, plr float64, workers int) error {
 // runContent prints the E18 cross-content study: the five schemes over
 // all five synthetic regimes.
 func runContent(frames int, plr float64, workers int) error {
-	rows, err := experiment.ContentTable(experiment.ContentConfig{Frames: frames, PLR: plr, Workers: workers, Cache: cache})
+	rows, err := experiment.ContentTable(experiment.ContentConfig{Frames: frames, PLR: plr, Workers: workers, DecoderWorkers: decWorkers, Cache: cache})
 	if err != nil {
 		return err
 	}
@@ -152,7 +158,7 @@ func runStats(frames int, plr float64, seeds, workers int) error {
 	for i := range seedList {
 		seedList[i] = uint64(1000 + 37*i)
 	}
-	stats, err := experiment.Fig5Multi(experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers, Cache: cache}, seedList)
+	stats, err := experiment.Fig5Multi(experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers, DecoderWorkers: decWorkers, Cache: cache}, seedList)
 	if err != nil {
 		return err
 	}
@@ -171,7 +177,7 @@ func runStats(frames int, plr float64, seeds, workers int) error {
 }
 
 func runFig5(which string, frames int, plr float64, workers int) error {
-	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers, Cache: cache})
+	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers, DecoderWorkers: decWorkers, Cache: cache})
 	if err != nil {
 		return err
 	}
@@ -251,7 +257,7 @@ func runFig6(which string, frames, workers int) error {
 	if frames > 50 {
 		frames = 50 // the paper's Figure 6 window
 	}
-	cfg := experiment.Fig6Config{Frames: frames, Workers: workers, Cache: cache}
+	cfg := experiment.Fig6Config{Frames: frames, Workers: workers, DecoderWorkers: decWorkers, Cache: cache}
 	series, err := experiment.Fig6(cfg)
 	if err != nil {
 		return err
@@ -274,7 +280,7 @@ func runFig6(which string, frames, workers int) error {
 }
 
 func runHeadline(frames int, plr float64, workers int) error {
-	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers, Cache: cache})
+	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers, DecoderWorkers: decWorkers, Cache: cache})
 	if err != nil {
 		return err
 	}
@@ -299,7 +305,7 @@ func printHeadline(rows []experiment.Fig5Row) {
 }
 
 func runDevices(frames int, plr float64, workers int) error {
-	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers, Cache: cache})
+	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers, DecoderWorkers: decWorkers, Cache: cache})
 	if err != nil {
 		return err
 	}
@@ -323,7 +329,7 @@ func runRecovery(frames, workers int) error {
 	if frames > 50 {
 		frames = 50
 	}
-	series, err := experiment.Fig6(experiment.Fig6Config{Frames: frames, Workers: workers, Cache: cache})
+	series, err := experiment.Fig6(experiment.Fig6Config{Frames: frames, Workers: workers, DecoderWorkers: decWorkers, Cache: cache})
 	if err != nil {
 		return err
 	}

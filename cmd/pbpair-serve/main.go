@@ -48,6 +48,7 @@ func main() {
 	energyBudget := flag.Float64("energy-budget", 0, "per-frame encode energy budget in joules (0 = no energy controller)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown drain budget")
 	quiet := flag.Bool("quiet", false, "suppress per-session log lines")
+	withPprof := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the -obs endpoint")
 	flag.Parse()
 
 	var kind motion.SearchKind
@@ -93,15 +94,16 @@ func main() {
 		if err != nil {
 			log.Fatalf("pbpair-serve: obs listen: %v", err)
 		}
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", reg)
-		obsSrv = &http.Server{Handler: mux}
+		obsSrv = &http.Server{Handler: obs.Mux(reg, *withPprof)}
 		go func() {
 			if err := obsSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
 				log.Printf("pbpair-serve: obs endpoint: %v", err)
 			}
 		}()
 		log.Printf("pbpair-serve: metrics on http://%s/metrics", ln.Addr())
+		if *withPprof {
+			log.Printf("pbpair-serve: profiling on http://%s/debug/pprof/", ln.Addr())
+		}
 	}
 
 	sig := make(chan os.Signal, 1)

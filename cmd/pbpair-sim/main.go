@@ -45,6 +45,7 @@ func run() error {
 	fec := flag.Int("fec", 0, "XOR-parity FEC group size in frames (0 = off)")
 	halfPel := flag.Bool("halfpel", false, "enable half-pixel motion refinement")
 	workers := flag.Int("workers", 0, "encoder macroblock-row shards (0 = GOMAXPROCS, 1 = serial); the bitstream is identical for every value")
+	decWorkers := flag.Int("dec-workers", 1, "decoder GOB-row reconstruction goroutines (1 = serial); decoded frames are identical for every value")
 	cacheDir := flag.String("cache-dir", "", "bitstream cache spill directory: repeated runs that differ only in channel, seed, concealment, FEC or device reuse the encode")
 	cacheMB := flag.Int("cache-mb", 0, "in-memory bitstream cache budget in MiB; with -cache-dir unset, 0 disables the cache")
 	flag.Parse()
@@ -95,11 +96,12 @@ func run() error {
 		return err
 	}
 	res, err := experiment.Simulate(seq, src, experiment.SimSpec{
-		Name:      fmt.Sprintf("sim/%s/%s", src.Name(), seq.Scheme),
-		Channel:   channel,
-		Concealer: concealer,
-		Profile:   profile,
-		FECGroup:  *fec,
+		Name:           fmt.Sprintf("sim/%s/%s", src.Name(), seq.Scheme),
+		Channel:        channel,
+		Concealer:      concealer,
+		Profile:        profile,
+		FECGroup:       *fec,
+		DecoderWorkers: *decWorkers,
 	})
 	if err != nil {
 		return err

@@ -141,6 +141,13 @@ func NewReader(data []byte) *Reader {
 	return &Reader{data: data}
 }
 
+// Reset repoints the reader at data from the beginning, equivalent to
+// NewReader without the allocation — the decoder reuses one Reader
+// across frames.
+func (r *Reader) Reset(data []byte) {
+	*r = Reader{data: data}
+}
+
 // ReadBits reads n bits (n in [0, 32]) MSB-first; larger n panics.
 //
 // The loop consumes whole bytes: each iteration takes every still-

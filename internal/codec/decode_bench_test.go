@@ -1,0 +1,52 @@
+package codec_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/resilience"
+	"pbpair/internal/synth"
+	"pbpair/internal/video"
+)
+
+// BenchmarkDecodeFrame measures steady-state decoding of a QCIF
+// stream (after the parse/reconstruct split and the allocation diet),
+// at several GOB-row worker counts. Serial is the honest number on the
+// one-core CI container; the worker variants exist for multi-core
+// hosts and to keep the fan-out's overhead visible.
+func BenchmarkDecodeFrame(b *testing.B) {
+	cfg := codec.Config{
+		Width: video.QCIFWidth, Height: video.QCIFHeight,
+		QP: 8, SearchRange: 7, HalfPel: true,
+		Planner: resilience.NewNone(),
+	}
+	enc, err := codec.NewEncoder(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := synth.Shared(synth.RegimeForeman)
+	var payloads [][]byte
+	for f := 0; f < 8; f++ {
+		ef, err := enc.EncodeFrame(src.Frame(f))
+		if err != nil {
+			b.Fatal(err)
+		}
+		payloads = append(payloads, ef.Data)
+	}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			dec, err := codec.NewDecoder(video.QCIFWidth, video.QCIFHeight,
+				codec.WithDecoderWorkers(workers))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := dec.DecodeFrame(payloads[i%len(payloads)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

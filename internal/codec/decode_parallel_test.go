@@ -1,0 +1,175 @@
+package codec_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/resilience"
+	"pbpair/internal/synth"
+	"pbpair/internal/video"
+)
+
+// payloadSchedule builds the per-frame payload sequence used by the
+// parallel bit-exactness tests: clean frames, lost frames, truncated
+// and tail-only deliveries, duplicated GOB units, bit-flipped frames
+// and outright garbage — every resilience path the decoder has.
+func payloadSchedule(t *testing.T, halfPel, deblock bool) [][]byte {
+	t.Helper()
+	cfg := codec.Config{
+		Width: video.QCIFWidth, Height: video.QCIFHeight,
+		QP: 8, SearchRange: 7, HalfPel: halfPel, Deblock: deblock,
+	}
+	gop, err := resilience.NewGOP(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Planner = gop
+	clip := synth.Clip(synth.New(synth.RegimeForeman), 10)
+	frames, _ := encodeClip(t, cfg, clip)
+
+	rng := rand.New(rand.NewSource(4242))
+	flip := func(data []byte, n int) []byte {
+		out := append([]byte(nil), data...)
+		for i := 0; i < n; i++ {
+			out[rng.Intn(len(out))] ^= 1 << uint(rng.Intn(8))
+		}
+		return out
+	}
+	garbage := make([]byte, 700)
+	for i := range garbage {
+		garbage[i] = byte(rng.Intn(256))
+	}
+
+	var payloads [][]byte
+	payloads = append(payloads, frames[0].Data)
+	payloads = append(payloads, frames[1].Data)
+	// Frame 2 lost entirely.
+	payloads = append(payloads, nil)
+	// Frame 3 truncated mid-stream: tail rows concealed.
+	payloads = append(payloads, frames[3].Data[:frames[3].GOBOffsets[5]+7])
+	// Frame 4 delivered from GOB 3 on: picture header lost.
+	payloads = append(payloads, frames[4].Data[frames[4].GOBOffsets[3]:])
+	// Frame 5 with duplicated GOB units (rows 2..3 appear twice):
+	// exercises the duplicate-row grouping of the parallel fan-out.
+	dup := append([]byte(nil), frames[5].Data...)
+	dup = append(dup, frames[5].Data[frames[5].GOBOffsets[2]:frames[5].GOBOffsets[4]]...)
+	payloads = append(payloads, dup)
+	// Frame 6 with scattered bit flips: mid-row parse errors with
+	// partially decoded macroblocks left visible.
+	payloads = append(payloads, flip(frames[6].Data, 6))
+	// Frame 7: minimal corrupt units, then pure garbage, then recovery.
+	payloads = append(payloads, []byte{0x00, 0x00, 0x01, 0xB0})
+	payloads = append(payloads, []byte{0x00, 0x00, 0x01, 0xB1, 0xFF, 0xFF})
+	payloads = append(payloads, garbage)
+	payloads = append(payloads, frames[8].Data)
+	payloads = append(payloads, flip(frames[9].Data, 2))
+	return payloads
+}
+
+type decodeTrace struct {
+	frame        *video.Frame
+	frameNum     int
+	ftype        codec.FrameType
+	concealedMBs int
+	headerLost   bool
+}
+
+func runSchedule(t *testing.T, payloads [][]byte, workers int) []decodeTrace {
+	t.Helper()
+	dec, err := codec.NewDecoder(video.QCIFWidth, video.QCIFHeight,
+		codec.WithDecoderWorkers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]decodeTrace, 0, len(payloads))
+	for i, p := range payloads {
+		res, err := dec.DecodeFrame(p)
+		if err != nil {
+			t.Fatalf("workers=%d frame %d: unexpected error %v", workers, i, err)
+		}
+		out = append(out, decodeTrace{
+			frame:        res.Frame.Clone(),
+			frameNum:     res.FrameNum,
+			ftype:        res.Type,
+			concealedMBs: res.ConcealedMBs,
+			headerLost:   res.HeaderLost,
+		})
+	}
+	return out
+}
+
+// TestParallelDecodeBitExact pins the decoder's core parallelism
+// contract: reconstruction fans out per GOB row, and the output —
+// every pixel of every frame, plus every DecodeResult field — is
+// byte-identical at any worker count, over clean, lossy, truncated,
+// duplicated and corrupt payloads.
+func TestParallelDecodeBitExact(t *testing.T) {
+	for _, mode := range []struct {
+		name             string
+		halfPel, deblock bool
+	}{
+		{"fullpel", false, false},
+		{"halfpel+deblock", true, true},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			payloads := payloadSchedule(t, mode.halfPel, mode.deblock)
+			want := runSchedule(t, payloads, 1)
+			for _, workers := range []int{2, 4, 8} {
+				got := runSchedule(t, payloads, workers)
+				for i := range want {
+					if !got[i].frame.Equal(want[i].frame) {
+						t.Fatalf("workers=%d frame %d differs from serial decode", workers, i)
+					}
+					if got[i].frameNum != want[i].frameNum || got[i].ftype != want[i].ftype ||
+						got[i].concealedMBs != want[i].concealedMBs ||
+						got[i].headerLost != want[i].headerLost {
+						t.Fatalf("workers=%d frame %d result fields differ: %+v vs %+v",
+							workers, i, got[i], want[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeFrameSteadyStateAllocs pins the decoder's allocation
+// budget, mirroring the encoder's. After warm-up a DecodeFrame needs
+// only the returned DecodeResult — the reader, the row map, the parsed
+// job/record/coefficient scratch and both frame buffers are reused
+// across frames. (The result itself stays freshly allocated: callers
+// hold results from several frames at once.)
+func TestDecodeFrameSteadyStateAllocs(t *testing.T) {
+	const maxAllocs = 4
+
+	cfg := codec.Config{
+		Width: video.QCIFWidth, Height: video.QCIFHeight,
+		QP: 8, SearchRange: 7, HalfPel: true,
+		Planner: resilience.NewNone(),
+	}
+	clip := synth.Clip(synth.New(synth.RegimeForeman), 8)
+	frames, _ := encodeClip(t, cfg, clip)
+	dec, err := codec.NewDecoder(video.QCIFWidth, video.QCIFHeight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 16; i++ {
+		if _, err := dec.DecodeFrame(frames[i%len(frames)].Data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	var decErr error
+	allocs := testing.AllocsPerRun(32, func() {
+		if _, err := dec.DecodeFrame(frames[i%len(frames)].Data); err != nil {
+			decErr = err
+		}
+		i++
+	})
+	if decErr != nil {
+		t.Fatal(decErr)
+	}
+	if allocs > maxAllocs {
+		t.Fatalf("DecodeFrame steady state = %.1f allocs/op, budget %d", allocs, maxAllocs)
+	}
+}

@@ -2,6 +2,8 @@ package codec
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"pbpair/internal/bitstream"
 	"pbpair/internal/dct"
@@ -53,15 +55,71 @@ type DecodeResult struct {
 	HeaderLost   bool         // picture header missing from the payload
 }
 
+// Macroblock kinds recorded by the parse phase.
+const (
+	mbSkip uint8 = iota + 1
+	mbIntra
+	mbInter
+)
+
+// mbRec is one parsed macroblock, ready for reconstruction. The parse
+// phase expands every entropy event (the only serial part of the
+// bitstream) into these records; reconstruction then needs no reader
+// state and can fan out per GOB row.
+//
+// nBlocks replays partial macroblocks exactly: when the entropy parse
+// dies inside block b, the serial decoder has already stored blocks
+// 0..b−1 (and, for inter, run the motion compensation) before the row
+// is abandoned to concealment — and those pixels are observable, e.g.
+// through a neighbouring row's boundary-matching concealment. A
+// complete macroblock has nBlocks == 6.
+type mbRec struct {
+	kind     uint8
+	cbp      uint8
+	nBlocks  uint8
+	col      uint8
+	hv       motion.HalfVector // inter: absolute (post-prediction) vector
+	dcs      [6]int32          // intra: per-block DC values
+	poolBase int32             // first coefficient block in Decoder.pool
+}
+
+// gobJob is one parsed GOB unit: which row it writes, the macroblock
+// records to replay, and the header state in effect when it was
+// parsed (a corrupt stream may switch headers between GOBs).
+type gobJob struct {
+	row            int
+	qp             int
+	halfPel        bool
+	mbStart, mbEnd int
+	ok             bool // full row parsed; row counts as decoded
+}
+
 // Decoder reconstructs a sequence from (possibly lossy) per-frame
 // payloads. It is resilient in the ways the bitstream allows: a lost
 // GOB conceals one macroblock row; a corrupt GOB resynchronises at the
 // next start code; a frame with no payload at all is fully concealed.
+//
+// Decoding runs in two phases. The parse phase walks the bitstream
+// serially (entropy coding is inherently sequential) and records
+// per-GOB reconstruction jobs; the reconstruction phase — dequant,
+// IDCT, motion compensation, block stores — replays the jobs, fanning
+// out per GOB row when the decoder was built WithDecoderWorkers(> 1).
+// Rows are written by exactly one goroutine each (GOB = one macroblock
+// row, and duplicate-row units stay grouped in stream order), and the
+// encoder resets MV/DC prediction per GOB, so the output is
+// byte-identical at any worker count (TestParallelDecodeBitExact).
+// Concealment stays serial after reconstruction: it reads neighbouring
+// rows, so its order is part of the output contract.
+//
+// All per-frame scratch (reader, job and coefficient records, the row
+// map) is retained between frames; steady-state decoding stays within
+// the budget pinned by TestDecodeFrameAllocBudget.
 type Decoder struct {
 	width, height int
 	ref           *video.Frame // previous reconstruction (nil before first frame)
 	rec           *video.Frame
 	concealer     Concealer
+	workers       int
 	frameCount    int
 	lastQP        int
 	halfPel       bool // from the last picture header
@@ -70,6 +128,17 @@ type Decoder struct {
 	mvPred motion.HalfVector
 	// dcPred mirrors the encoder's per-plane intra-DC predictors.
 	dcPred [3]int32
+
+	// Reused per-frame scratch (see the two-phase contract above).
+	reader     bitstream.Reader
+	rowDecoded []bool
+	jobs       []gobJob
+	recs       []mbRec
+	pool       []video.Block // coefficient blocks referenced by recs
+	executed   int           // jobs before this index already replayed
+	rowOrder   []int         // distinct rows in first-appearance order
+	rowJobs    [][]int       // per-row job indices, parallel to rowOrder
+	rowSlot    []int         // row -> index into rowOrder, -1 when unseen
 }
 
 // DecoderOption customises a Decoder.
@@ -78,6 +147,16 @@ type DecoderOption func(*Decoder)
 // WithConcealer replaces the default copy concealment.
 func WithConcealer(c Concealer) DecoderOption {
 	return func(d *Decoder) { d.concealer = c }
+}
+
+// WithDecoderWorkers sets how many goroutines reconstruct GOB rows of
+// one frame. Values below 2 keep reconstruction on the calling
+// goroutine. Unlike the encoder's Workers knob this is intentionally
+// not capped at GOMAXPROCS: the fan-out is also a correctness surface
+// (the race detector only sees it with real concurrency), and workers
+// are already clamped to the frame's row count.
+func WithDecoderWorkers(n int) DecoderOption {
+	return func(d *Decoder) { d.workers = n }
 }
 
 // NewDecoder returns a decoder for the given frame geometry.
@@ -89,11 +168,20 @@ func NewDecoder(width, height int, opts ...DecoderOption) (*Decoder, error) {
 		width: width, height: height,
 		rec:       video.NewFrame(width, height),
 		concealer: copyConcealer{},
+		workers:   1,
 		lastQP:    quant.ClampQP(0),
 	}
 	for _, opt := range opts {
 		opt(d)
 	}
+	if d.workers < 1 {
+		d.workers = 1
+	}
+	rows := height / video.MBSize
+	d.rowDecoded = make([]bool, rows)
+	d.rowOrder = make([]int, 0, rows)
+	d.rowJobs = make([][]int, 0, rows)
+	d.rowSlot = make([]int, rows)
 	return d, nil
 }
 
@@ -115,6 +203,16 @@ func (d *Decoder) DecodeFrame(data []byte) (*DecodeResult, error) {
 	return d.decodePayload(data), nil
 }
 
+// maxPendingRecs bounds the macroblock records held before
+// reconstruction is forced to run (a crafted stream can repeat GOB
+// units indefinitely; a well-formed frame parses at most rows jobs).
+// Flushing early replays the pending jobs serially in stream order,
+// which is always equivalent to the fan-out, so only throughput on
+// garbage input degrades — never correctness.
+func (d *Decoder) maxPendingRecs() int {
+	return 4 * (d.height / video.MBSize) * (d.width / video.MBSize)
+}
+
 func (d *Decoder) decodePayload(data []byte) *DecodeResult {
 	rows := d.height / video.MBSize
 	cols := d.width / video.MBSize
@@ -123,9 +221,17 @@ func (d *Decoder) decodePayload(data []byte) *DecodeResult {
 		Type:       PFrame,
 		HeaderLost: true,
 	}
-	rowDecoded := make([]bool, rows)
+	rowDecoded := d.rowDecoded
+	for i := range rowDecoded {
+		rowDecoded[i] = false
+	}
+	d.jobs = d.jobs[:0]
+	d.recs = d.recs[:0]
+	d.pool = d.pool[:0]
+	d.executed = 0
 
-	r := bitstream.NewReader(data)
+	r := &d.reader
+	r.Reset(data)
 	qp := d.lastQP
 	for {
 		code, err := r.NextStartCode()
@@ -146,14 +252,22 @@ func (d *Decoder) decodePayload(data []byte) *DecodeResult {
 			d.halfPel = halfPel
 			d.deblock = deblock
 		case bitstream.CodeGOB:
-			row, ok := d.decodeGOB(r, res.Type, qp, rows, cols)
+			row, ok := d.parseGOB(r, res.Type, qp, rows, cols)
 			if ok && row >= 0 && row < rows {
 				rowDecoded[row] = true
+			}
+			if len(d.recs) > d.maxPendingRecs() {
+				d.runJobs(false)
+				d.jobs = d.jobs[:0]
+				d.recs = d.recs[:0]
+				d.pool = d.pool[:0]
+				d.executed = 0
 			}
 		default:
 			// Unknown unit: skip to the next start code.
 		}
 	}
+	d.runJobs(d.workers > 1)
 
 	// Conceal whatever was not decoded.
 	for row := 0; row < rows; row++ {
@@ -218,10 +332,12 @@ func parsePictureHeader(r *bitstream.Reader) (num int, ftype FrameType, qp int, 
 	return int(rawNum), ftype, quant.ClampQP(int(rawQP)), hbit == 1, dbit == 1, true
 }
 
-// decodeGOB decodes one macroblock row. On any parse error the row is
-// left to concealment (returns ok=false) and the reader resynchronises
-// at the next start code.
-func (d *Decoder) decodeGOB(r *bitstream.Reader, ftype FrameType, qp, rows, cols int) (row int, ok bool) {
+// parseGOB parses one macroblock row into a reconstruction job. On any
+// macroblock parse error the row is left to concealment (ok=false) and
+// the reader resynchronises at the next start code; macroblocks parsed
+// before the error are still recorded so their writes replay exactly
+// as the streaming decoder performed them.
+func (d *Decoder) parseGOB(r *bitstream.Reader, ftype FrameType, qp, rows, cols int) (row int, ok bool) {
 	raw, err := r.ReadBits(6)
 	if err != nil {
 		return -1, false
@@ -232,19 +348,34 @@ func (d *Decoder) decodeGOB(r *bitstream.Reader, ftype FrameType, qp, rows, cols
 	}
 	d.mvPred = motion.HalfVector{}
 	d.dcPred = [3]int32{128, 128, 128}
+	job := gobJob{
+		row:     row,
+		qp:      qp,
+		halfPel: d.halfPel,
+		mbStart: len(d.recs),
+		ok:      true,
+	}
 	for col := 0; col < cols; col++ {
-		if err := d.decodeMB(r, ftype, qp, row, col); err != nil {
+		if err := d.parseMB(r, ftype, row, col); err != nil {
 			// Abandon the row: the caller's concealment pass covers the
 			// whole row, and the reader resynchronises at the next
 			// start code.
-			return -1, false
+			job.ok = false
+			break
 		}
+	}
+	job.mbEnd = len(d.recs)
+	if job.mbEnd > job.mbStart {
+		d.jobs = append(d.jobs, job)
+	}
+	if !job.ok {
+		return -1, false
 	}
 	return row, true
 }
 
-// decodeMB decodes one macroblock into d.rec.
-func (d *Decoder) decodeMB(r *bitstream.Reader, ftype FrameType, qp, row, col int) error {
+// parseMB parses one macroblock, appending at most one record.
+func (d *Decoder) parseMB(r *bitstream.Reader, ftype FrameType, row, col int) error {
 	intra := ftype == IFrame
 	mv := [2]int32{}
 	if ftype == PFrame {
@@ -257,7 +388,7 @@ func (d *Decoder) decodeMB(r *bitstream.Reader, ftype FrameType, qp, row, col in
 			if d.ref == nil {
 				return fmt.Errorf("codec: skip macroblock with no reference")
 			}
-			video.CopyMB(d.rec, d.ref, row, col)
+			d.recs = append(d.recs, mbRec{kind: mbSkip, col: uint8(col)})
 			d.mvPred = motion.HalfVector{}
 			return nil
 		}
@@ -277,16 +408,27 @@ func (d *Decoder) decodeMB(r *bitstream.Reader, ftype FrameType, qp, row, col in
 	}
 	if intra {
 		d.mvPred = motion.HalfVector{}
-		return d.decodeIntraMB(r, qp, row, col)
+		return d.parseIntraMB(r, col)
 	}
 	// Differential decoding against the in-GOB predictor.
 	vx := int(mv[0]) + d.mvPred.X
 	vy := int(mv[1]) + d.mvPred.Y
 	d.mvPred = motion.HalfVector{X: vx, Y: vy}
-	return d.decodeInterMB(r, qp, row, col, vx, vy)
+	return d.parseInterMB(r, row, col, vx, vy)
 }
 
-func (d *Decoder) decodeIntraMB(r *bitstream.Reader, qp, row, col int) error {
+// poolBlock appends one zeroed coefficient block and returns it.
+func (d *Decoder) poolBlock() *video.Block {
+	if len(d.pool) < cap(d.pool) {
+		d.pool = d.pool[:len(d.pool)+1]
+		d.pool[len(d.pool)-1] = video.Block{}
+	} else {
+		d.pool = append(d.pool, video.Block{})
+	}
+	return &d.pool[len(d.pool)-1]
+}
+
+func (d *Decoder) parseIntraMB(r *bitstream.Reader, col int) error {
 	var dcs [6]int32
 	for b := range dcs {
 		diff, err := entropy.ReadSE(r)
@@ -313,34 +455,43 @@ func (d *Decoder) decodeIntraMB(r *bitstream.Reader, qp, row, col int) error {
 	if cbp > 63 {
 		return fmt.Errorf("codec: intra CBP %d out of range", cbp)
 	}
-	geom := blockGeometry(row, col)
-	var levels, freq, pix video.Block
-	for b, g := range geom {
-		levels = video.Block{}
-		levels[0] = dcs[b]
-		if cbp&(1<<(5-b)) != 0 {
-			if err := readBlockEvents(r, &levels, true); err != nil {
-				return err
-			}
-		}
-		quant.DequantIntra(&levels, &freq, qp)
-		dct.Inverse(&freq, &pix)
-		d.rec.StoreBlock(g.plane, g.x, g.y, &pix)
+	rec := mbRec{
+		kind:     mbIntra,
+		cbp:      uint8(cbp),
+		nBlocks:  6,
+		col:      uint8(col),
+		dcs:      dcs,
+		poolBase: int32(len(d.pool)),
 	}
+	for b := 0; b < 6; b++ {
+		if cbp&(1<<(5-b)) == 0 {
+			continue
+		}
+		blk := d.poolBlock()
+		blk[0] = dcs[b]
+		if err := readBlockEvents(r, blk, true); err != nil {
+			// The streaming decoder stored blocks 0..b−1 before dying:
+			// record the partial macroblock so they replay.
+			rec.nBlocks = uint8(b)
+			d.recs = append(d.recs, rec)
+			return err
+		}
+	}
+	d.recs = append(d.recs, rec)
 	return nil
 }
 
-func (d *Decoder) decodeInterMB(r *bitstream.Reader, qp, row, col, mvx, mvy int) error {
+func (d *Decoder) parseInterMB(r *bitstream.Reader, row, col, mvx, mvy int) error {
 	if d.ref == nil {
 		return fmt.Errorf("codec: inter macroblock with no reference")
 	}
-	x, y := col*video.MBSize, row*video.MBSize
 	var hv motion.HalfVector
 	if d.halfPel {
 		hv = motion.HalfVector{X: mvx, Y: mvy}
 	} else {
 		hv = motion.FromInteger(motion.Vector{X: mvx, Y: mvy})
 	}
+	x, y := col*video.MBSize, row*video.MBSize
 	intPart, fx, fy := hv.Split()
 	needX, needY := video.MBSize, video.MBSize
 	if fx == 1 {
@@ -360,21 +511,157 @@ func (d *Decoder) decodeInterMB(r *bitstream.Reader, qp, row, col, mvx, mvy int)
 	if cbp > 63 {
 		return fmt.Errorf("codec: inter CBP %d out of range", cbp)
 	}
-
-	// Prediction straight into the reconstruction, then add residuals.
-	motion.CompensateHalf(d.rec, d.ref, row, col, hv)
-
-	geom := blockGeometry(row, col)
-	var levels, freq, pix, predBlk video.Block
-	for b, g := range geom {
+	rec := mbRec{
+		kind:     mbInter,
+		cbp:      uint8(cbp),
+		nBlocks:  6,
+		col:      uint8(col),
+		hv:       hv,
+		poolBase: int32(len(d.pool)),
+	}
+	for b := 0; b < 6; b++ {
 		if cbp&(1<<(5-b)) == 0 {
 			continue
 		}
-		levels = video.Block{}
-		if err := readBlockEvents(r, &levels, false); err != nil {
+		blk := d.poolBlock()
+		if err := readBlockEvents(r, blk, false); err != nil {
+			// Compensation and blocks 0..b−1 were already applied by the
+			// streaming decoder: replay the partial macroblock.
+			rec.nBlocks = uint8(b)
+			d.recs = append(d.recs, rec)
 			return err
 		}
-		quant.DequantInter(&levels, &freq, qp)
+	}
+	d.recs = append(d.recs, rec)
+	return nil
+}
+
+// runJobs replays all pending reconstruction jobs. With parallelism
+// the distinct rows fan out across goroutines; each row's jobs run on
+// one goroutine in stream order, so every byte of the reconstruction
+// is written exactly as the serial replay writes it.
+func (d *Decoder) runJobs(parallel bool) {
+	pending := d.jobs[d.executed:]
+	if len(pending) == 0 {
+		return
+	}
+	d.executed = len(d.jobs)
+	if !parallel {
+		for i := range pending {
+			d.execJob(&pending[i])
+		}
+		return
+	}
+
+	// Group jobs by row, preserving stream order within a row.
+	d.rowOrder = d.rowOrder[:0]
+	rowJobs := d.rowJobs[:cap(d.rowJobs)]
+	for i := range d.rowSlot {
+		d.rowSlot[i] = -1
+	}
+	for i := range pending {
+		row := pending[i].row
+		slot := d.rowSlot[row]
+		if slot < 0 {
+			slot = len(d.rowOrder)
+			d.rowOrder = append(d.rowOrder, row)
+			if slot < len(rowJobs) {
+				rowJobs[slot] = rowJobs[slot][:0]
+			} else {
+				rowJobs = append(rowJobs, nil)
+			}
+			d.rowSlot[row] = slot
+		}
+		rowJobs[slot] = append(rowJobs[slot], i)
+	}
+	d.rowJobs = rowJobs
+
+	workers := d.workers
+	if workers > len(d.rowOrder) {
+		workers = len(d.rowOrder)
+	}
+	if workers <= 1 {
+		for i := range pending {
+			d.execJob(&pending[i])
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				slot := int(next.Add(1)) - 1
+				if slot >= len(d.rowOrder) {
+					return
+				}
+				for _, ji := range rowJobs[slot] {
+					d.execJob(&pending[ji])
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// execJob replays one GOB row's parsed macroblocks into d.rec. Safe
+// for concurrent use across distinct rows: it reads only immutable
+// per-frame state (records, coefficient pool, reference frame) and
+// writes only pixels of its own macroblock row.
+func (d *Decoder) execJob(job *gobJob) {
+	for i := job.mbStart; i < job.mbEnd; i++ {
+		rec := &d.recs[i]
+		switch rec.kind {
+		case mbSkip:
+			video.CopyMB(d.rec, d.ref, job.row, int(rec.col))
+		case mbIntra:
+			d.execIntraMB(job, rec)
+		case mbInter:
+			d.execInterMB(job, rec)
+		}
+	}
+}
+
+func (d *Decoder) execIntraMB(job *gobJob, rec *mbRec) {
+	geom := blockGeometry(job.row, int(rec.col))
+	var levels, freq, pix video.Block
+	pi := rec.poolBase
+	for b, g := range geom {
+		if b >= int(rec.nBlocks) {
+			break
+		}
+		if rec.cbp&(1<<(5-b)) != 0 {
+			levels = d.pool[pi]
+			pi++
+		} else {
+			levels = video.Block{}
+			levels[0] = rec.dcs[b]
+		}
+		quant.DequantIntra(&levels, &freq, job.qp)
+		dct.Inverse(&freq, &pix)
+		d.rec.StoreBlock(g.plane, g.x, g.y, &pix)
+	}
+}
+
+func (d *Decoder) execInterMB(job *gobJob, rec *mbRec) {
+	// Prediction straight into the reconstruction, then add residuals.
+	motion.CompensateHalf(d.rec, d.ref, job.row, int(rec.col), rec.hv)
+
+	geom := blockGeometry(job.row, int(rec.col))
+	var levels, freq, pix, predBlk video.Block
+	pi := rec.poolBase
+	for b, g := range geom {
+		if b >= int(rec.nBlocks) {
+			break
+		}
+		if rec.cbp&(1<<(5-b)) == 0 {
+			continue
+		}
+		levels = d.pool[pi]
+		pi++
+		quant.DequantInter(&levels, &freq, job.qp)
 		dct.Inverse(&freq, &pix)
 		d.rec.LoadBlock(g.plane, g.x, g.y, &predBlk)
 		for i := range pix {
@@ -382,7 +669,6 @@ func (d *Decoder) decodeInterMB(r *bitstream.Reader, qp, row, col, mvx, mvy int)
 		}
 		d.rec.StoreBlock(g.plane, g.x, g.y, &pix)
 	}
-	return nil
 }
 
 // readBlockEvents reads TCOEF events until the LAST flag, expanding

@@ -8,12 +8,21 @@
 // other strategies exist because PBPAIR's similarity factor is defined
 // per concealment scheme — swapping the concealer is the ablation knob
 // DESIGN.md calls out.
+//
+// The hot paths are word-parallel (internal/swar, shared with the
+// encoder's SAD search): BMA's external-boundary cost differences the
+// 16-pixel top/bottom boundary rows two uint64 loads at a time and
+// abandons a candidate once its partial cost can no longer win, and
+// Spatial blends row-major with hoisted per-column anchors. The scalar
+// originals live in conceal_ref.go as exported *Ref functions;
+// TestConcealEquiv / FuzzConcealEquiv pin byte-identical frames.
 package conceal
 
 import (
 	"math"
 
 	"pbpair/internal/codec"
+	"pbpair/internal/swar"
 	"pbpair/internal/video"
 )
 
@@ -66,7 +75,13 @@ type Spatial struct{}
 
 var _ codec.Concealer = Spatial{}
 
-// ConcealMB implements codec.Concealer.
+// ConcealMB implements codec.Concealer. Row-major rewrite of
+// ConcealSpatialRef (conceal_ref.go): the per-column anchor rows are
+// read once into stack buffers, each output row is then one
+// cache-friendly pass with its two blend weights hoisted, and the
+// chroma fill is a row copy. Byte-identical to the reference — the
+// blend (top·wt + bottom·wb)/17 of two bytes always lands in [0, 255],
+// so dropping the reference's no-op clamp does not change any pixel.
 func (Spatial) ConcealMB(dst, ref *video.Frame, mbRow, mbCol int) {
 	x, y := mbCol*video.MBSize, mbRow*video.MBSize
 	hasTop := y > 0
@@ -76,44 +91,63 @@ func (Spatial) ConcealMB(dst, ref *video.Frame, mbRow, mbCol int) {
 		return
 	}
 	w := dst.Width
-	for c := 0; c < video.MBSize; c++ {
-		var top, bottom int32
-		switch {
-		case hasTop && hasBottom:
-			top = int32(dst.Y[(y-1)*w+x+c])
-			bottom = int32(dst.Y[(y+video.MBSize)*w+x+c])
-		case hasTop:
-			top = int32(dst.Y[(y-1)*w+x+c])
-			bottom = top
-		default:
-			bottom = int32(dst.Y[(y+video.MBSize)*w+x+c])
-			top = bottom
+	var top, bottom [video.MBSize]int32
+	switch {
+	case hasTop && hasBottom:
+		tRow := dst.Y[(y-1)*w+x:]
+		bRow := dst.Y[(y+video.MBSize)*w+x:]
+		for c := 0; c < video.MBSize; c++ {
+			top[c] = int32(tRow[c])
+			bottom[c] = int32(bRow[c])
 		}
-		for r := 0; r < video.MBSize; r++ {
-			// Linear blend by distance to each known row.
-			wb := int32(r + 1)
-			wt := int32(video.MBSize - r)
-			v := (top*wt + bottom*wb) / int32(video.MBSize+1)
-			dst.Y[(y+r)*w+x+c] = video.ClampPixel(v)
+	case hasTop:
+		tRow := dst.Y[(y-1)*w+x:]
+		for c := 0; c < video.MBSize; c++ {
+			top[c] = int32(tRow[c])
+			bottom[c] = top[c]
+		}
+	default:
+		bRow := dst.Y[(y+video.MBSize)*w+x:]
+		for c := 0; c < video.MBSize; c++ {
+			bottom[c] = int32(bRow[c])
+			top[c] = bottom[c]
 		}
 	}
-	// Chroma: flat average of the available neighbouring chroma rows.
+	for r := 0; r < video.MBSize; r++ {
+		// Linear blend by distance to each known row.
+		wb := int32(r + 1)
+		wt := int32(video.MBSize - r)
+		out := dst.Y[(y+r)*w+x : (y+r)*w+x+video.MBSize]
+		for c := 0; c < video.MBSize; c++ {
+			out[c] = uint8((top[c]*wt + bottom[c]*wb) / int32(video.MBSize+1))
+		}
+	}
+	// Chroma: flat fill from the available neighbouring chroma row,
+	// copied row-wise (the reference's per-column clamp is a no-op on
+	// byte values).
 	cw := dst.ChromaWidth()
 	cx, cy := mbCol*(video.MBSize/2), mbRow*(video.MBSize/2)
-	for c := 0; c < video.MBSize/2; c++ {
-		var cbv, crv int32 = 128, 128
-		switch {
-		case cy > 0:
-			cbv = int32(dst.Cb[(cy-1)*cw+cx+c])
-			crv = int32(dst.Cr[(cy-1)*cw+cx+c])
-		case cy+video.MBSize/2 < dst.ChromaHeight():
-			cbv = int32(dst.Cb[(cy+video.MBSize/2)*cw+cx+c])
-			crv = int32(dst.Cr[(cy+video.MBSize/2)*cw+cx+c])
+	var cbRow, crRow []uint8
+	switch {
+	case cy > 0:
+		cbRow = dst.Cb[(cy-1)*cw+cx : (cy-1)*cw+cx+video.MBSize/2]
+		crRow = dst.Cr[(cy-1)*cw+cx : (cy-1)*cw+cx+video.MBSize/2]
+	case cy+video.MBSize/2 < dst.ChromaHeight():
+		off := (cy + video.MBSize/2) * cw
+		cbRow = dst.Cb[off+cx : off+cx+video.MBSize/2]
+		crRow = dst.Cr[off+cx : off+cx+video.MBSize/2]
+	}
+	for r := 0; r < video.MBSize/2; r++ {
+		do := (cy+r)*cw + cx
+		if cbRow == nil {
+			for c := 0; c < video.MBSize/2; c++ {
+				dst.Cb[do+c] = 128
+				dst.Cr[do+c] = 128
+			}
+			continue
 		}
-		for r := 0; r < video.MBSize/2; r++ {
-			dst.Cb[(cy+r)*cw+cx+c] = video.ClampPixel(cbv)
-			dst.Cr[(cy+r)*cw+cx+c] = video.ClampPixel(crv)
-		}
+		copy(dst.Cb[do:do+video.MBSize/2], cbRow)
+		copy(dst.Cr[do:do+video.MBSize/2], crRow)
 	}
 }
 
@@ -130,7 +164,15 @@ type BMA struct {
 
 var _ codec.Concealer = BMA{}
 
-// ConcealMB implements codec.Concealer.
+// ConcealMB implements codec.Concealer. Identical winner selection to
+// ConcealBMARef (conceal_ref.go): boundaryCost is word-parallel and a
+// candidate is abandoned once its partial cost reaches a limit it
+// cannot win from. For every candidate except the co-located one the
+// limit is the incumbent cost (equality never updates the winner); the
+// co-located candidate may also win a tie, so its scan runs one unit
+// further. Abandoned candidates would have failed the update test with
+// their full cost too, so the chosen displacement — and the concealed
+// pixels — are byte-identical to the reference.
 func (b BMA) ConcealMB(dst, ref *video.Frame, mbRow, mbCol int) {
 	if ref == nil {
 		Grey{}.ConcealMB(dst, nil, mbRow, mbCol)
@@ -150,7 +192,11 @@ func (b BMA) ConcealMB(dst, ref *video.Frame, mbRow, mbCol int) {
 			if rx < 0 || ry < 0 || rx+video.MBSize > ref.Width || ry+video.MBSize > ref.Height {
 				continue
 			}
-			cost := boundaryCost(dst, ref, x, y, rx, ry)
+			limit := bestCost
+			if dx == 0 && dy == 0 && limit < math.MaxInt64 {
+				limit++ // ties go to the co-located candidate
+			}
+			cost := boundaryCost(dst, ref, x, y, rx, ry, limit)
 			if cost < bestCost || (cost == bestCost && dx == 0 && dy == 0) {
 				bestCost, bestDX, bestDY = cost, dx, dy
 			}
@@ -180,46 +226,60 @@ func (b BMA) ConcealMB(dst, ref *video.Frame, mbRow, mbCol int) {
 // (external boundary matching). A side contributes only when both
 // frames have pixels there; with no usable side the co-located
 // candidate wins by the tie rule above.
-func boundaryCost(dst, ref *video.Frame, x, y, rx, ry int) int64 {
+//
+// Word-parallel rewrite of BoundaryCostRef: the contiguous top and
+// bottom boundary rows go through the shared 16-byte SAD kernel, the
+// strided left/right columns stay scalar, and the scan returns early
+// (with a partial sum ≥ limit) as soon as the candidate can no longer
+// beat limit. For limit = MaxInt64 the result equals the reference
+// exactly; sides are accumulated in the reference's order so partial
+// sums are comparable across implementations.
+func boundaryCost(dst, ref *video.Frame, x, y, rx, ry int, limit int64) int64 {
 	w := dst.Width
 	var cost int64
 	if y > 0 && ry > 0 {
-		for c := 0; c < video.MBSize; c++ {
-			d := int64(dst.Y[(y-1)*w+x+c]) - int64(ref.Y[(ry-1)*w+rx+c])
-			if d < 0 {
-				d = -d
-			}
-			cost += d
+		cost += int64(swar.SADRow16(dst.Y[(y-1)*w+x:(y-1)*w+x+video.MBSize],
+			ref.Y[(ry-1)*w+rx:(ry-1)*w+rx+video.MBSize]))
+		if cost >= limit {
+			return cost
 		}
 	}
 	if y+video.MBSize < dst.Height && ry+video.MBSize < ref.Height {
-		for c := 0; c < video.MBSize; c++ {
-			d := int64(dst.Y[(y+video.MBSize)*w+x+c]) - int64(ref.Y[(ry+video.MBSize)*w+rx+c])
-			if d < 0 {
-				d = -d
-			}
-			cost += d
+		do := (y + video.MBSize) * w
+		ro := (ry + video.MBSize) * w
+		cost += int64(swar.SADRow16(dst.Y[do+x:do+x+video.MBSize],
+			ref.Y[ro+rx:ro+rx+video.MBSize]))
+		if cost >= limit {
+			return cost
 		}
 	}
 	if x > 0 && rx > 0 {
-		for r := 0; r < video.MBSize; r++ {
-			d := int64(dst.Y[(y+r)*w+x-1]) - int64(ref.Y[(ry+r)*w+rx-1])
-			if d < 0 {
-				d = -d
-			}
-			cost += d
+		cost += int64(columnSAD(dst.Y[y*w+x-1:], ref.Y[ry*w+rx-1:], w))
+		if cost >= limit {
+			return cost
 		}
 	}
 	if x+video.MBSize < dst.Width && rx+video.MBSize < ref.Width {
-		for r := 0; r < video.MBSize; r++ {
-			d := int64(dst.Y[(y+r)*w+x+video.MBSize]) - int64(ref.Y[(ry+r)*w+rx+video.MBSize])
-			if d < 0 {
-				d = -d
-			}
-			cost += d
-		}
+		cost += int64(columnSAD(dst.Y[y*w+x+video.MBSize:], ref.Y[ry*w+rx+video.MBSize:], w))
 	}
 	return cost
+}
+
+// columnSAD sums |a−b| down a 16-pixel column with the given row
+// stride. The loads are strided so no word-parallel form applies, but
+// the absolute value is branchless (sign-mask fold) and the offsets
+// are additive — measurably faster than the reference's per-pixel
+// branch on the shuffled contents a concealment search visits.
+func columnSAD(a, b []uint8, stride int) int32 {
+	var sum int32
+	off := 0
+	for r := 0; r < video.MBSize; r++ {
+		d := int32(a[off]) - int32(b[off])
+		m := d >> 31
+		sum += (d ^ m) - m
+		off += stride
+	}
+	return sum
 }
 
 // SimilarityScaleFor returns the PBPAIR similarity scale appropriate

@@ -1,0 +1,157 @@
+package conceal
+
+import (
+	"math"
+
+	"pbpair/internal/video"
+)
+
+// Scalar reference concealment — the original per-pixel loops the
+// word-parallel kernels in conceal.go replaced. Exported (not
+// test-only) so the differential tests, FuzzConcealEquiv and the
+// benchmark pairs always compare against the exact originals. The fast
+// paths must write byte-identical frames: golden pipeline digests
+// depend on concealment output whenever a simulated stream drops
+// packets.
+
+// ConcealSpatialRef is the scalar original of Spatial.ConcealMB.
+func ConcealSpatialRef(dst, ref *video.Frame, mbRow, mbCol int) {
+	x, y := mbCol*video.MBSize, mbRow*video.MBSize
+	hasTop := y > 0
+	hasBottom := y+video.MBSize < dst.Height
+	if !hasTop && !hasBottom {
+		Copy{}.ConcealMB(dst, ref, mbRow, mbCol)
+		return
+	}
+	w := dst.Width
+	for c := 0; c < video.MBSize; c++ {
+		var top, bottom int32
+		switch {
+		case hasTop && hasBottom:
+			top = int32(dst.Y[(y-1)*w+x+c])
+			bottom = int32(dst.Y[(y+video.MBSize)*w+x+c])
+		case hasTop:
+			top = int32(dst.Y[(y-1)*w+x+c])
+			bottom = top
+		default:
+			bottom = int32(dst.Y[(y+video.MBSize)*w+x+c])
+			top = bottom
+		}
+		for r := 0; r < video.MBSize; r++ {
+			// Linear blend by distance to each known row.
+			wb := int32(r + 1)
+			wt := int32(video.MBSize - r)
+			v := (top*wt + bottom*wb) / int32(video.MBSize+1)
+			dst.Y[(y+r)*w+x+c] = video.ClampPixel(v)
+		}
+	}
+	// Chroma: flat average of the available neighbouring chroma rows.
+	cw := dst.ChromaWidth()
+	cx, cy := mbCol*(video.MBSize/2), mbRow*(video.MBSize/2)
+	for c := 0; c < video.MBSize/2; c++ {
+		var cbv, crv int32 = 128, 128
+		switch {
+		case cy > 0:
+			cbv = int32(dst.Cb[(cy-1)*cw+cx+c])
+			crv = int32(dst.Cr[(cy-1)*cw+cx+c])
+		case cy+video.MBSize/2 < dst.ChromaHeight():
+			cbv = int32(dst.Cb[(cy+video.MBSize/2)*cw+cx+c])
+			crv = int32(dst.Cr[(cy+video.MBSize/2)*cw+cx+c])
+		}
+		for r := 0; r < video.MBSize/2; r++ {
+			dst.Cb[(cy+r)*cw+cx+c] = video.ClampPixel(cbv)
+			dst.Cr[(cy+r)*cw+cx+c] = video.ClampPixel(crv)
+		}
+	}
+}
+
+// ConcealBMARef is the scalar original of BMA.ConcealMB: every legal
+// candidate pays the full four-side boundary cost (no early exit).
+func ConcealBMARef(searchRange int, dst, ref *video.Frame, mbRow, mbCol int) {
+	if ref == nil {
+		Grey{}.ConcealMB(dst, nil, mbRow, mbCol)
+		return
+	}
+	rng := searchRange
+	if rng <= 0 {
+		rng = 4
+	}
+	x, y := mbCol*video.MBSize, mbRow*video.MBSize
+
+	bestCost := int64(math.MaxInt64)
+	bestDX, bestDY := 0, 0
+	for dy := -rng; dy <= rng; dy++ {
+		for dx := -rng; dx <= rng; dx++ {
+			rx, ry := x+dx, y+dy
+			if rx < 0 || ry < 0 || rx+video.MBSize > ref.Width || ry+video.MBSize > ref.Height {
+				continue
+			}
+			cost := BoundaryCostRef(dst, ref, x, y, rx, ry)
+			if cost < bestCost || (cost == bestCost && dx == 0 && dy == 0) {
+				bestCost, bestDX, bestDY = cost, dx, dy
+			}
+		}
+	}
+
+	// Copy the winning block (luma + chroma at half displacement).
+	w := dst.Width
+	for r := 0; r < video.MBSize; r++ {
+		src := ref.Y[(y+bestDY+r)*w+x+bestDX:]
+		copy(dst.Y[(y+r)*w+x:(y+r)*w+x+video.MBSize], src[:video.MBSize])
+	}
+	cw := dst.ChromaWidth()
+	cx, cy := mbCol*(video.MBSize/2), mbRow*(video.MBSize/2)
+	cdx, cdy := bestDX/2, bestDY/2
+	for r := 0; r < video.MBSize/2; r++ {
+		so := (cy+cdy+r)*cw + cx + cdx
+		do := (cy+r)*cw + cx
+		copy(dst.Cb[do:do+video.MBSize/2], ref.Cb[so:so+video.MBSize/2])
+		copy(dst.Cr[do:do+video.MBSize/2], ref.Cr[so:so+video.MBSize/2])
+	}
+}
+
+// BoundaryCostRef is the scalar original of boundaryCost, without the
+// early-exit limit: the mismatch between the decoded pixels just
+// outside the lost macroblock at (x, y) in dst and the corresponding
+// pixels just outside the candidate block at (rx, ry) in ref.
+func BoundaryCostRef(dst, ref *video.Frame, x, y, rx, ry int) int64 {
+	w := dst.Width
+	var cost int64
+	if y > 0 && ry > 0 {
+		for c := 0; c < video.MBSize; c++ {
+			d := int64(dst.Y[(y-1)*w+x+c]) - int64(ref.Y[(ry-1)*w+rx+c])
+			if d < 0 {
+				d = -d
+			}
+			cost += d
+		}
+	}
+	if y+video.MBSize < dst.Height && ry+video.MBSize < ref.Height {
+		for c := 0; c < video.MBSize; c++ {
+			d := int64(dst.Y[(y+video.MBSize)*w+x+c]) - int64(ref.Y[(ry+video.MBSize)*w+rx+c])
+			if d < 0 {
+				d = -d
+			}
+			cost += d
+		}
+	}
+	if x > 0 && rx > 0 {
+		for r := 0; r < video.MBSize; r++ {
+			d := int64(dst.Y[(y+r)*w+x-1]) - int64(ref.Y[(ry+r)*w+rx-1])
+			if d < 0 {
+				d = -d
+			}
+			cost += d
+		}
+	}
+	if x+video.MBSize < dst.Width && rx+video.MBSize < ref.Width {
+		for r := 0; r < video.MBSize; r++ {
+			d := int64(dst.Y[(y+r)*w+x+video.MBSize]) - int64(ref.Y[(ry+r)*w+rx+video.MBSize])
+			if d < 0 {
+				d = -d
+			}
+			cost += d
+		}
+	}
+	return cost
+}

@@ -1,0 +1,182 @@
+package conceal
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"pbpair/internal/video"
+)
+
+// Differential harness: the word-parallel concealment paths must
+// produce byte-identical frames to the scalar *Ref originals for every
+// macroblock position (edge and corner cases select different
+// boundary sides) and any frame contents.
+
+func randConcealFrame(rng *rand.Rand, w, h int, extreme bool) *video.Frame {
+	f := video.NewFrame(w, h)
+	fill := func(p []uint8) {
+		for i := range p {
+			if extreme {
+				p[i] = []byte{0, 1, 127, 128, 254, 255}[rng.Intn(6)]
+			} else {
+				p[i] = byte(rng.Intn(256))
+			}
+		}
+	}
+	fill(f.Y)
+	fill(f.Cb)
+	fill(f.Cr)
+	return f
+}
+
+// flatFrame exercises the tie-heavy case: every candidate has equal
+// boundary cost, so the co-located tie rule decides the winner.
+func flatFrame(w, h int, v uint8) *video.Frame {
+	f := video.NewFrame(w, h)
+	for i := range f.Y {
+		f.Y[i] = v
+	}
+	for i := range f.Cb {
+		f.Cb[i] = v
+		f.Cr[i] = v
+	}
+	return f
+}
+
+func framesEqual(a, b *video.Frame) bool {
+	return bytes.Equal(a.Y, b.Y) && bytes.Equal(a.Cb, b.Cb) && bytes.Equal(a.Cr, b.Cr)
+}
+
+func TestBoundaryCostEquiv(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	w, h := 3*video.MBSize, 3*video.MBSize
+	for iter := 0; iter < 500; iter++ {
+		dst := randConcealFrame(rng, w, h, iter%3 == 0)
+		ref := randConcealFrame(rng, w, h, iter%5 == 0)
+		mbRow, mbCol := rng.Intn(3), rng.Intn(3)
+		x, y := mbCol*video.MBSize, mbRow*video.MBSize
+		dx, dy := rng.Intn(9)-4, rng.Intn(9)-4
+		rx, ry := x+dx, y+dy
+		if rx < 0 || ry < 0 || rx+video.MBSize > w || ry+video.MBSize > h {
+			continue
+		}
+		want := BoundaryCostRef(dst, ref, x, y, rx, ry)
+		got := boundaryCost(dst, ref, x, y, rx, ry, math.MaxInt64)
+		if got != want {
+			t.Fatalf("boundaryCost(mb %d,%d disp %d,%d) = %d, want %d",
+				mbRow, mbCol, dx, dy, got, want)
+		}
+		// With a finite limit the return must stay on the same side of
+		// the limit as the full cost (that is all the search relies on).
+		limit := want - int64(rng.Intn(200)) + 100
+		part := boundaryCost(dst, ref, x, y, rx, ry, limit)
+		if (part >= limit) != (want >= limit) {
+			t.Fatalf("limited boundaryCost(limit=%d) = %d disagrees with full %d",
+				limit, part, want)
+		}
+		if part < limit && part != want {
+			t.Fatalf("non-exited boundaryCost = %d, want exact %d", part, want)
+		}
+	}
+}
+
+func TestConcealEquiv(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	for iter := 0; iter < 200; iter++ {
+		mbs := 2 + rng.Intn(3)
+		w, h := mbs*video.MBSize, mbs*video.MBSize
+		var dst, ref *video.Frame
+		switch iter % 5 {
+		case 0:
+			dst = flatFrame(w, h, byte(rng.Intn(256)))
+			ref = flatFrame(w, h, byte(rng.Intn(256)))
+		case 1:
+			dst = randConcealFrame(rng, w, h, true)
+			ref = dst.Clone() // perfect temporal match
+		default:
+			dst = randConcealFrame(rng, w, h, iter%3 == 0)
+			ref = randConcealFrame(rng, w, h, iter%7 == 0)
+		}
+		if iter%11 == 0 {
+			ref = nil // no-reference fallbacks
+		}
+		mbRow, mbCol := rng.Intn(mbs), rng.Intn(mbs)
+
+		gotS, wantS := dst.Clone(), dst.Clone()
+		Spatial{}.ConcealMB(gotS, ref, mbRow, mbCol)
+		ConcealSpatialRef(wantS, ref, mbRow, mbCol)
+		if !framesEqual(gotS, wantS) {
+			t.Fatalf("Spatial.ConcealMB differs from ref at mb (%d,%d), %dx%d", mbRow, mbCol, w, h)
+		}
+
+		for _, searchRange := range []int{0, 1, 4, 7} {
+			gotB, wantB := dst.Clone(), dst.Clone()
+			BMA{Range: searchRange}.ConcealMB(gotB, ref, mbRow, mbCol)
+			ConcealBMARef(searchRange, wantB, ref, mbRow, mbCol)
+			if !framesEqual(gotB, wantB) {
+				t.Fatalf("BMA{%d}.ConcealMB differs from ref at mb (%d,%d), %dx%d",
+					searchRange, mbRow, mbCol, w, h)
+			}
+		}
+	}
+}
+
+// TestSpatialSingleRowFrame pins the no-top-no-bottom fallback (a
+// one-MB-high frame falls back to Copy).
+func TestSpatialSingleRowFrame(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	dst := randConcealFrame(rng, 2*video.MBSize, video.MBSize, false)
+	ref := randConcealFrame(rng, 2*video.MBSize, video.MBSize, false)
+	got, want := dst.Clone(), dst.Clone()
+	Spatial{}.ConcealMB(got, ref, 0, 1)
+	ConcealSpatialRef(want, ref, 0, 1)
+	if !framesEqual(got, want) {
+		t.Fatal("Spatial fallback differs from ref on single-MB-row frame")
+	}
+}
+
+// FuzzConcealEquiv drives both concealment implementations with
+// fuzz-chosen frame bytes and macroblock positions. Part of `make fuzz`.
+func FuzzConcealEquiv(f *testing.F) {
+	f.Add([]byte{}, uint8(0), uint8(0), 4)
+	f.Add([]byte{0, 255, 1, 254, 128}, uint8(1), uint8(2), 1)
+	f.Add([]byte{7}, uint8(2), uint8(0), 7)
+	f.Fuzz(func(t *testing.T, data []byte, mbRow, mbCol uint8, searchRange int) {
+		if searchRange < -1 || searchRange > 8 {
+			return
+		}
+		const mbs = 3
+		w, h := mbs*video.MBSize, mbs*video.MBSize
+		dst := video.NewFrame(w, h)
+		ref := video.NewFrame(w, h)
+		if len(data) > 0 {
+			for i := range dst.Y {
+				dst.Y[i] = data[i%len(data)]
+				ref.Y[i] = data[(i*3+1)%len(data)]
+			}
+			for i := range dst.Cb {
+				dst.Cb[i] = data[(i*5+2)%len(data)]
+				ref.Cb[i] = data[(i*7+3)%len(data)]
+				dst.Cr[i] = data[(i*11+4)%len(data)]
+				ref.Cr[i] = data[(i*13+5)%len(data)]
+			}
+		}
+		row, col := int(mbRow)%mbs, int(mbCol)%mbs
+
+		gotS, wantS := dst.Clone(), dst.Clone()
+		Spatial{}.ConcealMB(gotS, ref, row, col)
+		ConcealSpatialRef(wantS, ref, row, col)
+		if !framesEqual(gotS, wantS) {
+			t.Fatalf("Spatial differs from ref at mb (%d,%d)", row, col)
+		}
+
+		gotB, wantB := dst.Clone(), dst.Clone()
+		BMA{Range: searchRange}.ConcealMB(gotB, ref, row, col)
+		ConcealBMARef(searchRange, wantB, ref, row, col)
+		if !framesEqual(gotB, wantB) {
+			t.Fatalf("BMA{%d} differs from ref at mb (%d,%d)", searchRange, row, col)
+		}
+	})
+}

@@ -1,0 +1,89 @@
+package conceal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"pbpair/internal/video"
+)
+
+// Benchmark pairs for BENCH_sim.json (make bench-json): the
+// word-parallel concealment kernels against their scalar *Ref
+// originals, on an interior macroblock of a QCIF frame with
+// realistically-correlated content (the reference is the decoded frame
+// shifted by a couple of pixels, so BMA's early exit behaves as it
+// does on real decodes rather than on uncorrelated noise).
+
+func benchConcealFrames() (dst, ref *video.Frame) {
+	rng := rand.New(rand.NewSource(91))
+	dst = video.NewFrame(video.QCIFWidth, video.QCIFHeight)
+	for i := range dst.Y {
+		dst.Y[i] = byte(rng.Intn(256))
+	}
+	for i := range dst.Cb {
+		dst.Cb[i] = byte(rng.Intn(256))
+		dst.Cr[i] = byte(rng.Intn(256))
+	}
+	ref = dst.Clone()
+	// Shift the reference down-right by 2 px with light noise: the
+	// BMA search then has a clear (but not trivial) winner.
+	w := dst.Width
+	for y := dst.Height - 1; y >= 2; y-- {
+		copy(ref.Y[y*w+2:(y+1)*w], dst.Y[(y-2)*w:(y-1)*w-2])
+	}
+	for i := 0; i < len(ref.Y); i += 37 {
+		ref.Y[i] ^= 3
+	}
+	return dst, ref
+}
+
+func BenchmarkBoundaryCost(b *testing.B) {
+	dst, ref := benchConcealFrames()
+	x, y := 4*video.MBSize, 4*video.MBSize
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		boundaryCost(dst, ref, x, y, x+1, y+1, math.MaxInt64)
+	}
+}
+
+func BenchmarkBoundaryCostRef(b *testing.B) {
+	dst, ref := benchConcealFrames()
+	x, y := 4*video.MBSize, 4*video.MBSize
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BoundaryCostRef(dst, ref, x, y, x+1, y+1)
+	}
+}
+
+func BenchmarkConcealBMA(b *testing.B) {
+	dst, ref := benchConcealFrames()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		BMA{}.ConcealMB(dst, ref, 4, 4)
+	}
+}
+
+func BenchmarkConcealBMARef(b *testing.B) {
+	dst, ref := benchConcealFrames()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ConcealBMARef(0, dst, ref, 4, 4)
+	}
+}
+
+func BenchmarkConcealSpatial(b *testing.B) {
+	dst, ref := benchConcealFrames()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Spatial{}.ConcealMB(dst, ref, 4, 4)
+	}
+}
+
+func BenchmarkConcealSpatialRef(b *testing.B) {
+	dst, ref := benchConcealFrames()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ConcealSpatialRef(dst, ref, 4, 4)
+	}
+}

@@ -40,6 +40,10 @@ type ContentConfig struct {
 	// Workers bounds the experiment fan-out across (regime, scheme)
 	// cells: <= 0 selects parallel.DefaultWorkers, 1 runs serially.
 	Workers int
+	// DecoderWorkers sets the per-frame GOB-row reconstruction
+	// goroutines of every simulation's decoder (<= 1 decodes
+	// serially). Output is bit-identical for every value.
+	DecoderWorkers int
 	// Cache, when non-nil, memoizes encodes by content fingerprint.
 	Cache *bitcache.Store
 }
@@ -92,7 +96,7 @@ func ContentTable(cfg ContentConfig) ([]ContentRow, error) {
 	plan := NewPlan(cfg.Workers, cfg.Cache)
 	var names []string
 	for _, regime := range cfg.Regimes {
-		src := synth.New(regime)
+		src := synth.Shared(regime)
 		gridRows, gridCols := mbGrid(src)
 		schemes := []SchemeSpec{
 			SchemeNO(),
@@ -116,8 +120,9 @@ func ContentTable(cfg ContentConfig) ([]ContentRow, error) {
 				return nil, err
 			}
 			plan.Simulate(enc, SimSpec{
-				Name:    fmt.Sprintf("content/%s/%s", src.Name(), scheme.Key()),
-				Channel: channel,
+				Name:           fmt.Sprintf("content/%s/%s", src.Name(), scheme.Key()),
+				Channel:        channel,
+				DecoderWorkers: cfg.DecoderWorkers,
 			})
 			names = append(names, src.Name())
 		}

@@ -36,6 +36,10 @@ type Fig5Config struct {
 	// parallel.DefaultWorkers, 1 runs serially; the result is identical
 	// for every value.
 	Workers int
+	// DecoderWorkers sets the per-frame GOB-row reconstruction
+	// goroutines of every simulation's decoder (<= 1 decodes
+	// serially). Output is bit-identical for every value.
+	DecoderWorkers int
 	// Cache, when non-nil, memoizes encodes (calibration probes
 	// included) by content fingerprint, sharing them across seeds and
 	// repeated calls. Results are identical with or without it.
@@ -161,7 +165,7 @@ func Fig5(cfg Fig5Config) ([]Fig5Row, error) {
 		}
 	}
 	ths, err := parallel.Map(cfg.Workers, len(regimes), func(i int) (float64, error) {
-		src := synth.New(regimes[i])
+		src := synth.Shared(regimes[i])
 		gridRows, gridCols := mbGrid(src)
 		pgopProbe, err := probeBytes(cfg.Cache, probeSpec(regimes[i], SchemePGOP(3, gridCols)))
 		if err != nil {
@@ -187,7 +191,7 @@ func Fig5(cfg Fig5Config) ([]Fig5Row, error) {
 	}
 	var cells []cell
 	for si, regime := range regimes {
-		src := synth.New(regime)
+		src := synth.Shared(regime)
 		gridRows, gridCols := mbGrid(src)
 		th := ths[si]
 		schemes := []struct {
@@ -211,9 +215,10 @@ func Fig5(cfg Fig5Config) ([]Fig5Row, error) {
 				return nil, err
 			}
 			plan.Simulate(enc, SimSpec{
-				Name:    fmt.Sprintf("fig5/%s/%s", src.Name(), sc.spec.Key()),
-				Channel: channel,
-				Profile: cfg.Profile,
+				Name:           fmt.Sprintf("fig5/%s/%s", src.Name(), sc.spec.Key()),
+				Channel:        channel,
+				Profile:        cfg.Profile,
+				DecoderWorkers: cfg.DecoderWorkers,
 			})
 			c := cell{sequence: src.Name()}
 			if sc.intraTh {
@@ -252,6 +257,10 @@ type Fig6Config struct {
 	// Workers bounds the experiment fan-out across the scheme traces.
 	// <= 0 selects parallel.DefaultWorkers, 1 runs serially.
 	Workers int
+	// DecoderWorkers sets the per-frame GOB-row reconstruction
+	// goroutines of every simulation's decoder (<= 1 decodes
+	// serially). Output is bit-identical for every value.
+	DecoderWorkers int
 	// Cache, when non-nil, memoizes encodes by content fingerprint.
 	Cache *bitcache.Store
 }
@@ -292,7 +301,7 @@ type Fig6Series struct {
 // structural form of "the encoder never sees the channel".
 func Fig6(cfg Fig6Config) ([]Fig6Series, error) {
 	cfg = cfg.WithDefaults()
-	src := synth.New(synth.RegimeForeman)
+	src := synth.Shared(synth.RegimeForeman)
 	gridRows, gridCols := mbGrid(src)
 	const plr = 0.10 // PBPAIR's assumed network estimate
 
@@ -336,8 +345,12 @@ func Fig6(cfg Fig6Config) ([]Fig6Series, error) {
 			QP: cfg.QP, SearchRange: cfg.SearchRange,
 			Scheme: c.spec,
 		})
-		plan.Simulate(enc, SimSpec{Name: "fig6-clean"})
-		plan.Simulate(enc, SimSpec{Name: "fig6-lossy", Channel: network.NewSchedule(cfg.LossEvents...)})
+		plan.Simulate(enc, SimSpec{Name: "fig6-clean", DecoderWorkers: cfg.DecoderWorkers})
+		plan.Simulate(enc, SimSpec{
+			Name:           "fig6-lossy",
+			Channel:        network.NewSchedule(cfg.LossEvents...),
+			DecoderWorkers: cfg.DecoderWorkers,
+		})
 	}
 	runs, err := plan.Run()
 	if err != nil {
@@ -376,6 +389,10 @@ type SweepConfig struct {
 	// slice — and any CSV rendered from it — is byte-identical for
 	// every worker count.
 	Workers int
+	// DecoderWorkers sets the per-frame GOB-row reconstruction
+	// goroutines of every simulation's decoder (<= 1 decodes
+	// serially). Output is bit-identical for every value.
+	DecoderWorkers int
 	// Cache, when non-nil, memoizes encodes by content fingerprint.
 	// PBPAIR's planner depends on both Intra_Th and PLR, so every grid
 	// cell is a distinct encode within one sweep; the cache pays off
@@ -426,7 +443,7 @@ type SweepPoint struct {
 // serial nested loops exactly.
 func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
 	cfg = cfg.WithDefaults()
-	src := synth.New(cfg.Regime)
+	src := synth.Shared(cfg.Regime)
 	gridRows, gridCols := mbGrid(src)
 
 	plan := NewPlan(cfg.Workers, cfg.Cache)
@@ -448,9 +465,10 @@ func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
 				channel = uniform
 			}
 			plan.Simulate(enc, SimSpec{
-				Name:    fmt.Sprintf("sweep/th%.2f/plr%.2f", th, plr),
-				Channel: channel,
-				Profile: cfg.Profile,
+				Name:           fmt.Sprintf("sweep/th%.2f/plr%.2f", th, plr),
+				Channel:        channel,
+				Profile:        cfg.Profile,
+				DecoderWorkers: cfg.DecoderWorkers,
 			})
 			points = append(points, point{th: th, plr: plr})
 		}

@@ -106,7 +106,8 @@ func (s EncodeSpec) validate() error {
 	return nil
 }
 
-// encode runs the spec: fresh source, fresh planner, full encode.
+// encode runs the spec: shared (memoised) source, fresh planner, full
+// encode.
 func (s EncodeSpec) encode() (*codec.EncodedSequence, error) {
 	s = s.withDefaults()
 	if err := s.validate(); err != nil {
@@ -116,7 +117,7 @@ func (s EncodeSpec) encode() (*codec.EncodedSequence, error) {
 	if err != nil {
 		return nil, err
 	}
-	src := synth.New(s.Regime)
+	src := synth.Shared(s.Regime)
 	width, height := src.Dims()
 	cfg := s.codecConfig(width, height)
 	cfg.Planner = planner
@@ -191,6 +192,14 @@ type SimSpec struct {
 	// BadPixelThreshold for the bad-pixel metric (default
 	// metrics.DefaultBadPixelThreshold).
 	BadPixelThreshold int
+	// DecoderWorkers sets how many goroutines reconstruct GOB rows of
+	// each decoded frame (codec.WithDecoderWorkers). <= 1 decodes
+	// serially; the decoded frames are bit-identical for every value.
+	DecoderWorkers int
+	// KeepFrames retains a clone of every decoded frame in the result
+	// (memory-heavy; off by default). Equivalent to passing the
+	// KeepFrames option, but usable through Plan.Simulate.
+	KeepFrames bool
 }
 
 // Simulate transmits an encoded sequence over the spec's channel and
@@ -216,6 +225,9 @@ func Simulate(seq *codec.EncodedSequence, src synth.Source, sim SimSpec, opts ..
 	if sim.Concealer != nil {
 		decOpts = append(decOpts, codec.WithConcealer(sim.Concealer))
 	}
+	if sim.DecoderWorkers > 1 {
+		decOpts = append(decOpts, codec.WithDecoderWorkers(sim.DecoderWorkers))
+	}
 	dec, err := codec.NewDecoder(seq.Width, seq.Height, decOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("experiment: simulate %q: %w", sim.Name, err)
@@ -231,8 +243,9 @@ func Simulate(seq *codec.EncodedSequence, src synth.Source, sim SimSpec, opts ..
 		profile = energy.IPAQ
 	}
 
+	keep := r.keep || sim.KeepFrames
 	frames := len(seq.Frames)
-	res := &Result{Name: sim.Name, Scheme: seq.Scheme, Frames: frames, keepFrames: r.keep}
+	res := &Result{Name: sim.Name, Scheme: seq.Scheme, Frames: frames, keepFrames: keep}
 
 	// Frames are processed in blocks: one frame at a time normally, or
 	// FECGroup frames per block when FEC is on (the receiver buffers a
@@ -301,19 +314,18 @@ func Simulate(seq *codec.EncodedSequence, src synth.Source, sim SimSpec, opts ..
 			}
 			res.ConcealedMBs += decoded.ConcealedMBs
 
-			psnr, err := metrics.PSNR(original, decoded.Frame)
+			// One fused traversal for PSNR and bad pixels; the values are
+			// identical to the separate metrics.PSNR / metrics.BadPixels
+			// calls (pinned by TestMetricsEquiv).
+			st, err := metrics.Stats(original, decoded.Frame, sim.BadPixelThreshold)
 			if err != nil {
-				return nil, fmt.Errorf("experiment: simulate %q frame %d PSNR: %w", sim.Name, f, err)
+				return nil, fmt.Errorf("experiment: simulate %q frame %d metrics: %w", sim.Name, f, err)
 			}
-			res.PSNR.Add(psnr)
-			bad, err := metrics.BadPixels(original, decoded.Frame, sim.BadPixelThreshold)
-			if err != nil {
-				return nil, fmt.Errorf("experiment: simulate %q frame %d bad pixels: %w", sim.Name, f, err)
-			}
-			res.BadPixels.Add(float64(bad))
-			res.TotalBadPix += bad
+			res.PSNR.Add(st.PSNR())
+			res.BadPixels.Add(float64(st.Bad))
+			res.TotalBadPix += st.Bad
 
-			if r.keep {
+			if keep {
 				res.DecodedFrames = append(res.DecodedFrames, decoded.Frame.Clone())
 			}
 		}
@@ -373,7 +385,7 @@ func (p *Plan) Encode(spec EncodeSpec) int {
 	i := len(p.encodes)
 	p.byKey[key] = i
 	p.encodes = append(p.encodes, planEncode{
-		src: synth.New(spec.Regime),
+		src: synth.Shared(spec.Regime),
 		run: func() (*codec.EncodedSequence, error) { return Encode(p.cache, spec) },
 	})
 	return i

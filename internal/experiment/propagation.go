@@ -58,7 +58,7 @@ func Propagation(cfg PropagationConfig) (*PropagationResult, error) {
 	if cfg.Event >= cfg.Frames {
 		return nil, fmt.Errorf("experiment: loss event %d outside the %d-frame window", cfg.Event, cfg.Frames)
 	}
-	src := synth.New(cfg.Regime)
+	src := synth.Shared(cfg.Regime)
 
 	// One encode, two simulations: the clean and lossy traces come from
 	// the same bitstream, which is exactly the paper's premise (the

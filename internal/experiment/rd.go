@@ -62,7 +62,7 @@ func RDCurve(cfg RDConfig) ([]RDPoint, error) {
 	if len(cfg.QPs) == 0 {
 		cfg.QPs = []int{2, 4, 8, 12, 16, 24, 31}
 	}
-	src := synth.New(cfg.Regime)
+	src := synth.Shared(cfg.Regime)
 	plan := NewPlan(cfg.Workers, cfg.Cache)
 	for _, qp := range cfg.QPs {
 		var enc int

@@ -1,0 +1,144 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"pbpair/internal/video"
+)
+
+// Differential harness: the word-parallel metrics must be bit-exact
+// with the scalar *Ref originals — identical floats (not approximately
+// equal; the kernels reorder only non-negative integer additions) and
+// identical counts, for any frame contents and any threshold.
+
+func randFrame(rng *rand.Rand, w, h int, extreme bool) *video.Frame {
+	f := video.NewFrame(w, h)
+	for i := range f.Y {
+		if extreme {
+			f.Y[i] = []byte{0, 1, 127, 128, 254, 255}[rng.Intn(6)]
+		} else {
+			f.Y[i] = byte(rng.Intn(256))
+		}
+	}
+	return f
+}
+
+// nearCopy clones f and perturbs a few pixels, so the mse==0 and
+// tiny-difference paths are exercised.
+func nearCopy(rng *rand.Rand, f *video.Frame) *video.Frame {
+	g := f.Clone()
+	for k := rng.Intn(8); k > 0; k-- {
+		g.Y[rng.Intn(len(g.Y))] ^= byte(1 << rng.Intn(8))
+	}
+	return g
+}
+
+func checkEquiv(t *testing.T, ref, rec *video.Frame, threshold int) {
+	t.Helper()
+	mse, err1 := MSE(ref, rec)
+	mseRef, err2 := MSERef(ref, rec)
+	if (err1 == nil) != (err2 == nil) || mse != mseRef {
+		t.Fatalf("MSE = %v (err %v), MSERef = %v (err %v)", mse, err1, mseRef, err2)
+	}
+	psnr, _ := PSNR(ref, rec)
+	psnrRef, _ := PSNRRef(ref, rec)
+	if psnr != psnrRef {
+		t.Fatalf("PSNR = %v, PSNRRef = %v", psnr, psnrRef)
+	}
+	bad, _ := BadPixels(ref, rec, threshold)
+	badRef, _ := BadPixelsRef(ref, rec, threshold)
+	if bad != badRef {
+		t.Fatalf("BadPixels(th=%d) = %d, BadPixelsRef = %d", threshold, bad, badRef)
+	}
+	st, err := Stats(ref, rec, threshold)
+	if err != nil {
+		t.Fatalf("Stats: %v", err)
+	}
+	if st.Pixels != len(ref.Y) || st.MSE() != mseRef || st.PSNR() != psnrRef || st.Bad != badRef {
+		t.Fatalf("Stats(th=%d) = %+v (MSE %v, PSNR %v), want MSE %v PSNR %v Bad %d",
+			threshold, st, st.MSE(), st.PSNR(), mseRef, psnrRef, badRef)
+	}
+}
+
+func TestMetricsEquiv(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	thresholds := []int{-1, 0, 1, 19, 20, 21, 127, 253, 254, 255, 1000}
+	for iter := 0; iter < 300; iter++ {
+		w := (1 + rng.Intn(4)) * video.MBSize
+		h := (1 + rng.Intn(4)) * video.MBSize
+		a := randFrame(rng, w, h, iter%3 == 0)
+		var b *video.Frame
+		switch iter % 4 {
+		case 0:
+			b = a.Clone() // identical: MSE 0, PSNR MaxPSNR
+		case 1:
+			b = nearCopy(rng, a)
+		default:
+			b = randFrame(rng, w, h, iter%5 == 0)
+		}
+		checkEquiv(t, a, b, thresholds[iter%len(thresholds)])
+	}
+}
+
+func TestMetricsDimensionMismatch(t *testing.T) {
+	a := video.NewFrame(16, 16)
+	b := video.NewFrame(32, 16)
+	if _, err := MSE(a, b); err == nil {
+		t.Error("MSE: want dimension error")
+	}
+	if _, err := PSNR(a, b); err == nil {
+		t.Error("PSNR: want dimension error")
+	}
+	if _, err := BadPixels(a, b, 0); err == nil {
+		t.Error("BadPixels: want dimension error")
+	}
+	if _, err := Stats(a, b, 0); err == nil {
+		t.Error("Stats: want dimension error")
+	}
+}
+
+// FuzzMetricsEquiv feeds arbitrary plane bytes and thresholds through
+// both implementations. Part of `make fuzz`.
+func FuzzMetricsEquiv(f *testing.F) {
+	f.Add([]byte{}, 0)
+	f.Add([]byte{0, 255, 128, 20, 21}, 20)
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8}, 255)
+	f.Fuzz(func(t *testing.T, data []byte, threshold int) {
+		if threshold < -1000 || threshold > 1000 {
+			return
+		}
+		w, h := video.MBSize, video.MBSize
+		if len(data) > 256 {
+			w = 2 * video.MBSize
+		}
+		a := video.NewFrame(w, h)
+		b := video.NewFrame(w, h)
+		for i := range a.Y {
+			if len(data) > 0 {
+				a.Y[i] = data[i%len(data)]
+				b.Y[i] = data[(i*7+3)%len(data)]
+			}
+		}
+		mse, _ := MSE(a, b)
+		mseRef, _ := MSERef(a, b)
+		if mse != mseRef {
+			t.Fatalf("MSE = %v, MSERef = %v", mse, mseRef)
+		}
+		psnr, _ := PSNR(a, b)
+		psnrRef, _ := PSNRRef(a, b)
+		if psnr != psnrRef {
+			t.Fatalf("PSNR = %v, PSNRRef = %v", psnr, psnrRef)
+		}
+		bad, _ := BadPixels(a, b, threshold)
+		badRef, _ := BadPixelsRef(a, b, threshold)
+		if bad != badRef {
+			t.Fatalf("BadPixels(th=%d) = %d, BadPixelsRef = %d", threshold, bad, badRef)
+		}
+		st, _ := Stats(a, b, threshold)
+		if st.MSE() != mseRef || st.PSNR() != psnrRef || st.Bad != badRef {
+			t.Fatalf("Stats(th=%d) = %+v, want MSE %v PSNR %v Bad %d",
+				threshold, st, mseRef, psnrRef, badRef)
+		}
+	})
+}

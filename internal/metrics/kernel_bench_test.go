@@ -1,0 +1,73 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+
+	"pbpair/internal/video"
+)
+
+// Benchmark pairs for BENCH_sim.json (make bench-json): each fast
+// kernel against its scalar *Ref original over a QCIF luma plane —
+// the frame size every experiment in the paper reproduction uses.
+
+func benchFrames() (*video.Frame, *video.Frame) {
+	rng := rand.New(rand.NewSource(71))
+	a := video.NewFrame(video.QCIFWidth, video.QCIFHeight)
+	b := video.NewFrame(video.QCIFWidth, video.QCIFHeight)
+	for i := range a.Y {
+		a.Y[i] = byte(rng.Intn(256))
+		// Mostly-similar reconstruction: realistic decode output, keeps
+		// the bad-pixel branch in the scalar loop unpredictable.
+		b.Y[i] = a.Y[i]
+		if rng.Intn(4) == 0 {
+			b.Y[i] = byte(rng.Intn(256))
+		}
+	}
+	return a, b
+}
+
+func BenchmarkBadPixels(b *testing.B) {
+	ref, rec := benchFrames()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BadPixels(ref, rec, DefaultBadPixelThreshold); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBadPixelsRef(b *testing.B) {
+	ref, rec := benchFrames()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := BadPixelsRef(ref, rec, DefaultBadPixelThreshold); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFrameStats(b *testing.B) {
+	ref, rec := benchFrames()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Stats(ref, rec, DefaultBadPixelThreshold); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrameStatsRef is the scalar equivalent of one simulate-loop
+// metrics step: the separate MSE and bad-pixel passes Stats fused.
+func BenchmarkFrameStatsRef(b *testing.B) {
+	ref, rec := benchFrames()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := PSNRRef(ref, rec); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := BadPixelsRef(ref, rec, DefaultBadPixelThreshold); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

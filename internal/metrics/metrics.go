@@ -3,12 +3,22 @@
 // and the bad-pixel count, which the authors argue is a better error-
 // resiliency metric because it counts perceptually broken pixels
 // instead of averaging their reconstruction error.
+//
+// The hot kernels are word-parallel (internal/swar): the luma planes
+// are traversed 16 bytes at a time and the squared-error sum and the
+// bad-pixel count come out of one shared set of |a−b| lane words
+// (Stats). The scalar originals are kept as exported *Ref functions in
+// metrics_ref.go; TestMetricsEquiv / FuzzMetricsEquiv pin bit-exact
+// equivalence. The integer accumulators only reorder non-negative
+// additions, so MSE/PSNR float results are identical to the reference,
+// not merely close.
 package metrics
 
 import (
 	"fmt"
 	"math"
 
+	"pbpair/internal/swar"
 	"pbpair/internal/video"
 )
 
@@ -23,8 +33,64 @@ const DefaultBadPixelThreshold = 20
 // unbounded. 99.99 dB is the customary sentinel in codec tooling.
 const MaxPSNR = 99.99
 
+// FrameStats carries everything the simulate loop needs about one
+// decoded frame versus its original, gathered in a single traversal of
+// the luma planes: the squared-error sum feeding MSE/PSNR and the
+// bad-pixel count. Pixels is the luma sample count (the MSE divisor).
+type FrameStats struct {
+	SSD    uint64 // Σ(ref−rec)² over luma
+	Pixels int    // luma samples compared
+	Bad    int    // luma samples with |ref−rec| > threshold
+}
+
+// MSE returns the mean squared error the stats represent — identical
+// to the float the two-argument MSE function returns.
+func (s FrameStats) MSE() float64 { return float64(s.SSD) / float64(s.Pixels) }
+
+// PSNR derives the PSNR in decibels from the stats, with the same
+// MaxPSNR saturation as the two-argument PSNR function.
+func (s FrameStats) PSNR() float64 {
+	if s.SSD == 0 {
+		return MaxPSNR
+	}
+	psnr := 10 * math.Log10(255*255/s.MSE())
+	if psnr > MaxPSNR {
+		psnr = MaxPSNR
+	}
+	return psnr
+}
+
+// Stats computes FrameStats between a reference frame and a
+// reconstruction in one pass over the luma planes. A threshold <= 0
+// selects DefaultBadPixelThreshold. Bit-exact with running MSERef and
+// BadPixelsRef separately (TestMetricsEquiv).
+func Stats(ref, rec *video.Frame, threshold int) (FrameStats, error) {
+	if ref.Width != rec.Width || ref.Height != rec.Height {
+		return FrameStats{}, fmt.Errorf("metrics: Stats between %dx%d and %dx%d frames",
+			ref.Width, ref.Height, rec.Width, rec.Height)
+	}
+	if threshold <= 0 {
+		threshold = DefaultBadPixelThreshold
+	}
+	st := FrameStats{Pixels: len(ref.Y)}
+	if threshold > 254 {
+		// No byte difference can exceed a threshold ≥ 255; SSD only.
+		st.SSD = swar.SqDiffSum(ref.Y, rec.Y)
+	} else {
+		st.SSD, st.Bad = swar.SSDCount(ref.Y, rec.Y, threshold)
+	}
+	return st, nil
+}
+
 // MSE returns the mean squared error between the luma planes of a and
 // b. The frames must have identical dimensions.
+//
+// The loop stays scalar on purpose: a pure squared-difference pass has
+// one multiply per pixel either way, and the SWAR lane extraction it
+// would need measured slightly slower than this loop on the target
+// (the scalar form runs superscalar). The word-parallel win for the
+// simulate loop is Stats, which shares one traversal — and one set of
+// |a−b| lanes — between the SSD and the bad-pixel count.
 func MSE(a, b *video.Frame) (float64, error) {
 	if a.Width != b.Width || a.Height != b.Height {
 		return 0, fmt.Errorf("metrics: MSE between %dx%d and %dx%d frames",
@@ -40,7 +106,7 @@ func MSE(a, b *video.Frame) (float64, error) {
 
 // PSNR returns the luma peak signal-to-noise ratio in decibels between
 // a reference frame and a reconstruction. Identical frames yield
-// MaxPSNR.
+// MaxPSNR. For the combined PSNR + bad-pixel traversal use Stats.
 func PSNR(ref, rec *video.Frame) (float64, error) {
 	mse, err := MSE(ref, rec)
 	if err != nil {
@@ -58,7 +124,8 @@ func PSNR(ref, rec *video.Frame) (float64, error) {
 
 // BadPixels returns the number of luma pixels whose absolute
 // difference from the reference exceeds threshold. A threshold <= 0
-// selects DefaultBadPixelThreshold.
+// selects DefaultBadPixelThreshold. Word-parallel; bit-exact with
+// BadPixelsRef.
 func BadPixels(ref, rec *video.Frame, threshold int) (int, error) {
 	if ref.Width != rec.Width || ref.Height != rec.Height {
 		return 0, fmt.Errorf("metrics: BadPixels between %dx%d and %dx%d frames",
@@ -67,17 +134,10 @@ func BadPixels(ref, rec *video.Frame, threshold int) (int, error) {
 	if threshold <= 0 {
 		threshold = DefaultBadPixelThreshold
 	}
-	count := 0
-	for i := range ref.Y {
-		d := int(ref.Y[i]) - int(rec.Y[i])
-		if d < 0 {
-			d = -d
-		}
-		if d > threshold {
-			count++
-		}
+	if threshold > 254 {
+		return 0, nil // |a−b| ≤ 255 can never exceed a threshold ≥ 255
 	}
-	return count, nil
+	return swar.CountGT(ref.Y, rec.Y, threshold), nil
 }
 
 // Series accumulates a per-frame metric and reports aggregate

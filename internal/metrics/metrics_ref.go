@@ -1,0 +1,69 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"pbpair/internal/video"
+)
+
+// Scalar reference metrics — the per-pixel loops that define the
+// semantics the word-parallel kernels (Stats, BadPixels) must
+// reproduce bit-exactly. They are kept exported (not test-only) so the
+// differential tests, the fuzz target and the benchmark pairs always
+// compare against the exact originals. MSE/PSNR themselves stay
+// scalar by measurement (see the MSE comment), so their refs double as
+// a pin on the shipping code. Any change to the fast kernels must keep
+// TestMetricsEquiv / FuzzMetricsEquiv passing against these.
+
+// MSERef is the scalar original of MSE.
+func MSERef(a, b *video.Frame) (float64, error) {
+	if a.Width != b.Width || a.Height != b.Height {
+		return 0, fmt.Errorf("metrics: MSE between %dx%d and %dx%d frames",
+			a.Width, a.Height, b.Width, b.Height)
+	}
+	var sum uint64
+	for i := range a.Y {
+		d := int64(a.Y[i]) - int64(b.Y[i])
+		sum += uint64(d * d)
+	}
+	return float64(sum) / float64(len(a.Y)), nil
+}
+
+// PSNRRef is the scalar original of PSNR.
+func PSNRRef(ref, rec *video.Frame) (float64, error) {
+	mse, err := MSERef(ref, rec)
+	if err != nil {
+		return 0, err
+	}
+	if mse == 0 {
+		return MaxPSNR, nil
+	}
+	psnr := 10 * math.Log10(255*255/mse)
+	if psnr > MaxPSNR {
+		psnr = MaxPSNR
+	}
+	return psnr, nil
+}
+
+// BadPixelsRef is the scalar original of BadPixels.
+func BadPixelsRef(ref, rec *video.Frame, threshold int) (int, error) {
+	if ref.Width != rec.Width || ref.Height != rec.Height {
+		return 0, fmt.Errorf("metrics: BadPixels between %dx%d and %dx%d frames",
+			ref.Width, ref.Height, rec.Width, rec.Height)
+	}
+	if threshold <= 0 {
+		threshold = DefaultBadPixelThreshold
+	}
+	count := 0
+	for i := range ref.Y {
+		d := int(ref.Y[i]) - int(rec.Y[i])
+		if d < 0 {
+			d = -d
+		}
+		if d > threshold {
+			count++
+		}
+	}
+	return count, nil
+}

@@ -3,6 +3,7 @@ package motion
 import (
 	"encoding/binary"
 
+	"pbpair/internal/swar"
 	"pbpair/internal/video"
 )
 
@@ -46,9 +47,9 @@ func floorDiv2(v int) int {
 
 // interpRow writes n interpolated bytes (n a multiple of 8) into dst
 // from the reference plane at half-pel row position (2·x0+fx,
-// 2·(y0)+fy), 8 pixels per step via the SWAR averagers in swar.go.
-// Bit-exact with per-pixel interpPixel (halfpel_ref.go): avgRound8 is
-// the byte-lane identity for (a+b+1)/2 and quadAvg8 widens to 16-bit
+// 2·(y0)+fy), 8 pixels per step via the averagers in internal/swar.
+// Bit-exact with per-pixel interpPixel (halfpel_ref.go): AvgRound8 is
+// the byte-lane identity for (a+b+1)/2 and QuadAvg8 widens to 16-bit
 // lanes for (a+b+c+d+2)/4. Callers guarantee the (n+fx)×(1+fy)
 // footprint lies inside the plane.
 func interpRow(dst []byte, ref []uint8, stride, x0, y0, fx, fy, n int) {
@@ -60,14 +61,14 @@ func interpRow(dst []byte, ref []uint8, stride, x0, y0, fx, fy, n int) {
 		for i := 0; i < n; i += 8 {
 			a := binary.LittleEndian.Uint64(row0[i : i+8])
 			b := binary.LittleEndian.Uint64(row0[i+1 : i+9])
-			binary.LittleEndian.PutUint64(dst[i:i+8], avgRound8(a, b))
+			binary.LittleEndian.PutUint64(dst[i:i+8], swar.AvgRound8(a, b))
 		}
 	case fx == 0 && fy == 1:
 		row1 := ref[(y0+1)*stride+x0:]
 		for i := 0; i < n; i += 8 {
 			a := binary.LittleEndian.Uint64(row0[i : i+8])
 			c := binary.LittleEndian.Uint64(row1[i : i+8])
-			binary.LittleEndian.PutUint64(dst[i:i+8], avgRound8(a, c))
+			binary.LittleEndian.PutUint64(dst[i:i+8], swar.AvgRound8(a, c))
 		}
 	default:
 		row1 := ref[(y0+1)*stride+x0:]
@@ -76,7 +77,7 @@ func interpRow(dst []byte, ref []uint8, stride, x0, y0, fx, fy, n int) {
 			b := binary.LittleEndian.Uint64(row0[i+1 : i+9])
 			c := binary.LittleEndian.Uint64(row1[i : i+8])
 			d := binary.LittleEndian.Uint64(row1[i+1 : i+9])
-			binary.LittleEndian.PutUint64(dst[i:i+8], quadAvg8(a, b, c, d))
+			binary.LittleEndian.PutUint64(dst[i:i+8], swar.QuadAvg8(a, b, c, d))
 		}
 	}
 }
@@ -110,7 +111,7 @@ func SAD16Half(cur, ref *video.Frame, cx, cy int, hv HalfVector, limit int32, st
 	co := cy*cw + cx
 	for r := 0; r < video.MBSize; r++ {
 		interpRow(buf[:], ref.Y, rw, x0, y0+r, fx, fy, video.MBSize)
-		sum += sadRow16(cur.Y[co:co+video.MBSize], buf[:])
+		sum += swar.SADRow16(cur.Y[co:co+video.MBSize], buf[:])
 		co += cw
 		if stats != nil {
 			stats.PixelOps += video.MBSize * halfPelOpsPerPixel

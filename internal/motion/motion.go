@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"math"
 
+	"pbpair/internal/swar"
 	"pbpair/internal/video"
 )
 
@@ -64,7 +65,7 @@ func (s *Stats) Add(other Stats) {
 // disable), returning a value > limit. Callers guarantee both blocks
 // lie inside their frames.
 //
-// The implementation is SWAR (see swar.go): each row is two uint64
+// The implementation is SWAR (see internal/swar): each row is two uint64
 // loads and branch-free 8-lane arithmetic. It is bit-exact with
 // SAD16Ref — identical return values (including early-exit partial
 // sums, which are checked at the same row boundaries) and identical
@@ -78,7 +79,7 @@ func SAD16(cur, ref *video.Frame, cx, cy, rx, ry int, limit int32, stats *Stats)
 	co := cy*cw + cx
 	po := ry*rw + rx
 	for r := 0; r < video.MBSize; r++ {
-		sum += sadRow16(cur.Y[co:co+video.MBSize], ref.Y[po:po+video.MBSize])
+		sum += swar.SADRow16(cur.Y[co:co+video.MBSize], ref.Y[po:po+video.MBSize])
 		co += cw
 		po += rw
 		if stats != nil {
@@ -108,15 +109,15 @@ func SADSelf(cur *video.Frame, cx, cy int, stats *Stats) int32 {
 	var sum int32
 	off := cy*w + cx
 	for r := 0; r < video.MBSize; r++ {
-		sum += sumRow16(cur.Y[off : off+video.MBSize])
+		sum += swar.SumRow16(cur.Y[off : off+video.MBSize])
 		off += w
 	}
 	mean := (sum + video.MBSize*video.MBSize/2) / (video.MBSize * video.MBSize)
-	meanLanes := uint64(mean) * laneOnes
+	meanLanes := uint64(mean) * swar.LaneOnes
 	var dev int32
 	off = cy*w + cx
 	for r := 0; r < video.MBSize; r++ {
-		dev += sadRow16Const(cur.Y[off:off+video.MBSize], meanLanes)
+		dev += swar.SADRow16Const(cur.Y[off:off+video.MBSize], meanLanes)
 		off += w
 	}
 	return dev

@@ -1,0 +1,27 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Mux builds the observability HTTP mux: the registry's JSON snapshot
+// at /metrics and, when withPprof is set, the standard runtime
+// profiling handlers under /debug/pprof/ (CPU, heap, goroutine, trace
+// — everything `go tool pprof` consumes). Profiling is opt-in because
+// the endpoint exposes process internals and a CPU profile costs real
+// cycles; the serving binary gates it behind its -pprof flag.
+func Mux(reg *Registry, withPprof bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg)
+	if withPprof {
+		// net/http/pprof self-registers on DefaultServeMux, which this
+		// server never serves; mount its handlers here explicitly.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestMuxPprofSmoke pins the profiling endpoint's wiring: with pprof
+// enabled the index page responds at /debug/pprof/ alongside /metrics;
+// without it the path 404s (profiling stays opt-in).
+func TestMuxPprofSmoke(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("smoke.hits").Add(3)
+
+	srv := httptest.NewServer(Mux(reg, true))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("GET /debug/pprof/ = %d, want 200", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "goroutine") {
+		t.Fatalf("pprof index does not list profiles: %q", body)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "smoke.hits") {
+		t.Fatalf("GET /metrics = %d %q, want the registry snapshot", resp.StatusCode, body)
+	}
+
+	plain := httptest.NewServer(Mux(reg, false))
+	defer plain.Close()
+	resp, err = plain.Client().Get(plain.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 404 {
+		t.Fatalf("GET /debug/pprof/ without -pprof = %d, want 404", resp.StatusCode)
+	}
+}

@@ -1,0 +1,147 @@
+package swar
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// scalar references for the packed primitives, used only by these
+// property tests (the package-level consumers keep their own *Ref
+// originals next to the kernels they replaced).
+
+func sadRef(a, b []byte) int32 {
+	var s int32
+	for i := 0; i < 16; i++ {
+		d := int32(a[i]) - int32(b[i])
+		if d < 0 {
+			d = -d
+		}
+		s += d
+	}
+	return s
+}
+
+func randRow(rng *rand.Rand, extreme bool) []byte {
+	row := make([]byte, 17) // one spare byte for the n+1 half-pel loads
+	for i := range row {
+		if extreme {
+			row[i] = []byte{0, 1, 127, 128, 254, 255}[rng.Intn(6)]
+		} else {
+			row[i] = byte(rng.Intn(256))
+		}
+	}
+	return row
+}
+
+func TestRowKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for iter := 0; iter < 20000; iter++ {
+		a := randRow(rng, iter%3 == 0)
+		b := randRow(rng, iter%5 == 0)
+
+		if got, want := SADRow16(a, b), sadRef(a, b); got != want {
+			t.Fatalf("SADRow16(%v, %v) = %d, want %d", a, b, got, want)
+		}
+
+		m := byte(rng.Intn(256))
+		mRow := make([]byte, 16)
+		for i := range mRow {
+			mRow[i] = m
+		}
+		if got, want := SADRow16Const(a, uint64(m)*LaneOnes), sadRef(a, mRow); got != want {
+			t.Fatalf("SADRow16Const(%v, %d) = %d, want %d", a, m, got, want)
+		}
+
+		var sum int32
+		for i := 0; i < 16; i++ {
+			sum += int32(a[i])
+		}
+		if got := SumRow16(a); got != sum {
+			t.Fatalf("SumRow16(%v) = %d, want %d", a, got, sum)
+		}
+
+		var ssd uint64
+		for i := 0; i < 16; i++ {
+			d := int64(a[i]) - int64(b[i])
+			ssd += uint64(d * d)
+		}
+		if got := SqDiffSumRow16(a, b); got != ssd {
+			t.Fatalf("SqDiffSumRow16(%v, %v) = %d, want %d", a, b, got, ssd)
+		}
+
+		th := rng.Intn(255)
+		var cnt int32
+		for i := 0; i < 16; i++ {
+			d := int32(a[i]) - int32(b[i])
+			if d < 0 {
+				d = -d
+			}
+			if d > int32(th) {
+				cnt++
+			}
+		}
+		bias := GTBias(th)
+		if got := CountGTRow16(a, b, bias); got != cnt {
+			t.Fatalf("CountGTRow16(%v, %v, th=%d) = %d, want %d", a, b, th, got, cnt)
+		}
+		gotSSD, gotCnt := SSDCountRow16(a, b, bias)
+		if gotSSD != ssd || gotCnt != cnt {
+			t.Fatalf("SSDCountRow16(%v, %v, th=%d) = (%d, %d), want (%d, %d)",
+				a, b, th, gotSSD, gotCnt, ssd, cnt)
+		}
+	}
+}
+
+func TestAveragers(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	pack := func(b []byte) uint64 {
+		var v uint64
+		for i := 7; i >= 0; i-- {
+			v = v<<8 | uint64(b[i])
+		}
+		return v
+	}
+	unpack := func(v uint64, b []byte) {
+		for i := 0; i < 8; i++ {
+			b[i] = byte(v >> (8 * i))
+		}
+	}
+	got := make([]byte, 8)
+	for iter := 0; iter < 20000; iter++ {
+		a := randRow(rng, iter%3 == 0)[:8]
+		b := randRow(rng, iter%5 == 0)[:8]
+		c := randRow(rng, iter%7 == 0)[:8]
+		d := randRow(rng, iter%2 == 0)[:8]
+
+		unpack(AvgRound8(pack(a), pack(b)), got)
+		for i := 0; i < 8; i++ {
+			if want := byte((int(a[i]) + int(b[i]) + 1) >> 1); got[i] != want {
+				t.Fatalf("AvgRound8 byte %d: a=%d b=%d got %d want %d", i, a[i], b[i], got[i], want)
+			}
+		}
+
+		unpack(QuadAvg8(pack(a), pack(b), pack(c), pack(d)), got)
+		for i := 0; i < 8; i++ {
+			want := byte((int(a[i]) + int(b[i]) + int(c[i]) + int(d[i]) + 2) >> 2)
+			if got[i] != want {
+				t.Fatalf("QuadAvg8 byte %d: got %d want %d", i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestAbsDiff4Exhaustive(t *testing.T) {
+	// One lane over the full [0,255]² domain proves every lane (they are
+	// independent by construction).
+	for a := 0; a < 256; a++ {
+		for b := 0; b < 256; b++ {
+			want := a - b
+			if want < 0 {
+				want = -want
+			}
+			if got := AbsDiff4(uint64(a), uint64(b)); got != uint64(want) {
+				t.Fatalf("AbsDiff4(%d, %d) = %d, want %d", a, b, got, want)
+			}
+		}
+	}
+}

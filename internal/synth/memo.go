@@ -1,0 +1,81 @@
+package synth
+
+import (
+	"sync"
+
+	"pbpair/internal/video"
+)
+
+// Frame memoisation. Rendering a synthetic frame is fractal-noise
+// sampling over every pixel — by far the most expensive step of a
+// cached experiment run, and one that repeats identically across the
+// (scheme, loss-rate, seed) grid cells that share a source. A memo
+// renders each frame index once and serves copies afterwards.
+
+// memoSource wraps a Source with a per-index frame cache. It
+// preserves the Source contract (every Frame call returns a frame the
+// caller may mutate) by cloning out of the cache: a clone is a flat
+// ~38 KB copy, two orders of magnitude cheaper than the render.
+type memoSource struct {
+	src Source
+
+	mu     sync.RWMutex
+	frames map[int]*video.Frame
+}
+
+// Memoize returns a source backed by s that renders each frame index
+// at most once. The cache grows monotonically (experiments use tens of
+// frames; a QCIF frame is ~38 KB). Safe for concurrent use.
+func Memoize(s Source) Source {
+	if _, ok := s.(*memoSource); ok {
+		return s
+	}
+	return &memoSource{src: s, frames: make(map[int]*video.Frame)}
+}
+
+// Name implements Source.
+func (m *memoSource) Name() string { return m.src.Name() }
+
+// Dims implements Source.
+func (m *memoSource) Dims() (int, int) { return m.src.Dims() }
+
+// Frame implements Source, serving renders from the cache.
+func (m *memoSource) Frame(k int) *video.Frame {
+	m.mu.RLock()
+	f := m.frames[k]
+	m.mu.RUnlock()
+	if f != nil {
+		return f.Clone()
+	}
+	m.mu.Lock()
+	f = m.frames[k]
+	if f == nil {
+		f = m.src.Frame(k)
+		m.frames[k] = f
+	}
+	m.mu.Unlock()
+	return f.Clone()
+}
+
+var (
+	sharedMu  sync.Mutex
+	sharedSrc map[Regime]Source
+)
+
+// Shared returns the process-wide memoised canonical source for a
+// regime — the same frames New(r) renders, cached once per process.
+// Every experiment cell, seed and phase that uses a regime's default
+// source shares one render of each frame. Safe for concurrent use.
+func Shared(r Regime) Source {
+	sharedMu.Lock()
+	defer sharedMu.Unlock()
+	if sharedSrc == nil {
+		sharedSrc = make(map[Regime]Source)
+	}
+	s, ok := sharedSrc[r]
+	if !ok {
+		s = Memoize(New(r))
+		sharedSrc[r] = s
+	}
+	return s
+}

@@ -1,0 +1,55 @@
+package synth
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMemoizeIdenticalFrames pins the memo's only job: serving exactly
+// the frames the underlying generator renders, without aliasing the
+// cache to callers.
+func TestMemoizeIdenticalFrames(t *testing.T) {
+	plain := New(RegimeForeman)
+	memo := Memoize(New(RegimeForeman))
+	if memo.Name() != plain.Name() {
+		t.Fatalf("memo name %q, want %q", memo.Name(), plain.Name())
+	}
+	for _, k := range []int{0, 3, 7, 3, 0} {
+		want := plain.Frame(k)
+		got := memo.Frame(k)
+		if !got.Equal(want) {
+			t.Fatalf("memoised frame %d differs from direct render", k)
+		}
+		// Mutating the returned frame must not poison the cache.
+		got.Y[0] ^= 0xFF
+		if again := memo.Frame(k); !again.Equal(want) {
+			t.Fatalf("cache corrupted by caller mutation of frame %d", k)
+		}
+	}
+	if m := Memoize(memo); m != memo {
+		t.Fatal("Memoize of a memoised source should be a no-op")
+	}
+}
+
+func TestSharedIsStableAndConcurrent(t *testing.T) {
+	if Shared(RegimeAkiyo) != Shared(RegimeAkiyo) {
+		t.Fatal("Shared returned distinct sources for one regime")
+	}
+	want := New(RegimeAkiyo).Frame(2)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < 4; k++ {
+				f := Shared(RegimeAkiyo).Frame(2)
+				if !f.Equal(want) {
+					t.Error("shared frame differs from direct render")
+					return
+				}
+				f.Y[k] = 0 // returned copies are caller-owned
+			}
+		}()
+	}
+	wg.Wait()
+}
