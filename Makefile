@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race bench bench-json fuzz check
+.PHONY: all build fmt vet test race bench bench-json docs-lint fuzz check
 
 # Seconds each fuzz target runs under `make fuzz` (CI uses the same
 # smoke budget; raise it locally for a real fuzzing session).
@@ -59,6 +59,19 @@ bench-json:
 		./internal/metrics/ ./internal/conceal/ ./internal/codec/ \
 		| $(GO) run ./cmd/pbpair-benchjson -check-pairs -out BENCH_sim.json
 	@echo wrote BENCH_sim.json
+	$(GO) test -run xxx -bench 'BenchmarkServe' -benchtime $(BENCHTIME) \
+		./internal/serve/ \
+		| $(GO) run ./cmd/pbpair-benchjson \
+			-require 'BenchmarkServeFarm:frames/s,BenchmarkServeFarm:MB/s,BenchmarkServeFarm:p50_us,BenchmarkServeFarm:p99_us,BenchmarkServeThroughput:frames/s,BenchmarkServeThroughput:MB/s' \
+			-out BENCH_serve.json
+	@echo wrote BENCH_serve.json
+
+# Documentation gate: every relative link in the repo's markdown must
+# resolve, and the operator guide must track the code — pbpair-mdlint
+# cross-checks OPERATIONS.md against the live pbpair-serve/pbpair-load
+# flag sets and the serve-layer metric names.
+docs-lint:
+	$(GO) run ./cmd/pbpair-mdlint .
 
 # Short fuzz smoke over every fuzz target: decoder, entropy reader,
 # stream container, and the fast-vs-reference kernel equivalence
@@ -77,4 +90,4 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzBitstreamEquiv -fuzztime $(FUZZTIME) ./internal/bitstream/
 	$(GO) test -run xxx -fuzz FuzzVLCDecodeEquiv -fuzztime $(FUZZTIME) ./internal/entropy/
 
-check: build fmt vet test race
+check: build fmt vet test race docs-lint

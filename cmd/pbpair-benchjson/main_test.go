@@ -60,3 +60,57 @@ func TestParseLineRejectsGarbage(t *testing.T) {
 		}
 	}
 }
+
+const serveSample = `goos: linux
+goarch: amd64
+BenchmarkServeFarm-4	     300	   3200000 ns/op	      2510 frames/s	      1.91 MB/s	      880 p50_us	      4100 p99_us
+BenchmarkServeThroughput-4	     200	   3020000 ns/op	       331.1 frames/s
+`
+
+func TestParseExtraMetrics(t *testing.T) {
+	doc, err := Parse(strings.NewReader(serveSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	farm := doc.Benchmarks[0]
+	if farm.Name != "BenchmarkServeFarm" {
+		t.Fatalf("name = %q", farm.Name)
+	}
+	for unit, want := range map[string]float64{
+		"frames/s": 2510, "MB/s": 1.91, "p50_us": 880, "p99_us": 4100,
+	} {
+		if got := farm.Extra[unit]; got != want {
+			t.Errorf("Extra[%q] = %v, want %v", unit, got, want)
+		}
+	}
+}
+
+func TestCheckRequired(t *testing.T) {
+	doc, err := Parse(strings.NewReader(serveSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := []string{
+		"BenchmarkServeFarm:frames/s",
+		"BenchmarkServeFarm:p99_us",
+		"BenchmarkServeThroughput:ns/op",
+		" BenchmarkServeFarm:p50_us ", // tolerated whitespace
+	}
+	if err := CheckRequired(doc, ok); err != nil {
+		t.Fatalf("CheckRequired rejected a complete document: %v", err)
+	}
+	for _, spec := range []string{
+		"BenchmarkGone:frames/s",          // missing benchmark
+		"BenchmarkServeThroughput:p99_us", // missing metric
+	} {
+		if err := CheckRequired(doc, []string{spec}); err == nil {
+			t.Errorf("CheckRequired(%q) passed, want schema-drift error", spec)
+		}
+	}
+	if err := CheckRequired(doc, []string{"no-colon"}); err == nil {
+		t.Error("malformed spec accepted")
+	}
+}

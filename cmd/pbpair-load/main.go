@@ -22,9 +22,9 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 
-	"pbpair/internal/parallel"
 	"pbpair/internal/serve"
 	"pbpair/internal/synth"
 )
@@ -67,23 +67,33 @@ func main() {
 		err error
 	}
 	results := make([]outcome, *clients)
-	// One goroutine per client: the run is I/O-bound waiting on media,
-	// so every session streams concurrently regardless of core count.
-	parallel.ForEach(*clients, *clients, func(i int) {
-		sum, err := serve.RunClient(ctx, serve.ClientConfig{
-			Server:      *server,
-			Frames:      *frames,
-			Regime:      reg,
-			QP:          *qp,
-			ReportEvery: *reportEvery,
-			FECGroup:    *fecGroup,
-			Interleave:  *interleave,
-			Drop:        sched,
-			Seed:        *seed + uint64(i),
-			Decode:      *decode,
-		})
-		results[i] = outcome{sum, err}
-	})
+	// One goroutine per client, NOT parallel.ForEach: that pool caps
+	// workers at GOMAXPROCS (right for CPU-bound sweeps), which on a
+	// small machine would serialise the sessions — each would pay the
+	// server's whole cohort window alone and none would share a
+	// lineage. Clients are I/O-bound waiting on media, so every
+	// session must stream concurrently regardless of core count.
+	var wg sync.WaitGroup
+	wg.Add(*clients)
+	for i := 0; i < *clients; i++ {
+		go func(i int) {
+			defer wg.Done()
+			sum, err := serve.RunClient(ctx, serve.ClientConfig{
+				Server:      *server,
+				Frames:      *frames,
+				Regime:      reg,
+				QP:          *qp,
+				ReportEvery: *reportEvery,
+				FECGroup:    *fecGroup,
+				Interleave:  *interleave,
+				Drop:        sched,
+				Seed:        *seed + uint64(i),
+				Decode:      *decode,
+			})
+			results[i] = outcome{sum, err}
+		}(i)
+	}
+	wg.Wait()
 
 	failed := 0
 	var frameSum, pktSum, byteSum, dropSum, recoveredSum int64

@@ -1,0 +1,197 @@
+// Command pbpair-mdlint is the repository's documentation gate
+// (`make docs-lint`). It enforces two properties the markdown cannot
+// check by itself:
+//
+//   - Every relative link in every *.md file resolves to a file that
+//     exists (external http/https/mailto links and pure #fragment
+//     anchors are skipped).
+//   - OPERATIONS.md tracks the code: every flag registered by
+//     cmd/pbpair-serve and cmd/pbpair-load must be documented, and so
+//     must every server-level obs metric the serving layer registers.
+//     A flag or metric added without a docs update fails the build.
+//
+// Usage:
+//
+//	pbpair-mdlint [repo-root]
+package main
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+func main() {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	problems, err := Lint(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pbpair-mdlint:", err)
+		os.Exit(1)
+	}
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		fmt.Fprintf(os.Stderr, "pbpair-mdlint: %d problem(s)\n", len(problems))
+		os.Exit(1)
+	}
+}
+
+// Lint runs every check rooted at root and returns one line per
+// problem found.
+func Lint(root string) ([]string, error) {
+	var problems []string
+	mds, err := markdownFiles(root)
+	if err != nil {
+		return nil, err
+	}
+	for _, md := range mds {
+		ps, err := checkLinks(root, md)
+		if err != nil {
+			return nil, err
+		}
+		problems = append(problems, ps...)
+	}
+
+	ops := filepath.Join(root, "OPERATIONS.md")
+	opsText, err := os.ReadFile(ops)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return append(problems, "OPERATIONS.md: missing (the operator guide is mandatory)"), nil
+		}
+		return nil, err
+	}
+	ps, err := checkOperations(root, string(opsText))
+	if err != nil {
+		return nil, err
+	}
+	return append(problems, ps...), nil
+}
+
+// markdownFiles lists every .md under root, skipping VCS and vendorish
+// directories.
+func markdownFiles(root string) ([]string, error) {
+	var out []string
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case ".git", "testdata", "node_modules":
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(d.Name(), ".md") {
+			out = append(out, path)
+		}
+		return nil
+	})
+	sort.Strings(out)
+	return out, err
+}
+
+var linkRe = regexp.MustCompile(`\]\(([^)\s]+)\)`)
+
+// checkLinks verifies every relative markdown link target in file
+// exists on disk.
+func checkLinks(root, file string) ([]string, error) {
+	text, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	var problems []string
+	for _, m := range linkRe.FindAllStringSubmatch(string(text), -1) {
+		target := m[1]
+		if strings.Contains(target, "://") || strings.HasPrefix(target, "mailto:") ||
+			strings.HasPrefix(target, "#") {
+			continue
+		}
+		if i := strings.IndexByte(target, '#'); i >= 0 {
+			target = target[:i]
+		}
+		if target == "" {
+			continue
+		}
+		resolved := filepath.Join(filepath.Dir(file), target)
+		if _, err := os.Stat(resolved); err != nil {
+			rel, rerr := filepath.Rel(root, file)
+			if rerr != nil {
+				rel = file
+			}
+			problems = append(problems, fmt.Sprintf("%s: broken link %q", rel, m[1]))
+		}
+	}
+	return problems, nil
+}
+
+var (
+	flagRe   = regexp.MustCompile(`flag\.(?:String|Int|Bool|Duration|Float64|Uint64)\("([^"]+)"`)
+	metricRe = regexp.MustCompile(`"(server\.[a-z_]+)"`)
+	// Per-session metrics are registered as prefix + "name"; see
+	// session.registerMetrics.
+	sessionMetricRe = regexp.MustCompile(`prefix \+ "([a-z_]+)"`)
+)
+
+// checkOperations cross-checks OPERATIONS.md against the live command
+// flag sets and the serving layer's metric registrations.
+func checkOperations(root, ops string) ([]string, error) {
+	var problems []string
+	for _, cmd := range []string{"pbpair-serve", "pbpair-load"} {
+		src, err := os.ReadFile(filepath.Join(root, "cmd", cmd, "main.go"))
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range flagRe.FindAllStringSubmatch(string(src), -1) {
+			if !strings.Contains(ops, "`-"+m[1]) {
+				problems = append(problems,
+					fmt.Sprintf("OPERATIONS.md: %s flag -%s undocumented", cmd, m[1]))
+			}
+		}
+	}
+
+	serveDir := filepath.Join(root, "internal", "serve")
+	entries, err := os.ReadDir(serveDir)
+	if err != nil {
+		return nil, err
+	}
+	metrics := map[string]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(serveDir, name))
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range metricRe.FindAllStringSubmatch(string(src), -1) {
+			metrics[m[1]] = true
+		}
+		for _, m := range sessionMetricRe.FindAllStringSubmatch(string(src), -1) {
+			metrics["s<id>."+m[1]] = true
+		}
+	}
+	if len(metrics) == 0 {
+		return nil, fmt.Errorf("no serve metrics found under %s (lint regexes stale?)", serveDir)
+	}
+	var names []string
+	for n := range metrics {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if !strings.Contains(ops, "`"+n+"`") {
+			problems = append(problems, fmt.Sprintf("OPERATIONS.md: metric %s undocumented", n))
+		}
+	}
+	return problems, nil
+}

@@ -1,7 +1,11 @@
 // Command pbpair-serve runs the closed-loop PBPAIR streaming server:
 // it listens for pbpair-load clients on UDP, encodes synthetic content
-// live per session, and retunes each session's Intra_Th from the
-// receiver's packet-loss reports (the paper's §3.2 feedback loop).
+// live on a shared encode farm — sessions with identical request
+// shapes and loss trajectories share one encoder, so a healthy cohort
+// costs one encode per frame regardless of size — and retunes each
+// session's Intra_Th from the receiver's packet-loss reports (the
+// paper's §3.2 feedback loop). See OPERATIONS.md for the operator
+// guide: scheduling model, load shedding, every flag and metric.
 //
 // Per-session and server-level counters are exported as JSON on the
 // observability endpoint:
@@ -40,7 +44,11 @@ func main() {
 	interval := flag.Duration("frame-interval", 33*time.Millisecond, "encode pacing per frame (0 = unpaced)")
 	sessionTimeout := flag.Duration("session-timeout", 10*time.Minute, "hard per-session deadline")
 	reportTimeout := flag.Duration("report-timeout", 30*time.Second, "abort a session with no receiver feedback for this long (0 = off)")
-	workers := flag.Int("workers", 1, "encoder workers per session (intra-frame sharding)")
+	workers := flag.Int("workers", 1, "encoder workers per lineage encode (intra-frame sharding)")
+	farmWorkers := flag.Int("farm-workers", 0, "encode farm size: concurrent frame encodes across all sessions (0 = GOMAXPROCS)")
+	farmBacklog := flag.Int("farm-backlog", 0, "farm job queue depth before load shedding engages (0 = 2x farm-workers)")
+	cohortWindow := flag.Duration("cohort-window", 0, "hold new lineages at frame 0 this long so compatible sessions join and share encodes")
+	coalesceBytes := flag.Int("coalesce-bytes", 0, "coalesced media datagram payload limit (0 = mtu+64, negative = one packet per datagram)")
 	search := flag.String("search", "tss", "motion search: tss (three-step) or full")
 	weight := flag.Float64("estimator-weight", 0.35, "EMA weight folding receiver reports into α̂")
 	refresh := flag.Float64("refresh-interval", 6, "quality controller target refresh interval n* (frames)")
@@ -75,6 +83,10 @@ func main() {
 		SessionTimeout:  *sessionTimeout,
 		ReportTimeout:   *reportTimeout,
 		Workers:         *workers,
+		FarmWorkers:     *farmWorkers,
+		FarmBacklog:     *farmBacklog,
+		CohortWindow:    *cohortWindow,
+		CoalesceBytes:   *coalesceBytes,
 		Search:          kind,
 		EstimatorWeight: *weight,
 		RefreshInterval: *refresh,

@@ -1,0 +1,145 @@
+package codec_test
+
+import (
+	"bytes"
+	"testing"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/core"
+	"pbpair/internal/energy"
+	"pbpair/internal/motion"
+	"pbpair/internal/synth"
+)
+
+// TestEncoderCloneBitExact is the guarantee the serving layer's encode
+// farm forks on: an encoder cloned mid-stream (together with a cloned
+// planner) continues the stream byte-identically to the original as
+// long as both see the same inputs, and diverges from it — without
+// corrupting it — as soon as the planner knobs differ.
+func TestEncoderCloneBitExact(t *testing.T) {
+	src := synth.New(synth.RegimeForeman)
+	w, h := src.Dims()
+	newPair := func() (*core.PBPAIR, *codec.Encoder) {
+		t.Helper()
+		planner, err := core.New(core.Config{Rows: h / 16, Cols: w / 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var counters energy.Counters
+		enc, err := codec.NewEncoder(codec.Config{
+			Width: w, Height: h, QP: 8, Search: motion.ThreeStep,
+			Planner: planner, Counters: &counters,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return planner, enc
+	}
+
+	planner, enc := newPair()
+	const split = 5
+	for k := 0; k < split; k++ {
+		if _, err := enc.EncodeFrame(src.Frame(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	forkPlanner := planner.Clone()
+	var forkCounters energy.Counters
+	fork, err := enc.Clone(forkPlanner, &forkCounters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fork.FrameNum() != enc.FrameNum() {
+		t.Fatalf("clone at frame %d, original at %d", fork.FrameNum(), enc.FrameNum())
+	}
+
+	// Same knob trajectory on both sides: byte-identical continuation.
+	for k := split; k < split+5; k++ {
+		planner.SetPLR(0.1)
+		planner.SetIntraTh(0.4)
+		forkPlanner.SetPLR(0.1)
+		forkPlanner.SetIntraTh(0.4)
+		a, err := enc.EncodeFrame(src.Frame(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fork.EncodeFrame(src.Frame(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Data, b.Data) {
+			t.Fatalf("frame %d: clone diverged from original under identical inputs", k)
+		}
+	}
+
+	// Diverging knobs: the fork must produce its own stream while the
+	// original matches a from-scratch encoder replaying the original's
+	// whole knob history (no cross-contamination through shared state).
+	refPlanner, refEnc := newPair()
+	for k := 0; k < split; k++ {
+		if _, err := refEnc.EncodeFrame(src.Frame(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := split; k < split+5; k++ {
+		refPlanner.SetPLR(0.1)
+		refPlanner.SetIntraTh(0.4)
+		if _, err := refEnc.EncodeFrame(src.Frame(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	diverged := false
+	for k := split + 5; k < split+10; k++ {
+		planner.SetPLR(0.1)
+		planner.SetIntraTh(0.4)
+		refPlanner.SetPLR(0.1)
+		refPlanner.SetIntraTh(0.4)
+		forkPlanner.SetPLR(0.5)
+		forkPlanner.SetIntraTh(0.9)
+		a, err := enc.EncodeFrame(src.Frame(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := refEnc.EncodeFrame(src.Frame(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := fork.EncodeFrame(src.Frame(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a.Data, r.Data) {
+			t.Fatalf("frame %d: original corrupted by its fork", k)
+		}
+		if !bytes.Equal(a.Data, b.Data) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("fork with different planner knobs never diverged — the knobs are not reaching the encode")
+	}
+}
+
+// TestPlannerCloneIndependent pins that a cloned planner shares no
+// mutable state with its original.
+func TestPlannerCloneIndependent(t *testing.T) {
+	p, err := core.New(core.Config{Rows: 2, Cols: 2, IntraTh: 0.3, PLR: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Clone()
+	if c.IntraTh() != p.IntraTh() || c.PLR() != p.PLR() {
+		t.Fatalf("clone knobs (%v, %v) != original (%v, %v)", c.IntraTh(), c.PLR(), p.IntraTh(), p.PLR())
+	}
+	c.SetIntraTh(0.9)
+	c.SetPLR(0.8)
+	if p.IntraTh() != 0.3 || p.PLR() != 0.1 {
+		t.Fatalf("mutating the clone changed the original: Th=%v PLR=%v", p.IntraTh(), p.PLR())
+	}
+	sp, sc := p.Sigma(), c.Sigma()
+	sc[0] = -1
+	if sp[0] == -1 || p.Sigma()[0] == -1 {
+		t.Fatal("clone shares its σ matrix with the original")
+	}
+}

@@ -64,6 +64,31 @@ func NewEncoder(cfg Config) (*Encoder, error) {
 	}, nil
 }
 
+// Clone returns an independent encoder that continues the stream from
+// exactly this encoder's state: same configuration, same frame number,
+// and a deep copy of the reference reconstruction (the only state that
+// crosses frame boundaries — per-frame scratch is rebuilt lazily).
+// Encoding the same inputs on the clone and the original produces
+// byte-identical bitstreams.
+//
+// planner and counters replace the original's: a ModePlanner carries
+// cross-frame state of its own, so callers fork it in the same motion
+// (e.g. core.PBPAIR.Clone), and energy tallies belong to exactly one
+// encode stream. The serving layer's encode farm uses Clone to fork a
+// shared session lineage when one receiver's feedback diverges.
+func (e *Encoder) Clone(planner ModePlanner, counters *energy.Counters) (*Encoder, error) {
+	cfg := e.cfg
+	cfg.Planner = planner
+	cfg.Counters = counters
+	ne, err := NewEncoder(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ne.ref = e.ref.Clone()
+	ne.frameNum = e.frameNum
+	return ne, nil
+}
+
 // FrameNum returns the number of the next frame to be encoded.
 func (e *Encoder) FrameNum() int { return e.frameNum }
 

@@ -155,6 +155,23 @@ func New(cfg Config) (*PBPAIR, error) {
 // Name implements codec.ModePlanner.
 func (*PBPAIR) Name() string { return "PBPAIR" }
 
+// Clone returns an independent deep copy of the planner: same
+// configuration, same correctness matrix, same α and Intra_Th.
+// Mutations of either copy never affect the other. The serving layer's
+// encode farm forks a session lineage by cloning its planner alongside
+// the encoder (codec.Encoder.Clone) so a diverging session continues
+// bit-exactly from the shared state.
+func (p *PBPAIR) Clone() *PBPAIR {
+	cp := &PBPAIR{
+		cfg:   p.cfg,
+		sigma: make([]float64, len(p.sigma)),
+		plr:   p.plr,
+		th:    p.th,
+	}
+	copy(cp.sigma, p.sigma)
+	return cp
+}
+
 // IntraTh returns the current threshold.
 func (p *PBPAIR) IntraTh() float64 { return p.th }
 

@@ -1,0 +1,71 @@
+package network
+
+import (
+	"errors"
+	"net"
+)
+
+// Batched datagram output. One streaming server shares a single UDP
+// socket across every session; at thousands of sessions the per-packet
+// sendto syscall becomes the send path's dominant fixed cost. A
+// BatchSender flushes many datagrams per call — the sendmmsg(2) shape
+// — behind a portable interface: on Linux the batch goes to the kernel
+// in one syscall (batch_linux.go); elsewhere, and whenever the fast
+// path is unavailable (seccomp filters, exotic sockets), a loop over
+// WriteToUDP provides the identical receiver-visible behaviour.
+
+// Datagram is one payload bound for one destination.
+type Datagram struct {
+	Payload []byte
+	Addr    *net.UDPAddr
+}
+
+// BatchSender transmits batches of datagrams on a single UDP socket.
+// Implementations are NOT safe for concurrent use: the serving layer
+// funnels all sends through one sender goroutine, which is what makes
+// batching possible in the first place.
+type BatchSender interface {
+	// SendBatch transmits the datagrams in order and returns how many
+	// were handed to the kernel. Per-datagram send failures are
+	// counted, not fatal — UDP offers no delivery guarantee, so the
+	// caller's loss accounting treats an unsent datagram exactly like
+	// a lost one. A non-nil error reports a socket-level failure
+	// (closed socket); the sender is then unusable.
+	SendBatch(dgrams []Datagram) (sent int, err error)
+}
+
+// NewBatchSender returns the best BatchSender for conn on this
+// platform: sendmmsg-backed on Linux with an automatic, permanent
+// fallback to the portable loop if the first batch syscall is refused,
+// the portable loop elsewhere.
+func NewBatchSender(conn *net.UDPConn) BatchSender {
+	return newPlatformBatchSender(conn)
+}
+
+// loopSender is the portable BatchSender: one WriteToUDP per datagram.
+type loopSender struct {
+	conn *net.UDPConn
+}
+
+// SendBatch implements BatchSender.
+func (s *loopSender) SendBatch(dgrams []Datagram) (int, error) {
+	sent := 0
+	for _, d := range dgrams {
+		if _, err := s.conn.WriteToUDP(d.Payload, d.Addr); err != nil {
+			if isFatalSendErr(err) {
+				return sent, err
+			}
+			continue
+		}
+		sent++
+	}
+	return sent, nil
+}
+
+// isFatalSendErr reports whether a send error means the socket itself
+// is gone (closed during shutdown) rather than one datagram failing
+// (ICMP-derived unreachable errors, full socket buffers — transient
+// conditions UDP callers treat as loss).
+func isFatalSendErr(err error) bool {
+	return errors.Is(err, net.ErrClosed)
+}

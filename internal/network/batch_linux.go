@@ -1,0 +1,160 @@
+//go:build linux && (amd64 || arm64)
+
+package network
+
+import (
+	"net"
+	"runtime"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+)
+
+// sendmmsg(2) batching: every datagram of a batch crosses into the
+// kernel in one syscall instead of one sendto per datagram. The
+// syscall number comes from the syscall package (per-arch), and the
+// mmsghdr layout below matches the 64-bit kernel ABI shared by amd64
+// and arm64 — the two platforms this file builds for; everything else
+// takes the portable loop.
+
+// mmsghdr mirrors struct mmsghdr: a msghdr plus the kernel-filled
+// per-message byte count, padded to 8-byte alignment on LP64.
+type mmsghdr struct {
+	hdr syscall.Msghdr
+	n   uint32
+	_   [4]byte
+}
+
+// mmsgSender is the sendmmsg-backed BatchSender. Scratch slices are
+// reused across batches so a steady-state flush allocates nothing.
+type mmsgSender struct {
+	conn     *net.UDPConn
+	rc       syscall.RawConn
+	fallback loopSender
+	disabled atomic.Bool // set permanently when sendmmsg is refused
+
+	msgs []mmsghdr
+	iovs []syscall.Iovec
+	sa4  []syscall.RawSockaddrInet4
+	sa6  []syscall.RawSockaddrInet6
+}
+
+func newPlatformBatchSender(conn *net.UDPConn) BatchSender {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return &loopSender{conn: conn}
+	}
+	return &mmsgSender{conn: conn, rc: rc, fallback: loopSender{conn: conn}}
+}
+
+// SendBatch implements BatchSender.
+func (s *mmsgSender) SendBatch(dgrams []Datagram) (int, error) {
+	if len(dgrams) == 0 {
+		return 0, nil
+	}
+	if s.disabled.Load() {
+		return s.fallback.SendBatch(dgrams)
+	}
+	if !s.prepare(dgrams) {
+		// An address the raw path cannot express; use the loop.
+		return s.fallback.SendBatch(dgrams)
+	}
+
+	sent := 0
+	var errno syscall.Errno
+	werr := s.rc.Write(func(fd uintptr) bool {
+		for sent < len(dgrams) {
+			r1, _, e := syscall.Syscall6(sysSENDMMSG, fd,
+				uintptr(unsafe.Pointer(&s.msgs[sent])), uintptr(len(dgrams)-sent), 0, 0, 0)
+			switch e {
+			case 0:
+				sent += int(r1)
+			case syscall.EINTR:
+				continue
+			case syscall.EAGAIN:
+				return false // wait until writable, then retry
+			default:
+				errno = e
+				return true
+			}
+		}
+		return true
+	})
+	runtime.KeepAlive(dgrams)
+	runtime.KeepAlive(s)
+	if werr != nil {
+		return sent, werr // socket closed under us
+	}
+	if errno != 0 {
+		// A refused batch syscall (seccomp returning ENOSYS/EPERM, or
+		// an unexpected socket condition): disable the fast path for
+		// the life of this sender and finish the batch portably. The
+		// receiver-visible stream is identical either way.
+		s.disabled.Store(true)
+		n, err := s.fallback.SendBatch(dgrams[sent:])
+		return sent + n, err
+	}
+	return sent, nil
+}
+
+// prepare builds the mmsghdr/iovec/sockaddr arrays for dgrams in the
+// reused scratch. It reports false if any destination cannot be
+// expressed as a raw IPv4/IPv6 sockaddr.
+func (s *mmsgSender) prepare(dgrams []Datagram) bool {
+	n := len(dgrams)
+	if cap(s.msgs) < n {
+		s.msgs = make([]mmsghdr, n)
+		s.iovs = make([]syscall.Iovec, n)
+		s.sa4 = make([]syscall.RawSockaddrInet4, n)
+		s.sa6 = make([]syscall.RawSockaddrInet6, n)
+	}
+	s.msgs = s.msgs[:n]
+	s.iovs = s.iovs[:n]
+	s.sa4 = s.sa4[:n]
+	s.sa6 = s.sa6[:n]
+	for i, d := range dgrams {
+		if len(d.Payload) == 0 || d.Addr == nil {
+			return false
+		}
+		s.iovs[i] = syscall.Iovec{Base: &d.Payload[0]}
+		s.iovs[i].SetLen(len(d.Payload))
+		m := &s.msgs[i]
+		*m = mmsghdr{}
+		m.hdr.Iov = &s.iovs[i]
+		m.hdr.Iovlen = 1 // uint64 on the LP64 arches this file builds for
+		port := uint16(d.Addr.Port)
+		if ip4 := d.Addr.IP.To4(); ip4 != nil {
+			sa := &s.sa4[i]
+			sa.Family = syscall.AF_INET
+			putPort(&sa.Port, port)
+			copy(sa.Addr[:], ip4)
+			m.hdr.Name = (*byte)(unsafe.Pointer(sa))
+			m.hdr.Namelen = uint32(unsafe.Sizeof(*sa))
+		} else if ip6 := d.Addr.IP.To16(); ip6 != nil {
+			sa := &s.sa6[i]
+			*sa = syscall.RawSockaddrInet6{Family: syscall.AF_INET6}
+			putPort(&sa.Port, port)
+			copy(sa.Addr[:], ip6)
+			if d.Addr.Zone != "" {
+				ifi, err := net.InterfaceByName(d.Addr.Zone)
+				if err != nil {
+					return false
+				}
+				sa.Scope_id = uint32(ifi.Index)
+			}
+			m.hdr.Name = (*byte)(unsafe.Pointer(sa))
+			m.hdr.Namelen = uint32(unsafe.Sizeof(*sa))
+		} else {
+			return false
+		}
+	}
+	return true
+}
+
+// putPort stores a port in network byte order regardless of host
+// endianness (the raw sockaddr field is uint16-typed kernel memory).
+func putPort(dst *uint16, port uint16) {
+	b := (*[2]byte)(unsafe.Pointer(dst))
+	b[0] = byte(port >> 8)
+	b[1] = byte(port)
+}

@@ -1,0 +1,8 @@
+//go:build linux && amd64
+
+package network
+
+// sendmmsg's syscall number postdates the syscall package's frozen
+// amd64 table, so it is spelled here; see arch_prctl(2) era tables —
+// __NR_sendmmsg is 307 on x86-64.
+const sysSENDMMSG = 307

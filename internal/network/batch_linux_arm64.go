@@ -1,0 +1,7 @@
+//go:build linux && arm64
+
+package network
+
+import "syscall"
+
+const sysSENDMMSG = uintptr(syscall.SYS_SENDMMSG)

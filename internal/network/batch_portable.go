@@ -1,0 +1,9 @@
+//go:build !linux || !(amd64 || arm64)
+
+package network
+
+import "net"
+
+func newPlatformBatchSender(conn *net.UDPConn) BatchSender {
+	return &loopSender{conn: conn}
+}

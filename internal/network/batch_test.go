@@ -1,0 +1,209 @@
+package network
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// randomPacket builds a deterministic pseudo-random packet; roughly a
+// third are FEC parity packets so their longer wire encoding exercises
+// the batch length prefixes.
+func randomPacket(rng *splitMix64) Packet {
+	p := Packet{
+		Seq:      int(rng.next() % 1_000_000),
+		FrameNum: int(rng.next() % 100_000),
+		Marker:   rng.next()%2 == 0,
+		Payload:  make([]byte, rng.next()%700),
+	}
+	for i := range p.Payload {
+		p.Payload[i] = byte(rng.next())
+	}
+	if rng.next()%3 == 0 {
+		p.Parity = &parityInfo{
+			CoverFrom: int(rng.next() % 1000),
+			CoverTo:   int(rng.next() % 1000),
+			LenXOR:    int(rng.next() % 2000),
+			FrameXOR:  int(rng.next() % 1000),
+			MarkerXOR: rng.next()%2 == 0,
+		}
+	}
+	return p
+}
+
+// TestWireBatchRoundTrip is the coalescing property test: any packet
+// sequence — media and parity mixed, any payload sizes — split across
+// batches at arbitrary boundaries must round-trip to the identical
+// sequence, parity metadata included. This is the invariant that lets
+// the serving layer coalesce datagrams without the receiver's FEC
+// recovery or loss accounting noticing.
+func TestWireBatchRoundTrip(t *testing.T) {
+	rng := &splitMix64{state: 42}
+	for trial := 0; trial < 200; trial++ {
+		n := int(rng.next() % 40)
+		pkts := make([]Packet, n)
+		for i := range pkts {
+			pkts[i] = randomPacket(rng)
+		}
+
+		// Split the sequence into batches at random boundaries (empty
+		// batches allowed), encode each, parse them back in order.
+		var got []Packet
+		for start := 0; start <= len(pkts); {
+			end := start + int(rng.next()%8)
+			if end > len(pkts) {
+				end = len(pkts)
+			}
+			buf := AppendWireBatch(nil, pkts[start:end])
+			if want := WireBatchSize(pkts[start:end]); len(buf) != want {
+				t.Fatalf("trial %d: WireBatchSize = %d, encoded %d bytes", trial, want, len(buf))
+			}
+			var err error
+			got, err = ParseWireBatch(got, buf)
+			if err != nil {
+				t.Fatalf("trial %d: parse: %v", trial, err)
+			}
+			if end == len(pkts) {
+				break
+			}
+			start = end
+		}
+		if len(got) != len(pkts) {
+			t.Fatalf("trial %d: %d packets round-tripped, want %d", trial, len(got), len(pkts))
+		}
+		for i := range pkts {
+			if !packetsEqual(pkts[i], got[i]) {
+				t.Fatalf("trial %d: packet %d mutated in round trip:\nsent %+v\ngot  %+v", trial, i, pkts[i], got[i])
+			}
+		}
+	}
+}
+
+func packetsEqual(a, b Packet) bool {
+	if a.Seq != b.Seq || a.FrameNum != b.FrameNum || a.Marker != b.Marker {
+		return false
+	}
+	if !bytes.Equal(a.Payload, b.Payload) {
+		return false
+	}
+	switch {
+	case a.Parity == nil && b.Parity == nil:
+		return true
+	case a.Parity == nil || b.Parity == nil:
+		return false
+	}
+	return reflect.DeepEqual(*a.Parity, *b.Parity)
+}
+
+// TestWireBatchTruncation pins that corrupt batches fail loudly
+// instead of yielding phantom packets.
+func TestWireBatchTruncation(t *testing.T) {
+	rng := &splitMix64{state: 7}
+	pkts := []Packet{randomPacket(rng), randomPacket(rng)}
+	buf := AppendWireBatch(nil, pkts)
+	for cut := 0; cut < len(buf); cut++ {
+		if cut == 0 {
+			if _, err := ParseWireBatch(nil, nil); err == nil {
+				t.Fatal("empty batch parsed without error")
+			}
+			continue
+		}
+		if got, err := ParseWireBatch(nil, buf[:cut]); err == nil && len(got) == len(pkts) {
+			t.Fatalf("truncation at %d/%d bytes parsed all %d packets", cut, len(buf), len(pkts))
+		}
+	}
+	if _, err := ParseWireBatch(nil, append(append([]byte(nil), buf...), 0xEE)); err == nil {
+		t.Fatal("trailing garbage parsed without error")
+	}
+}
+
+// runSenderTest sends three batches through s and asserts every
+// datagram arrives intact at the right receiver.
+func runSenderTest(t *testing.T, s BatchSender, label string) {
+	t.Helper()
+	recvA, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recvA.Close()
+	recvB, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recvB.Close()
+
+	addrA := recvA.LocalAddr().(*net.UDPAddr)
+	addrB := recvB.LocalAddr().(*net.UDPAddr)
+	var dgrams []Datagram
+	want := map[string][]string{} // receiver addr -> expected payloads in order
+	for i := 0; i < 50; i++ {
+		addr := addrA
+		if i%3 == 0 {
+			addr = addrB
+		}
+		payload := []byte(fmt.Sprintf("%s-dgram-%03d", label, i))
+		dgrams = append(dgrams, Datagram{Payload: payload, Addr: addr})
+		want[addr.String()] = append(want[addr.String()], string(payload))
+	}
+	// Exercise more than one SendBatch call, including a tiny batch.
+	for _, span := range [][2]int{{0, 1}, {1, 30}, {30, len(dgrams)}} {
+		sent, err := s.SendBatch(dgrams[span[0]:span[1]])
+		if err != nil {
+			t.Fatalf("%s: SendBatch: %v", label, err)
+		}
+		if sent != span[1]-span[0] {
+			t.Fatalf("%s: sent %d/%d datagrams", label, sent, span[1]-span[0])
+		}
+	}
+
+	for name, conn := range map[string]*net.UDPConn{addrA.String(): recvA, addrB.String(): recvB} {
+		buf := make([]byte, 2048)
+		for i, expect := range want[name] {
+			conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+			n, err := conn.Read(buf)
+			if err != nil {
+				t.Fatalf("%s: receiver %s datagram %d: %v", label, name, i, err)
+			}
+			if string(buf[:n]) != expect {
+				t.Fatalf("%s: receiver %s datagram %d = %q, want %q", label, name, i, buf[:n], expect)
+			}
+		}
+	}
+}
+
+// TestBatchSenderLoop exercises the portable loop implementation.
+func TestBatchSenderLoop(t *testing.T) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	runSenderTest(t, &loopSender{conn: conn}, "loop")
+}
+
+// TestBatchSenderPlatform exercises whatever NewBatchSender selects on
+// this platform (sendmmsg on Linux), pinning that the fast path is
+// receiver-indistinguishable from the loop.
+func TestBatchSenderPlatform(t *testing.T) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	runSenderTest(t, NewBatchSender(conn), "platform")
+}
+
+// TestBatchSenderEmpty pins the trivial edge.
+func TestBatchSenderEmpty(t *testing.T) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if n, err := NewBatchSender(conn).SendBatch(nil); n != 0 || err != nil {
+		t.Fatalf("empty batch: sent %d, err %v", n, err)
+	}
+}

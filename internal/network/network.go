@@ -43,6 +43,15 @@ func NewPacketizer(mtu int) *Packetizer {
 	return &Packetizer{mtu: mtu}
 }
 
+// Clone returns an independent packetiser continuing this one's
+// sequence space. The serving layer forks a stream's packetiser
+// together with its encoder, so a receiver that diverges from a shared
+// encode lineage sees an unbroken sequence number progression.
+func (p *Packetizer) Clone() *Packetizer {
+	cp := *p
+	return &cp
+}
+
 // Packetize splits one encoded frame into packets. The whole frame
 // rides in a single packet unless it exceeds the MTU, in which case it
 // is split at GOB boundaries (so each fragment starts at a

@@ -96,3 +96,80 @@ func ParseWire(buf []byte) (Packet, error) {
 // to keep parity packets out of sequence-gap loss accounting (a parity
 // packet shares its last covered media packet's seq).
 func (p Packet) IsParity() bool { return p.Parity != nil }
+
+// Coalesced-batch wire format. The serving layer's batched send path
+// packs several consecutive packets of one session into a single
+// datagram per flush tick (fewer syscalls and UDP headers for the
+// small packets a QCIF stream produces). The container is
+// length-prefixed so parity packets — whose wire encoding is longer
+// than media packets — round-trip intact:
+//
+//	u8 count | count × ( u16 len | packet wire encoding )
+//
+// Big-endian, like the rest of the wire layer.
+
+// MaxBatchPackets is the most packets one coalesced batch can carry
+// (the count rides in one byte).
+const MaxBatchPackets = 255
+
+// AppendWireBatch appends the coalesced encoding of pkts to buf. It
+// panics if len(pkts) exceeds MaxBatchPackets or any packet's wire
+// size exceeds 64 KiB — both are sender-side programming errors, not
+// input errors (the sender sizes batches against the MTU, orders of
+// magnitude below either bound).
+func AppendWireBatch(buf []byte, pkts []Packet) []byte {
+	if len(pkts) > MaxBatchPackets {
+		panic(fmt.Sprintf("network: %d packets exceed the %d-packet batch bound", len(pkts), MaxBatchPackets))
+	}
+	buf = append(buf, byte(len(pkts)))
+	for _, p := range pkts {
+		n := p.WireSize()
+		if n > 0xFFFF {
+			panic(fmt.Sprintf("network: %d-byte packet exceeds the batch length prefix", n))
+		}
+		buf = append(buf, byte(n>>8), byte(n))
+		buf = p.AppendWire(buf)
+	}
+	return buf
+}
+
+// WireBatchSize returns the encoded length of a coalesced batch of
+// pkts in bytes.
+func WireBatchSize(pkts []Packet) int {
+	n := 1
+	for _, p := range pkts {
+		n += 2 + p.WireSize()
+	}
+	return n
+}
+
+// ParseWireBatch decodes one coalesced batch, appending the packets to
+// dst (which may be nil). Packets are copied out, so the result does
+// not alias buf.
+func ParseWireBatch(dst []Packet, buf []byte) ([]Packet, error) {
+	if len(buf) < 1 {
+		return dst, fmt.Errorf("network: empty batch")
+	}
+	count := int(buf[0])
+	buf = buf[1:]
+	for i := 0; i < count; i++ {
+		if len(buf) < 2 {
+			return dst, fmt.Errorf("network: batch truncated at packet %d/%d", i, count)
+		}
+		n := int(buf[0])<<8 | int(buf[1])
+		buf = buf[2:]
+		if len(buf) < n {
+			return dst, fmt.Errorf("network: batch packet %d/%d truncated (%d of %d bytes)", i, count, len(buf), n)
+		}
+		p, err := ParseWire(buf[:n])
+		if err != nil {
+			return dst, fmt.Errorf("network: batch packet %d/%d: %w", i, count, err)
+		}
+		dst = append(dst, p)
+		buf = buf[n:]
+	}
+	if len(buf) != 0 {
+		return dst, fmt.Errorf("network: %d trailing bytes after %d-packet batch", len(buf), count)
+	}
+	return dst, nil
+}

@@ -169,27 +169,58 @@ func (r *Registry) RemovePrefix(prefix string) int {
 	return n
 }
 
-// Snapshot returns a point-in-time flat view of every metric, with
-// histograms expanded into count/mean_us/p50_us/p99_us/max-bucket
-// fields. Keys are sorted for deterministic serialisation.
-func (r *Registry) Snapshot() map[string]float64 {
+// namedMetric is one entry of a collected metric table.
+type namedMetric struct {
+	name   string
+	metric any
+}
+
+// collect copies the name→metric table under the registry lock. The
+// returned slice references the live metric objects, whose reads are
+// all atomic — so value reading happens outside the lock.
+func (r *Registry) collect() []namedMetric {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make(map[string]float64, len(r.metrics))
+	out := make([]namedMetric, 0, len(r.metrics))
 	for name, m := range r.metrics {
-		switch m := m.(type) {
+		out = append(out, namedMetric{name, m})
+	}
+	return out
+}
+
+// snapshotValues reads every collected metric into the flat snapshot
+// form. It takes no locks: metric reads are atomics, and the slice is
+// a private copy of the table. Keeping this phase lock-free is what
+// stops a slow metrics scrape (thousands of per-session metrics, each
+// histogram a 40-bucket quantile walk) from stalling registration and
+// removal on the serving layer's session start/finish path.
+func snapshotValues(ms []namedMetric) map[string]float64 {
+	out := make(map[string]float64, len(ms))
+	for _, nm := range ms {
+		switch m := nm.metric.(type) {
 		case *Counter:
-			out[name] = float64(m.Value())
+			out[nm.name] = float64(m.Value())
 		case *Gauge:
-			out[name] = m.Value()
+			out[nm.name] = m.Value()
 		case *Histogram:
-			out[name+".count"] = float64(m.Count())
-			out[name+".mean_us"] = float64(m.Mean().Microseconds())
-			out[name+".p50_us"] = float64(m.Quantile(0.50).Microseconds())
-			out[name+".p99_us"] = float64(m.Quantile(0.99).Microseconds())
+			out[nm.name+".count"] = float64(m.Count())
+			out[nm.name+".mean_us"] = float64(m.Mean().Microseconds())
+			out[nm.name+".p50_us"] = float64(m.Quantile(0.50).Microseconds())
+			out[nm.name+".p99_us"] = float64(m.Quantile(0.99).Microseconds())
 		}
 	}
 	return out
+}
+
+// Snapshot returns a point-in-time flat view of every metric, with
+// histograms expanded into count/mean_us/p50_us/p99_us fields. The
+// registry lock is held only while copying the metric table, never
+// while reading values (copy-on-read — see snapshotValues), so the
+// observability endpoint cannot stall metric registration no matter
+// how many sessions are live. Values are read per metric without a
+// global atomic cut, exactly as before.
+func (r *Registry) Snapshot() map[string]float64 {
+	return snapshotValues(r.collect())
 }
 
 // ServeHTTP implements http.Handler: the snapshot as a sorted,

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"testing"
+	"time"
 
 	"pbpair/internal/synth"
 )
@@ -40,4 +41,64 @@ func BenchmarkServeThroughput(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "frames/s")
 	b.ReportMetric(float64(sum.Bytes)/b.Elapsed().Seconds()/1e6, "MB/s")
+}
+
+// BenchmarkServeFarm measures aggregate served frames per second with
+// eight identical no-loss receivers sharing one lineage — the farm's
+// headline configuration: one encode per frame fanned out eight ways
+// over the batched send path. The p50/p99 figures are the server's
+// scheduling→wire frame-latency histogram over the run. Compare with
+// BenchmarkServeThroughput (one session, same pipeline) for the
+// sharing multiplier; BENCH_serve.json commits both.
+func BenchmarkServeFarm(b *testing.B) {
+	const clients = 8
+	srv, err := New(Config{
+		Addr:          "127.0.0.1:0",
+		MaxSessions:   clients,
+		FrameInterval: 0, // unpaced: measure the pipeline, not the clock
+		QueueFrames:   256,
+		CohortWindow:  100 * time.Millisecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx := context.Background()
+	type result struct {
+		sum *ClientSummary
+		err error
+	}
+	results := make(chan result, clients)
+	b.ResetTimer()
+	for c := 0; c < clients; c++ {
+		go func() {
+			sum, err := RunClient(ctx, ClientConfig{
+				Server:      srv.Addr().String(),
+				Frames:      b.N,
+				Regime:      synth.RegimeForeman,
+				ReportEvery: 8,
+			})
+			results <- result{sum, err}
+		}()
+	}
+	var bytes int64
+	for i := 0; i < clients; i++ {
+		r := <-results
+		if r.err != nil {
+			b.Fatal(r.err)
+		}
+		if r.sum.FramesFlushed != b.N {
+			b.Fatalf("client flushed %d/%d frames", r.sum.FramesFlushed, b.N)
+		}
+		bytes += r.sum.Bytes
+	}
+	b.StopTimer()
+
+	sec := b.Elapsed().Seconds()
+	b.ReportMetric(float64(clients*b.N)/sec, "frames/s")
+	b.ReportMetric(float64(bytes)/sec/1e6, "MB/s")
+	snap := srv.Registry().Snapshot()
+	b.ReportMetric(snap["server.frame_latency.p50_us"], "p50_us")
+	b.ReportMetric(snap["server.frame_latency.p99_us"], "p99_us")
 }

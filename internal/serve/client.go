@@ -254,7 +254,32 @@ func receive(ctx context.Context, conn *net.UDPConn, cfg ClientConfig, id uint32
 		return nil
 	}
 
+	// handlePkt applies the per-packet pipeline — injected loss, loss
+	// monitoring, frame-boundary flush — identically whether the packet
+	// arrived in its own 'M' datagram or inside a coalesced 'C' batch.
+	handlePkt := func(pkt network.Packet) error {
+		// Injected receiver-side loss: discard before the monitor
+		// sees it, so it is indistinguishable from wire loss.
+		if cfg.Drop != nil && rng.float64() < cfg.Drop.Rate(pkt.FrameNum) {
+			sum.InjectedDrops++
+			return nil
+		}
+		sum.PacketsReceived++
+		sum.Bytes += int64(len(pkt.Payload))
+		if !pkt.IsParity() {
+			monitor.Observe(pkt.Seq)
+		}
+		if pkt.FrameNum != cur {
+			if err := flush(pkt.FrameNum); err != nil {
+				return err
+			}
+		}
+		pending = append(pending, pkt)
+		return nil
+	}
+
 	buf := make([]byte, 65536)
+	var batch []network.Packet
 	deadline := time.Now().Add(cfg.IdleTimeout)
 	for {
 		if err := ctx.Err(); err != nil {
@@ -296,23 +321,20 @@ func receive(ctx context.Context, conn *net.UDPConn, cfg ClientConfig, id uint32
 			if err != nil || sid != id {
 				continue
 			}
-			// Injected receiver-side loss: discard before the monitor
-			// sees it, so it is indistinguishable from wire loss.
-			if cfg.Drop != nil && rng.float64() < cfg.Drop.Rate(pkt.FrameNum) {
-				sum.InjectedDrops++
+			if err := handlePkt(pkt); err != nil {
+				return err
+			}
+		case msgCoalesced:
+			sid, pkts, err := parseCoalesced(batch[:0], buf[:n])
+			batch = pkts
+			if err != nil || sid != id {
 				continue
 			}
-			sum.PacketsReceived++
-			sum.Bytes += int64(len(pkt.Payload))
-			if !pkt.IsParity() {
-				monitor.Observe(pkt.Seq)
-			}
-			if pkt.FrameNum != cur {
-				if err := flush(pkt.FrameNum); err != nil {
+			for _, pkt := range pkts {
+				if err := handlePkt(pkt); err != nil {
 					return err
 				}
 			}
-			pending = append(pending, pkt)
 		case msgEnd:
 			sid, frames, ok := parseEnd(buf[:n])
 			if !ok || sid != id {

@@ -2,15 +2,18 @@ package serve
 
 import (
 	"sync/atomic"
+	"time"
 
 	"pbpair/internal/network"
 )
 
 // queuedFrame is one encoded frame's packet burst, queued for the
-// session's sender goroutine.
+// sender. enqueued is the scheduler's dispatch stamp, so the sender
+// can observe the full scheduling→wire frame latency.
 type queuedFrame struct {
-	frame int
-	pkts  []network.Packet
+	frame    int
+	pkts     []network.Packet
+	enqueued time.Time
 }
 
 // frameQueue is the bounded per-session send queue with the serving
@@ -22,11 +25,10 @@ type queuedFrame struct {
 // counts the evicted packets as wire loss, which feeds back into the
 // controller exactly like congestion should.
 //
-// Concurrency contract: exactly one producer (the session's encode
-// loop, which also calls close) and one consumer (the sender
-// goroutine). Single-producer is what makes the evict-then-retry loop
-// below race-free: nobody else can fill the slot the producer just
-// freed.
+// Concurrency contract: exactly one producer (the scheduler, which
+// also calls close) and one consumer (the sender goroutine).
+// Single-producer is what makes the evict-then-retry loop below
+// race-free: nobody else can fill the slot the producer just freed.
 type frameQueue struct {
 	ch      chan queuedFrame
 	dropped atomic.Int64

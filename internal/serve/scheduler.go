@@ -1,0 +1,599 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"pbpair/internal/adapt"
+	"pbpair/internal/network"
+)
+
+// encodeJob is one unit of farm work: encode frame `frame` of lineage
+// `lin` with the knobs its members agreed on, packetise and protect
+// it. The scheduler fills the top half, a farm worker the bottom.
+type encodeJob struct {
+	lin   *lineage
+	frame int
+	knob  lineageKnobs
+	start time.Time // dispatch stamp; end-to-end frame latency baseline
+
+	pkts        []network.Packet
+	intraMBs    int
+	frameEnergy float64
+	encodeTime  time.Duration
+	err         error
+}
+
+// scheduler is the serving layer's single control goroutine: it owns
+// every lineage and every session's control state, so no lock guards
+// any of it. Work arrives on channels (admissions from the read loop,
+// completed jobs from the farm, End confirmations from the sender,
+// wake pokes) and leaves as encode jobs on a bounded queue.
+//
+// Load shedding: the job queue bound is the overload signal. When a
+// dispatch pass cannot enqueue every due lineage, the newest lineages
+// (largest oldest-member id) are deferred first and the server is
+// flagged overloaded, which makes admission reject new hellos until
+// the backlog drains. Deferral costs a session nothing but added frame
+// latency — and if its queue then overflows, drop-oldest eviction
+// surfaces as wire loss, which is exactly the signal the §3.2 loop is
+// built to absorb.
+type scheduler struct {
+	srv *Server
+
+	admit   chan *session
+	wake    chan struct{}
+	jobs    chan *encodeJob
+	results chan *encodeJob
+
+	qctl       *adapt.QualityController
+	lineages   []*lineage
+	pendingEnd map[uint32]*session // queue closed, awaiting sender End
+	nextLinID  uint32
+	overloaded bool
+}
+
+func newScheduler(srv *Server, qctl *adapt.QualityController) *scheduler {
+	return &scheduler{
+		srv:        srv,
+		admit:      make(chan *session, 256),
+		wake:       make(chan struct{}, 1),
+		jobs:       make(chan *encodeJob, srv.cfg.FarmBacklog),
+		results:    make(chan *encodeJob, srv.cfg.FarmBacklog+srv.cfg.FarmWorkers),
+		qctl:       qctl,
+		pendingEnd: make(map[uint32]*session),
+	}
+}
+
+// poke nudges the scheduler without blocking (coalescing is fine: one
+// pass services everything pending).
+func (sc *scheduler) poke() {
+	select {
+	case sc.wake <- struct{}{}:
+	default:
+	}
+}
+
+// run is the scheduler goroutine body.
+func (sc *scheduler) run(ctx context.Context) {
+	defer sc.srv.farmWG.Done()
+	for {
+		var timerC <-chan time.Time
+		var timer *time.Timer
+		if d, ok := sc.nextDue(); ok {
+			timer = time.NewTimer(d)
+			timerC = timer.C
+		}
+		select {
+		case <-ctx.Done():
+			if timer != nil {
+				timer.Stop()
+			}
+			sc.hardStop(ctx)
+			return
+		case s := <-sc.admit:
+			sc.place(s, time.Now())
+		case job := <-sc.results:
+			sc.complete(job, time.Now())
+		case m := <-sc.srv.snd.sentEnd:
+			sc.finalize(m, nil)
+		case <-sc.wake:
+		case <-timerC:
+		}
+		if timer != nil {
+			timer.Stop()
+		}
+		// Fold any burst into this pass before dispatching.
+	drain:
+		for {
+			select {
+			case s := <-sc.admit:
+				sc.place(s, time.Now())
+			case job := <-sc.results:
+				sc.complete(job, time.Now())
+			case m := <-sc.srv.snd.sentEnd:
+				sc.finalize(m, nil)
+			default:
+				break drain
+			}
+		}
+		now := time.Now()
+		sc.reap(now)
+		sc.dispatch(now)
+	}
+}
+
+// nextDue returns how long until the earliest lineage becomes
+// dispatchable, clamped to >= 1ms so a deferred-due lineage cannot
+// spin the loop.
+func (sc *scheduler) nextDue() (time.Duration, bool) {
+	var earliest time.Time
+	for _, l := range sc.lineages {
+		if l.inflight || len(l.members) == 0 {
+			continue
+		}
+		t := l.due
+		if !l.started && sc.srv.cfg.CohortWindow > 0 {
+			if g := l.formed.Add(sc.srv.cfg.CohortWindow); g.After(t) {
+				t = g
+			}
+		}
+		if earliest.IsZero() || t.Before(earliest) {
+			earliest = t
+		}
+	}
+	if earliest.IsZero() {
+		return 0, false
+	}
+	d := time.Until(earliest)
+	if d < time.Millisecond {
+		d = time.Millisecond
+	}
+	return d, true
+}
+
+// place admits a session into the farm: controller state, metrics, and
+// a lineage — joining an existing frame-0 lineage of its cohort when
+// one exists (encode sharing), otherwise founding a new one.
+func (sc *scheduler) place(s *session, now time.Time) {
+	cfg := &sc.srv.cfg
+	var err error
+	if s.est, err = adapt.NewPLREstimator(cfg.EstimatorWeight); err != nil {
+		sc.admitFailed(s, err)
+		return
+	}
+	if cfg.EnergyBudget > 0 {
+		if s.ectl, err = adapt.NewEnergyController(cfg.EnergyBudget, 0, 0); err != nil {
+			sc.admitFailed(s, err)
+			return
+		}
+	}
+	s.lastFeedback = now
+	s.deadline = now.Add(cfg.SessionTimeout)
+	s.sum = SessionSummary{ID: s.id, Client: s.client.String(), FramesRequested: s.req.Frames}
+	s.registerMetrics(sc.srv.reg)
+
+	key := keyOf(s.req)
+	for _, l := range sc.lineages {
+		// Joinable while still at frame 0: every frame-0 dispatch uses
+		// knobs (0, 0) — no feedback can have arrived yet — so a joiner
+		// is bit-identical to the founders by construction.
+		if l.key == key && l.frame == 0 {
+			l.members = append(l.members, s)
+			s.lin = l
+			sc.srv.snd.enroll(s)
+			return
+		}
+	}
+	l, err := sc.newLineage(key, s, now)
+	if err != nil {
+		sc.admitFailed(s, err)
+		return
+	}
+	sc.lineages = append(sc.lineages, l)
+	sc.srv.mLineages.Set(float64(len(sc.lineages)))
+	sc.srv.snd.enroll(s)
+}
+
+// admitFailed finishes a session that never got encode state (the
+// accept was already sent, so the client is left to its idle timeout —
+// this path needs a construction error, which no valid hello produces).
+func (sc *scheduler) admitFailed(s *session, err error) {
+	s.sum.Err = err.Error()
+	s.finished = true
+	sc.srv.finishSession(s)
+}
+
+// newLineage builds the encode state for a founding member.
+func (sc *scheduler) newLineage(key cohortKey, s *session, now time.Time) (*lineage, error) {
+	cfg := &sc.srv.cfg
+	src := sc.srv.sourceFor(key.regime)
+	w, h := src.Dims()
+	planner, err := newPlanner(w, h)
+	if err != nil {
+		return nil, err
+	}
+	sc.nextLinID++
+	l := &lineage{
+		id:      sc.nextLinID,
+		key:     key,
+		members: []*session{s},
+		formed:  now,
+		due:     now,
+		src:     src,
+		planner: planner,
+		pktz:    network.NewPacketizer(cfg.MTU),
+	}
+	if l.enc, err = newLineageEncoder(cfg, key, w, h, planner, &l.counters); err != nil {
+		return nil, err
+	}
+	if key.fec > 0 {
+		if l.fec, err = network.NewFECEncoder(key.fec); err != nil {
+			return nil, err
+		}
+	}
+	s.lin = l
+	return l, nil
+}
+
+// reap handles graceful stops, session deadlines and feedback
+// timeouts. Runs every pass so a bye or Shutdown acts promptly even on
+// a lineage that is not due.
+func (sc *scheduler) reap(now time.Time) {
+	cfg := &sc.srv.cfg
+	for _, l := range append([]*lineage(nil), sc.lineages...) {
+		for _, m := range append([]*session(nil), l.members...) {
+			if m.closing {
+				continue
+			}
+			if m.stopReq.Load() {
+				sc.closeMember(m)
+				continue
+			}
+			if now.After(m.deadline) {
+				m.sum.Err = "serve: session deadline exceeded"
+				sc.closeMember(m)
+				continue
+			}
+			if cfg.ReportTimeout > 0 && m.req.ReportEvery > 0 {
+				m.drainFeedback(now)
+				if now.Sub(m.lastFeedback) > cfg.ReportTimeout {
+					m.sum.Err = fmt.Sprintf("serve: no receiver feedback for %v", cfg.ReportTimeout)
+					sc.closeMember(m)
+				}
+			}
+		}
+	}
+}
+
+// dispatch runs one scheduling pass: oldest-member-first over due
+// lineages, partitioning each by the knobs its members want (forking
+// divergers) and handing encode jobs to the farm until the backlog is
+// full. Everything left over is load-shed: deferred, counted, and —
+// via the overloaded flag — admission-gated.
+func (sc *scheduler) dispatch(now time.Time) {
+	sort.Slice(sc.lineages, func(i, j int) bool {
+		return sc.lineages[i].oldestMember() < sc.lineages[j].oldestMember()
+	})
+	overloaded := false
+	// Partitioning may append forked lineages; they inherit the parent's
+	// due time and are picked up by the index loop.
+	for i := 0; i < len(sc.lineages); i++ {
+		l := sc.lineages[i]
+		if l.inflight || len(l.members) == 0 {
+			continue
+		}
+		if !l.started && now.Before(l.formed.Add(sc.srv.cfg.CohortWindow)) {
+			continue
+		}
+		if now.Before(l.due) {
+			continue
+		}
+		if overloaded {
+			sc.srv.mShedDeferrals.Add(1)
+			continue
+		}
+		knob, ok := sc.partition(l, now)
+		if !ok {
+			continue // lineage dissolved (fork error path)
+		}
+		job := &encodeJob{lin: l, frame: l.frame, knob: knob, start: now}
+		select {
+		case sc.jobs <- job:
+			l.inflight = true
+			l.started = true
+			if sc.srv.cfg.FrameInterval > 0 {
+				l.due = now.Add(sc.srv.cfg.FrameInterval)
+			}
+		default:
+			overloaded = true
+			sc.srv.mShedDeferrals.Add(1)
+		}
+	}
+	sc.srv.mFarmDepth.Set(float64(len(sc.jobs)))
+	sc.setOverloaded(overloaded)
+}
+
+func (sc *scheduler) setOverloaded(v bool) {
+	if v == sc.overloaded {
+		return
+	}
+	sc.overloaded = v
+	sc.srv.overloaded.Store(v)
+	if v {
+		sc.srv.mOverloaded.Set(1)
+	} else {
+		sc.srv.mOverloaded.Set(0)
+	}
+}
+
+// partition drains every member's feedback, groups members by the
+// knobs they want applied next, forks every group that diverged from
+// the one holding the oldest member, and returns the knobs for the
+// lineage l itself. Forked lineages keep l's due time, so divergence
+// never costs a frame of pacing.
+func (sc *scheduler) partition(l *lineage, now time.Time) (lineageKnobs, bool) {
+	type group struct {
+		knob    lineageKnobs
+		members []*session
+	}
+	groups := make(map[[2]uint64]*group)
+	var order [][2]uint64
+	for _, m := range l.members {
+		m.drainFeedback(now)
+		k := m.knobs(sc.qctl)
+		bits := k.bits()
+		g := groups[bits]
+		if g == nil {
+			g = &group{knob: k}
+			groups[bits] = g
+			order = append(order, bits)
+		}
+		g.members = append(g.members, m)
+	}
+	// The group holding the oldest member keeps the parent lineage (and
+	// with it the parent's scheduling priority).
+	keeper := order[0]
+	oldest := ^uint32(0)
+	for _, bits := range order {
+		for _, m := range groups[bits].members {
+			if m.id < oldest {
+				oldest = m.id
+				keeper = bits
+			}
+		}
+	}
+	for _, bits := range order {
+		if bits == keeper {
+			continue
+		}
+		g := groups[bits]
+		sc.nextLinID++
+		nl, err := l.fork(sc.nextLinID, g.members)
+		if err != nil {
+			for _, m := range g.members {
+				m.sum.Err = err.Error()
+				sc.closeMember(m)
+			}
+			continue
+		}
+		sc.lineages = append(sc.lineages, nl)
+		sc.srv.mForks.Add(1)
+	}
+	sc.srv.mLineages.Set(float64(len(sc.lineages)))
+	if len(l.members) == 0 {
+		sc.dropLineage(l)
+		return lineageKnobs{}, false
+	}
+	return groups[keeper].knob, true
+}
+
+// complete fans a finished encode out to every member of its lineage,
+// advances their books, and retires members that reached their
+// requested frame count.
+func (sc *scheduler) complete(job *encodeJob, now time.Time) {
+	l := job.lin
+	l.inflight = false
+	if job.err != nil {
+		for _, m := range append([]*session(nil), l.members...) {
+			m.sum.Err = job.err.Error()
+			sc.closeMember(m)
+		}
+		sc.dropLineage(l)
+		return
+	}
+	l.frame = job.frame + 1
+	profile := sc.srv.cfg.Profile
+	totalJoules := profile.Joules(l.counters)
+	fanout := 0
+	for _, m := range l.members {
+		if m.closing {
+			continue
+		}
+		fanout++
+		m.queue.push(queuedFrame{frame: job.frame, pkts: job.pkts, enqueued: job.start})
+		m.framesEncoded.Store(int64(job.frame + 1))
+		m.sum.FramesEncoded = job.frame + 1
+		m.sum.IntraMBs += int64(job.intraMBs)
+		m.sum.FinalAlpha = job.knob.plr
+		m.sum.FinalIntraTh = job.knob.th
+		m.sum.EnergyJoules = totalJoules
+		m.sum.Trace = append(m.sum.Trace, TracePoint{
+			Frame: job.frame, Alpha: job.knob.plr, IntraTh: job.knob.th, IntraMBs: job.intraMBs,
+		})
+		if m.ectl != nil {
+			m.ectl.Observe(job.frameEnergy)
+		}
+		m.mFrames.Add(1)
+		m.mIntra.Add(int64(job.intraMBs))
+		m.mAlpha.Set(job.knob.plr)
+		m.mTh.Set(job.knob.th)
+		m.mDepth.Set(float64(m.queue.depth()))
+		m.mJoules.Set(totalJoules)
+		m.mEncode.Observe(job.encodeTime)
+		if d := m.queue.droppedFrames() - m.sum.QueueDroppedFrames; d > 0 {
+			m.mQueueDrop.Add(d)
+			m.sum.QueueDroppedFrames += d
+		}
+	}
+	sc.srv.mEncodes.Add(1)
+	if fanout > 1 {
+		sc.srv.mSharedFrames.Add(int64(fanout - 1))
+	}
+	sc.srv.mEncodeLat.Observe(job.encodeTime)
+	sc.srv.snd.poke()
+
+	for _, m := range append([]*session(nil), l.members...) {
+		if !m.closing && m.sum.FramesEncoded >= m.req.Frames {
+			sc.closeMember(m)
+		}
+	}
+	if len(l.members) == 0 {
+		sc.dropLineage(l)
+	}
+}
+
+// closeMember ends a member's production: its queue closes (the sender
+// drains what is queued and announces the end of the stream) and it
+// leaves its lineage. Finalisation waits for the sender's End
+// confirmation so packet/byte counts are complete.
+func (sc *scheduler) closeMember(m *session) {
+	if m.closing || m.finished {
+		return
+	}
+	m.closing = true
+	m.queue.close()
+	if m.lin != nil {
+		m.lin.removeMember(m)
+		if len(m.lin.members) == 0 && !m.lin.inflight {
+			sc.dropLineage(m.lin)
+		}
+		m.lin = nil
+	}
+	sc.pendingEnd[m.id] = m
+	sc.srv.snd.poke()
+}
+
+func (sc *scheduler) dropLineage(l *lineage) {
+	for i, x := range sc.lineages {
+		if x == l {
+			sc.lineages = append(sc.lineages[:i], sc.lineages[i+1:]...)
+			break
+		}
+	}
+	sc.srv.mLineages.Set(float64(len(sc.lineages)))
+}
+
+// finalize records a session's summary once its End is on the wire (or
+// once a hard stop abandons it, err non-nil).
+func (sc *scheduler) finalize(m *session, err error) {
+	if m.finished {
+		return
+	}
+	m.finished = true
+	delete(sc.pendingEnd, m.id)
+	// Late feedback that arrived after the last frame still counts in
+	// the books (a final report races the End datagram).
+	for {
+		select {
+		case <-m.feedback:
+			m.sum.Reports++
+			m.mReports.Add(1)
+			continue
+		default:
+		}
+		break
+	}
+	m.sum.PacketsSent = m.mPackets.Value()
+	m.sum.BytesSent = m.mBytes.Value()
+	if d := m.queue.droppedFrames() - m.sum.QueueDroppedFrames; d > 0 {
+		m.mQueueDrop.Add(d)
+		m.sum.QueueDroppedFrames += d
+	}
+	if err != nil && m.sum.Err == "" {
+		m.sum.Err = err.Error()
+	}
+	sc.srv.finishSession(m)
+}
+
+// hardStop abandons every live session when the root context is
+// cancelled (Close, or Shutdown's drain budget expiring). Summaries
+// are still recorded — with the cancellation as their error — so no
+// session ever vanishes from the books.
+func (sc *scheduler) hardStop(ctx context.Context) {
+	err := ctx.Err()
+	for _, l := range append([]*lineage(nil), sc.lineages...) {
+		for _, m := range append([]*session(nil), l.members...) {
+			if !m.closing {
+				m.closing = true
+				m.queue.close()
+			}
+			m.lin = nil
+			sc.finalize(m, err)
+		}
+	}
+	sc.lineages = nil
+	for _, m := range sc.pendingEnd {
+		sc.finalize(m, err)
+	}
+	// Admissions racing the cancellation still need their books closed.
+	for {
+		select {
+		case s := <-sc.admit:
+			s.sum = SessionSummary{ID: s.id, Client: s.client.String(), FramesRequested: s.req.Frames, Err: err.Error()}
+			s.finished = true
+			sc.srv.finishSession(s)
+		default:
+			return
+		}
+	}
+}
+
+// worker is one farm goroutine: it borrows a lineage's encode state
+// for the duration of a job (the scheduler guarantees exclusivity via
+// the inflight flag) and hands the result back.
+func (sc *scheduler) worker(ctx context.Context) {
+	defer sc.srv.farmWG.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case job := <-sc.jobs:
+			sc.encode(job)
+			select {
+			case sc.results <- job:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}
+}
+
+// encode runs the job: retune the planner, encode, packetise, protect.
+func (sc *scheduler) encode(job *encodeJob) {
+	l := job.lin
+	l.planner.SetPLR(job.knob.plr)
+	l.planner.SetIntraTh(job.knob.th)
+	t0 := time.Now()
+	ef, err := l.enc.EncodeFrame(l.src.Frame(job.frame))
+	job.encodeTime = time.Since(t0)
+	if err != nil {
+		job.err = err
+		return
+	}
+	var pkts []network.Packet
+	if l.key.interleave > 1 {
+		pkts = l.pktz.PacketizeInterleaved(ef, l.key.interleave)
+	} else {
+		pkts = l.pktz.Packetize(ef)
+	}
+	if l.fec != nil {
+		pkts = append(l.fec.Protect(pkts), l.fec.Flush()...)
+	}
+	job.pkts = pkts
+	job.intraMBs = ef.Plan.IntraCount()
+	job.frameEnergy = sc.srv.cfg.Profile.Joules(l.counters.Sub(l.prevCounters))
+	l.prevCounters = l.counters
+}

@@ -1,0 +1,178 @@
+package serve
+
+import (
+	"context"
+	"time"
+
+	"pbpair/internal/network"
+)
+
+// sender is the serving layer's single transmit goroutine. It drains
+// every session's frame queue per flush pass, coalesces small packets
+// into 'C' datagrams (bounded by the coalesce limit so the path MTU is
+// respected), and pushes the whole pass to the kernel through a
+// network.BatchSender — one sendmmsg(2) per flush on Linux instead of
+// one sendto per packet. Datagram buffers and the batch slice are
+// recycled across flushes, so a steady-state flush allocates nothing.
+type sender struct {
+	srv      *Server
+	register chan *session
+	wake     chan struct{}
+	sentEnd  chan *session
+
+	members []*session
+	batch   network.BatchSender
+
+	dgrams []network.Datagram
+	bufs   [][]byte
+	nbuf   int
+}
+
+// enroll hands a newly admitted session to the sender. Called by the
+// scheduler; the sender folds registrations in at its next pass.
+func (sn *sender) enroll(m *session) {
+	select {
+	case sn.register <- m:
+	case <-sn.srv.rootCtx.Done():
+	}
+}
+
+// poke nudges the sender without blocking.
+func (sn *sender) poke() {
+	select {
+	case sn.wake <- struct{}{}:
+	default:
+	}
+}
+
+// buf returns a recycled datagram buffer.
+func (sn *sender) buf() []byte {
+	if sn.nbuf < len(sn.bufs) {
+		b := sn.bufs[sn.nbuf][:0]
+		sn.nbuf++
+		return b
+	}
+	b := make([]byte, 0, sn.srv.cfg.MTU+64)
+	sn.bufs = append(sn.bufs, b)
+	sn.nbuf++
+	return b
+}
+
+// run is the sender goroutine body.
+func (sn *sender) run(ctx context.Context) {
+	defer sn.srv.farmWG.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case m := <-sn.register:
+			sn.members = append(sn.members, m)
+		case <-sn.wake:
+		}
+	drain:
+		for {
+			select {
+			case m := <-sn.register:
+				sn.members = append(sn.members, m)
+			default:
+				break drain
+			}
+		}
+		if !sn.flush(ctx) {
+			return
+		}
+	}
+}
+
+// flush drains every member queue into one batched send. Members whose
+// queues closed get their End burst appended to the same batch; their
+// confirmations go to the scheduler only after the batch is on the
+// wire, so finalised packet counts are complete. Returns false when
+// ctx died mid-flush.
+func (sn *sender) flush(ctx context.Context) bool {
+	sn.dgrams = sn.dgrams[:0]
+	sn.nbuf = 0
+	var ended []*session
+	live := sn.members[:0]
+	for _, m := range sn.members {
+		closed := false
+	memberDrain:
+		for {
+			select {
+			case item, ok := <-m.queue.ch:
+				if !ok {
+					closed = true
+					break memberDrain
+				}
+				sn.appendFrame(m, item)
+			default:
+				break memberDrain
+			}
+		}
+		if closed {
+			// End of stream: repeat the End datagram a few times so a
+			// lossy path is unlikely to strand the client until its
+			// idle timeout.
+			frames := int(m.framesEncoded.Load())
+			for i := 0; i < 3; i++ {
+				buf := appendEnd(sn.buf(), m.id, frames)
+				sn.dgrams = append(sn.dgrams, network.Datagram{Payload: buf, Addr: m.client})
+			}
+			ended = append(ended, m)
+		} else {
+			live = append(live, m)
+		}
+	}
+	sn.members = live
+	if len(sn.dgrams) > 0 {
+		sent, _ := sn.batch.SendBatch(sn.dgrams)
+		sn.srv.mSendBatches.Add(1)
+		sn.srv.mSendDatagrams.Add(int64(sent))
+	}
+	for _, m := range ended {
+		select {
+		case sn.sentEnd <- m:
+		case <-ctx.Done():
+			return false
+		}
+	}
+	return true
+}
+
+// appendFrame turns one queued frame into datagrams for member m,
+// coalescing consecutive packets while they fit the coalesce limit,
+// and accounts the frame's scheduling→wire latency.
+func (sn *sender) appendFrame(m *session, item queuedFrame) {
+	limit := sn.srv.cfg.CoalesceBytes
+	pkts := item.pkts
+	var npkts, nbytes int64
+	for start := 0; start < len(pkts); {
+		end := start + 1
+		size := 5 + 1 + 2 + pkts[start].WireSize()
+		for end < len(pkts) && end-start < network.MaxBatchPackets {
+			next := size + 2 + pkts[end].WireSize()
+			if next > limit {
+				break
+			}
+			size = next
+			end++
+		}
+		var buf []byte
+		if end == start+1 && limit <= 0 {
+			// Coalescing disabled: classic one-packet 'M' datagrams.
+			buf = appendMedia(sn.buf(), m.id, pkts[start])
+		} else {
+			buf = appendCoalesced(sn.buf(), m.id, pkts[start:end])
+		}
+		sn.dgrams = append(sn.dgrams, network.Datagram{Payload: buf, Addr: m.client})
+		npkts += int64(end - start)
+		nbytes += int64(len(buf))
+		if end-start > 1 {
+			sn.srv.mCoalesced.Add(int64(end - start))
+		}
+		start = end
+	}
+	m.mPackets.Add(npkts)
+	m.mBytes.Add(nbytes)
+	sn.srv.mFrameLat.Observe(time.Since(item.enqueued))
+}

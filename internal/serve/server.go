@@ -4,11 +4,15 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"pbpair/internal/adapt"
 	"pbpair/internal/energy"
 	"pbpair/internal/motion"
+	"pbpair/internal/network"
 	"pbpair/internal/obs"
 	"pbpair/internal/parallel"
 	"pbpair/internal/synth"
@@ -32,8 +36,8 @@ type Config struct {
 	QueueFrames int
 	// MTU bounds media packet payloads. Default 1400.
 	MTU int
-	// FrameInterval paces the sender between frames (0 = unpaced, as
-	// fast as encode allows). Default 0.
+	// FrameInterval paces each lineage between frames (0 = unpaced, as
+	// fast as the farm allows). Default 0.
 	FrameInterval time.Duration
 	// SessionTimeout is the hard per-session deadline. Default 10m.
 	SessionTimeout time.Duration
@@ -42,14 +46,37 @@ type Config struct {
 	// 0 disables the check.
 	ReportTimeout time.Duration
 
-	// Workers is codec.Config.Workers for each session's encoder
-	// (intra-frame sharding). Default 1: session-level concurrency
-	// already fills cores when several streams are live.
+	// Workers is codec.Config.Workers for each lineage's encoder
+	// (intra-frame sharding). Default 1: the farm already runs
+	// FarmWorkers encodes concurrently.
 	Workers int
 	// Search selects the motion search. Default ThreeStep — the
 	// serving layer favours latency over the exhaustive reference
 	// search the offline experiments use.
 	Search motion.SearchKind
+
+	// FarmWorkers is the encode farm size: how many frame encodes run
+	// concurrently, across all sessions. Default GOMAXPROCS. The farm
+	// is the server's fixed goroutine budget — session count does not
+	// change the goroutine topology.
+	FarmWorkers int
+	// FarmBacklog bounds the farm's job queue. When a scheduling pass
+	// cannot enqueue every due lineage, the newest lineages are
+	// deferred first (load shedding) and admission rejects new hellos
+	// until the backlog drains. Default 2 × FarmWorkers.
+	FarmBacklog int
+	// CohortWindow is how long a newly formed lineage lingers at frame
+	// 0 so that compatible sessions arriving within the window join it
+	// and share its encodes. 0 (the default) starts lineages
+	// immediately; sessions admitted while frame 0 is still pending
+	// can join regardless.
+	CohortWindow time.Duration
+	// CoalesceBytes bounds a coalesced 'C' media datagram's payload:
+	// consecutive small packets for one session are packed together up
+	// to this size, cutting per-datagram overhead. 0 selects MTU + 64
+	// (coalescing within the path MTU); negative disables coalescing
+	// (every packet rides its own 'M' datagram).
+	CoalesceBytes int
 
 	// EstimatorWeight smooths receiver reports into α̂ (report-level
 	// EMA weight; see adapt.PLREstimator.ObserveReport). Default 0.35.
@@ -92,6 +119,15 @@ func (c Config) withDefaults() Config {
 	if c.Workers <= 0 {
 		c.Workers = 1
 	}
+	if c.FarmWorkers <= 0 {
+		c.FarmWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.FarmBacklog <= 0 {
+		c.FarmBacklog = 2 * c.FarmWorkers
+	}
+	if c.CoalesceBytes == 0 {
+		c.CoalesceBytes = c.MTU + 64
+	}
 	if c.Search == 0 {
 		c.Search = motion.ThreeStep
 	}
@@ -113,10 +149,6 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// newSource builds the per-session frame source. Synthetic sources are
-// pure functions of (regime, frame), so sessions share nothing.
-func (c *Config) newSource(r synth.Regime) synth.Source { return synth.New(r) }
-
 func (c *Config) logf(format string, args ...any) {
 	if c.Logf != nil {
 		c.Logf(format, args...)
@@ -127,9 +159,12 @@ func (c *Config) logf(format string, args ...any) {
 const maxKeptSummaries = 256
 
 // Server runs the serving layer: one UDP socket carrying every
-// session's media, feedback and control datagrams, N concurrent
-// session goroutine pairs behind an admission cap, and an obs.Registry
-// exporting the lot.
+// session's media, feedback and control datagrams, a shared encode
+// farm behind a single scheduler goroutine, one batched sender, and an
+// obs.Registry exporting the lot. The goroutine topology is fixed —
+// read loop + scheduler + sender + FarmWorkers farm workers — no
+// matter how many sessions are live; sessions are state machines, not
+// goroutines. See ARCHITECTURE.md, "Serving layer".
 type Server struct {
 	cfg  Config
 	conn *net.UDPConn
@@ -138,7 +173,14 @@ type Server struct {
 	rootCtx context.Context
 	cancel  context.CancelFunc
 	readWG  sync.WaitGroup
-	sessWG  sync.WaitGroup
+	farmWG  sync.WaitGroup
+
+	sched *scheduler
+	snd   *sender
+
+	// overloaded mirrors the scheduler's load-shed state for the
+	// admission path (readLoop), which must not touch scheduler state.
+	overloaded atomic.Bool
 
 	mu        sync.Mutex
 	accepting bool
@@ -146,16 +188,31 @@ type Server struct {
 	byAddr    map[string]*session
 	nextID    uint32
 	summaries []SessionSummary
+	sources   map[synth.Regime]synth.Source
 
-	mActive       *obs.Gauge
-	mStarted      *obs.Counter
-	mRejected     *obs.Counter
-	mCompleted    *obs.Counter
-	mBadDatagrams *obs.Counter
-	mLostFeedback *obs.Counter
+	mActive        *obs.Gauge
+	mStarted       *obs.Counter
+	mRejected      *obs.Counter
+	mCompleted     *obs.Counter
+	mBadDatagrams  *obs.Counter
+	mLostFeedback  *obs.Counter
+	mEncodes       *obs.Counter
+	mSharedFrames  *obs.Counter
+	mForks         *obs.Counter
+	mLineages      *obs.Gauge
+	mFarmDepth     *obs.Gauge
+	mShedDeferrals *obs.Counter
+	mShedRejects   *obs.Counter
+	mOverloaded    *obs.Gauge
+	mSendBatches   *obs.Counter
+	mSendDatagrams *obs.Counter
+	mCoalesced     *obs.Counter
+	mFrameLat      *obs.Histogram
+	mEncodeLat     *obs.Histogram
 }
 
-// New binds the socket and starts the demultiplexing read loop. The
+// New binds the socket and starts the farm: the demultiplexing read
+// loop, the scheduler, the batched sender and the encode workers. The
 // caller must eventually Shutdown or Close.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
@@ -167,6 +224,13 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: listen: %w", err)
 	}
+	qctl, err := adapt.NewQualityController(cfg.RefreshInterval)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	qctl.SetSimilarity(cfg.Similarity)
+
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:       cfg,
@@ -177,16 +241,45 @@ func New(cfg Config) (*Server, error) {
 		accepting: true,
 		sessions:  make(map[uint32]*session),
 		byAddr:    make(map[string]*session),
+		sources:   make(map[synth.Regime]synth.Source),
 
-		mActive:       cfg.Registry.Gauge("server.sessions_active"),
-		mStarted:      cfg.Registry.Counter("server.sessions_started"),
-		mRejected:     cfg.Registry.Counter("server.sessions_rejected"),
-		mCompleted:    cfg.Registry.Counter("server.sessions_completed"),
-		mBadDatagrams: cfg.Registry.Counter("server.bad_datagrams"),
-		mLostFeedback: cfg.Registry.Counter("server.feedback_dropped"),
+		mActive:        cfg.Registry.Gauge("server.sessions_active"),
+		mStarted:       cfg.Registry.Counter("server.sessions_started"),
+		mRejected:      cfg.Registry.Counter("server.sessions_rejected"),
+		mCompleted:     cfg.Registry.Counter("server.sessions_completed"),
+		mBadDatagrams:  cfg.Registry.Counter("server.bad_datagrams"),
+		mLostFeedback:  cfg.Registry.Counter("server.feedback_dropped"),
+		mEncodes:       cfg.Registry.Counter("server.encodes"),
+		mSharedFrames:  cfg.Registry.Counter("server.encode_shared_frames"),
+		mForks:         cfg.Registry.Counter("server.lineage_forks"),
+		mLineages:      cfg.Registry.Gauge("server.lineages_active"),
+		mFarmDepth:     cfg.Registry.Gauge("server.farm_queue_depth"),
+		mShedDeferrals: cfg.Registry.Counter("server.loadshed_deferrals"),
+		mShedRejects:   cfg.Registry.Counter("server.loadshed_rejects"),
+		mOverloaded:    cfg.Registry.Gauge("server.overloaded"),
+		mSendBatches:   cfg.Registry.Counter("server.send_batches"),
+		mSendDatagrams: cfg.Registry.Counter("server.send_datagrams"),
+		mCoalesced:     cfg.Registry.Counter("server.coalesced_packets"),
+		mFrameLat:      cfg.Registry.Histogram("server.frame_latency"),
+		mEncodeLat:     cfg.Registry.Histogram("server.encode_latency"),
 	}
+	s.snd = &sender{
+		srv:      s,
+		register: make(chan *session, 256),
+		wake:     make(chan struct{}, 1),
+		sentEnd:  make(chan *session, 256),
+		batch:    network.NewBatchSender(conn),
+	}
+	s.sched = newScheduler(s, qctl)
+
 	s.readWG.Add(1)
 	go s.readLoop()
+	s.farmWG.Add(2 + cfg.FarmWorkers)
+	go s.sched.run(ctx)
+	go s.snd.run(ctx)
+	for i := 0; i < cfg.FarmWorkers; i++ {
+		go s.sched.worker(ctx)
+	}
 	return s, nil
 }
 
@@ -212,6 +305,20 @@ func (s *Server) Summaries() []SessionSummary {
 	out := make([]SessionSummary, len(s.summaries))
 	copy(out, s.summaries)
 	return out
+}
+
+// sourceFor returns the regime's shared frame source: one bounded
+// window memo per regime, so every lineage of a regime shares frame
+// renders while memory stays bounded on unbounded streams.
+func (s *Server) sourceFor(r synth.Regime) synth.Source {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	src, ok := s.sources[r]
+	if !ok {
+		src = synth.MemoizeWindow(synth.New(r), 2*s.cfg.QueueFrames)
+		s.sources[r] = src
+	}
+	return src
 }
 
 // writeTo sends one datagram, reporting success.
@@ -264,7 +371,8 @@ func (s *Server) readLoop() {
 			s.mu.Unlock()
 			if sess != nil {
 				s.cfg.logf("session %d: client bye", id)
-				sess.stop()
+				sess.stopReq.Store(true)
+				s.sched.poke()
 			}
 		default:
 			s.mBadDatagrams.Add(1)
@@ -273,8 +381,10 @@ func (s *Server) readLoop() {
 }
 
 // handleHello is admission control: duplicate hellos re-accept the
-// existing session (UDP retransmits), capacity and validation failures
-// reject with a reason the client can print.
+// existing session (UDP retransmits); capacity, overload and
+// validation failures reject with a reason the client can print.
+// Load shedding starts here — an overloaded farm rejects the newest
+// would-be sessions so that admitted ones keep their service level.
 func (s *Server) handleHello(buf []byte, addr *net.UDPAddr) {
 	h, err := parseHello(buf)
 	if err != nil {
@@ -320,24 +430,25 @@ func (s *Server) handleHello(buf []byte, addr *net.UDPAddr) {
 		s.reject(addr, fmt.Sprintf("server at capacity (%d/%d sessions)", n, s.cfg.MaxSessions))
 		return
 	}
+	if s.overloaded.Load() {
+		s.mu.Unlock()
+		s.mRejected.Add(1)
+		s.mShedRejects.Add(1)
+		s.reject(addr, "server overloaded, shedding new sessions")
+		return
+	}
 	s.nextID++
-	ctx, cancel := context.WithTimeout(s.rootCtx, s.cfg.SessionTimeout)
 	sess := &session{
 		id:       s.nextID,
-		srv:      s,
 		client:   copyAddr(addr),
 		req:      h,
-		ctx:      ctx,
-		cancel:   cancel,
-		quit:     make(chan struct{}),
-		done:     make(chan struct{}),
 		feedback: make(chan report, 16),
+		done:     make(chan struct{}),
 		queue:    newFrameQueue(s.cfg.QueueFrames),
 	}
 	s.sessions[sess.id] = sess
 	s.byAddr[addr.String()] = sess
 	active := len(s.sessions)
-	s.sessWG.Add(1)
 	s.mu.Unlock()
 
 	s.mStarted.Add(1)
@@ -345,10 +456,10 @@ func (s *Server) handleHello(buf []byte, addr *net.UDPAddr) {
 	s.cfg.logf("session %d: accepted %s (%d frames, regime %s, qp %d, fec %d, interleave %d)",
 		sess.id, sess.client, h.Frames, h.Regime, h.QP, h.FECGroup, h.Interleave)
 	s.writeTo(appendAccept(nil, sess.id, h.Frames), addr)
-	go func() {
-		defer s.sessWG.Done()
-		sess.run()
-	}()
+	select {
+	case s.sched.admit <- sess:
+	case <-s.rootCtx.Done():
+	}
 }
 
 func (s *Server) reject(addr *net.UDPAddr, reason string) {
@@ -356,9 +467,10 @@ func (s *Server) reject(addr *net.UDPAddr, reason string) {
 	s.writeTo(appendReject(nil, reason), addr)
 }
 
-// finishSession records the summary and releases the session's
-// registry slice.
-func (s *Server) finishSession(sess *session, sum SessionSummary) {
+// finishSession records the summary, releases the session's registry
+// slice and closes its done channel. Called from the scheduler only.
+func (s *Server) finishSession(sess *session) {
+	sum := sess.sum
 	s.reg.RemovePrefix(sess.metricPrefix())
 	s.mu.Lock()
 	delete(s.sessions, sess.id)
@@ -378,12 +490,14 @@ func (s *Server) finishSession(sess *session, sum SessionSummary) {
 	s.cfg.logf("session %d: finished %d/%d frames, %d pkts, %d queue-dropped, α̂=%.3f Th=%.3f (%s)",
 		sum.ID, sum.FramesEncoded, sum.FramesRequested, sum.PacketsSent,
 		sum.QueueDroppedFrames, sum.FinalAlpha, sum.FinalIntraTh, outcome)
+	close(sess.done)
 }
 
 // Shutdown stops admitting, asks every session to stop gracefully and
 // waits — via parallel.ForEachCtx, so the wait itself honours ctx —
-// for queued frames to drain. Sessions still alive when ctx expires
-// are hard-cancelled. The socket closes last.
+// for queued frames to drain and Ends to reach the wire. Sessions
+// still alive when ctx expires are hard-cancelled (their summaries
+// record the cancellation). The socket closes last.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.accepting = false
@@ -394,8 +508,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Unlock()
 
 	for _, sess := range draining {
-		sess.stop()
+		sess.stopReq.Store(true)
 	}
+	s.sched.poke()
 	var err error
 	if len(draining) > 0 {
 		err = parallel.ForEachCtx(ctx, len(draining), len(draining), func(i int) {
@@ -408,7 +523,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.cancel() // hard-stop stragglers (no-op if everything drained)
 	s.conn.Close()
 	s.readWG.Wait()
-	s.sessWG.Wait()
+	s.farmWG.Wait()
 	if err != nil {
 		return fmt.Errorf("serve: shutdown abandoned undrained sessions: %w", err)
 	}
@@ -423,7 +538,7 @@ func (s *Server) Close() error {
 	s.cancel()
 	s.conn.Close()
 	s.readWG.Wait()
-	s.sessWG.Wait()
+	s.farmWG.Wait()
 	return nil
 }
 

@@ -1,18 +1,12 @@
 package serve
 
 import (
-	"context"
 	"fmt"
 	"net"
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"pbpair/internal/adapt"
-	"pbpair/internal/codec"
-	"pbpair/internal/core"
-	"pbpair/internal/energy"
-	"pbpair/internal/network"
 	"pbpair/internal/obs"
 )
 
@@ -44,304 +38,118 @@ type SessionSummary struct {
 	Err                string // "" on a clean finish
 }
 
-// session is one live stream: an encoder goroutine feeding a bounded
-// send queue drained by a sender goroutine, with receiver reports
-// arriving on the feedback channel. See ARCHITECTURE.md for the
-// lifecycle diagram.
+// session is one live stream's state machine. Unlike the previous
+// serving layer — which ran two goroutines per session — a session
+// owns no goroutine at all: the scheduler advances its control state
+// (estimator, controllers, trace), the encode farm produces its frames
+// (shared with every other member of its lineage; see lineage.go), and
+// the sender drains its queue onto the socket.
+//
+// Ownership/concurrency contract:
+//   - readLoop writes: feedback (bounded, lossy), stopReq.
+//   - scheduler owns: est, ectl, sum, trace, lineage membership, queue
+//     production and close. Nothing else touches these.
+//   - sender owns: queue consumption; it updates the atomic packet and
+//     byte counters and signals sentEnd when the End burst is out.
+//   - framesEncoded is the only cross-goroutine scalar: the scheduler
+//     stores it at fanout, the sender reads it for the End datagram.
 type session struct {
 	id     uint32
-	srv    *Server
 	client *net.UDPAddr
 	req    hello
 
-	// Lifecycle: quit asks the encode loop to stop producing (graceful
-	// — queued frames still drain and the client gets an End); ctx is
-	// the hard stop that abandons the queue. done closes when run has
-	// fully finished and the summary is recorded.
-	ctx      context.Context
-	cancel   context.CancelFunc
-	quit     chan struct{}
-	quitOnce sync.Once
-	done     chan struct{}
-
+	// feedback carries receiver reports from the read loop to the
+	// scheduler; bounded and lossy by design (a dropped report is
+	// indistinguishable from a lost datagram, and the next report
+	// carries fresher information anyway).
 	feedback chan report
-	queue    *frameQueue
+	// stopReq asks for a graceful stop: stop producing frames, drain
+	// the queue, announce the end of the stream. Set by a client bye
+	// or by Shutdown; the scheduler acts on it at its next pass.
+	stopReq atomic.Bool
+	// done closes when the session is fully finished and its summary
+	// recorded. Shutdown waits on it.
+	done chan struct{}
 
-	// framesEncoded is written by the encode loop and read by the
-	// sender when it emits the End datagram.
+	queue *frameQueue
+
+	// framesEncoded is written by the scheduler at fanout and read by
+	// the sender when it emits the End datagram.
 	framesEncoded atomic.Int64
 
-	// shared publishes per-frame energy counter snapshots for
-	// observers; the live tally belongs to the encode goroutine alone
-	// (see energy.SharedCounters).
-	shared energy.SharedCounters
-}
+	// --- scheduler-owned state below ---
 
-// stop requests a graceful stop: finish the current frame, drain the
-// queue, tell the client the stream ended.
-func (s *session) stop() {
-	s.quitOnce.Do(func() { close(s.quit) })
+	est          *adapt.PLREstimator
+	ectl         *adapt.EnergyController
+	lastFeedback time.Time
+	deadline     time.Time // admission + SessionTimeout
+	sum          SessionSummary
+	lin          *lineage
+	closing      bool // queue closed, awaiting the sender's End
+	finished     bool // summary recorded, metrics removed
+
+	// Per-session metrics, registered at admission under "s<id>." and
+	// removed when the session finishes.
+	mFrames    *obs.Counter
+	mPackets   *obs.Counter
+	mBytes     *obs.Counter
+	mQueueDrop *obs.Counter
+	mReports   *obs.Counter
+	mIntra     *obs.Counter
+	mAlpha     *obs.Gauge
+	mTh        *obs.Gauge
+	mDepth     *obs.Gauge
+	mJoules    *obs.Gauge
+	mEncode    *obs.Histogram
 }
 
 // metricPrefix namespaces this session's metrics in the registry.
 func (s *session) metricPrefix() string { return fmt.Sprintf("s%d.", s.id) }
 
-// run executes the session to completion and hands the summary back to
-// the server. It owns every per-session resource.
-func (s *session) run() {
-	defer close(s.done)
-	defer s.cancel()
-	sum := SessionSummary{
-		ID:              s.id,
-		Client:          s.client.String(),
-		FramesRequested: s.req.Frames,
-	}
-	if err := s.stream(&sum); err != nil {
-		sum.Err = err.Error()
-	}
-	s.srv.finishSession(s, sum)
-}
-
-// stream runs the closed loop: encode → packetise → queue → (sender) →
-// socket, feedback → estimator → controllers → planner.
-func (s *session) stream(sum *SessionSummary) error {
-	cfg := &s.srv.cfg
-	reg := s.srv.reg
+// registerMetrics creates the per-session metric set. Scheduler-only.
+func (s *session) registerMetrics(reg *obs.Registry) {
 	prefix := s.metricPrefix()
-
-	mFrames := reg.Counter(prefix + "frames_encoded")
-	mPackets := reg.Counter(prefix + "packets_sent")
-	mBytes := reg.Counter(prefix + "bytes_sent")
-	mQueueDrop := reg.Counter(prefix + "queue_dropped_frames")
-	mReports := reg.Counter(prefix + "reports")
-	mIntra := reg.Counter(prefix + "intra_mbs")
-	mAlpha := reg.Gauge(prefix + "alpha_hat")
-	mTh := reg.Gauge(prefix + "intra_th")
-	mDepth := reg.Gauge(prefix + "queue_depth")
-	mJoules := reg.Gauge(prefix + "energy_joules")
-	mEncode := reg.Histogram(prefix + "encode_latency")
-
-	src := cfg.newSource(s.req.Regime)
-	w, h := src.Dims()
-	planner, err := core.New(core.Config{
-		Rows: h / 16, Cols: w / 16,
-		IntraTh: 0, PLR: 0,
-	})
-	if err != nil {
-		return err
-	}
-	var counters energy.Counters
-	enc, err := codec.NewEncoder(codec.Config{
-		Width: w, Height: h,
-		QP:       s.req.QP,
-		Search:   cfg.Search,
-		Planner:  planner,
-		Counters: &counters,
-		Workers:  cfg.Workers,
-	})
-	if err != nil {
-		return err
-	}
-	est, err := adapt.NewPLREstimator(cfg.EstimatorWeight)
-	if err != nil {
-		return err
-	}
-	qctl, err := adapt.NewQualityController(cfg.RefreshInterval)
-	if err != nil {
-		return err
-	}
-	qctl.SetSimilarity(cfg.Similarity)
-	var ectl *adapt.EnergyController
-	if cfg.EnergyBudget > 0 {
-		if ectl, err = adapt.NewEnergyController(cfg.EnergyBudget, 0, 0); err != nil {
-			return err
-		}
-	}
-	pktz := network.NewPacketizer(cfg.MTU)
-	var fec *network.FECEncoder
-	if s.req.FECGroup > 0 {
-		if fec, err = network.NewFECEncoder(s.req.FECGroup); err != nil {
-			return err
-		}
-	}
-
-	var sendWG sync.WaitGroup
-	sendWG.Add(1)
-	go func() {
-		defer sendWG.Done()
-		s.sendLoop(mPackets, mBytes)
-	}()
-	// However the encode loop exits, close the queue so the sender
-	// drains and announces the end of the stream, wait for it, then
-	// fold what it sent into the summary (defers run in LIFO order).
-	defer func() {
-		sum.PacketsSent = mPackets.Value()
-		sum.BytesSent = mBytes.Value()
-	}()
-	defer sendWG.Wait()
-	defer s.queue.close()
-
-	// The encode loop is paced, not the sender: a live encoder is
-	// driven by the capture clock, and pacing here is what gives
-	// receiver feedback time to steer frames that are still in the
-	// future. The sender transmits as soon as frames are queued.
-	var tick <-chan time.Time
-	if cfg.FrameInterval > 0 {
-		ticker := time.NewTicker(cfg.FrameInterval)
-		defer ticker.Stop()
-		tick = ticker.C
-	}
-
-	lastFeedback := time.Now()
-	var prevCounters energy.Counters
-	var encodeErr error
-
-encode:
-	for k := 0; k < s.req.Frames; k++ {
-		if tick != nil && k > 0 {
-			select {
-			case <-s.ctx.Done():
-				encodeErr = s.ctx.Err()
-				break encode
-			case <-s.quit:
-				break encode
-			case <-tick:
-			}
-		}
-		select {
-		case <-s.ctx.Done():
-			encodeErr = s.ctx.Err()
-			break encode
-		case <-s.quit:
-			break encode // graceful: stop producing, drain below
-		default:
-		}
-
-		// Fold in every pending receiver report, then retune. The
-		// quality controller tracks α̂; the energy controller may push
-		// the threshold higher still when the frame energy is over
-		// budget (more intra ⇒ less motion estimation).
-	drain:
-		for {
-			select {
-			case r := <-s.feedback:
-				est.ObserveReport(r.Fraction)
-				sum.Reports++
-				mReports.Add(1)
-				lastFeedback = time.Now()
-			default:
-				break drain
-			}
-		}
-		if cfg.ReportTimeout > 0 && s.req.ReportEvery > 0 && time.Since(lastFeedback) > cfg.ReportTimeout {
-			encodeErr = fmt.Errorf("serve: no receiver feedback for %v", cfg.ReportTimeout)
-			break encode
-		}
-		alpha := est.Rate()
-		qctl.Apply(planner, alpha)
-		if ectl != nil {
-			if th := ectl.IntraTh(); th > planner.IntraTh() {
-				planner.SetIntraTh(th)
-			}
-		}
-
-		start := time.Now()
-		ef, err := enc.EncodeFrame(src.Frame(k))
-		if err != nil {
-			encodeErr = err
-			break encode
-		}
-		mEncode.Observe(time.Since(start))
-
-		var pkts []network.Packet
-		if s.req.Interleave > 1 {
-			pkts = pktz.PacketizeInterleaved(ef, s.req.Interleave)
-		} else {
-			pkts = pktz.Packetize(ef)
-		}
-		if fec != nil {
-			pkts = append(fec.Protect(pkts), fec.Flush()...)
-		}
-		s.queue.push(queuedFrame{frame: k, pkts: pkts})
-		s.framesEncoded.Store(int64(k + 1))
-
-		frameEnergy := cfg.Profile.Joules(counters.Sub(prevCounters))
-		prevCounters = counters
-		if ectl != nil {
-			ectl.Observe(frameEnergy)
-		}
-		intra := ef.Plan.IntraCount()
-
-		sum.FramesEncoded = k + 1
-		sum.IntraMBs += int64(intra)
-		sum.FinalAlpha = alpha
-		sum.FinalIntraTh = planner.IntraTh()
-		sum.EnergyJoules = cfg.Profile.Joules(counters)
-		sum.Trace = append(sum.Trace, TracePoint{
-			Frame: k, Alpha: alpha, IntraTh: planner.IntraTh(), IntraMBs: intra,
-		})
-
-		mFrames.Add(1)
-		mIntra.Add(int64(intra))
-		mAlpha.Set(alpha)
-		mTh.Set(planner.IntraTh())
-		mDepth.Set(float64(s.queue.depth()))
-		mJoules.Set(sum.EnergyJoules)
-		if d := s.queue.droppedFrames() - sum.QueueDroppedFrames; d > 0 {
-			mQueueDrop.Add(d)
-			sum.QueueDroppedFrames += d
-		}
-		s.shared.Publish(counters)
-	}
-
-	// Late feedback that arrived after the last frame still counts in
-	// the books (the soak test's final report races the last frame).
-	for {
-		select {
-		case <-s.feedback:
-			sum.Reports++
-			mReports.Add(1)
-			continue
-		default:
-		}
-		break
-	}
-	if d := s.queue.droppedFrames() - sum.QueueDroppedFrames; d > 0 {
-		mQueueDrop.Add(d)
-		sum.QueueDroppedFrames += d
-	}
-	return encodeErr
+	s.mFrames = reg.Counter(prefix + "frames_encoded")
+	s.mPackets = reg.Counter(prefix + "packets_sent")
+	s.mBytes = reg.Counter(prefix + "bytes_sent")
+	s.mQueueDrop = reg.Counter(prefix + "queue_dropped_frames")
+	s.mReports = reg.Counter(prefix + "reports")
+	s.mIntra = reg.Counter(prefix + "intra_mbs")
+	s.mAlpha = reg.Gauge(prefix + "alpha_hat")
+	s.mTh = reg.Gauge(prefix + "intra_th")
+	s.mDepth = reg.Gauge(prefix + "queue_depth")
+	s.mJoules = reg.Gauge(prefix + "energy_joules")
+	s.mEncode = reg.Histogram(prefix + "encode_latency")
 }
 
-// sendLoop drains the queue onto the socket, paced at the configured
-// frame interval, and announces the end of the stream. It exits on a
-// closed queue (normal or graceful path) or on hard cancellation.
-func (s *session) sendLoop(mPackets, mBytes *obs.Counter) {
-	cfg := &s.srv.cfg
-	buf := make([]byte, 0, cfg.MTU+64)
+// drainFeedback folds every pending receiver report into the
+// estimator. Scheduler-only.
+func (s *session) drainFeedback(now time.Time) {
 	for {
 		select {
-		case <-s.ctx.Done():
+		case r := <-s.feedback:
+			s.est.ObserveReport(r.Fraction)
+			s.sum.Reports++
+			s.mReports.Add(1)
+			s.lastFeedback = now
+		default:
 			return
-		case item, ok := <-s.queue.ch:
-			if !ok {
-				// End of stream: repeat the End datagram a few times so a
-				// lossy path is unlikely to strand the client until its
-				// idle timeout.
-				frames := int(s.framesEncoded.Load())
-				for i := 0; i < 3; i++ {
-					buf = appendEnd(buf[:0], s.id, frames)
-					s.srv.writeTo(buf, s.client)
-				}
-				return
-			}
-			for _, pkt := range item.pkts {
-				buf = appendMedia(buf[:0], s.id, pkt)
-				if s.srv.writeTo(buf, s.client) {
-					mPackets.Add(1)
-					mBytes.Add(int64(len(buf)))
-				}
-			}
 		}
 	}
+}
+
+// knobs returns the control values this session wants applied to its
+// next frame: α̂ from its estimator and the Intra_Th resulting from
+// the quality controller (and the energy controller's floor, when one
+// is configured). Sessions with bit-identical knob trajectories are
+// exactly the ones whose encodes can be shared — see lineage.partition.
+func (s *session) knobs(qctl *adapt.QualityController) lineageKnobs {
+	alpha := s.est.Rate()
+	th := qctl.IntraTh(alpha)
+	if s.ectl != nil {
+		if et := s.ectl.IntraTh(); et > th {
+			th = et
+		}
+	}
+	return lineageKnobs{plr: alpha, th: th}
 }

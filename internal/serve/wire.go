@@ -19,12 +19,17 @@
 //	  'A' accept: session u32 | frames u32
 //	  'J' reject: reasonLen u8 | reason bytes
 //	  'M' media:  session u32 | network.Packet wire encoding
+//	  'C' media:  session u32 | network wire batch (coalesced packets)
 //	  'E' end:    session u32 | framesEncoded u32
 //
-// Multi-byte integers are big-endian. The media payload reuses
-// network.(Packet).AppendWire / network.ParseWire, so FEC parity
-// metadata survives the socket boundary and receivers can run
-// network.RecoverFEC on what arrives.
+// Multi-byte integers are big-endian. Media payloads reuse
+// network.(Packet).AppendWire / network.ParseWire (one packet per 'M')
+// and network.AppendWireBatch / network.ParseWireBatch (several small
+// packets coalesced into one 'C' datagram), so FEC parity metadata
+// survives the socket boundary and receivers can run network.RecoverFEC
+// on what arrives. Receivers treat each packet inside a 'C' exactly as
+// if it had arrived in its own 'M' — coalescing is a transport
+// optimisation, invisible to loss accounting and FEC recovery.
 package serve
 
 import (
@@ -36,18 +41,20 @@ import (
 )
 
 // protocolVersion gates hellos: a server rejects clients speaking a
-// different version rather than mis-parsing them.
-const protocolVersion = 1
+// different version rather than mis-parsing them. Version 2 added the
+// 'C' coalesced media datagram.
+const protocolVersion = 2
 
 // Datagram type bytes.
 const (
-	msgHello  = 'H'
-	msgReport = 'R'
-	msgBye    = 'B'
-	msgAccept = 'A'
-	msgReject = 'J'
-	msgMedia  = 'M'
-	msgEnd    = 'E'
+	msgHello     = 'H'
+	msgReport    = 'R'
+	msgBye       = 'B'
+	msgAccept    = 'A'
+	msgReject    = 'J'
+	msgMedia     = 'M'
+	msgCoalesced = 'C'
+	msgEnd       = 'E'
 )
 
 // hello is a client's session request.
@@ -135,6 +142,29 @@ func parseMedia(b []byte) (id uint32, pkt network.Packet, err error) {
 	id = binary.BigEndian.Uint32(b[1:5])
 	pkt, err = network.ParseWire(b[5:])
 	return id, pkt, err
+}
+
+// appendCoalesced encodes several packets for one session into a
+// single 'C' datagram (the sender's per-flush coalescing; see
+// network.AppendWireBatch for the container format).
+func appendCoalesced(buf []byte, id uint32, pkts []network.Packet) []byte {
+	var b [5]byte
+	b[0] = msgCoalesced
+	binary.BigEndian.PutUint32(b[1:5], id)
+	buf = append(buf, b[:]...)
+	return network.AppendWireBatch(buf, pkts)
+}
+
+// parseCoalesced appends the datagram's packets to dst, mirroring
+// network.ParseWireBatch's strictness: a truncated or trailing-bytes
+// container is an error, never phantom packets.
+func parseCoalesced(dst []network.Packet, b []byte) (id uint32, pkts []network.Packet, err error) {
+	if len(b) < 5 || b[0] != msgCoalesced {
+		return 0, dst, fmt.Errorf("serve: malformed coalesced media (%d bytes)", len(b))
+	}
+	id = binary.BigEndian.Uint32(b[1:5])
+	pkts, err = network.ParseWireBatch(dst, b[5:])
+	return id, pkts, err
 }
 
 // report is one receiver feedback datagram: the interval fraction lost

@@ -57,6 +57,63 @@ func (m *memoSource) Frame(k int) *video.Frame {
 	return f.Clone()
 }
 
+// windowMemo is a bounded variant of memoSource for unbounded streams:
+// it keeps at most capacity rendered frames, evicting in insertion
+// order. Streaming access patterns are near-monotone in frame index —
+// several encode lineages of the same regime advance within a few
+// frames of each other — so FIFO eviction behaves like LRU without the
+// bookkeeping. Safe for concurrent use.
+type windowMemo struct {
+	src Source
+	cap int
+
+	mu     sync.RWMutex
+	frames map[int]*video.Frame
+	order  []int // insertion order, for FIFO eviction
+}
+
+// MemoizeWindow returns a source backed by s that caches the most
+// recently rendered capacity frames (insertion order). Unlike Memoize,
+// memory stays bounded no matter how long the stream runs, which is
+// what a serving layer sharing one source across many live sessions
+// needs. capacity < 1 selects 1.
+func MemoizeWindow(s Source, capacity int) Source {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &windowMemo{src: s, cap: capacity, frames: make(map[int]*video.Frame, capacity)}
+}
+
+// Name implements Source.
+func (m *windowMemo) Name() string { return m.src.Name() }
+
+// Dims implements Source.
+func (m *windowMemo) Dims() (int, int) { return m.src.Dims() }
+
+// Frame implements Source, serving renders from the bounded cache.
+// Callers may mutate the returned frame (clone-on-return, as Memoize).
+func (m *windowMemo) Frame(k int) *video.Frame {
+	m.mu.RLock()
+	f := m.frames[k]
+	m.mu.RUnlock()
+	if f != nil {
+		return f.Clone()
+	}
+	m.mu.Lock()
+	f = m.frames[k]
+	if f == nil {
+		f = m.src.Frame(k)
+		m.frames[k] = f
+		m.order = append(m.order, k)
+		if len(m.order) > m.cap {
+			delete(m.frames, m.order[0])
+			m.order = m.order[1:]
+		}
+	}
+	m.mu.Unlock()
+	return f.Clone()
+}
+
 var (
 	sharedMu  sync.Mutex
 	sharedSrc map[Regime]Source
