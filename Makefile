@@ -48,6 +48,9 @@ BENCHTIME ?= 0.5s
 #    concealment boundary matching) plus the decoder, gated by
 #    -check-pairs — the build fails if any fast kernel measures
 #    slower than the scalar reference it replaced.
+#  - BENCH_analytic.json: the closed-form grid engine, gated on its
+#    points/s and mc_speedup_x metrics being present (the speedup vs
+#    an equivalent 5-seed Monte-Carlo cell, documented >= 100x).
 bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkSAD|BenchmarkCompensateHalf|BenchmarkForward|BenchmarkInverse|BenchmarkWriteBits|BenchmarkReadBits|BenchmarkWriteEvent|BenchmarkReadEvent|BenchmarkEncodeParallel' \
 		-benchmem -benchtime $(BENCHTIME) \
@@ -65,6 +68,12 @@ bench-json:
 			-require 'BenchmarkServeFarm:frames/s,BenchmarkServeFarm:MB/s,BenchmarkServeFarm:p50_us,BenchmarkServeFarm:p99_us,BenchmarkServeThroughput:frames/s,BenchmarkServeThroughput:MB/s' \
 			-out BENCH_serve.json
 	@echo wrote BENCH_serve.json
+	$(GO) test -run xxx -bench 'BenchmarkAnalyticGrid' -benchtime $(BENCHTIME) \
+		./internal/experiment/ \
+		| $(GO) run ./cmd/pbpair-benchjson \
+			-require 'BenchmarkAnalyticGrid:points/s,BenchmarkAnalyticGrid:mc_speedup_x' \
+			-out BENCH_analytic.json
+	@echo wrote BENCH_analytic.json
 
 # Documentation gate: every relative link in the repo's markdown must
 # resolve, and the operator guide must track the code — pbpair-mdlint
@@ -74,12 +83,13 @@ docs-lint:
 	$(GO) run ./cmd/pbpair-mdlint .
 
 # Short fuzz smoke over every fuzz target: decoder, entropy reader,
-# stream container, and the fast-vs-reference kernel equivalence
-# harness (SAD, DCT, bitstream, VLC, frame metrics, concealment).
-# Each target gets FUZZTIME.
+# stream container, the fast-vs-reference kernel equivalence harness
+# (SAD, DCT, bitstream, VLC, frame metrics, concealment) and the
+# analytic-vs-Monte-Carlo agreement check. Each target gets FUZZTIME.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzDecodeFrame -fuzztime $(FUZZTIME) ./internal/codec/
 	$(GO) test -run xxx -fuzz FuzzEncodeSpecFingerprint -fuzztime $(FUZZTIME) ./internal/experiment/
+	$(GO) test -run xxx -fuzz FuzzAnalyticVsMC -fuzztime $(FUZZTIME) ./internal/experiment/
 	$(GO) test -run xxx -fuzz FuzzReadEvent -fuzztime $(FUZZTIME) ./internal/entropy/
 	$(GO) test -run xxx -fuzz FuzzReadUE -fuzztime $(FUZZTIME) ./internal/entropy/
 	$(GO) test -run xxx -fuzz FuzzReader -fuzztime $(FUZZTIME) ./internal/stream/

@@ -45,6 +45,7 @@ func run() error {
 	fig := flag.String("fig", "5", "figure to regenerate: 5, 5a, 5b, 5c, 5d, 6, 6a, 6b, headline, devices, recovery, stats, content")
 	frames := flag.Int("frames", 120, "frames per run (paper: 300 for Fig 5, 50 for Fig 6)")
 	plr := flag.Float64("plr", 0.1, "packet loss rate for Fig 5")
+	analytic := flag.Bool("analytic", false, "render Figure 5 from the closed-form engine (expected metrics under i.i.d. loss at -plr, no channel simulation); applies to -fig 5/5a/5b/5c/5d")
 	seeds := flag.Int("seeds", 5, "independent loss seeds for -fig stats")
 	workers := flag.Int("workers", 0, "concurrent experiment runs (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
 	decWorkersFlag := flag.Int("dec-workers", 1, "decoder GOB-row reconstruction goroutines per simulation (1 = serial); output is identical for every value")
@@ -70,7 +71,7 @@ func run() error {
 	case "all":
 		return runAll(*frames, *plr, *workers)
 	case "5", "5a", "5b", "5c", "5d":
-		return runFig5(*fig, *frames, *plr, *workers)
+		return runFig5(*fig, *frames, *plr, *workers, *analytic)
 	case "6", "6a", "6b":
 		return runFig6(*fig, *frames, *workers)
 	case "headline":
@@ -176,10 +177,20 @@ func runStats(frames int, plr float64, seeds, workers int) error {
 	return nil
 }
 
-func runFig5(which string, frames int, plr float64, workers int) error {
-	rows, err := experiment.Fig5(experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers, DecoderWorkers: decWorkers, Cache: cache})
+func runFig5(which string, frames int, plr float64, workers int, analytic bool) error {
+	cfg := experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers, DecoderWorkers: decWorkers, Cache: cache}
+	var rows []experiment.Fig5Row
+	var err error
+	if analytic {
+		rows, err = experiment.Fig5Analytic(cfg)
+	} else {
+		rows, err = experiment.Fig5(cfg)
+	}
 	if err != nil {
 		return err
+	}
+	if analytic {
+		fmt.Printf("closed-form expectations (no channel simulation), i.i.d. loss %.0f%%\n", plr*100)
 	}
 	printFig5Panel(which, rows, plr)
 	for _, r := range rows {

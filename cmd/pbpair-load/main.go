@@ -163,7 +163,7 @@ func parseLoss(s string) (serve.LossSchedule, error) {
 		if err1 != nil || err2 != nil || err3 != nil {
 			return nil, bad()
 		}
-		return serve.StepLoss{Before: before, After: after, At: at}, nil
+		return serve.NewStepLoss(before, after, at)
 	case strings.HasPrefix(s, "ramp:"):
 		parts := strings.Split(strings.TrimPrefix(s, "ramp:"), ",")
 		if len(parts) != 4 {
@@ -176,7 +176,7 @@ func parseLoss(s string) (serve.LossSchedule, error) {
 		if err1 != nil || err2 != nil || err3 != nil || err4 != nil {
 			return nil, bad()
 		}
-		return serve.RampLoss{From: from, To: to, Start: start, End: end}, nil
+		return serve.NewRampLoss(from, to, start, end)
 	default:
 		rate, err := strconv.ParseFloat(s, 64)
 		if err != nil {
@@ -185,6 +185,6 @@ func parseLoss(s string) (serve.LossSchedule, error) {
 		if rate == 0 {
 			return nil, nil
 		}
-		return serve.ConstLoss(rate), nil
+		return serve.NewConstLoss(rate)
 	}
 }

@@ -43,24 +43,20 @@ func run() error {
 	device := flag.String("device", "ipaq", "energy profile: ipaq or zaurus")
 	csv := flag.Bool("csv", false, "emit CSV instead of an aligned table")
 	rd := flag.Bool("rd", false, "emit rate-distortion curves (QP sweep) instead of the Intra_Th x PLR grid")
+	analytic := flag.Bool("analytic", false, "evaluate the grid with the closed-form engine (no channel simulation); unlocks the -loss axis and comma-separated -regime lists")
+	lossList := flag.String("loss", "", "analytic mode: comma-separated channel loss rates, a grid axis independent of -plr (default: the -plr list)")
 	workers := flag.Int("workers", 0, "concurrent grid points (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
 	cacheDir := flag.String("cache-dir", "", "bitstream cache spill directory (cross-process encode reuse)")
 	cacheMB := flag.Int("cache-mb", 0, "in-memory bitstream cache budget in MiB; with -cache-dir unset, 0 disables the cache")
 	flag.Parse()
 
-	r, err := regimeFor(*regime)
-	if err != nil {
-		return err
-	}
 	var cache *bitcache.Store
 	if *cacheMB > 0 || *cacheDir != "" {
+		var err error
 		if cache, err = bitcache.New(bitcache.Config{MaxBytes: int64(*cacheMB) << 20, Dir: *cacheDir}); err != nil {
 			return err
 		}
 		defer func() { fmt.Fprintln(os.Stderr, cache.Stats()) }()
-	}
-	if *rd {
-		return runRD(r, *frames, *workers, cache)
 	}
 	ths, err := parseFloats(*thList)
 	if err != nil {
@@ -75,6 +71,25 @@ func run() error {
 		profile = energy.Zaurus
 	} else if *device != "ipaq" {
 		return fmt.Errorf("unknown device %q", *device)
+	}
+
+	if *analytic {
+		return runAnalytic(analyticArgs{
+			regimes: *regime, frames: *frames, qp: *qp,
+			ths: ths, plrs: plrs, lossList: *lossList,
+			profile: profile, workers: *workers, cache: cache, csv: *csv,
+		})
+	}
+	if *lossList != "" {
+		return fmt.Errorf("-loss is an analytic-mode axis (the simulator's channel rate is -plr); add -analytic")
+	}
+
+	r, err := regimeFor(*regime)
+	if err != nil {
+		return err
+	}
+	if *rd {
+		return runRD(r, *frames, *workers, cache)
 	}
 
 	points, err := experiment.Sweep(experiment.SweepConfig{
@@ -145,6 +160,80 @@ func runRD(r synth.Regime, frames, workers int, cache *bitcache.Store) error {
 	if gap, err := experiment.BDRateGap(noCurve, pbCurve); err == nil {
 		fmt.Printf("PBPAIR rate overhead at equal quality: %.2fx\n", gap)
 	}
+	return nil
+}
+
+type analyticArgs struct {
+	regimes  string
+	frames   int
+	qp       int
+	ths      []float64
+	plrs     []float64
+	lossList string
+	profile  energy.Profile
+	workers  int
+	cache    *bitcache.Store
+	csv      bool
+}
+
+// runAnalytic evaluates the four-axis closed-form grid: Intra_Th ×
+// encoder α (-plr) × channel loss rate (-loss) × content (-regime
+// accepts a comma-separated list here). One encode+extraction is paid
+// per (regime, α, Intra_Th); each loss point after that is pure
+// arithmetic, which is what makes the extra axes affordable.
+func runAnalytic(a analyticArgs) error {
+	var regimes []synth.Regime
+	for _, name := range strings.Split(a.regimes, ",") {
+		r, err := regimeFor(strings.TrimSpace(name))
+		if err != nil {
+			return err
+		}
+		regimes = append(regimes, r)
+	}
+	losses := a.plrs
+	if a.lossList != "" {
+		var err error
+		if losses, err = parseFloats(a.lossList); err != nil {
+			return fmt.Errorf("-loss: %w", err)
+		}
+	}
+
+	points, err := experiment.AnalyticSweep(experiment.AnalyticSweepConfig{
+		Frames:    a.frames,
+		QP:        a.qp,
+		IntraThs:  a.ths,
+		PLRs:      a.plrs,
+		LossRates: losses,
+		Regimes:   regimes,
+		Profile:   a.profile,
+		Workers:   a.workers,
+		Cache:     a.cache,
+	})
+	if err != nil {
+		return err
+	}
+
+	if a.csv {
+		fmt.Print(experiment.AnalyticSweepCSV(points))
+		return nil
+	}
+	tb := experiment.NewTable(
+		fmt.Sprintf("PBPAIR analytic operating points: %s, %d frames, %s", a.regimes, a.frames, a.profile.Name),
+		"regime", "Intra_Th", "PLR", "loss", "intra/frame", "size(KB)", "energy(J)", "E[PSNR](dB)", "E[bad px]")
+	for _, p := range points {
+		tb.AddRow(
+			p.Regime,
+			fmt.Sprintf("%.2f", p.IntraTh),
+			fmt.Sprintf("%.2f", p.PLR),
+			fmt.Sprintf("%.2f", p.LossRate),
+			fmt.Sprintf("%.1f", p.IntraMBsPerFrame),
+			fmt.Sprintf("%.1f", p.FileKB),
+			fmt.Sprintf("%.3f", p.EnergyJ),
+			fmt.Sprintf("%.2f", p.ExpPSNR),
+			fmt.Sprintf("%.0f", p.ExpBadPixels),
+		)
+	}
+	fmt.Print(tb.String())
 	return nil
 }
 

@@ -1,0 +1,70 @@
+package adapt
+
+import (
+	"fmt"
+
+	"pbpair/internal/core"
+)
+
+// Predictor maps a loss-rate estimate α̂ to an Intra_Th
+// recommendation. The analytic engine's candidate bank
+// (analytic.Bank.BestIntraTh) satisfies this interface: it evaluates
+// every pre-extracted candidate's expected distortion under α̂ in
+// closed form and returns the cheapest one within the quality margin.
+// The interface lives here so the adaptation loop stays free of the
+// model plumbing — anything that can rank thresholds by loss rate
+// plugs in.
+type Predictor interface {
+	BestIntraTh(plr float64) (float64, error)
+}
+
+// PredictiveQuality is a QualityController with a model-driven inner
+// loop: each retune asks the Predictor for the threshold whose
+// predicted distortion/energy trade is best at the current α̂, and
+// falls back to the Formula 3 closed form when the predictor declines
+// (out-of-range estimate, empty bank). The closed form keeps the
+// refresh *interval* constant; the predictor instead picks the point
+// the model says is best, which also prices energy — the §3.2
+// interfacing mechanism with the guesswork replaced by expectation.
+type PredictiveQuality struct {
+	pred      Predictor
+	closed    *QualityController
+	fallbacks int
+}
+
+// NewPredictiveQuality wires a predictor in front of a closed-form
+// fallback controller. Both must be non-nil: the predictor is the
+// point of the type, and the fallback is what keeps the encoder tuned
+// when the predictor cannot answer.
+func NewPredictiveQuality(pred Predictor, fallback *QualityController) (*PredictiveQuality, error) {
+	if pred == nil {
+		return nil, fmt.Errorf("adapt: predictive quality needs a predictor")
+	}
+	if fallback == nil {
+		return nil, fmt.Errorf("adapt: predictive quality needs a fallback controller")
+	}
+	return &PredictiveQuality{pred: pred, closed: fallback}, nil
+}
+
+// IntraTh returns the predictor's threshold for loss estimate plr, or
+// the closed-form fallback's when the predictor errors.
+func (q *PredictiveQuality) IntraTh(plr float64) float64 {
+	th, err := q.pred.BestIntraTh(plr)
+	if err != nil {
+		q.fallbacks++
+		return q.closed.IntraTh(plr)
+	}
+	return th
+}
+
+// Fallbacks reports how many retunes were answered by the closed form
+// because the predictor errored — nonzero values mean the bank does
+// not cover the loss range the estimator is reporting.
+func (q *PredictiveQuality) Fallbacks() int { return q.fallbacks }
+
+// Apply pushes a new loss estimate into a PBPAIR planner: the α used
+// by its update formulas and the predicted threshold.
+func (q *PredictiveQuality) Apply(p *core.PBPAIR, plr float64) {
+	p.SetPLR(plr)
+	p.SetIntraTh(q.IntraTh(plr))
+}

@@ -1,0 +1,146 @@
+package adapt_test
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"pbpair/internal/adapt"
+	"pbpair/internal/core"
+	"pbpair/internal/experiment"
+	"pbpair/internal/synth"
+)
+
+// fakePredictor answers with a fixed threshold inside its loss range
+// and errors outside it.
+type fakePredictor struct {
+	th       float64
+	maxPLR   float64
+	queries  int
+	lastPLR  float64
+	failNext bool
+}
+
+func (p *fakePredictor) BestIntraTh(plr float64) (float64, error) {
+	p.queries++
+	p.lastPLR = plr
+	if p.failNext || plr > p.maxPLR {
+		return 0, errors.New("out of range")
+	}
+	return p.th, nil
+}
+
+func TestPredictiveQuality(t *testing.T) {
+	closed, err := adapt.NewQualityController(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := adapt.NewPredictiveQuality(nil, closed); err == nil {
+		t.Error("nil predictor accepted")
+	}
+	if _, err := adapt.NewPredictiveQuality(&fakePredictor{}, nil); err == nil {
+		t.Error("nil fallback accepted")
+	}
+
+	pred := &fakePredictor{th: 0.42, maxPLR: 0.5}
+	pq, err := adapt.NewPredictiveQuality(pred, closed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := pq.IntraTh(0.2); got != 0.42 {
+		t.Errorf("IntraTh(0.2) = %v, want predictor's 0.42", got)
+	}
+	if pred.lastPLR != 0.2 {
+		t.Errorf("predictor saw plr %v, want 0.2", pred.lastPLR)
+	}
+	if pq.Fallbacks() != 0 {
+		t.Errorf("fallbacks = %d before any predictor error", pq.Fallbacks())
+	}
+
+	// Out-of-range estimate: the closed form must answer instead.
+	if got, want := pq.IntraTh(0.8), closed.IntraTh(0.8); got != want {
+		t.Errorf("IntraTh(0.8) = %v, want closed-form %v", got, want)
+	}
+	if pq.Fallbacks() != 1 {
+		t.Errorf("fallbacks = %d, want 1", pq.Fallbacks())
+	}
+
+	// Apply pushes both α and the predicted threshold into the planner.
+	plan, err := core.New(core.Config{Rows: 9, Cols: 11, IntraTh: 0, PLR: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq.Apply(plan, 0.3)
+	if got := plan.IntraTh(); got != 0.42 {
+		t.Errorf("planner IntraTh = %v after Apply, want 0.42", got)
+	}
+	if got := plan.PLR(); got != 0.3 {
+		t.Errorf("planner PLR = %v after Apply, want 0.3", got)
+	}
+}
+
+// TestPredictiveQualityWithAnalyticBank closes the loop with the real
+// model: a bank of analytic candidates serves as the predictor. The
+// invariants — thresholds come from the candidate set, loss-free
+// queries pick the cheapest candidate (no refresh needed means the
+// lowest-energy stream wins within the margin), and the controller
+// never falls back inside [0, 1] — hold for any content.
+func TestPredictiveQualityWithAnalyticBank(t *testing.T) {
+	bank, err := experiment.BuildAnalyticBank(experiment.AnalyticBankConfig{
+		Regime:      synth.RegimeForeman,
+		Frames:      8,
+		SearchRange: 4,
+		IntraThs:    []float64{0.1, 0.5, 0.9},
+	})
+	if err != nil {
+		t.Fatalf("bank: %v", err)
+	}
+	closed, err := adapt.NewQualityController(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pq, err := adapt.NewPredictiveQuality(bank, closed)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cands := bank.Candidates()
+	valid := map[float64]bool{}
+	minEnergyTh := cands[0].IntraTh
+	minEnergy := cands[0].EnergyJ
+	for _, c := range cands {
+		valid[c.IntraTh] = true
+		if c.EnergyJ < minEnergy {
+			minEnergy, minEnergyTh = c.EnergyJ, c.IntraTh
+		}
+	}
+
+	for _, plr := range []float64{0, 0.05, 0.1, 0.2, 0.3, 0.5} {
+		th := pq.IntraTh(plr)
+		if !valid[th] {
+			t.Errorf("IntraTh(%v) = %v, not a bank candidate", plr, th)
+		}
+	}
+	if pq.Fallbacks() != 0 {
+		t.Errorf("bank-backed controller fell back %d times", pq.Fallbacks())
+	}
+
+	// Loss-free, every candidate decodes perfectly (identical expected
+	// PSNR), so the margin rule must pick the cheapest encode.
+	if th := pq.IntraTh(0); th != minEnergyTh {
+		t.Errorf("IntraTh(0) = %v, want cheapest candidate %v", th, minEnergyTh)
+	}
+
+	// A NaN estimate is refused by the bank and answered by Formula 3
+	// (which also yields NaN — the estimator clamps, so this only
+	// documents that the bank does not mask a broken input).
+	got, want := pq.IntraTh(math.NaN()), closed.IntraTh(math.NaN())
+	if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+		t.Errorf("IntraTh(NaN) = %v, want closed-form %v", got, want)
+	}
+	if pq.Fallbacks() != 1 {
+		t.Errorf("fallbacks = %d after NaN query, want 1", pq.Fallbacks())
+	}
+}

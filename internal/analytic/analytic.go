@@ -1,0 +1,340 @@
+// Package analytic computes expected distortion in closed form. It
+// replaces the simulate phase's channel draws with probability
+// propagation: the paper's correctness-matrix recurrence (Formulas
+// 1–2) already tracks per-macroblock correctness *in expectation*, so
+// evaluating it with the true per-packet loss probabilities of a
+// channel model — instead of a sampled loss pattern — yields the
+// expected value of every loss-linear metric exactly (packets lost,
+// lost frames, concealed macroblocks) and a principled proxy for the
+// nonlinear ones (PSNR, bad pixels), without simulating a single
+// channel draw.
+//
+// A Model is extracted once per encoded sequence: the cached bitstream
+// is clean-decoded with a parse trace (codec.WithMBTrace) to recover
+// every macroblock's coded mode and motion vector, and per-macroblock
+// distortion terms (clean vs concealed against the original source)
+// are measured from the reconstructions. Evaluating the model under a
+// loss process is then pure arithmetic — microseconds per operating
+// point — which makes full Intra_Th × α × loss-rate × content grids
+// and controller inner loops (Bank) essentially free. See
+// ARCHITECTURE.md, "Analytic layer".
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/core"
+	"pbpair/internal/energy"
+	"pbpair/internal/metrics"
+	"pbpair/internal/motion"
+	"pbpair/internal/network"
+	"pbpair/internal/synth"
+	"pbpair/internal/video"
+)
+
+// Config parameterises model extraction. The zero value selects the
+// experiment pipeline's defaults, so a Model extracted with Config{}
+// is comparable to a Simulate run with a zero SimSpec.
+type Config struct {
+	// MTU for packetisation (default network.DefaultMTU). Must match
+	// the SimSpec the model is compared against: packet boundaries
+	// decide which GOB rows share a loss event.
+	MTU int
+	// SimilarityScale is the copy-concealment similarity scale of the
+	// recurrence (default core.DefaultSimilarityScale, the encoder's
+	// own).
+	SimilarityScale float64
+	// BadPixelThreshold for the expected bad-pixel metric (default
+	// metrics.DefaultBadPixelThreshold).
+	BadPixelThreshold int
+}
+
+// withDefaults fills zero fields; negative or NaN values are rejected
+// by Extract.
+func (c Config) withDefaults() Config {
+	if c.MTU <= 0 {
+		c.MTU = network.DefaultMTU
+	}
+	if c.SimilarityScale == 0 {
+		c.SimilarityScale = core.DefaultSimilarityScale
+	}
+	if c.BadPixelThreshold <= 0 {
+		c.BadPixelThreshold = metrics.DefaultBadPixelThreshold
+	}
+	return c
+}
+
+// mbMeta is the per-macroblock metadata driving the recurrence: the
+// coded mode and motion vector (which previous-frame macroblocks this
+// one references), the copy-concealment similarity, and the two
+// endpoints of the distortion mix — luma SSE/bad-pixels of the clean
+// reconstruction and of the concealed substitute, both against the
+// original source frame.
+type mbMeta struct {
+	mode       codec.MBMode
+	mv         motion.HalfVector
+	sim        float64
+	cleanSSE   float64
+	concealSSE float64
+	cleanBad   float64
+	concealBad float64
+}
+
+// frameMeta is one frame's metadata: its macroblocks, how its GOB rows
+// map onto packets, and its transport accounting.
+type frameMeta struct {
+	packets   int
+	rowPacket []int // GOB row -> index of the packet carrying it
+	mbs       []mbMeta
+	intraMBs  int
+	bytes     int
+}
+
+// Model is the analytic twin of one encoded sequence: everything the
+// expected-distortion recurrence needs, measured once from a clean
+// decode. Models are immutable after Extract and safe for concurrent
+// Evaluate calls.
+type Model struct {
+	scheme        string
+	width, height int
+	rows, cols    int
+	pixels        int // luma samples per frame
+	packetsSent   int
+	totalBytes    int
+	counters      energy.Counters
+	frames        []frameMeta
+}
+
+// Scheme returns the resilience scheme of the underlying encode.
+func (m *Model) Scheme() string { return m.scheme }
+
+// FrameCount returns the number of modelled frames.
+func (m *Model) FrameCount() int { return len(m.frames) }
+
+// PacketsSent returns the total media packets the sequence packetises
+// into (loss-independent, so a property of the model).
+func (m *Model) PacketsSent() int { return m.packetsSent }
+
+// TotalBytes returns the encoded size of the underlying sequence.
+func (m *Model) TotalBytes() int { return m.totalBytes }
+
+// Counters returns the encode-phase energy tally of the underlying
+// sequence, for pricing under a device profile.
+func (m *Model) Counters() energy.Counters { return m.counters }
+
+// IntraMBsPerFrame returns the mean intra-coded macroblocks per frame.
+func (m *Model) IntraMBsPerFrame() float64 {
+	if len(m.frames) == 0 {
+		return 0
+	}
+	total := 0
+	for i := range m.frames {
+		total += m.frames[i].intraMBs
+	}
+	return float64(total) / float64(len(m.frames))
+}
+
+// Extract builds the analytic model of an encoded sequence. src must
+// be the source the sequence was encoded from; its frames are
+// regenerated to measure the distortion endpoints. The sequence is
+// clean-decoded once (no loss), so extraction costs about one decode
+// plus one metrics pass per frame — paid once per encode and amortised
+// over every Evaluate.
+func Extract(seq *codec.EncodedSequence, src synth.Source, cfg Config) (*Model, error) {
+	if seq == nil || len(seq.Frames) == 0 {
+		return nil, fmt.Errorf("analytic: empty sequence")
+	}
+	if src == nil {
+		return nil, fmt.Errorf("analytic: no source")
+	}
+	if w, h := src.Dims(); w != seq.Width || h != seq.Height {
+		return nil, fmt.Errorf("analytic: source %dx%d does not match sequence %dx%d", w, h, seq.Width, seq.Height)
+	}
+	cfg = cfg.withDefaults()
+	if math.IsNaN(cfg.SimilarityScale) || cfg.SimilarityScale <= 0 {
+		return nil, fmt.Errorf("analytic: similarity scale %v must be positive", cfg.SimilarityScale)
+	}
+
+	rows := seq.Height / video.MBSize
+	cols := seq.Width / video.MBSize
+	m := &Model{
+		scheme: seq.Scheme,
+		width:  seq.Width, height: seq.Height,
+		rows: rows, cols: cols,
+		pixels:     seq.Width * seq.Height,
+		totalBytes: seq.TotalBytes,
+		counters:   seq.Counters,
+		frames:     make([]frameMeta, 0, len(seq.Frames)),
+	}
+
+	trace := &codec.MBTrace{}
+	dec, err := codec.NewDecoder(seq.Width, seq.Height, codec.WithMBTrace(trace))
+	if err != nil {
+		return nil, fmt.Errorf("analytic: %w", err)
+	}
+	pktz := network.NewPacketizer(cfg.MTU)
+
+	var prev *video.Frame // previous clean reconstruction
+	for i := range seq.Frames {
+		sf := &seq.Frames[i]
+		packets := pktz.Packetize(sf.AsEncodedFrame())
+		rowPacket, err := mapRowsToPackets(sf, packets, rows)
+		if err != nil {
+			return nil, fmt.Errorf("analytic: frame %d: %w", i, err)
+		}
+		m.packetsSent += len(packets)
+
+		res, err := dec.DecodeFrame(sf.Data)
+		if err != nil {
+			return nil, fmt.Errorf("analytic: frame %d: %w", i, err)
+		}
+		if res.HeaderLost || res.ConcealedMBs != 0 {
+			return nil, fmt.Errorf("analytic: frame %d does not clean-decode (%d concealed MBs)", i, res.ConcealedMBs)
+		}
+
+		original := src.Frame(i)
+		fm := frameMeta{
+			packets:   len(packets),
+			rowPacket: rowPacket,
+			mbs:       make([]mbMeta, rows*cols),
+			intraMBs:  sf.IntraMBs,
+			bytes:     len(sf.Data),
+		}
+		for row := 0; row < rows; row++ {
+			for col := 0; col < cols; col++ {
+				mode, hv := trace.At(row, col)
+				if mode == 0 {
+					return nil, fmt.Errorf("analytic: frame %d MB (%d,%d) not traced", i, row, col)
+				}
+				mb := &fm.mbs[row*cols+col]
+				mb.mode = mode
+				mb.mv = hv
+				mb.cleanSSE, mb.cleanBad = mbLumaStats(original, res.Frame, row, col, cfg.BadPixelThreshold)
+				if prev != nil {
+					mb.concealSSE, mb.concealBad = mbLumaStats(original, prev, row, col, cfg.BadPixelThreshold)
+					mb.sim = mbSimilarity(prev, res.Frame, row, col, cfg.SimilarityScale)
+				} else {
+					// First frame: copy concealment has no reference and
+					// paints mid-grey; similarity has nothing to compare.
+					mb.concealSSE, mb.concealBad = mbLumaStatsGrey(original, row, col, cfg.BadPixelThreshold)
+				}
+			}
+		}
+		m.frames = append(m.frames, fm)
+
+		if prev == nil {
+			prev = res.Frame.Clone()
+		} else if err := prev.CopyFrom(res.Frame); err != nil {
+			return nil, fmt.Errorf("analytic: frame %d: %w", i, err)
+		}
+	}
+	return m, nil
+}
+
+// mapRowsToPackets assigns each GOB row to the packet whose payload
+// carries its GOB header. Packetize fragments contiguously from offset
+// zero at GOB boundaries, so cumulative payload lengths give each
+// packet's byte range in the frame.
+func mapRowsToPackets(sf *codec.SeqFrame, packets []network.Packet, rows int) ([]int, error) {
+	if len(sf.GOBOffsets) != rows {
+		return nil, fmt.Errorf("%d GOBs for %d macroblock rows", len(sf.GOBOffsets), rows)
+	}
+	rowPacket := make([]int, rows)
+	end := 0
+	pkt := 0
+	for r, off := range sf.GOBOffsets {
+		for pkt < len(packets) && off >= end+len(packets[pkt].Payload) {
+			end += len(packets[pkt].Payload)
+			pkt++
+		}
+		if pkt >= len(packets) {
+			return nil, fmt.Errorf("GOB %d at offset %d beyond packetised payload", r, off)
+		}
+		rowPacket[r] = pkt
+	}
+	return rowPacket, nil
+}
+
+// mbLumaStats measures one macroblock's luma SSE and bad-pixel count
+// of rec against ref.
+func mbLumaStats(ref, rec *video.Frame, row, col, threshold int) (sse float64, bad float64) {
+	x := col * video.MBSize
+	y := row * video.MBSize
+	w := ref.Width
+	var s int64
+	b := 0
+	for r := 0; r < video.MBSize; r++ {
+		a := ref.Y[(y+r)*w+x : (y+r)*w+x+video.MBSize]
+		c := rec.Y[(y+r)*w+x : (y+r)*w+x+video.MBSize]
+		for i := range a {
+			d := int(a[i]) - int(c[i])
+			if d < 0 {
+				d = -d
+			}
+			s += int64(d) * int64(d)
+			if d > threshold {
+				b++
+			}
+		}
+	}
+	return float64(s), float64(b)
+}
+
+// mbLumaStatsGrey is mbLumaStats against the decoder's mid-grey
+// first-frame concealment.
+func mbLumaStatsGrey(ref *video.Frame, row, col, threshold int) (sse float64, bad float64) {
+	x := col * video.MBSize
+	y := row * video.MBSize
+	w := ref.Width
+	var s int64
+	b := 0
+	for r := 0; r < video.MBSize; r++ {
+		a := ref.Y[(y+r)*w+x : (y+r)*w+x+video.MBSize]
+		for i := range a {
+			d := int(a[i]) - 128
+			if d < 0 {
+				d = -d
+			}
+			s += int64(d) * int64(d)
+			if d > threshold {
+				b++
+			}
+		}
+	}
+	return float64(s), float64(b)
+}
+
+// mbSimilarity mirrors core's copy-concealment similarity factor:
+// 1 − MAD(prev, cur)/scale over the co-located luma macroblock,
+// clamped to [0, 1].
+func mbSimilarity(prev, cur *video.Frame, row, col int, scale float64) float64 {
+	x := col * video.MBSize
+	y := row * video.MBSize
+	w := cur.Width
+	var sad int64
+	for r := 0; r < video.MBSize; r++ {
+		a := cur.Y[(y+r)*w+x : (y+r)*w+x+video.MBSize]
+		b := prev.Y[(y+r)*w+x : (y+r)*w+x+video.MBSize]
+		for i := range a {
+			d := int64(a[i]) - int64(b[i])
+			if d < 0 {
+				d = -d
+			}
+			sad += d
+		}
+	}
+	mad := float64(sad) / (video.MBSize * video.MBSize)
+	return clamp01(1 - mad/scale)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,288 @@
+package analytic_test
+
+import (
+	"math"
+	"testing"
+
+	"pbpair/internal/analytic"
+	"pbpair/internal/core"
+	"pbpair/internal/experiment"
+	"pbpair/internal/network"
+	"pbpair/internal/synth"
+)
+
+// testSequence encodes a short PBPAIR clip through the experiment
+// pipeline (no cache) for extraction tests.
+func testSequence(t *testing.T, regime synth.Regime, frames int, th, plr float64) (*experiment.EncodeSpec, *analytic.Model) {
+	t.Helper()
+	src := synth.Shared(regime)
+	w, h := src.Dims()
+	spec := experiment.EncodeSpec{
+		Regime: regime, Frames: frames,
+		SearchRange: 7,
+		Scheme: experiment.SchemePBPAIR(core.Config{
+			Rows: h / 16, Cols: w / 16, IntraTh: th, PLR: plr,
+		}),
+	}
+	seq, err := experiment.Encode(nil, spec)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	model, err := analytic.Extract(seq, src, analytic.Config{})
+	if err != nil {
+		t.Fatalf("Extract: %v", err)
+	}
+	return &spec, model
+}
+
+// TestEvaluateLossFreeMatchesSimulate pins the analytic engine to the
+// Monte-Carlo engine in the one case where both are exact: no loss.
+// Per-frame PSNR and bad pixels must agree to float precision, and all
+// loss expectations must be zero.
+func TestEvaluateLossFreeMatchesSimulate(t *testing.T) {
+	spec, model := testSequence(t, synth.RegimeForeman, 8, 0.5, 0.1)
+	seq, err := experiment.Encode(nil, *spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := synth.Shared(spec.Regime)
+	res, err := experiment.Simulate(seq, src, experiment.SimSpec{Name: "clean"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	loss, err := analytic.NewIID(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := model.Evaluate(loss)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.ExpPacketsLost != 0 || rep.ExpLostFrames != 0 || rep.ExpConcealedMBs != 0 {
+		t.Fatalf("loss-free expectations non-zero: %+v", rep)
+	}
+	if rep.MeanSigma != 1 {
+		t.Fatalf("loss-free MeanSigma = %v, want 1", rep.MeanSigma)
+	}
+	if rep.PacketsSent != res.PacketsSent {
+		t.Fatalf("PacketsSent %d, MC %d", rep.PacketsSent, res.PacketsSent)
+	}
+	if rep.TotalBytes != res.TotalBytes {
+		t.Fatalf("TotalBytes %d, MC %d", rep.TotalBytes, res.TotalBytes)
+	}
+	mcPSNR := res.PSNR.Values()
+	anPSNR := rep.ExpPSNR.Values()
+	mcBad := res.BadPixels.Values()
+	anBad := rep.ExpBadPixels.Values()
+	if len(mcPSNR) != len(anPSNR) {
+		t.Fatalf("frame counts differ: %d vs %d", len(mcPSNR), len(anPSNR))
+	}
+	for i := range mcPSNR {
+		if math.Abs(mcPSNR[i]-anPSNR[i]) > 1e-9 {
+			t.Fatalf("frame %d: PSNR %v (MC) vs %v (analytic)", i, mcPSNR[i], anPSNR[i])
+		}
+		if math.Abs(mcBad[i]-anBad[i]) > 1e-9 {
+			t.Fatalf("frame %d: bad pixels %v (MC) vs %v (analytic)", i, mcBad[i], anBad[i])
+		}
+	}
+	if rep.Counters != res.Counters {
+		t.Fatalf("counters differ: %+v vs %+v", rep.Counters, res.Counters)
+	}
+}
+
+// TestEvaluateCertainLoss checks the exact expectations at loss rate 1:
+// every packet lost, every frame lost, every macroblock concealed.
+func TestEvaluateCertainLoss(t *testing.T) {
+	_, model := testSequence(t, synth.RegimeAkiyo, 5, 0.3, 0.1)
+	loss, err := analytic.NewIID(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := model.Evaluate(loss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ExpPacketsLost != float64(model.PacketsSent()) {
+		t.Fatalf("ExpPacketsLost %v, want %d", rep.ExpPacketsLost, model.PacketsSent())
+	}
+	if rep.ExpLostFrames != float64(model.FrameCount()) {
+		t.Fatalf("ExpLostFrames %v, want %d", rep.ExpLostFrames, model.FrameCount())
+	}
+	wantMBs := float64(model.FrameCount()) * 9 * 11 // QCIF grid
+	if rep.ExpConcealedMBs != wantMBs {
+		t.Fatalf("ExpConcealedMBs %v, want %v", rep.ExpConcealedMBs, wantMBs)
+	}
+	if rep.MeanSigma != 0 {
+		t.Fatalf("MeanSigma %v under certain loss, want 0", rep.MeanSigma)
+	}
+}
+
+// TestEvaluateMonotoneInLoss checks the expected-quality surface moves
+// the right way: more loss, lower expected PSNR and more expected
+// concealment.
+func TestEvaluateMonotoneInLoss(t *testing.T) {
+	_, model := testSequence(t, synth.RegimeForeman, 6, 0.5, 0.1)
+	rates := []float64{0, 0.05, 0.2, 0.5}
+	var lastPSNR, lastConcealed float64
+	for i, rate := range rates {
+		loss, err := analytic.NewIID(rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := model.Evaluate(loss)
+		if err != nil {
+			t.Fatal(err)
+		}
+		psnr := rep.ExpPSNR.Mean()
+		if i > 0 {
+			if psnr >= lastPSNR {
+				t.Fatalf("rate %v: ExpPSNR %v not below %v", rate, psnr, lastPSNR)
+			}
+			if rep.ExpConcealedMBs <= lastConcealed {
+				t.Fatalf("rate %v: ExpConcealedMBs %v not above %v", rate, rep.ExpConcealedMBs, lastConcealed)
+			}
+		}
+		lastPSNR, lastConcealed = psnr, rep.ExpConcealedMBs
+	}
+}
+
+// TestEvaluateGEMatchesIIDWhenDegenerate pins a degenerate
+// Gilbert–Elliott chain (never leaves the good state) to the i.i.d.
+// process at the same rate across the full report.
+func TestEvaluateGEMatchesIIDWhenDegenerate(t *testing.T) {
+	_, model := testSequence(t, synth.RegimeForeman, 6, 0.5, 0.1)
+	ge, err := analytic.NewGE(network.GEConfig{PGoodToBad: 0, PBadToGood: 1, LossGood: 0.15, LossBad: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iid, err := analytic.NewIID(0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geRep, err := model.Evaluate(ge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iidRep, err := model.Evaluate(iid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(geRep.ExpPSNR.Mean()-iidRep.ExpPSNR.Mean()) > 1e-9 {
+		t.Fatalf("ExpPSNR %v (GE) vs %v (IID)", geRep.ExpPSNR.Mean(), iidRep.ExpPSNR.Mean())
+	}
+	if math.Abs(geRep.ExpPacketsLost-iidRep.ExpPacketsLost) > 1e-9 {
+		t.Fatalf("ExpPacketsLost %v (GE) vs %v (IID)", geRep.ExpPacketsLost, iidRep.ExpPacketsLost)
+	}
+	if math.Abs(geRep.ExpLostFrames-iidRep.ExpLostFrames) > 1e-9 {
+		t.Fatalf("ExpLostFrames %v (GE) vs %v (IID)", geRep.ExpLostFrames, iidRep.ExpLostFrames)
+	}
+}
+
+// TestEvaluateBurstinessMatters checks the Markov extension changes
+// the answer: at equal average loss, a bursty chain concentrates
+// losses and must yield a different whole-frame-loss expectation than
+// i.i.d. loss.
+func TestEvaluateBurstinessMatters(t *testing.T) {
+	_, model := testSequence(t, synth.RegimeForeman, 6, 0.5, 0.1)
+	cfg := network.GEConfig{PGoodToBad: 0.05, PBadToGood: 0.45, LossGood: 0, LossBad: 1}
+	ge, err := analytic.NewGE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	avg := ge.SteadyStateLoss()
+	iid, err := analytic.NewIID(avg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	geRep, err := model.Evaluate(ge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iidRep, err := model.Evaluate(iid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(geRep.ExpLostFrames-iidRep.ExpLostFrames) < 1e-6 {
+		t.Fatalf("burst chain indistinguishable from i.i.d.: ExpLostFrames %v vs %v",
+			geRep.ExpLostFrames, iidRep.ExpLostFrames)
+	}
+}
+
+// TestBankPrefersCheapCandidateWithinMargin builds a two-candidate
+// bank and checks the margin logic directly: when both candidates'
+// expected quality ties (no loss), the cheaper encode wins; under
+// heavy loss the more refreshed (better-quality) candidate must win if
+// the gap exceeds the margin.
+func TestBankPrefersCheapCandidateWithinMargin(t *testing.T) {
+	_, low := testSequence(t, synth.RegimeForeman, 6, 0.1, 0.1)
+	_, high := testSequence(t, synth.RegimeForeman, 6, 0.9, 0.1)
+	bank, err := analytic.NewBank([]analytic.Candidate{
+		{IntraTh: 0.9, EnergyJ: 2.0, Model: high},
+		{IntraTh: 0.1, EnergyJ: 1.0, Model: low},
+	}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Quality surfaces at the endpoints for context.
+	for _, rate := range []float64{0, 0.3} {
+		cand, rep, err := bank.Best(rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep == nil {
+			t.Fatal("nil report")
+		}
+		// At rate 0 both candidates clean-decode: quality within margin,
+		// so the cheaper (lower-energy) one must be chosen.
+		if rate == 0 && cand.EnergyJ != 1.0 {
+			t.Fatalf("rate 0: chose energy %v, want the cheaper candidate", cand.EnergyJ)
+		}
+	}
+
+	th, err := bank.BestIntraTh(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th != 0.1 {
+		t.Fatalf("BestIntraTh(0) = %v, want 0.1", th)
+	}
+
+	if _, err := analytic.NewBank(nil, 0); err == nil {
+		t.Fatal("empty bank accepted")
+	}
+	if _, _, err := bank.Best(math.NaN()); err == nil {
+		t.Fatal("NaN loss rate accepted")
+	}
+}
+
+// TestExtractValidation covers the constructor-style errors.
+func TestExtractValidation(t *testing.T) {
+	src := synth.Shared(synth.RegimeForeman)
+	if _, err := analytic.Extract(nil, src, analytic.Config{}); err == nil {
+		t.Fatal("nil sequence accepted")
+	}
+	spec, _ := testSequence(t, synth.RegimeForeman, 2, 0.5, 0.1)
+	seq, err := experiment.Encode(nil, *spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := analytic.Extract(seq, nil, analytic.Config{}); err == nil {
+		t.Fatal("nil source accepted")
+	}
+	if _, err := analytic.Extract(seq, src, analytic.Config{SimilarityScale: math.NaN()}); err == nil {
+		t.Fatal("NaN similarity scale accepted")
+	}
+	if _, err := analytic.Extract(seq, src, analytic.Config{SimilarityScale: -1}); err == nil {
+		t.Fatal("negative similarity scale accepted")
+	}
+	model, err := analytic.Extract(seq, src, analytic.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := model.Evaluate(nil); err == nil {
+		t.Fatal("nil loss accepted")
+	}
+}

@@ -1,0 +1,101 @@
+package analytic
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultQualityMarginDB is how far (in dB of expected PSNR) a cheaper
+// candidate may fall below the best before the bank stops preferring
+// it. The margin implements the paper's power-aware trade: among
+// thresholds whose expected quality is indistinguishable, pick the one
+// that encodes cheapest.
+const DefaultQualityMarginDB = 0.25
+
+// Candidate is one Intra_Th operating point a Bank can recommend: its
+// extracted model plus the encode energy of that threshold under the
+// controller's device profile.
+type Candidate struct {
+	IntraTh float64
+	EnergyJ float64
+	Model   *Model
+}
+
+// Bank evaluates a ladder of candidate Intra_Th models analytically
+// and recommends the most energy-efficient one whose expected quality
+// stays within a margin of the best — the predictive inner loop
+// internal/adapt can consult before committing a retune. Evaluations
+// are microseconds each, so a Best call per loss-report is free
+// compared to a single re-encode.
+type Bank struct {
+	cands  []Candidate
+	margin float64
+}
+
+// NewBank builds a bank from candidates (sorted by IntraTh for
+// deterministic tie-breaks). marginDB <= 0 selects
+// DefaultQualityMarginDB.
+func NewBank(cands []Candidate, marginDB float64) (*Bank, error) {
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("analytic: bank needs at least one candidate")
+	}
+	for i := range cands {
+		if cands[i].Model == nil {
+			return nil, fmt.Errorf("analytic: bank candidate %d has no model", i)
+		}
+	}
+	if marginDB <= 0 {
+		marginDB = DefaultQualityMarginDB
+	}
+	sorted := append([]Candidate(nil), cands...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].IntraTh < sorted[j].IntraTh })
+	return &Bank{cands: sorted, margin: marginDB}, nil
+}
+
+// Candidates returns the bank's ladder in ascending IntraTh order.
+func (b *Bank) Candidates() []Candidate {
+	return append([]Candidate(nil), b.cands...)
+}
+
+// Best evaluates every candidate under i.i.d. loss at the given rate
+// and returns the chosen candidate with its report: the lowest-energy
+// candidate whose mean expected PSNR is within the quality margin of
+// the best candidate's. Ties on energy resolve to the lower threshold.
+func (b *Bank) Best(lossRate float64) (Candidate, *Report, error) {
+	loss, err := NewIID(lossRate)
+	if err != nil {
+		return Candidate{}, nil, err
+	}
+	reports := make([]*Report, len(b.cands))
+	bestPSNR := 0.0
+	for i := range b.cands {
+		rep, err := b.cands[i].Model.Evaluate(loss)
+		if err != nil {
+			return Candidate{}, nil, err
+		}
+		reports[i] = rep
+		if psnr := rep.ExpPSNR.Mean(); i == 0 || psnr > bestPSNR {
+			bestPSNR = psnr
+		}
+	}
+	chosen := -1
+	for i := range b.cands {
+		if reports[i].ExpPSNR.Mean() < bestPSNR-b.margin {
+			continue
+		}
+		if chosen < 0 || b.cands[i].EnergyJ < b.cands[chosen].EnergyJ {
+			chosen = i
+		}
+	}
+	return b.cands[chosen], reports[chosen], nil
+}
+
+// BestIntraTh is Best reduced to the recommended threshold — the
+// signature internal/adapt's predictive controller consumes.
+func (b *Bank) BestIntraTh(lossRate float64) (float64, error) {
+	cand, _, err := b.Best(lossRate)
+	if err != nil {
+		return 0, err
+	}
+	return cand.IntraTh, nil
+}

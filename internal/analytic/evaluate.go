@@ -1,0 +1,249 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/energy"
+	"pbpair/internal/metrics"
+	"pbpair/internal/motion"
+	"pbpair/internal/video"
+)
+
+// Report is the closed-form counterpart of an experiment.Result: every
+// metric is an expectation over the loss process instead of one
+// sampled outcome.
+//
+// ExpPacketsLost, ExpLostFrames and ExpConcealedMBs are exact
+// expectations (the quantities are linear in per-packet loss
+// indicators, whose marginals the loss process provides exactly).
+// ExpPSNR and ExpBadPixels are proxies: the engine propagates each
+// macroblock's expected excess distortion (error beyond the clean
+// decode) through the same prediction structure the decoder uses — a
+// lost macroblock adds its one-step concealment error on top of the
+// co-located carry-over, an arriving inter macroblock inherits the
+// mean excess of its compensation footprint, an arriving intra
+// macroblock resets to zero. The approximations are that (a) error
+// energies add without cross terms, (b) losses are collapsed to their
+// per-packet marginals, and (c) the PSNR reported is the PSNR of the
+// expected SSE — by Jensen's inequality a lower bound on the expected
+// PSNR when loss is present. The agreement tests in
+// internal/experiment pin both proxies to the Monte-Carlo engine
+// within documented bounds.
+type Report struct {
+	Loss   string // loss-process name
+	Scheme string
+	Frames int
+
+	ExpPSNR      metrics.Series // per-frame PSNR of the expected SSE
+	ExpBadPixels metrics.Series // per-frame expected bad-pixel count
+
+	ExpBadPixTotal  float64
+	ExpConcealedMBs float64
+	ExpPacketsLost  float64
+	ExpLostFrames   float64
+
+	PacketsSent int
+	TotalBytes  int
+
+	// MeanSigma is the mean expected-correctness over the macroblock
+	// grid after the final frame — 1 under loss-free transmission, the
+	// engine's direct view of residual error propagation otherwise.
+	MeanSigma float64
+
+	// Counters is the encode-phase work tally, so callers can price the
+	// run under any device profile exactly as the simulate phase does.
+	Counters energy.Counters
+}
+
+// Evaluate propagates the correctness recurrence under the given loss
+// process and returns the expected metrics. It is pure arithmetic over
+// the extracted metadata — no decoding, no channel draws — and safe to
+// call concurrently on one Model.
+func (m *Model) Evaluate(loss Loss) (*Report, error) {
+	if loss == nil {
+		return nil, fmt.Errorf("analytic: no loss process")
+	}
+	cursor := loss.newCursor()
+	rep := &Report{
+		Loss:        loss.Name(),
+		Scheme:      m.scheme,
+		Frames:      len(m.frames),
+		PacketsSent: m.packetsSent,
+		TotalBytes:  m.totalBytes,
+		Counters:    m.counters,
+	}
+
+	n := m.rows * m.cols
+	sigma := make([]float64, n)
+	next := make([]float64, n)
+	for i := range sigma {
+		sigma[i] = 1
+	}
+	// Expected excess distortion per macroblock: error energy (and bad
+	// pixels) beyond the clean decode. Zero while everything arrives, so
+	// loss-free evaluation reproduces the simulate phase bit for bit.
+	exSSE := make([]float64, n)
+	exBad := make([]float64, n)
+	nextSSE := make([]float64, n)
+	nextBad := make([]float64, n)
+	const mbPixels = video.MBSize * video.MBSize
+	var alphas []float64
+
+	for fi := range m.frames {
+		fm := &m.frames[fi]
+		if cap(alphas) < fm.packets {
+			alphas = make([]float64, fm.packets)
+		}
+		alphas = alphas[:fm.packets]
+		rep.ExpLostFrames += cursor.frame(alphas)
+		for _, a := range alphas {
+			rep.ExpPacketsLost += a
+		}
+		for r := 0; r < m.rows; r++ {
+			rep.ExpConcealedMBs += alphas[fm.rowPacket[r]] * float64(m.cols)
+		}
+
+		var expSSE, expBad float64
+		for i := range fm.mbs {
+			mb := &fm.mbs[i]
+			row, col := i/m.cols, i%m.cols
+			alpha := alphas[fm.rowPacket[row]]
+			var s float64
+			var inheritSSE, inheritBad float64
+			if mb.mode == codec.ModeIntra {
+				// Formula 2: an intra macroblock is correct when its
+				// packet arrives; when lost, concealment inherits the
+				// previous correctness damped by similarity. An arriving
+				// intra macroblock references nothing, so it also resets
+				// the excess distortion.
+				s = (1 - alpha) + alpha*mb.sim*sigma[i]
+			} else {
+				// Formula 1: inter (and skip) chain through the related
+				// previous-frame macroblocks their prediction reads, and
+				// motion compensation carries their excess error through.
+				s = (1-alpha)*relatedMin(sigma, m.rows, m.cols, row, col, mb.mv) + alpha*mb.sim*sigma[i]
+				inheritSSE, inheritBad = footprintMean(exSSE, exBad, m.rows, m.cols, row, col, mb.mv)
+			}
+			next[i] = s
+
+			// Excess-distortion recurrence: when the packet is lost, copy
+			// concealment pays the one-step concealment error on top of
+			// the co-located carry-over; when it arrives, the macroblock
+			// inherits its reference's excess (zero for intra). Clamped so
+			// clean + excess never exceeds the physical per-MB maximum.
+			eSSE := (1-alpha)*inheritSSE + alpha*(math.Max(0, mb.concealSSE-mb.cleanSSE)+exSSE[i])
+			eBad := (1-alpha)*inheritBad + alpha*(math.Max(0, mb.concealBad-mb.cleanBad)+exBad[i])
+			eSSE = math.Min(eSSE, mbPixels*255*255-mb.cleanSSE)
+			eBad = math.Min(eBad, mbPixels-mb.cleanBad)
+			nextSSE[i], nextBad[i] = eSSE, eBad
+			expSSE += mb.cleanSSE + eSSE
+			expBad += mb.cleanBad + eBad
+		}
+		sigma, next = next, sigma
+		exSSE, nextSSE = nextSSE, exSSE
+		exBad, nextBad = nextBad, exBad
+
+		rep.ExpPSNR.Add(psnrOfSSE(expSSE, m.pixels))
+		rep.ExpBadPixels.Add(expBad)
+		rep.ExpBadPixTotal += expBad
+	}
+
+	var sum float64
+	for _, s := range sigma {
+		sum += s
+	}
+	if n > 0 {
+		rep.MeanSigma = sum / float64(n)
+	}
+	return rep, nil
+}
+
+// relatedMin returns min σ over the previous-frame macroblocks the
+// compensation footprint of (row, col) displaced by hv overlaps — the
+// "related MBs" of Formula 1, in half-pel precision (a fractional
+// vector widens the footprint by one pixel, exactly like the decoder's
+// interpolation window).
+func relatedMin(sigma []float64, rows, cols, row, col int, hv motion.HalfVector) float64 {
+	intPart, fx, fy := hv.Split()
+	x := col*video.MBSize + intPart.X
+	y := row*video.MBSize + intPart.Y
+	c0 := floorDiv(x, video.MBSize)
+	c1 := floorDiv(x+video.MBSize+fx-1, video.MBSize)
+	r0 := floorDiv(y, video.MBSize)
+	r1 := floorDiv(y+video.MBSize+fy-1, video.MBSize)
+	minSigma := 1.0
+	for r := r0; r <= r1; r++ {
+		if r < 0 || r >= rows {
+			continue
+		}
+		for c := c0; c <= c1; c++ {
+			if c < 0 || c >= cols {
+				continue
+			}
+			if s := sigma[r*cols+c]; s < minSigma {
+				minSigma = s
+			}
+		}
+	}
+	return minSigma
+}
+
+// footprintMean returns the mean excess SSE and bad-pixel count over
+// the previous-frame macroblocks the compensation footprint of
+// (row, col) displaced by hv overlaps — the distortion analogue of
+// relatedMin. Out-of-range cells are skipped (edge padding replicates
+// in-frame pixels, whose excess the in-range cells already account
+// for); an entirely out-of-range footprint inherits nothing.
+func footprintMean(exSSE, exBad []float64, rows, cols, row, col int, hv motion.HalfVector) (sse, bad float64) {
+	intPart, fx, fy := hv.Split()
+	x := col*video.MBSize + intPart.X
+	y := row*video.MBSize + intPart.Y
+	c0 := floorDiv(x, video.MBSize)
+	c1 := floorDiv(x+video.MBSize+fx-1, video.MBSize)
+	r0 := floorDiv(y, video.MBSize)
+	r1 := floorDiv(y+video.MBSize+fy-1, video.MBSize)
+	cells := 0
+	for r := r0; r <= r1; r++ {
+		if r < 0 || r >= rows {
+			continue
+		}
+		for c := c0; c <= c1; c++ {
+			if c < 0 || c >= cols {
+				continue
+			}
+			sse += exSSE[r*cols+c]
+			bad += exBad[r*cols+c]
+			cells++
+		}
+	}
+	if cells > 0 {
+		sse /= float64(cells)
+		bad /= float64(cells)
+	}
+	return sse, bad
+}
+
+// floorDiv is integer division rounding toward negative infinity.
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// psnrOfSSE converts an (expected) luma SSE to dB with the metrics
+// package's saturation convention.
+func psnrOfSSE(sse float64, pixels int) float64 {
+	if sse <= 0 {
+		return metrics.MaxPSNR
+	}
+	mse := sse / float64(pixels)
+	psnr := 10 * math.Log10(255*255/mse)
+	if psnr > metrics.MaxPSNR {
+		psnr = metrics.MaxPSNR
+	}
+	return psnr
+}

@@ -1,0 +1,146 @@
+package analytic
+
+import (
+	"fmt"
+
+	"pbpair/internal/network"
+)
+
+// Loss is a packet-loss process the analytic engine can integrate: it
+// yields, per frame, the marginal loss probability of each packet and
+// the probability that all of the frame's packets are lost (the
+// whole-frame-loss event the decoder meets with full-frame
+// concealment). Implementations live in this package; the two shipped
+// processes mirror internal/network's sampled channels exactly.
+type Loss interface {
+	// Name identifies the process in reports.
+	Name() string
+	// newCursor starts an independent pass over the packet stream.
+	// Evaluate calls it once per run, so one Loss value may be shared
+	// across concurrent evaluations.
+	newCursor() lossCursor
+}
+
+// lossCursor consumes the packet stream frame by frame, carrying
+// whatever chain state the process needs between frames (the
+// Gilbert–Elliott state distribution persists across frame boundaries,
+// exactly like the sampled channel's state).
+type lossCursor interface {
+	// frame fills alphas with the marginal loss probability of the
+	// frame's next len(alphas) packets and returns the probability that
+	// all of them are lost.
+	frame(alphas []float64) (allLost float64)
+}
+
+// validProb rejects NaN and out-of-range probabilities. The explicit
+// >= && <= form (rather than < || >) is what makes NaN fail: every
+// comparison against NaN is false.
+func validProb(p float64) bool { return p >= 0 && p <= 1 }
+
+// IID is independent, identically distributed packet loss at a fixed
+// rate — the analytic twin of network.UniformLoss.
+type IID struct {
+	rate float64
+}
+
+// NewIID returns an i.i.d. loss process. rate must lie in [0, 1]
+// (NaN rejected).
+func NewIID(rate float64) (*IID, error) {
+	if !validProb(rate) {
+		return nil, fmt.Errorf("analytic: loss rate %v outside [0, 1]", rate)
+	}
+	return &IID{rate: rate}, nil
+}
+
+// Rate returns the configured loss rate.
+func (l *IID) Rate() float64 { return l.rate }
+
+// Name implements Loss.
+func (l *IID) Name() string { return fmt.Sprintf("iid(p=%g)", l.rate) }
+
+type iidCursor struct{ rate float64 }
+
+func (l *IID) newCursor() lossCursor { return &iidCursor{rate: l.rate} }
+
+func (c *iidCursor) frame(alphas []float64) float64 {
+	if len(alphas) == 0 {
+		return 0
+	}
+	allLost := 1.0
+	for i := range alphas {
+		alphas[i] = c.rate
+		allLost *= c.rate
+	}
+	return allLost
+}
+
+// GE is a two-state Gilbert–Elliott loss process — the analytic twin
+// of network.GilbertElliott. The state distribution starts in the good
+// state and advances transition-then-loss per packet, matching the
+// sampled channel's draw order, and persists across frames.
+type GE struct {
+	cfg network.GEConfig
+}
+
+// NewGE returns a Gilbert–Elliott loss process. Every probability of
+// cfg must lie in [0, 1] (NaN rejected).
+func NewGE(cfg network.GEConfig) (*GE, error) {
+	for _, p := range []float64{cfg.PGoodToBad, cfg.PBadToGood, cfg.LossGood, cfg.LossBad} {
+		if !validProb(p) {
+			return nil, fmt.Errorf("analytic: Gilbert–Elliott probability %v outside [0, 1]", p)
+		}
+	}
+	return &GE{cfg: cfg}, nil
+}
+
+// Config returns the chain parameters.
+func (l *GE) Config() network.GEConfig { return l.cfg }
+
+// SteadyStateLoss returns the chain's long-run average loss rate.
+func (l *GE) SteadyStateLoss() float64 {
+	denom := l.cfg.PGoodToBad + l.cfg.PBadToGood
+	if denom == 0 {
+		return l.cfg.LossGood // starts (and stays) good
+	}
+	pBad := l.cfg.PGoodToBad / denom
+	return pBad*l.cfg.LossBad + (1-pBad)*l.cfg.LossGood
+}
+
+// Name implements Loss.
+func (l *GE) Name() string {
+	return fmt.Sprintf("ge(g2b=%g,b2g=%g,lg=%g,lb=%g)",
+		l.cfg.PGoodToBad, l.cfg.PBadToGood, l.cfg.LossGood, l.cfg.LossBad)
+}
+
+// geCursor carries the chain's state distribution (pGood, pBad) across
+// frames. Marginal loss of packet i is the loss rate averaged over the
+// state distribution after i transitions; the all-lost probability is
+// propagated as a joint vector u, where u[s] = P(every packet so far
+// lost AND chain now in state s) — loss outcomes are conditionally
+// independent given the state path, so u advances by the same
+// transition matrix followed by a componentwise loss multiply.
+type geCursor struct {
+	cfg         network.GEConfig
+	pGood, pBad float64
+}
+
+func (l *GE) newCursor() lossCursor {
+	return &geCursor{cfg: l.cfg, pGood: 1, pBad: 0}
+}
+
+func (c *geCursor) frame(alphas []float64) float64 {
+	if len(alphas) == 0 {
+		return 0
+	}
+	uGood, uBad := c.pGood, c.pBad
+	for i := range alphas {
+		c.pGood, c.pBad = c.pGood*(1-c.cfg.PGoodToBad)+c.pBad*c.cfg.PBadToGood,
+			c.pGood*c.cfg.PGoodToBad+c.pBad*(1-c.cfg.PBadToGood)
+		alphas[i] = c.pGood*c.cfg.LossGood + c.pBad*c.cfg.LossBad
+		uGood, uBad = uGood*(1-c.cfg.PGoodToBad)+uBad*c.cfg.PBadToGood,
+			uGood*c.cfg.PGoodToBad+uBad*(1-c.cfg.PBadToGood)
+		uGood *= c.cfg.LossGood
+		uBad *= c.cfg.LossBad
+	}
+	return uGood + uBad
+}

@@ -1,0 +1,150 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/network"
+)
+
+func TestNewIIDValidation(t *testing.T) {
+	cases := []struct {
+		rate float64
+		ok   bool
+	}{
+		{0, true}, {0.5, true}, {1, true},
+		{-0.01, false}, {1.01, false},
+		{math.NaN(), false}, {math.Inf(1), false}, {math.Inf(-1), false},
+	}
+	for _, c := range cases {
+		_, err := NewIID(c.rate)
+		if (err == nil) != c.ok {
+			t.Errorf("NewIID(%v): err=%v, want ok=%v", c.rate, err, c.ok)
+		}
+	}
+}
+
+func TestNewGEValidation(t *testing.T) {
+	good := network.GEConfig{PGoodToBad: 0.1, PBadToGood: 0.5, LossGood: 0.01, LossBad: 0.8}
+	if _, err := NewGE(good); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []network.GEConfig{
+		{PGoodToBad: -0.1, PBadToGood: 0.5, LossGood: 0.01, LossBad: 0.8},
+		{PGoodToBad: 0.1, PBadToGood: 1.5, LossGood: 0.01, LossBad: 0.8},
+		{PGoodToBad: 0.1, PBadToGood: 0.5, LossGood: math.NaN(), LossBad: 0.8},
+		{PGoodToBad: 0.1, PBadToGood: 0.5, LossGood: 0.01, LossBad: math.Inf(1)},
+	}
+	for i, cfg := range bad {
+		if _, err := NewGE(cfg); err == nil {
+			t.Errorf("case %d: invalid config %+v accepted", i, cfg)
+		}
+	}
+}
+
+// TestIIDCursor checks the i.i.d. marginals and the all-lost product.
+func TestIIDCursor(t *testing.T) {
+	l, err := NewIID(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := l.newCursor()
+	alphas := make([]float64, 3)
+	allLost := c.frame(alphas)
+	for i, a := range alphas {
+		if a != 0.3 {
+			t.Fatalf("alpha[%d] = %v", i, a)
+		}
+	}
+	if want := 0.3 * 0.3 * 0.3; math.Abs(allLost-want) > 1e-15 {
+		t.Fatalf("allLost = %v, want %v", allLost, want)
+	}
+}
+
+// TestGEDegeneratesToIID pins the Gilbert–Elliott cursor against the
+// i.i.d. one when the chain cannot leave the good state.
+func TestGEDegeneratesToIID(t *testing.T) {
+	ge, err := NewGE(network.GEConfig{PGoodToBad: 0, PBadToGood: 1, LossGood: 0.25, LossBad: 0.9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	iid, err := NewIID(0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gc, ic := ge.newCursor(), iid.newCursor()
+	for frame := 0; frame < 4; frame++ {
+		ga := make([]float64, 5)
+		ia := make([]float64, 5)
+		gAll := gc.frame(ga)
+		iAll := ic.frame(ia)
+		for i := range ga {
+			if math.Abs(ga[i]-ia[i]) > 1e-12 {
+				t.Fatalf("frame %d packet %d: GE alpha %v, IID alpha %v", frame, i, ga[i], ia[i])
+			}
+		}
+		if math.Abs(gAll-iAll) > 1e-12 {
+			t.Fatalf("frame %d: GE allLost %v, IID allLost %v", frame, gAll, iAll)
+		}
+	}
+}
+
+// TestGEStateDistribution checks the marginal converges to the chain's
+// steady state.
+func TestGEStateDistribution(t *testing.T) {
+	cfg := network.GEConfig{PGoodToBad: 0.1, PBadToGood: 0.4, LossGood: 0.02, LossBad: 0.7}
+	ge, err := NewGE(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ge.newCursor()
+	alphas := make([]float64, 500)
+	c.frame(alphas)
+	want := ge.SteadyStateLoss()
+	if got := alphas[len(alphas)-1]; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("steady-state marginal %v, want %v", got, want)
+	}
+}
+
+// TestMapRowsToPackets exercises the GOB→packet assignment on a
+// synthetic multi-packet frame.
+func TestMapRowsToPackets(t *testing.T) {
+	// Three GOBs at offsets 0, 40, 80 in a 120-byte frame split into
+	// packets of 40/40/40 bytes.
+	sf := &codec.SeqFrame{
+		Data:       make([]byte, 120),
+		GOBOffsets: []int{0, 40, 80},
+	}
+	packets := []network.Packet{
+		{Payload: sf.Data[0:40]},
+		{Payload: sf.Data[40:80]},
+		{Payload: sf.Data[80:120]},
+	}
+	rowPacket, err := mapRowsToPackets(sf, packets, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, want := range []int{0, 1, 2} {
+		if rowPacket[r] != want {
+			t.Fatalf("row %d -> packet %d, want %d", r, rowPacket[r], want)
+		}
+	}
+
+	// Single packet carrying all GOBs.
+	one := []network.Packet{{Payload: sf.Data}}
+	rowPacket, err = mapRowsToPackets(sf, one, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range rowPacket {
+		if rowPacket[r] != 0 {
+			t.Fatalf("row %d -> packet %d, want 0", r, rowPacket[r])
+		}
+	}
+
+	// GOB count mismatch is an error.
+	if _, err := mapRowsToPackets(sf, one, 4); err == nil {
+		t.Fatal("row-count mismatch accepted")
+	}
+}

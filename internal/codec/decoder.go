@@ -126,6 +126,9 @@ type Decoder struct {
 	deblock       bool // from the last picture header
 	// mvPred mirrors the encoder's in-GOB motion-vector predictor.
 	mvPred motion.HalfVector
+	// trace, when non-nil, records parsed macroblock modes and motion
+	// vectors (see WithMBTrace).
+	trace *MBTrace
 	// dcPred mirrors the encoder's per-plane intra-DC predictors.
 	dcPred [3]int32
 
@@ -224,6 +227,9 @@ func (d *Decoder) decodePayload(data []byte) *DecodeResult {
 	rowDecoded := d.rowDecoded
 	for i := range rowDecoded {
 		rowDecoded[i] = false
+	}
+	if d.trace != nil {
+		d.trace.reset(rows, cols)
 	}
 	d.jobs = d.jobs[:0]
 	d.recs = d.recs[:0]
@@ -390,6 +396,9 @@ func (d *Decoder) parseMB(r *bitstream.Reader, ftype FrameType, row, col int) er
 			}
 			d.recs = append(d.recs, mbRec{kind: mbSkip, col: uint8(col)})
 			d.mvPred = motion.HalfVector{}
+			if d.trace != nil {
+				d.trace.record(row, col, ModeSkip, motion.HalfVector{})
+			}
 			return nil
 		}
 		mode, err := r.ReadBit()
@@ -408,6 +417,9 @@ func (d *Decoder) parseMB(r *bitstream.Reader, ftype FrameType, row, col int) er
 	}
 	if intra {
 		d.mvPred = motion.HalfVector{}
+		if d.trace != nil {
+			d.trace.record(row, col, ModeIntra, motion.HalfVector{})
+		}
 		return d.parseIntraMB(r, col)
 	}
 	// Differential decoding against the in-GOB predictor.
@@ -490,6 +502,9 @@ func (d *Decoder) parseInterMB(r *bitstream.Reader, row, col, mvx, mvy int) erro
 		hv = motion.HalfVector{X: mvx, Y: mvy}
 	} else {
 		hv = motion.FromInteger(motion.Vector{X: mvx, Y: mvy})
+	}
+	if d.trace != nil {
+		d.trace.record(row, col, ModeInter, hv)
 	}
 	x, y := col*video.MBSize, row*video.MBSize
 	intPart, fx, fy := hv.Split()

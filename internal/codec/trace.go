@@ -1,0 +1,62 @@
+package codec
+
+import "pbpair/internal/motion"
+
+// MBTrace records, per decoded frame, the coding mode and absolute
+// (post-prediction) half-pel motion vector of every macroblock the
+// parse phase recovers from the bitstream. The analytic engine uses it
+// to rebuild the encoder's refresh pattern and reference dependencies
+// from a cached bitstream without extending the spill container format.
+//
+// The grids are reset at the start of each DecodeFrame call and are
+// valid until the next one. Macroblocks that were never parsed (lost or
+// corrupt GOBs) keep the MBMode zero value, distinguishing "concealed"
+// from any coded mode.
+type MBTrace struct {
+	Rows, Cols int
+	Modes      []MBMode            // Rows*Cols, row-major; 0 = not parsed
+	MVs        []motion.HalfVector // half-pel units; zero for intra/skip
+}
+
+// At returns the traced mode and motion vector of macroblock
+// (row, col).
+func (t *MBTrace) At(row, col int) (MBMode, motion.HalfVector) {
+	i := row*t.Cols + col
+	return t.Modes[i], t.MVs[i]
+}
+
+// reset prepares the trace for one frame of the given geometry,
+// reusing the grids when the capacity allows.
+func (t *MBTrace) reset(rows, cols int) {
+	t.Rows, t.Cols = rows, cols
+	n := rows * cols
+	if cap(t.Modes) < n {
+		t.Modes = make([]MBMode, n)
+		t.MVs = make([]motion.HalfVector, n)
+	}
+	t.Modes = t.Modes[:n]
+	t.MVs = t.MVs[:n]
+	for i := range t.Modes {
+		t.Modes[i] = 0
+		t.MVs[i] = motion.HalfVector{}
+	}
+}
+
+// record stores one parsed macroblock. Out-of-range rows are ignored
+// (a corrupt GOB header can name any row; such rows never decode).
+func (t *MBTrace) record(row, col int, mode MBMode, hv motion.HalfVector) {
+	if row < 0 || row >= t.Rows || col < 0 || col >= t.Cols {
+		return
+	}
+	i := row*t.Cols + col
+	t.Modes[i] = mode
+	t.MVs[i] = hv
+}
+
+// WithMBTrace attaches a parse-phase trace to the decoder. The same
+// trace may be shared across frames; it is rewritten per DecodeFrame.
+// A nil trace (the default) keeps tracing entirely out of the decode
+// hot path.
+func WithMBTrace(t *MBTrace) DecoderOption {
+	return func(d *Decoder) { d.trace = t }
+}

@@ -1,0 +1,95 @@
+package codec_test
+
+import (
+	"testing"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/resilience"
+	"pbpair/internal/synth"
+	"pbpair/internal/video"
+)
+
+// TestMBTraceMatchesPlan decodes a clean stream with a parse trace
+// attached and checks every traced mode/motion vector against the
+// encoder's own per-frame plan (the ground truth the analytic engine
+// reconstructs from cached bitstreams).
+func TestMBTraceMatchesPlan(t *testing.T) {
+	clip := synth.Clip(synth.New(synth.RegimeForeman), 6)
+	air, err := resilience.NewAIR(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, halfPel := range []bool{false, true} {
+		name := "fullpel"
+		if halfPel {
+			name = "halfpel"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := testConfig(air)
+			cfg.HalfPel = halfPel
+			frames, _ := encodeClip(t, cfg, clip)
+
+			trace := &codec.MBTrace{}
+			dec, err := codec.NewDecoder(video.QCIFWidth, video.QCIFHeight, codec.WithMBTrace(trace))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, ef := range frames {
+				res, err := dec.DecodeFrame(ef.Data)
+				if err != nil {
+					t.Fatalf("DecodeFrame %d: %v", i, err)
+				}
+				if res.ConcealedMBs != 0 {
+					t.Fatalf("frame %d: unexpected concealment", i)
+				}
+				plan := ef.Plan
+				if trace.Rows != plan.Rows || trace.Cols != plan.Cols {
+					t.Fatalf("frame %d: trace %dx%d, plan %dx%d", i, trace.Rows, trace.Cols, plan.Rows, plan.Cols)
+				}
+				for row := 0; row < plan.Rows; row++ {
+					for col := 0; col < plan.Cols; col++ {
+						mode, hv := trace.At(row, col)
+						want := plan.At(row, col)
+						if mode != want.Mode {
+							t.Fatalf("frame %d MB (%d,%d): traced %v, plan %v", i, row, col, mode, want.Mode)
+						}
+						if mode == codec.ModeInter && hv != want.Half {
+							t.Fatalf("frame %d MB (%d,%d): traced MV %+v, plan %+v", i, row, col, hv, want.Half)
+						}
+						if mode != codec.ModeInter && !hv.IsZero() {
+							t.Fatalf("frame %d MB (%d,%d): non-inter MB traced MV %+v", i, row, col, hv)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMBTraceLostFrame checks that a fully lost payload leaves every
+// macroblock untraced (mode zero), distinguishing concealed MBs from
+// any coded mode.
+func TestMBTraceLostFrame(t *testing.T) {
+	clip := synth.Clip(synth.New(synth.RegimeAkiyo), 2)
+	frames, _ := encodeClip(t, testConfig(resilience.NewNone()), clip)
+
+	trace := &codec.MBTrace{}
+	dec, err := codec.NewDecoder(video.QCIFWidth, video.QCIFHeight, codec.WithMBTrace(trace))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.DecodeFrame(frames[0].Data); err != nil {
+		t.Fatal(err)
+	}
+	res := dec.ConcealLostFrame()
+	if res.ConcealedMBs == 0 {
+		t.Fatal("expected concealment on lost frame")
+	}
+	for row := 0; row < trace.Rows; row++ {
+		for col := 0; col < trace.Cols; col++ {
+			if mode, _ := trace.At(row, col); mode != 0 {
+				t.Fatalf("MB (%d,%d): traced mode %v on a lost frame", row, col, mode)
+			}
+		}
+	}
+}

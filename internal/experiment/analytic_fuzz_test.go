@@ -1,0 +1,140 @@
+package experiment
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"pbpair/internal/bitcache"
+	"pbpair/internal/core"
+	"pbpair/internal/metrics"
+	"pbpair/internal/network"
+	"pbpair/internal/synth"
+)
+
+// fuzzCache memoizes encodes across fuzz executions: the fuzzer
+// quantizes the grid knobs (see below), so most mutated inputs hit a
+// previously-encoded (regime, frames, Intra_Th, PLR) cell and the
+// iteration budget goes into the comparison, not the encoder.
+var (
+	fuzzCacheOnce sync.Once
+	fuzzCache     *bitcache.Store
+)
+
+func sharedFuzzCache(f *testing.F) *bitcache.Store {
+	fuzzCacheOnce.Do(func() {
+		var err error
+		fuzzCache, err = bitcache.New(bitcache.Config{})
+		if err != nil {
+			f.Fatalf("bitcache: %v", err)
+		}
+	})
+	return fuzzCache
+}
+
+// FuzzAnalyticVsMC cross-validates the closed-form engine against the
+// Monte-Carlo simulate phase on fuzzer-chosen grid cells: random
+// content regime, frame count, Intra_Th, encoder loss estimate and
+// channel rate. The exactly-modelled counters (packets lost, lost
+// frames, concealed MBs) must bracket the N-seed MC mean within five
+// conservative standard errors; the bound uses the analytic variance
+// ceiling (Var[Σ w_i B_i] ≤ w_max · min(E, W − E) for Bernoulli sums),
+// never the sample variance, so it cannot be fooled by an unlucky
+// draw. Divergent inputs become regression seeds in testdata/fuzz.
+//
+// The distortion proxies carry modelling bias by design (documented in
+// analytic.Report), so here they are only gated by physical
+// invariants: PSNR within (0, MaxPSNR], expected bad pixels within
+// [0, pixels], both finite, and correctness MeanSigma within [0, 1].
+// The tight proxy windows live in TestAnalyticAgreesWithMonteCarlo.
+func FuzzAnalyticVsMC(f *testing.F) {
+	f.Add(uint8(1), uint8(0), uint8(6), uint8(2), uint8(2))
+	f.Add(uint8(2), uint8(4), uint8(9), uint8(1), uint8(0))   // rate 0.2, th 0.9
+	f.Add(uint8(3), uint8(0), uint8(0), uint8(0), uint8(1))   // loss-free, all-inter
+	f.Add(uint8(4), uint8(20), uint8(10), uint8(3), uint8(2)) // rate 1, all-intra
+	f.Add(uint8(0), uint8(10), uint8(5), uint8(2), uint8(0))  // rate 0.5 midpoint
+
+	regimes := []synth.Regime{
+		synth.RegimeAkiyo, synth.RegimeForeman, synth.RegimeGarden,
+		synth.RegimeHall, synth.RegimeMobile,
+	}
+
+	f.Fuzz(func(t *testing.T, regimeB, rateB, thB, plrB, framesB uint8) {
+		// Quantize every knob so the shared encode cache can do its job:
+		// rates in 0.05 steps, thresholds in 0.1 steps, 2–4 frames.
+		regime := regimes[int(regimeB)%len(regimes)]
+		rate := float64(rateB%21) / 20
+		th := float64(thB%11) / 10
+		plr := float64(plrB%4) / 10
+		frames := 2 + int(framesB%3)
+
+		src := synth.Shared(regime)
+		gridRows, gridCols := mbGrid(src)
+		seq, err := Encode(sharedFuzzCache(f), EncodeSpec{
+			Regime: regime, Frames: frames, QP: 8, SearchRange: 4,
+			Scheme: SchemePBPAIR(core.Config{Rows: gridRows, Cols: gridCols, IntraTh: th, PLR: plr}),
+		})
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		model, err := ExtractModel(seq, src, AnalyticSpec{})
+		if err != nil {
+			t.Fatalf("extract: %v", err)
+		}
+		an, err := AnalyzeModel(model, AnalyticSpec{LossRate: rate})
+		if err != nil {
+			t.Fatalf("analyze: %v", err)
+		}
+
+		// Physical invariants of the analytic outputs.
+		pixels := src.Frame(0).Width * src.Frame(0).Height
+		if an.MeanSigma < 0 || an.MeanSigma > 1 || math.IsNaN(an.MeanSigma) {
+			t.Fatalf("MeanSigma %v outside [0, 1]", an.MeanSigma)
+		}
+		for fi, db := range an.ExpPSNR.Values() {
+			if !(db > 0 && db <= metrics.MaxPSNR) {
+				t.Fatalf("frame %d: ExpPSNR %v outside (0, %v]", fi, db, metrics.MaxPSNR)
+			}
+		}
+		for fi, bad := range an.ExpBadPixels.Values() {
+			if !(bad >= 0 && bad <= float64(pixels)) {
+				t.Fatalf("frame %d: ExpBadPixels %v outside [0, %d]", fi, bad, pixels)
+			}
+		}
+
+		const seeds = 12
+		var pktLost, lostFrames, concealed float64
+		for seed := uint64(1); seed <= seeds; seed++ {
+			ch, err := network.NewUniformLoss(rate, seed)
+			if err != nil {
+				t.Fatalf("channel: %v", err)
+			}
+			res, err := Simulate(seq, src, SimSpec{Name: "fuzz", Channel: ch})
+			if err != nil {
+				t.Fatalf("simulate seed %d: %v", seed, err)
+			}
+			pktLost += float64(res.PacketsLost)
+			lostFrames += float64(res.LostFrames)
+			concealed += float64(res.ConcealedMBs)
+		}
+		pktLost /= seeds
+		lostFrames /= seeds
+		concealed /= seeds
+
+		// Conservative 5-standard-error gates from the variance ceilings:
+		// packets and frames are plain Bernoulli sums (w_max = 1), each
+		// concealed-MB packet weighs at most one GOB-row grid of MBs.
+		gate := func(name string, analytic, mc, total, wMax float64) {
+			varCeil := wMax * math.Min(analytic, total-analytic)
+			tol := 5*math.Sqrt(varCeil/seeds) + 1.0
+			if diff := math.Abs(analytic - mc); diff > tol {
+				t.Errorf("%s: analytic %.3f vs MC mean %.3f over %d seeds exceeds tol %.3f",
+					name, analytic, mc, seeds, tol)
+			}
+		}
+		gate("packets lost", an.ExpPacketsLost, pktLost, float64(an.PacketsSent), 1)
+		gate("lost frames", an.ExpLostFrames, lostFrames, float64(frames), 1)
+		totalMBs := float64(frames * gridRows * gridCols)
+		gate("concealed MBs", an.ExpConcealedMBs, concealed, totalMBs, float64(gridRows*gridCols))
+	})
+}

@@ -143,20 +143,14 @@ func probeBytes(cache *bitcache.Store, spec EncodeSpec) (int, error) {
 	return seq.TotalBytes, nil
 }
 
-// Fig5 reproduces Figure 5: NO, PBPAIR, PGOP-3, GOP-3 and AIR-24 on
-// the three sequences at PLR 10%, reporting average PSNR, bad pixels,
-// encoded size and encoding energy. PBPAIR's Intra_Th is calibrated to
-// match PGOP-3's encoded size, as in the paper ("We choose Intra_Th
-// that gives similar compression ratio with PGOP-3, GOP-3, and
-// AIR-24").
-func Fig5(cfg Fig5Config) ([]Fig5Row, error) {
-	cfg = cfg.WithDefaults()
-	regimes := []synth.Regime{synth.RegimeForeman, synth.RegimeAkiyo, synth.RegimeGarden}
-
-	// Phase 0 — calibration, one job per sequence. Each bisection is
-	// inherently sequential (every probe depends on the previous
-	// bracket), but the three sequences are independent, and every
-	// probe is a cacheable loss-free encode.
+// fig5Thresholds runs Figure 5's calibration phase: one Intra_Th per
+// sequence, bisected so PBPAIR's probe size matches PGOP-3's (the
+// paper's size-matching rule). Each bisection is inherently sequential
+// (every probe depends on the previous bracket), but the sequences are
+// independent, and every probe is a cacheable loss-free encode. Shared
+// by the Monte-Carlo (Fig5) and analytic (Fig5Analytic) backends, so
+// the two tables compare the same operating points.
+func fig5Thresholds(cfg Fig5Config, regimes []synth.Regime) ([]float64, error) {
 	probeSpec := func(regime synth.Regime, scheme SchemeSpec) EncodeSpec {
 		return EncodeSpec{
 			Regime: regime, Frames: cfg.ProbeFrames,
@@ -164,7 +158,7 @@ func Fig5(cfg Fig5Config) ([]Fig5Row, error) {
 			Scheme: scheme,
 		}
 	}
-	ths, err := parallel.Map(cfg.Workers, len(regimes), func(i int) (float64, error) {
+	return parallel.Map(cfg.Workers, len(regimes), func(i int) (float64, error) {
 		src := synth.Shared(regimes[i])
 		gridRows, gridCols := mbGrid(src)
 		pgopProbe, err := probeBytes(cfg.Cache, probeSpec(regimes[i], SchemePGOP(3, gridCols)))
@@ -176,6 +170,36 @@ func Fig5(cfg Fig5Config) ([]Fig5Row, error) {
 				SchemePBPAIR(core.Config{Rows: gridRows, Cols: gridCols, IntraTh: t, PLR: cfg.PLR})))
 		}, pgopProbe, 10)
 	})
+}
+
+// fig5Scheme is one entry of Figure 5's scheme list.
+type fig5Scheme struct {
+	spec    SchemeSpec
+	intraTh bool // report the calibrated threshold for this row
+}
+
+// fig5Schemes lists Figure 5's five schemes for one sequence's grid,
+// with PBPAIR at the calibrated threshold.
+func fig5Schemes(gridRows, gridCols int, th, plr float64) []fig5Scheme {
+	return []fig5Scheme{
+		{spec: SchemeNO()},
+		{spec: SchemePBPAIR(core.Config{Rows: gridRows, Cols: gridCols, IntraTh: th, PLR: plr}), intraTh: true},
+		{spec: SchemePGOP(3, gridCols)},
+		{spec: SchemeGOP(3)},
+		{spec: SchemeAIR(24)},
+	}
+}
+
+// Fig5 reproduces Figure 5: NO, PBPAIR, PGOP-3, GOP-3 and AIR-24 on
+// the three sequences at PLR 10%, reporting average PSNR, bad pixels,
+// encoded size and encoding energy. PBPAIR's Intra_Th is calibrated to
+// match PGOP-3's encoded size, as in the paper ("We choose Intra_Th
+// that gives similar compression ratio with PGOP-3, GOP-3, and
+// AIR-24").
+func Fig5(cfg Fig5Config) ([]Fig5Row, error) {
+	cfg = cfg.WithDefaults()
+	regimes := []synth.Regime{synth.RegimeForeman, synth.RegimeAkiyo, synth.RegimeGarden}
+	ths, err := fig5Thresholds(cfg, regimes)
 	if err != nil {
 		return nil, err
 	}
@@ -194,16 +218,7 @@ func Fig5(cfg Fig5Config) ([]Fig5Row, error) {
 		src := synth.Shared(regime)
 		gridRows, gridCols := mbGrid(src)
 		th := ths[si]
-		schemes := []struct {
-			spec    SchemeSpec
-			intraTh bool
-		}{
-			{spec: SchemeNO()},
-			{spec: SchemePBPAIR(core.Config{Rows: gridRows, Cols: gridCols, IntraTh: th, PLR: cfg.PLR}), intraTh: true},
-			{spec: SchemePGOP(3, gridCols)},
-			{spec: SchemeGOP(3)},
-			{spec: SchemeAIR(24)},
-		}
+		schemes := fig5Schemes(gridRows, gridCols, th, cfg.PLR)
 		for _, sc := range schemes {
 			enc := plan.Encode(EncodeSpec{
 				Regime: regime, Frames: cfg.Frames,

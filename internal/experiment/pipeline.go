@@ -202,6 +202,28 @@ type SimSpec struct {
 	KeepFrames bool
 }
 
+// Validate rejects simulation specs whose numeric knobs are negative.
+// Zero values remain valid (they select the documented defaults), so
+// existing zero-SimSpec call sites are unaffected. Channel loss rates
+// are validated where the channel is constructed
+// (network.NewUniformLoss / NewGilbertElliott reject anything outside
+// [0, 1], NaN included).
+func (s SimSpec) Validate() error {
+	if s.MTU < 0 {
+		return fmt.Errorf("experiment: sim spec %q: MTU %d negative", s.Name, s.MTU)
+	}
+	if s.FECGroup < 0 {
+		return fmt.Errorf("experiment: sim spec %q: FEC group %d negative", s.Name, s.FECGroup)
+	}
+	if s.BadPixelThreshold < 0 {
+		return fmt.Errorf("experiment: sim spec %q: bad-pixel threshold %d negative", s.Name, s.BadPixelThreshold)
+	}
+	if s.DecoderWorkers < 0 {
+		return fmt.Errorf("experiment: sim spec %q: decoder workers %d negative", s.Name, s.DecoderWorkers)
+	}
+	return nil
+}
+
 // Simulate transmits an encoded sequence over the spec's channel and
 // measures the decode against src (which must be the source the
 // sequence was encoded from; frames are regenerated on the fly —
@@ -219,6 +241,9 @@ func Simulate(seq *codec.EncodedSequence, src synth.Source, sim SimSpec, opts ..
 	}
 	if src == nil {
 		return nil, fmt.Errorf("experiment: simulate %q: no source", sim.Name)
+	}
+	if err := sim.Validate(); err != nil {
+		return nil, err
 	}
 
 	var decOpts []codec.DecoderOption

@@ -157,9 +157,10 @@ type UniformLoss struct {
 }
 
 // NewUniformLoss returns a uniform-loss channel. rate must lie in
-// [0, 1].
+// [0, 1]; NaN is rejected (the >= && <= form below is what catches it
+// — every comparison against NaN is false).
 func NewUniformLoss(rate float64, seed uint64) (*UniformLoss, error) {
-	if rate < 0 || rate > 1 {
+	if !(rate >= 0 && rate <= 1) {
 		return nil, fmt.Errorf("network: loss rate %v outside [0, 1]", rate)
 	}
 	return &UniformLoss{rate: rate, rng: newSplitMix64(seed)}, nil
@@ -196,10 +197,11 @@ type GEConfig struct {
 	LossBad    float64 // loss probability in the bad state
 }
 
-// NewGilbertElliott returns a burst-loss channel.
+// NewGilbertElliott returns a burst-loss channel. Every probability of
+// cfg must lie in [0, 1]; NaN is rejected.
 func NewGilbertElliott(cfg GEConfig, seed uint64) (*GilbertElliott, error) {
 	for _, v := range []float64{cfg.PGoodToBad, cfg.PBadToGood, cfg.LossGood, cfg.LossBad} {
-		if v < 0 || v > 1 {
+		if !(v >= 0 && v <= 1) {
 			return nil, fmt.Errorf("network: Gilbert–Elliott probability %v outside [0, 1]", v)
 		}
 	}

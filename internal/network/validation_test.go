@@ -1,0 +1,59 @@
+package network
+
+import (
+	"math"
+	"testing"
+)
+
+// TestChannelConstructorValidation table-tests the loss-parameter
+// validation of the channel constructors: every probability outside
+// [0, 1] — NaN included (both halves of a < || > check are false for
+// NaN, so the constructors use the >= && <= form) — is rejected at
+// construction with a descriptive error.
+func TestChannelConstructorValidation(t *testing.T) {
+	nan := math.NaN()
+
+	t.Run("uniform", func(t *testing.T) {
+		cases := []struct {
+			rate float64
+			ok   bool
+		}{
+			{0, true}, {0.1, true}, {1, true},
+			{-0.001, false}, {1.001, false},
+			{nan, false}, {math.Inf(1), false}, {math.Inf(-1), false},
+		}
+		for _, c := range cases {
+			_, err := NewUniformLoss(c.rate, 1)
+			if (err == nil) != c.ok {
+				t.Errorf("NewUniformLoss(%v): err=%v, want ok=%v", c.rate, err, c.ok)
+			}
+		}
+	})
+
+	t.Run("gilbert-elliott", func(t *testing.T) {
+		valid := GEConfig{PGoodToBad: 0.05, PBadToGood: 0.4, LossGood: 0.01, LossBad: 0.8}
+		if _, err := NewGilbertElliott(valid, 1); err != nil {
+			t.Fatalf("valid config rejected: %v", err)
+		}
+		// Poison each field in turn with each invalid value.
+		poison := []float64{-0.001, 1.001, nan, math.Inf(1)}
+		for field := 0; field < 4; field++ {
+			for _, v := range poison {
+				cfg := valid
+				switch field {
+				case 0:
+					cfg.PGoodToBad = v
+				case 1:
+					cfg.PBadToGood = v
+				case 2:
+					cfg.LossGood = v
+				case 3:
+					cfg.LossBad = v
+				}
+				if _, err := NewGilbertElliott(cfg, 1); err == nil {
+					t.Errorf("field %d = %v accepted", field, v)
+				}
+			}
+		}
+	})
+}

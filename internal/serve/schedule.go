@@ -1,5 +1,7 @@
 package serve
 
+import "fmt"
+
 // Loss schedules drive pbpair-load's receiver-side loss injection: the
 // client discards arriving datagrams with probability Rate(frame)
 // before they reach the loss monitor, so the monitor's sequence-gap
@@ -14,8 +16,21 @@ type LossSchedule interface {
 	Rate(frame int) float64
 }
 
+// validRate rejects NaN and out-of-range probabilities: every
+// comparison against NaN is false, so the >= && <= form fails it.
+func validRate(p float64) bool { return p >= 0 && p <= 1 }
+
 // ConstLoss injects a fixed loss probability.
 type ConstLoss float64
+
+// NewConstLoss returns a constant schedule. rate must lie in [0, 1]
+// (NaN rejected).
+func NewConstLoss(rate float64) (ConstLoss, error) {
+	if !validRate(rate) {
+		return 0, fmt.Errorf("serve: loss rate %v outside [0, 1]", rate)
+	}
+	return ConstLoss(rate), nil
+}
 
 // Rate implements LossSchedule.
 func (c ConstLoss) Rate(int) float64 { return float64(c) }
@@ -25,6 +40,18 @@ func (c ConstLoss) Rate(int) float64 { return float64(c) }
 type StepLoss struct {
 	Before, After float64
 	At            int
+}
+
+// NewStepLoss returns a step schedule. Both probabilities must lie in
+// [0, 1] (NaN rejected).
+func NewStepLoss(before, after float64, at int) (StepLoss, error) {
+	if !validRate(before) {
+		return StepLoss{}, fmt.Errorf("serve: step loss before-rate %v outside [0, 1]", before)
+	}
+	if !validRate(after) {
+		return StepLoss{}, fmt.Errorf("serve: step loss after-rate %v outside [0, 1]", after)
+	}
+	return StepLoss{Before: before, After: after, At: at}, nil
 }
 
 // Rate implements LossSchedule.
@@ -40,6 +67,21 @@ func (s StepLoss) Rate(frame int) float64 {
 type RampLoss struct {
 	From, To   float64
 	Start, End int
+}
+
+// NewRampLoss returns a ramp schedule. Both probabilities must lie in
+// [0, 1] (NaN rejected) and the ramp must not run backwards.
+func NewRampLoss(from, to float64, start, end int) (RampLoss, error) {
+	if !validRate(from) {
+		return RampLoss{}, fmt.Errorf("serve: ramp loss from-rate %v outside [0, 1]", from)
+	}
+	if !validRate(to) {
+		return RampLoss{}, fmt.Errorf("serve: ramp loss to-rate %v outside [0, 1]", to)
+	}
+	if end < start {
+		return RampLoss{}, fmt.Errorf("serve: ramp loss ends (frame %d) before it starts (frame %d)", end, start)
+	}
+	return RampLoss{From: from, To: to, Start: start, End: end}, nil
 }
 
 // Rate implements LossSchedule.

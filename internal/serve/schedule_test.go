@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"math"
+	"testing"
+)
+
+// TestScheduleConstructorValidation table-tests the loss-schedule
+// constructors: every probability outside [0, 1] — NaN included — is
+// rejected at construction.
+func TestScheduleConstructorValidation(t *testing.T) {
+	nan := math.NaN()
+
+	t.Run("const", func(t *testing.T) {
+		cases := []struct {
+			rate float64
+			ok   bool
+		}{
+			{0, true}, {0.5, true}, {1, true},
+			{-0.001, false}, {1.001, false}, {nan, false}, {math.Inf(1), false},
+		}
+		for _, c := range cases {
+			got, err := NewConstLoss(c.rate)
+			if (err == nil) != c.ok {
+				t.Errorf("NewConstLoss(%v): err=%v, want ok=%v", c.rate, err, c.ok)
+			}
+			if err == nil && got.Rate(0) != c.rate {
+				t.Errorf("NewConstLoss(%v).Rate = %v", c.rate, got.Rate(0))
+			}
+		}
+	})
+
+	t.Run("step", func(t *testing.T) {
+		cases := []struct {
+			before, after float64
+			ok            bool
+		}{
+			{0, 1, true}, {0.05, 0.3, true},
+			{-0.1, 0.3, false}, {0.05, 1.5, false},
+			{nan, 0.3, false}, {0.05, nan, false},
+		}
+		for _, c := range cases {
+			s, err := NewStepLoss(c.before, c.after, 100)
+			if (err == nil) != c.ok {
+				t.Errorf("NewStepLoss(%v,%v): err=%v, want ok=%v", c.before, c.after, err, c.ok)
+			}
+			if err == nil {
+				if s.Rate(99) != c.before || s.Rate(100) != c.after {
+					t.Errorf("NewStepLoss(%v,%v,100): rates %v/%v", c.before, c.after, s.Rate(99), s.Rate(100))
+				}
+			}
+		}
+	})
+
+	t.Run("ramp", func(t *testing.T) {
+		cases := []struct {
+			from, to   float64
+			start, end int
+			ok         bool
+		}{
+			{0, 0.4, 100, 200, true},
+			{0.4, 0, 100, 200, true},
+			{0.2, 0.2, 50, 50, true}, // degenerate ramp is a constant
+			{-0.1, 0.4, 100, 200, false},
+			{0, 1.4, 100, 200, false},
+			{nan, 0.4, 100, 200, false},
+			{0, nan, 100, 200, false},
+			{0, 0.4, 200, 100, false}, // backwards ramp
+		}
+		for _, c := range cases {
+			r, err := NewRampLoss(c.from, c.to, c.start, c.end)
+			if (err == nil) != c.ok {
+				t.Errorf("NewRampLoss(%v,%v,%d,%d): err=%v, want ok=%v", c.from, c.to, c.start, c.end, err, c.ok)
+			}
+			if err == nil {
+				if r.Rate(c.start) != c.from {
+					t.Errorf("ramp Rate(start) = %v, want %v", r.Rate(c.start), c.from)
+				}
+				if r.Rate(c.end+1) != c.to {
+					t.Errorf("ramp Rate(end+1) = %v, want %v", r.Rate(c.end+1), c.to)
+				}
+			}
+		}
+	})
+}
