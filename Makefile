@@ -51,6 +51,11 @@ BENCHTIME ?= 0.5s
 #  - BENCH_analytic.json: the closed-form grid engine, gated on its
 #    points/s and mc_speedup_x metrics being present (the speedup vs
 #    an equivalent 5-seed Monte-Carlo cell, documented >= 100x).
+#  - BENCH_mc.json: the bit-packed Monte-Carlo batch engine, gated on
+#    its documented floors — the dedup speedup over the scalar trial
+#    loop (>= 20x at 5% loss) and the figure-level bar (a 10k-trial
+#    Figure 5 point at most 2x the 5-seed Fig5Multi wall-clock,
+#    i.e. vs_5seed_x >= 0.5).
 bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkSAD|BenchmarkCompensateHalf|BenchmarkForward|BenchmarkInverse|BenchmarkWriteBits|BenchmarkReadBits|BenchmarkWriteEvent|BenchmarkReadEvent|BenchmarkEncodeParallel' \
 		-benchmem -benchtime $(BENCHTIME) \
@@ -74,6 +79,13 @@ bench-json:
 			-require 'BenchmarkAnalyticGrid:points/s,BenchmarkAnalyticGrid:mc_speedup_x' \
 			-out BENCH_analytic.json
 	@echo wrote BENCH_analytic.json
+	$(GO) test -run xxx -bench 'BenchmarkSimBatch$$|BenchmarkFig5BatchPoint' -benchtime $(BENCHTIME) \
+		./internal/experiment/ \
+		| $(GO) run ./cmd/pbpair-benchjson \
+			-require 'BenchmarkSimBatch:trials/s,BenchmarkSimBatch:lanes_per_decode,BenchmarkFig5BatchPoint:trials/s' \
+			-min 'BenchmarkSimBatch:speedup_x=20,BenchmarkFig5BatchPoint:vs_5seed_x=0.5' \
+			-out BENCH_mc.json
+	@echo wrote BENCH_mc.json
 
 # Documentation gate: every relative link in the repo's markdown must
 # resolve, and the operator guide must track the code — pbpair-mdlint
@@ -90,6 +102,7 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzDecodeFrame -fuzztime $(FUZZTIME) ./internal/codec/
 	$(GO) test -run xxx -fuzz FuzzEncodeSpecFingerprint -fuzztime $(FUZZTIME) ./internal/experiment/
 	$(GO) test -run xxx -fuzz FuzzAnalyticVsMC -fuzztime $(FUZZTIME) ./internal/experiment/
+	$(GO) test -run xxx -fuzz FuzzBatchVsScalar -fuzztime $(FUZZTIME) ./internal/experiment/
 	$(GO) test -run xxx -fuzz FuzzReadEvent -fuzztime $(FUZZTIME) ./internal/entropy/
 	$(GO) test -run xxx -fuzz FuzzReadUE -fuzztime $(FUZZTIME) ./internal/entropy/
 	$(GO) test -run xxx -fuzz FuzzReader -fuzztime $(FUZZTIME) ./internal/stream/

@@ -114,3 +114,31 @@ func TestCheckRequired(t *testing.T) {
 		t.Error("malformed spec accepted")
 	}
 }
+
+func TestCheckMin(t *testing.T) {
+	doc, err := Parse(strings.NewReader(serveSample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := []string{
+		"BenchmarkServeFarm:frames/s=1",
+		" BenchmarkServeThroughput:ns/op=0.5 ", // tolerated whitespace
+	}
+	if err := CheckMin(doc, ok); err != nil {
+		t.Fatalf("CheckMin rejected metrics above their thresholds: %v", err)
+	}
+	for _, spec := range []string{
+		"BenchmarkServeFarm:frames/s=1e18",  // below threshold
+		"BenchmarkGone:frames/s=1",          // missing benchmark
+		"BenchmarkServeThroughput:p99_us=1", // missing metric
+	} {
+		if err := CheckMin(doc, []string{spec}); err == nil {
+			t.Errorf("CheckMin(%q) passed, want threshold error", spec)
+		}
+	}
+	for _, spec := range []string{"no-equals:unit", "NoColon=5", "BenchmarkServeFarm:frames/s=notanumber"} {
+		if err := CheckMin(doc, []string{spec}); err == nil {
+			t.Errorf("malformed spec %q accepted", spec)
+		}
+	}
+}

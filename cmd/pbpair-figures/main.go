@@ -47,6 +47,7 @@ func run() error {
 	plr := flag.Float64("plr", 0.1, "packet loss rate for Fig 5")
 	analytic := flag.Bool("analytic", false, "render Figure 5 from the closed-form engine (expected metrics under i.i.d. loss at -plr, no channel simulation); applies to -fig 5/5a/5b/5c/5d")
 	seeds := flag.Int("seeds", 5, "independent loss seeds for -fig stats")
+	trials := flag.Int("trials", 1, "with -fig stats: channel realizations per cell through the bit-packed batch engine instead of -seeds reruns (trial 0 reproduces the single-run figure)")
 	workers := flag.Int("workers", 0, "concurrent experiment runs (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
 	decWorkersFlag := flag.Int("dec-workers", 1, "decoder GOB-row reconstruction goroutines per simulation (1 = serial); output is identical for every value")
 	cacheDir := flag.String("cache-dir", "", "bitstream cache spill directory (cross-process encode reuse)")
@@ -65,7 +66,7 @@ func run() error {
 
 	switch *fig {
 	case "stats":
-		return runStats(*frames, *plr, *seeds, *workers)
+		return runStats(*frames, *plr, *seeds, *trials, *workers)
 	case "content":
 		return runContent(*frames, *plr, *workers)
 	case "all":
@@ -150,8 +151,32 @@ func runContent(frames int, plr float64, workers int) error {
 }
 
 // runStats is the multi-seed Figure 5: quality cells as mean ± stddev
-// over independent loss patterns.
-func runStats(frames int, plr float64, seeds, workers int) error {
+// over independent loss patterns. With -trials > 1 the same cells come
+// from one pass through the bit-packed batch engine instead of -seeds
+// full pipeline reruns, so thousands of realizations are affordable;
+// the table then also carries the 95% confidence interval.
+func runStats(frames int, plr float64, seeds, trials, workers int) error {
+	cfg := experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers, DecoderWorkers: decWorkers, Cache: cache}
+	if trials > 1 {
+		stats, err := experiment.Fig5Batch(cfg, trials)
+		if err != nil {
+			return err
+		}
+		tb := experiment.NewTable(
+			fmt.Sprintf("Figure 5 across %d channel trials (batch engine, mean ± stddev), PLR=%.0f%%", trials, plr*100),
+			"sequence", "scheme", "PSNR(dB)", "±CI95", "bad px", "±CI95", "size(KB)", "energy(J)")
+		for _, s := range stats {
+			tb.AddRow(s.Sequence, s.Scheme,
+				fmt.Sprintf("%.2f ± %.2f", s.PSNRMean, s.PSNRStd),
+				fmt.Sprintf("%.2f", s.PSNRCI95),
+				fmt.Sprintf("%.0f ± %.0f", s.BadPixMean, s.BadPixStd),
+				fmt.Sprintf("%.0f", s.BadPixCI95),
+				fmt.Sprintf("%.1f", s.FileKBMean),
+				fmt.Sprintf("%.3f", s.EnergyJMean))
+		}
+		fmt.Print(tb.String())
+		return nil
+	}
 	if seeds < 1 {
 		return fmt.Errorf("need at least one seed")
 	}
@@ -159,7 +184,7 @@ func runStats(frames int, plr float64, seeds, workers int) error {
 	for i := range seedList {
 		seedList[i] = uint64(1000 + 37*i)
 	}
-	stats, err := experiment.Fig5Multi(experiment.Fig5Config{Frames: frames, PLR: plr, Workers: workers, DecoderWorkers: decWorkers, Cache: cache}, seedList)
+	stats, err := experiment.Fig5Multi(cfg, seedList)
 	if err != nil {
 		return err
 	}

@@ -12,13 +12,16 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"pbpair/internal/bitcache"
 	"pbpair/internal/codec"
 	"pbpair/internal/conceal"
 	"pbpair/internal/energy"
 	"pbpair/internal/experiment"
+	"pbpair/internal/metrics"
 	"pbpair/internal/network"
+	"pbpair/internal/obs"
 	"pbpair/internal/parallel"
 	"pbpair/internal/synth"
 )
@@ -42,6 +45,8 @@ func run() error {
 	device := flag.String("device", "ipaq", "energy profile: ipaq or zaurus")
 	concealName := flag.String("conceal", "copy", "concealment: copy, spatial, bma or grey")
 	series := flag.Bool("series", false, "also print per-frame PSNR and size series as CSV")
+	trials := flag.Int("trials", 1, "independent channel realizations; > 1 evaluates all of them in one pass through the bit-packed batch engine and reports mean ± 95% CI (trial 0 is the -seed run)")
+	verbose := flag.Bool("v", false, "with -trials > 1: also print the batch engine's dedup statistics and observability counters")
 	fec := flag.Int("fec", 0, "XOR-parity FEC group size in frames (0 = off)")
 	halfPel := flag.Bool("halfpel", false, "enable half-pixel motion refinement")
 	workers := flag.Int("workers", 0, "encoder macroblock-row shards (0 = GOMAXPROCS, 1 = serial); the bitstream is identical for every value")
@@ -95,6 +100,16 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *trials > 1 {
+		if *fec > 0 {
+			return fmt.Errorf("-fec is not supported with -trials > 1 (the batch engine owns the channel)")
+		}
+		return runBatch(seq, src, experiment.SimSpec{
+			Name:      fmt.Sprintf("sim/%s/%s", src.Name(), seq.Scheme),
+			Concealer: concealer,
+			Profile:   profile,
+		}, *trials, *plr, *seed, *burst, *series, *verbose)
+	}
 	res, err := experiment.Simulate(seq, src, experiment.SimSpec{
 		Name:           fmt.Sprintf("sim/%s/%s", src.Name(), seq.Scheme),
 		Channel:        channel,
@@ -133,6 +148,81 @@ func run() error {
 	if *series {
 		fmt.Println(experiment.FormatSeries("psnr_db", res.PSNR.Values(), "%.2f"))
 		fmt.Println(experiment.FormatSeries("frame_bytes", res.FrameBytes.Values(), "%.0f"))
+	}
+	return nil
+}
+
+// runBatch is the -trials > 1 path: one SimBatch pass over every
+// channel realization, reported as mean ± 95% confidence interval.
+// Trial 0 is the scalar run the same flags without -trials produce.
+func runBatch(seq *codec.EncodedSequence, src synth.Source, sim experiment.SimSpec, trials int, plr float64, seed uint64, burst, series, verbose bool) error {
+	batch := experiment.BatchSpec{Trials: trials, Seed: seed, Lane0Result: series}
+	if plr > 0 {
+		if burst {
+			batch.GE = &network.GEConfig{
+				PGoodToBad: 0.05,
+				PBadToGood: 0.3,
+				LossGood:   plr / 3,
+				LossBad:    min(1, plr*5),
+			}
+		} else {
+			batch.LossRate = plr
+		}
+	}
+	var reg *obs.Registry
+	if verbose {
+		reg = obs.NewRegistry()
+		batch.Obs = reg
+	}
+	mtr, err := experiment.SimBatch(seq, src, sim, batch)
+	if err != nil {
+		return err
+	}
+
+	tb := experiment.NewTable(
+		fmt.Sprintf("End-to-end: %s over %s, %d frames, PLR %.0f%%, %d trials",
+			mtr.Scheme, src.Name(), mtr.Frames, plr*100, mtr.Trials),
+		"metric", "mean", "±95% CI")
+	dist := func(name, format string, d metrics.Dist) {
+		tb.AddRow(name, fmt.Sprintf(format, d.Mean), fmt.Sprintf(format, d.CI95))
+	}
+	dist("average PSNR (dB)", "%.2f", mtr.PSNR)
+	dist("bad pixels (total)", "%.1f", mtr.BadPixels)
+	dist("MBs concealed", "%.1f", mtr.ConcealedMBs)
+	dist("frames fully lost", "%.2f", mtr.LostFrames)
+	dist("packets lost", "%.2f", mtr.PacketsLost)
+	tb.AddRow("packets sent", fmt.Sprintf("%d", mtr.PacketsSent), "")
+	tb.AddRow("encoded size (KB)", fmt.Sprintf("%.1f", float64(mtr.TotalBytes)/1024), "")
+	tb.AddRow("encode energy (J)", fmt.Sprintf("%.3f", mtr.Joules), "")
+	fmt.Print(tb.String())
+
+	if verbose {
+		st := mtr.Batch
+		vb := experiment.NewTable("Batch engine (pattern dedup)", "counter", "value")
+		vb.AddRow("lane frames", fmt.Sprintf("%d", st.LaneFrames))
+		vb.AddRow("group decodes", fmt.Sprintf("%d", st.GroupDecodes))
+		vb.AddRow("lanes per decode", fmt.Sprintf("%.1f", float64(st.LaneFrames)/float64(st.GroupDecodes)))
+		vb.AddRow("payload parses", fmt.Sprintf("%d", st.ParsedFrames))
+		vb.AddRow("all-received fast path", fmt.Sprintf("%d", st.AllReceived))
+		vb.AddRow("whole-payload losses", fmt.Sprintf("%d", st.LostLaneFrame))
+		vb.AddRow("lineage forks / merges", fmt.Sprintf("%d / %d", st.Forks, st.Merges))
+		vb.AddRow("peak live lineages", fmt.Sprintf("%d", st.MaxLiveGroups))
+		fmt.Print(vb.String())
+
+		snap := reg.Snapshot()
+		names := make([]string, 0, len(snap))
+		for name := range snap {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Printf("%s %g\n", name, snap[name])
+		}
+	}
+
+	if series && mtr.Lane0 != nil {
+		fmt.Println(experiment.FormatSeries("psnr_db_trial0", mtr.Lane0.PSNR.Values(), "%.2f"))
+		fmt.Println(experiment.FormatSeries("frame_bytes", mtr.Lane0.FrameBytes.Values(), "%.0f"))
 	}
 	return nil
 }

@@ -45,6 +45,7 @@ func run() error {
 	rd := flag.Bool("rd", false, "emit rate-distortion curves (QP sweep) instead of the Intra_Th x PLR grid")
 	analytic := flag.Bool("analytic", false, "evaluate the grid with the closed-form engine (no channel simulation); unlocks the -loss axis and comma-separated -regime lists")
 	lossList := flag.String("loss", "", "analytic mode: comma-separated channel loss rates, a grid axis independent of -plr (default: the -plr list)")
+	trials := flag.Int("trials", 1, "channel realizations per grid point; > 1 routes the grid through the bit-packed batch engine and reports mean ± 95% CI (trial 0 is the legacy single-channel run)")
 	workers := flag.Int("workers", 0, "concurrent grid points (0 = GOMAXPROCS, 1 = serial); output is identical for every value")
 	cacheDir := flag.String("cache-dir", "", "bitstream cache spill directory (cross-process encode reuse)")
 	cacheMB := flag.Int("cache-mb", 0, "in-memory bitstream cache budget in MiB; with -cache-dir unset, 0 disables the cache")
@@ -73,6 +74,9 @@ func run() error {
 		return fmt.Errorf("unknown device %q", *device)
 	}
 
+	if *trials > 1 && (*analytic || *rd) {
+		return fmt.Errorf("-trials is a simulated-grid axis; it does not combine with -analytic or -rd")
+	}
 	if *analytic {
 		return runAnalytic(analyticArgs{
 			regimes: *regime, frames: *frames, qp: *qp,
@@ -100,6 +104,7 @@ func run() error {
 		Regime:   r,
 		Profile:  profile,
 		Workers:  *workers,
+		Trials:   *trials,
 		Cache:    cache,
 	})
 	if err != nil {
@@ -108,6 +113,28 @@ func run() error {
 
 	if *csv {
 		fmt.Print(experiment.SweepCSV(points))
+		return nil
+	}
+
+	if *trials > 1 {
+		tb := experiment.NewTable(
+			fmt.Sprintf("PBPAIR operating points (§4.3/§4.4): %s, %d frames, %s, %d trials",
+				*regime, *frames, profile.Name, *trials),
+			"Intra_Th", "PLR", "intra/frame", "size(KB)", "energy(J)", "PSNR(dB)", "±CI95", "bad px", "±CI95")
+		for _, p := range points {
+			tb.AddRow(
+				fmt.Sprintf("%.2f", p.IntraTh),
+				fmt.Sprintf("%.2f", p.PLR),
+				fmt.Sprintf("%.1f", p.IntraMBsPerFrame),
+				fmt.Sprintf("%.1f", p.FileKB),
+				fmt.Sprintf("%.3f", p.EnergyJ),
+				fmt.Sprintf("%.2f", p.AvgPSNR),
+				fmt.Sprintf("%.2f", p.PSNRCI95),
+				fmt.Sprintf("%d", p.BadPixels),
+				fmt.Sprintf("%.1f", p.BadPixelsCI95),
+			)
+		}
+		fmt.Print(tb.String())
 		return nil
 	}
 

@@ -15,9 +15,18 @@ import (
 // metric is an expectation over the loss process instead of one
 // sampled outcome.
 //
-// ExpPacketsLost, ExpLostFrames and ExpConcealedMBs are exact
-// expectations (the quantities are linear in per-packet loss
-// indicators, whose marginals the loss process provides exactly).
+// ExpPacketsLost and ExpLostFrames are exact expectations (the
+// quantities are linear in per-packet loss indicators, whose
+// marginals the loss process provides exactly). ExpConcealedMBs is
+// exact under single-packet framing and a lower bound otherwise: it
+// counts a row as concealed when the packet carrying that row is
+// lost, which is every concealment the decoder performs except the
+// header-loss cascade — when the packet carrying the picture header
+// is lost but later packets arrive, the surviving GOBs of an intra
+// frame parse under the sticky inter-frame default and the resulting
+// parse errors conceal rows whose own packets arrived. The 10k-lane
+// agreement test in internal/experiment pins both the exact cases and
+// the one-sided envelope of the cascade.
 // ExpPSNR and ExpBadPixels are proxies: the engine propagates each
 // macroblock's expected excess distortion (error beyond the clean
 // decode) through the same prediction structure the decoder uses — a

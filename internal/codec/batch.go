@@ -1,0 +1,294 @@
+package codec
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"pbpair/internal/bitstream"
+	"pbpair/internal/video"
+)
+
+// This file is the decode side of the bit-packed Monte-Carlo engine
+// (experiment.SimBatch): primitives to parse one spliced payload once
+// and replay it through many decoders, and to fork/compare/re-merge
+// decoder state across loss lineages.
+//
+// The parse of a payload depends only on the payload bytes, the
+// decoder's sticky header state (lastQP, halfPel, deblock), whether a
+// reference frame exists, and the frame count (the HeaderLost
+// fallback frame number) — never on reference pixels. Decoders that
+// agree on those inputs can therefore share one ParsedFrame, which is
+// what lets the batch engine decode each distinct loss pattern once
+// per parse-state group instead of once per trial.
+
+// ParsedFrame holds the outcome of the serial parse phase for one
+// frame payload: the reconstruction jobs to replay plus the header
+// state consumed and produced by the parse. A ParsedFrame is
+// immutable after ParsePayload returns; DecodeParsed only reads it, so
+// one ParsedFrame may be replayed through any number of decoders,
+// concurrently.
+type ParsedFrame struct {
+	jobs       []gobJob
+	recs       []mbRec
+	pool       []video.Block
+	rowDecoded []bool
+
+	// Parse inputs (the sharing key, checked by DecodeParsed).
+	frameIdx  int // decoder frameCount at parse time
+	hadRef    bool
+	qpIn      int
+	halfPelIn bool
+	deblockIn bool
+
+	// Parse outputs.
+	frameNum   int
+	ftype      FrameType
+	headerLost bool
+	lastQPOut  int
+	halfPelOut bool
+	deblockOut bool
+	qpEnd      int // quantiser in effect at end of parse (deblock strength)
+
+	overflow bool
+}
+
+// Overflow reports whether the parse hit the pending-record cap (a
+// crafted stream repeating GOB units). An overflowed ParsedFrame
+// cannot be replayed — the caller must fall back to DecodeFrame, whose
+// incremental flush handles such streams.
+func (pf *ParsedFrame) Overflow() bool { return pf.overflow }
+
+// HeaderLost reports whether the picture header was missing from the
+// parsed payload.
+func (pf *ParsedFrame) HeaderLost() bool { return pf.headerLost }
+
+// CarryKey returns the sticky header state the next payload parse
+// depends on. Decoders with equal CarryKey, FramesDecoded and
+// reference existence parse any payload identically and may share a
+// ParsedFrame.
+func (d *Decoder) CarryKey() (lastQP int, halfPel, deblock bool) {
+	return d.lastQP, d.halfPel, d.deblock
+}
+
+// ParsePayload runs the serial parse phase of DecodeFrame against pf
+// without reconstructing or advancing any decoder state. data follows
+// the DecodeFrame contract (partial or empty payloads allowed). The
+// decoder is left exactly as found; pf's previous contents are
+// overwritten (its allocations are reused).
+func (d *Decoder) ParsePayload(data []byte, pf *ParsedFrame) {
+	rows := d.height / video.MBSize
+	cols := d.width / video.MBSize
+
+	pf.frameIdx = d.frameCount
+	pf.hadRef = d.ref != nil
+	pf.qpIn = d.lastQP
+	pf.halfPelIn = d.halfPel
+	pf.deblockIn = d.deblock
+	pf.frameNum = d.frameCount
+	pf.ftype = PFrame
+	pf.headerLost = true
+	pf.overflow = false
+	if cap(pf.rowDecoded) < rows {
+		pf.rowDecoded = make([]bool, rows)
+	}
+	pf.rowDecoded = pf.rowDecoded[:rows]
+	for i := range pf.rowDecoded {
+		pf.rowDecoded[i] = false
+	}
+
+	// Mount pf's slices as the parse target (parseGOB/parseMB append to
+	// d.jobs/d.recs/d.pool) and shield the decoder's own sticky state
+	// and trace hook; everything is restored before returning.
+	savedJobs, savedRecs, savedPool := d.jobs, d.recs, d.pool
+	savedQP, savedHalf, savedDeblock := d.lastQP, d.halfPel, d.deblock
+	savedTrace := d.trace
+	d.jobs, d.recs, d.pool = pf.jobs[:0], pf.recs[:0], pf.pool[:0]
+	d.trace = nil
+
+	r := &d.reader
+	r.Reset(data)
+	qp := d.lastQP
+	ftype := PFrame
+parse:
+	for {
+		code, err := r.NextStartCode()
+		if err != nil {
+			break
+		}
+		switch code {
+		case bitstream.CodePicture:
+			num, ft, hdrQP, halfPel, deblock, ok := parsePictureHeader(r)
+			if !ok {
+				continue
+			}
+			pf.frameNum = num
+			pf.ftype = ft
+			pf.headerLost = false
+			ftype = ft
+			qp = hdrQP
+			d.lastQP = hdrQP
+			d.halfPel = halfPel
+			d.deblock = deblock
+		case bitstream.CodeGOB:
+			row, ok := d.parseGOB(r, ftype, qp, rows, cols)
+			if ok && row >= 0 && row < rows {
+				pf.rowDecoded[row] = true
+			}
+			if len(d.recs) > d.maxPendingRecs() {
+				// A borrowed record target cannot be flushed mid-parse;
+				// the caller falls back to DecodeFrame.
+				pf.overflow = true
+				break parse
+			}
+		default:
+			// Unknown unit: skip to the next start code.
+		}
+	}
+	pf.jobs, pf.recs, pf.pool = d.jobs, d.recs, d.pool
+	pf.lastQPOut, pf.halfPelOut, pf.deblockOut = d.lastQP, d.halfPel, d.deblock
+	pf.qpEnd = qp
+
+	d.jobs, d.recs, d.pool = savedJobs, savedRecs, savedPool
+	d.lastQP, d.halfPel, d.deblock = savedQP, savedHalf, savedDeblock
+	d.trace = savedTrace
+}
+
+// DecodeParsed produces the next output frame by replaying a
+// ParsedFrame, with results identical to DecodeFrame on the payload pf
+// was parsed from. The decoder must be in the same parse-relevant
+// state as the decoder that ran ParsePayload (checked; see CarryKey).
+// pf is only read, so concurrent replays of one ParsedFrame through
+// distinct decoders are safe.
+func (d *Decoder) DecodeParsed(pf *ParsedFrame) (*DecodeResult, error) {
+	if pf.overflow {
+		return nil, fmt.Errorf("codec: parsed frame overflowed the record cap; use DecodeFrame")
+	}
+	if pf.frameIdx != d.frameCount || pf.hadRef != (d.ref != nil) ||
+		pf.qpIn != d.lastQP || pf.halfPelIn != d.halfPel || pf.deblockIn != d.deblock {
+		return nil, fmt.Errorf("codec: parsed frame was captured under different decoder state")
+	}
+	res := &DecodeResult{
+		FrameNum:   pf.frameNum,
+		Type:       pf.ftype,
+		HeaderLost: pf.headerLost,
+	}
+	d.lastQP, d.halfPel, d.deblock = pf.lastQPOut, pf.halfPelOut, pf.deblockOut
+
+	savedJobs, savedRecs, savedPool, savedExec := d.jobs, d.recs, d.pool, d.executed
+	d.jobs, d.recs, d.pool, d.executed = pf.jobs, pf.recs, pf.pool, 0
+	d.runJobs(d.workers > 1)
+	d.jobs, d.recs, d.pool, d.executed = savedJobs, savedRecs, savedPool, savedExec
+
+	d.finishFrame(res, pf.rowDecoded, pf.qpEnd)
+	return res, nil
+}
+
+// CopyStateFrom makes d's decode state (frame count, sticky header
+// state, reference pixels) identical to src's, so the next DecodeFrame
+// on d produces the same output src would. Concealer and worker
+// configuration are not copied. The decoders must share geometry.
+func (d *Decoder) CopyStateFrom(src *Decoder) error {
+	if d.width != src.width || d.height != src.height {
+		return fmt.Errorf("codec: state copy between %dx%d and %dx%d decoders",
+			src.width, src.height, d.width, d.height)
+	}
+	d.frameCount = src.frameCount
+	d.lastQP = src.lastQP
+	d.halfPel = src.halfPel
+	d.deblock = src.deblock
+	if src.ref == nil {
+		d.ref = nil
+	} else {
+		if d.ref == nil {
+			d.ref = video.NewFrame(d.width, d.height)
+		}
+		if err := d.ref.CopyFrom(src.ref); err != nil {
+			return err
+		}
+	}
+	return d.rec.CopyFrom(src.rec)
+}
+
+// CloneState returns a new decoder with the same geometry, concealer,
+// worker setting and decode state as d — the fork primitive of the
+// batch engine's loss lineages.
+func (d *Decoder) CloneState() (*Decoder, error) {
+	c, err := NewDecoder(d.width, d.height)
+	if err != nil {
+		return nil, err
+	}
+	c.concealer = d.concealer
+	c.workers = d.workers
+	if err := c.CopyStateFrom(d); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// StateEqual reports whether two decoders are in exactly the same
+// decode state: same geometry, frame count, sticky header state and
+// reference pixels. Equal-state decoders produce identical output for
+// every future payload sequence, so batch lineages that become
+// StateEqual are re-merged. (The working reconstruction buffer is
+// derived from the reference after every frame and needs no
+// comparison.)
+func (d *Decoder) StateEqual(o *Decoder) bool {
+	if d.width != o.width || d.height != o.height {
+		return false
+	}
+	if d.frameCount != o.frameCount || d.lastQP != o.lastQP ||
+		d.halfPel != o.halfPel || d.deblock != o.deblock {
+		return false
+	}
+	if (d.ref == nil) != (o.ref == nil) {
+		return false
+	}
+	return d.ref == nil || d.ref.Equal(o.ref)
+}
+
+// StateDigest returns a 64-bit hash of the decode state StateEqual
+// compares, for bucketing candidate merges before the exact check.
+// Equal states always digest equally; the (astronomically unlikely)
+// converse failure only costs a missed merge, never correctness,
+// because merges are verified with StateEqual.
+func (d *Decoder) StateDigest() uint64 {
+	h := uint64(0xCBF29CE484222325)
+	h = hashUint64(h, uint64(d.frameCount))
+	h = hashUint64(h, uint64(int64(d.lastQP)))
+	var flags uint64
+	if d.halfPel {
+		flags |= 1
+	}
+	if d.deblock {
+		flags |= 2
+	}
+	if d.ref != nil {
+		flags |= 4
+	}
+	h = hashUint64(h, flags)
+	if d.ref != nil {
+		h = hashBytes(h, d.ref.Y)
+		h = hashBytes(h, d.ref.Cb)
+		h = hashBytes(h, d.ref.Cr)
+	}
+	return h
+}
+
+const fnvPrime = 0x100000001B3
+
+func hashUint64(h, v uint64) uint64 {
+	return (h ^ v) * fnvPrime
+}
+
+// hashBytes folds a byte slice into the digest eight bytes at a time
+// (FNV-style multiply mix over little-endian words, byte tail).
+func hashBytes(h uint64, b []byte) uint64 {
+	for len(b) >= 8 {
+		h = (h ^ binary.LittleEndian.Uint64(b)) * fnvPrime
+		b = b[8:]
+	}
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime
+	}
+	return h
+}

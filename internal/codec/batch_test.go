@@ -1,0 +1,249 @@
+package codec_test
+
+import (
+	"testing"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/resilience"
+	"pbpair/internal/synth"
+	"pbpair/internal/video"
+)
+
+// runScheduleParsed mirrors runSchedule through the parse-once/replay
+// path: every payload goes through ParsePayload + DecodeParsed (with
+// the documented DecodeFrame fallback on record-cap overflow), nil
+// payloads through ConcealLostFrame.
+func runScheduleParsed(t *testing.T, payloads [][]byte, workers int) []decodeTrace {
+	t.Helper()
+	dec, err := codec.NewDecoder(video.QCIFWidth, video.QCIFHeight,
+		codec.WithDecoderWorkers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pf codec.ParsedFrame // reused across frames, like the batch engine
+	out := make([]decodeTrace, 0, len(payloads))
+	for i, p := range payloads {
+		var res *codec.DecodeResult
+		if p == nil {
+			res = dec.ConcealLostFrame()
+		} else {
+			dec.ParsePayload(p, &pf)
+			if pf.Overflow() {
+				res, err = dec.DecodeFrame(p)
+			} else {
+				res, err = dec.DecodeParsed(&pf)
+			}
+			if err != nil {
+				t.Fatalf("workers=%d frame %d: %v", workers, i, err)
+			}
+		}
+		out = append(out, decodeTrace{
+			frame:        res.Frame.Clone(),
+			frameNum:     res.FrameNum,
+			ftype:        res.Type,
+			concealedMBs: res.ConcealedMBs,
+			headerLost:   res.HeaderLost,
+		})
+	}
+	return out
+}
+
+// TestDecodeParsedMatchesDecodeFrame pins the replay contract: for
+// every payload of the lossy/truncated/corrupt schedule, ParsePayload
+// + DecodeParsed is bit-identical to DecodeFrame — pixels, result
+// fields, and decoder state.
+func TestDecodeParsedMatchesDecodeFrame(t *testing.T) {
+	for _, mode := range []struct {
+		name             string
+		halfPel, deblock bool
+	}{
+		{"fullpel", false, false},
+		{"halfpel+deblock", true, true},
+	} {
+		t.Run(mode.name, func(t *testing.T) {
+			payloads := payloadSchedule(t, mode.halfPel, mode.deblock)
+			want := runSchedule(t, payloads, 1)
+			for _, workers := range []int{1, 4} {
+				got := runScheduleParsed(t, payloads, workers)
+				for i := range want {
+					w, g := want[i], got[i]
+					if !w.frame.Equal(g.frame) {
+						t.Fatalf("workers=%d frame %d: pixels diverge from DecodeFrame", workers, i)
+					}
+					if w.frameNum != g.frameNum || w.ftype != g.ftype ||
+						w.concealedMBs != g.concealedMBs || w.headerLost != g.headerLost {
+						t.Fatalf("workers=%d frame %d: result fields diverge: %+v vs %+v",
+							workers, i, w, g)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParsedFrameSharedAcrossDecoders pins the sharing contract: one
+// ParsedFrame replayed through several state-identical decoders —
+// concurrently — yields identical output on each, and the decoders
+// stay StateEqual with matching digests afterwards.
+func TestParsedFrameSharedAcrossDecoders(t *testing.T) {
+	cfg := codec.Config{
+		Width: video.QCIFWidth, Height: video.QCIFHeight,
+		QP: 8, SearchRange: 7,
+	}
+	gop, err := resilience.NewGOP(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Planner = gop
+	clip := synth.Clip(synth.New(synth.RegimeForeman), 6)
+	frames, _ := encodeClip(t, cfg, clip)
+
+	base, err := codec.NewDecoder(cfg.Width, cfg.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Advance past the first frame so references exist.
+	if _, err := base.DecodeFrame(frames[0].Data); err != nil {
+		t.Fatal(err)
+	}
+
+	const n = 4
+	decs := make([]*codec.Decoder, n)
+	for i := range decs {
+		if decs[i], err = base.CloneState(); err != nil {
+			t.Fatal(err)
+		}
+		if !decs[i].StateEqual(base) {
+			t.Fatalf("clone %d not StateEqual to its source", i)
+		}
+	}
+
+	var pf codec.ParsedFrame
+	// Truncated payload: partial rows plus concealment on replay.
+	payload := frames[1].Data[:frames[1].GOBOffsets[4]+3]
+	base.ParsePayload(payload, &pf)
+	if pf.Overflow() {
+		t.Fatal("schedule payload unexpectedly overflowed")
+	}
+
+	results := make([]*video.Frame, n)
+	errs := make([]error, n)
+	done := make(chan int, n)
+	for i := range decs {
+		go func(i int) {
+			res, err := decs[i].DecodeParsed(&pf)
+			if err == nil {
+				results[i] = res.Frame.Clone()
+			}
+			errs[i] = err
+			done <- i
+		}(i)
+	}
+	for range decs {
+		<-done
+	}
+	want, err := base.DecodeFrame(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range decs {
+		if errs[i] != nil {
+			t.Fatalf("replay %d: %v", i, errs[i])
+		}
+		if !results[i].Equal(want.Frame) {
+			t.Fatalf("replay %d diverges from DecodeFrame", i)
+		}
+		if !decs[i].StateEqual(base) || decs[i].StateDigest() != base.StateDigest() {
+			t.Fatalf("replay %d: post-decode state diverges from DecodeFrame path", i)
+		}
+	}
+}
+
+// TestDecodeParsedStateMismatch pins the misuse guard: replaying a
+// ParsedFrame on a decoder in a different parse-relevant state is an
+// error, not silent corruption.
+func TestDecodeParsedStateMismatch(t *testing.T) {
+	cfg := codec.Config{Width: video.QCIFWidth, Height: video.QCIFHeight, QP: 8, SearchRange: 7}
+	gop, err := resilience.NewGOP(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Planner = gop
+	clip := synth.Clip(synth.New(synth.RegimeForeman), 2)
+	frames, _ := encodeClip(t, cfg, clip)
+
+	a, err := codec.NewDecoder(cfg.Width, cfg.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pf codec.ParsedFrame
+	a.ParsePayload(frames[0].Data, &pf)
+	if _, err := a.DecodeParsed(&pf); err != nil {
+		t.Fatal(err)
+	}
+	// a is now one frame ahead of the state pf was parsed under.
+	if _, err := a.DecodeParsed(&pf); err == nil {
+		t.Fatal("replay against advanced decoder state accepted")
+	}
+}
+
+// TestStateForkAndRemerge pins the lineage life cycle the batch engine
+// relies on: a fork that sees a lost frame diverges (StateEqual false,
+// digests differ), and converges back to the clean lineage after a
+// full intra refresh heals the drift.
+func TestStateForkAndRemerge(t *testing.T) {
+	cfg := codec.Config{Width: video.QCIFWidth, Height: video.QCIFHeight, QP: 8, SearchRange: 7}
+	gop, err := resilience.NewGOP(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Planner = gop
+	clip := synth.Clip(synth.New(synth.RegimeForeman), 7)
+	frames, _ := encodeClip(t, cfg, clip)
+
+	clean, err := codec.NewDecoder(cfg.Width, cfg.Height)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := clean.DecodeFrame(frames[0].Data); err != nil {
+		t.Fatal(err)
+	}
+	fork, err := clean.CloneState()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Frame 1: fork loses it, clean receives it.
+	if _, err := clean.DecodeFrame(frames[1].Data); err != nil {
+		t.Fatal(err)
+	}
+	fork.ConcealLostFrame()
+	if clean.StateEqual(fork) {
+		t.Fatal("lineages equal right after a divergent loss")
+	}
+	if clean.StateDigest() == fork.StateDigest() {
+		t.Fatal("digests collide across divergent lineages")
+	}
+
+	// Frames 2..: both receive everything. GOP(3) makes frame 3 a full
+	// intra refresh, after which the drift is fully healed.
+	remerged := -1
+	for f := 2; f < len(frames); f++ {
+		if _, err := clean.DecodeFrame(frames[f].Data); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fork.DecodeFrame(frames[f].Data); err != nil {
+			t.Fatal(err)
+		}
+		if clean.StateEqual(fork) {
+			remerged = f
+			break
+		}
+	}
+	if remerged < 0 {
+		t.Fatal("lineages never re-merged despite intra refreshes")
+	}
+	if clean.StateDigest() != fork.StateDigest() {
+		t.Fatal("equal states digest differently")
+	}
+}

@@ -274,6 +274,17 @@ func (d *Decoder) decodePayload(data []byte) *DecodeResult {
 		}
 	}
 	d.runJobs(d.workers > 1)
+	d.finishFrame(res, rowDecoded, qp)
+	return res
+}
+
+// finishFrame runs the serial tail of a decode, shared with
+// DecodeParsed: concealment of un-decoded rows, optional deblocking,
+// and reconstruction-buffer rotation. qp is the quantiser in effect at
+// the end of the parse (the deblocking strength).
+func (d *Decoder) finishFrame(res *DecodeResult, rowDecoded []bool, qp int) {
+	rows := d.height / video.MBSize
+	cols := d.width / video.MBSize
 
 	// Conceal whatever was not decoded.
 	for row := 0; row < rows; row++ {
@@ -302,7 +313,6 @@ func (d *Decoder) decodePayload(data []byte) *DecodeResult {
 	// geometry before the concealer runs.
 	_ = d.rec.CopyFrom(d.ref)
 	d.frameCount++
-	return res
 }
 
 // parsePictureHeader reads the fields after a picture start code.

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"pbpair/internal/bitcache"
@@ -413,6 +414,13 @@ type SweepConfig struct {
 	// cell is a distinct encode within one sweep; the cache pays off
 	// across repeated sweeps and, with a spill dir, across processes.
 	Cache *bitcache.Store
+	// Trials, when > 1, evaluates every grid point against that many
+	// independent loss realizations through the bit-packed batch
+	// engine (SimBatch) instead of one sampled channel, filling the
+	// points' CI95 fields. Lane 0 uses the channel seed of the
+	// single-trial sweep, so the point means converge on — and at
+	// Trials <= 1 exactly equal — the legacy single-seed sweep.
+	Trials int
 }
 
 // WithDefaults fills zero fields with their documented defaults.
@@ -442,7 +450,10 @@ func (c SweepConfig) WithDefaults() SweepConfig {
 }
 
 // SweepPoint is one (Intra_Th, PLR) operating point: the §4.3
-// resiliency-vs-energy and §4.4 resiliency-vs-quality data.
+// resiliency-vs-energy and §4.4 resiliency-vs-quality data. With
+// SweepConfig.Trials > 1 the quality metrics are means over the trial
+// lanes and the CI95 fields carry their 95% confidence half-widths
+// (zero in single-trial sweeps).
 type SweepPoint struct {
 	IntraTh          float64
 	PLR              float64
@@ -451,6 +462,9 @@ type SweepPoint struct {
 	EnergyJ          float64
 	AvgPSNR          float64
 	BadPixels        int
+	Trials           int
+	PSNRCI95         float64
+	BadPixelsCI95    float64
 }
 
 // Sweep runs the full Intra_Th × PLR grid. The flattened job order
@@ -458,6 +472,9 @@ type SweepPoint struct {
 // serial nested loops exactly.
 func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
 	cfg = cfg.WithDefaults()
+	if cfg.Trials > 1 {
+		return sweepBatch(cfg)
+	}
 	src := synth.Shared(cfg.Regime)
 	gridRows, gridCols := mbGrid(src)
 
@@ -507,16 +524,87 @@ func Sweep(cfg SweepConfig) ([]SweepPoint, error) {
 	return out, nil
 }
 
+// sweepBatch is the multi-trial backend of Sweep: every grid point is
+// one SimBatch pass over cfg.Trials lanes. Grid points fan out across
+// cfg.Workers goroutines (each point's batch engine runs serially
+// inside its worker); the flattened order matches Sweep's serial
+// nested loops, so the returned slice is identical for every worker
+// count.
+func sweepBatch(cfg SweepConfig) ([]SweepPoint, error) {
+	src := synth.Shared(cfg.Regime)
+	gridRows, gridCols := mbGrid(src)
+
+	type gridPoint struct{ th, plr float64 }
+	var points []gridPoint
+	for _, plr := range cfg.PLRs {
+		for _, th := range cfg.IntraThs {
+			points = append(points, gridPoint{th: th, plr: plr})
+		}
+	}
+	return parallel.Map(cfg.Workers, len(points), func(i int) (SweepPoint, error) {
+		pt := points[i]
+		seq, err := Encode(cfg.Cache, EncodeSpec{
+			Regime: cfg.Regime, Frames: cfg.Frames,
+			QP: cfg.QP, SearchRange: cfg.SearchRange,
+			Scheme: SchemePBPAIR(core.Config{Rows: gridRows, Cols: gridCols, IntraTh: pt.th, PLR: pt.plr}),
+		})
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		mtr, err := SimBatch(seq, src, SimSpec{
+			Name:    fmt.Sprintf("sweep/th%.2f/plr%.2f", pt.th, pt.plr),
+			Profile: cfg.Profile,
+		}, BatchSpec{
+			Trials: cfg.Trials, Seed: cfg.Seed, LossRate: pt.plr,
+			Workers: 1, Lane0Result: true,
+		})
+		if err != nil {
+			return SweepPoint{}, err
+		}
+		return SweepPoint{
+			IntraTh:          pt.th,
+			PLR:              pt.plr,
+			IntraMBsPerFrame: mtr.Lane0.IntraMBs.Mean(),
+			FileKB:           float64(mtr.TotalBytes) / 1024,
+			EnergyJ:          mtr.Joules,
+			AvgPSNR:          mtr.PSNR.Mean,
+			BadPixels:        int(math.Round(mtr.BadPixels.Mean)),
+			Trials:           cfg.Trials,
+			PSNRCI95:         mtr.PSNR.CI95,
+			BadPixelsCI95:    mtr.BadPixels.CI95,
+		}, nil
+	})
+}
+
 // SweepCSV renders sweep points in the CSV layout of cmd/pbpair-sweep:
 // a header line plus one row per point. The CLI and the determinism
 // tests share this renderer, so "byte-identical CSV for every worker
-// count" is pinned against the exact bytes users see.
+// count" is pinned against the exact bytes users see. Single-trial
+// sweeps keep the legacy seven-column schema byte for byte;
+// multi-trial sweeps (any point with Trials > 1) append the
+// confidence columns psnr_ci95, bad_pixels_ci95 and trials.
 func SweepCSV(points []SweepPoint) string {
-	var b strings.Builder
-	b.WriteString("intra_th,plr,intra_mbs_per_frame,file_kb,energy_j,avg_psnr_db,bad_pixels\n")
+	multi := false
 	for _, p := range points {
-		fmt.Fprintf(&b, "%.3f,%.3f,%.2f,%.1f,%.4f,%.2f,%d\n",
-			p.IntraTh, p.PLR, p.IntraMBsPerFrame, p.FileKB, p.EnergyJ, p.AvgPSNR, p.BadPixels)
+		if p.Trials > 1 {
+			multi = true
+			break
+		}
+	}
+	var b strings.Builder
+	if !multi {
+		b.WriteString("intra_th,plr,intra_mbs_per_frame,file_kb,energy_j,avg_psnr_db,bad_pixels\n")
+		for _, p := range points {
+			fmt.Fprintf(&b, "%.3f,%.3f,%.2f,%.1f,%.4f,%.2f,%d\n",
+				p.IntraTh, p.PLR, p.IntraMBsPerFrame, p.FileKB, p.EnergyJ, p.AvgPSNR, p.BadPixels)
+		}
+		return b.String()
+	}
+	b.WriteString("intra_th,plr,intra_mbs_per_frame,file_kb,energy_j,avg_psnr_db,bad_pixels,psnr_ci95,bad_pixels_ci95,trials\n")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%.3f,%.3f,%.2f,%.1f,%.4f,%.2f,%d,%.4f,%.2f,%d\n",
+			p.IntraTh, p.PLR, p.IntraMBsPerFrame, p.FileKB, p.EnergyJ, p.AvgPSNR, p.BadPixels,
+			p.PSNRCI95, p.BadPixelsCI95, p.Trials)
 	}
 	return b.String()
 }

@@ -1,0 +1,119 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"pbpair/internal/synth"
+)
+
+// TestFig5BatchSingleTrialMatchesFig5 pins the figure-level trial-0
+// contract: Fig5Batch at trials=1 reproduces the scalar Fig5 rows
+// exactly — same calibration, same encodes, and lane 0's channel is
+// the Fig5 channel, so every reported number must be identical.
+func TestFig5BatchSingleTrialMatchesFig5(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full Fig5 grid is slow; skipped in -short mode")
+	}
+	cfg := Fig5Config{Frames: 10, ProbeFrames: 8, SearchRange: 7, PLR: 0.15, Seed: 404}
+	rows, err := Fig5(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Fig5Batch(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != len(rows) {
+		t.Fatalf("%d batch cells vs %d scalar rows", len(stats), len(rows))
+	}
+	for i, r := range rows {
+		s := stats[i]
+		if s.Sequence != r.Sequence || s.Scheme != r.Scheme {
+			t.Fatalf("cell %d: %s/%s vs scalar %s/%s", i, s.Sequence, s.Scheme, r.Sequence, r.Scheme)
+		}
+		if s.PSNRMean != r.AvgPSNR {
+			t.Errorf("%s/%s: PSNR %v vs scalar %v", s.Sequence, s.Scheme, s.PSNRMean, r.AvgPSNR)
+		}
+		if s.BadPixMean != float64(r.BadPixels) {
+			t.Errorf("%s/%s: bad pixels %v vs scalar %d", s.Sequence, s.Scheme, s.BadPixMean, r.BadPixels)
+		}
+		if s.FileKBMean != r.FileKB || s.EnergyJMean != r.EnergyJ {
+			t.Errorf("%s/%s: size/energy diverge from scalar", s.Sequence, s.Scheme)
+		}
+		if s.Seeds != 1 || s.PSNRCI95 != 0 || s.BadPixCI95 != 0 {
+			t.Errorf("%s/%s: single-trial cell reports spread: %+v", s.Sequence, s.Scheme, s)
+		}
+	}
+}
+
+// TestSweepTrialsAxis pins the multi-trial sweep: the grid shape and
+// loss-independent columns match the single-trial sweep exactly, the
+// lossy points carry real confidence intervals, and the loss-free
+// points have zero spread (every lane decodes the same clean stream).
+func TestSweepTrialsAxis(t *testing.T) {
+	base := SweepConfig{
+		Frames: 6, SearchRange: 4, Regime: synth.RegimeForeman,
+		IntraThs: []float64{0.4, 0.9}, PLRs: []float64{0, 0.2}, Seed: 5,
+	}
+	single, err := Sweep(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := base
+	multi.Trials = 64
+	got, err := Sweep(multi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(single) {
+		t.Fatalf("%d multi-trial points vs %d single", len(got), len(single))
+	}
+	for i, p := range got {
+		s := single[i]
+		if p.IntraTh != s.IntraTh || p.PLR != s.PLR {
+			t.Fatalf("point %d: grid order diverged", i)
+		}
+		if p.FileKB != s.FileKB || p.EnergyJ != s.EnergyJ || p.IntraMBsPerFrame != s.IntraMBsPerFrame {
+			t.Errorf("point %d: loss-independent columns diverge from single-trial sweep", i)
+		}
+		if p.Trials != 64 {
+			t.Errorf("point %d: trials %d", i, p.Trials)
+		}
+		if p.PLR == 0 {
+			// Every lane decodes the same clean stream; the only play in
+			// the mean and CI is the rounding of the 64-term summation.
+			if p.PSNRCI95 > 1e-10 || math.Abs(p.AvgPSNR-s.AvgPSNR) > 1e-10 || p.BadPixels != s.BadPixels {
+				t.Errorf("loss-free point %d: lanes diverged: %+v vs %+v", i, p, s)
+			}
+		} else if p.PSNRCI95 <= 0 {
+			t.Errorf("lossy point %d: no PSNR confidence interval", i)
+		}
+	}
+
+	// CSV schema regression: the legacy single-trial schema is
+	// byte-stable, and the multi-trial schema appends exactly the
+	// confidence columns.
+	singleCSV := SweepCSV(single)
+	if !strings.HasPrefix(singleCSV, "intra_th,plr,intra_mbs_per_frame,file_kb,energy_j,avg_psnr_db,bad_pixels\n") {
+		t.Fatalf("single-trial CSV header changed:\n%s", singleCSV)
+	}
+	if n := strings.Count(strings.TrimSpace(strings.SplitN(singleCSV, "\n", 2)[0]), ","); n != 6 {
+		t.Fatalf("single-trial CSV has %d commas in header, want 6", n)
+	}
+	multiCSV := SweepCSV(got)
+	wantHeader := "intra_th,plr,intra_mbs_per_frame,file_kb,energy_j,avg_psnr_db,bad_pixels,psnr_ci95,bad_pixels_ci95,trials\n"
+	if !strings.HasPrefix(multiCSV, wantHeader) {
+		t.Fatalf("multi-trial CSV header:\n%s", multiCSV)
+	}
+	lines := strings.Split(strings.TrimSpace(multiCSV), "\n")
+	if len(lines) != 1+len(got) {
+		t.Fatalf("multi-trial CSV has %d lines, want %d", len(lines), 1+len(got))
+	}
+	for _, line := range lines[1:] {
+		if n := strings.Count(line, ","); n != 9 {
+			t.Fatalf("multi-trial CSV row has %d commas, want 9: %s", n, line)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"pbpair/internal/energy"
 	"pbpair/internal/parallel"
+	"pbpair/internal/synth"
 )
 
 // Multi-seed replication. The paper reports single runs; loss patterns
@@ -14,16 +15,19 @@ import (
 // reports mean and standard deviation per cell, which is what the
 // EXPERIMENTS.md claims ("who wins") should rest on.
 
-// Fig5Stats aggregates one (sequence, scheme) cell across seeds.
+// Fig5Stats aggregates one (sequence, scheme) cell across independent
+// channel realizations — seeds for Fig5Multi, lanes for Fig5Batch.
 type Fig5Stats struct {
 	Sequence string
 	Scheme   string
 
 	PSNRMean, PSNRStd     float64
+	PSNRCI95              float64 // 95% confidence half-width of PSNRMean
 	BadPixMean, BadPixStd float64
+	BadPixCI95            float64 // 95% confidence half-width of BadPixMean
 	FileKBMean            float64 // loss-independent: no spread reported
 	EnergyJMean           float64 // loss-independent: no spread reported
-	Seeds                 int
+	Seeds                 int     // realizations aggregated (seeds or lanes)
 }
 
 // Fig5Multi runs Fig5 once per seed and aggregates. The calibration
@@ -88,16 +92,94 @@ func Fig5Multi(cfg Fig5Config, seeds []uint64) ([]Fig5Stats, error) {
 		seq, scheme := splitKey(key)
 		pm, ps := meanStd(a.psnr)
 		bm, bs := meanStd(a.bad)
+		n := len(a.psnr)
+		ci := func(std float64) float64 {
+			if n < 2 {
+				return 0
+			}
+			return 1.96 * std / math.Sqrt(float64(n))
+		}
 		out = append(out, Fig5Stats{
 			Sequence: seq, Scheme: scheme,
-			PSNRMean: pm, PSNRStd: ps,
-			BadPixMean: bm, BadPixStd: bs,
+			PSNRMean: pm, PSNRStd: ps, PSNRCI95: ci(ps),
+			BadPixMean: bm, BadPixStd: bs, BadPixCI95: ci(bs),
 			FileKBMean:  a.fileKB,
 			EnergyJMean: a.energyJ,
-			Seeds:       len(a.psnr),
+			Seeds:       n,
 		})
 	}
 	return out, nil
+}
+
+// Fig5Batch runs the Figure 5 experiment through the bit-packed
+// Monte-Carlo engine: the same calibration and encode plan as Fig5,
+// but each (sequence, scheme) cell is evaluated against trials
+// independent loss realizations in one SimBatch pass instead of one
+// sampled channel — which is what makes 10k-trial confidence
+// intervals affordable. Lane 0 of every cell is the scalar Fig5 run
+// with the same config (the channel seed is cfg.Seed + regime, as in
+// Fig5), so Fig5Batch at trials=1 reproduces Fig5's rows exactly.
+//
+// Cells fan out across cfg.Workers goroutines (each cell's batch
+// engine runs serially inside its worker); the returned order matches
+// Fig5's serial iteration order for every worker count.
+func Fig5Batch(cfg Fig5Config, trials int) ([]Fig5Stats, error) {
+	if trials < 1 {
+		return nil, fmt.Errorf("experiment: Fig5Batch needs at least one trial")
+	}
+	cfg = cfg.WithDefaults()
+	regimes := []synth.Regime{synth.RegimeForeman, synth.RegimeAkiyo, synth.RegimeGarden}
+	ths, err := fig5Thresholds(cfg, regimes)
+	if err != nil {
+		return nil, err
+	}
+
+	type cell struct {
+		regime synth.Regime
+		spec   EncodeSpec
+		name   string
+	}
+	var cells []cell
+	for si, regime := range regimes {
+		src := synth.Shared(regime)
+		gridRows, gridCols := mbGrid(src)
+		for _, sc := range fig5Schemes(gridRows, gridCols, ths[si], cfg.PLR) {
+			cells = append(cells, cell{
+				regime: regime,
+				spec: EncodeSpec{
+					Regime: regime, Frames: cfg.Frames,
+					QP: cfg.QP, SearchRange: cfg.SearchRange,
+					Scheme: sc.spec,
+				},
+				name: fmt.Sprintf("fig5/%s/%s", src.Name(), sc.spec.Key()),
+			})
+		}
+	}
+	stats, err := parallel.Map(cfg.Workers, len(cells), func(i int) (Fig5Stats, error) {
+		c := cells[i]
+		src := synth.Shared(c.regime)
+		seq, err := Encode(cfg.Cache, c.spec)
+		if err != nil {
+			return Fig5Stats{}, err
+		}
+		mtr, err := SimBatch(seq, src, SimSpec{Name: c.name, Profile: cfg.Profile},
+			BatchSpec{Trials: trials, Seed: cfg.Seed + uint64(c.regime), LossRate: cfg.PLR, Workers: 1})
+		if err != nil {
+			return Fig5Stats{}, err
+		}
+		return Fig5Stats{
+			Sequence: src.Name(), Scheme: mtr.Scheme,
+			PSNRMean: mtr.PSNR.Mean, PSNRStd: mtr.PSNR.Std, PSNRCI95: mtr.PSNR.CI95,
+			BadPixMean: mtr.BadPixels.Mean, BadPixStd: mtr.BadPixels.Std, BadPixCI95: mtr.BadPixels.CI95,
+			FileKBMean:  float64(mtr.TotalBytes) / 1024,
+			EnergyJMean: mtr.Joules,
+			Seeds:       trials,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return stats, nil
 }
 
 func splitKey(key string) (seq, scheme string) {

@@ -1,0 +1,74 @@
+package experiment
+
+import (
+	"math"
+	"testing"
+
+	"pbpair/internal/network"
+	"pbpair/internal/synth"
+)
+
+// FuzzBatchVsScalar is the differential fuzzer behind the batch
+// engine's exactness contract: for fuzzer-chosen content, framing and
+// channel parameters, EVERY lane of a SimBatch run must equal — not
+// approximate — the scalar Simulate run seeded with the lane's
+// network.LaneSeed. The knobs are quantized so the shared encode
+// cache absorbs the encoder cost and the iteration budget goes into
+// batch-vs-scalar comparisons; trial counts straddle the 64-lane word
+// boundary so multi-word masks and tail-lane handling stay covered.
+func FuzzBatchVsScalar(f *testing.F) {
+	f.Add(uint8(1), uint8(3), uint8(1), uint8(0), uint8(1), uint8(0), uint8(7))   // 5 lanes, iid 5%
+	f.Add(uint8(0), uint8(63), uint8(4), uint8(1), uint8(2), uint8(1), uint8(1))  // 65 lanes: word boundary, GE
+	f.Add(uint8(2), uint8(0), uint8(8), uint8(0), uint8(0), uint8(2), uint8(9))   // 2 lanes, iid 40%, tiny MTU
+	f.Add(uint8(4), uint8(10), uint8(20), uint8(0), uint8(3), uint8(0), uint8(3)) // rate 1: every frame lost
+	f.Add(uint8(3), uint8(7), uint8(0), uint8(1), uint8(1), uint8(3), uint8(0))   // loss-free GE good state
+
+	regimes := []synth.Regime{
+		synth.RegimeAkiyo, synth.RegimeForeman, synth.RegimeGarden,
+		synth.RegimeHall, synth.RegimeMobile,
+	}
+	mtus := []int{0, 300, 512, 1500}
+
+	f.Fuzz(func(t *testing.T, regimeB, trialsB, rateB, geB, framesB, mtuB, seedB uint8) {
+		regime := regimes[int(regimeB)%len(regimes)]
+		trials := 2 + int(trialsB%66) // 2..67: crosses the 64-lane word boundary
+		rate := float64(rateB%21) / 20
+		frames := 3 + int(framesB%4)
+		mtu := mtus[int(mtuB)%len(mtus)]
+		seed := 1 + uint64(seedB)
+
+		batch := BatchSpec{Trials: trials, Seed: seed, LossRate: rate}
+		if geB%2 == 1 {
+			batch.LossRate = 0
+			batch.GE = &network.GEConfig{
+				PGoodToBad: 0.05 + float64(geB%8)*0.1,
+				PBadToGood: 0.3,
+				LossGood:   rate / 4,
+				LossBad:    math.Min(1, rate*2+0.1),
+			}
+		}
+
+		src := synth.Shared(regime)
+		seq, err := Encode(sharedFuzzCache(f), EncodeSpec{
+			Regime: regime, Frames: frames, QP: 8, SearchRange: 4,
+			Scheme: SchemeGOP(3),
+		})
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+
+		sim := SimSpec{Name: "fuzz-batch", MTU: mtu}
+		mtr, err := SimBatch(seq, src, sim, batch)
+		if err != nil {
+			t.Fatalf("simbatch: %v", err)
+		}
+		for lane := 0; lane < trials; lane++ {
+			want := scalarTrial(t, seq, src, sim, batch, lane)
+			compareScalar(t, "fuzz", mtr, lane, want)
+			if t.Failed() {
+				t.Fatalf("lane %d diverges from scalar Simulate (trials=%d rate=%v ge=%v frames=%d mtu=%d seed=%d)",
+					lane, trials, rate, batch.GE, frames, mtu, seed)
+			}
+		}
+	})
+}

@@ -1,0 +1,62 @@
+package metrics
+
+import "math"
+
+// Dist summarizes one metric across independent Monte-Carlo trials
+// (the per-trial values of a batch simulation — see
+// experiment.SimBatch). Std is the sample standard deviation (n−1
+// denominator, 0 for fewer than two trials); CI95 is the
+// normal-approximation 95% confidence half-width 1.96·Std/√N, which is
+// what the figure emitters print as "mean ± ci95". The normal
+// approximation is justified by the trial counts the batch engine
+// targets (hundreds to tens of thousands), not by small-n samples.
+type Dist struct {
+	N    int
+	Mean float64
+	Std  float64
+	CI95 float64
+	Min  float64
+	Max  float64
+}
+
+// StdErr returns the standard error of the mean, Std/√N (0 when N is
+// zero).
+func (d Dist) StdErr() float64 {
+	if d.N == 0 {
+		return 0
+	}
+	return d.Std / math.Sqrt(float64(d.N))
+}
+
+// Summarize reduces per-trial values to a Dist. The mean is the plain
+// left-to-right sum over xs divided by len(xs), matching Series.Mean's
+// accumulation order so a one-trial batch agrees bitwise with the
+// scalar path.
+func Summarize(xs []float64) Dist {
+	d := Dist{N: len(xs)}
+	if d.N == 0 {
+		return d
+	}
+	sum := 0.0
+	d.Min, d.Max = xs[0], xs[0]
+	for _, x := range xs {
+		sum += x
+		if x < d.Min {
+			d.Min = x
+		}
+		if x > d.Max {
+			d.Max = x
+		}
+	}
+	d.Mean = sum / float64(d.N)
+	if d.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			dx := x - d.Mean
+			ss += dx * dx
+		}
+		d.Std = math.Sqrt(ss / float64(d.N-1))
+		d.CI95 = 1.96 * d.StdErr()
+	}
+	return d
+}

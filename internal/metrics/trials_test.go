@@ -1,0 +1,54 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	approx := func(got, want float64) bool { return math.Abs(got-want) < 1e-12 }
+
+	d := Summarize(nil)
+	if d.N != 0 || d.Mean != 0 || d.Std != 0 || d.CI95 != 0 {
+		t.Fatalf("empty input: %+v", d)
+	}
+
+	d = Summarize([]float64{3.5})
+	if d.N != 1 || d.Mean != 3.5 || d.Std != 0 || d.CI95 != 0 || d.Min != 3.5 || d.Max != 3.5 {
+		t.Fatalf("single trial: %+v", d)
+	}
+
+	// 2, 4, 4, 4, 5, 5, 7, 9: mean 5, sample variance 32/7.
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	d = Summarize(xs)
+	if d.N != 8 || !approx(d.Mean, 5) || d.Min != 2 || d.Max != 9 {
+		t.Fatalf("known sample: %+v", d)
+	}
+	wantStd := math.Sqrt(32.0 / 7.0)
+	if !approx(d.Std, wantStd) {
+		t.Fatalf("std = %v, want %v", d.Std, wantStd)
+	}
+	if !approx(d.CI95, 1.96*wantStd/math.Sqrt(8)) {
+		t.Fatalf("ci95 = %v, want %v", d.CI95, 1.96*wantStd/math.Sqrt(8))
+	}
+	if !approx(d.StdErr(), wantStd/math.Sqrt(8)) {
+		t.Fatalf("stderr = %v", d.StdErr())
+	}
+}
+
+// TestSummarizeMatchesSeriesMean pins the bitwise agreement contract
+// with Series.Mean: same values, same accumulation order, identical
+// float result.
+func TestSummarizeMatchesSeriesMean(t *testing.T) {
+	var s Series
+	xs := make([]float64, 0, 100)
+	x := 0.1
+	for i := 0; i < 100; i++ {
+		x = x*1.37 + 0.11
+		s.Add(x)
+		xs = append(xs, x)
+	}
+	if got, want := Summarize(xs).Mean, s.Mean(); got != want {
+		t.Fatalf("Summarize mean %v != Series mean %v", got, want)
+	}
+}

@@ -1,0 +1,162 @@
+package network
+
+import "fmt"
+
+// This file is the channel side of the bit-packed Monte-Carlo engine:
+// instead of transmitting packets through one Channel at a time, a
+// MaskSource draws the loss decision for many independent channel
+// realizations ("lanes") per packet and packs them into uint64 words,
+// one bit per lane. The experiment layer turns those words into
+// per-trial loss patterns and decodes each distinct pattern once
+// (see experiment.SimBatch).
+//
+// Determinism contract: lane l of a batch source reproduces, draw for
+// draw, the scalar channel seeded with LaneSeed(seed, l). Lane 0 uses
+// the base seed itself, so trial 0 of a batch run is the legacy
+// single-seed simulation byte for byte.
+
+// MaskSource draws per-packet loss decisions for a fixed number of
+// independent channel realizations. Implementations are deterministic:
+// the same seed yields the same mask sequence.
+type MaskSource interface {
+	// Lanes reports how many independent realizations the source draws.
+	Lanes() int
+	// NextMask advances every lane by one packet and fills dst with the
+	// loss words: bit l of dst[w] is set iff lane 64·w+l LOSES the
+	// packet. dst must have at least MaskWords(Lanes()) entries; bits at
+	// or above Lanes() in the last word are left zero.
+	NextMask(dst []uint64)
+}
+
+// MaskWords returns how many uint64 words hold one bit per lane.
+func MaskWords(lanes int) int { return (lanes + 63) / 64 }
+
+// LaneSeed derives the scalar-channel seed for one lane of a batch
+// run. Lane 0 is the base seed itself (the trial-0 compatibility pin);
+// higher lanes are decorrelated through the splitMix64 output mixer —
+// a plain seed+lane·φ would put every lane on a shifted copy of lane
+// 0's splitMix64 orbit (lane l ≡ lane 0 delayed by l draws), which the
+// finalizer scramble prevents.
+func LaneSeed(seed uint64, lane int) uint64 {
+	if lane == 0 {
+		return seed
+	}
+	z := seed + 0x9E3779B97F4A7C15*uint64(lane)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// BatchUniform is the batch counterpart of UniformLoss: every lane is
+// an independent i.i.d. Bernoulli loss process. Draw order per lane
+// matches UniformLoss.Transmit exactly (one uniform draw per packet).
+type BatchUniform struct {
+	rate  float64
+	lanes int
+	rngs  []splitMix64
+}
+
+// NewBatchUniform returns a lanes-wide i.i.d. loss source. The rate
+// must be a probability in [0, 1] (NaN rejected).
+func NewBatchUniform(rate float64, seed uint64, lanes int) (*BatchUniform, error) {
+	if !(rate >= 0 && rate <= 1) {
+		return nil, fmt.Errorf("network: loss rate %v outside [0, 1]", rate)
+	}
+	if lanes < 1 {
+		return nil, fmt.Errorf("network: batch source needs at least 1 lane, got %d", lanes)
+	}
+	b := &BatchUniform{rate: rate, lanes: lanes, rngs: make([]splitMix64, lanes)}
+	for l := range b.rngs {
+		b.rngs[l] = splitMix64{state: LaneSeed(seed, l)}
+	}
+	return b, nil
+}
+
+// Lanes implements MaskSource.
+func (b *BatchUniform) Lanes() int { return b.lanes }
+
+// NextMask implements MaskSource.
+func (b *BatchUniform) NextMask(dst []uint64) {
+	for w := 0; w < MaskWords(b.lanes); w++ {
+		dst[w] = 0
+	}
+	for l := range b.rngs {
+		if b.rngs[l].float64() < b.rate {
+			dst[l>>6] |= 1 << uint(l&63)
+		}
+	}
+}
+
+// Validate reports whether every probability of the configuration
+// lies in [0, 1] (NaN rejected) — the same check NewGilbertElliott
+// applies.
+func (cfg GEConfig) Validate() error {
+	for _, v := range []float64{cfg.PGoodToBad, cfg.PBadToGood, cfg.LossGood, cfg.LossBad} {
+		if !(v >= 0 && v <= 1) {
+			return fmt.Errorf("network: Gilbert–Elliott probability %v outside [0, 1]", v)
+		}
+	}
+	return nil
+}
+
+// BatchGE is the batch counterpart of GilbertElliott: every lane is an
+// independent two-state burst-loss chain with its own state. Per
+// packet each lane draws the state transition first and then the loss,
+// matching GilbertElliott.Transmit draw order.
+type BatchGE struct {
+	cfg   GEConfig
+	lanes int
+	rngs  []splitMix64
+	bad   []bool
+}
+
+// NewBatchGE returns a lanes-wide Gilbert–Elliott source. All four
+// probabilities must lie in [0, 1] (NaN rejected). Every lane starts
+// in the good state, like NewGilbertElliott.
+func NewBatchGE(cfg GEConfig, seed uint64, lanes int) (*BatchGE, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if lanes < 1 {
+		return nil, fmt.Errorf("network: batch source needs at least 1 lane, got %d", lanes)
+	}
+	b := &BatchGE{
+		cfg:   cfg,
+		lanes: lanes,
+		rngs:  make([]splitMix64, lanes),
+		bad:   make([]bool, lanes),
+	}
+	for l := range b.rngs {
+		b.rngs[l] = splitMix64{state: LaneSeed(seed, l)}
+	}
+	return b, nil
+}
+
+// Lanes implements MaskSource.
+func (b *BatchGE) Lanes() int { return b.lanes }
+
+// NextMask implements MaskSource.
+func (b *BatchGE) NextMask(dst []uint64) {
+	for w := 0; w < MaskWords(b.lanes); w++ {
+		dst[w] = 0
+	}
+	for l := range b.rngs {
+		rng := &b.rngs[l]
+		if b.bad[l] {
+			if rng.float64() < b.cfg.PBadToGood {
+				b.bad[l] = false
+			}
+		} else {
+			if rng.float64() < b.cfg.PGoodToBad {
+				b.bad[l] = true
+			}
+		}
+		rate := b.cfg.LossGood
+		if b.bad[l] {
+			rate = b.cfg.LossBad
+		}
+		if rng.float64() < rate {
+			dst[l>>6] |= 1 << uint(l&63)
+		}
+	}
+}

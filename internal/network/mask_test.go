@@ -1,0 +1,145 @@
+package network
+
+import "testing"
+
+// drainScalar runs one scalar channel over pkts packets, one packet
+// per Transmit call (the draw order is per packet either way), and
+// returns the loss decision per packet.
+func drainScalar(t *testing.T, ch Channel, pkts int) []bool {
+	t.Helper()
+	lost := make([]bool, pkts)
+	for i := range lost {
+		kept := ch.Transmit([]Packet{{Seq: i}})
+		lost[i] = len(kept) == 0
+	}
+	return lost
+}
+
+// drainBatch runs a mask source over pkts packets and returns the loss
+// decision per packet for one lane.
+func drainBatch(src MaskSource, lane, pkts int) []bool {
+	dst := make([]uint64, MaskWords(src.Lanes()))
+	lost := make([]bool, pkts)
+	for i := range lost {
+		src.NextMask(dst)
+		lost[i] = dst[lane>>6]&(1<<uint(lane&63)) != 0
+	}
+	return lost
+}
+
+// TestBatchUniformMatchesScalar pins the determinism contract: lane l
+// of BatchUniform draws exactly like UniformLoss seeded with
+// LaneSeed(seed, l), across a multi-word lane count.
+func TestBatchUniformMatchesScalar(t *testing.T) {
+	const (
+		seed  = uint64(2005)
+		lanes = 130 // three words, last one partial
+		pkts  = 400
+		rate  = 0.17
+	)
+	src, err := NewBatchUniform(rate, seed, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([][]bool, lanes)
+	dst := make([]uint64, MaskWords(lanes))
+	for i := 0; i < pkts; i++ {
+		src.NextMask(dst)
+		if tail := dst[len(dst)-1] >> uint(lanes%64); tail != 0 {
+			t.Fatalf("packet %d: bits set above lane count: %#x", i, tail)
+		}
+		for l := 0; l < lanes; l++ {
+			batch[l] = append(batch[l], dst[l>>6]&(1<<uint(l&63)) != 0)
+		}
+	}
+	for l := 0; l < lanes; l++ {
+		ch, err := NewUniformLoss(rate, LaneSeed(seed, l))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := drainScalar(t, ch, pkts)
+		for i := range want {
+			if batch[l][i] != want[i] {
+				t.Fatalf("lane %d packet %d: batch lost=%v scalar lost=%v", l, i, batch[l][i], want[i])
+			}
+		}
+	}
+}
+
+// TestBatchGEMatchesScalar pins the same contract for the burst
+// channel: per-lane state, transition-then-loss draw order.
+func TestBatchGEMatchesScalar(t *testing.T) {
+	const (
+		seed  = uint64(909)
+		lanes = 67 // crosses the one-word boundary
+		pkts  = 600
+	)
+	cfg := GEConfig{PGoodToBad: 0.05, PBadToGood: 0.3, LossGood: 0.02, LossBad: 0.5}
+	src, err := NewBatchGE(cfg, seed, lanes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lane := range []int{0, 1, 63, 64, 66} {
+		ch, err := NewGilbertElliott(cfg, LaneSeed(seed, lane))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := drainScalar(t, ch, pkts)
+		// Fresh source per lane probe: NextMask advances all lanes.
+		src, err = NewBatchGE(cfg, seed, lanes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drainBatch(src, lane, pkts)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("lane %d packet %d: batch lost=%v scalar lost=%v", lane, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestLaneSeedContract pins lane 0 to the raw base seed (the trial-0
+// compatibility anchor) and checks higher lanes are pairwise distinct
+// scrambles.
+func TestLaneSeedContract(t *testing.T) {
+	const seed = uint64(0xDEADBEEF)
+	if LaneSeed(seed, 0) != seed {
+		t.Fatalf("lane 0 seed = %#x, want the base seed %#x", LaneSeed(seed, 0), seed)
+	}
+	seen := map[uint64]int{}
+	for l := 0; l < 10000; l++ {
+		s := LaneSeed(seed, l)
+		if prev, dup := seen[s]; dup {
+			t.Fatalf("lanes %d and %d collide on seed %#x", prev, l, s)
+		}
+		seen[s] = l
+	}
+}
+
+// TestBatchSourceValidation rejects malformed rates, probabilities and
+// lane counts, mirroring the scalar constructors.
+func TestBatchSourceValidation(t *testing.T) {
+	nan := func() float64 { z := 0.0; return z / z }()
+	if _, err := NewBatchUniform(-0.1, 1, 4); err == nil {
+		t.Error("negative rate accepted")
+	}
+	if _, err := NewBatchUniform(1.1, 1, 4); err == nil {
+		t.Error("rate > 1 accepted")
+	}
+	if _, err := NewBatchUniform(nan, 1, 4); err == nil {
+		t.Error("NaN rate accepted")
+	}
+	if _, err := NewBatchUniform(0.5, 1, 0); err == nil {
+		t.Error("zero lanes accepted")
+	}
+	if _, err := NewBatchGE(GEConfig{PGoodToBad: nan}, 1, 4); err == nil {
+		t.Error("NaN GE probability accepted")
+	}
+	if _, err := NewBatchGE(GEConfig{LossBad: 2}, 1, 4); err == nil {
+		t.Error("GE probability > 1 accepted")
+	}
+	if _, err := NewBatchGE(GEConfig{}, 1, -1); err == nil {
+		t.Error("negative lanes accepted")
+	}
+}

@@ -1,0 +1,55 @@
+package swar
+
+import "math/bits"
+
+// LaneCounter accumulates per-lane totals of one-bit observations —
+// e.g. "did lane l lose this packet?" words from a network.MaskSource
+// — without a per-lane loop on the hot path. It is the package's
+// word-parallel idiom applied across Monte-Carlo trials instead of
+// pixels: eight bit-planes form a carry-save 8-bit counter per lane,
+// and Add folds a 64-lane observation word in with a ripple-carry
+// across the planes (at most 8 word ops, usually 1-2 since the carry
+// chain stops at the first zero plane). Every 255 adds the planes are
+// spilled into 64-bit per-lane totals, so the counter never overflows.
+//
+// The zero value is ready to use. Not safe for concurrent use.
+type LaneCounter struct {
+	planes [8]uint64 // bit-sliced per-lane count, plane i = bit i
+	adds   int       // observations since the last spill (< 255)
+	totals [64]uint64
+}
+
+// Add folds one observation word in: bit l set means lane l observed
+// a one this step.
+func (c *LaneCounter) Add(mask uint64) {
+	carry := mask
+	for i := 0; i < len(c.planes) && carry != 0; i++ {
+		c.planes[i], carry = c.planes[i]^carry, c.planes[i]&carry
+	}
+	c.adds++
+	if c.adds == 255 {
+		c.spill()
+	}
+}
+
+// spill drains the bit-planes into the 64-bit totals. A plane
+// contributes 2^i to every lane whose bit is set; iterating set bits
+// keeps the cost proportional to the live count.
+func (c *LaneCounter) spill() {
+	for i, plane := range c.planes {
+		for plane != 0 {
+			l := bits.TrailingZeros64(plane)
+			c.totals[l] += 1 << uint(i)
+			plane &= plane - 1
+		}
+		c.planes[i] = 0
+	}
+	c.adds = 0
+}
+
+// Counts spills any pending planes and returns the per-lane totals.
+// The counter remains usable for further Adds.
+func (c *LaneCounter) Counts() [64]uint64 {
+	c.spill()
+	return c.totals
+}

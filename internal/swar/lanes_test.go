@@ -1,0 +1,68 @@
+package swar
+
+import "testing"
+
+// laneRand is a tiny deterministic generator for test masks
+// (splitMix64 constants, local to the test).
+type laneRand uint64
+
+func (r *laneRand) next() uint64 {
+	*r += 0x9E3779B97F4A7C15
+	z := uint64(*r)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// TestLaneCounterDifferential checks the bit-sliced counter against a
+// naive per-lane tally across enough adds to force several spills,
+// including the exact 255-add spill boundary.
+func TestLaneCounterDifferential(t *testing.T) {
+	for _, adds := range []int{0, 1, 254, 255, 256, 1000, 4 * 255} {
+		var c LaneCounter
+		var want [64]uint64
+		rng := laneRand(uint64(adds) + 7)
+		for i := 0; i < adds; i++ {
+			mask := rng.next()
+			c.Add(mask)
+			for l := 0; l < 64; l++ {
+				if mask&(1<<uint(l)) != 0 {
+					want[l]++
+				}
+			}
+		}
+		if got := c.Counts(); got != want {
+			t.Fatalf("adds=%d: counts diverge from naive tally\ngot  %v\nwant %v", adds, got, want)
+		}
+	}
+}
+
+// TestLaneCounterSaturatedLane pins the overflow-avoidance contract:
+// a lane observing a one on every add must count exactly, past the
+// 8-bit plane capacity.
+func TestLaneCounterSaturatedLane(t *testing.T) {
+	var c LaneCounter
+	const n = 5000
+	for i := 0; i < n; i++ {
+		c.Add(^uint64(0))
+	}
+	for l, got := range c.Counts() {
+		if got != n {
+			t.Fatalf("lane %d: count %d, want %d", l, got, n)
+		}
+	}
+}
+
+// TestLaneCounterResumable checks Counts is a snapshot, not a drain:
+// further adds keep accumulating.
+func TestLaneCounterResumable(t *testing.T) {
+	var c LaneCounter
+	c.Add(1)
+	if got := c.Counts()[0]; got != 1 {
+		t.Fatalf("after one add: %d", got)
+	}
+	c.Add(1)
+	if got := c.Counts()[0]; got != 2 {
+		t.Fatalf("after two adds: %d", got)
+	}
+}
