@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: all build fmt vet test race bench bench-json docs-lint fuzz check
+.PHONY: all build fmt vet test race bench bench-json docs-lint fuzz soak-smoke check
 
 # Seconds each fuzz target runs under `make fuzz` (CI uses the same
 # smoke budget; raise it locally for a real fuzzing session).
@@ -56,6 +56,12 @@ BENCHTIME ?= 0.5s
 #    loop (>= 20x at 5% loss) and the figure-level bar (a 10k-trial
 #    Figure 5 point at most 2x the 5-seed Fig5Multi wall-clock,
 #    i.e. vs_5seed_x >= 0.5).
+#  - BENCH_serve.json: the serving layer, gated on the 10k-session
+#    scale figure — aggregate frames/s over the full run (>= 5000),
+#    genuinely batched receives (>= 5 datagrams per recvmmsg wakeup
+#    under the fleet's per-frame report torrent) and at least one
+#    lineage re-merge, proving the fork -> quiesce -> fold-back
+#    lifecycle fires under full fanout load.
 bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkSAD|BenchmarkCompensateHalf|BenchmarkForward|BenchmarkInverse|BenchmarkWriteBits|BenchmarkReadBits|BenchmarkWriteEvent|BenchmarkReadEvent|BenchmarkEncodeParallel' \
 		-benchmem -benchtime $(BENCHTIME) \
@@ -70,7 +76,8 @@ bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkServe' -benchtime $(BENCHTIME) \
 		./internal/serve/ \
 		| $(GO) run ./cmd/pbpair-benchjson \
-			-require 'BenchmarkServeFarm:frames/s,BenchmarkServeFarm:MB/s,BenchmarkServeFarm:p50_us,BenchmarkServeFarm:p99_us,BenchmarkServeThroughput:frames/s,BenchmarkServeThroughput:MB/s' \
+			-require 'BenchmarkServeFarm:frames/s,BenchmarkServeFarm:MB/s,BenchmarkServeFarm:p50_us,BenchmarkServeFarm:p99_us,BenchmarkServeThroughput:frames/s,BenchmarkServeThroughput:MB/s,BenchmarkServeFarm10k:frames/s,BenchmarkServeFarm10k:datagrams_per_syscall,BenchmarkServeFarm10k:lineage_merges' \
+			-min 'BenchmarkServeFarm10k:frames/s=5000,BenchmarkServeFarm10k:datagrams_per_syscall=5,BenchmarkServeFarm10k:lineage_merges=1' \
 			-out BENCH_serve.json
 	@echo wrote BENCH_serve.json
 	$(GO) test -run xxx -bench 'BenchmarkAnalyticGrid' -benchtime $(BENCHTIME) \
@@ -86,6 +93,15 @@ bench-json:
 			-min 'BenchmarkSimBatch:speedup_x=20,BenchmarkFig5BatchPoint:vs_5seed_x=0.5' \
 			-out BENCH_mc.json
 	@echo wrote BENCH_mc.json
+
+# Session-churn smoke under the race detector: a fixed pool of client
+# slots that finish and immediately rejoin, over and over — the
+# lifecycle stress (ephemeral-port reuse, metric teardown racing
+# admission, lineage membership folding) that a fixed fleet never
+# exercises. Deliberately small so it stays well under 30 seconds on
+# two cores; the full-scale version is TestSoakTenThousandSessions.
+soak-smoke:
+	GOMAXPROCS=2 $(GO) test -race -run TestChurnSoak -count=1 ./internal/serve/
 
 # Documentation gate: every relative link in the repo's markdown must
 # resolve, and the operator guide must track the code — pbpair-mdlint
@@ -113,4 +129,4 @@ fuzz:
 	$(GO) test -run xxx -fuzz FuzzBitstreamEquiv -fuzztime $(FUZZTIME) ./internal/bitstream/
 	$(GO) test -run xxx -fuzz FuzzVLCDecodeEquiv -fuzztime $(FUZZTIME) ./internal/entropy/
 
-check: build fmt vet test race docs-lint
+check: build fmt vet test race soak-smoke docs-lint

@@ -24,6 +24,7 @@ import (
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 
 	"pbpair/internal/serve"
 	"pbpair/internal/synth"
@@ -41,6 +42,7 @@ func main() {
 	loss := flag.String("loss", "0", "injected loss: RATE | step:BEFORE,AFTER,FRAME | ramp:FROM,TO,START,END")
 	seed := flag.Uint64("seed", 1, "loss pattern seed (client i uses seed+i)")
 	decode := flag.Bool("decode", false, "decode received streams and score PSNR")
+	churn := flag.Duration("churn", 0, "session churn: each client slot rejoins as a fresh session until this much time has elapsed (0 = one session per slot)")
 	flag.Parse()
 
 	reg, err := parseRegime(*regime)
@@ -63,73 +65,94 @@ func main() {
 	}()
 
 	type outcome struct {
-		sum *serve.ClientSummary
-		err error
+		slot, seq int
+		sum       *serve.ClientSummary
+		err       error
 	}
-	results := make([]outcome, *clients)
+	results := make([][]outcome, *clients)
 	// One goroutine per client, NOT parallel.ForEach: that pool caps
 	// workers at GOMAXPROCS (right for CPU-bound sweeps), which on a
 	// small machine would serialise the sessions — each would pay the
 	// server's whole cohort window alone and none would share a
 	// lineage. Clients are I/O-bound waiting on media, so every
 	// session must stream concurrently regardless of core count.
+	//
+	// With -churn each slot loops: as soon as one session finishes, the
+	// slot rejoins as a brand-new session (fresh handshake, fresh id)
+	// until the churn budget elapses — the lifecycle stress that a
+	// fixed fleet never exercises (ephemeral-port reuse, admission
+	// racing teardown). Seeds stay distinct across rejoins so loss
+	// patterns do not repeat.
 	var wg sync.WaitGroup
 	wg.Add(*clients)
+	start := time.Now()
 	for i := 0; i < *clients; i++ {
 		go func(i int) {
 			defer wg.Done()
-			sum, err := serve.RunClient(ctx, serve.ClientConfig{
-				Server:      *server,
-				Frames:      *frames,
-				Regime:      reg,
-				QP:          *qp,
-				ReportEvery: *reportEvery,
-				FECGroup:    *fecGroup,
-				Interleave:  *interleave,
-				Drop:        sched,
-				Seed:        *seed + uint64(i),
-				Decode:      *decode,
-			})
-			results[i] = outcome{sum, err}
+			for seq := 0; ; seq++ {
+				sum, err := serve.RunClient(ctx, serve.ClientConfig{
+					Server:      *server,
+					Frames:      *frames,
+					Regime:      reg,
+					QP:          *qp,
+					ReportEvery: *reportEvery,
+					FECGroup:    *fecGroup,
+					Interleave:  *interleave,
+					Drop:        sched,
+					Seed:        *seed + uint64(i) + uint64(seq)*uint64(*clients),
+					Decode:      *decode,
+				})
+				results[i] = append(results[i], outcome{i, seq, sum, err})
+				if err != nil || ctx.Err() != nil || time.Since(start) >= *churn {
+					return
+				}
+			}
 		}(i)
 	}
 	wg.Wait()
 
-	failed := 0
+	failed, sessions := 0, 0
 	var frameSum, pktSum, byteSum, dropSum, recoveredSum int64
 	var psnrSum float64
 	psnrN := 0
-	for i, r := range results {
-		if r.err != nil {
-			failed++
-			log.Printf("client %d: %v", i, r.err)
-			if r.sum == nil {
-				continue
+	for _, slot := range results {
+		for _, r := range slot {
+			sessions++
+			label := fmt.Sprintf("client %d", r.slot)
+			if *churn > 0 {
+				label = fmt.Sprintf("client %d#%d", r.slot, r.seq)
 			}
+			if r.err != nil {
+				failed++
+				log.Printf("%s: %v", label, r.err)
+				if r.sum == nil {
+					continue
+				}
+			}
+			s := r.sum
+			line := fmt.Sprintf("%s: session %d, %d/%d frames in %v, %d pkts (%d recovered), %d injected drops, %d reports",
+				label, s.Session, s.FramesFlushed, s.FramesRequested, s.Elapsed.Round(1000000),
+				s.PacketsReceived, s.PacketsRecovered, s.InjectedDrops, s.Reports)
+			if s.FramesDecoded > 0 {
+				line += fmt.Sprintf(", mean PSNR %.2f dB", s.MeanPSNR())
+				psnrSum += s.MeanPSNR()
+				psnrN++
+			}
+			fmt.Println(line)
+			frameSum += int64(s.FramesFlushed)
+			pktSum += s.PacketsReceived
+			byteSum += s.Bytes
+			dropSum += s.InjectedDrops
+			recoveredSum += s.PacketsRecovered
 		}
-		s := r.sum
-		line := fmt.Sprintf("client %d: session %d, %d/%d frames in %v, %d pkts (%d recovered), %d injected drops, %d reports",
-			i, s.Session, s.FramesFlushed, s.FramesRequested, s.Elapsed.Round(1000000),
-			s.PacketsReceived, s.PacketsRecovered, s.InjectedDrops, s.Reports)
-		if s.FramesDecoded > 0 {
-			line += fmt.Sprintf(", mean PSNR %.2f dB", s.MeanPSNR())
-			psnrSum += s.MeanPSNR()
-			psnrN++
-		}
-		fmt.Println(line)
-		frameSum += int64(s.FramesFlushed)
-		pktSum += s.PacketsReceived
-		byteSum += s.Bytes
-		dropSum += s.InjectedDrops
-		recoveredSum += s.PacketsRecovered
 	}
-	fmt.Printf("total: %d clients, %d frames, %d pkts, %.2f MB, %d injected drops, %d FEC-recovered\n",
-		*clients, frameSum, pktSum, float64(byteSum)/1e6, dropSum, recoveredSum)
+	fmt.Printf("total: %d clients, %d sessions, %d frames, %d pkts, %.2f MB, %d injected drops, %d FEC-recovered\n",
+		*clients, sessions, frameSum, pktSum, float64(byteSum)/1e6, dropSum, recoveredSum)
 	if psnrN > 0 {
 		fmt.Printf("mean PSNR across clients: %.2f dB\n", psnrSum/float64(psnrN))
 	}
 	if failed > 0 {
-		log.Fatalf("pbpair-load: %d/%d clients failed", failed, *clients)
+		log.Fatalf("pbpair-load: %d/%d sessions failed", failed, sessions)
 	}
 }
 

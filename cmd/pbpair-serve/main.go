@@ -49,6 +49,9 @@ func main() {
 	farmBacklog := flag.Int("farm-backlog", 0, "farm job queue depth before load shedding engages (0 = 2x farm-workers)")
 	cohortWindow := flag.Duration("cohort-window", 0, "hold new lineages at frame 0 this long so compatible sessions join and share encodes")
 	coalesceBytes := flag.Int("coalesce-bytes", 0, "coalesced media datagram payload limit (0 = mtu+64, negative = one packet per datagram)")
+	recvBatch := flag.Int("recv-batch", 0, "datagrams drained per recvmmsg(2) wakeup on the receive path (0 = default 32, 1 = single-datagram reads)")
+	alphaQuantum := flag.Float64("alpha-quantum", 0, "α̂ quantisation step for lineage partitioning; estimates within half a step collapse to one knob value, enabling re-merges (0 = default 1/64, negative = off)")
+	noMerge := flag.Bool("no-merge", false, "disable lineage re-merging: forked lineages stay private even after their streams reconverge")
 	search := flag.String("search", "tss", "motion search: tss (three-step) or full")
 	weight := flag.Float64("estimator-weight", 0.35, "EMA weight folding receiver reports into α̂")
 	refresh := flag.Float64("refresh-interval", 6, "quality controller target refresh interval n* (frames)")
@@ -87,6 +90,9 @@ func main() {
 		FarmBacklog:     *farmBacklog,
 		CohortWindow:    *cohortWindow,
 		CoalesceBytes:   *coalesceBytes,
+		RecvBatch:       *recvBatch,
+		AlphaQuantum:    *alphaQuantum,
+		DisableMerge:    *noMerge,
 		Search:          kind,
 		EstimatorWeight: *weight,
 		RefreshInterval: *refresh,

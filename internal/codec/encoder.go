@@ -92,6 +92,63 @@ func (e *Encoder) Clone(planner ModePlanner, counters *energy.Counters) (*Encode
 // FrameNum returns the number of the next frame to be encoded.
 func (e *Encoder) FrameNum() int { return e.frameNum }
 
+// StateEqual reports whether two encoders are in exactly the same
+// encode state: same geometry and bitstream-affecting configuration,
+// same frame number, same reference pixels. Equal-state encoders with
+// equivalent planners produce bit-identical output for every future
+// frame sequence — the invariant the serving layer's lineage re-merge
+// rests on, mirroring Decoder.StateEqual from the batch engine. (The
+// rec/pred buffers, MV and DC predictors, and all sharding scratch are
+// rebuilt within each frame and need no comparison; the planner is
+// compared by the caller, who knows when its state is output-relevant.)
+func (e *Encoder) StateEqual(o *Encoder) bool {
+	if e.cfg.Width != o.cfg.Width || e.cfg.Height != o.cfg.Height {
+		return false
+	}
+	if e.cfg.QP != o.cfg.QP || e.cfg.SearchRange != o.cfg.SearchRange ||
+		e.cfg.Search != o.cfg.Search || e.cfg.SADThreshold != o.cfg.SADThreshold ||
+		e.cfg.HalfPel != o.cfg.HalfPel || e.cfg.Deblock != o.cfg.Deblock {
+		return false
+	}
+	if e.frameNum != o.frameNum {
+		return false
+	}
+	if (e.ref == nil) != (o.ref == nil) {
+		return false
+	}
+	return e.ref == nil || e.ref.Equal(o.ref)
+}
+
+// StateDigest returns a 64-bit hash of the encode state StateEqual
+// compares, for bucketing candidate merges before the exact check.
+// Equal states always digest equally; the (astronomically unlikely)
+// converse failure only costs a missed merge, never correctness,
+// because merges are verified with StateEqual.
+func (e *Encoder) StateDigest() uint64 {
+	h := uint64(0xCBF29CE484222325)
+	h = hashUint64(h, uint64(int64(e.cfg.Width))<<32|uint64(uint32(e.cfg.Height)))
+	h = hashUint64(h, uint64(int64(e.cfg.QP))<<32|uint64(uint32(e.cfg.SearchRange)))
+	h = hashUint64(h, uint64(e.cfg.Search)<<32|uint64(uint32(e.cfg.SADThreshold)))
+	var flags uint64
+	if e.cfg.HalfPel {
+		flags |= 1
+	}
+	if e.cfg.Deblock {
+		flags |= 2
+	}
+	if e.ref != nil {
+		flags |= 4
+	}
+	h = hashUint64(h, flags)
+	h = hashUint64(h, uint64(int64(e.frameNum)))
+	if e.ref != nil {
+		h = hashBytes(h, e.ref.Y)
+		h = hashBytes(h, e.ref.Cb)
+		h = hashBytes(h, e.ref.Cr)
+	}
+	return h
+}
+
 // QP returns the quantiser parameter the next frame will use.
 func (e *Encoder) QP() int { return e.cfg.QP }
 

@@ -1,0 +1,92 @@
+package codec_test
+
+import (
+	"testing"
+
+	"pbpair/internal/codec"
+	"pbpair/internal/resilience"
+	"pbpair/internal/synth"
+	"pbpair/internal/video"
+)
+
+// newStateTestEncoder builds a QCIF encoder with a fresh GOP planner.
+func newStateTestEncoder(t *testing.T, qp int) *codec.Encoder {
+	t.Helper()
+	gop, err := resilience.NewGOP(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := codec.NewEncoder(codec.Config{
+		Width: video.QCIFWidth, Height: video.QCIFHeight,
+		QP: qp, Planner: gop,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return enc
+}
+
+// TestEncoderStateEqualAndDigest pins the merge primitive the serving
+// layer's lineage re-merge rests on, mirroring the decoder-side
+// contract from the batch engine: encoders fed identical input stay
+// StateEqual with matching digests; an encoder that advanced past its
+// twin, or runs a different quantiser, is unequal with (for these
+// cases) differing digests; a Clone is immediately StateEqual to its
+// source.
+func TestEncoderStateEqualAndDigest(t *testing.T) {
+	src := synth.New(synth.RegimeForeman)
+	a := newStateTestEncoder(t, 8)
+	b := newStateTestEncoder(t, 8)
+
+	if !a.StateEqual(b) || a.StateDigest() != b.StateDigest() {
+		t.Fatal("fresh identical encoders are not StateEqual")
+	}
+	for f := 0; f < 4; f++ {
+		if _, err := a.EncodeFrame(src.Frame(f)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := b.EncodeFrame(src.Frame(f)); err != nil {
+			t.Fatal(err)
+		}
+		if !a.StateEqual(b) {
+			t.Fatalf("frame %d: lockstep encoders diverged", f)
+		}
+		if a.StateDigest() != b.StateDigest() {
+			t.Fatalf("frame %d: equal states digest differently", f)
+		}
+	}
+
+	// Advancing one encoder breaks equality (frame number and pixels).
+	if _, err := a.EncodeFrame(src.Frame(4)); err != nil {
+		t.Fatal(err)
+	}
+	if a.StateEqual(b) {
+		t.Fatal("encoder a advanced a frame yet is still StateEqual to b")
+	}
+	if a.StateDigest() == b.StateDigest() {
+		t.Fatal("diverged states digest equally")
+	}
+
+	// A clone continues the source's state exactly.
+	gop, err := resilience.NewGOP(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := a.Clone(gop, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.StateEqual(c) || a.StateDigest() != c.StateDigest() {
+		t.Fatal("clone is not StateEqual to its source")
+	}
+
+	// Configuration differences that change the bitstream split state.
+	d := newStateTestEncoder(t, 12)
+	e := newStateTestEncoder(t, 8)
+	if d.StateEqual(e) {
+		t.Fatal("different quantisers compare StateEqual")
+	}
+	if d.StateDigest() == e.StateDigest() {
+		t.Fatal("different quantisers digest equally")
+	}
+}

@@ -3,6 +3,7 @@ package network
 import (
 	"errors"
 	"net"
+	"net/netip"
 )
 
 // Batched datagram output. One streaming server shares a single UDP
@@ -68,4 +69,63 @@ func (s *loopSender) SendBatch(dgrams []Datagram) (int, error) {
 // conditions UDP callers treat as loss).
 func isFatalSendErr(err error) bool {
 	return errors.Is(err, net.ErrClosed)
+}
+
+// Batched datagram input, the receive-side mirror of BatchSender. At
+// thousands of reporting sessions the per-datagram recvfrom syscall is
+// the read path's dominant fixed cost; a BatchReceiver drains a burst
+// per call — the recvmmsg(2) shape — behind the same portable
+// interface and fallback contract as the send side.
+
+// RecvSlot is one receive buffer and its fill results. The caller owns
+// Buf and reuses slots across calls, so a steady-state receive loop
+// allocates nothing: Addr is a netip.AddrPort value, not a pointer.
+type RecvSlot struct {
+	Buf  []byte         // caller-provided buffer, filled up to N
+	N    int            // bytes of Buf filled by the last RecvBatch
+	Addr netip.AddrPort // datagram source address
+}
+
+// BatchReceiver drains batches of datagrams from a single UDP socket.
+// Implementations are NOT safe for concurrent use: the serving layer
+// funnels all receives through one read-loop goroutine.
+type BatchReceiver interface {
+	// RecvBatch blocks until at least one datagram is available, fills
+	// slots from the front (Buf contents, N, Addr) and returns how many
+	// were filled. It never waits for the whole batch: one datagram is
+	// enough to return, further slots are filled only from what is
+	// already queued in the kernel. A non-nil error reports a
+	// socket-level failure (closed socket); the receiver is then
+	// unusable. Datagrams longer than a slot's Buf are truncated to it,
+	// exactly as a plain UDP read would.
+	RecvBatch(slots []RecvSlot) (int, error)
+}
+
+// NewBatchReceiver returns the best BatchReceiver for conn on this
+// platform: recvmmsg-backed on Linux amd64/arm64 with an automatic,
+// permanent fallback to the portable one-read loop if the batch
+// syscall is ever refused, the portable receiver elsewhere.
+func NewBatchReceiver(conn *net.UDPConn) BatchReceiver {
+	return newPlatformBatchReceiver(conn)
+}
+
+// loopReceiver is the portable BatchReceiver: one blocking
+// ReadFromUDPAddrPort filling the first slot. Callers see batches of
+// size one — the pre-batching behaviour, datagram for datagram.
+type loopReceiver struct {
+	conn *net.UDPConn
+}
+
+// RecvBatch implements BatchReceiver.
+func (r *loopReceiver) RecvBatch(slots []RecvSlot) (int, error) {
+	if len(slots) == 0 {
+		return 0, nil
+	}
+	n, addr, err := r.conn.ReadFromUDPAddrPort(slots[0].Buf)
+	if err != nil {
+		return 0, err
+	}
+	slots[0].N = n
+	slots[0].Addr = addr
+	return 1, nil
 }

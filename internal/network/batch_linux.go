@@ -4,6 +4,7 @@ package network
 
 import (
 	"net"
+	"net/netip"
 	"runtime"
 	"sync/atomic"
 	"syscall"
@@ -157,4 +158,163 @@ func putPort(dst *uint16, port uint16) {
 	b := (*[2]byte)(unsafe.Pointer(dst))
 	b[0] = byte(port >> 8)
 	b[1] = byte(port)
+}
+
+// getPort reads a network-byte-order port out of a raw sockaddr.
+func getPort(src *uint16) uint16 {
+	b := (*[2]byte)(unsafe.Pointer(src))
+	return uint16(b[0])<<8 | uint16(b[1])
+}
+
+// recvmmsgCall performs one recvmmsg(2). Indirected through a package
+// variable so the fault-injection tests can make the kernel "refuse"
+// the syscall mid-run and exercise the permanent-fallback contract.
+var recvmmsgCall = func(fd uintptr, msgs *mmsghdr, n int, flags uintptr) (int, syscall.Errno) {
+	r1, _, e := syscall.Syscall6(sysRECVMMSG, fd,
+		uintptr(unsafe.Pointer(msgs)), uintptr(n), flags, 0, 0)
+	return int(r1), e
+}
+
+// mmsgReceiver is the recvmmsg-backed BatchReceiver. Scratch arrays
+// are reused across batches so a steady-state receive allocates
+// nothing; source addresses land in RawSockaddrInet6 slots (large
+// enough for either family) and are converted to netip values.
+type mmsgReceiver struct {
+	conn     *net.UDPConn
+	rc       syscall.RawConn
+	fallback loopReceiver
+	disabled atomic.Bool // set permanently when recvmmsg is refused
+
+	msgs  []mmsghdr
+	iovs  []syscall.Iovec
+	names []syscall.RawSockaddrInet6
+
+	// readFn is built once and reused, with its in/out state in the
+	// fields below: a per-call closure (and its captured locals) would
+	// escape to the heap, and the read path promises 0 allocs/datagram.
+	readFn func(fd uintptr) bool
+	want   int
+	got    int
+	errno  syscall.Errno
+}
+
+func newPlatformBatchReceiver(conn *net.UDPConn) BatchReceiver {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return &loopReceiver{conn: conn}
+	}
+	r := &mmsgReceiver{conn: conn, rc: rc, fallback: loopReceiver{conn: conn}}
+	r.readFn = r.readBatch
+	return r
+}
+
+// readBatch is the RawConn.Read body: one recvmmsg attempt, retried
+// through EINTR, parking in the netpoller on EAGAIN.
+func (r *mmsgReceiver) readBatch(fd uintptr) bool {
+	for {
+		// MSG_DONTWAIT even though the fd is already non-blocking: the
+		// batch must return with whatever is queued, never wait for a
+		// full one. EAGAIN (nothing queued) parks the goroutine in the
+		// netpoller until the socket is readable.
+		n, e := recvmmsgCall(fd, &r.msgs[0], r.want, syscall.MSG_DONTWAIT)
+		switch e {
+		case 0:
+			r.got = n
+			return true
+		case syscall.EINTR:
+			continue
+		case syscall.EAGAIN:
+			return false
+		default:
+			r.errno = e
+			return true
+		}
+	}
+}
+
+// RecvBatch implements BatchReceiver.
+func (r *mmsgReceiver) RecvBatch(slots []RecvSlot) (int, error) {
+	if len(slots) == 0 {
+		return 0, nil
+	}
+	if r.disabled.Load() {
+		return r.fallback.RecvBatch(slots)
+	}
+	if !r.prepare(slots) {
+		return r.fallback.RecvBatch(slots)
+	}
+
+	r.want, r.got, r.errno = len(slots), 0, 0
+	rerr := r.rc.Read(r.readFn)
+	runtime.KeepAlive(slots)
+	runtime.KeepAlive(r)
+	if rerr != nil {
+		return 0, rerr // socket closed under us
+	}
+	if r.errno != 0 {
+		// A refused batch syscall (seccomp returning ENOSYS/EPERM or
+		// EOPNOTSUPP): disable the fast path for the life of this
+		// receiver and carry on portably. No datagram is lost — the
+		// refused call consumed nothing from the socket queue.
+		r.disabled.Store(true)
+		return r.fallback.RecvBatch(slots)
+	}
+	for i := 0; i < r.got; i++ {
+		slots[i].N = int(r.msgs[i].n)
+		slots[i].Addr = rawToAddrPort(&r.names[i])
+	}
+	return r.got, nil
+}
+
+// prepare points the mmsghdr/iovec scratch at the slots' buffers. It
+// reports false if any slot has no buffer (the portable path handles
+// that the way a plain zero-byte read would).
+func (r *mmsgReceiver) prepare(slots []RecvSlot) bool {
+	n := len(slots)
+	if cap(r.msgs) < n {
+		r.msgs = make([]mmsghdr, n)
+		r.iovs = make([]syscall.Iovec, n)
+		r.names = make([]syscall.RawSockaddrInet6, n)
+	}
+	r.msgs = r.msgs[:n]
+	r.iovs = r.iovs[:n]
+	r.names = r.names[:n]
+	for i := range slots {
+		if len(slots[i].Buf) == 0 {
+			return false
+		}
+		r.iovs[i] = syscall.Iovec{Base: &slots[i].Buf[0]}
+		r.iovs[i].SetLen(len(slots[i].Buf))
+		m := &r.msgs[i]
+		*m = mmsghdr{}
+		m.hdr.Iov = &r.iovs[i]
+		m.hdr.Iovlen = 1
+		r.names[i] = syscall.RawSockaddrInet6{}
+		m.hdr.Name = (*byte)(unsafe.Pointer(&r.names[i]))
+		m.hdr.Namelen = uint32(unsafe.Sizeof(r.names[i]))
+	}
+	return true
+}
+
+// rawToAddrPort converts a kernel-filled raw sockaddr (IPv4 or IPv6 —
+// the slot is sized for either) into a netip.AddrPort, mirroring the
+// net package's own conversion so both receiver implementations report
+// identical addresses. Link-local IPv6 zone indices are carried
+// numerically; the serving layer only round-trips addresses back into
+// sends, which is exactly what a scope id is for.
+func rawToAddrPort(sa *syscall.RawSockaddrInet6) netip.AddrPort {
+	switch sa.Family {
+	case syscall.AF_INET:
+		sa4 := (*syscall.RawSockaddrInet4)(unsafe.Pointer(sa))
+		return netip.AddrPortFrom(netip.AddrFrom4(sa4.Addr), getPort(&sa4.Port))
+	case syscall.AF_INET6:
+		addr := netip.AddrFrom16(sa.Addr)
+		if sa.Scope_id != 0 {
+			if ifi, err := net.InterfaceByIndex(int(sa.Scope_id)); err == nil {
+				addr = addr.WithZone(ifi.Name)
+			}
+		}
+		return netip.AddrPortFrom(addr, getPort(&sa.Port))
+	}
+	return netip.AddrPort{}
 }

@@ -2,7 +2,13 @@
 
 package network
 
+import "syscall"
+
 // sendmmsg's syscall number postdates the syscall package's frozen
 // amd64 table, so it is spelled here; see arch_prctl(2) era tables —
-// __NR_sendmmsg is 307 on x86-64.
-const sysSENDMMSG = 307
+// __NR_sendmmsg is 307 on x86-64. recvmmsg (299) made the frozen
+// table, so its constant can come from the package.
+const (
+	sysSENDMMSG = 307
+	sysRECVMMSG = uintptr(syscall.SYS_RECVMMSG)
+)

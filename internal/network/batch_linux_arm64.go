@@ -4,4 +4,7 @@ package network
 
 import "syscall"
 
-const sysSENDMMSG = uintptr(syscall.SYS_SENDMMSG)
+const (
+	sysSENDMMSG = uintptr(syscall.SYS_SENDMMSG)
+	sysRECVMMSG = uintptr(syscall.SYS_RECVMMSG)
+)

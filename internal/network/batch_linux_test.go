@@ -1,0 +1,127 @@
+//go:build linux && (amd64 || arm64)
+
+package network
+
+import (
+	"net"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestMmsgReceiverBatches pins that the recvmmsg path actually
+// batches: a queued burst must come back in fewer RecvBatch calls
+// than datagrams (the syscalls/datagram ratio the serving layer's
+// bench gate is built on).
+func TestMmsgReceiverBatches(t *testing.T) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	r, ok := NewBatchReceiver(conn).(*mmsgReceiver)
+	if !ok {
+		t.Fatal("NewBatchReceiver did not select the mmsg path on linux")
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+
+	const count = 32
+	want := sendSequence(t, conn.LocalAddr().(*net.UDPAddr), count, "burst")
+	// Give the loopback burst a moment to be fully queued, so the
+	// batching assertion below is about recvmmsg, not send timing.
+	time.Sleep(50 * time.Millisecond)
+
+	slots := make([]RecvSlot, count)
+	for i := range slots {
+		slots[i].Buf = make([]byte, 256)
+	}
+	calls := 0
+	var got []recvDatagram
+	for len(got) < count {
+		n, err := r.RecvBatch(slots)
+		if err != nil {
+			t.Fatal(err)
+		}
+		calls++
+		for i := 0; i < n; i++ {
+			got = append(got, recvDatagram{
+				payload: string(slots[i].Buf[:slots[i].N]),
+				addr:    slots[i].Addr.String(),
+			})
+		}
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("datagram %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if calls >= count {
+		t.Fatalf("%d RecvBatch calls for %d queued datagrams: no batching", calls, count)
+	}
+	if r.disabled.Load() {
+		t.Fatal("healthy run disabled the fast path")
+	}
+}
+
+// TestMmsgReceiverRefusalFallsBack is the fault-injection contract
+// test: when the kernel refuses recvmmsg mid-run (a seccomp filter
+// returning ENOSYS, or EOPNOTSUPP from an exotic socket), the receiver
+// must flip — permanently — to the portable loop without dropping a
+// single queued datagram. The refused syscall consumes nothing, so the
+// stream continues exactly where the fast path left off.
+func TestMmsgReceiverRefusalFallsBack(t *testing.T) {
+	for _, errno := range []syscall.Errno{syscall.ENOSYS, syscall.EOPNOTSUPP} {
+		t.Run(errno.Error(), func(t *testing.T) {
+			conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			r, ok := NewBatchReceiver(conn).(*mmsgReceiver)
+			if !ok {
+				t.Fatal("NewBatchReceiver did not select the mmsg path on linux")
+			}
+			conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+
+			const count = 24
+			want := sendSequence(t, conn.LocalAddr().(*net.UDPAddr), count, "fault")
+
+			// Healthy start: drain part of the stream through the real
+			// syscall.
+			got := drainReceiver(t, r, 4, 8, "pre-fault")
+
+			// Mid-run refusal: every recvmmsg now "fails" without
+			// touching the socket queue, exactly like a seccomp filter.
+			realCall := recvmmsgCall
+			recvmmsgCall = func(fd uintptr, msgs *mmsghdr, n int, flags uintptr) (int, syscall.Errno) {
+				return 0, errno
+			}
+			defer func() { recvmmsgCall = realCall }()
+
+			got = append(got, drainReceiver(t, r, 4, count-len(got), "post-fault")...)
+			if !r.disabled.Load() {
+				t.Fatal("refusal did not permanently disable the fast path")
+			}
+			for i := range want {
+				if i >= len(got) || got[i] != want[i] {
+					t.Fatalf("datagram %d lost or reordered across the fallback flip", i)
+				}
+			}
+
+			// The flip is permanent: even with the syscall healthy again
+			// the portable loop keeps serving (otherwise a flapping
+			// filter would cost a refused syscall per batch forever).
+			recvmmsgCall = realCall
+			wantMore := sendSequence(t, conn.LocalAddr().(*net.UDPAddr), 4, "post-restore")
+			gotMore := drainReceiver(t, r, 4, 4, "post-restore")
+			for i := range wantMore {
+				if gotMore[i] != wantMore[i] {
+					t.Fatalf("post-restore datagram %d = %+v, want %+v", i, gotMore[i], wantMore[i])
+				}
+			}
+			if !r.disabled.Load() {
+				t.Fatal("fast path re-enabled itself")
+			}
+		})
+	}
+}

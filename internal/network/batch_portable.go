@@ -7,3 +7,7 @@ import "net"
 func newPlatformBatchSender(conn *net.UDPConn) BatchSender {
 	return &loopSender{conn: conn}
 }
+
+func newPlatformBatchReceiver(conn *net.UDPConn) BatchReceiver {
+	return &loopReceiver{conn: conn}
+}

@@ -207,3 +207,191 @@ func TestBatchSenderEmpty(t *testing.T) {
 		t.Fatalf("empty batch: sent %d, err %v", n, err)
 	}
 }
+
+// recvDatagram is one received (payload, source) observation.
+type recvDatagram struct {
+	payload string
+	addr    string
+}
+
+// drainReceiver reads exactly total datagrams through r using the
+// given slot-batch size, reusing the slot ring across calls the way
+// the serving layer's read loop does.
+func drainReceiver(t *testing.T, r BatchReceiver, slotCount, total int, label string) []recvDatagram {
+	t.Helper()
+	slots := make([]RecvSlot, slotCount)
+	for i := range slots {
+		slots[i].Buf = make([]byte, 1500)
+	}
+	var got []recvDatagram
+	for len(got) < total {
+		n, err := r.RecvBatch(slots)
+		if err != nil {
+			t.Fatalf("%s: RecvBatch after %d datagrams: %v", label, len(got), err)
+		}
+		if n <= 0 || n > slotCount {
+			t.Fatalf("%s: RecvBatch returned %d of %d slots", label, n, slotCount)
+		}
+		for i := 0; i < n; i++ {
+			got = append(got, recvDatagram{
+				payload: string(slots[i].Buf[:slots[i].N]),
+				addr:    slots[i].Addr.String(),
+			})
+		}
+	}
+	return got
+}
+
+// sendSequence fires count datagrams at dst, alternating between two
+// source sockets so the receivers see more than one peer address.
+// Returns the expected (payload, source) sequence. Sends are
+// sequential over loopback, so arrival order matches send order.
+func sendSequence(t *testing.T, dst *net.UDPAddr, count int, label string) []recvDatagram {
+	t.Helper()
+	srcA, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srcA.Close()
+	srcB, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srcB.Close()
+
+	var want []recvDatagram
+	for i := 0; i < count; i++ {
+		src := srcA
+		if i%3 == 0 {
+			src = srcB
+		}
+		payload := fmt.Sprintf("%s-dgram-%03d", label, i)
+		if _, err := src.WriteToUDP([]byte(payload), dst); err != nil {
+			t.Fatalf("%s: send %d: %v", label, i, err)
+		}
+		want = append(want, recvDatagram{
+			payload: payload,
+			addr:    src.LocalAddr().(*net.UDPAddr).AddrPort().String(),
+		})
+	}
+	return want
+}
+
+// runReceiverTest pushes a burst at the socket and asserts r delivers
+// the identical (payload, source address) sequence — the differential
+// harness run against both implementations, so the recvmmsg path is
+// provably caller-indistinguishable from the portable loop.
+func runReceiverTest(t *testing.T, conn *net.UDPConn, r BatchReceiver, slotCount int, label string) {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	defer conn.SetReadDeadline(time.Time{})
+	const count = 50
+	want := sendSequence(t, conn.LocalAddr().(*net.UDPAddr), count, label)
+	got := drainReceiver(t, r, slotCount, count, label)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: datagram %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestBatchReceiverLoop exercises the portable one-read fallback.
+func TestBatchReceiverLoop(t *testing.T) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	runReceiverTest(t, conn, &loopReceiver{conn: conn}, 8, "loop")
+}
+
+// TestBatchReceiverPlatform exercises whatever NewBatchReceiver
+// selects here (recvmmsg on Linux amd64/arm64) across several slot
+// ring sizes, including a single-slot ring.
+func TestBatchReceiverPlatform(t *testing.T) {
+	for _, slots := range []int{1, 7, 64} {
+		t.Run(fmt.Sprintf("slots%d", slots), func(t *testing.T) {
+			conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			runReceiverTest(t, conn, NewBatchReceiver(conn), slots, "platform")
+		})
+	}
+}
+
+// TestBatchReceiverEmpty pins the no-slots edge.
+func TestBatchReceiverEmpty(t *testing.T) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if n, err := NewBatchReceiver(conn).RecvBatch(nil); n != 0 || err != nil {
+		t.Fatalf("empty slot ring: got %d, err %v", n, err)
+	}
+}
+
+// TestBatchReceiverClosed pins that a closed socket surfaces as an
+// error (the read loop's exit signal), not a hang.
+func TestBatchReceiverClosed(t *testing.T) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewBatchReceiver(conn)
+	conn.Close()
+	slots := []RecvSlot{{Buf: make([]byte, 64)}}
+	if _, err := r.RecvBatch(slots); err == nil {
+		t.Fatal("RecvBatch on a closed socket returned no error")
+	}
+}
+
+// TestBatchReceiverAllocFree is the read-path allocation regression
+// gate: once warmed up, receiving a datagram must not allocate — the
+// slot ring is the buffer pool, and source addresses are value-typed
+// netip.AddrPorts. This holds for both implementations, so the serving
+// layer's per-datagram cost is syscall + copy on every platform.
+func TestBatchReceiverAllocFree(t *testing.T) {
+	for _, impl := range []string{"platform", "loop"} {
+		t.Run(impl, func(t *testing.T) {
+			conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer conn.Close()
+			var r BatchReceiver
+			if impl == "platform" {
+				r = NewBatchReceiver(conn)
+			} else {
+				r = &loopReceiver{conn: conn}
+			}
+			src, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer src.Close()
+			dst := conn.LocalAddr().(*net.UDPAddr).AddrPort()
+			payload := []byte("alloc-probe")
+			slots := make([]RecvSlot, 4)
+			for i := range slots {
+				slots[i].Buf = make([]byte, 256)
+			}
+			conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+
+			recvOne := func() {
+				if _, err := src.WriteToUDPAddrPort(payload, dst); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := r.RecvBatch(slots); err != nil {
+					t.Fatal(err)
+				}
+			}
+			recvOne() // warm up scratch arrays and the netpoller
+			if avg := testing.AllocsPerRun(100, recvOne); avg > 0.5 {
+				t.Fatalf("steady-state receive allocates %.2f allocs/datagram, want 0", avg)
+			}
+		})
+	}
+}

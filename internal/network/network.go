@@ -52,6 +52,12 @@ func (p *Packetizer) Clone() *Packetizer {
 	return &cp
 }
 
+// Seq returns the next transport sequence number this packetiser will
+// assign — its entire mutable state. The serving layer compares Seq
+// (along with encoder state) when deciding whether two forked lineages
+// have reconverged and can be merged back together.
+func (p *Packetizer) Seq() int { return p.seq }
+
 // Packetize splits one encoded frame into packets. The whole frame
 // rides in a single packet unless it exceeds the MTU, in which case it
 // is split at GOB boundaries (so each fragment starts at a

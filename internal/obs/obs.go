@@ -60,14 +60,22 @@ type Histogram struct {
 
 // Observe records one duration.
 func (h *Histogram) Observe(d time.Duration) {
-	us := d.Microseconds()
-	if us < 0 {
-		us = 0
+	h.ObserveValue(d.Microseconds())
+}
+
+// ObserveValue records one dimensionless value (a batch size, a queue
+// depth sample) into the same power-of-two buckets. A histogram fed
+// through ObserveValue exports the usual count/mean_us/p50_us/p99_us
+// snapshot fields; consumers read the _us-suffixed ones as plain units
+// (the suffix names the field, not the quantity).
+func (h *Histogram) ObserveValue(v int64) {
+	if v < 0 {
+		v = 0
 	}
 	h.count.Add(1)
-	h.sumUS.Add(us)
+	h.sumUS.Add(v)
 	b := 0
-	for v := us; v > 1 && b < histBuckets-1; v >>= 1 {
+	for x := v; x > 1 && b < histBuckets-1; x >>= 1 {
 		b++
 	}
 	h.buckets[b].Add(1)

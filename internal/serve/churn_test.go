@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"context"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestChurnSoak is the session-lifecycle stress: a fixed pool of client
+// slots where every slot finishes a session and immediately rejoins as
+// a brand-new one, over and over. Steady churn is what exposes
+// lifecycle races a fixed fleet never hits — ephemeral-port reuse
+// between a dying session and its successor, metric teardown racing
+// admission, lineage membership folding while members leave. It is
+// deliberately small and fast so it runs under -race inside `make
+// check` (see the soak-smoke target).
+func TestChurnSoak(t *testing.T) {
+	const (
+		slots  = 32
+		cycles = 8
+		frames = 6
+	)
+	before := runtime.NumGoroutine()
+
+	srv, err := New(Config{
+		Addr:        "127.0.0.1:0",
+		MaxSessions: 64,
+		// Unpaced with a short cohort window: sessions start and end as
+		// fast as the farm allows, maximising lifecycle turnover.
+		FrameInterval: 0,
+		CohortWindow:  40 * time.Millisecond,
+		QueueFrames:   16,
+		RecvBatch:     32,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type outcome struct {
+		slot, cycle int
+		sum         *ClientSummary
+		err         error
+	}
+	results := make(chan outcome, slots*cycles)
+	var wg sync.WaitGroup
+	for s := 0; s < slots; s++ {
+		wg.Add(1)
+		go func(slot int) {
+			defer wg.Done()
+			for c := 0; c < cycles; c++ {
+				sum, err := RunClient(context.Background(), ClientConfig{
+					Server:      srv.Addr().String(),
+					Frames:      frames,
+					ReportEvery: 3,
+				})
+				results <- outcome{slot, c, sum, err}
+				if err != nil {
+					return
+				}
+			}
+		}(s)
+	}
+	wg.Wait()
+	close(results)
+
+	completed := 0
+	for r := range results {
+		if r.err != nil {
+			t.Fatalf("slot %d cycle %d: %v", r.slot, r.cycle, r.err)
+		}
+		if r.sum.FramesFlushed != frames {
+			t.Errorf("slot %d cycle %d: %d/%d frames flushed", r.slot, r.cycle, r.sum.FramesFlushed, frames)
+		}
+		completed++
+	}
+	if completed != slots*cycles {
+		t.Fatalf("%d/%d sessions completed", completed, slots*cycles)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	snap := srv.Registry().Snapshot()
+	if got := snap["server.sessions_completed"]; got != float64(slots*cycles) {
+		t.Errorf("server.sessions_completed = %v, want %d", got, slots*cycles)
+	}
+	if got := snap["server.sessions_active"]; got != 0 {
+		t.Errorf("server.sessions_active = %v after churn drained", got)
+	}
+	// Per-session and per-cohort metrics must not survive their owners:
+	// churn leaks, if any, show up as an ever-growing registry.
+	for name := range snap {
+		if strings.HasPrefix(name, "server.cohort.") {
+			t.Errorf("cohort gauge %q outlived its cohort", name)
+		}
+		if strings.HasPrefix(name, "s") && !strings.HasPrefix(name, "server.") {
+			t.Errorf("per-session metric %q leaked past session end", name)
+		}
+	}
+	waitGoroutines(t, before+2)
+}

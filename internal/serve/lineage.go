@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -24,6 +25,18 @@ import (
 // copy-on-divergence and the member continues on its own lineage with
 // an unbroken bitstream and sequence space.
 //
+// Forking is reversible. A transient loss blip forks a session off its
+// cohort, but once its α̂ decays back to exactly 0 (reachable because
+// the applied knob is quantised — Config.AlphaQuantum) the forked
+// lineage's stream re-synchronises with its cohort-mates': at knobs
+// (0, 0) the planner's σ history is provably output-irrelevant, so two
+// lineages with equal encoder state (reference frame, frame number,
+// configuration) and equal packetiser sequence position produce
+// bit-identical futures. The scheduler detects this — digest prefilter,
+// then a deep state comparison — and folds the fork back into its
+// cohort-mate (lineage re-merge), so a recovered receiver goes back to
+// costing a packet fanout instead of a private encode per frame.
+//
 // On a machine where encode dominates the frame budget this is what
 // makes thousands-of-session serving possible at all: N no-loss
 // sessions of one cohort cost one encode per frame plus N packet
@@ -44,11 +57,20 @@ func keyOf(h hello) cohortKey {
 	return cohortKey{regime: h.Regime, qp: h.QP, fec: h.FECGroup, interleave: h.Interleave}
 }
 
+// name renders the key as a metric-name segment (the per-cohort
+// shared-fraction gauges live under "server.cohort.<name>.").
+func (k cohortKey) name() string {
+	return fmt.Sprintf("%s_q%d_f%d_i%d", k.regime, k.qp, k.fec, k.interleave)
+}
+
 // lineageKnobs is one frame's applied control state. Partitioning
-// compares bit patterns, not values: two α̂ EMAs that differ in the
-// last ulp have genuinely diverged and must fork (an approximate match
-// would silently desynchronise planner σ state from what the receiver
-// decodes against).
+// compares bit patterns, not values: two applied knob sets that differ
+// in the last ulp have genuinely diverged and must fork (an
+// approximate match would silently desynchronise planner σ state from
+// what the receiver decodes against). The α̂ reaching here is already
+// quantised (session.knobs), so estimator noise below the quantum
+// never splits a cohort — exact comparison and coarse partitioning
+// compose instead of fighting.
 type lineageKnobs struct {
 	plr float64
 	th  float64
@@ -94,6 +116,24 @@ func (l *lineage) oldestMember() uint32 {
 		}
 	}
 	return oldest
+}
+
+// stateMatches reports whether two same-cohort lineages have
+// bit-identical forward-looking encode state: same next frame, same
+// transport sequence position, and encoders whose output-relevant
+// state (configuration, frame number, reference frame) is equal. The
+// cheap fields and a digest run first; the full reference-frame
+// comparison only confirms what the digest already said. Planner σ is
+// deliberately not compared — the caller guarantees both lineages are
+// quiescent (applied knobs exactly (0, 0)), and at (0, 0) σ cannot
+// influence any mode decision: the intra-refresh comparison σ < Th is
+// unsatisfiable at Th = 0, and the ME σ-penalty carries a factor of
+// α̂ = 0. Divergent σ histories therefore produce identical bytes.
+func (l *lineage) stateMatches(o *lineage) bool {
+	return l.frame == o.frame &&
+		l.pktz.Seq() == o.pktz.Seq() &&
+		l.enc.StateDigest() == o.enc.StateDigest() &&
+		l.enc.StateEqual(o.enc)
 }
 
 // removeMember drops m from the member list (order preserved —

@@ -1,0 +1,10 @@
+//go:build race
+
+package serve
+
+// raceEnabled reports whether this binary was built with the race
+// detector. The big soaks scale their session counts down under -race
+// (each goroutine costs roughly an order of magnitude more memory and
+// CPU there) so race runs still finish inside CI budgets while
+// exercising the same concurrency structure.
+const raceEnabled = true

@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// TestHandleDatagramAllocFree pins the receive hot path: at 10k
+// sessions the server consumes a continuous stream of receiver reports,
+// and handleDatagram must process one — parse, session lookup, feedback
+// hand-off — without allocating. The read loop above it reuses the
+// RecvSlot ring (pinned by the network package's own alloc test), so
+// this keeps the whole datagram→estimator path allocation-free.
+func TestHandleDatagramAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under the race detector")
+	}
+	srv, err := New(Config{Addr: "127.0.0.1:0", MaxSessions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// A hand-placed session skips the hello path: the report path needs
+	// only the id → session table entry and the feedback channel.
+	sess := &session{id: 42, feedback: make(chan report, 4)}
+	srv.mu.Lock()
+	srv.sessions[sess.id] = sess
+	srv.mu.Unlock()
+	defer func() {
+		srv.mu.Lock()
+		delete(srv.sessions, sess.id)
+		srv.mu.Unlock()
+	}()
+
+	buf := append([]byte(nil), appendReport(nil, report{
+		Session: sess.id, Fraction: 0.1, Received: 100, Lost: 11,
+	})...)
+	from := netip.MustParseAddrPort("127.0.0.1:9999")
+
+	// Covers both branches of the hand-off: the channel fills after four
+	// reports, after which the drop-with-counter path must be just as
+	// allocation-free (that is the steady state under feedback overload).
+	if allocs := testing.AllocsPerRun(1000, func() {
+		srv.handleDatagram(buf, from)
+	}); allocs > 0 {
+		t.Fatalf("handleDatagram allocates %.2f times per report, want 0", allocs)
+	}
+	if lost := srv.Registry().Snapshot()["server.feedback_dropped"]; lost <= 0 {
+		t.Errorf("overflow path never exercised (feedback_dropped = %v)", lost)
+	}
+}

@@ -8,6 +8,8 @@ import (
 
 	"pbpair/internal/adapt"
 	"pbpair/internal/network"
+	"pbpair/internal/obs"
+	"pbpair/internal/parallel"
 )
 
 // encodeJob is one unit of farm work: encode frame `frame` of lineage
@@ -43,27 +45,58 @@ type encodeJob struct {
 type scheduler struct {
 	srv *Server
 
-	admit   chan *session
-	wake    chan struct{}
-	jobs    chan *encodeJob
+	admit chan *session
+	wake  chan struct{}
+	// jobs is sharded per worker: each worker owns one queue, and
+	// dispatch assigns a lineage to the queue at lin.id modulo the
+	// worker count (sticky, so a lineage's cache-warm encode state
+	// keeps landing on the same core), spilling to the next queues
+	// when the sticky one is full. Past GOMAXPROCS=1 this partitions
+	// the dispatch fan-in instead of funnelling every worker through
+	// one contended channel.
+	jobs    []chan *encodeJob
 	results chan *encodeJob
 
 	qctl       *adapt.QualityController
 	lineages   []*lineage
 	pendingEnd map[uint32]*session // queue closed, awaiting sender End
+	endScratch []*session          // scratch for sender.takeEnded
 	nextLinID  uint32
 	overloaded bool
+
+	// orderDirty elides the dispatch-order sort: lineages are sorted by
+	// oldest member only after membership or the lineage set changed,
+	// not on every pass (at thousands of paced sessions, most passes
+	// change nothing).
+	orderDirty bool
+	// cohortGauges tracks the per-cohort shared-fraction gauges
+	// ("server.cohort.<name>.shared_fraction"); entries are removed
+	// from the registry when their cohort has no members left.
+	cohortGauges map[cohortKey]*obs.Gauge
+	cohortCounts map[cohortKey][2]int // scratch: members, lineages
 }
 
 func newScheduler(srv *Server, qctl *adapt.QualityController) *scheduler {
+	// FarmBacklog stays the total job bound; each worker queue gets an
+	// equal share (rounded up so every queue can hold at least one job).
+	perQueue := (srv.cfg.FarmBacklog + srv.cfg.FarmWorkers - 1) / srv.cfg.FarmWorkers
+	if perQueue < 1 {
+		perQueue = 1
+	}
+	jobs := make([]chan *encodeJob, srv.cfg.FarmWorkers)
+	for i := range jobs {
+		jobs[i] = make(chan *encodeJob, perQueue)
+	}
 	return &scheduler{
-		srv:        srv,
-		admit:      make(chan *session, 256),
-		wake:       make(chan struct{}, 1),
-		jobs:       make(chan *encodeJob, srv.cfg.FarmBacklog),
-		results:    make(chan *encodeJob, srv.cfg.FarmBacklog+srv.cfg.FarmWorkers),
-		qctl:       qctl,
-		pendingEnd: make(map[uint32]*session),
+		srv:          srv,
+		admit:        make(chan *session, 256),
+		wake:         make(chan struct{}, 1),
+		jobs:         jobs,
+		results:      make(chan *encodeJob, srv.cfg.FarmBacklog+srv.cfg.FarmWorkers),
+		qctl:         qctl,
+		pendingEnd:   make(map[uint32]*session),
+		cohortGauges: make(map[cohortKey]*obs.Gauge),
+		cohortCounts: make(map[cohortKey][2]int),
 	}
 }
 
@@ -97,8 +130,6 @@ func (sc *scheduler) run(ctx context.Context) {
 			sc.place(s, time.Now())
 		case job := <-sc.results:
 			sc.complete(job, time.Now())
-		case m := <-sc.srv.snd.sentEnd:
-			sc.finalize(m, nil)
 		case <-sc.wake:
 		case <-timerC:
 		}
@@ -113,12 +144,17 @@ func (sc *scheduler) run(ctx context.Context) {
 				sc.place(s, time.Now())
 			case job := <-sc.results:
 				sc.complete(job, time.Now())
-			case m := <-sc.srv.snd.sentEnd:
-				sc.finalize(m, nil)
 			default:
 				break drain
 			}
 		}
+		// Collect the sender's End confirmations (it pokes wake when new
+		// ones land, so none linger past the pass they arrived in).
+		sc.endScratch = sc.srv.snd.takeEnded(sc.endScratch)
+		for _, m := range sc.endScratch {
+			sc.finalize(m, nil)
+		}
+		clear(sc.endScratch)
 		now := time.Now()
 		sc.reap(now)
 		sc.dispatch(now)
@@ -183,6 +219,7 @@ func (sc *scheduler) place(s *session, now time.Time) {
 		if l.key == key && l.frame == 0 {
 			l.members = append(l.members, s)
 			s.lin = l
+			sc.orderDirty = true
 			sc.srv.snd.enroll(s)
 			return
 		}
@@ -193,6 +230,7 @@ func (sc *scheduler) place(s *session, now time.Time) {
 		return
 	}
 	sc.lineages = append(sc.lineages, l)
+	sc.orderDirty = true
 	sc.srv.mLineages.Set(float64(len(sc.lineages)))
 	sc.srv.snd.enroll(s)
 }
@@ -274,9 +312,13 @@ func (sc *scheduler) reap(now time.Time) {
 // full. Everything left over is load-shed: deferred, counted, and —
 // via the overloaded flag — admission-gated.
 func (sc *scheduler) dispatch(now time.Time) {
-	sort.Slice(sc.lineages, func(i, j int) bool {
-		return sc.lineages[i].oldestMember() < sc.lineages[j].oldestMember()
-	})
+	if sc.orderDirty {
+		sort.Slice(sc.lineages, func(i, j int) bool {
+			return sc.lineages[i].oldestMember() < sc.lineages[j].oldestMember()
+		})
+		sc.orderDirty = false
+		sc.updateCohortShared()
+	}
 	overloaded := false
 	// Partitioning may append forked lineages; they inherit the parent's
 	// due time and are picked up by the index loop.
@@ -300,20 +342,69 @@ func (sc *scheduler) dispatch(now time.Time) {
 			continue // lineage dissolved (fork error path)
 		}
 		job := &encodeJob{lin: l, frame: l.frame, knob: knob, start: now}
-		select {
-		case sc.jobs <- job:
+		if sc.enqueue(l, job) {
 			l.inflight = true
 			l.started = true
 			if sc.srv.cfg.FrameInterval > 0 {
 				l.due = now.Add(sc.srv.cfg.FrameInterval)
 			}
-		default:
+		} else {
 			overloaded = true
 			sc.srv.mShedDeferrals.Add(1)
 		}
 	}
-	sc.srv.mFarmDepth.Set(float64(len(sc.jobs)))
+	depth := 0
+	for _, q := range sc.jobs {
+		depth += len(q)
+	}
+	sc.srv.mFarmDepth.Set(float64(depth))
 	sc.setOverloaded(overloaded)
+}
+
+// enqueue offers a job to the lineage's sticky worker queue first, then
+// spills to the others; false means every queue is full (overload).
+func (sc *scheduler) enqueue(l *lineage, job *encodeJob) bool {
+	qi := int(l.id) % len(sc.jobs)
+	for k := 0; k < len(sc.jobs); k++ {
+		select {
+		case sc.jobs[(qi+k)%len(sc.jobs)] <- job:
+			return true
+		default:
+		}
+	}
+	return false
+}
+
+// updateCohortShared refreshes the per-cohort shared-fraction gauges:
+// 1 − lineages/members per cohort (1 would mean every member rides one
+// lineage for free; 0 means every member encodes privately). Gauges of
+// emptied cohorts are unregistered so the registry tracks the live set.
+func (sc *scheduler) updateCohortShared() {
+	counts := sc.cohortCounts
+	clear(counts)
+	for _, l := range sc.lineages {
+		if len(l.members) == 0 {
+			continue
+		}
+		c := counts[l.key]
+		c[0] += len(l.members)
+		c[1]++
+		counts[l.key] = c
+	}
+	for key := range sc.cohortGauges {
+		if _, live := counts[key]; !live {
+			sc.srv.reg.RemovePrefix("server.cohort." + key.name() + ".")
+			delete(sc.cohortGauges, key)
+		}
+	}
+	for key, c := range counts {
+		g := sc.cohortGauges[key]
+		if g == nil {
+			g = sc.srv.reg.Gauge("server.cohort." + key.name() + ".shared_fraction")
+			sc.cohortGauges[key] = g
+		}
+		g.Set(1 - float64(c[1])/float64(c[0]))
+	}
 }
 
 func (sc *scheduler) setOverloaded(v bool) {
@@ -343,7 +434,7 @@ func (sc *scheduler) partition(l *lineage, now time.Time) (lineageKnobs, bool) {
 	var order [][2]uint64
 	for _, m := range l.members {
 		m.drainFeedback(now)
-		k := m.knobs(sc.qctl)
+		k := m.knobs(sc.qctl, sc.srv.cfg.AlphaQuantum)
 		bits := k.bits()
 		g := groups[bits]
 		if g == nil {
@@ -380,6 +471,7 @@ func (sc *scheduler) partition(l *lineage, now time.Time) (lineageKnobs, bool) {
 			continue
 		}
 		sc.lineages = append(sc.lineages, nl)
+		sc.orderDirty = true
 		sc.srv.mForks.Add(1)
 	}
 	sc.srv.mLineages.Set(float64(len(sc.lineages)))
@@ -409,33 +501,29 @@ func (sc *scheduler) complete(job *encodeJob, now time.Time) {
 	totalJoules := profile.Joules(l.counters)
 	fanout := 0
 	for _, m := range l.members {
+		if !m.closing {
+			fanout++
+		}
+	}
+	// Fan the frame out to every live member. Members are independent
+	// (each owns its queue, books and metrics), so a mega-lineage's
+	// fanout parallelises across cores; small lineages stay serial —
+	// parallel.ForEach degrades to an inline loop at workers==1, and
+	// below the threshold the goroutine round-trip costs more than the
+	// bookkeeping it would spread out.
+	members := l.members
+	fan := func(i int) {
+		m := members[i]
 		if m.closing {
-			continue
+			return
 		}
-		fanout++
-		m.queue.push(queuedFrame{frame: job.frame, pkts: job.pkts, enqueued: job.start})
-		m.framesEncoded.Store(int64(job.frame + 1))
-		m.sum.FramesEncoded = job.frame + 1
-		m.sum.IntraMBs += int64(job.intraMBs)
-		m.sum.FinalAlpha = job.knob.plr
-		m.sum.FinalIntraTh = job.knob.th
-		m.sum.EnergyJoules = totalJoules
-		m.sum.Trace = append(m.sum.Trace, TracePoint{
-			Frame: job.frame, Alpha: job.knob.plr, IntraTh: job.knob.th, IntraMBs: job.intraMBs,
-		})
-		if m.ectl != nil {
-			m.ectl.Observe(job.frameEnergy)
-		}
-		m.mFrames.Add(1)
-		m.mIntra.Add(int64(job.intraMBs))
-		m.mAlpha.Set(job.knob.plr)
-		m.mTh.Set(job.knob.th)
-		m.mDepth.Set(float64(m.queue.depth()))
-		m.mJoules.Set(totalJoules)
-		m.mEncode.Observe(job.encodeTime)
-		if d := m.queue.droppedFrames() - m.sum.QueueDroppedFrames; d > 0 {
-			m.mQueueDrop.Add(d)
-			m.sum.QueueDroppedFrames += d
+		sc.fanoutMember(m, job, totalJoules)
+	}
+	if fanout >= parallelFanoutMin {
+		parallel.ForEach(0, len(members), fan)
+	} else {
+		for i := range members {
+			fan(i)
 		}
 	}
 	sc.srv.mEncodes.Add(1)
@@ -452,7 +540,107 @@ func (sc *scheduler) complete(job *encodeJob, now time.Time) {
 	}
 	if len(l.members) == 0 {
 		sc.dropLineage(l)
+		return
 	}
+	sc.tryMerge(l)
+}
+
+// parallelFanoutMin is the member count above which complete() fans a
+// frame out with parallel workers instead of a serial loop.
+const parallelFanoutMin = 64
+
+// fanoutMember delivers one encoded frame to one member: queue push,
+// summary books, trace point, per-session metrics. Safe to run for
+// different members concurrently — every touched field belongs to m
+// alone (the frameQueue's single-producer contract holds per queue:
+// the scheduler is the only producer, whether it pushes inline or via
+// the joined fanout workers).
+func (sc *scheduler) fanoutMember(m *session, job *encodeJob, totalJoules float64) {
+	m.queue.push(queuedFrame{frame: job.frame, pkts: job.pkts, enqueued: job.start})
+	m.framesEncoded.Store(int64(job.frame + 1))
+	m.sum.FramesEncoded = job.frame + 1
+	m.sum.IntraMBs += int64(job.intraMBs)
+	m.sum.FinalAlpha = job.knob.plr
+	m.sum.FinalIntraTh = job.knob.th
+	m.sum.EnergyJoules = totalJoules
+	m.sum.Trace = append(m.sum.Trace, TracePoint{
+		Frame: job.frame, Alpha: job.knob.plr, IntraTh: job.knob.th, IntraMBs: job.intraMBs,
+	})
+	if m.ectl != nil {
+		m.ectl.Observe(job.frameEnergy)
+	}
+	m.mFrames.Add(1)
+	m.mIntra.Add(int64(job.intraMBs))
+	m.mAlpha.Set(job.knob.plr)
+	m.mTh.Set(job.knob.th)
+	m.mDepth.Set(float64(m.queue.depth()))
+	m.mJoules.Set(totalJoules)
+	m.mEncode.Observe(job.encodeTime)
+	if d := m.queue.droppedFrames() - m.sum.QueueDroppedFrames; d > 0 {
+		m.mQueueDrop.Add(d)
+		m.sum.QueueDroppedFrames += d
+	}
+}
+
+// tryMerge folds lineage l back into a cohort-mate when their streams
+// have provably reconverged — the inverse of the partition fork. The
+// preconditions mirror the correctness argument in lineage.go: both
+// lineages quiescent (every member's applied knobs exactly (0, 0), so
+// divergent planner σ histories cannot reach the bitstream), neither
+// inflight, and bit-identical encoder + packetiser state. Cheap
+// filters run first; the reference-frame digest and deep comparison
+// only happen for genuine reconvergence candidates. At most one merge
+// per call — the next completion retries, so chains of forks still
+// collapse, just one completion apart.
+func (sc *scheduler) tryMerge(l *lineage) {
+	if sc.srv.cfg.DisableMerge || l.inflight || !l.started || len(l.members) == 0 {
+		return
+	}
+	if !sc.quiescent(l) {
+		return
+	}
+	for _, p := range sc.lineages {
+		if p == l || p.inflight || !p.started || len(p.members) == 0 || p.key != l.key {
+			continue
+		}
+		if !sc.quiescent(p) || !l.stateMatches(p) {
+			continue
+		}
+		// Fold the younger lineage into the older so the merged lineage
+		// keeps the older scheduling priority (and the members that have
+		// been waiting longest keep their place in line).
+		keep, drop := l, p
+		if p.oldestMember() < l.oldestMember() {
+			keep, drop = p, l
+		}
+		for _, m := range drop.members {
+			m.lin = keep
+		}
+		keep.members = append(keep.members, drop.members...)
+		drop.members = nil
+		if drop.due.Before(keep.due) {
+			keep.due = drop.due
+		}
+		sc.dropLineage(drop)
+		sc.srv.mMerges.Add(1)
+		sc.srv.cfg.logf("lineage %d: merged into lineage %d at frame %d (%d members)",
+			drop.id, keep.id, keep.frame, len(keep.members))
+		return
+	}
+}
+
+// quiescent reports whether every member of l currently wants the
+// frame-0 operating point — applied knobs exactly (0, 0).
+func (sc *scheduler) quiescent(l *lineage) bool {
+	for _, m := range l.members {
+		if m.closing {
+			continue
+		}
+		if m.knobs(sc.qctl, sc.srv.cfg.AlphaQuantum).bits() != [2]uint64{} {
+			return false
+		}
+	}
+	return true
 }
 
 // closeMember ends a member's production: its queue closes (the sender
@@ -467,6 +655,7 @@ func (sc *scheduler) closeMember(m *session) {
 	m.queue.close()
 	if m.lin != nil {
 		m.lin.removeMember(m)
+		sc.orderDirty = true
 		if len(m.lin.members) == 0 && !m.lin.inflight {
 			sc.dropLineage(m.lin)
 		}
@@ -483,6 +672,7 @@ func (sc *scheduler) dropLineage(l *lineage) {
 			break
 		}
 	}
+	sc.orderDirty = true
 	sc.srv.mLineages.Set(float64(len(sc.lineages)))
 }
 
@@ -553,14 +743,17 @@ func (sc *scheduler) hardStop(ctx context.Context) {
 
 // worker is one farm goroutine: it borrows a lineage's encode state
 // for the duration of a job (the scheduler guarantees exclusivity via
-// the inflight flag) and hands the result back.
-func (sc *scheduler) worker(ctx context.Context) {
+// the inflight flag) and hands the result back. Worker i owns job
+// queue i — see the scheduler.jobs field and enqueue for the sticky
+// sharding.
+func (sc *scheduler) worker(ctx context.Context, i int) {
 	defer sc.srv.farmWG.Done()
+	queue := sc.jobs[i]
 	for {
 		select {
 		case <-ctx.Done():
 			return
-		case job := <-sc.jobs:
+		case job := <-queue:
 			sc.encode(job)
 			select {
 			case sc.results <- job:

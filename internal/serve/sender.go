@@ -2,6 +2,8 @@ package serve
 
 import (
 	"context"
+	"encoding/binary"
+	"sync"
 	"time"
 
 	"pbpair/internal/network"
@@ -14,11 +16,27 @@ import (
 // network.BatchSender — one sendmmsg(2) per flush on Linux instead of
 // one sendto per packet. Datagram buffers and the batch slice are
 // recycled across flushes, so a steady-state flush allocates nothing.
+//
+// Shared-lineage fanout reuses wire templates: the members of one
+// lineage queue the *same* packet slice for a frame, so the sender
+// renders the datagram payloads once per (frame, lineage) — with a
+// zero session-id placeholder — and per member only copies the
+// template and patches the 4 id bytes, instead of re-walking the
+// packet coalescing for each of thousands of members.
 type sender struct {
-	srv      *Server
-	register chan *session
-	wake     chan struct{}
-	sentEnd  chan *session
+	srv  *Server
+	wake chan struct{}
+
+	// Both cross-goroutine hand-offs — scheduler→sender registrations
+	// and sender→scheduler End confirmations — are mutex-guarded slices,
+	// never bounded channels. A mega-lineage can end thousands of
+	// members in one flush; with bounded channels on both edges the
+	// sender blocks handing Ends to the scheduler while the scheduler
+	// blocks handing registrations to the sender, and the read loop
+	// piles up behind admission — a whole-server deadlock.
+	mu     sync.Mutex
+	joined []*session // enrolled, not yet folded into members
+	ended  []*session // End burst on the wire, awaiting scheduler finalize
 
 	members []*session
 	batch   network.BatchSender
@@ -26,15 +44,46 @@ type sender struct {
 	dgrams []network.Datagram
 	bufs   [][]byte
 	nbuf   int
+
+	// Per-flush template cache, keyed by the identity of a queued
+	// frame's first packet (members of a lineage share the exact
+	// slice, so the pointer is the frame's identity within a flush).
+	// Cleared each flush; entries and their buffers are recycled.
+	tmpl  map[*network.Packet]*frameTemplate
+	tents []*frameTemplate
+	nent  int
+	tbufs [][]byte
+	ntbuf int
+}
+
+// frameTemplate is one frame's rendered datagram payloads with a zero
+// session id at bytes 1–5 of each, plus the packet/coalesce accounting
+// shared by every member that sends it.
+type frameTemplate struct {
+	bufs      [][]byte
+	npkts     int64
+	coalesced int64
 }
 
 // enroll hands a newly admitted session to the sender. Called by the
 // scheduler; the sender folds registrations in at its next pass.
+// Never blocks — see the sender.mu comment.
 func (sn *sender) enroll(m *session) {
-	select {
-	case sn.register <- m:
-	case <-sn.srv.rootCtx.Done():
-	}
+	sn.mu.Lock()
+	sn.joined = append(sn.joined, m)
+	sn.mu.Unlock()
+	sn.poke()
+}
+
+// takeEnded hands the scheduler every member whose End burst is on the
+// wire, reusing the caller's scratch slice. Never blocks.
+func (sn *sender) takeEnded(scratch []*session) []*session {
+	sn.mu.Lock()
+	scratch = append(scratch[:0], sn.ended...)
+	clear(sn.ended)
+	sn.ended = sn.ended[:0]
+	sn.mu.Unlock()
+	return scratch
 }
 
 // poke nudges the sender without blocking.
@@ -65,33 +114,27 @@ func (sn *sender) run(ctx context.Context) {
 		select {
 		case <-ctx.Done():
 			return
-		case m := <-sn.register:
-			sn.members = append(sn.members, m)
 		case <-sn.wake:
 		}
-	drain:
-		for {
-			select {
-			case m := <-sn.register:
-				sn.members = append(sn.members, m)
-			default:
-				break drain
-			}
-		}
-		if !sn.flush(ctx) {
-			return
-		}
+		sn.mu.Lock()
+		sn.members = append(sn.members, sn.joined...)
+		clear(sn.joined)
+		sn.joined = sn.joined[:0]
+		sn.mu.Unlock()
+		sn.flush()
 	}
 }
 
 // flush drains every member queue into one batched send. Members whose
 // queues closed get their End burst appended to the same batch; their
 // confirmations go to the scheduler only after the batch is on the
-// wire, so finalised packet counts are complete. Returns false when
-// ctx died mid-flush.
-func (sn *sender) flush(ctx context.Context) bool {
+// wire, so finalised packet counts are complete.
+func (sn *sender) flush() {
 	sn.dgrams = sn.dgrams[:0]
 	sn.nbuf = 0
+	sn.nent = 0
+	sn.ntbuf = 0
+	clear(sn.tmpl)
 	var ended []*session
 	live := sn.members[:0]
 	for _, m := range sn.members {
@@ -112,7 +155,11 @@ func (sn *sender) flush(ctx context.Context) bool {
 		if closed {
 			// End of stream: repeat the End datagram a few times so a
 			// lossy path is unlikely to strand the client until its
-			// idle timeout.
+			// idle timeout. Flip endSent first — the instant the burst
+			// is on the wire the client can close and its port can be
+			// reused, so duplicate-hello suppression must already be off
+			// for this address (see handleHello).
+			m.endSent.Store(true)
 			frames := int(m.framesEncoded.Load())
 			for i := 0; i < 3; i++ {
 				buf := appendEnd(sn.buf(), m.id, frames)
@@ -125,27 +172,58 @@ func (sn *sender) flush(ctx context.Context) bool {
 	}
 	sn.members = live
 	if len(sn.dgrams) > 0 {
-		sent, _ := sn.batch.SendBatch(sn.dgrams)
+		sent, err := sn.batch.SendBatch(sn.dgrams)
 		sn.srv.mSendBatches.Add(1)
 		sn.srv.mSendDatagrams.Add(int64(sent))
-	}
-	for _, m := range ended {
-		select {
-		case sn.sentEnd <- m:
-		case <-ctx.Done():
-			return false
+		if sent != len(sn.dgrams) {
+			sn.srv.cfg.logf("sender: short batch %d/%d (%v)", sent, len(sn.dgrams), err)
 		}
 	}
-	return true
+	if len(ended) > 0 {
+		sn.mu.Lock()
+		sn.ended = append(sn.ended, ended...)
+		sn.mu.Unlock()
+		sn.srv.sched.poke()
+	}
 }
 
-// appendFrame turns one queued frame into datagrams for member m,
-// coalescing consecutive packets while they fit the coalesce limit,
-// and accounts the frame's scheduling→wire latency.
+// appendFrame turns one queued frame into datagrams for member m by
+// stamping m's session id into the frame's wire template (rendered
+// once per lineage per flush — see template), and accounts the frame's
+// scheduling→wire latency.
 func (sn *sender) appendFrame(m *session, item queuedFrame) {
+	if len(item.pkts) == 0 {
+		sn.srv.mFrameLat.Observe(time.Since(item.enqueued))
+		return
+	}
+	te := sn.template(item.pkts)
+	var nbytes int64
+	for _, tb := range te.bufs {
+		buf := append(sn.buf(), tb...)
+		binary.BigEndian.PutUint32(buf[1:5], m.id)
+		sn.dgrams = append(sn.dgrams, network.Datagram{Payload: buf, Addr: m.client})
+		nbytes += int64(len(buf))
+	}
+	if te.coalesced > 0 {
+		sn.srv.mCoalesced.Add(te.coalesced)
+	}
+	m.mPackets.Add(te.npkts)
+	m.mBytes.Add(nbytes)
+	sn.srv.mFrameLat.Observe(time.Since(item.enqueued))
+}
+
+// template returns the flush-scoped wire template for a queued packet
+// slice, rendering it on first sight: the packets coalesced into 'C'
+// datagrams (or one-packet 'M's when coalescing is disabled) with a
+// zero session id placeholder at bytes 1–5 — both media datagram types
+// carry the id there, which is what makes the per-member patch work.
+func (sn *sender) template(pkts []network.Packet) *frameTemplate {
+	key := &pkts[0]
+	if te := sn.tmpl[key]; te != nil {
+		return te
+	}
+	te := sn.tent()
 	limit := sn.srv.cfg.CoalesceBytes
-	pkts := item.pkts
-	var npkts, nbytes int64
 	for start := 0; start < len(pkts); {
 		end := start + 1
 		size := 5 + 1 + 2 + pkts[start].WireSize()
@@ -160,19 +238,47 @@ func (sn *sender) appendFrame(m *session, item queuedFrame) {
 		var buf []byte
 		if end == start+1 && limit <= 0 {
 			// Coalescing disabled: classic one-packet 'M' datagrams.
-			buf = appendMedia(sn.buf(), m.id, pkts[start])
+			buf = appendMedia(sn.tbuf(), 0, pkts[start])
 		} else {
-			buf = appendCoalesced(sn.buf(), m.id, pkts[start:end])
+			buf = appendCoalesced(sn.tbuf(), 0, pkts[start:end])
 		}
-		sn.dgrams = append(sn.dgrams, network.Datagram{Payload: buf, Addr: m.client})
-		npkts += int64(end - start)
-		nbytes += int64(len(buf))
+		te.bufs = append(te.bufs, buf)
+		te.npkts += int64(end - start)
 		if end-start > 1 {
-			sn.srv.mCoalesced.Add(int64(end - start))
+			te.coalesced += int64(end - start)
 		}
 		start = end
 	}
-	m.mPackets.Add(npkts)
-	m.mBytes.Add(nbytes)
-	sn.srv.mFrameLat.Observe(time.Since(item.enqueued))
+	sn.tmpl[key] = te
+	return te
+}
+
+// tent returns a recycled template entry.
+func (sn *sender) tent() *frameTemplate {
+	if sn.nent < len(sn.tents) {
+		te := sn.tents[sn.nent]
+		sn.nent++
+		te.bufs = te.bufs[:0]
+		te.npkts, te.coalesced = 0, 0
+		return te
+	}
+	te := &frameTemplate{}
+	sn.tents = append(sn.tents, te)
+	sn.nent++
+	return te
+}
+
+// tbuf returns a recycled template payload buffer (the templates'
+// analogue of buf; separate pools because template buffers must stay
+// intact for the whole flush while datagram buffers are per-datagram).
+func (sn *sender) tbuf() []byte {
+	if sn.ntbuf < len(sn.tbufs) {
+		b := sn.tbufs[sn.ntbuf][:0]
+		sn.ntbuf++
+		return b
+	}
+	b := make([]byte, 0, sn.srv.cfg.MTU+64)
+	sn.tbufs = append(sn.tbufs, b)
+	sn.ntbuf++
+	return b
 }

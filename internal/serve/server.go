@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net"
+	"net/netip"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -77,6 +78,25 @@ type Config struct {
 	// (coalescing within the path MTU); negative disables coalescing
 	// (every packet rides its own 'M' datagram).
 	CoalesceBytes int
+	// RecvBatch is how many datagrams the read loop asks the kernel for
+	// per receive pass (recvmmsg(2) batching on Linux; elsewhere the
+	// portable one-read path fills one slot per pass and the rest of the
+	// ring is just headroom). Default 32.
+	RecvBatch int
+
+	// AlphaQuantum quantises each session's α̂ to the nearest multiple
+	// before the controllers and the lineage partition see it. The
+	// estimator keeps full precision internally; quantisation only
+	// coarsens the *applied* knob, which (a) stops two sessions whose
+	// EMAs differ by a few ulps from forking onto separate lineages and
+	// (b) gives a recovered session a reachable way back to exactly
+	// α̂ = 0, the precondition for lineage re-merge. Default 1/64;
+	// negative disables quantisation (every ulp forks, nothing merges).
+	AlphaQuantum float64
+	// DisableMerge turns off lineage re-merging: forked lineages that
+	// return to bit-identical encoder/packetiser state are normally
+	// folded back into their cohort-mates so they share encodes again.
+	DisableMerge bool
 
 	// EstimatorWeight smooths receiver reports into α̂ (report-level
 	// EMA weight; see adapt.PLREstimator.ObserveReport). Default 0.35.
@@ -127,6 +147,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.CoalesceBytes == 0 {
 		c.CoalesceBytes = c.MTU + 64
+	}
+	if c.RecvBatch <= 0 {
+		c.RecvBatch = 32
+	}
+	if c.AlphaQuantum == 0 {
+		c.AlphaQuantum = 1.0 / 64
 	}
 	if c.Search == 0 {
 		c.Search = motion.ThreeStep
@@ -199,6 +225,7 @@ type Server struct {
 	mEncodes       *obs.Counter
 	mSharedFrames  *obs.Counter
 	mForks         *obs.Counter
+	mMerges        *obs.Counter
 	mLineages      *obs.Gauge
 	mFarmDepth     *obs.Gauge
 	mShedDeferrals *obs.Counter
@@ -206,6 +233,9 @@ type Server struct {
 	mOverloaded    *obs.Gauge
 	mSendBatches   *obs.Counter
 	mSendDatagrams *obs.Counter
+	mRecvBatches   *obs.Counter
+	mRecvDatagrams *obs.Counter
+	mRecvBatchSize *obs.Histogram
 	mCoalesced     *obs.Counter
 	mFrameLat      *obs.Histogram
 	mEncodeLat     *obs.Histogram
@@ -224,6 +254,14 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, fmt.Errorf("serve: listen: %w", err)
 	}
+	// Scale-out serving floods both directions of this single socket: an
+	// admission storm of hellos inbound, every member's media outbound.
+	// The kernel default (~208KB) holds only a few thousand datagrams,
+	// so a 10k-client launch wave overflows it before the read loop can
+	// drain. Ask for generous buffers; the kernel clamps to its
+	// rmem_max/wmem_max ceilings and failure is harmless (best effort).
+	conn.SetReadBuffer(4 << 20)
+	conn.SetWriteBuffer(4 << 20)
 	qctl, err := adapt.NewQualityController(cfg.RefreshInterval)
 	if err != nil {
 		conn.Close()
@@ -252,6 +290,7 @@ func New(cfg Config) (*Server, error) {
 		mEncodes:       cfg.Registry.Counter("server.encodes"),
 		mSharedFrames:  cfg.Registry.Counter("server.encode_shared_frames"),
 		mForks:         cfg.Registry.Counter("server.lineage_forks"),
+		mMerges:        cfg.Registry.Counter("server.lineage_merges"),
 		mLineages:      cfg.Registry.Gauge("server.lineages_active"),
 		mFarmDepth:     cfg.Registry.Gauge("server.farm_queue_depth"),
 		mShedDeferrals: cfg.Registry.Counter("server.loadshed_deferrals"),
@@ -259,16 +298,18 @@ func New(cfg Config) (*Server, error) {
 		mOverloaded:    cfg.Registry.Gauge("server.overloaded"),
 		mSendBatches:   cfg.Registry.Counter("server.send_batches"),
 		mSendDatagrams: cfg.Registry.Counter("server.send_datagrams"),
+		mRecvBatches:   cfg.Registry.Counter("server.recv_batches"),
+		mRecvDatagrams: cfg.Registry.Counter("server.recv_datagrams"),
+		mRecvBatchSize: cfg.Registry.Histogram("server.recv_batch_size"),
 		mCoalesced:     cfg.Registry.Counter("server.coalesced_packets"),
 		mFrameLat:      cfg.Registry.Histogram("server.frame_latency"),
 		mEncodeLat:     cfg.Registry.Histogram("server.encode_latency"),
 	}
 	s.snd = &sender{
-		srv:      s,
-		register: make(chan *session, 256),
-		wake:     make(chan struct{}, 1),
-		sentEnd:  make(chan *session, 256),
-		batch:    network.NewBatchSender(conn),
+		srv:   s,
+		wake:  make(chan struct{}, 1),
+		batch: network.NewBatchSender(conn),
+		tmpl:  make(map[*network.Packet]*frameTemplate),
 	}
 	s.sched = newScheduler(s, qctl)
 
@@ -278,7 +319,7 @@ func New(cfg Config) (*Server, error) {
 	go s.sched.run(ctx)
 	go s.snd.run(ctx)
 	for i := 0; i < cfg.FarmWorkers; i++ {
-		go s.sched.worker(ctx)
+		go s.sched.worker(ctx, i)
 	}
 	return s, nil
 }
@@ -327,56 +368,89 @@ func (s *Server) writeTo(buf []byte, addr *net.UDPAddr) bool {
 	return err == nil
 }
 
+// recvBufBytes sizes each receive-ring buffer. Every inbound datagram
+// type — hello, report, bye — is tens of bytes; an oversized datagram
+// truncates (standard UDP read semantics) and fails its parse, which
+// is exactly how a corrupt datagram is handled anyway.
+const recvBufBytes = 2048
+
 // readLoop demultiplexes every inbound datagram until the socket
-// closes.
+// closes. It reads through a network.BatchReceiver, so a burst of
+// feedback from thousands of receivers drains in one recvmmsg(2) per
+// RecvBatch datagrams on Linux rather than one syscall each. The slot
+// ring is the read path's buffer pool: allocated once here and reused
+// for every batch by whichever receiver implementation is active
+// (recvmmsg or the portable fallback), keeping the steady state
+// allocation-free.
 func (s *Server) readLoop() {
 	defer s.readWG.Done()
-	buf := make([]byte, 65536)
+	recv := network.NewBatchReceiver(s.conn)
+	slots := make([]network.RecvSlot, s.cfg.RecvBatch)
+	for i := range slots {
+		slots[i].Buf = make([]byte, recvBufBytes)
+	}
 	for {
-		n, addr, err := s.conn.ReadFromUDP(buf)
+		n, err := recv.RecvBatch(slots)
 		if err != nil {
 			return // socket closed by Shutdown/Close
 		}
 		if n == 0 {
 			continue
 		}
-		switch buf[0] {
-		case msgHello:
-			s.handleHello(buf[:n], addr)
-		case msgReport:
-			r, err := parseReport(buf[:n])
-			if err != nil {
-				s.mBadDatagrams.Add(1)
-				continue
-			}
-			s.mu.Lock()
-			sess := s.sessions[r.Session]
-			s.mu.Unlock()
-			if sess == nil {
-				continue // stale report for a finished session
-			}
-			select {
-			case sess.feedback <- r:
-			default:
-				s.mLostFeedback.Add(1)
-			}
-		case msgBye:
-			id, ok := parseBye(buf[:n])
-			if !ok {
-				s.mBadDatagrams.Add(1)
-				continue
-			}
-			s.mu.Lock()
-			sess := s.sessions[id]
-			s.mu.Unlock()
-			if sess != nil {
-				s.cfg.logf("session %d: client bye", id)
-				sess.stopReq.Store(true)
-				s.sched.poke()
-			}
-		default:
-			s.mBadDatagrams.Add(1)
+		s.mRecvBatches.Add(1)
+		s.mRecvDatagrams.Add(int64(n))
+		s.mRecvBatchSize.ObserveValue(int64(n))
+		for i := 0; i < n; i++ {
+			s.handleDatagram(slots[i].Buf[:slots[i].N], slots[i].Addr)
 		}
+	}
+}
+
+// handleDatagram dispatches one inbound datagram. The report path —
+// the hot one at scale, every receiver sends them continuously — must
+// stay allocation-free (pinned by TestHandleDatagramAllocFree); the
+// hello path converts the address to *net.UDPAddr and may allocate,
+// which a once-per-session event can afford.
+func (s *Server) handleDatagram(buf []byte, from netip.AddrPort) {
+	if len(buf) == 0 {
+		return
+	}
+	switch buf[0] {
+	case msgHello:
+		s.handleHello(buf, net.UDPAddrFromAddrPort(from))
+	case msgReport:
+		r, err := parseReport(buf)
+		if err != nil {
+			s.mBadDatagrams.Add(1)
+			return
+		}
+		s.mu.Lock()
+		sess := s.sessions[r.Session]
+		s.mu.Unlock()
+		if sess == nil {
+			return // stale report for a finished session
+		}
+		select {
+		case sess.feedback <- r:
+		default:
+			s.mLostFeedback.Add(1)
+		}
+	case msgBye:
+		id, ok := parseBye(buf)
+		if !ok {
+			s.mBadDatagrams.Add(1)
+			return
+		}
+		s.mu.Lock()
+		sess := s.sessions[id]
+		s.mu.Unlock()
+		if sess != nil {
+			s.cfg.logf("session %d: client bye", id)
+			sess.stopReq.Store(true)
+			s.sched.poke()
+		}
+	default:
+		s.mBadDatagrams.Add(1)
 	}
 }
 
@@ -411,7 +485,16 @@ func (s *Server) handleHello(buf []byte, addr *net.UDPAddr) {
 	}
 
 	s.mu.Lock()
-	if existing := s.byAddr[addr.String()]; existing != nil {
+	// Duplicate-hello suppression applies only while the session is
+	// live: once the client has said bye — or once the End burst is on
+	// the wire (endSent), which is the moment the old client can read
+	// it, close, and surrender its ephemeral port — the address may
+	// already belong to a brand-new client, and re-accepting that
+	// newcomer onto the dead stream would strand it until its idle
+	// timeout. A stopped-or-ended mapping falls through to fresh
+	// admission below, which re-points byAddr at the newcomer.
+	if existing := s.byAddr[addr.String()]; existing != nil &&
+		!existing.stopReq.Load() && !existing.endSent.Load() {
 		id, frames := existing.id, existing.req.Frames
 		s.mu.Unlock()
 		s.writeTo(appendAccept(nil, id, frames), addr)
@@ -474,7 +557,12 @@ func (s *Server) finishSession(sess *session) {
 	s.reg.RemovePrefix(sess.metricPrefix())
 	s.mu.Lock()
 	delete(s.sessions, sess.id)
-	delete(s.byAddr, sess.client.String())
+	// The address may have been re-registered by a successor session
+	// (port reuse between this session's stop and its finalisation);
+	// only remove the mapping while this session still owns it.
+	if s.byAddr[sess.client.String()] == sess {
+		delete(s.byAddr, sess.client.String())
+	}
 	s.summaries = append(s.summaries, sum)
 	if len(s.summaries) > maxKeptSummaries {
 		s.summaries = s.summaries[len(s.summaries)-maxKeptSummaries:]

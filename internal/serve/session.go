@@ -2,6 +2,7 @@ package serve
 
 import (
 	"fmt"
+	"math"
 	"net"
 	"sync/atomic"
 	"time"
@@ -50,7 +51,8 @@ type SessionSummary struct {
 //   - scheduler owns: est, ectl, sum, trace, lineage membership, queue
 //     production and close. Nothing else touches these.
 //   - sender owns: queue consumption; it updates the atomic packet and
-//     byte counters and signals sentEnd when the End burst is out.
+//     byte counters and confirms Ends back to the scheduler once the
+//     End burst is on the wire (sender.takeEnded).
 //   - framesEncoded is the only cross-goroutine scalar: the scheduler
 //     stores it at fanout, the sender reads it for the End datagram.
 type session struct {
@@ -67,6 +69,12 @@ type session struct {
 	// the queue, announce the end of the stream. Set by a client bye
 	// or by Shutdown; the scheduler acts on it at its next pass.
 	stopReq atomic.Bool
+	// endSent flips when the sender puts the End burst on the wire.
+	// From that moment the client may read the End, close its socket
+	// and surrender its ephemeral port, so a hello from this address
+	// must be treated as a brand-new client, never as a retransmit —
+	// see handleHello's duplicate suppression.
+	endSent atomic.Bool
 	// done closes when the session is fully finished and its summary
 	// recorded. Shutdown waits on it.
 	done chan struct{}
@@ -139,12 +147,18 @@ func (s *session) drainFeedback(now time.Time) {
 }
 
 // knobs returns the control values this session wants applied to its
-// next frame: α̂ from its estimator and the Intra_Th resulting from
+// next frame: α̂ from its estimator — quantised to the configured
+// quantum, see Config.AlphaQuantum — and the Intra_Th resulting from
 // the quality controller (and the energy controller's floor, when one
 // is configured). Sessions with bit-identical knob trajectories are
 // exactly the ones whose encodes can be shared — see lineage.partition.
-func (s *session) knobs(qctl *adapt.QualityController) lineageKnobs {
+// Quantisation rounds to nearest, so an EMA that has decayed below
+// quantum/2 snaps back to exactly 0: the lineage re-merge precondition.
+func (s *session) knobs(qctl *adapt.QualityController, quantum float64) lineageKnobs {
 	alpha := s.est.Rate()
+	if quantum > 0 {
+		alpha = math.Round(alpha/quantum) * quantum
+	}
 	th := qctl.IntraTh(alpha)
 	if s.ectl != nil {
 		if et := s.ectl.IntraTh(); et > th {
