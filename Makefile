@@ -57,11 +57,13 @@ BENCHTIME ?= 0.5s
 #    Figure 5 point at most 2x the 5-seed Fig5Multi wall-clock,
 #    i.e. vs_5seed_x >= 0.5).
 #  - BENCH_serve.json: the serving layer, gated on the 10k-session
-#    scale figure — aggregate frames/s over the full run (>= 5000),
-#    genuinely batched receives (>= 5 datagrams per recvmmsg wakeup
-#    under the fleet's per-frame report torrent) and at least one
-#    lineage re-merge, proving the fork -> quiesce -> fold-back
-#    lifecycle fires under full fanout load.
+#    scale figure — aggregate frames/s over the full run (>= 10000,
+#    the sharded-datapath floor), genuinely batched receives (>= 5
+#    datagrams per recvmmsg wakeup under the fleet's per-frame report
+#    torrent), at least one lineage re-merge proving the fork ->
+#    quiesce -> fold-back lifecycle fires under full fanout load, and
+#    shard_rx_balance >= 0.5 — the kernel's SO_REUSEPORT steering must
+#    actually spread the fleet across the receive shards.
 bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkSAD|BenchmarkCompensateHalf|BenchmarkForward|BenchmarkInverse|BenchmarkWriteBits|BenchmarkReadBits|BenchmarkWriteEvent|BenchmarkReadEvent|BenchmarkEncodeParallel' \
 		-benchmem -benchtime $(BENCHTIME) \
@@ -76,8 +78,8 @@ bench-json:
 	$(GO) test -run xxx -bench 'BenchmarkServe' -benchtime $(BENCHTIME) \
 		./internal/serve/ \
 		| $(GO) run ./cmd/pbpair-benchjson \
-			-require 'BenchmarkServeFarm:frames/s,BenchmarkServeFarm:MB/s,BenchmarkServeFarm:p50_us,BenchmarkServeFarm:p99_us,BenchmarkServeThroughput:frames/s,BenchmarkServeThroughput:MB/s,BenchmarkServeFarm10k:frames/s,BenchmarkServeFarm10k:datagrams_per_syscall,BenchmarkServeFarm10k:lineage_merges' \
-			-min 'BenchmarkServeFarm10k:frames/s=5000,BenchmarkServeFarm10k:datagrams_per_syscall=5,BenchmarkServeFarm10k:lineage_merges=1' \
+			-require 'BenchmarkServeFarm:frames/s,BenchmarkServeFarm:MB/s,BenchmarkServeFarm:p50_us,BenchmarkServeFarm:p99_us,BenchmarkServeThroughput:frames/s,BenchmarkServeThroughput:MB/s,BenchmarkServeFarm10k:frames/s,BenchmarkServeFarm10k:datagrams_per_syscall,BenchmarkServeFarm10k:lineage_merges,BenchmarkServeFarm10k:shard_rx_balance' \
+			-min 'BenchmarkServeFarm10k:frames/s=10000,BenchmarkServeFarm10k:datagrams_per_syscall=5,BenchmarkServeFarm10k:lineage_merges=1,BenchmarkServeFarm10k:shard_rx_balance=0.5' \
 			-out BENCH_serve.json
 	@echo wrote BENCH_serve.json
 	$(GO) test -run xxx -bench 'BenchmarkAnalyticGrid' -benchtime $(BENCHTIME) \

@@ -26,6 +26,7 @@ import (
 	"syscall"
 	"time"
 
+	"pbpair/internal/obs"
 	"pbpair/internal/serve"
 	"pbpair/internal/synth"
 )
@@ -115,6 +116,10 @@ func main() {
 	var frameSum, pktSum, byteSum, dropSum, recoveredSum int64
 	var psnrSum float64
 	psnrN := 0
+	// All of one invocation's clients request the same stream shape, so
+	// they form one server-side cohort; their per-datagram latency
+	// samples merge into one end-of-run distribution.
+	e2e := &obs.Histogram{}
 	for _, slot := range results {
 		for _, r := range slot {
 			sessions++
@@ -144,10 +149,15 @@ func main() {
 			byteSum += s.Bytes
 			dropSum += s.InjectedDrops
 			recoveredSum += s.PacketsRecovered
+			e2e.Merge(s.E2E)
 		}
 	}
 	fmt.Printf("total: %d clients, %d sessions, %d frames, %d pkts, %.2f MB, %d injected drops, %d FEC-recovered\n",
 		*clients, sessions, frameSum, pktSum, float64(byteSum)/1e6, dropSum, recoveredSum)
+	if e2e.Count() > 0 {
+		fmt.Printf("e2e latency (%d datagrams): p50 %v, p95 %v, p99 %v\n",
+			e2e.Count(), e2e.Quantile(0.50), e2e.Quantile(0.95), e2e.Quantile(0.99))
+	}
 	if psnrN > 0 {
 		fmt.Printf("mean PSNR across clients: %.2f dB\n", psnrSum/float64(psnrN))
 	}

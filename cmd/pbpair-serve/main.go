@@ -50,6 +50,7 @@ func main() {
 	cohortWindow := flag.Duration("cohort-window", 0, "hold new lineages at frame 0 this long so compatible sessions join and share encodes")
 	coalesceBytes := flag.Int("coalesce-bytes", 0, "coalesced media datagram payload limit (0 = mtu+64, negative = one packet per datagram)")
 	recvBatch := flag.Int("recv-batch", 0, "datagrams drained per recvmmsg(2) wakeup on the receive path (0 = default 32, 1 = single-datagram reads)")
+	recvShards := flag.Int("recv-shards", 0, "SO_REUSEPORT receive sockets, each with its own read loop and sender (0 = farm-workers on linux, 1 elsewhere; >1 needs linux)")
 	alphaQuantum := flag.Float64("alpha-quantum", 0, "α̂ quantisation step for lineage partitioning; estimates within half a step collapse to one knob value, enabling re-merges (0 = default 1/64, negative = off)")
 	noMerge := flag.Bool("no-merge", false, "disable lineage re-merging: forked lineages stay private even after their streams reconverge")
 	search := flag.String("search", "tss", "motion search: tss (three-step) or full")
@@ -91,6 +92,7 @@ func main() {
 		CohortWindow:    *cohortWindow,
 		CoalesceBytes:   *coalesceBytes,
 		RecvBatch:       *recvBatch,
+		RecvShards:      *recvShards,
 		AlphaQuantum:    *alphaQuantum,
 		DisableMerge:    *noMerge,
 		Search:          kind,

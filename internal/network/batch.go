@@ -15,11 +15,22 @@ import (
 // path is unavailable (seccomp filters, exotic sockets), a loop over
 // WriteToUDP provides the identical receiver-visible behaviour.
 
-// Datagram is one payload bound for one destination.
+// Datagram is one payload bound for one destination. A datagram may be
+// split into two segments — Payload then Tail — that the kernel
+// concatenates on the wire (scatter-gather): the sendmmsg path submits
+// them as two iovecs, the portable path copies them together first.
+// The split lets a sender fan one shared rendered body (Tail) out to
+// thousands of destinations while rewriting only a small per-recipient
+// header (Payload), instead of copying the whole datagram per
+// recipient. A nil/empty Tail is the common single-segment case.
 type Datagram struct {
 	Payload []byte
+	Tail    []byte
 	Addr    *net.UDPAddr
 }
+
+// wireLen returns the on-the-wire datagram size.
+func (d *Datagram) wireLen() int { return len(d.Payload) + len(d.Tail) }
 
 // BatchSender transmits batches of datagrams on a single UDP socket.
 // Implementations are NOT safe for concurrent use: the serving layer
@@ -44,15 +55,23 @@ func NewBatchSender(conn *net.UDPConn) BatchSender {
 }
 
 // loopSender is the portable BatchSender: one WriteToUDP per datagram.
+// Two-segment datagrams are joined in a reused scratch buffer first, so
+// the receiver-visible bytes match the scatter-gather fast path.
 type loopSender struct {
-	conn *net.UDPConn
+	conn    *net.UDPConn
+	scratch []byte
 }
 
 // SendBatch implements BatchSender.
 func (s *loopSender) SendBatch(dgrams []Datagram) (int, error) {
 	sent := 0
 	for _, d := range dgrams {
-		if _, err := s.conn.WriteToUDP(d.Payload, d.Addr); err != nil {
+		buf := d.Payload
+		if len(d.Tail) > 0 {
+			s.scratch = append(append(s.scratch[:0], d.Payload...), d.Tail...)
+			buf = s.scratch
+		}
+		if _, err := s.conn.WriteToUDP(buf, d.Addr); err != nil {
 			if isFatalSendErr(err) {
 				return sent, err
 			}

@@ -99,30 +99,39 @@ func (s *mmsgSender) SendBatch(dgrams []Datagram) (int, error) {
 }
 
 // prepare builds the mmsghdr/iovec/sockaddr arrays for dgrams in the
-// reused scratch. It reports false if any destination cannot be
-// expressed as a raw IPv4/IPv6 sockaddr.
+// reused scratch. Each datagram gets two iovec slots — header and an
+// optional Tail segment (scatter-gather; see Datagram) — so a shared
+// rendered body goes to the kernel without being copied per recipient.
+// It reports false if any destination cannot be expressed as a raw
+// IPv4/IPv6 sockaddr.
 func (s *mmsgSender) prepare(dgrams []Datagram) bool {
 	n := len(dgrams)
 	if cap(s.msgs) < n {
 		s.msgs = make([]mmsghdr, n)
-		s.iovs = make([]syscall.Iovec, n)
+		s.iovs = make([]syscall.Iovec, 2*n)
 		s.sa4 = make([]syscall.RawSockaddrInet4, n)
 		s.sa6 = make([]syscall.RawSockaddrInet6, n)
 	}
 	s.msgs = s.msgs[:n]
-	s.iovs = s.iovs[:n]
+	s.iovs = s.iovs[:2*n]
 	s.sa4 = s.sa4[:n]
 	s.sa6 = s.sa6[:n]
 	for i, d := range dgrams {
 		if len(d.Payload) == 0 || d.Addr == nil {
 			return false
 		}
-		s.iovs[i] = syscall.Iovec{Base: &d.Payload[0]}
-		s.iovs[i].SetLen(len(d.Payload))
+		iov := s.iovs[2*i : 2*i+2]
+		iov[0] = syscall.Iovec{Base: &d.Payload[0]}
+		iov[0].SetLen(len(d.Payload))
 		m := &s.msgs[i]
 		*m = mmsghdr{}
-		m.hdr.Iov = &s.iovs[i]
+		m.hdr.Iov = &iov[0]
 		m.hdr.Iovlen = 1 // uint64 on the LP64 arches this file builds for
+		if len(d.Tail) > 0 {
+			iov[1] = syscall.Iovec{Base: &d.Tail[0]}
+			iov[1].SetLen(len(d.Tail))
+			m.hdr.Iovlen = 2
+		}
 		port := uint16(d.Addr.Port)
 		if ip4 := d.Addr.IP.To4(); ip4 != nil {
 			sa := &s.sa4[i]

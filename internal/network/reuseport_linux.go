@@ -1,0 +1,43 @@
+//go:build linux
+
+package network
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// soREUSEPORT is SO_REUSEPORT on Linux. The stdlib syscall package
+// does not export it (it postdates the package freeze); the value has
+// been 15 on every Linux arch since the option appeared in 3.9.
+const soREUSEPORT = 0xf
+
+// ReusePortSupported reports whether ListenUDPReusePort can bind
+// several sockets to one address on this platform.
+func ReusePortSupported() bool { return true }
+
+// ListenUDPReusePort binds a UDP socket with SO_REUSEPORT set before
+// bind, so N sockets can share one addr:port and the kernel load-
+// balances inbound datagrams across them by 4-tuple hash — the
+// receive-side sharding primitive. Callers bind the first socket
+// (possibly to an ephemeral port), read back its concrete address and
+// bind the remaining shards to that.
+func ListenUDPReusePort(netw, addr string) (*net.UDPConn, error) {
+	lc := net.ListenConfig{
+		Control: func(network, address string, c syscall.RawConn) error {
+			var serr error
+			if err := c.Control(func(fd uintptr) {
+				serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soREUSEPORT, 1)
+			}); err != nil {
+				return err
+			}
+			return serr
+		},
+	}
+	pc, err := lc.ListenPacket(context.Background(), netw, addr)
+	if err != nil {
+		return nil, err
+	}
+	return pc.(*net.UDPConn), nil
+}

@@ -1,0 +1,24 @@
+//go:build !linux
+
+package network
+
+import (
+	"errors"
+	"net"
+)
+
+// ReusePortSupported reports whether ListenUDPReusePort can bind
+// several sockets to one address on this platform. Only the Linux
+// SO_REUSEPORT semantics (kernel 4-tuple load balancing across the
+// socket group) are what the receive sharding needs; BSD SO_REUSEPORT
+// delivers each datagram to one arbitrary socket without the balanced
+// steering, so everywhere but Linux the serving layer falls back to a
+// single socket.
+func ReusePortSupported() bool { return false }
+
+// ListenUDPReusePort is unsupported off Linux; callers are expected to
+// check ReusePortSupported and fall back to a single net.ListenUDP
+// socket.
+func ListenUDPReusePort(netw, addr string) (*net.UDPConn, error) {
+	return nil, errors.New("network: SO_REUSEPORT sharding requires linux")
+}

@@ -1,0 +1,112 @@
+package network
+
+import (
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// runTailSenderTest fires a batch of two-segment datagrams (plus plain
+// single-segment ones mixed in) through s and asserts every receiver
+// sees the header and tail joined into one contiguous datagram — the
+// scatter-gather contract of Datagram.Tail, run against both sender
+// implementations so the sendmmsg iovec path is provably
+// receiver-indistinguishable from the portable join.
+func runTailSenderTest(t *testing.T, s BatchSender, label string) {
+	t.Helper()
+	recv, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer recv.Close()
+	addr := recv.LocalAddr().(*net.UDPAddr)
+
+	// One shared tail across several headers — the serving layer's
+	// lineage fanout shape — plus tail-less datagrams interleaved.
+	tail := []byte("-shared-template-body")
+	var dgrams []Datagram
+	var want []string
+	for i := 0; i < 40; i++ {
+		hdr := []byte(fmt.Sprintf("%s-hdr-%03d", label, i))
+		if i%4 == 3 {
+			dgrams = append(dgrams, Datagram{Payload: hdr, Addr: addr})
+			want = append(want, string(hdr))
+			continue
+		}
+		dgrams = append(dgrams, Datagram{Payload: hdr, Tail: tail, Addr: addr})
+		want = append(want, string(hdr)+string(tail))
+	}
+	sent, err := s.SendBatch(dgrams)
+	if err != nil || sent != len(dgrams) {
+		t.Fatalf("%s: SendBatch sent %d/%d: %v", label, sent, len(dgrams), err)
+	}
+
+	buf := make([]byte, 2048)
+	for i, expect := range want {
+		recv.SetReadDeadline(time.Now().Add(5 * time.Second))
+		n, err := recv.Read(buf)
+		if err != nil {
+			t.Fatalf("%s: datagram %d: %v", label, i, err)
+		}
+		if string(buf[:n]) != expect {
+			t.Fatalf("%s: datagram %d = %q, want %q", label, i, buf[:n], expect)
+		}
+	}
+}
+
+func TestBatchSenderTailLoop(t *testing.T) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	runTailSenderTest(t, &loopSender{conn: conn}, "loop")
+}
+
+func TestBatchSenderTailPlatform(t *testing.T) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	runTailSenderTest(t, NewBatchSender(conn), "platform")
+}
+
+// TestWireLen pins the two-segment length accounting SendBatch's
+// callers rely on for byte metrics.
+func TestWireLen(t *testing.T) {
+	d := Datagram{Payload: make([]byte, 13), Tail: make([]byte, 1387)}
+	if got := d.wireLen(); got != 1400 {
+		t.Fatalf("wireLen = %d, want 1400", got)
+	}
+}
+
+// TestListenUDPReusePort pins the sharded-bind contract: on platforms
+// reporting support, several sockets bind one UDP address and each can
+// receive; elsewhere the constructor must refuse rather than silently
+// losing the load-balancing property.
+func TestListenUDPReusePort(t *testing.T) {
+	if !ReusePortSupported() {
+		if _, err := ListenUDPReusePort("udp", "127.0.0.1:0"); err == nil {
+			t.Fatal("ListenUDPReusePort succeeded on a platform reporting no support")
+		}
+		return
+	}
+	first, err := ListenUDPReusePort("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer first.Close()
+	addr := first.LocalAddr().String()
+	for i := 0; i < 3; i++ {
+		c, err := ListenUDPReusePort("udp", addr)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i+1, err)
+		}
+		defer c.Close()
+		if c.LocalAddr().String() != addr {
+			t.Fatalf("shard %d bound %s, want %s", i+1, c.LocalAddr(), addr)
+		}
+	}
+}

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package network
+
+import "net"
+
+// SocketBuffers is unavailable off unix; callers treat ok == false as
+// "trust the request" (no clamp warning, no gauge).
+func SocketBuffers(conn *net.UDPConn) (rcvbuf, sndbuf int, ok bool) {
+	return 0, 0, false
+}

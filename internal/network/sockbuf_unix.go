@@ -1,0 +1,33 @@
+//go:build unix
+
+package network
+
+import (
+	"net"
+	"syscall"
+)
+
+// SocketBuffers reads back a UDP socket's effective SO_RCVBUF and
+// SO_SNDBUF. SetReadBuffer/SetWriteBuffer requests are best-effort —
+// the kernel silently clamps them to its rmem_max/wmem_max ceilings
+// (and on Linux reports double the stored value, bookkeeping overhead
+// included) — so capacity planning must read back what the socket
+// actually got rather than trust the request. ok is false when the
+// socket's control interface is unavailable.
+func SocketBuffers(conn *net.UDPConn) (rcvbuf, sndbuf int, ok bool) {
+	rc, err := conn.SyscallConn()
+	if err != nil {
+		return 0, 0, false
+	}
+	var rerr, serr error
+	if err := rc.Control(func(fd uintptr) {
+		rcvbuf, rerr = syscall.GetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_RCVBUF)
+		sndbuf, serr = syscall.GetsockoptInt(int(fd), syscall.SOL_SOCKET, syscall.SO_SNDBUF)
+	}); err != nil {
+		return 0, 0, false
+	}
+	if rerr != nil || serr != nil {
+		return 0, 0, false
+	}
+	return rcvbuf, sndbuf, true
+}

@@ -65,8 +65,9 @@ func (h *Histogram) Observe(d time.Duration) {
 
 // ObserveValue records one dimensionless value (a batch size, a queue
 // depth sample) into the same power-of-two buckets. A histogram fed
-// through ObserveValue exports the usual count/mean_us/p50_us/p99_us
-// snapshot fields; consumers read the _us-suffixed ones as plain units
+// through ObserveValue exports the usual count/mean_us/p50_us/p95_us/
+// p99_us snapshot fields; consumers read the _us-suffixed ones as
+// plain units
 // (the suffix names the field, not the quantity).
 func (h *Histogram) ObserveValue(v int64) {
 	if v < 0 {
@@ -113,6 +114,23 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		}
 	}
 	return time.Duration(uint64(1)<<histBuckets) * time.Microsecond
+}
+
+// Merge folds another histogram's observations into h (bucket-wise
+// sums). Reads and adds are individually atomic but the merge is not a
+// consistent cut; callers merge quiescent histograms (a finished
+// client's latency record into a run aggregate), where that is exact.
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	h.count.Add(other.count.Load())
+	h.sumUS.Add(other.sumUS.Load())
+	for i := range h.buckets {
+		if n := other.buckets[i].Load(); n != 0 {
+			h.buckets[i].Add(n)
+		}
+	}
 }
 
 // Registry is a named collection of metrics.
@@ -214,6 +232,7 @@ func snapshotValues(ms []namedMetric) map[string]float64 {
 			out[nm.name+".count"] = float64(m.Count())
 			out[nm.name+".mean_us"] = float64(m.Mean().Microseconds())
 			out[nm.name+".p50_us"] = float64(m.Quantile(0.50).Microseconds())
+			out[nm.name+".p95_us"] = float64(m.Quantile(0.95).Microseconds())
 			out[nm.name+".p99_us"] = float64(m.Quantile(0.99).Microseconds())
 		}
 	}
@@ -221,7 +240,7 @@ func snapshotValues(ms []namedMetric) map[string]float64 {
 }
 
 // Snapshot returns a point-in-time flat view of every metric, with
-// histograms expanded into count/mean_us/p50_us/p99_us fields. The
+// histograms expanded into count/mean_us/p50_us/p95_us/p99_us fields. The
 // registry lock is held only while copying the metric table, never
 // while reading values (copy-on-read — see snapshotValues), so the
 // observability endpoint cannot stall metric registration no matter

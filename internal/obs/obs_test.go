@@ -56,6 +56,56 @@ func TestHistogramQuantiles(t *testing.T) {
 	}
 }
 
+func TestHistogramP95Snapshot(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat")
+	// 94 fast + 6 slow: p50 in the fast bucket, p95 and p99 in the slow.
+	for i := 0; i < 94; i++ {
+		h.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 6; i++ {
+		h.Observe(5 * time.Millisecond)
+	}
+	snap := r.Snapshot()
+	if got := snap["lat.p50_us"]; got != 128 {
+		t.Fatalf("p50_us = %v, want 128", got)
+	}
+	if got := snap["lat.p95_us"]; got != 8192 {
+		t.Fatalf("p95_us = %v, want 8192", got)
+	}
+	if got := snap["lat.p99_us"]; got != 8192 {
+		t.Fatalf("p99_us = %v, want 8192", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 60; i++ {
+		a.Observe(100 * time.Microsecond)
+	}
+	for i := 0; i < 40; i++ {
+		b.Observe(5 * time.Millisecond)
+	}
+	var all Histogram
+	all.Merge(&a)
+	all.Merge(&b)
+	all.Merge(nil) // no-op
+	if all.Count() != 100 {
+		t.Fatalf("merged count = %d, want 100", all.Count())
+	}
+	if p50 := all.Quantile(0.50); p50 != 128*time.Microsecond {
+		t.Fatalf("merged p50 = %v, want the fast bucket edge", p50)
+	}
+	if p99 := all.Quantile(0.99); p99 != 8192*time.Microsecond {
+		t.Fatalf("merged p99 = %v, want the slow bucket edge", p99)
+	}
+	// The merge must sum means too, not just bucket counts.
+	want := (60*100 + 40*5000) / 100
+	if mean := all.Mean(); mean != time.Duration(want)*time.Microsecond {
+		t.Fatalf("merged mean = %v, want %dµs", mean, want)
+	}
+}
+
 func TestRemovePrefix(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("s1.frames")

@@ -262,12 +262,12 @@ func BenchmarkServeFarm10k(b *testing.B) {
 	const (
 		quiet  = 10000
 		blips  = 32
-		frames = 12
+		frames = 20
 		choreo = 4 // choreography cohort: one quiet member + three blips
 	)
 
 	var served int64
-	var forks, merges, dgramsPerCall, p50, p99 float64
+	var forks, merges, dgramsPerCall, p50, p99, balance float64
 	b.ResetTimer()
 	for it := 0; it < b.N; it++ {
 		srv, err := New(Config{
@@ -374,6 +374,7 @@ func BenchmarkServeFarm10k(b *testing.B) {
 		}
 		p50 = snap["server.frame_latency.p50_us"]
 		p99 = snap["server.frame_latency.p99_us"]
+		balance = snap["server.shard_rx_balance"]
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		if err := srv.Shutdown(ctx); err != nil {
 			b.Fatal(err)
@@ -388,4 +389,7 @@ func BenchmarkServeFarm10k(b *testing.B) {
 	b.ReportMetric(merges, "lineage_merges")
 	b.ReportMetric(p50, "p50_us")
 	b.ReportMetric(p99, "p99_us")
+	// Min/max ratio of per-shard receive counters: 1 is perfect
+	// SO_REUSEPORT spread, 0 means a shard sat idle all run.
+	b.ReportMetric(balance, "shard_rx_balance")
 }

@@ -11,6 +11,7 @@ import (
 	"pbpair/internal/codec"
 	"pbpair/internal/metrics"
 	"pbpair/internal/network"
+	"pbpair/internal/obs"
 	"pbpair/internal/synth"
 )
 
@@ -67,6 +68,11 @@ type ClientSummary struct {
 	Reports          int
 	PSNRSum          float64 // sum over decoded frames (Decode only)
 	Elapsed          time.Duration
+	// E2E holds one sample per media datagram: receive clock minus the
+	// media header's send stamp. Same-clock caveat applies — see the
+	// protocol doc in wire.go. Never nil after RunClient; mergeable
+	// across clients with obs.(*Histogram).Merge.
+	E2E *obs.Histogram
 }
 
 // MeanPSNR returns the mean luma PSNR over decoded frames, or 0 when
@@ -120,7 +126,7 @@ func RunClient(ctx context.Context, cfg ClientConfig) (*ClientSummary, error) {
 	defer conn.Close()
 
 	start := time.Now()
-	sum := &ClientSummary{FramesRequested: cfg.Frames}
+	sum := &ClientSummary{FramesRequested: cfg.Frames, E2E: &obs.Histogram{}}
 	id, err := handshake(ctx, conn, cfg)
 	if err != nil {
 		return nil, err
@@ -195,13 +201,20 @@ func receive(ctx context.Context, conn *net.UDPConn, cfg ClientConfig, id uint32
 
 	cur := -1
 	var pending []network.Packet
+	// lastE2E is the freshest end-to-end latency sample (µs) since the
+	// previous report; echoed in the next report and reset, so the
+	// server's server.e2e_latency histogram sees at most one sample per
+	// report interval per session (0 = none this interval).
+	var lastE2E uint32
 	sendReport := func() {
 		r := report{
-			Session:  id,
-			Fraction: monitor.Rate(),
-			Received: monitor.Received(),
-			Lost:     monitor.Lost(),
+			Session:   id,
+			Fraction:  monitor.Rate(),
+			Received:  monitor.Received(),
+			Lost:      monitor.Lost(),
+			E2EMicros: lastE2E,
 		}
+		lastE2E = 0
 		sum.WireLost += monitor.Lost()
 		monitor.Reset()
 		if _, err := conn.Write(appendReport(nil, r)); err == nil {
@@ -315,6 +328,21 @@ func receive(ctx context.Context, conn *net.UDPConn, cfg ClientConfig, id uint32
 			continue
 		}
 		deadline = time.Now().Add(cfg.IdleTimeout)
+		// End-to-end latency sample: receive clock minus the media
+		// header's send stamp. Negative differences (clock skew across
+		// hosts) are discarded rather than clamped into fake zeros.
+		if stamp := mediaStamp(buf[:n]); stamp > 0 {
+			if d := time.Now().UnixMicro() - stamp; d >= 0 {
+				sum.E2E.ObserveValue(d)
+				switch {
+				case d == 0:
+					d = 1 // 0 means "no sample" on the wire
+				case d > int64(^uint32(0)):
+					d = int64(^uint32(0))
+				}
+				lastE2E = uint32(d)
+			}
+		}
 		switch buf[0] {
 		case msgMedia:
 			sid, pkt, err := parseMedia(buf[:n])

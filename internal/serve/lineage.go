@@ -90,6 +90,14 @@ type lineage struct {
 	key     cohortKey
 	members []*session
 
+	// home is the receive-shard index of the lineage's founding member:
+	// the sticky key for the farm's per-worker job queues (see
+	// scheduler.enqueue). Keying by receive shard instead of lineage id
+	// aligns a session's inbound datagram stream, its lineage's encodes
+	// and its outbound sender on one worker index — soft core affinity
+	// for the whole per-session datapath.
+	home int
+
 	frame    int       // next frame index to encode
 	due      time.Time // pacing: earliest next dispatch
 	formed   time.Time // first member's admission (cohort window gate)
@@ -157,6 +165,7 @@ func (l *lineage) fork(id uint32, members []*session) (*lineage, error) {
 		id:      id,
 		key:     l.key,
 		members: members,
+		home:    shardIdx(members[0]),
 		frame:   l.frame,
 		due:     l.due,
 		formed:  l.formed,

@@ -42,7 +42,7 @@ func TestHandleDatagramAllocFree(t *testing.T) {
 	// reports, after which the drop-with-counter path must be just as
 	// allocation-free (that is the steady state under feedback overload).
 	if allocs := testing.AllocsPerRun(1000, func() {
-		srv.handleDatagram(buf, from)
+		srv.handleDatagram(srv.shards[0], buf, from)
 	}); allocs > 0 {
 		t.Fatalf("handleDatagram allocates %.2f times per report, want 0", allocs)
 	}

@@ -48,12 +48,14 @@ type scheduler struct {
 	admit chan *session
 	wake  chan struct{}
 	// jobs is sharded per worker: each worker owns one queue, and
-	// dispatch assigns a lineage to the queue at lin.id modulo the
-	// worker count (sticky, so a lineage's cache-warm encode state
-	// keeps landing on the same core), spilling to the next queues
-	// when the sticky one is full. Past GOMAXPROCS=1 this partitions
-	// the dispatch fan-in instead of funnelling every worker through
-	// one contended channel.
+	// dispatch assigns a lineage to the queue at lin.home — the
+	// founder's receive-shard index — modulo the worker count (sticky,
+	// so a lineage's cache-warm encode state keeps landing on the same
+	// core, and aligned with the shard whose socket and sender carry
+	// the founder's datagrams), spilling to the next queues when the
+	// sticky one is full. Past GOMAXPROCS=1 this partitions the
+	// dispatch fan-in instead of funnelling every worker through one
+	// contended channel.
 	jobs    []chan *encodeJob
 	results chan *encodeJob
 
@@ -148,11 +150,14 @@ func (sc *scheduler) run(ctx context.Context) {
 				break drain
 			}
 		}
-		// Collect the sender's End confirmations (it pokes wake when new
-		// ones land, so none linger past the pass they arrived in).
-		sc.endScratch = sc.srv.snd.takeEnded(sc.endScratch)
-		for _, m := range sc.endScratch {
-			sc.finalize(m, nil)
+		// Collect every shard sender's End confirmations (a sender pokes
+		// wake when new ones land, so none linger past the pass they
+		// arrived in).
+		for _, sh := range sc.srv.shards {
+			sc.endScratch = sh.snd.takeEnded(sc.endScratch[:0])
+			for _, m := range sc.endScratch {
+				sc.finalize(m, nil)
+			}
 		}
 		clear(sc.endScratch)
 		now := time.Now()
@@ -220,7 +225,7 @@ func (sc *scheduler) place(s *session, now time.Time) {
 			l.members = append(l.members, s)
 			s.lin = l
 			sc.orderDirty = true
-			sc.srv.snd.enroll(s)
+			sc.srv.shards[shardIdx(s)].snd.enroll(s)
 			return
 		}
 	}
@@ -232,7 +237,7 @@ func (sc *scheduler) place(s *session, now time.Time) {
 	sc.lineages = append(sc.lineages, l)
 	sc.orderDirty = true
 	sc.srv.mLineages.Set(float64(len(sc.lineages)))
-	sc.srv.snd.enroll(s)
+	sc.srv.shards[shardIdx(s)].snd.enroll(s)
 }
 
 // admitFailed finishes a session that never got encode state (the
@@ -258,6 +263,7 @@ func (sc *scheduler) newLineage(key cohortKey, s *session, now time.Time) (*line
 		id:      sc.nextLinID,
 		key:     key,
 		members: []*session{s},
+		home:    shardIdx(s),
 		formed:  now,
 		due:     now,
 		src:     src,
@@ -364,7 +370,7 @@ func (sc *scheduler) dispatch(now time.Time) {
 // enqueue offers a job to the lineage's sticky worker queue first, then
 // spills to the others; false means every queue is full (overload).
 func (sc *scheduler) enqueue(l *lineage, job *encodeJob) bool {
-	qi := int(l.id) % len(sc.jobs)
+	qi := l.home % len(sc.jobs)
 	for k := 0; k < len(sc.jobs); k++ {
 		select {
 		case sc.jobs[(qi+k)%len(sc.jobs)] <- job:
@@ -531,7 +537,7 @@ func (sc *scheduler) complete(job *encodeJob, now time.Time) {
 		sc.srv.mSharedFrames.Add(int64(fanout - 1))
 	}
 	sc.srv.mEncodeLat.Observe(job.encodeTime)
-	sc.srv.snd.poke()
+	sc.srv.pokeSenders()
 
 	for _, m := range append([]*session(nil), l.members...) {
 		if !m.closing && m.sum.FramesEncoded >= m.req.Frames {
@@ -662,7 +668,7 @@ func (sc *scheduler) closeMember(m *session) {
 		m.lin = nil
 	}
 	sc.pendingEnd[m.id] = m
-	sc.srv.snd.poke()
+	sc.srv.pokeSenders()
 }
 
 func (sc *scheduler) dropLineage(l *lineage) {

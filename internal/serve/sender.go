@@ -9,22 +9,32 @@ import (
 	"pbpair/internal/network"
 )
 
-// sender is the serving layer's single transmit goroutine. It drains
-// every session's frame queue per flush pass, coalesces small packets
-// into 'C' datagrams (bounded by the coalesce limit so the path MTU is
-// respected), and pushes the whole pass to the kernel through a
-// network.BatchSender — one sendmmsg(2) per flush on Linux instead of
-// one sendto per packet. Datagram buffers and the batch slice are
-// recycled across flushes, so a steady-state flush allocates nothing.
+// sender is one shard's transmit goroutine (single-socket servers have
+// exactly one). It drains its enrolled sessions' frame queues per
+// flush pass, coalesces small packets into 'C' datagrams (bounded by
+// the coalesce limit so the path MTU is respected), and pushes the
+// whole pass to the kernel through a network.BatchSender — one
+// sendmmsg(2) per flush on Linux instead of one sendto per packet.
+// Datagram buffers and the batch slice are recycled across flushes, so
+// a steady-state flush allocates nothing. With RecvShards > 1 each
+// shard's sender owns that shard's socket, so send-side coalescing no
+// longer serialises every session through one goroutine: admission
+// pins each session to the shard that received its hello (session.sh)
+// and the scheduler enrolls it with that shard's sender.
 //
 // Shared-lineage fanout reuses wire templates: the members of one
 // lineage queue the *same* packet slice for a frame, so the sender
 // renders the datagram payloads once per (frame, lineage) — with a
-// zero session-id placeholder — and per member only copies the
-// template and patches the 4 id bytes, instead of re-walking the
-// packet coalescing for each of thousands of members.
+// zero session-id/timestamp placeholder — and per member emits
+// two-segment datagrams (network.Datagram.Tail): a 13-byte header
+// carrying the member's id and the send stamp, plus the shared
+// template body, submitted to the kernel as two iovecs. Fanning a
+// frame out to a thousand members costs a thousand header patches, not
+// a thousand ~MTU-sized template copies.
 type sender struct {
-	srv  *Server
+	srv *Server
+	sh  *shard
+
 	wake chan struct{}
 
 	// Both cross-goroutine hand-offs — scheduler→sender registrations
@@ -41,9 +51,21 @@ type sender struct {
 	members []*session
 	batch   network.BatchSender
 
+	// stamp is the flush's send timestamp (unix µs), patched into every
+	// media header of the pass: one clock read per flush, not per
+	// datagram, and well within the power-of-two latency buckets the
+	// other end feeds.
+	stamp uint64
+
 	dgrams []network.Datagram
 	bufs   [][]byte
 	nbuf   int
+
+	// hbufs pools the per-member media header segments (13 bytes each;
+	// pooled separately from bufs so the fanout path doesn't burn
+	// MTU-sized buffers on headers).
+	hbufs [][]byte
+	nhbuf int
 
 	// Per-flush template cache, keyed by the identity of a queued
 	// frame's first packet (members of a lineage share the exact
@@ -57,12 +79,22 @@ type sender struct {
 }
 
 // frameTemplate is one frame's rendered datagram payloads with a zero
-// session id at bytes 1–5 of each, plus the packet/coalesce accounting
-// shared by every member that sends it.
+// session id and timestamp in the media header of each, plus the
+// packet/coalesce accounting shared by every member that sends it.
 type frameTemplate struct {
 	bufs      [][]byte
 	npkts     int64
 	coalesced int64
+}
+
+func newSender(srv *Server, sh *shard) *sender {
+	return &sender{
+		srv:   srv,
+		sh:    sh,
+		wake:  make(chan struct{}, 1),
+		batch: network.NewBatchSender(sh.conn),
+		tmpl:  make(map[*network.Packet]*frameTemplate),
+	}
 }
 
 // enroll hands a newly admitted session to the sender. Called by the
@@ -107,6 +139,19 @@ func (sn *sender) buf() []byte {
 	return b
 }
 
+// hbuf returns a recycled media header segment buffer.
+func (sn *sender) hbuf() []byte {
+	if sn.nhbuf < len(sn.hbufs) {
+		b := sn.hbufs[sn.nhbuf][:0]
+		sn.nhbuf++
+		return b
+	}
+	b := make([]byte, 0, mediaHeaderLen)
+	sn.hbufs = append(sn.hbufs, b)
+	sn.nhbuf++
+	return b
+}
+
 // run is the sender goroutine body.
 func (sn *sender) run(ctx context.Context) {
 	defer sn.srv.farmWG.Done()
@@ -132,13 +177,16 @@ func (sn *sender) run(ctx context.Context) {
 func (sn *sender) flush() {
 	sn.dgrams = sn.dgrams[:0]
 	sn.nbuf = 0
+	sn.nhbuf = 0
 	sn.nent = 0
 	sn.ntbuf = 0
 	clear(sn.tmpl)
+	sn.stamp = uint64(time.Now().UnixMicro())
 	var ended []*session
 	live := sn.members[:0]
 	for _, m := range sn.members {
 		closed := false
+		var hdr []byte // m's media header this flush, built on first use
 	memberDrain:
 		for {
 			select {
@@ -147,7 +195,7 @@ func (sn *sender) flush() {
 					closed = true
 					break memberDrain
 				}
-				sn.appendFrame(m, item)
+				hdr = sn.appendFrame(m, item, hdr)
 			default:
 				break memberDrain
 			}
@@ -187,22 +235,33 @@ func (sn *sender) flush() {
 	}
 }
 
-// appendFrame turns one queued frame into datagrams for member m by
-// stamping m's session id into the frame's wire template (rendered
-// once per lineage per flush — see template), and accounts the frame's
-// scheduling→wire latency.
-func (sn *sender) appendFrame(m *session, item queuedFrame) {
+// appendFrame turns one queued frame into datagrams for member m and
+// accounts the frame's scheduling→wire latency. Each datagram is the
+// member's patched 13-byte header (hdr, built once per member per
+// flush — every media datagram of a flush shares the member's id, the
+// flush stamp and the config-determined type byte) plus the frame
+// template's shared body as the scatter-gather tail. It returns hdr so
+// the caller can thread it through the member's drain.
+func (sn *sender) appendFrame(m *session, item queuedFrame, hdr []byte) []byte {
 	if len(item.pkts) == 0 {
 		sn.srv.mFrameLat.Observe(time.Since(item.enqueued))
-		return
+		return hdr
 	}
 	te := sn.template(item.pkts)
+	if hdr == nil {
+		hdr = sn.hbuf()
+		hdr = append(hdr, te.bufs[0][:mediaHeaderLen]...)
+		binary.BigEndian.PutUint32(hdr[1:5], m.id)
+		binary.BigEndian.PutUint64(hdr[5:13], sn.stamp)
+	}
 	var nbytes int64
 	for _, tb := range te.bufs {
-		buf := append(sn.buf(), tb...)
-		binary.BigEndian.PutUint32(buf[1:5], m.id)
-		sn.dgrams = append(sn.dgrams, network.Datagram{Payload: buf, Addr: m.client})
-		nbytes += int64(len(buf))
+		sn.dgrams = append(sn.dgrams, network.Datagram{
+			Payload: hdr,
+			Tail:    tb[mediaHeaderLen:],
+			Addr:    m.client,
+		})
+		nbytes += int64(len(tb))
 	}
 	if te.coalesced > 0 {
 		sn.srv.mCoalesced.Add(te.coalesced)
@@ -210,13 +269,15 @@ func (sn *sender) appendFrame(m *session, item queuedFrame) {
 	m.mPackets.Add(te.npkts)
 	m.mBytes.Add(nbytes)
 	sn.srv.mFrameLat.Observe(time.Since(item.enqueued))
+	return hdr
 }
 
 // template returns the flush-scoped wire template for a queued packet
 // slice, rendering it on first sight: the packets coalesced into 'C'
-// datagrams (or one-packet 'M's when coalescing is disabled) with a
-// zero session id placeholder at bytes 1–5 — both media datagram types
-// carry the id there, which is what makes the per-member patch work.
+// datagrams (or one-packet 'M's when coalescing is disabled) with zero
+// session id and timestamp placeholders in the media header — both
+// media datagram types share the header layout, which is what makes
+// the per-member patch work.
 func (sn *sender) template(pkts []network.Packet) *frameTemplate {
 	key := &pkts[0]
 	if te := sn.tmpl[key]; te != nil {
@@ -226,7 +287,7 @@ func (sn *sender) template(pkts []network.Packet) *frameTemplate {
 	limit := sn.srv.cfg.CoalesceBytes
 	for start := 0; start < len(pkts); {
 		end := start + 1
-		size := 5 + 1 + 2 + pkts[start].WireSize()
+		size := mediaHeaderLen + 1 + 2 + pkts[start].WireSize()
 		for end < len(pkts) && end-start < network.MaxBatchPackets {
 			next := size + 2 + pkts[end].WireSize()
 			if next > limit {

@@ -83,6 +83,16 @@ type Config struct {
 	// portable one-read path fills one slot per pass and the rest of the
 	// ring is just headroom). Default 32.
 	RecvBatch int
+	// RecvShards shards the datapath across N SO_REUSEPORT sockets,
+	// each with its own read loop and its own batched sender, so
+	// neither direction of the socket serialises through one goroutine.
+	// The kernel steers each client's datagrams to one shard by 4-tuple
+	// hash; admission pins the session's send path to that same shard.
+	// 0 selects FarmWorkers shards on Linux and 1 elsewhere; values > 1
+	// are clamped to 1 on platforms without Linux SO_REUSEPORT
+	// semantics (single-socket fallback, identical receiver-visible
+	// behaviour).
+	RecvShards int
 
 	// AlphaQuantum quantises each session's α̂ to the nearest multiple
 	// before the controllers and the lineage partition see it. The
@@ -151,6 +161,16 @@ func (c Config) withDefaults() Config {
 	if c.RecvBatch <= 0 {
 		c.RecvBatch = 32
 	}
+	if c.RecvShards == 0 {
+		if network.ReusePortSupported() {
+			c.RecvShards = c.FarmWorkers
+		} else {
+			c.RecvShards = 1
+		}
+	}
+	if c.RecvShards < 1 || !network.ReusePortSupported() {
+		c.RecvShards = 1
+	}
 	if c.AlphaQuantum == 0 {
 		c.AlphaQuantum = 1.0 / 64
 	}
@@ -184,17 +204,49 @@ func (c *Config) logf(format string, args ...any) {
 // maxKeptSummaries bounds the completed-session history.
 const maxKeptSummaries = 256
 
-// Server runs the serving layer: one UDP socket carrying every
-// session's media, feedback and control datagrams, a shared encode
-// farm behind a single scheduler goroutine, one batched sender, and an
-// obs.Registry exporting the lot. The goroutine topology is fixed —
-// read loop + scheduler + sender + FarmWorkers farm workers — no
-// matter how many sessions are live; sessions are state machines, not
-// goroutines. See ARCHITECTURE.md, "Serving layer".
-type Server struct {
-	cfg  Config
+// shard is one slice of the sharded datapath: a socket (bound with
+// SO_REUSEPORT alongside its peers when RecvShards > 1), the read loop
+// state draining it, and the sender goroutine transmitting on it. The
+// kernel's 4-tuple steering keeps each client's inbound datagrams on
+// one shard's socket; admission pins the session's outbound media to
+// the same shard's sender. Control datagrams that land on another
+// shard anyway (steering is only hash-stable, not contractual) are
+// handled in place — session lookup is global and the feedback channel
+// accepts sends from any goroutine, so the cross-shard hand-off costs
+// no forwarding hop and takes no lock beyond the session-table lookup
+// every datagram already pays.
+type shard struct {
+	idx  int
+	srv  *Server
 	conn *net.UDPConn
-	reg  *obs.Registry
+	snd  *sender
+
+	// mRecvDatagrams is this shard's inbound datagram count
+	// ("server.shard<idx>.recv_datagrams"): the balance evidence for
+	// server.shard_rx_balance and the operator's view of how evenly the
+	// kernel is steering flows.
+	mRecvDatagrams *obs.Counter
+}
+
+// writeTo sends one datagram on this shard's socket, reporting success.
+func (sh *shard) writeTo(buf []byte, addr *net.UDPAddr) bool {
+	_, err := sh.conn.WriteToUDP(buf, addr)
+	return err == nil
+}
+
+// Server runs the serving layer: RecvShards UDP sockets sharing one
+// addr:port (SO_REUSEPORT) carrying every session's media, feedback
+// and control datagrams, a shared encode farm behind a single
+// scheduler goroutine, one batched sender per shard, and an
+// obs.Registry exporting the lot. The goroutine topology is fixed —
+// RecvShards read loops + scheduler + RecvShards senders + FarmWorkers
+// farm workers — no matter how many sessions are live; sessions are
+// state machines, not goroutines. See ARCHITECTURE.md, "Serving layer"
+// and "Receive sharding".
+type Server struct {
+	cfg    Config
+	shards []*shard
+	reg    *obs.Registry
 
 	rootCtx context.Context
 	cancel  context.CancelFunc
@@ -202,7 +254,6 @@ type Server struct {
 	farmWG  sync.WaitGroup
 
 	sched *scheduler
-	snd   *sender
 
 	// overloaded mirrors the scheduler's load-shed state for the
 	// admission path (readLoop), which must not touch scheduler state.
@@ -239,32 +290,79 @@ type Server struct {
 	mCoalesced     *obs.Counter
 	mFrameLat      *obs.Histogram
 	mEncodeLat     *obs.Histogram
+	mE2ELat        *obs.Histogram
+	mShardBalance  *obs.Gauge
+	mRcvbufBytes   *obs.Gauge
+	mSndbufBytes   *obs.Gauge
 }
 
-// New binds the socket and starts the farm: the demultiplexing read
-// loop, the scheduler, the batched sender and the encode workers. The
-// caller must eventually Shutdown or Close.
+// sockBufRequest is the socket buffer size asked of every shard
+// socket in both directions. Scale-out serving floods the sockets: an
+// admission storm of hellos inbound, every member's media outbound.
+// The kernel default (~208KB) holds only a few thousand datagrams, so
+// a 10k-client launch wave overflows it before the read loops can
+// drain. The request is best-effort — the kernel silently clamps to
+// its rmem_max/wmem_max ceilings — which is why New reads the
+// effective sizes back rather than trusting the ask.
+const sockBufRequest = 4 << 20
+
+// listenShards binds the server's socket set: one plain socket, or
+// RecvShards SO_REUSEPORT sockets sharing cfg.Addr so the kernel
+// load-balances inbound flows across them. The first socket may bind
+// an ephemeral port; the rest bind its resolved concrete address.
+func listenShards(cfg *Config) ([]*net.UDPConn, error) {
+	if cfg.RecvShards <= 1 {
+		addr, err := net.ResolveUDPAddr("udp", cfg.Addr)
+		if err != nil {
+			return nil, fmt.Errorf("serve: resolve %q: %w", cfg.Addr, err)
+		}
+		conn, err := net.ListenUDP("udp", addr)
+		if err != nil {
+			return nil, fmt.Errorf("serve: listen: %w", err)
+		}
+		return []*net.UDPConn{conn}, nil
+	}
+	first, err := network.ListenUDPReusePort("udp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("serve: listen (reuseport): %w", err)
+	}
+	conns := []*net.UDPConn{first}
+	bound := first.LocalAddr().String()
+	for i := 1; i < cfg.RecvShards; i++ {
+		c, err := network.ListenUDPReusePort("udp", bound)
+		if err != nil {
+			for _, c := range conns {
+				c.Close()
+			}
+			return nil, fmt.Errorf("serve: listen shard %d (reuseport): %w", i, err)
+		}
+		conns = append(conns, c)
+	}
+	return conns, nil
+}
+
+// New binds the shard socket set and starts the farm: the
+// demultiplexing read loops, the scheduler, the per-shard batched
+// senders and the encode workers. The caller must eventually Shutdown
+// or Close.
 func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	addr, err := net.ResolveUDPAddr("udp", cfg.Addr)
+	conns, err := listenShards(&cfg)
 	if err != nil {
-		return nil, fmt.Errorf("serve: resolve %q: %w", cfg.Addr, err)
+		return nil, err
 	}
-	conn, err := net.ListenUDP("udp", addr)
-	if err != nil {
-		return nil, fmt.Errorf("serve: listen: %w", err)
+	closeAll := func() {
+		for _, c := range conns {
+			c.Close()
+		}
 	}
-	// Scale-out serving floods both directions of this single socket: an
-	// admission storm of hellos inbound, every member's media outbound.
-	// The kernel default (~208KB) holds only a few thousand datagrams,
-	// so a 10k-client launch wave overflows it before the read loop can
-	// drain. Ask for generous buffers; the kernel clamps to its
-	// rmem_max/wmem_max ceilings and failure is harmless (best effort).
-	conn.SetReadBuffer(4 << 20)
-	conn.SetWriteBuffer(4 << 20)
+	for _, c := range conns {
+		c.SetReadBuffer(sockBufRequest)
+		c.SetWriteBuffer(sockBufRequest)
+	}
 	qctl, err := adapt.NewQualityController(cfg.RefreshInterval)
 	if err != nil {
-		conn.Close()
+		closeAll()
 		return nil, err
 	}
 	qctl.SetSimilarity(cfg.Similarity)
@@ -272,7 +370,6 @@ func New(cfg Config) (*Server, error) {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:       cfg,
-		conn:      conn,
 		reg:       cfg.Registry,
 		rootCtx:   ctx,
 		cancel:    cancel,
@@ -304,28 +401,80 @@ func New(cfg Config) (*Server, error) {
 		mCoalesced:     cfg.Registry.Counter("server.coalesced_packets"),
 		mFrameLat:      cfg.Registry.Histogram("server.frame_latency"),
 		mEncodeLat:     cfg.Registry.Histogram("server.encode_latency"),
+		mE2ELat:        cfg.Registry.Histogram("server.e2e_latency"),
+		mShardBalance:  cfg.Registry.Gauge("server.shard_rx_balance"),
+		mRcvbufBytes:   cfg.Registry.Gauge("server.rcvbuf_bytes"),
+		mSndbufBytes:   cfg.Registry.Gauge("server.sndbuf_bytes"),
 	}
-	s.snd = &sender{
-		srv:   s,
-		wake:  make(chan struct{}, 1),
-		batch: network.NewBatchSender(conn),
-		tmpl:  make(map[*network.Packet]*frameTemplate),
+	s.mShardBalance.Set(1) // no traffic yet: trivially balanced
+	s.checkSocketBuffers(conns)
+	for i, c := range conns {
+		sh := &shard{
+			idx:            i,
+			srv:            s,
+			conn:           c,
+			mRecvDatagrams: cfg.Registry.Counter(fmt.Sprintf("server.shard%d.recv_datagrams", i)),
+		}
+		sh.snd = newSender(s, sh)
+		s.shards = append(s.shards, sh)
 	}
 	s.sched = newScheduler(s, qctl)
 
-	s.readWG.Add(1)
-	go s.readLoop()
-	s.farmWG.Add(2 + cfg.FarmWorkers)
+	s.readWG.Add(len(s.shards))
+	for _, sh := range s.shards {
+		go s.readLoop(sh)
+	}
+	s.farmWG.Add(1 + len(s.shards) + cfg.FarmWorkers)
 	go s.sched.run(ctx)
-	go s.snd.run(ctx)
+	for _, sh := range s.shards {
+		go sh.snd.run(ctx)
+	}
 	for i := 0; i < cfg.FarmWorkers; i++ {
 		go s.sched.worker(ctx, i)
 	}
 	return s, nil
 }
 
-// Addr returns the bound UDP address.
-func (s *Server) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+// checkSocketBuffers verifies the sockBufRequest actually took: the
+// kernel clamps SetReadBuffer/SetWriteBuffer to rmem_max/wmem_max
+// without reporting it, and an operator sizing a fleet off the request
+// would plan for queue capacity the sockets don't have. The effective
+// minima across shards are exported as gauges and a clamp is logged
+// once with the sysctl to raise.
+func (s *Server) checkSocketBuffers(conns []*net.UDPConn) {
+	minRcv, minSnd := -1, -1
+	for _, c := range conns {
+		rcv, snd, ok := network.SocketBuffers(c)
+		if !ok {
+			return // no readback on this platform: trust the request
+		}
+		if minRcv < 0 || rcv < minRcv {
+			minRcv = rcv
+		}
+		if minSnd < 0 || snd < minSnd {
+			minSnd = snd
+		}
+	}
+	if minRcv < 0 {
+		return
+	}
+	s.mRcvbufBytes.Set(float64(minRcv))
+	s.mSndbufBytes.Set(float64(minSnd))
+	// Linux reports double the usable request (bookkeeping overhead is
+	// billed to the buffer), so effective < requested means the request
+	// was genuinely clamped, not just accounted differently.
+	if minRcv < sockBufRequest {
+		s.cfg.logf("socket rcvbuf clamped to %d bytes (asked %d; raise net.core.rmem_max)",
+			minRcv, sockBufRequest)
+	}
+	if minSnd < sockBufRequest {
+		s.cfg.logf("socket sndbuf clamped to %d bytes (asked %d; raise net.core.wmem_max)",
+			minSnd, sockBufRequest)
+	}
+}
+
+// Addr returns the bound UDP address (shared by every shard socket).
+func (s *Server) Addr() *net.UDPAddr { return s.shards[0].conn.LocalAddr().(*net.UDPAddr) }
 
 // Registry returns the server's metric registry (mount it on an HTTP
 // mux for the observability endpoint — it implements http.Handler).
@@ -362,10 +511,36 @@ func (s *Server) sourceFor(r synth.Regime) synth.Source {
 	return src
 }
 
-// writeTo sends one datagram, reporting success.
-func (s *Server) writeTo(buf []byte, addr *net.UDPAddr) bool {
-	_, err := s.conn.WriteToUDP(buf, addr)
-	return err == nil
+// pokeSenders nudges every shard's sender (all pokes are non-blocking
+// one-slot channel sends, so this is a handful of atomic operations).
+// The scheduler uses it after fanout and close passes: a lineage's
+// members can span shards, so the frame completion must wake each
+// shard that might now have queued media.
+func (s *Server) pokeSenders() {
+	for _, sh := range s.shards {
+		sh.snd.poke()
+	}
+}
+
+// updateShardBalance refreshes server.shard_rx_balance: the min/max
+// ratio of per-shard received datagram counts (1.0 = perfectly even,
+// and by convention also the single-shard value). Called from the read
+// loops once per batch — a few atomic loads — so the gauge tracks the
+// kernel's live flow steering without a sampler goroutine.
+func (s *Server) updateShardBalance() {
+	var minN, maxN int64 = -1, 0
+	for _, sh := range s.shards {
+		n := sh.mRecvDatagrams.Value()
+		if minN < 0 || n < minN {
+			minN = n
+		}
+		if n > maxN {
+			maxN = n
+		}
+	}
+	if maxN > 0 {
+		s.mShardBalance.Set(float64(minN) / float64(maxN))
+	}
 }
 
 // recvBufBytes sizes each receive-ring buffer. Every inbound datagram
@@ -374,17 +549,19 @@ func (s *Server) writeTo(buf []byte, addr *net.UDPAddr) bool {
 // is exactly how a corrupt datagram is handled anyway.
 const recvBufBytes = 2048
 
-// readLoop demultiplexes every inbound datagram until the socket
-// closes. It reads through a network.BatchReceiver, so a burst of
-// feedback from thousands of receivers drains in one recvmmsg(2) per
-// RecvBatch datagrams on Linux rather than one syscall each. The slot
-// ring is the read path's buffer pool: allocated once here and reused
-// for every batch by whichever receiver implementation is active
-// (recvmmsg or the portable fallback), keeping the steady state
-// allocation-free.
-func (s *Server) readLoop() {
+// readLoop demultiplexes one shard's inbound datagrams until its
+// socket closes; with RecvShards > 1 the kernel fans the client
+// population across the loops, so the receive path scales with cores
+// instead of serialising through one goroutine. Each loop reads
+// through its own network.BatchReceiver, so a burst of feedback from
+// thousands of receivers drains in one recvmmsg(2) per RecvBatch
+// datagrams on Linux rather than one syscall each. The slot ring is
+// the read path's buffer pool: allocated once here and reused for
+// every batch by whichever receiver implementation is active (recvmmsg
+// or the portable fallback), keeping the steady state allocation-free.
+func (s *Server) readLoop(sh *shard) {
 	defer s.readWG.Done()
-	recv := network.NewBatchReceiver(s.conn)
+	recv := network.NewBatchReceiver(sh.conn)
 	slots := make([]network.RecvSlot, s.cfg.RecvBatch)
 	for i := range slots {
 		slots[i].Buf = make([]byte, recvBufBytes)
@@ -400,29 +577,39 @@ func (s *Server) readLoop() {
 		s.mRecvBatches.Add(1)
 		s.mRecvDatagrams.Add(int64(n))
 		s.mRecvBatchSize.ObserveValue(int64(n))
+		sh.mRecvDatagrams.Add(int64(n))
+		s.updateShardBalance()
 		for i := 0; i < n; i++ {
-			s.handleDatagram(slots[i].Buf[:slots[i].N], slots[i].Addr)
+			s.handleDatagram(sh, slots[i].Buf[:slots[i].N], slots[i].Addr)
 		}
 	}
 }
 
-// handleDatagram dispatches one inbound datagram. The report path —
-// the hot one at scale, every receiver sends them continuously — must
-// stay allocation-free (pinned by TestHandleDatagramAllocFree); the
-// hello path converts the address to *net.UDPAddr and may allocate,
-// which a once-per-session event can afford.
-func (s *Server) handleDatagram(buf []byte, from netip.AddrPort) {
+// handleDatagram dispatches one inbound datagram that arrived on shard
+// sh. The report path — the hot one at scale, every receiver sends
+// them continuously — must stay allocation-free (pinned by
+// TestHandleDatagramAllocFree); the hello path converts the address to
+// *net.UDPAddr and may allocate, which a once-per-session event can
+// afford. The shard matters only for replies (accepts and rejects go
+// back out the socket the datagram came in on) and for pinning new
+// sessions; reports and byes for sessions pinned elsewhere are handled
+// right here — the cross-shard hand-off — because the session table is
+// shared and the feedback channel takes sends from any goroutine.
+func (s *Server) handleDatagram(sh *shard, buf []byte, from netip.AddrPort) {
 	if len(buf) == 0 {
 		return
 	}
 	switch buf[0] {
 	case msgHello:
-		s.handleHello(buf, net.UDPAddrFromAddrPort(from))
+		s.handleHello(sh, buf, net.UDPAddrFromAddrPort(from))
 	case msgReport:
 		r, err := parseReport(buf)
 		if err != nil {
 			s.mBadDatagrams.Add(1)
 			return
+		}
+		if r.E2EMicros > 0 {
+			s.mE2ELat.ObserveValue(int64(r.E2EMicros))
 		}
 		s.mu.Lock()
 		sess := s.sessions[r.Session]
@@ -459,11 +646,15 @@ func (s *Server) handleDatagram(buf []byte, from netip.AddrPort) {
 // validation failures reject with a reason the client can print.
 // Load shedding starts here — an overloaded farm rejects the newest
 // would-be sessions so that admitted ones keep their service level.
-func (s *Server) handleHello(buf []byte, addr *net.UDPAddr) {
+// The accepted session is pinned to sh, the shard whose socket saw the
+// hello: the kernel's flow steering will keep routing this client
+// there, so pinning aligns the session's send path with its receive
+// path (and, via lineage.home, its encode worker).
+func (s *Server) handleHello(sh *shard, buf []byte, addr *net.UDPAddr) {
 	h, err := parseHello(buf)
 	if err != nil {
 		s.mBadDatagrams.Add(1)
-		s.reject(addr, err.Error())
+		s.reject(sh, addr, err.Error())
 		return
 	}
 	if h.QP == 0 {
@@ -480,7 +671,7 @@ func (s *Server) handleHello(buf []byte, addr *net.UDPAddr) {
 	}
 	if reason != "" {
 		s.mRejected.Add(1)
-		s.reject(addr, reason)
+		s.reject(sh, addr, reason)
 		return
 	}
 
@@ -497,27 +688,27 @@ func (s *Server) handleHello(buf []byte, addr *net.UDPAddr) {
 		!existing.stopReq.Load() && !existing.endSent.Load() {
 		id, frames := existing.id, existing.req.Frames
 		s.mu.Unlock()
-		s.writeTo(appendAccept(nil, id, frames), addr)
+		sh.writeTo(appendAccept(nil, id, frames), addr)
 		return
 	}
 	if !s.accepting {
 		s.mu.Unlock()
 		s.mRejected.Add(1)
-		s.reject(addr, "server is shutting down")
+		s.reject(sh, addr, "server is shutting down")
 		return
 	}
 	if len(s.sessions) >= s.cfg.MaxSessions {
 		n := len(s.sessions)
 		s.mu.Unlock()
 		s.mRejected.Add(1)
-		s.reject(addr, fmt.Sprintf("server at capacity (%d/%d sessions)", n, s.cfg.MaxSessions))
+		s.reject(sh, addr, fmt.Sprintf("server at capacity (%d/%d sessions)", n, s.cfg.MaxSessions))
 		return
 	}
 	if s.overloaded.Load() {
 		s.mu.Unlock()
 		s.mRejected.Add(1)
 		s.mShedRejects.Add(1)
-		s.reject(addr, "server overloaded, shedding new sessions")
+		s.reject(sh, addr, "server overloaded, shedding new sessions")
 		return
 	}
 	s.nextID++
@@ -525,6 +716,7 @@ func (s *Server) handleHello(buf []byte, addr *net.UDPAddr) {
 		id:       s.nextID,
 		client:   copyAddr(addr),
 		req:      h,
+		sh:       sh,
 		feedback: make(chan report, 16),
 		done:     make(chan struct{}),
 		queue:    newFrameQueue(s.cfg.QueueFrames),
@@ -538,16 +730,16 @@ func (s *Server) handleHello(buf []byte, addr *net.UDPAddr) {
 	s.mActive.Set(float64(active))
 	s.cfg.logf("session %d: accepted %s (%d frames, regime %s, qp %d, fec %d, interleave %d)",
 		sess.id, sess.client, h.Frames, h.Regime, h.QP, h.FECGroup, h.Interleave)
-	s.writeTo(appendAccept(nil, sess.id, h.Frames), addr)
+	sh.writeTo(appendAccept(nil, sess.id, h.Frames), addr)
 	select {
 	case s.sched.admit <- sess:
 	case <-s.rootCtx.Done():
 	}
 }
 
-func (s *Server) reject(addr *net.UDPAddr, reason string) {
+func (s *Server) reject(sh *shard, addr *net.UDPAddr, reason string) {
 	s.cfg.logf("rejected %s: %s", addr, reason)
-	s.writeTo(appendReject(nil, reason), addr)
+	sh.writeTo(appendReject(nil, reason), addr)
 }
 
 // finishSession records the summary, releases the session's registry
@@ -609,7 +801,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		})
 	}
 	s.cancel() // hard-stop stragglers (no-op if everything drained)
-	s.conn.Close()
+	for _, sh := range s.shards {
+		sh.conn.Close()
+	}
 	s.readWG.Wait()
 	s.farmWG.Wait()
 	if err != nil {
@@ -624,7 +818,9 @@ func (s *Server) Close() error {
 	s.accepting = false
 	s.mu.Unlock()
 	s.cancel()
-	s.conn.Close()
+	for _, sh := range s.shards {
+		sh.conn.Close()
+	}
 	s.readWG.Wait()
 	s.farmWG.Wait()
 	return nil

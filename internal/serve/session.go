@@ -59,6 +59,13 @@ type session struct {
 	id     uint32
 	client *net.UDPAddr
 	req    hello
+	// sh is the receive shard whose socket saw this session's hello —
+	// the kernel's 4-tuple steering keeps the client's datagrams on it —
+	// and therefore the shard whose sender carries the session's media:
+	// admission pins the session here so its whole datapath (receive,
+	// encode stickiness via lineage.home, send) rides one shard. Set
+	// once at admission, immutable after.
+	sh *shard
 
 	// feedback carries receiver reports from the read loop to the
 	// scheduler; bounded and lossy by design (a dropped report is
@@ -109,6 +116,15 @@ type session struct {
 	mDepth     *obs.Gauge
 	mJoules    *obs.Gauge
 	mEncode    *obs.Histogram
+}
+
+// shardIdx returns the index of the session's receive shard (0 for
+// sessions constructed without one, as some unit tests do).
+func shardIdx(s *session) int {
+	if s.sh != nil {
+		return s.sh.idx
+	}
+	return 0
 }
 
 // metricPrefix namespaces this session's metrics in the registry.

@@ -12,15 +12,23 @@
 //	  'H' hello:  ver u8 | frames u32 | regime u8 | qp u8 |
 //	              reportEvery u8 | fecGroup u8 | interleave u8
 //	  'R' report: session u32 | fractionLost per-mille u16 |
-//	              received u32 | lost u32
+//	              received u32 | lost u32 | e2eMicros u32
 //	  'B' bye:    session u32
 //
 //	server → client
 //	  'A' accept: session u32 | frames u32
 //	  'J' reject: reasonLen u8 | reason bytes
-//	  'M' media:  session u32 | network.Packet wire encoding
-//	  'C' media:  session u32 | network wire batch (coalesced packets)
+//	  'M' media:  session u32 | sendMicros u64 | network.Packet wire encoding
+//	  'C' media:  session u32 | sendMicros u64 | network wire batch (coalesced)
 //	  'E' end:    session u32 | framesEncoded u32
+//
+// sendMicros is the server's transmit timestamp (unix µs, stamped as
+// the datagram leaves the sender); a client subtracts it from its
+// receive clock and echoes the freshest difference in its reports'
+// e2eMicros field (0 = no sample yet), closing the end-to-end latency
+// SLO loop. The subtraction mixes two clocks, so on distinct hosts the
+// figure includes their offset — meaningful for same-host harnesses
+// and NTP-disciplined fleets, a relative signal otherwise.
 //
 // Multi-byte integers are big-endian. Media payloads reuse
 // network.(Packet).AppendWire / network.ParseWire (one packet per 'M')
@@ -42,8 +50,15 @@ import (
 
 // protocolVersion gates hellos: a server rejects clients speaking a
 // different version rather than mis-parsing them. Version 2 added the
-// 'C' coalesced media datagram.
-const protocolVersion = 2
+// 'C' coalesced media datagram; version 3 added the media send
+// timestamp and the report's end-to-end latency echo.
+const protocolVersion = 3
+
+// mediaHeaderLen is the 'M'/'C' datagram header: type byte, session
+// id, send timestamp. Both media types share the layout, which is what
+// lets the sender fan one rendered template out to a whole lineage by
+// rewriting only this header per member (see sender.appendFrame).
+const mediaHeaderLen = 1 + 4 + 8
 
 // Datagram type bytes.
 const (
@@ -127,8 +142,12 @@ func parseReject(b []byte) (string, bool) {
 	return string(b[2 : 2+int(b[1])]), true
 }
 
+// appendMedia encodes one packet as an 'M' datagram. The session id
+// and send timestamp are written as zero placeholders; the sender
+// patches both into the header as the datagram leaves (template reuse
+// across a lineage's members — see sender.appendFrame).
 func appendMedia(buf []byte, id uint32, pkt network.Packet) []byte {
-	var b [5]byte
+	var b [mediaHeaderLen]byte
 	b[0] = msgMedia
 	binary.BigEndian.PutUint32(b[1:5], id)
 	buf = append(buf, b[:]...)
@@ -136,19 +155,29 @@ func appendMedia(buf []byte, id uint32, pkt network.Packet) []byte {
 }
 
 func parseMedia(b []byte) (id uint32, pkt network.Packet, err error) {
-	if len(b) < 5 || b[0] != msgMedia {
+	if len(b) < mediaHeaderLen || b[0] != msgMedia {
 		return 0, network.Packet{}, fmt.Errorf("serve: malformed media (%d bytes)", len(b))
 	}
 	id = binary.BigEndian.Uint32(b[1:5])
-	pkt, err = network.ParseWire(b[5:])
+	pkt, err = network.ParseWire(b[mediaHeaderLen:])
 	return id, pkt, err
+}
+
+// mediaStamp reads the send timestamp (unix µs) out of an 'M' or 'C'
+// datagram header; 0 when the datagram is too short to carry one.
+func mediaStamp(b []byte) int64 {
+	if len(b) < mediaHeaderLen || (b[0] != msgMedia && b[0] != msgCoalesced) {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(b[5:13]))
 }
 
 // appendCoalesced encodes several packets for one session into a
 // single 'C' datagram (the sender's per-flush coalescing; see
-// network.AppendWireBatch for the container format).
+// network.AppendWireBatch for the container format). Like appendMedia,
+// id and timestamp are placeholders the sender patches.
 func appendCoalesced(buf []byte, id uint32, pkts []network.Packet) []byte {
-	var b [5]byte
+	var b [mediaHeaderLen]byte
 	b[0] = msgCoalesced
 	binary.BigEndian.PutUint32(b[1:5], id)
 	buf = append(buf, b[:]...)
@@ -159,26 +188,29 @@ func appendCoalesced(buf []byte, id uint32, pkts []network.Packet) []byte {
 // network.ParseWireBatch's strictness: a truncated or trailing-bytes
 // container is an error, never phantom packets.
 func parseCoalesced(dst []network.Packet, b []byte) (id uint32, pkts []network.Packet, err error) {
-	if len(b) < 5 || b[0] != msgCoalesced {
+	if len(b) < mediaHeaderLen || b[0] != msgCoalesced {
 		return 0, dst, fmt.Errorf("serve: malformed coalesced media (%d bytes)", len(b))
 	}
 	id = binary.BigEndian.Uint32(b[1:5])
-	pkts, err = network.ParseWireBatch(dst, b[5:])
+	pkts, err = network.ParseWireBatch(dst, b[mediaHeaderLen:])
 	return id, pkts, err
 }
 
 // report is one receiver feedback datagram: the interval fraction lost
-// (what adapt.PLREstimator.ObserveReport consumes) plus cumulative-
-// interval receive/loss counts for the server's books.
+// (what adapt.PLREstimator.ObserveReport consumes), cumulative-interval
+// receive/loss counts for the server's books, and the client's
+// freshest end-to-end latency sample (receive clock minus the media
+// header's send stamp, µs; 0 = no sample this interval).
 type report struct {
-	Session  uint32
-	Fraction float64
-	Received int64
-	Lost     int64
+	Session   uint32
+	Fraction  float64
+	Received  int64
+	Lost      int64
+	E2EMicros uint32
 }
 
 func appendReport(buf []byte, r report) []byte {
-	var b [15]byte
+	var b [19]byte
 	b[0] = msgReport
 	binary.BigEndian.PutUint32(b[1:5], r.Session)
 	perMille := int(r.Fraction * 1000)
@@ -191,18 +223,20 @@ func appendReport(buf []byte, r report) []byte {
 	binary.BigEndian.PutUint16(b[5:7], uint16(perMille))
 	binary.BigEndian.PutUint32(b[7:11], uint32(r.Received))
 	binary.BigEndian.PutUint32(b[11:15], uint32(r.Lost))
+	binary.BigEndian.PutUint32(b[15:19], r.E2EMicros)
 	return append(buf, b[:]...)
 }
 
 func parseReport(b []byte) (report, error) {
-	if len(b) < 15 || b[0] != msgReport {
+	if len(b) < 19 || b[0] != msgReport {
 		return report{}, fmt.Errorf("serve: malformed report (%d bytes)", len(b))
 	}
 	return report{
-		Session:  binary.BigEndian.Uint32(b[1:5]),
-		Fraction: float64(binary.BigEndian.Uint16(b[5:7])) / 1000,
-		Received: int64(binary.BigEndian.Uint32(b[7:11])),
-		Lost:     int64(binary.BigEndian.Uint32(b[11:15])),
+		Session:   binary.BigEndian.Uint32(b[1:5]),
+		Fraction:  float64(binary.BigEndian.Uint16(b[5:7])) / 1000,
+		Received:  int64(binary.BigEndian.Uint32(b[7:11])),
+		Lost:      int64(binary.BigEndian.Uint32(b[11:15])),
+		E2EMicros: binary.BigEndian.Uint32(b[15:19]),
 	}, nil
 }
 
